@@ -1,0 +1,518 @@
+//! Tagoram's Differential Augmented Hologram (DAH) — the hologram-based
+//! baseline (paper Sec. II-C and ref \[2\]).
+//!
+//! The surveillance volume is cut into a grid; each cell `p` is scored by
+//! how consistently the *measured* phase differences match the *expected*
+//! ones for a target at `p`:
+//!
+//! ```text
+//! L(p) = | Σᵢ wᵢ · exp(j·(Δθᵢ − Δφᵢ(p))) | / Σᵢ wᵢ
+//! ```
+//!
+//! where `Δθᵢ = θᵢ − θ_ref` is the measured phase difference and
+//! `Δφᵢ(p) = (4π/λ)·(dᵢ(p) − d_ref(p))` the expected one. Using
+//! *differences* cancels the constant hardware offset, exactly as the
+//! paper observes. The "augmented" part adds weights: after a first
+//! uniform-weight pass, each measurement is reweighted by its phase
+//! residual at the provisional peak and the hologram is rebuilt —
+//! sharpening the peak (paper Fig. 4b).
+//!
+//! The cost is the point: `cells × measurements` complex rotations. A 2D
+//! (20 cm)² search at 1 mm is 40k cells; the 3D (20 cm)³ version is 8M —
+//! which is why the paper's Fig. 13(b) shows DAH's 3D time exploding while
+//! LION stays at a single linear solve.
+
+use lion_geom::Point3;
+use serde::{Deserialize, Serialize};
+
+use crate::BaselineError;
+
+/// Axis-aligned search volume for the grid scan.
+///
+/// For 2D holograms set `half_extent_z = 0` — the grid then has a single
+/// z-layer at `center.z`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchVolume {
+    /// Center of the search volume.
+    pub center: Point3,
+    /// Half extent along x (meters).
+    pub half_extent_x: f64,
+    /// Half extent along y (meters).
+    pub half_extent_y: f64,
+    /// Half extent along z (meters); 0 for a planar (2D) hologram.
+    pub half_extent_z: f64,
+}
+
+impl SearchVolume {
+    /// A square 2D search area in the plane `z = center.z`.
+    pub fn square_2d(center: Point3, half_extent: f64) -> Self {
+        SearchVolume {
+            center,
+            half_extent_x: half_extent,
+            half_extent_y: half_extent,
+            half_extent_z: 0.0,
+        }
+    }
+
+    /// A cubic 3D search volume.
+    pub fn cube_3d(center: Point3, half_extent: f64) -> Self {
+        SearchVolume {
+            center,
+            half_extent_x: half_extent,
+            half_extent_y: half_extent,
+            half_extent_z: half_extent,
+        }
+    }
+}
+
+/// Configuration for the DAH grid search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HologramConfig {
+    /// Grid cell size in meters (the paper uses 1 mm).
+    pub grid_size: f64,
+    /// Carrier wavelength in meters.
+    pub wavelength: f64,
+    /// Enable the augmented (weighted) second pass.
+    pub augmented: bool,
+}
+
+impl Default for HologramConfig {
+    fn default() -> Self {
+        HologramConfig {
+            grid_size: 0.001,
+            wavelength: 299_792_458.0 / 920.625e6,
+            augmented: true,
+        }
+    }
+}
+
+/// The computed likelihood grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hologram {
+    origin: Point3,
+    grid_size: f64,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    values: Vec<f64>,
+}
+
+impl Hologram {
+    /// Grid dimensions `(nx, ny, nz)`.
+    pub fn dimensions(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// Total number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// World position of cell `(i, j, k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of range.
+    pub fn cell_position(&self, i: usize, j: usize, k: usize) -> Point3 {
+        assert!(
+            i < self.nx && j < self.ny && k < self.nz,
+            "cell out of range"
+        );
+        Point3::new(
+            self.origin.x + i as f64 * self.grid_size,
+            self.origin.y + j as f64 * self.grid_size,
+            self.origin.z + k as f64 * self.grid_size,
+        )
+    }
+
+    /// Likelihood at cell `(i, j, k)`; `None` out of range.
+    pub fn value(&self, i: usize, j: usize, k: usize) -> Option<f64> {
+        if i < self.nx && j < self.ny && k < self.nz {
+            Some(self.values[(k * self.ny + j) * self.nx + i])
+        } else {
+            None
+        }
+    }
+
+    /// The raw likelihood buffer (x-fastest layout).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Cell with the maximum likelihood: `(position, likelihood)`.
+    pub fn peak(&self) -> (Point3, f64) {
+        let mut best = 0;
+        let mut best_v = f64::NEG_INFINITY;
+        for (idx, &v) in self.values.iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = idx;
+            }
+        }
+        let i = best % self.nx;
+        let j = (best / self.nx) % self.ny;
+        let k = best / (self.nx * self.ny);
+        (self.cell_position(i, j, k), best_v)
+    }
+}
+
+/// Result of a DAH localization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HologramEstimate {
+    /// Grid cell with the highest likelihood.
+    pub position: Point3,
+    /// Peak likelihood in `[0, 1]`.
+    pub likelihood: f64,
+    /// Number of grid cells evaluated (× passes) — the work metric behind
+    /// the paper's Fig. 13(b) timing gap.
+    pub cells_evaluated: usize,
+    /// Number of measurements used.
+    pub measurements: usize,
+}
+
+/// Builds the DAH and returns the full grid (for heatmap dumps à la paper
+/// Figs. 4 and 20) plus the estimate.
+///
+/// # Errors
+///
+/// - [`BaselineError::TooFewMeasurements`] for fewer than 2 samples,
+/// - [`BaselineError::InvalidParameter`] for non-positive grid size /
+///   extents / wavelength,
+/// - [`BaselineError::NonFiniteInput`] for NaN/inf samples.
+pub fn build_hologram(
+    measurements: &[(Point3, f64)],
+    volume: SearchVolume,
+    config: &HologramConfig,
+) -> Result<(Hologram, HologramEstimate), BaselineError> {
+    validate(measurements, &volume, config)?;
+    let reference = measurements.len() / 2;
+    // First pass: uniform weights.
+    let weights = vec![1.0; measurements.len()];
+    let mut holo = score(measurements, reference, &volume, config, &weights);
+    let mut cells = holo.cell_count();
+    if config.augmented {
+        // Reweight by phase residual at the provisional peak and rebuild.
+        let (peak, _) = holo.peak();
+        let weights = residual_weights(measurements, reference, peak, config.wavelength);
+        holo = score(measurements, reference, &volume, config, &weights);
+        cells += holo.cell_count();
+    }
+    let (position, likelihood) = holo.peak();
+    let estimate = HologramEstimate {
+        position,
+        likelihood,
+        cells_evaluated: cells,
+        measurements: measurements.len(),
+    };
+    Ok((holo, estimate))
+}
+
+/// Convenience wrapper returning only the estimate.
+///
+/// # Errors
+///
+/// See [`build_hologram`].
+pub fn locate(
+    measurements: &[(Point3, f64)],
+    volume: SearchVolume,
+    config: &HologramConfig,
+) -> Result<HologramEstimate, BaselineError> {
+    build_hologram(measurements, volume, config).map(|(_, e)| e)
+}
+
+fn validate(
+    measurements: &[(Point3, f64)],
+    volume: &SearchVolume,
+    config: &HologramConfig,
+) -> Result<(), BaselineError> {
+    if measurements.len() < 2 {
+        return Err(BaselineError::TooFewMeasurements {
+            got: measurements.len(),
+            needed: 2,
+        });
+    }
+    for (i, (p, t)) in measurements.iter().enumerate() {
+        if !p.is_finite() || !t.is_finite() {
+            return Err(BaselineError::NonFiniteInput { index: i });
+        }
+    }
+    if !(config.grid_size > 0.0 && config.grid_size.is_finite()) {
+        return Err(BaselineError::InvalidParameter {
+            parameter: "grid_size",
+            found: format!("{}", config.grid_size),
+        });
+    }
+    if !(config.wavelength > 0.0 && config.wavelength.is_finite()) {
+        return Err(BaselineError::InvalidParameter {
+            parameter: "wavelength",
+            found: format!("{}", config.wavelength),
+        });
+    }
+    // NaN-safe: `x > 0.0` is false for NaN, so NaN extents are rejected.
+    let extents_ok =
+        volume.half_extent_x > 0.0 && volume.half_extent_y > 0.0 && volume.half_extent_z >= 0.0;
+    if !extents_ok || !volume.center.is_finite() {
+        return Err(BaselineError::InvalidParameter {
+            parameter: "search volume",
+            found: format!("{volume:?}"),
+        });
+    }
+    Ok(())
+}
+
+fn axis_cells(half_extent: f64, grid: f64) -> usize {
+    (2.0 * half_extent / grid).round() as usize + 1
+}
+
+fn score(
+    measurements: &[(Point3, f64)],
+    reference: usize,
+    volume: &SearchVolume,
+    config: &HologramConfig,
+    weights: &[f64],
+) -> Hologram {
+    let g = config.grid_size;
+    let nx = axis_cells(volume.half_extent_x, g);
+    let ny = axis_cells(volume.half_extent_y, g);
+    let nz = if volume.half_extent_z > 0.0 {
+        axis_cells(volume.half_extent_z, g)
+    } else {
+        1
+    };
+    let origin = Point3::new(
+        volume.center.x - volume.half_extent_x,
+        volume.center.y - volume.half_extent_y,
+        if nz > 1 {
+            volume.center.z - volume.half_extent_z
+        } else {
+            volume.center.z
+        },
+    );
+    let k_wave = 4.0 * std::f64::consts::PI / config.wavelength;
+    let (ref_pos, ref_phase) = measurements[reference];
+    let wsum: f64 = weights.iter().sum::<f64>().max(f64::MIN_POSITIVE);
+    let mut values = vec![0.0; nx * ny * nz];
+    for kz in 0..nz {
+        let z = origin.z + kz as f64 * g;
+        for jy in 0..ny {
+            let y = origin.y + jy as f64 * g;
+            for ix in 0..nx {
+                let p = Point3::new(origin.x + ix as f64 * g, y, z);
+                let d_ref = p.distance(ref_pos);
+                let mut re = 0.0;
+                let mut im = 0.0;
+                for (m, &(pos, phase)) in measurements.iter().enumerate() {
+                    let expected = k_wave * (p.distance(pos) - d_ref);
+                    let angle = (phase - ref_phase) - expected;
+                    let w = weights[m];
+                    re += w * angle.cos();
+                    im += w * angle.sin();
+                }
+                values[(kz * ny + jy) * nx + ix] = (re * re + im * im).sqrt() / wsum;
+            }
+        }
+    }
+    Hologram {
+        origin,
+        grid_size: g,
+        nx,
+        ny,
+        nz,
+        values,
+    }
+}
+
+fn residual_weights(
+    measurements: &[(Point3, f64)],
+    reference: usize,
+    peak: Point3,
+    wavelength: f64,
+) -> Vec<f64> {
+    let k_wave = 4.0 * std::f64::consts::PI / wavelength;
+    let (ref_pos, ref_phase) = measurements[reference];
+    let d_ref = peak.distance(ref_pos);
+    let residuals: Vec<f64> = measurements
+        .iter()
+        .map(|&(pos, phase)| {
+            let expected = k_wave * (peak.distance(pos) - d_ref);
+            lion_linalg::stats::circular_diff(phase - ref_phase, expected)
+        })
+        .collect();
+    let sigma = lion_linalg::stats::std_dev(&residuals).unwrap_or(0.0);
+    if sigma < 1e-12 {
+        return vec![1.0; measurements.len()];
+    }
+    let mu = lion_linalg::stats::mean(&residuals).unwrap_or(0.0);
+    residuals
+        .iter()
+        .map(|r| {
+            let z = (r - mu) / sigma;
+            (-0.5 * z * z).exp()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{PI, TAU};
+
+    const LAMBDA: f64 = 299_792_458.0 / 920.625e6;
+
+    fn phase_of(target: Point3, p: Point3) -> f64 {
+        (4.0 * PI * target.distance(p) / LAMBDA).rem_euclid(TAU)
+    }
+
+    fn cfg(grid: f64) -> HologramConfig {
+        HologramConfig {
+            grid_size: grid,
+            wavelength: LAMBDA,
+            augmented: true,
+        }
+    }
+
+    fn circular_measurements(target: Point3, n: usize) -> Vec<(Point3, f64)> {
+        (0..n)
+            .map(|i| {
+                let a = i as f64 * TAU / n as f64;
+                let p = Point3::new(0.3 * a.cos(), 0.3 * a.sin(), 0.0);
+                (p, phase_of(target, p))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn peak_lands_on_target_2d() {
+        let target = Point3::new(0.5, 0.5, 0.0);
+        let m = circular_measurements(target, 60);
+        let volume = SearchVolume::square_2d(Point3::new(0.5, 0.5, 0.0), 0.05);
+        let (_, est) = build_hologram(&m, volume, &cfg(0.002)).unwrap();
+        assert!(
+            est.position.distance(target) <= 0.003,
+            "peak at {}, error {}",
+            est.position,
+            est.position.distance(target)
+        );
+        assert!(est.likelihood > 0.99);
+        assert_eq!(est.measurements, 60);
+    }
+
+    #[test]
+    fn likelihood_is_normalized() {
+        let target = Point3::new(0.4, 0.6, 0.0);
+        let m = circular_measurements(target, 30);
+        let volume = SearchVolume::square_2d(Point3::new(0.4, 0.6, 0.0), 0.03);
+        let (holo, est) = build_hologram(&m, volume, &cfg(0.003)).unwrap();
+        assert!(est.likelihood <= 1.0 + 1e-9);
+        assert!(holo
+            .values()
+            .iter()
+            .all(|&v| (0.0..=1.0 + 1e-9).contains(&v)));
+    }
+
+    #[test]
+    fn grid_geometry() {
+        let target = Point3::new(0.0, 0.5, 0.0);
+        let m = circular_measurements(target, 10);
+        let volume = SearchVolume::square_2d(Point3::new(0.0, 0.5, 0.0), 0.05);
+        let (holo, _) = build_hologram(&m, volume, &cfg(0.01)).unwrap();
+        let (nx, ny, nz) = holo.dimensions();
+        assert_eq!((nx, ny, nz), (11, 11, 1));
+        assert_eq!(holo.cell_count(), 121);
+        // Corners are at center ± half extent.
+        let c0 = holo.cell_position(0, 0, 0);
+        assert!((c0.x + 0.05).abs() < 1e-12);
+        assert!((c0.y - 0.45).abs() < 1e-12);
+        let c_end = holo.cell_position(10, 10, 0);
+        assert!((c_end.x - 0.05).abs() < 1e-12);
+        assert!(holo.value(0, 0, 0).is_some());
+        assert!(holo.value(11, 0, 0).is_none());
+    }
+
+    #[test]
+    fn hologram_3d_search() {
+        let target = Point3::new(0.05, 0.8, 0.1);
+        // Two-line scan in 3D (z = 0 and z = 0.2).
+        let mut m = Vec::new();
+        for i in 0..60 {
+            let x = -0.3 + i as f64 * 0.01;
+            for z in [0.0, 0.2] {
+                let p = Point3::new(x, 0.0, z);
+                m.push((p, phase_of(target, p)));
+            }
+        }
+        let volume = SearchVolume::cube_3d(Point3::new(0.05, 0.8, 0.1), 0.03);
+        let (holo, est) = build_hologram(&m, volume, &cfg(0.005)).unwrap();
+        assert_eq!(holo.dimensions().2, 13);
+        assert!(
+            est.position.distance(target) <= 0.01,
+            "error {}",
+            est.position.distance(target)
+        );
+    }
+
+    #[test]
+    fn augmentation_counts_double_cells() {
+        let target = Point3::new(0.3, 0.4, 0.0);
+        let m = circular_measurements(target, 20);
+        let volume = SearchVolume::square_2d(target, 0.02);
+        let plain = HologramConfig {
+            augmented: false,
+            ..cfg(0.004)
+        };
+        let (_, e1) = build_hologram(&m, volume, &plain).unwrap();
+        let (_, e2) = build_hologram(&m, volume, &cfg(0.004)).unwrap();
+        assert_eq!(e2.cells_evaluated, 2 * e1.cells_evaluated);
+    }
+
+    #[test]
+    fn offsets_cancel_in_differential() {
+        // A constant hardware offset must not move the peak.
+        let target = Point3::new(0.45, 0.55, 0.0);
+        let m: Vec<(Point3, f64)> = circular_measurements(target, 40)
+            .into_iter()
+            .map(|(p, t)| (p, (t + 2.9).rem_euclid(TAU)))
+            .collect();
+        let volume = SearchVolume::square_2d(target, 0.03);
+        let (_, est) = build_hologram(&m, volume, &cfg(0.003)).unwrap();
+        assert!(est.position.distance(target) <= 0.005);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let target = Point3::new(0.0, 0.5, 0.0);
+        let m = circular_measurements(target, 10);
+        let volume = SearchVolume::square_2d(target, 0.05);
+        assert!(matches!(
+            build_hologram(&m[..1], volume, &cfg(0.01)),
+            Err(BaselineError::TooFewMeasurements { .. })
+        ));
+        let mut bad = cfg(0.01);
+        bad.grid_size = 0.0;
+        assert!(build_hologram(&m, volume, &bad).is_err());
+        let mut bad = cfg(0.01);
+        bad.wavelength = -1.0;
+        assert!(build_hologram(&m, volume, &bad).is_err());
+        let bad_vol = SearchVolume {
+            half_extent_x: 0.0,
+            ..volume
+        };
+        assert!(build_hologram(&m, bad_vol, &cfg(0.01)).is_err());
+        let mut nan = m.clone();
+        nan[0].1 = f64::NAN;
+        assert!(matches!(
+            build_hologram(&nan, volume, &cfg(0.01)),
+            Err(BaselineError::NonFiniteInput { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn locate_matches_build() {
+        let target = Point3::new(0.2, 0.7, 0.0);
+        let m = circular_measurements(target, 30);
+        let volume = SearchVolume::square_2d(target, 0.02);
+        let e1 = locate(&m, volume, &cfg(0.004)).unwrap();
+        let (_, e2) = build_hologram(&m, volume, &cfg(0.004)).unwrap();
+        assert_eq!(e1, e2);
+    }
+}

@@ -1,0 +1,148 @@
+//! # lion-baselines
+//!
+//! Comparison methods for the LION reproduction (ICDCS 2022):
+//!
+//! - [`hologram`] — Tagoram's **Differential Augmented Hologram (DAH)**
+//!   [paper ref 2]: grid search over the surveillance area scoring each
+//!   cell by phase-difference likelihood. The accuracy yardstick the paper
+//!   compares LION against in Figs. 6, 9, 13, 14 — and the computational
+//!   heavyweight that motivates LION's linear model.
+//! - [`hyperbola`] — the TDoA family [paper refs 6, 14–19]: pairwise
+//!   distance differences define hyperbolas; the target is found by
+//!   non-linear least squares (Levenberg–Marquardt here), demonstrating
+//!   the "seconds to solve lots of quadratic equations" cost the paper
+//!   cites.
+//! - [`parabola`] — the parabola fit [paper ref 8]: for a *linear* scan,
+//!   the unwrapped phase is approximately quadratic in the scan coordinate
+//!   near the closest approach; vertex and curvature give a fast 2D
+//!   estimate, but the method is restricted to linear trajectories and 2D.
+//! - [`tagspin`] — the rotating-tag harmonic fit [paper ref 7]: a
+//!   circular scan's unwrapped phase is a Fourier series in the rotation
+//!   angle (first harmonic = azimuth, second = range), fast but locked to
+//!   circular trajectories.
+//! - [`multi_antenna`] — the differential hologram across multiple static
+//!   antennas used in the paper's case study (Figs. 19–20), where phase
+//!   calibration shows its value.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hologram;
+pub mod hyperbola;
+pub mod multi_antenna;
+pub mod parabola;
+pub mod refine;
+pub mod tagspin;
+
+pub use hologram::{Hologram, HologramConfig, HologramEstimate, SearchVolume};
+pub use hyperbola::{HyperbolaConfig, HyperbolaEstimate};
+pub use multi_antenna::{AntennaReading, MultiAntennaConfig};
+pub use parabola::{ParabolaConfig, ParabolaEstimate};
+pub use refine::{locate_refined, RefineConfig};
+pub use tagspin::{TagspinConfig, TagspinEstimate};
+
+/// Errors produced by the baseline implementations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BaselineError {
+    /// Not enough measurements for the method.
+    TooFewMeasurements {
+        /// Measurements supplied.
+        got: usize,
+        /// Minimum required.
+        needed: usize,
+    },
+    /// A parameter was invalid (grid size, search extent, ...).
+    InvalidParameter {
+        /// The parameter name.
+        parameter: &'static str,
+        /// Display of the offending value.
+        found: String,
+    },
+    /// Input contained NaN/inf.
+    NonFiniteInput {
+        /// Index of the offending sample.
+        index: usize,
+    },
+    /// The method's geometric preconditions were violated (e.g. parabola
+    /// fit on a non-linear trajectory).
+    UnsupportedGeometry {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// An underlying numeric failure.
+    Numeric(lion_linalg::LinalgError),
+    /// A preprocessing failure from the core pipeline.
+    Core(lion_core::CoreError),
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::TooFewMeasurements { got, needed } => {
+                write!(f, "too few measurements: got {got}, need {needed}")
+            }
+            BaselineError::InvalidParameter { parameter, found } => {
+                write!(f, "invalid parameter {parameter}: {found}")
+            }
+            BaselineError::NonFiniteInput { index } => {
+                write!(f, "non-finite input at index {index}")
+            }
+            BaselineError::UnsupportedGeometry { detail } => {
+                write!(f, "unsupported geometry: {detail}")
+            }
+            BaselineError::Numeric(e) => write!(f, "numeric failure: {e}"),
+            BaselineError::Core(e) => write!(f, "preprocessing failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BaselineError::Numeric(e) => Some(e),
+            BaselineError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<lion_linalg::LinalgError> for BaselineError {
+    fn from(e: lion_linalg::LinalgError) -> Self {
+        BaselineError::Numeric(e)
+    }
+}
+
+impl From<lion_core::CoreError> for BaselineError {
+    fn from(e: lion_core::CoreError) -> Self {
+        BaselineError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        let errors: Vec<BaselineError> = vec![
+            BaselineError::TooFewMeasurements { got: 1, needed: 3 },
+            BaselineError::InvalidParameter {
+                parameter: "grid",
+                found: "-1".into(),
+            },
+            BaselineError::NonFiniteInput { index: 0 },
+            BaselineError::UnsupportedGeometry {
+                detail: "circular scan".into(),
+            },
+            BaselineError::Numeric(lion_linalg::LinalgError::Singular),
+            BaselineError::Core(lion_core::CoreError::NoPairs),
+        ];
+        for e in &errors {
+            assert!(!e.to_string().is_empty());
+        }
+        use std::error::Error;
+        assert!(errors[4].source().is_some());
+        assert!(errors[0].source().is_none());
+    }
+}

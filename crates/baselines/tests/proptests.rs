@@ -1,0 +1,124 @@
+//! Property-based tests for the baseline localizers.
+
+use proptest::prelude::*;
+use std::f64::consts::{PI, TAU};
+
+use lion_baselines::hologram::{self, HologramConfig, SearchVolume};
+use lion_baselines::parabola::{self, ParabolaConfig};
+use lion_baselines::tagspin::{self, TagspinConfig};
+use lion_geom::Point3;
+
+const LAMBDA: f64 = 299_792_458.0 / 920.625e6;
+
+fn phase_of(target: Point3, p: Point3) -> f64 {
+    (4.0 * PI * target.distance(p) / LAMBDA).rem_euclid(TAU)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn hologram_peak_stays_inside_the_volume_and_finds_truth(
+        tx in -0.3_f64..0.3,
+        ty in 0.5_f64..1.0,
+    ) {
+        let target = Point3::new(tx, ty, 0.0);
+        let m: Vec<(Point3, f64)> = (0..40)
+            .map(|i| {
+                let a = i as f64 * TAU / 40.0;
+                let p = Point3::new(0.3 * a.cos(), 0.3 * a.sin(), 0.0);
+                (p, phase_of(target, p))
+            })
+            .collect();
+        let volume = SearchVolume::square_2d(target, 0.04);
+        let cfg = HologramConfig {
+            grid_size: 0.004,
+            wavelength: LAMBDA,
+            augmented: true,
+        };
+        let est = hologram::locate(&m, volume, &cfg).expect("locates");
+        prop_assert!((est.position.x - target.x).abs() <= 0.04 + 1e-9);
+        prop_assert!((est.position.y - target.y).abs() <= 0.04 + 1e-9);
+        prop_assert!(est.position.distance(target) < 0.008, "error {}", est.position.distance(target));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&est.likelihood));
+    }
+
+    #[test]
+    fn hologram_likelihood_invariant_to_global_phase_shift(
+        tx in -0.2_f64..0.2,
+        shift in 0.0_f64..TAU,
+    ) {
+        let target = Point3::new(tx, 0.7, 0.0);
+        let m: Vec<(Point3, f64)> = (0..30)
+            .map(|i| {
+                let a = i as f64 * TAU / 30.0;
+                let p = Point3::new(0.25 * a.cos(), 0.25 * a.sin(), 0.0);
+                (p, phase_of(target, p))
+            })
+            .collect();
+        let shifted: Vec<(Point3, f64)> = m
+            .iter()
+            .map(|&(p, t)| (p, (t + shift).rem_euclid(TAU)))
+            .collect();
+        let volume = SearchVolume::square_2d(target, 0.03);
+        let cfg = HologramConfig {
+            grid_size: 0.005,
+            wavelength: LAMBDA,
+            augmented: false,
+        };
+        let a = hologram::locate(&m, volume, &cfg).expect("locates");
+        let b = hologram::locate(&shifted, volume, &cfg).expect("locates");
+        // Differential scoring: a constant offset moves nothing.
+        prop_assert!(a.position.distance(b.position) < 1e-9);
+        prop_assert!((a.likelihood - b.likelihood).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parabola_vertex_matches_target_in_small_angle_regime(
+        x0 in -0.05_f64..0.05,
+        depth in 0.8_f64..1.5,
+    ) {
+        let target = Point3::new(x0, depth, 0.0);
+        let m: Vec<(Point3, f64)> = (0..120)
+            .map(|i| {
+                let p = Point3::new(-0.12 + i as f64 * 0.002, 0.0, 0.0);
+                (p, phase_of(target, p))
+            })
+            .collect();
+        let cfg = ParabolaConfig {
+            smoothing_window: 1,
+            ..ParabolaConfig::default()
+        };
+        let est = parabola::locate(&m, &cfg).expect("locates");
+        prop_assert!((est.vertex_x - x0).abs() < 0.004, "vertex {} vs {}", est.vertex_x, x0);
+        prop_assert!(
+            (est.perpendicular_distance - depth).abs() < 0.08 * depth,
+            "depth {} vs {}",
+            est.perpendicular_distance,
+            depth
+        );
+    }
+
+    #[test]
+    fn tagspin_azimuth_tracks_target_direction(
+        phi in 0.0_f64..TAU,
+        range in 0.6_f64..1.2,
+    ) {
+        let target = Point3::new(range * phi.cos(), range * phi.sin(), 0.0);
+        let m: Vec<(Point3, f64)> = (0..360)
+            .map(|i| {
+                let a = i as f64 * TAU / 360.0;
+                let p = Point3::new(0.15 * a.cos(), 0.15 * a.sin(), 0.0);
+                (p, phase_of(target, p))
+            })
+            .collect();
+        let cfg = TagspinConfig {
+            smoothing_window: 1,
+            ..TagspinConfig::default()
+        };
+        let est = tagspin::locate(&m, &cfg).expect("locates");
+        let d = lion_linalg::stats::circular_diff(est.azimuth, phi).abs();
+        prop_assert!(d < 0.02, "azimuth error {d} at phi {phi}");
+        prop_assert!((est.harmonic_consistency - 1.0).abs() < 0.1);
+    }
+}

@@ -1,0 +1,89 @@
+//! Criterion bench: DAH hologram build cost vs grid size and dimension —
+//! the quadratic/cubic wall that motivates LION (paper Figs. 4 and 13b).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lion_baselines::hologram::{build_hologram, HologramConfig, SearchVolume};
+use lion_bench::rig;
+use lion_geom::Point3;
+
+fn measurements(n: usize) -> Vec<(Point3, f64)> {
+    let target = Point3::new(0.0, 0.8, 0.0);
+    (0..n)
+        .map(|i| {
+            let a = i as f64 * std::f64::consts::TAU / n as f64;
+            let p = Point3::new(0.3 * a.cos(), 0.3 * a.sin(), 0.0);
+            let phase = (4.0 * std::f64::consts::PI * target.distance(p) / rig::LAMBDA)
+                .rem_euclid(std::f64::consts::TAU);
+            (p, phase)
+        })
+        .collect()
+}
+
+fn bench_hologram(c: &mut Criterion) {
+    let m = measurements(30);
+    let target = Point3::new(0.0, 0.8, 0.0);
+
+    // 2D: cost scales with 1/grid² (paper Fig. 4: ~0.8 s at 1 mm).
+    let mut group = c.benchmark_group("hologram_2d_grid");
+    for &grid_mm in &[4.0_f64, 2.0, 1.0] {
+        let cfg = HologramConfig {
+            grid_size: grid_mm / 1000.0,
+            wavelength: rig::LAMBDA,
+            augmented: true,
+        };
+        let volume = SearchVolume::square_2d(target, 0.1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{grid_mm}mm")),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| build_hologram(std::hint::black_box(&m), volume, cfg).expect("builds"))
+            },
+        );
+    }
+    group.finish();
+
+    // 3D: the (20 cm)³ volume of paper Fig. 13b at coarser grids (1 mm
+    // takes tens of seconds — measured once in the harness, not here).
+    let mut group = c.benchmark_group("hologram_3d_grid");
+    group.sample_size(10);
+    for &grid_mm in &[10.0_f64, 5.0] {
+        let cfg = HologramConfig {
+            grid_size: grid_mm / 1000.0,
+            wavelength: rig::LAMBDA,
+            augmented: true,
+        };
+        let volume = SearchVolume::cube_3d(target, 0.1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{grid_mm}mm")),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| build_hologram(std::hint::black_box(&m), volume, cfg).expect("builds"))
+            },
+        );
+    }
+    group.finish();
+
+    // Cost also scales linearly with the measurement count.
+    let mut group = c.benchmark_group("hologram_2d_measurements");
+    for &n in &[10usize, 30, 100] {
+        let m = measurements(n);
+        let cfg = HologramConfig {
+            grid_size: 0.002,
+            wavelength: rig::LAMBDA,
+            augmented: false,
+        };
+        let volume = SearchVolume::square_2d(target, 0.1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| build_hologram(std::hint::black_box(m), volume, &cfg).expect("builds"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_hologram
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion bench: pair-selection strategies — the ablation's cost side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lion_bench::rig;
+use lion_core::PairStrategy;
+use lion_geom::{Point3, ThreeLineScan, Trajectory};
+
+fn line_positions(n: usize) -> Vec<Point3> {
+    (0..n)
+        .map(|i| Point3::new(i as f64 * 0.001, 0.0, 0.0))
+        .collect()
+}
+
+fn scan_positions() -> (ThreeLineScan, Vec<Point3>) {
+    let scan = ThreeLineScan::new(-0.4, 0.4, 0.2, 0.2).expect("valid");
+    let positions = scan
+        .to_path()
+        .sample(rig::TAG_SPEED, rig::READ_RATE)
+        .into_iter()
+        .map(|w| w.position)
+        .collect();
+    (scan, positions)
+}
+
+fn bench_pairs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interval_pairs");
+    for &n in &[1_000usize, 5_000, 20_000] {
+        let positions = line_positions(n);
+        let strategy = PairStrategy::Interval { interval: 0.2 };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &positions, |b, p| {
+            b.iter(|| strategy.pairs(std::hint::black_box(p)))
+        });
+    }
+    group.finish();
+
+    let (scan, positions) = scan_positions();
+    let mut group = c.benchmark_group("strategies_on_three_line_scan");
+    let strategies: Vec<(&str, PairStrategy)> = vec![
+        ("interval", PairStrategy::Interval { interval: 0.2 }),
+        (
+            "structured",
+            PairStrategy::StructuredScan {
+                scan,
+                x_interval: 0.2,
+                tolerance: 0.003,
+            },
+        ),
+        (
+            "all_capped",
+            PairStrategy::AllWithMinSeparation {
+                min_separation: 0.18,
+                max_pairs: 4000,
+            },
+        ),
+    ];
+    for (name, strategy) in strategies {
+        group.bench_function(name, |b| {
+            b.iter(|| strategy.pairs(std::hint::black_box(&positions)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_pairs
+}
+criterion_main!(benches);

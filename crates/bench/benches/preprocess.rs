@@ -1,0 +1,63 @@
+//! Criterion bench: preprocessing throughput — unwrapping and smoothing
+//! scale linearly and are never the bottleneck.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lion_bench::rig;
+use lion_core::preprocess::{unwrap_phases, PhaseProfile};
+use lion_geom::Point3;
+
+fn wrapped_ramp(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| (0.12 * i as f64).rem_euclid(std::f64::consts::TAU))
+        .collect()
+}
+
+fn measurements(n: usize) -> Vec<(Point3, f64)> {
+    let phases = wrapped_ramp(n);
+    phases
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (Point3::new(i as f64 * 0.001, 0.0, 0.0), p))
+        .collect()
+}
+
+fn bench_preprocess(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unwrap");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let wrapped = wrapped_ramp(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &wrapped, |b, w| {
+            b.iter(|| unwrap_phases(std::hint::black_box(w)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("profile_build_and_smooth");
+    for &n in &[1_000usize, 10_000] {
+        let m = measurements(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| {
+                let mut p = PhaseProfile::from_wrapped(std::hint::black_box(m), rig::LAMBDA)
+                    .expect("valid");
+                p.smooth(9);
+                p
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("delta_distances");
+    let m = measurements(10_000);
+    let profile = PhaseProfile::from_wrapped(&m, rig::LAMBDA).expect("valid");
+    group.bench_function("10k", |b| {
+        b.iter(|| std::hint::black_box(&profile).delta_distances(5_000))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_preprocess
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! CLI entry point: regenerates the paper's figures.
+//!
+//! ```bash
+//! run_experiments                      # list available experiments
+//! run_experiments all                  # run everything, in paper order
+//! run_experiments fig13a fig15         # run a subset
+//! run_experiments --seed 42 all        # change the RNG seed
+//! run_experiments --output results.txt all   # also write to a file
+//! ```
+
+use std::process::ExitCode;
+
+use lion_bench::{available_experiments, run_experiment};
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 2022u64; // the paper's year, for flavor
+    if let Some(pos) = args.iter().position(|a| a == "--seed") {
+        if pos + 1 >= args.len() {
+            eprintln!("--seed requires a value");
+            return ExitCode::FAILURE;
+        }
+        match args[pos + 1].parse() {
+            Ok(s) => seed = s,
+            Err(_) => {
+                eprintln!("invalid seed: {}", args[pos + 1]);
+                return ExitCode::FAILURE;
+            }
+        }
+        args.drain(pos..=pos + 1);
+    }
+    let mut output: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--output") {
+        if pos + 1 >= args.len() {
+            eprintln!("--output requires a path");
+            return ExitCode::FAILURE;
+        }
+        output = Some(args[pos + 1].clone());
+        args.drain(pos..=pos + 1);
+    }
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: run_experiments [--seed N] <experiment>... | all");
+        println!("available experiments:");
+        for id in available_experiments() {
+            println!("  {id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let ids: Vec<String> = if args.iter().any(|a| a == "all") {
+        available_experiments()
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        args
+    };
+    let mut failed = false;
+    let mut collected = String::new();
+    for id in &ids {
+        match run_experiment(id, seed) {
+            Some(report) => {
+                println!("{report}");
+                if output.is_some() {
+                    collected.push_str(&report.to_string());
+                    collected.push('\n');
+                }
+            }
+            None => {
+                eprintln!("unknown experiment: {id}");
+                failed = true;
+            }
+        }
+    }
+    if let Some(path) = output {
+        if let Err(e) = std::fs::write(&path, collected) {
+            eprintln!("failed to write {path}: {e}");
+            failed = true;
+        } else {
+            println!("(results written to {path})");
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

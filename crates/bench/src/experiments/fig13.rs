@@ -1,0 +1,427 @@
+//! Fig. 13 — the headline result: overall accuracy (a) and time cost (b).
+//!
+//! Paper setup (Sec. V-B): an antenna is phase-calibrated in advance, then
+//! used to locate the *initial position of a moving tag*. Localizing a tag
+//! from one antenna is the mirror image of localizing an antenna from one
+//! tag: with the tag's trajectory shape known, the measurements in the
+//! tag-start frame `δᵢ = pᵢ − p₀` constrain the antenna's position
+//! `q = A − p₀` in that frame; LION solves for `q` and `p₀ = A − q`
+//! follows. Using the *physical* center for `A` instead of the calibrated
+//! phase center shifts `p₀` by exactly the hidden displacement — which is
+//! why the paper sees a ~6× (2D) / ~2.1× (3D) accuracy gap.
+
+use lion_baselines::hologram::{self, HologramConfig, SearchVolume};
+use lion_core::{Calibration, Calibrator, Localizer2d, Localizer3d, PairStrategy};
+use lion_geom::{LineSegment, Path, Point3, ThreeLineScan};
+use lion_sim::{Antenna, Scenario};
+
+use crate::experiments::ExperimentReport;
+use crate::rig;
+
+/// Mean distance errors (meters) for each method/configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig13Accuracy {
+    /// LION 2D with calibration.
+    pub lion_2d_cal: f64,
+    /// LION 2D without calibration (physical center).
+    pub lion_2d_uncal: f64,
+    /// LION 3D with calibration.
+    pub lion_3d_cal: f64,
+    /// LION 3D without calibration.
+    pub lion_3d_uncal: f64,
+    /// DAH 2D with calibration.
+    pub dah_2d_cal: f64,
+    /// DAH 3D with calibration.
+    pub dah_3d_cal: f64,
+}
+
+/// Wall-clock seconds per localization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig13Timing {
+    /// LION 2D solve.
+    pub lion_2d: f64,
+    /// DAH 2D, (20 cm)² at the given grid.
+    pub dah_2d: f64,
+    /// LION 3D solve.
+    pub lion_3d: f64,
+    /// DAH 3D, (20 cm)³ at the given grid.
+    pub dah_3d: f64,
+    /// Grid size used for DAH (meters).
+    pub dah_grid: f64,
+}
+
+/// Calibrates a rig antenna at `position` with a three-line scan (paper
+/// Fig. 11). The 2D experiments mount the antenna at tag height (z = 0,
+/// "the tag and the antenna are at the same height"); the 3D experiments
+/// raise it by 10 cm.
+pub fn calibrate_rig_at(seed: u64, position: Point3) -> (Antenna, Calibration) {
+    let antenna = rig::paper_antenna(position);
+    let physical = antenna.physical_center();
+    let mut scenario = rig::paper_scenario(antenna.clone(), seed);
+    let scan = ThreeLineScan::new(-0.4, 0.4, 0.2, 0.2).expect("valid scan");
+    let m = scenario
+        .scan(&scan.to_path(), rig::TAG_SPEED, rig::READ_RATE)
+        .expect("valid scan")
+        .to_measurements();
+    let cfg = lion_core::LocalizerConfig {
+        pair_strategy: PairStrategy::StructuredScan {
+            scan,
+            x_interval: 0.2,
+            tolerance: 0.003,
+        },
+        ..rig::paper_localizer_config(physical)
+    };
+    let calibration = Calibrator::new(cfg)
+        .with_adaptive(None)
+        .calibrate(&m, physical)
+        .expect("calibration succeeds");
+    (antenna, calibration)
+}
+
+/// One 2D tag-localization trial: returns `(lion_error_m, dah_error_m)`
+/// for the given assumed antenna position.
+fn locate_tag_2d(
+    scenario: &mut Scenario,
+    antenna_used: Point3,
+    p0: Point3,
+    with_dah: bool,
+    dah_grid: f64,
+) -> (f64, Option<f64>) {
+    let track = LineSegment::new(p0, Point3::new(p0.x + 0.6, p0.y, p0.z)).expect("valid");
+    let trace = scenario
+        .scan(&track, rig::TAG_SPEED, rig::READ_RATE)
+        .expect("valid scan");
+    // Known trajectory *shape*: positions relative to the unknown start.
+    let rel: Vec<(Point3, f64)> = trace
+        .samples()
+        .iter()
+        .map(|s| {
+            (
+                Point3::new(
+                    s.position.x - p0.x,
+                    s.position.y - p0.y,
+                    s.position.z - p0.z,
+                ),
+                s.phase,
+            )
+        })
+        .collect();
+    let mut cfg = rig::paper_localizer_config(Point3::new(0.3, 0.8, 0.0));
+    cfg.side_hint = Some(Point3::new(0.3, 0.8, 0.0)); // antenna side of the track
+    let lion_err = match Localizer2d::new(cfg).locate(&rel) {
+        Ok(est) => {
+            let p0_est = Point3::new(
+                antenna_used.x - est.position.x,
+                antenna_used.y - est.position.y,
+                p0.z,
+            );
+            p0_est.to_xy().distance(p0.to_xy())
+        }
+        Err(_) => f64::NAN,
+    };
+    let dah_err = if with_dah {
+        let dec: Vec<(Point3, f64)> = rel.iter().step_by(20).copied().collect();
+        // The search region must cover q = A - p0 for every trial start
+        // position (q_x spans about [-0.05, 0.35] here).
+        let volume = SearchVolume::square_2d(Point3::new(0.15, 0.8, 0.0), 0.35);
+        let cfg = HologramConfig {
+            grid_size: dah_grid,
+            wavelength: rig::LAMBDA,
+            augmented: true,
+        };
+        hologram::locate(&dec, volume, &cfg).ok().map(|est| {
+            let p0_est = Point3::new(
+                antenna_used.x - est.position.x,
+                antenna_used.y - est.position.y,
+                p0.z,
+            );
+            p0_est.to_xy().distance(p0.to_xy())
+        })
+    } else {
+        None
+    };
+    (lion_err, dah_err)
+}
+
+/// One 3D trial with the two-line relative trajectory (depth interval
+/// 0.2 m); returns `(lion_error_m, dah_error_m)`.
+fn locate_tag_3d(
+    scenario: &mut Scenario,
+    antenna_used: Point3,
+    p0: Point3,
+    with_dah: bool,
+    dah_grid: f64,
+) -> (f64, Option<f64>) {
+    // Two x-lines at y-offset 0 and −0.2 (relative), serpentine-connected.
+    let l1 = LineSegment::new(p0, Point3::new(p0.x + 0.6, p0.y, p0.z)).expect("valid");
+    let l2 = LineSegment::new(
+        Point3::new(p0.x + 0.6, p0.y - 0.2, p0.z),
+        Point3::new(p0.x, p0.y - 0.2, p0.z),
+    )
+    .expect("valid");
+    let mut path = Path::new();
+    path.push_line(l1).connect_to(l2.start()).push_line(l2);
+    let trace = scenario
+        .scan(&path, rig::TAG_SPEED, rig::READ_RATE)
+        .expect("valid scan");
+    let rel: Vec<(Point3, f64)> = trace
+        .samples()
+        .iter()
+        .map(|s| {
+            (
+                Point3::new(
+                    s.position.x - p0.x,
+                    s.position.y - p0.y,
+                    s.position.z - p0.z,
+                ),
+                s.phase,
+            )
+        })
+        .collect();
+    let hint = Point3::new(0.3, 0.8, 0.1);
+    let mut cfg = rig::paper_localizer_config(hint);
+    cfg.side_hint = Some(hint);
+    let lion_err = match Localizer3d::new(cfg).locate(&rel) {
+        Ok(est) => {
+            let p0_est = Point3::new(
+                antenna_used.x - est.position.x,
+                antenna_used.y - est.position.y,
+                antenna_used.z - est.position.z,
+            );
+            p0_est.distance(p0)
+        }
+        Err(_) => f64::NAN,
+    };
+    let dah_err = if with_dah {
+        let dec: Vec<(Point3, f64)> = rel.iter().step_by(20).copied().collect();
+        let volume = SearchVolume {
+            center: Point3::new(0.15, 0.8, 0.1),
+            half_extent_x: 0.35,
+            half_extent_y: 0.12,
+            half_extent_z: 0.08,
+        };
+        let cfg = HologramConfig {
+            grid_size: dah_grid,
+            wavelength: rig::LAMBDA,
+            augmented: true,
+        };
+        hologram::locate(&dec, volume, &cfg).ok().map(|est| {
+            let p0_est = Point3::new(
+                antenna_used.x - est.position.x,
+                antenna_used.y - est.position.y,
+                antenna_used.z - est.position.z,
+            );
+            p0_est.distance(p0)
+        })
+    } else {
+        None
+    };
+    (lion_err, dah_err)
+}
+
+/// Calibrates the default 2D rig antenna (z = 0).
+pub fn calibrate_rig(seed: u64) -> (Antenna, Calibration) {
+    calibrate_rig_at(seed, Point3::new(0.0, 0.8, 0.0))
+}
+
+/// Runs the accuracy comparison with `trials` tag start positions.
+pub fn run_accuracy(seed: u64, trials: usize, dah_grid: f64) -> Fig13Accuracy {
+    let (antenna_2d, cal_2d) = calibrate_rig_at(seed, Point3::new(0.0, 0.8, 0.0));
+    let (antenna_3d, cal_3d) = calibrate_rig_at(seed ^ 0x77, Point3::new(0.0, 0.8, 0.1));
+    let physical_2d = antenna_2d.physical_center();
+    let calibrated_2d = cal_2d.phase_center;
+    let physical_3d = antenna_3d.physical_center();
+    let calibrated_3d = cal_3d.phase_center;
+    let mut scenario = rig::paper_scenario(antenna_2d, seed ^ 0xABCD);
+    let mut scenario_3d = rig::paper_scenario(antenna_3d, seed ^ 0xBCDE);
+
+    let mut acc = Fig13Accuracy {
+        lion_2d_cal: 0.0,
+        lion_2d_uncal: 0.0,
+        lion_3d_cal: 0.0,
+        lion_3d_uncal: 0.0,
+        dah_2d_cal: 0.0,
+        dah_3d_cal: 0.0,
+    };
+    let mut counts = [0usize; 6];
+    for t in 0..trials {
+        // Start positions spread along the track (tag plane z = 0).
+        let p0 = Point3::new(-0.35 + 0.1 * (t % 5) as f64, 0.0, 0.0);
+        let (l_cal, d_cal) = locate_tag_2d(&mut scenario, calibrated_2d, p0, true, dah_grid);
+        let (l_unc, _) = locate_tag_2d(&mut scenario, physical_2d, p0, false, dah_grid);
+        let (l3_cal, d3_cal) =
+            locate_tag_3d(&mut scenario_3d, calibrated_3d, p0, true, dah_grid * 2.0);
+        let (l3_unc, _) = locate_tag_3d(&mut scenario_3d, physical_3d, p0, false, dah_grid);
+        for (i, v) in [
+            l_cal,
+            l_unc,
+            l3_cal,
+            l3_unc,
+            d_cal.unwrap_or(f64::NAN),
+            d3_cal.unwrap_or(f64::NAN),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            if v.is_finite() {
+                counts[i] += 1;
+                match i {
+                    0 => acc.lion_2d_cal += v,
+                    1 => acc.lion_2d_uncal += v,
+                    2 => acc.lion_3d_cal += v,
+                    3 => acc.lion_3d_uncal += v,
+                    4 => acc.dah_2d_cal += v,
+                    _ => acc.dah_3d_cal += v,
+                }
+            }
+        }
+    }
+    let div = |sum: f64, n: usize| if n > 0 { sum / n as f64 } else { f64::NAN };
+    Fig13Accuracy {
+        lion_2d_cal: div(acc.lion_2d_cal, counts[0]),
+        lion_2d_uncal: div(acc.lion_2d_uncal, counts[1]),
+        lion_3d_cal: div(acc.lion_3d_cal, counts[2]),
+        lion_3d_uncal: div(acc.lion_3d_uncal, counts[3]),
+        dah_2d_cal: div(acc.dah_2d_cal, counts[4]),
+        dah_3d_cal: div(acc.dah_3d_cal, counts[5]),
+    }
+}
+
+/// Measures single-shot localization wall time for all four methods.
+pub fn run_timing(seed: u64, dah_grid: f64) -> Fig13Timing {
+    let (antenna_2d, cal_2d) = calibrate_rig_at(seed, Point3::new(0.0, 0.8, 0.0));
+    let (antenna_3d, cal_3d) = calibrate_rig_at(seed ^ 0x77, Point3::new(0.0, 0.8, 0.1));
+    let mut scenario = rig::paper_scenario(antenna_2d, seed ^ 0x1234);
+    let mut scenario_3d = rig::paper_scenario(antenna_3d, seed ^ 0x2345);
+    let p0 = Point3::new(-0.2, 0.0, 0.0);
+    let (_, lion_2d) =
+        rig::timed(|| locate_tag_2d(&mut scenario, cal_2d.phase_center, p0, false, dah_grid));
+    let (_, both_2d) =
+        rig::timed(|| locate_tag_2d(&mut scenario, cal_2d.phase_center, p0, true, dah_grid));
+    let (_, lion_3d) =
+        rig::timed(|| locate_tag_3d(&mut scenario_3d, cal_3d.phase_center, p0, false, dah_grid));
+    let (_, both_3d) =
+        rig::timed(|| locate_tag_3d(&mut scenario_3d, cal_3d.phase_center, p0, true, dah_grid));
+    Fig13Timing {
+        lion_2d,
+        dah_2d: (both_2d - lion_2d).max(0.0),
+        lion_3d,
+        dah_3d: (both_3d - lion_3d).max(0.0),
+        dah_grid,
+    }
+}
+
+/// Renders the accuracy report (Fig. 13a).
+pub fn report_accuracy(seed: u64) -> ExperimentReport {
+    let acc = run_accuracy(seed, 30, 0.002);
+    let mut r = ExperimentReport::new(
+        "fig13a",
+        "overall accuracy: calibration on/off, LION vs DAH (Sec. V-B)",
+    );
+    r.push(format!(
+        "LION 2D: calibrated {} | uncalibrated {} | improvement {:.1}x",
+        rig::cm(acc.lion_2d_cal),
+        rig::cm(acc.lion_2d_uncal),
+        acc.lion_2d_uncal / acc.lion_2d_cal
+    ));
+    r.push(format!(
+        "LION 3D: calibrated {} | uncalibrated {} | improvement {:.1}x",
+        rig::cm(acc.lion_3d_cal),
+        rig::cm(acc.lion_3d_uncal),
+        acc.lion_3d_uncal / acc.lion_3d_cal
+    ));
+    r.push(format!(
+        "calibrated LION vs DAH: 2D {} vs {} | 3D {} vs {}",
+        rig::cm(acc.lion_2d_cal),
+        rig::cm(acc.dah_2d_cal),
+        rig::cm(acc.lion_3d_cal),
+        rig::cm(acc.dah_3d_cal)
+    ));
+    r.push(
+        "paper: 6x (2D) and 2.1x (3D) improvement; LION 0.48/2.33 cm vs DAH 0.69/2.61 cm"
+            .to_string(),
+    );
+    r
+}
+
+/// Renders the timing report (Fig. 13b).
+pub fn report_timing(seed: u64) -> ExperimentReport {
+    let t = run_timing(seed, 0.001);
+    let mut r = ExperimentReport::new(
+        "fig13b",
+        "time cost per localization: LION vs DAH (Sec. V-B)",
+    );
+    r.push(format!(
+        "LION 2D {} | DAH 2D ((20cm)^2 @ {:.0} mm grid) {}",
+        rig::secs(t.lion_2d),
+        t.dah_grid * 1000.0,
+        rig::secs(t.dah_2d)
+    ));
+    r.push(format!(
+        "LION 3D {} | DAH 3D ((20cm)^3) {}",
+        rig::secs(t.lion_3d),
+        rig::secs(t.dah_3d)
+    ));
+    r.push(format!(
+        "speedup: 2D {:.0}x, 3D {:.0}x",
+        t.dah_2d / t.lion_2d.max(1e-9),
+        t.dah_3d / t.lion_3d.max(1e-9)
+    ));
+    r.push("paper: LION 0.02 s (2D) / 1.8 s (3D), DAH far slower especially in 3D".to_string());
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_recovers_center_under_noise() {
+        let (antenna, cal) = calibrate_rig(3);
+        let err = cal.phase_center.distance(antenna.phase_center());
+        assert!(err < 0.01, "calibration error {err}");
+        // The displacement found is close to the planted one.
+        let planted = antenna.phase_center_displacement();
+        assert!((cal.center_displacement - planted).norm() < 0.01);
+    }
+
+    #[test]
+    fn calibration_improves_2d_accuracy_severalfold() {
+        let acc = run_accuracy(5, 5, 0.004);
+        assert!(
+            acc.lion_2d_cal < acc.lion_2d_uncal,
+            "calibrated {} should beat uncalibrated {}",
+            acc.lion_2d_cal,
+            acc.lion_2d_uncal
+        );
+        // The uncalibrated error approximates the planted xy displacement.
+        let planted_xy =
+            (rig::DEFAULT_DISPLACEMENT.x.powi(2) + rig::DEFAULT_DISPLACEMENT.y.powi(2)).sqrt();
+        assert!(
+            (acc.lion_2d_uncal - planted_xy).abs() < 0.01,
+            "uncal {} vs displacement {}",
+            acc.lion_2d_uncal,
+            planted_xy
+        );
+        // Improvement is at least 2x even with few trials.
+        assert!(acc.lion_2d_uncal / acc.lion_2d_cal > 2.0);
+    }
+
+    #[test]
+    fn calibration_improves_3d_accuracy() {
+        let acc = run_accuracy(7, 4, 0.006);
+        assert!(acc.lion_3d_cal < acc.lion_3d_uncal);
+        assert!(
+            acc.lion_3d_cal < 0.04,
+            "3D calibrated error {}",
+            acc.lion_3d_cal
+        );
+    }
+
+    #[test]
+    fn lion_is_much_faster_than_dah() {
+        let t = run_timing(9, 0.004);
+        assert!(t.lion_2d < t.dah_2d, "2D: {} vs {}", t.lion_2d, t.dah_2d);
+        assert!(t.lion_3d < t.dah_3d, "3D: {} vs {}", t.lion_3d, t.dah_3d);
+    }
+}

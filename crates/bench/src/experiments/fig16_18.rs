@@ -1,0 +1,206 @@
+//! Figs. 16–18 — impact of scanning range and interval, and the residual
+//! signal that drives the adaptive parameter selection.
+//!
+//! Paper setup (Sec. V-E): tag on the x-axis at 0.8 m depth.
+//!
+//! - Range sweep (interval fixed at 25 cm): small ranges barely modulate
+//!   the phase (plane-wave regime → noisy), large ranges pull in off-beam
+//!   samples (multipath + weaker SNR). The |mean WLS residual| is smallest
+//!   where the distance error is smallest — the paper's justification for
+//!   residual-driven selection.
+//! - Interval sweep (range fixed at 80 cm): larger intervals enlarge the
+//!   pairwise phase difference relative to noise.
+
+use lion_core::{Localizer2d, PhaseProfile};
+use lion_geom::{LineSegment, Point3};
+
+use crate::experiments::ExperimentReport;
+use crate::rig;
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// The swept parameter value (meters).
+    pub value: f64,
+    /// Mean |WLS residual|.
+    pub mean_abs_residual: f64,
+    /// Mean distance error (meters).
+    pub mean_error: f64,
+}
+
+fn sweep(
+    seed: u64,
+    trials: usize,
+    settings: &[(f64, f64)], // (range, interval) per sweep point
+    label_by_range: bool,
+) -> Vec<SweepPoint> {
+    let antenna_pos = Point3::new(0.0, 0.8, 0.0);
+    // A narrower beam than the default so that samples beyond ~±0.4 m
+    // are visibly off-beam: their SNR drops and the (SNR-dependent) phase
+    // noise rises — the mechanism behind the paper's range sweet spot.
+    let antenna = lion_sim::Antenna::builder(antenna_pos)
+        .gain_exponent(6.0)
+        .boresight(lion_geom::Vec3::new(0.0, -1.0, 0.0))
+        .build();
+    let mut scenario = rig::indoor_scenario(antenna, seed);
+    // One long scan per trial, reused for every sweep point.
+    let track = LineSegment::along_x(-0.75, 0.75, 0.0, 0.0).expect("valid");
+    let mut traces = Vec::new();
+    for _ in 0..trials {
+        traces.push(
+            scenario
+                .scan(&track, rig::TAG_SPEED, rig::READ_RATE)
+                .expect("valid scan"),
+        );
+    }
+    settings
+        .iter()
+        .map(|&(range, interval)| {
+            let mut residuals = Vec::new();
+            let mut errors = Vec::new();
+            for trace in &traces {
+                let m = trace.to_measurements();
+                let mut cfg = rig::paper_localizer_config(antenna_pos);
+                cfg.pair_strategy = cfg.pair_strategy.with_interval(interval);
+                let profile = match PhaseProfile::from_wrapped(&m, rig::LAMBDA) {
+                    Ok(mut p) => {
+                        p.smooth(cfg.smoothing_window);
+                        p.restrict_x(-range / 2.0, range / 2.0)
+                    }
+                    Err(_) => continue,
+                };
+                if let Ok(est) = Localizer2d::new(cfg).locate_profile(&profile) {
+                    residuals.push(est.mean_residual.abs());
+                    errors.push(est.distance_error(antenna_pos));
+                }
+            }
+            SweepPoint {
+                value: if label_by_range { range } else { interval },
+                mean_abs_residual: rig::mean_std(&residuals).0,
+                mean_error: rig::mean_std(&errors).0,
+            }
+        })
+        .collect()
+}
+
+/// Runs the range sweep (Figs. 16–17): 0.6–1.1 m at 25 cm interval.
+pub fn run_range_sweep(seed: u64, trials: usize) -> Vec<SweepPoint> {
+    let settings: Vec<(f64, f64)> = (0..6).map(|i| (0.6 + 0.1 * i as f64, 0.25)).collect();
+    sweep(seed, trials, &settings, true)
+}
+
+/// Runs the interval sweep (Fig. 18): 0.10–0.35 m at 80 cm range.
+pub fn run_interval_sweep(seed: u64, trials: usize) -> Vec<SweepPoint> {
+    let settings: Vec<(f64, f64)> = (0..6).map(|i| (0.8, 0.10 + 0.05 * i as f64)).collect();
+    sweep(seed, trials, &settings, false)
+}
+
+/// Renders the range-sweep report (Figs. 16 & 17).
+pub fn report_range(seed: u64) -> ExperimentReport {
+    let points = run_range_sweep(seed, 20);
+    let mut r = ExperimentReport::new(
+        "fig16_17",
+        "scanning range sweep: |mean residual| tracks distance error (Sec. V-E)",
+    );
+    r.push("range | |mean residual| | mean error".to_string());
+    for p in &points {
+        r.push(format!(
+            "{:.1} m | {:9.5} | {}",
+            p.value,
+            p.mean_abs_residual,
+            rig::cm(p.mean_error)
+        ));
+    }
+    let best_res = points
+        .iter()
+        .min_by(|a, b| {
+            a.mean_abs_residual
+                .partial_cmp(&b.mean_abs_residual)
+                .expect("residuals are finite")
+        })
+        .map(|p| p.value);
+    let best_err = points
+        .iter()
+        .min_by(|a, b| a.mean_error.partial_cmp(&b.mean_error).expect("errors are finite"))
+        .map(|p| p.value);
+    r.push(format!(
+        "range with smallest |residual|: {best_res:?} m; with smallest error: {best_err:?} m"
+    ));
+    r.push("paper: both minima coincide at 0.8 m".to_string());
+    r
+}
+
+/// Renders the interval-sweep report (Fig. 18).
+pub fn report_interval(seed: u64) -> ExperimentReport {
+    let points = run_interval_sweep(seed, 20);
+    let mut r = ExperimentReport::new("fig18", "scanning interval sweep at 80 cm range (Sec. V-E)");
+    r.push("interval | |mean residual| | mean error".to_string());
+    for p in &points {
+        r.push(format!(
+            "{:.2} m | {:9.5} | {}",
+            p.value,
+            p.mean_abs_residual,
+            rig::cm(p.mean_error)
+        ));
+    }
+    r.push(
+        "paper: error drops sharply once the interval reaches ~0.20 m; residual agrees".to_string(),
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_sweep_produces_all_points() {
+        let points = run_range_sweep(61, 4);
+        assert_eq!(points.len(), 6);
+        assert!((points[0].value - 0.6).abs() < 1e-12);
+        assert!((points[5].value - 1.1).abs() < 1e-12);
+        assert!(points.iter().all(|p| p.mean_error.is_finite()));
+        assert!(points.iter().all(|p| p.mean_abs_residual >= 0.0));
+    }
+
+    #[test]
+    fn larger_intervals_reduce_error() {
+        let points = run_interval_sweep(71, 6);
+        assert_eq!(points.len(), 6);
+        // The smallest interval should not be the best; 0.2 m+ should beat
+        // 0.10 m on average (paper Fig. 18 shape).
+        let small = points[0].mean_error;
+        let large = points[3].mean_error.min(points[4].mean_error);
+        assert!(
+            large <= small * 1.2,
+            "interval 0.25/0.30 ({large}) should be <= interval 0.10 ({small})"
+        );
+    }
+
+    #[test]
+    fn residual_correlates_with_error_across_ranges() {
+        // Spearman-lite: the range ordering by residual should broadly
+        // agree with the ordering by error (at least not be anti-ordered).
+        let points = run_range_sweep(81, 8);
+        let mut by_res: Vec<usize> = (0..points.len()).collect();
+        by_res.sort_by(|&a, &b| {
+            points[a]
+                .mean_abs_residual
+                .partial_cmp(&points[b].mean_abs_residual)
+                .unwrap()
+        });
+        let mut by_err: Vec<usize> = (0..points.len()).collect();
+        by_err.sort_by(|&a, &b| {
+            points[a]
+                .mean_error
+                .partial_cmp(&points[b].mean_error)
+                .unwrap()
+        });
+        // The residual-best range should be in the top half by error.
+        let err_rank = by_err.iter().position(|&i| i == by_res[0]).unwrap();
+        assert!(
+            err_rank <= points.len() / 2,
+            "residual-best range ranks {err_rank} by error"
+        );
+    }
+}

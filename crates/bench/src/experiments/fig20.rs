@@ -1,0 +1,314 @@
+//! Figs. 19–20 — the case study: locating a static tag with three
+//! antennas, with and without phase calibration.
+//!
+//! Paper setup (Sec. V-F1): antennas `A1..A3` in a line 0.3 m apart at tag
+//! height; each is first calibrated with the three-line scan (the paper
+//! reports per-antenna center displacements and offsets 3.98 / 2.74 /
+//! 4.07 rad); then a differential hologram across the antennas locates a
+//! tag at (−10 cm, 80 cm). Accuracy improves monotonically: no calibration
+//! 8.49 cm → center calibration 5.76 cm → full calibration 4.68 cm (1.8×).
+
+use lion_baselines::hologram::SearchVolume;
+use lion_baselines::multi_antenna::{locate_tag, AntennaReading, MultiAntennaConfig};
+use lion_core::multistatic::{self, MultistaticConfig};
+use lion_core::{Calibration, Calibrator, PairStrategy};
+use lion_geom::{Point3, ThreeLineScan, Trajectory, Vec3};
+use lion_linalg::stats;
+use lion_sim::{Antenna, NoiseModel, ScenarioBuilder, Tag};
+
+use crate::experiments::ExperimentReport;
+use crate::rig;
+
+/// Distance errors (meters) of the three calibration levels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseStudyResult {
+    /// Physical centers, no offset correction.
+    pub uncalibrated: f64,
+    /// Calibrated centers, no offset correction.
+    pub center_only: f64,
+    /// Calibrated centers and offsets.
+    pub full: f64,
+    /// LION-multistatic extension (calibrated centers + offsets, linear
+    /// solve with integer-ambiguity search instead of a hologram).
+    pub multistatic: f64,
+    /// Per-antenna calibrations (diagnostics).
+    pub calibrations: Vec<Calibration>,
+}
+
+/// The three rig antennas: distinct hidden displacements and the paper's
+/// measured offsets.
+fn rig_antennas() -> Vec<Antenna> {
+    let offsets = [3.98, 2.74, 4.07];
+    let displacements = [
+        Vec3::new(0.024, -0.010, 0.012),
+        Vec3::new(-0.018, 0.015, -0.020),
+        Vec3::new(0.012, 0.022, 0.008),
+    ];
+    (0..3)
+        .map(|i| {
+            Antenna::builder(Point3::new(-0.3 + 0.3 * i as f64, 0.0, 0.0))
+                .phase_center_displacement(
+                    displacements[i].x,
+                    displacements[i].y,
+                    displacements[i].z,
+                )
+                .phase_offset(offsets[i])
+                .boresight(Vec3::new(0.0, 1.0, 0.0)) // facing the tag at +y
+                .build()
+        })
+        .collect()
+}
+
+fn scenario_for(antenna: Antenna, seed: u64) -> lion_sim::Scenario {
+    ScenarioBuilder::new()
+        .antenna(antenna)
+        .tag(Tag::new("case-study").with_phase_offset(0.9))
+        .environment(lion_sim::Environment::indoor_lab())
+        .noise(NoiseModel::indoor_default())
+        .seed(seed)
+        .build()
+        .expect("components set")
+}
+
+/// Calibrates each antenna via the three-line scan in front of it.
+pub fn calibrate_all(seed: u64) -> Vec<Calibration> {
+    rig_antennas()
+        .into_iter()
+        .enumerate()
+        .map(|(i, antenna)| {
+            let physical = antenna.physical_center();
+            let mut scenario = scenario_for(antenna, seed ^ ((i as u64) << 20));
+            // Scan lines in front of this antenna (depth 0.7 m), matching
+            // the paper's per-antenna calibration geometry. The scan is in
+            // world coordinates centered under the antenna x.
+            let scan = ThreeLineScan::new(-0.4, 0.4, 0.2, 0.2).expect("valid");
+            // Shift the path in front of the antenna: the scan's L1 runs at
+            // y = 0.7, lines offset toward +y (away from the antenna).
+            let path = scan.to_path();
+            let m: Vec<(Point3, f64)> = path
+                .sample(rig::TAG_SPEED, rig::READ_RATE)
+                .into_iter()
+                .map(|w| {
+                    let world = Point3::new(
+                        w.position.x + physical.x,
+                        0.7 - w.position.y, // L1 at 0.7, L3 at 0.9 (deeper)
+                        w.position.z,
+                    );
+                    let sample = scenario.measure_at(w.time, world);
+                    (world, sample.phase)
+                })
+                .collect();
+            // The scan lives in world coordinates, so the structured
+            // strategy (which assumes the scan-local frame) does not apply;
+            // exhaustive pairs with a minimum separation observe all axes.
+            let cfg = lion_core::LocalizerConfig {
+                pair_strategy: PairStrategy::AllWithMinSeparation {
+                    min_separation: 0.18,
+                    max_pairs: 4000,
+                },
+                ..rig::paper_localizer_config(physical)
+            };
+            Calibrator::new(cfg)
+                .with_adaptive(None)
+                .calibrate(&m, physical)
+                .expect("calibration succeeds")
+        })
+        .collect()
+}
+
+/// Mean phase each antenna measures from the static tag.
+pub fn read_tag_phases(seed: u64, tag_pos: Point3, reads: usize) -> Vec<f64> {
+    rig_antennas()
+        .into_iter()
+        .enumerate()
+        .map(|(i, antenna)| {
+            let mut scenario = scenario_for(antenna, seed ^ 0x5555 ^ ((i as u64) << 8));
+            let trace = scenario
+                .read_static(tag_pos, reads, rig::READ_RATE)
+                .expect("valid read");
+            stats::circular_mean(&trace.phases()).expect("concentrated phases")
+        })
+        .collect()
+}
+
+/// Runs the full case study, averaging over several tag placements to
+/// tame the grating-lobe luck inherent in a 3-antenna differential
+/// hologram.
+pub fn run(seed: u64, grid: f64) -> CaseStudyResult {
+    let antennas = rig_antennas();
+    let calibrations = calibrate_all(seed);
+    // The paper's tag sits at (−10 cm, 80 cm) from the center antenna; we
+    // average a small neighborhood of placements around it.
+    let tag_positions = [
+        Point3::new(-0.1, 0.8, 0.0),
+        Point3::new(0.05, 0.75, 0.0),
+        Point3::new(-0.05, 0.85, 0.0),
+        Point3::new(0.1, 0.8, 0.0),
+        Point3::new(0.0, 0.7, 0.0),
+    ];
+    let cfg = MultiAntennaConfig {
+        grid_size: grid,
+        ..MultiAntennaConfig::default()
+    };
+    let physical: Vec<Point3> = antennas.iter().map(|a| a.physical_center()).collect();
+    let calibrated: Vec<Point3> = calibrations.iter().map(|c| c.phase_center).collect();
+    let offsets: Vec<f64> = calibrations.iter().map(|c| c.phase_offset).collect();
+
+    let mut sums = [0.0_f64; 4];
+    let mut counts = [0usize; 4];
+    for (t_idx, &tag_pos) in tag_positions.iter().enumerate() {
+        let phases = read_tag_phases(seed ^ ((t_idx as u64) << 12), tag_pos, 500);
+        // The search region matches the paper's bounded prior knowledge of
+        // the tag area; one interference fringe (~0.43 m spacing here)
+        // fits inside, so mis-calibration shifts the peak instead of
+        // teleporting it to a neighboring fringe.
+        let volume = SearchVolume::square_2d(Point3::new(0.0, 0.8, 0.0), 0.2);
+        let mut run_case = |slot: usize, positions: &[Point3], offs: Option<&[f64]>| {
+            let readings: Vec<AntennaReading> = positions
+                .iter()
+                .zip(&phases)
+                .enumerate()
+                .map(|(i, (&p, &ph))| {
+                    let r = AntennaReading::new(p, ph);
+                    match offs {
+                        Some(o) => r.with_offset(o[i]),
+                        None => r,
+                    }
+                })
+                .collect();
+            if let Ok(e) = locate_tag(&readings, volume, &cfg) {
+                sums[slot] += e.position.distance(tag_pos);
+                counts[slot] += 1;
+            }
+        };
+        run_case(0, &physical, None);
+        run_case(1, &calibrated, None);
+        run_case(2, &calibrated, Some(&offsets));
+        // The LION-multistatic extension: same calibrated inputs, linear
+        // solve + ambiguity search instead of a grid scan.
+        let ms_readings: Vec<(lion_geom::Point3, f64)> = calibrated
+            .iter()
+            .zip(&phases)
+            .zip(&offsets)
+            .map(|((&c, &ph), &o)| (c, lion_linalg::stats::wrap_angle(ph - o)))
+            .collect();
+        let ms_cfg = MultistaticConfig {
+            side_hint: Some(Point3::new(0.0, 0.8, 0.0)),
+            // Same prior knowledge the hologram's search volume encodes.
+            region: Some((Point3::new(0.0, 0.8, 0.0), 0.2)),
+            ..MultistaticConfig::default()
+        };
+        if let Ok(e) = multistatic::locate_tag(&ms_readings, &ms_cfg) {
+            sums[3] += e.position.distance(tag_pos);
+            counts[3] += 1;
+        }
+    }
+    let mean = |i: usize| {
+        if counts[i] > 0 {
+            sums[i] / counts[i] as f64
+        } else {
+            f64::NAN
+        }
+    };
+    CaseStudyResult {
+        uncalibrated: mean(0),
+        center_only: mean(1),
+        full: mean(2),
+        multistatic: mean(3),
+        calibrations,
+    }
+}
+
+/// Renders the paper-style report.
+pub fn report(seed: u64) -> ExperimentReport {
+    let res = run(seed, 0.002);
+    let mut r = ExperimentReport::new(
+        "fig20",
+        "case study: static tag, 3 antennas, calibration levels (Sec. V-F1)",
+    );
+    for (i, c) in res.calibrations.iter().enumerate() {
+        r.push(format!(
+            "A{}: center displacement {} (|{}|), offset {:.2} rad",
+            i + 1,
+            c.center_displacement,
+            rig::cm(c.center_displacement.norm()),
+            c.phase_offset
+        ));
+    }
+    r.push(format!(
+        "tag error: no calibration {} -> center calibration {} -> full calibration {}",
+        rig::cm(res.uncalibrated),
+        rig::cm(res.center_only),
+        rig::cm(res.full)
+    ));
+    r.push(format!(
+        "improvement {:.1}x (paper: 8.49 -> 5.76 -> 4.68 cm, 1.8x)",
+        res.uncalibrated / res.full.max(0.002)
+    ));
+    r.push(format!(
+        "extension: LION multistatic (linear solve + ambiguity search) {} — \
+         x is accurate but depth suffers: the minimal 3-antenna array has no \
+         redundancy and the d_r route amplifies offset-calibration error",
+        rig::cm(res.multistatic)
+    ));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrations_recover_planted_displacements() {
+        let cals = calibrate_all(91);
+        let ants = rig_antennas();
+        for (c, a) in cals.iter().zip(&ants) {
+            let err = c.phase_center.distance(a.phase_center());
+            assert!(err < 0.012, "calibration error {err}");
+            // Offsets recovered up to the common tag offset: check pairwise
+            // differences against planted θ_R differences.
+        }
+        let planted = [3.98, 2.74, 4.07];
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                let measured = stats::circular_diff(cals[i].phase_offset, cals[j].phase_offset);
+                let expected = stats::circular_diff(planted[i], planted[j]);
+                // Indoor multipath leaves a couple tenths of a radian of
+                // offset error — the residual error seen in the case study.
+                assert!(
+                    (measured - expected).abs() < 0.5,
+                    "offset diff A{i}-A{j}: {measured} vs {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn calibration_improves_monotonically() {
+        let res = run(101, 0.004);
+        assert!(
+            res.full < res.uncalibrated,
+            "full {} should beat uncalibrated {}",
+            res.full,
+            res.uncalibrated
+        );
+        assert!(
+            res.center_only <= res.uncalibrated * 1.05,
+            "center-only {} should not be worse than uncalibrated {}",
+            res.center_only,
+            res.uncalibrated
+        );
+        assert!(res.full < 0.05, "full calibration error {}", res.full);
+        // The multistatic extension recovers x well but loses depth
+        // accuracy to the hologram on this minimal collinear array: its
+        // linear d_r route amplifies the residual offset-calibration error,
+        // where the hologram's wrapped-phase agreement degrades gracefully.
+        // (A good reason the paper used the hologram here; see
+        // EXPERIMENTS.md.)
+        assert!(
+            res.multistatic < 0.25,
+            "multistatic error {}",
+            res.multistatic
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! # lion-bench
+//!
+//! Experiment harness for the LION reproduction: one generator per figure
+//! of the paper's evaluation (Sec. V), plus ablations of the design
+//! choices. The `run_experiments` binary prints the same series the paper
+//! plots; `EXPERIMENTS.md` in the repository root records paper-vs-measured
+//! for each.
+//!
+//! ```bash
+//! cargo run --release -p lion-bench --bin run_experiments -- all
+//! cargo run --release -p lion-bench --bin run_experiments -- fig13a fig15
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod rig;
+
+pub use experiments::{available_experiments, run_experiment, ExperimentReport};

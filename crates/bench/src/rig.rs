@@ -1,0 +1,181 @@
+//! Shared test-rig construction and statistics helpers for the
+//! experiments.
+//!
+//! The defaults mirror the paper's Sec. V-A setup: antenna at 1 m height
+//! facing the track, carrier 920.625 MHz, tag sliding at 10 cm/s with a
+//! > 100 Hz read rate, default tag–antenna depth 0.8 m.
+
+use lion_core::{LocalizerConfig, PairStrategy, Weighting};
+use lion_geom::{Point3, Vec3};
+use lion_sim::{Antenna, Environment, NoiseModel, Scenario, ScenarioBuilder, Tag};
+
+/// Tag speed on the motorized slide (m/s) — 10 cm/s in the paper.
+pub const TAG_SPEED: f64 = 0.1;
+/// Reader sampling rate (Hz) — "over 100 Hz" in the paper.
+pub const READ_RATE: f64 = 100.0;
+/// The paper's carrier wavelength (meters).
+pub const LAMBDA: f64 = 299_792_458.0 / 920.625e6;
+
+/// A typical hidden phase-center displacement: 2–3 cm diagonal, matching
+/// the paper's Sec. II-A measurement.
+pub const DEFAULT_DISPLACEMENT: Vec3 = Vec3 {
+    x: 0.021,
+    y: -0.012,
+    z: 0.016,
+};
+
+/// Builds the paper's default antenna at `position` with the standard
+/// hidden displacement and a hardware offset.
+pub fn paper_antenna(position: Point3) -> Antenna {
+    Antenna::builder(position)
+        .phase_center_displacement(
+            DEFAULT_DISPLACEMENT.x,
+            DEFAULT_DISPLACEMENT.y,
+            DEFAULT_DISPLACEMENT.z,
+        )
+        .phase_offset(2.74)
+        .boresight(Vec3::new(0.0, -1.0, 0.0))
+        .build()
+}
+
+/// An antenna with an ideal phase center (for experiments isolating other
+/// effects).
+pub fn ideal_antenna(position: Point3) -> Antenna {
+    Antenna::builder(position)
+        .boresight(Vec3::new(0.0, -1.0, 0.0))
+        .build()
+}
+
+/// Builds a scenario with the paper's simulation noise `N(0, 0.1)` in free
+/// space.
+pub fn paper_scenario(antenna: Antenna, seed: u64) -> Scenario {
+    ScenarioBuilder::new()
+        .antenna(antenna)
+        .tag(Tag::new("E51").with_phase_offset(1.3))
+        .noise(NoiseModel::paper_default())
+        .seed(seed)
+        .build()
+        .expect("antenna and tag are set")
+}
+
+/// Builds an indoor scenario: multipath reflectors plus SNR-dependent
+/// noise — the regime of the paper's depth/range experiments.
+pub fn indoor_scenario(antenna: Antenna, seed: u64) -> Scenario {
+    ScenarioBuilder::new()
+        .antenna(antenna)
+        .tag(Tag::new("E51").with_phase_offset(1.3))
+        .environment(Environment::indoor_lab())
+        .noise(NoiseModel::indoor_default())
+        .seed(seed)
+        .build()
+        .expect("antenna and tag are set")
+}
+
+/// A noiseless scenario for analytic checks.
+pub fn noiseless_scenario(antenna: Antenna, seed: u64) -> Scenario {
+    ScenarioBuilder::new()
+        .antenna(antenna)
+        .tag(Tag::new("E51").with_phase_offset(1.3))
+        .noise(NoiseModel::noiseless())
+        .seed(seed)
+        .build()
+        .expect("antenna and tag are set")
+}
+
+/// A localizer configuration matching the paper's defaults, with the
+/// side-of-track hint pointing at the physical antenna position.
+pub fn paper_localizer_config(physical_center: Point3) -> LocalizerConfig {
+    LocalizerConfig {
+        side_hint: Some(physical_center),
+        ..LocalizerConfig::default()
+    }
+}
+
+/// Same but with ordinary least squares (for the WLS-vs-LS comparison).
+pub fn ls_localizer_config(physical_center: Point3) -> LocalizerConfig {
+    LocalizerConfig {
+        side_hint: Some(physical_center),
+        weighting: Weighting::LeastSquares,
+        ..LocalizerConfig::default()
+    }
+}
+
+/// Interval pair strategy matching the paper's default scanning interval.
+pub fn default_pairs() -> PairStrategy {
+    PairStrategy::Interval { interval: 0.2 }
+}
+
+/// Mean and population standard deviation of a sample; `(0, 0)` when
+/// empty.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    let mean = lion_linalg::stats::mean(values).unwrap_or(0.0);
+    let std = lion_linalg::stats::std_dev(values).unwrap_or(0.0);
+    (mean, std)
+}
+
+/// Formats meters as centimeters with two decimals.
+pub fn cm(meters: f64) -> String {
+    format!("{:.2} cm", meters * 100.0)
+}
+
+/// Formats a duration in seconds with adaptive precision.
+pub fn secs(seconds: f64) -> String {
+    if seconds < 0.001 {
+        format!("{:.1} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.1} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.2} s")
+    }
+}
+
+/// Measures the wall-clock time of a closure, returning `(result,
+/// seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rig_constants_match_paper() {
+        assert!((LAMBDA - 0.3256).abs() < 1e-3);
+        assert_eq!(TAG_SPEED, 0.1);
+        let d = DEFAULT_DISPLACEMENT.norm();
+        assert!((0.02..0.03).contains(&d), "displacement {d} not 2–3 cm");
+    }
+
+    #[test]
+    fn scenario_builders_work() {
+        let a = paper_antenna(Point3::new(0.0, 0.8, 0.0));
+        assert!(a.phase_center().distance(a.physical_center()) > 0.02);
+        let _ = paper_scenario(a.clone(), 1);
+        let _ = indoor_scenario(a.clone(), 2);
+        let _ = noiseless_scenario(a, 3);
+        let i = ideal_antenna(Point3::ORIGIN);
+        assert_eq!(i.phase_center(), i.physical_center());
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(cm(0.0123), "1.23 cm");
+        assert!(secs(0.0000005).contains("µs"));
+        assert!(secs(0.5).contains("ms"));
+        assert!(secs(2.0).contains("s"));
+    }
+
+    #[test]
+    fn stats_and_timing() {
+        let (m, s) = mean_std(&[1.0, 3.0]);
+        assert_eq!(m, 2.0);
+        assert_eq!(s, 1.0);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        let (v, t) = timed(|| 42);
+        assert_eq!(v, 42);
+        assert!(t >= 0.0);
+    }
+}

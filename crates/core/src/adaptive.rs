@@ -1,0 +1,362 @@
+//! Adaptive parameter selection (paper Sec. IV-C1, evaluated in
+//! Figs. 16–18).
+//!
+//! The scanning range and scanning interval materially change the estimate
+//! quality: too small a range and the phase barely varies (plane-wave
+//! regime); too large and off-beam samples poison the system; too small an
+//! interval and noise dominates the pairwise phase difference. The paper's
+//! key empirical finding is that the **mean weighted-least-squares
+//! residual tracks the distance error**: the configuration whose mean
+//! residual sits closest to zero is (nearly) the most accurate one. This
+//! module sweeps the parameter grid, ranks trials by `|mean residual|`,
+//! and averages the best few estimates.
+
+use serde::{Deserialize, Serialize};
+
+use lion_geom::Point3;
+
+use crate::error::CoreError;
+use crate::localizer::{Estimate, Localizer2d, Localizer3d, LocalizerConfig};
+use crate::preprocess::PhaseProfile;
+
+/// The parameter grid for the adaptive sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveConfig {
+    /// Scanning ranges to try (full widths in meters, centered on the
+    /// trajectory's x centroid). The paper sweeps 0.6–1.1 m.
+    pub scanning_ranges: Vec<f64>,
+    /// Scanning intervals to try (meters). The paper sweeps 0.10–0.35 m.
+    pub intervals: Vec<f64>,
+    /// How many of the best trials (smallest `|mean residual|`) to average
+    /// into the final estimate.
+    pub keep: usize,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            scanning_ranges: vec![0.6, 0.7, 0.8, 0.9, 1.0, 1.1],
+            intervals: vec![0.10, 0.15, 0.20, 0.25, 0.30, 0.35],
+            keep: 3,
+        }
+    }
+}
+
+/// One trial of the sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveTrial {
+    /// Scanning range used (meters).
+    pub range: f64,
+    /// Scanning interval used (meters).
+    pub interval: f64,
+    /// The estimate this configuration produced.
+    pub estimate: Estimate,
+}
+
+/// The outcome of an adaptive sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveOutcome {
+    /// The selected estimate: the position is the average of the `keep`
+    /// best trials; the remaining fields are copied from the single best
+    /// trial.
+    pub estimate: Estimate,
+    /// All successful trials, ranked by `|mean residual|` ascending.
+    pub trials: Vec<AdaptiveTrial>,
+    /// Number of `(range, interval)` combinations that failed (too few
+    /// pairs, rank problems, …) and were skipped.
+    pub skipped: usize,
+}
+
+impl Localizer2d {
+    /// Runs the adaptive parameter sweep for 2D localization.
+    ///
+    /// # Errors
+    ///
+    /// - configuration errors from [`AdaptiveConfig`] validation,
+    /// - [`CoreError::NoPairs`] when every combination fails,
+    /// - preprocessing errors from the underlying profile construction.
+    pub fn locate_adaptive(
+        &self,
+        measurements: &[(Point3, f64)],
+        adaptive: &AdaptiveConfig,
+    ) -> Result<AdaptiveOutcome, CoreError> {
+        let profile = crate::localizer::prepare(measurements, self.config())?;
+        sweep(&profile, self.config(), adaptive, |profile, cfg| {
+            Localizer2d::new(cfg.clone()).locate_profile(profile)
+        })
+    }
+}
+
+impl Localizer3d {
+    /// Runs the adaptive parameter sweep for 3D localization.
+    ///
+    /// # Errors
+    ///
+    /// See [`Localizer2d::locate_adaptive`].
+    pub fn locate_adaptive(
+        &self,
+        measurements: &[(Point3, f64)],
+        adaptive: &AdaptiveConfig,
+    ) -> Result<AdaptiveOutcome, CoreError> {
+        let profile = crate::localizer::prepare(measurements, self.config())?;
+        sweep(&profile, self.config(), adaptive, |profile, cfg| {
+            Localizer3d::new(cfg.clone()).locate_profile(profile)
+        })
+    }
+}
+
+fn sweep(
+    profile: &PhaseProfile,
+    base: &LocalizerConfig,
+    adaptive: &AdaptiveConfig,
+    mut locate: impl FnMut(&PhaseProfile, &LocalizerConfig) -> Result<Estimate, CoreError>,
+) -> Result<AdaptiveOutcome, CoreError> {
+    if adaptive.scanning_ranges.is_empty() || adaptive.intervals.is_empty() {
+        return Err(CoreError::InvalidConfig {
+            parameter: "adaptive grid",
+            found: "empty ranges or intervals".to_string(),
+        });
+    }
+    if adaptive.keep == 0 {
+        return Err(CoreError::InvalidConfig {
+            parameter: "keep",
+            found: "0".to_string(),
+        });
+    }
+    for &r in &adaptive.scanning_ranges {
+        if !(r > 0.0 && r.is_finite()) {
+            return Err(CoreError::InvalidConfig {
+                parameter: "scanning_ranges",
+                found: format!("{r}"),
+            });
+        }
+    }
+    for &i in &adaptive.intervals {
+        if !(i > 0.0 && i.is_finite()) {
+            return Err(CoreError::InvalidConfig {
+                parameter: "intervals",
+                found: format!("{i}"),
+            });
+        }
+    }
+    // Center ranges on the x centroid of the trajectory (the paper centers
+    // its scanning range at x = 0 with the antenna at the track middle).
+    let cx = profile.positions().iter().map(|p| p.x).sum::<f64>() / profile.len() as f64;
+    let mut trials = Vec::new();
+    let mut skipped = 0;
+    for &range in &adaptive.scanning_ranges {
+        let restricted = profile.restrict_x(cx - range / 2.0, cx + range / 2.0);
+        if restricted.len() < 4 {
+            skipped += adaptive.intervals.len();
+            continue;
+        }
+        for &interval in &adaptive.intervals {
+            let mut cfg = base.clone();
+            cfg.pair_strategy = base.pair_strategy.with_interval(interval);
+            // The restricted profile has its own middle sample.
+            cfg.reference_index = None;
+            match locate(&restricted, &cfg) {
+                Ok(estimate) => trials.push(AdaptiveTrial {
+                    range,
+                    interval,
+                    estimate,
+                }),
+                Err(_) => skipped += 1,
+            }
+        }
+    }
+    if trials.is_empty() {
+        return Err(CoreError::NoPairs);
+    }
+    trials.sort_by(|a, b| {
+        a.estimate
+            .mean_residual
+            .abs()
+            .partial_cmp(&b.estimate.mean_residual.abs())
+            .expect("residuals are finite")
+    });
+    let keep = adaptive.keep.min(trials.len());
+    let inv = 1.0 / keep as f64;
+    let avg = trials[..keep].iter().fold(Point3::ORIGIN, |acc, t| {
+        Point3::new(
+            acc.x + t.estimate.position.x * inv,
+            acc.y + t.estimate.position.y * inv,
+            acc.z + t.estimate.position.z * inv,
+        )
+    });
+    let mut best = trials[0].estimate.clone();
+    best.position = avg;
+    Ok(AdaptiveOutcome {
+        estimate: best,
+        trials,
+        skipped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairs::PairStrategy;
+    use std::f64::consts::{PI, TAU};
+
+    const LAMBDA: f64 = 299_792_458.0 / 920.625e6;
+
+    fn phase_of(target: Point3, p: Point3) -> f64 {
+        (4.0 * PI * target.distance(p) / LAMBDA).rem_euclid(TAU)
+    }
+
+    fn linear_scan(target: Point3, half_range: f64, step: f64) -> Vec<(Point3, f64)> {
+        let n = (2.0 * half_range / step) as usize;
+        (0..=n)
+            .map(|i| {
+                let p = Point3::new(-half_range + i as f64 * step, 0.0, 0.0);
+                (p, phase_of(target, p))
+            })
+            .collect()
+    }
+
+    fn cfg() -> LocalizerConfig {
+        LocalizerConfig {
+            smoothing_window: 1,
+            pair_strategy: PairStrategy::Interval { interval: 0.2 },
+            side_hint: Some(Point3::new(0.0, 0.5, 0.0)),
+            ..LocalizerConfig::default()
+        }
+    }
+
+    #[test]
+    fn adaptive_sweep_matches_truth_on_clean_data() {
+        let target = Point3::new(0.1, 0.8, 0.0);
+        let m = linear_scan(target, 0.6, 0.005);
+        let outcome = Localizer2d::new(cfg())
+            .locate_adaptive(&m, &AdaptiveConfig::default())
+            .unwrap();
+        assert!(
+            outcome.estimate.distance_error(target) < 1e-5,
+            "error {}",
+            outcome.estimate.distance_error(target)
+        );
+        assert!(!outcome.trials.is_empty());
+        // Trials are sorted by |mean residual|.
+        for w in outcome.trials.windows(2) {
+            assert!(w[0].estimate.mean_residual.abs() <= w[1].estimate.mean_residual.abs() + 1e-15);
+        }
+    }
+
+    #[test]
+    fn range_restriction_reduces_sample_count() {
+        let target = Point3::new(0.0, 0.8, 0.0);
+        let m = linear_scan(target, 1.25, 0.01); // 2.5 m track
+        let adaptive = AdaptiveConfig {
+            scanning_ranges: vec![0.6],
+            intervals: vec![0.2],
+            keep: 1,
+        };
+        let outcome = Localizer2d::new(cfg())
+            .locate_adaptive(&m, &adaptive)
+            .unwrap();
+        // With a 0.6 m range and 0.2 m interval there are ~40 pairs, far
+        // fewer than the full 250-sample scan would give.
+        assert!(outcome.trials[0].estimate.equation_count < 60);
+    }
+
+    #[test]
+    fn empty_grid_rejected() {
+        let m = linear_scan(Point3::new(0.0, 0.8, 0.0), 0.5, 0.01);
+        let bad = AdaptiveConfig {
+            scanning_ranges: vec![],
+            intervals: vec![0.2],
+            keep: 1,
+        };
+        assert!(Localizer2d::new(cfg()).locate_adaptive(&m, &bad).is_err());
+        let bad = AdaptiveConfig {
+            scanning_ranges: vec![0.6],
+            intervals: vec![],
+            keep: 1,
+        };
+        assert!(Localizer2d::new(cfg()).locate_adaptive(&m, &bad).is_err());
+        let bad = AdaptiveConfig {
+            scanning_ranges: vec![0.6],
+            intervals: vec![0.2],
+            keep: 0,
+        };
+        assert!(Localizer2d::new(cfg()).locate_adaptive(&m, &bad).is_err());
+        let bad = AdaptiveConfig {
+            scanning_ranges: vec![-0.6],
+            intervals: vec![0.2],
+            keep: 1,
+        };
+        assert!(Localizer2d::new(cfg()).locate_adaptive(&m, &bad).is_err());
+    }
+
+    #[test]
+    fn all_failures_reported_as_no_pairs() {
+        let m = linear_scan(Point3::new(0.0, 0.8, 0.0), 0.3, 0.01);
+        // Intervals longer than the whole range: every combination fails.
+        let bad = AdaptiveConfig {
+            scanning_ranges: vec![0.4],
+            intervals: vec![5.0],
+            keep: 1,
+        };
+        assert!(matches!(
+            Localizer2d::new(cfg()).locate_adaptive(&m, &bad),
+            Err(CoreError::NoPairs)
+        ));
+    }
+
+    #[test]
+    fn skipped_counts_unusable_ranges() {
+        let m = linear_scan(Point3::new(0.0, 0.8, 0.0), 0.5, 0.01);
+        let adaptive = AdaptiveConfig {
+            // 1 mm range keeps ~0 samples → whole row skipped.
+            scanning_ranges: vec![0.001, 0.8],
+            intervals: vec![0.2, 0.3],
+            keep: 1,
+        };
+        let outcome = Localizer2d::new(cfg())
+            .locate_adaptive(&m, &adaptive)
+            .unwrap();
+        assert!(outcome.skipped >= 2);
+        assert!(!outcome.trials.is_empty());
+    }
+
+    #[test]
+    fn keep_larger_than_trials_is_fine() {
+        let target = Point3::new(0.0, 0.8, 0.0);
+        let m = linear_scan(target, 0.5, 0.01);
+        let adaptive = AdaptiveConfig {
+            scanning_ranges: vec![0.8],
+            intervals: vec![0.2],
+            keep: 50,
+        };
+        let outcome = Localizer2d::new(cfg())
+            .locate_adaptive(&m, &adaptive)
+            .unwrap();
+        assert!(outcome.estimate.distance_error(target) < 1e-5);
+    }
+
+    #[test]
+    fn adaptive_3d_on_planar_circle() {
+        let target = Point3::new(0.1, 0.2, 0.7);
+        let m: Vec<(Point3, f64)> = (0..400)
+            .map(|i| {
+                let a = i as f64 * TAU / 400.0;
+                let p = Point3::new(0.35 * a.cos(), 0.35 * a.sin(), 0.0);
+                (p, phase_of(target, p))
+            })
+            .collect();
+        let mut c = cfg();
+        c.side_hint = Some(Point3::new(0.0, 0.0, 0.5));
+        let adaptive = AdaptiveConfig {
+            scanning_ranges: vec![0.7],
+            intervals: vec![0.15, 0.25],
+            keep: 2,
+        };
+        let outcome = Localizer3d::new(c).locate_adaptive(&m, &adaptive).unwrap();
+        assert!(
+            outcome.estimate.distance_error(target) < 1e-4,
+            "error {}",
+            outcome.estimate.distance_error(target)
+        );
+    }
+}

@@ -1,0 +1,449 @@
+//! Phase calibration (paper Sec. IV-C): turning an antenna-position
+//! estimate into a **center displacement** and a **phase offset**.
+//!
+//! - *Center calibration*: the difference between the estimated phase
+//!   center and the manually measured physical center. Localization
+//!   pipelines should use the estimated center from then on.
+//! - *Offset calibration* (paper Eq. 17): with the center known, every
+//!   sample's geometric phase `θ_d = (4π/λ)·d` is computable; the circular
+//!   mean of `θ_measured − θ_d` is the combined hardware offset
+//!   `θ_T + θ_R` of this antenna–tag pair. Differences of these offsets
+//!   across antennas calibrate multi-antenna deployments.
+
+use lion_geom::{Point3, Vec3};
+use lion_linalg::stats;
+use serde::{Deserialize, Serialize};
+
+use crate::adaptive::AdaptiveConfig;
+use crate::error::CoreError;
+use crate::localizer::{Estimate, Localizer3d, LocalizerConfig};
+use crate::preprocess::wrap_phase;
+
+/// Result of a full phase calibration for one antenna–tag pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    /// The estimated phase center (world coordinates).
+    pub phase_center: Point3,
+    /// `phase_center − physical_center`: what the paper reports in
+    /// Fig. 19(b).
+    pub center_displacement: Vec3,
+    /// The combined hardware phase offset `θ_T + θ_R` in `[0, 2π)`
+    /// (paper Eq. 17). Only offset *differences* between pairs are
+    /// physically meaningful.
+    pub phase_offset: f64,
+    /// Circular standard deviation of the per-sample offset estimates —
+    /// a quality indicator (large spread ⇒ poor center estimate or heavy
+    /// multipath).
+    pub offset_spread: f64,
+    /// The localization estimate behind the center (diagnostics).
+    pub estimate: Estimate,
+}
+
+impl Calibration {
+    /// Converts a measured phase into the purely geometric phase by
+    /// removing the calibrated hardware offset (result in `[0, 2π)`).
+    pub fn corrected_phase(&self, measured: f64) -> f64 {
+        wrap_phase(measured - self.phase_offset)
+    }
+
+    /// Expected wrapped phase for a tag at `tag_position`, using the
+    /// calibrated center and offset.
+    pub fn expected_phase(&self, tag_position: Point3, wavelength: f64) -> f64 {
+        let d = self.phase_center.distance(tag_position);
+        wrap_phase(4.0 * std::f64::consts::PI * d / wavelength + self.phase_offset)
+    }
+}
+
+/// Calibrates antennas from scan data: estimates the phase center via the
+/// LION 3D localizer (with the adaptive parameter sweep) and then the
+/// phase offset from the raw measurements.
+#[derive(Debug, Clone, Default)]
+pub struct Calibrator {
+    localizer: LocalizerConfig,
+    adaptive: Option<AdaptiveConfig>,
+}
+
+impl Calibrator {
+    /// Creates a calibrator with the given localizer configuration and the
+    /// default adaptive sweep.
+    pub fn new(localizer: LocalizerConfig) -> Self {
+        Calibrator {
+            localizer,
+            adaptive: Some(AdaptiveConfig::default()),
+        }
+    }
+
+    /// Disables or replaces the adaptive parameter sweep (`None` locates
+    /// once with the base configuration).
+    pub fn with_adaptive(mut self, adaptive: Option<AdaptiveConfig>) -> Self {
+        self.adaptive = adaptive;
+        self
+    }
+
+    /// The localizer configuration.
+    pub fn localizer_config(&self) -> &LocalizerConfig {
+        &self.localizer
+    }
+
+    /// Calibrates one antenna from `(tag position, wrapped phase)`
+    /// measurements taken on a trajectory spanning at least two dimensions
+    /// (paper Fig. 11 recommends the three-line scan).
+    ///
+    /// `physical_center` is the manually measured antenna position; it is
+    /// also used as the mirror-disambiguation hint unless the configuration
+    /// already carries one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates localization errors ([`CoreError`]).
+    pub fn calibrate(
+        &self,
+        measurements: &[(Point3, f64)],
+        physical_center: Point3,
+    ) -> Result<Calibration, CoreError> {
+        let mut cfg = self.localizer.clone();
+        if cfg.side_hint.is_none() {
+            cfg.side_hint = Some(physical_center);
+        }
+        let localizer = Localizer3d::new(cfg.clone());
+        let estimate = match &self.adaptive {
+            Some(a) => localizer.locate_adaptive(measurements, a)?.estimate,
+            None => localizer.locate(measurements)?,
+        };
+        let (phase_offset, offset_spread) =
+            estimate_offset(measurements, estimate.position, cfg.wavelength)?;
+        Ok(Calibration {
+            phase_center: estimate.position,
+            center_displacement: estimate.position - physical_center,
+            phase_offset,
+            offset_spread,
+            estimate,
+        })
+    }
+}
+
+/// Fuses repeated calibration runs of the *same* antenna into one result.
+///
+/// Production calibration repeats the scan several times and averages:
+/// centers combine by arithmetic mean, offsets by circular mean. The
+/// returned [`CalibrationSpread`] quantifies run-to-run repeatability —
+/// the honest error bar a datasheet would quote.
+///
+/// # Errors
+///
+/// - [`CoreError::TooFewMeasurements`] for an empty slice,
+/// - [`CoreError::DegenerateGeometry`] when the offsets are uniformly
+///   spread (the runs disagree completely).
+pub fn fuse_calibrations(
+    runs: &[Calibration],
+) -> Result<(Calibration, CalibrationSpread), CoreError> {
+    if runs.is_empty() {
+        return Err(CoreError::TooFewMeasurements { got: 0, needed: 1 });
+    }
+    let n = runs.len() as f64;
+    let center = runs.iter().fold(Point3::ORIGIN, |acc, c| {
+        Point3::new(
+            acc.x + c.phase_center.x / n,
+            acc.y + c.phase_center.y / n,
+            acc.z + c.phase_center.z / n,
+        )
+    });
+    let offsets: Vec<f64> = runs.iter().map(|c| c.phase_offset).collect();
+    let offset = stats::circular_mean(&offsets).ok_or_else(|| CoreError::DegenerateGeometry {
+        detail: "per-run phase offsets are uniformly spread; the runs disagree".to_string(),
+    })?;
+    let center_spread = runs
+        .iter()
+        .map(|c| c.phase_center.distance(center))
+        .fold(0.0_f64, f64::max);
+    let offset_spread = stats::circular_std_dev(&offsets).unwrap_or(f64::INFINITY);
+    // Displacement is re-derived from the fused center; the physical
+    // center is common to all runs by construction.
+    let physical = runs[0].phase_center - runs[0].center_displacement;
+    let fused = Calibration {
+        phase_center: center,
+        center_displacement: center - physical,
+        phase_offset: offset,
+        offset_spread,
+        // Keep the best run's estimate for diagnostics.
+        estimate: runs
+            .iter()
+            .min_by(|a, b| {
+                a.estimate
+                    .mean_residual
+                    .abs()
+                    .partial_cmp(&b.estimate.mean_residual.abs())
+                    .expect("finite residuals")
+            })
+            .expect("non-empty")
+            .estimate
+            .clone(),
+    };
+    Ok((
+        fused,
+        CalibrationSpread {
+            runs: runs.len(),
+            max_center_deviation: center_spread,
+            offset_circular_std: offset_spread,
+        },
+    ))
+}
+
+/// Run-to-run repeatability of a fused calibration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationSpread {
+    /// Number of runs fused.
+    pub runs: usize,
+    /// Largest distance from any single-run center to the fused center
+    /// (meters).
+    pub max_center_deviation: f64,
+    /// Circular standard deviation of the per-run offsets (radians).
+    pub offset_circular_std: f64,
+}
+
+/// Estimates the combined hardware phase offset given a known phase
+/// center (paper Eq. 17): the circular mean over samples of
+/// `θ_measured − (4π/λ)·d`.
+///
+/// Returns `(offset in [0, 2π), circular standard deviation)`.
+///
+/// # Errors
+///
+/// - [`CoreError::TooFewMeasurements`] for empty input,
+/// - [`CoreError::NonFiniteMeasurement`] for NaN/inf samples,
+/// - [`CoreError::DegenerateGeometry`] when the offsets are uniformly
+///   spread (no meaningful mean — the center estimate must be wrong).
+pub fn estimate_offset(
+    measurements: &[(Point3, f64)],
+    phase_center: Point3,
+    wavelength: f64,
+) -> Result<(f64, f64), CoreError> {
+    if measurements.is_empty() {
+        return Err(CoreError::TooFewMeasurements { got: 0, needed: 1 });
+    }
+    let mut diffs = Vec::with_capacity(measurements.len());
+    for (i, (p, theta)) in measurements.iter().enumerate() {
+        if !p.is_finite() || !theta.is_finite() {
+            return Err(CoreError::NonFiniteMeasurement { index: i });
+        }
+        let d = phase_center.distance(*p);
+        let theta_d = 4.0 * std::f64::consts::PI * d / wavelength;
+        diffs.push(theta - theta_d);
+    }
+    let mean = stats::circular_mean(&diffs).ok_or_else(|| CoreError::DegenerateGeometry {
+        detail: "per-sample phase offsets are uniformly spread; the phase \
+                 center estimate is likely wrong"
+            .to_string(),
+    })?;
+    let spread = stats::circular_std_dev(&diffs).unwrap_or(f64::INFINITY);
+    Ok((mean, spread))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairs::PairStrategy;
+    use lion_geom::{ThreeLineScan, Trajectory};
+    use std::f64::consts::{PI, TAU};
+
+    const LAMBDA: f64 = 299_792_458.0 / 920.625e6;
+
+    fn phase_of(center: Point3, p: Point3, offset: f64) -> f64 {
+        (4.0 * PI * center.distance(p) / LAMBDA + offset).rem_euclid(TAU)
+    }
+
+    /// Noise-free three-line scan against an antenna with displacement and
+    /// offset.
+    fn scan_measurements(true_center: Point3, offset: f64) -> Vec<(Point3, f64)> {
+        let scan = ThreeLineScan::new(-0.4, 0.4, 0.2, 0.2).unwrap();
+        scan.to_path()
+            .sample(0.1, 50.0)
+            .into_iter()
+            .map(|w| (w.position, phase_of(true_center, w.position, offset)))
+            .collect()
+    }
+
+    fn calibrator() -> Calibrator {
+        let cfg = LocalizerConfig {
+            smoothing_window: 1,
+            pair_strategy: PairStrategy::StructuredScan {
+                scan: ThreeLineScan::new(-0.4, 0.4, 0.2, 0.2).unwrap(),
+                x_interval: 0.2,
+                tolerance: 0.003,
+            },
+            ..LocalizerConfig::default()
+        };
+        Calibrator::new(cfg).with_adaptive(None)
+    }
+
+    #[test]
+    fn recovers_planted_center_and_offset() {
+        // Physical center at (0, 0.8, 0); true phase center 2–3 cm off.
+        let physical = Point3::new(0.0, 0.8, 0.0);
+        let truth = Point3::new(0.025, 0.79, 0.02);
+        let true_offset = 2.74;
+        let m = scan_measurements(truth, true_offset);
+        let cal = calibrator().calibrate(&m, physical).unwrap();
+        assert!(
+            cal.phase_center.distance(truth) < 1e-5,
+            "center error {}",
+            cal.phase_center.distance(truth)
+        );
+        let expected_disp = truth - physical;
+        assert!((cal.center_displacement - expected_disp).norm() < 1e-5);
+        let offset_err = stats::circular_diff(cal.phase_offset, true_offset).abs();
+        assert!(offset_err < 1e-4, "offset error {offset_err}");
+        assert!(cal.offset_spread < 1e-4);
+    }
+
+    #[test]
+    fn corrected_and_expected_phase_roundtrip() {
+        let truth = Point3::new(0.0, 0.8, 0.0);
+        let m = scan_measurements(truth, 1.1);
+        let cal = calibrator().calibrate(&m, truth).unwrap();
+        let p = Point3::new(0.1, 0.0, 0.0);
+        let measured = phase_of(truth, p, 1.1);
+        let expected = cal.expected_phase(p, LAMBDA);
+        let d = stats::circular_diff(measured, expected).abs();
+        assert!(d < 1e-4, "diff {d}");
+        // corrected_phase removes the offset.
+        let geo = cal.corrected_phase(measured);
+        let want = (4.0 * PI * truth.distance(p) / LAMBDA).rem_euclid(TAU);
+        assert!(stats::circular_diff(geo, want).abs() < 1e-4);
+    }
+
+    #[test]
+    fn offset_estimation_standalone() {
+        let center = Point3::new(0.0, 1.0, 0.0);
+        let m: Vec<(Point3, f64)> = (0..50)
+            .map(|i| {
+                let p = Point3::new(-0.25 + i as f64 * 0.01, 0.0, 0.0);
+                (p, phase_of(center, p, 4.07))
+            })
+            .collect();
+        let (offset, spread) = estimate_offset(&m, center, LAMBDA).unwrap();
+        assert!(stats::circular_diff(offset, 4.07).abs() < 1e-9);
+        // Numerically-identical diffs still leave ~1e-8 of circular spread.
+        assert!(spread < 1e-6);
+    }
+
+    #[test]
+    fn offset_estimation_wrap_boundary() {
+        // An offset near 0 must not average to π when samples straddle 2π.
+        let center = Point3::new(0.0, 1.0, 0.0);
+        let m: Vec<(Point3, f64)> = (0..50)
+            .map(|i| {
+                let p = Point3::new(-0.25 + i as f64 * 0.01, 0.0, 0.0);
+                (p, phase_of(center, p, 0.002))
+            })
+            .collect();
+        let (offset, _) = estimate_offset(&m, center, LAMBDA).unwrap();
+        assert!(stats::circular_diff(offset, 0.002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offset_errors() {
+        assert!(matches!(
+            estimate_offset(&[], Point3::ORIGIN, LAMBDA),
+            Err(CoreError::TooFewMeasurements { .. })
+        ));
+        let m = vec![(Point3::new(f64::NAN, 0.0, 0.0), 0.0)];
+        assert!(matches!(
+            estimate_offset(&m, Point3::ORIGIN, LAMBDA),
+            Err(CoreError::NonFiniteMeasurement { .. })
+        ));
+        // Uniformly spread offsets → degenerate.
+        let m = vec![
+            (Point3::new(0.0, 1.0, 0.0), 0.0),
+            (Point3::new(0.0, 1.0, 0.0), PI / 2.0),
+            (Point3::new(0.0, 1.0, 0.0), PI),
+            (Point3::new(0.0, 1.0, 0.0), 1.5 * PI),
+        ];
+        // All at the same position: θ_d identical, diffs uniformly spread.
+        assert!(matches!(
+            estimate_offset(&m, Point3::ORIGIN, LAMBDA),
+            Err(CoreError::DegenerateGeometry { .. })
+        ));
+    }
+
+    #[test]
+    fn fusing_runs_tightens_the_estimate() {
+        let physical = Point3::new(0.0, 0.8, 0.0);
+        let truth = Point3::new(0.022, 0.79, 0.015);
+        let true_offset = 2.0;
+        // Three runs with slightly different (noise-free here, so
+        // identical) data; perturb them artificially to emulate run-to-run
+        // variation.
+        let base = calibrator()
+            .calibrate(&scan_measurements(truth, true_offset), physical)
+            .unwrap();
+        let mut runs = Vec::new();
+        for (dx, doff) in [(0.001, 0.02), (-0.0012, -0.015), (0.0005, 0.005)] {
+            let mut c = base.clone();
+            c.phase_center = Point3::new(
+                base.phase_center.x + dx,
+                base.phase_center.y - dx,
+                base.phase_center.z,
+            );
+            c.center_displacement = c.phase_center - physical;
+            c.phase_offset = stats::wrap_angle(base.phase_offset + doff);
+            runs.push(c);
+        }
+        let (fused, spread) = fuse_calibrations(&runs).unwrap();
+        assert_eq!(spread.runs, 3);
+        assert!(spread.max_center_deviation < 0.003);
+        assert!(spread.offset_circular_std < 0.05);
+        // The fused center is at least as close to truth as the worst run.
+        let worst = runs
+            .iter()
+            .map(|c| c.phase_center.distance(truth))
+            .fold(0.0_f64, f64::max);
+        assert!(fused.phase_center.distance(truth) <= worst + 1e-12);
+        // Displacement is consistent with the fused center.
+        assert!((fused.center_displacement - (fused.phase_center - physical)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn fuse_rejects_empty_and_degenerate() {
+        assert!(matches!(
+            fuse_calibrations(&[]),
+            Err(CoreError::TooFewMeasurements { .. })
+        ));
+    }
+
+    #[test]
+    fn physical_center_used_as_default_hint() {
+        // Planar two-line scan (no z spread): the mirror ambiguity along z
+        // is resolved toward the physical center.
+        let physical = Point3::new(0.0, 0.8, 0.3);
+        let truth = Point3::new(0.01, 0.81, 0.28);
+        let scan = ThreeLineScan::new(-0.4, 0.4, 0.2, 0.2).unwrap();
+        // Only lines L1 and L3 (both z = 0): z must come from recovery.
+        let mut m = Vec::new();
+        let path = {
+            let mut p = lion_geom::Path::new();
+            p.push_line(scan.line1());
+            p.connect_to(scan.line3().start());
+            p.push_line(scan.line3());
+            p
+        };
+        for w in path.sample(0.1, 50.0) {
+            m.push((w.position, phase_of(truth, w.position, 0.0)));
+        }
+        let cfg = LocalizerConfig {
+            smoothing_window: 1,
+            pair_strategy: PairStrategy::Interval { interval: 0.2 },
+            ..LocalizerConfig::default()
+        };
+        let cal = Calibrator::new(cfg)
+            .with_adaptive(None)
+            .calibrate(&m, physical)
+            .unwrap();
+        assert!(cal.estimate.lower_dimension);
+        assert!(
+            cal.phase_center.distance(truth) < 1e-4,
+            "center error {}",
+            cal.phase_center.distance(truth)
+        );
+    }
+}

@@ -1,0 +1,898 @@
+//! The LION localizer: light-weight, robust position estimation from a
+//! phase profile (paper Secs. III and IV-B).
+//!
+//! The pipeline is:
+//!
+//! 1. unwrap + smooth the phases ([`crate::preprocess::PhaseProfile`]),
+//! 2. pick sample pairs ([`crate::pairs::PairStrategy`]),
+//! 3. stack one radical-line/plane equation per pair
+//!    ([`crate::model::build_system`]),
+//! 4. solve by (iteratively reweighted) least squares,
+//! 5. if the trajectory spans fewer dimensions than the target space,
+//!    recover the perpendicular coordinate from the reference distance
+//!    `d_r` (paper Sec. III-C, Observation 2).
+
+use lion_geom::{Point3, Vec3};
+use lion_linalg::{lstsq, IrlsConfig, Matrix, Svd, Vector};
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::pairs::PairStrategy;
+use crate::preprocess::PhaseProfile;
+
+/// Which estimator solves the stacked linear system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Weighting {
+    /// Ordinary least squares (paper Eq. 13).
+    LeastSquares,
+    /// Iteratively reweighted least squares with the Gaussian-of-residual
+    /// weight (paper Eqs. 14–16) — the paper's WLS.
+    Weighted(IrlsConfig),
+}
+
+impl Default for Weighting {
+    fn default() -> Self {
+        Weighting::Weighted(IrlsConfig::default())
+    }
+}
+
+/// Configuration shared by [`Localizer2d`] and [`Localizer3d`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalizerConfig {
+    /// Carrier wavelength in meters (default: the paper's 920.625 MHz →
+    /// ≈ 0.3256 m).
+    pub wavelength: f64,
+    /// Moving-average window applied to the unwrapped phases (samples);
+    /// 0 or 1 disables smoothing. Default 9.
+    pub smoothing_window: usize,
+    /// Pair selection strategy. Default: sliding pairs 0.2 m apart.
+    pub pair_strategy: PairStrategy,
+    /// Estimator. Default: the paper's weighted least squares.
+    pub weighting: Weighting,
+    /// Reference sample index for the distance differences; default
+    /// (`None`) uses the middle sample.
+    pub reference_index: Option<usize>,
+    /// Approximate target position used to disambiguate the mirror
+    /// solution on lower-dimension trajectories. The natural choice is the
+    /// antenna's manually measured physical center. Without a hint the
+    /// positive side of the canonical trajectory normal is chosen.
+    pub side_hint: Option<Point3>,
+    /// Relative singular-value threshold below which a trajectory
+    /// direction counts as unspanned (triggers the lower-dimension path).
+    /// Default 0.05.
+    pub rank_tolerance: f64,
+}
+
+impl Default for LocalizerConfig {
+    fn default() -> Self {
+        LocalizerConfig {
+            wavelength: 299_792_458.0 / 920.625e6,
+            smoothing_window: 9,
+            pair_strategy: PairStrategy::default(),
+            weighting: Weighting::default(),
+            reference_index: None,
+            side_hint: None,
+            rank_tolerance: 0.05,
+        }
+    }
+}
+
+/// The result of one localization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Estimate {
+    /// Estimated target position. For 2D localization, `z` is the mean
+    /// height of the tag samples.
+    pub position: Point3,
+    /// Estimated reference distance `d_r` (meters).
+    pub reference_distance: f64,
+    /// The reference tag position the distances were measured against.
+    pub reference_position: Point3,
+    /// Mean equation residual after the final solve — the quantity the
+    /// adaptive parameter selection drives toward zero (paper Sec. IV-C1).
+    pub mean_residual: f64,
+    /// Weighted RMS residual (diagnostic).
+    pub weighted_rms: f64,
+    /// Reweighting iterations performed (0 for plain least squares).
+    pub iterations: usize,
+    /// Number of equations in the solved system.
+    pub equation_count: usize,
+    /// Whether the lower-dimension recovery path was taken.
+    pub lower_dimension: bool,
+    /// Approximate 1σ standard errors of the solved coordinates (world
+    /// axes, meters), from the weighted-least-squares covariance
+    /// `σ̂²·(AᵀWA)⁻¹`. Zero when the covariance could not be formed.
+    /// For lower-dimension solves the recovered coordinate's uncertainty
+    /// is *not* included (it is dominated by the `d_r` error and the
+    /// discriminant geometry).
+    pub position_std: lion_geom::Vec3,
+}
+
+impl Estimate {
+    /// Euclidean distance from this estimate to a ground-truth position.
+    pub fn distance_error(&self, truth: Point3) -> f64 {
+        self.position.distance(truth)
+    }
+}
+
+/// 2D localization: the target and the tag trajectory lie in (or are
+/// projected onto) the horizontal plane; sample `z` coordinates are
+/// ignored except to report the plane height.
+///
+/// # Example
+///
+/// ```
+/// use lion_core::{Localizer2d, LocalizerConfig};
+/// use lion_geom::Point3;
+///
+/// # fn main() -> Result<(), lion_core::CoreError> {
+/// // Noise-free synthetic measurements of an antenna at (0.5, 0.8).
+/// let antenna = Point3::new(0.5, 0.8, 0.0);
+/// let lambda = LocalizerConfig::default().wavelength;
+/// let measurements: Vec<(Point3, f64)> = (0..60)
+///     .map(|i| {
+///         let a = i as f64 * 0.1;
+///         let p = Point3::new(0.3 * a.cos(), 0.3 * a.sin(), 0.0);
+///         let phase = (4.0 * std::f64::consts::PI * antenna.distance(p) / lambda)
+///             .rem_euclid(2.0 * std::f64::consts::PI);
+///         (p, phase)
+///     })
+///     .collect();
+/// let mut config = LocalizerConfig::default();
+/// config.smoothing_window = 1;
+/// let estimate = Localizer2d::new(config).locate(&measurements)?;
+/// assert!(estimate.distance_error(antenna) < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Localizer2d {
+    config: LocalizerConfig,
+}
+
+/// 3D localization over a trajectory that spans two (planar, with `d_r`
+/// recovery) or three dimensions.
+#[derive(Debug, Clone, Default)]
+pub struct Localizer3d {
+    config: LocalizerConfig,
+}
+
+impl Localizer2d {
+    /// Creates a 2D localizer.
+    pub fn new(config: LocalizerConfig) -> Self {
+        Localizer2d { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LocalizerConfig {
+        &self.config
+    }
+
+    /// Locates the target from `(position, wrapped phase)` measurements.
+    ///
+    /// # Errors
+    ///
+    /// See [`CoreError`]; notably [`CoreError::DegenerateGeometry`] when
+    /// all samples coincide, and [`CoreError::RecoveryFailed`] when the
+    /// lower-dimension discriminant is negative (heavy noise).
+    pub fn locate(&self, measurements: &[(Point3, f64)]) -> Result<Estimate, CoreError> {
+        let profile = prepare(measurements, &self.config)?;
+        self.locate_profile(&profile)
+    }
+
+    /// Locates from an already prepared (unwrapped/smoothed) profile —
+    /// the entry point the adaptive parameter sweep uses to avoid
+    /// re-unwrapping.
+    ///
+    /// # Errors
+    ///
+    /// See [`Localizer2d::locate`].
+    pub fn locate_profile(&self, profile: &PhaseProfile) -> Result<Estimate, CoreError> {
+        run(profile, &self.config, Mode::TwoD)
+    }
+}
+
+impl Localizer3d {
+    /// Creates a 3D localizer.
+    pub fn new(config: LocalizerConfig) -> Self {
+        Localizer3d { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LocalizerConfig {
+        &self.config
+    }
+
+    /// Locates the target from `(position, wrapped phase)` measurements.
+    ///
+    /// # Errors
+    ///
+    /// See [`CoreError`]; notably [`CoreError::DegenerateGeometry`] when
+    /// the samples are collinear — the paper proves a single straight
+    /// trajectory cannot fix a 3D position (Sec. III-C2).
+    pub fn locate(&self, measurements: &[(Point3, f64)]) -> Result<Estimate, CoreError> {
+        let profile = prepare(measurements, &self.config)?;
+        self.locate_profile(&profile)
+    }
+
+    /// Locates from an already prepared profile.
+    ///
+    /// # Errors
+    ///
+    /// See [`Localizer3d::locate`].
+    pub fn locate_profile(&self, profile: &PhaseProfile) -> Result<Estimate, CoreError> {
+        run(profile, &self.config, Mode::ThreeD)
+    }
+}
+
+/// Builds and preprocesses the phase profile for a localizer config.
+pub(crate) fn prepare(
+    measurements: &[(Point3, f64)],
+    config: &LocalizerConfig,
+) -> Result<PhaseProfile, CoreError> {
+    let mut profile = PhaseProfile::from_wrapped(measurements, config.wavelength)?;
+    profile.smooth(config.smoothing_window);
+    Ok(profile)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Mode {
+    TwoD,
+    ThreeD,
+}
+
+/// Principal-component frame of the sample cloud.
+struct Frame {
+    centroid: Point3,
+    /// Orthonormal axes, strongest spread first.
+    axes: Vec<Vec3>,
+    /// Relative spreads `σ_i / σ_1` (first entry is 1).
+    relative_spread: Vec<f64>,
+}
+
+fn analyze_geometry(positions: &[Point3], mode: Mode) -> Result<Frame, CoreError> {
+    let n = positions.len();
+    let inv = 1.0 / n as f64;
+    let centroid = positions.iter().fold(Point3::ORIGIN, |acc, p| {
+        Point3::new(acc.x + p.x * inv, acc.y + p.y * inv, acc.z + p.z * inv)
+    });
+    let k = match mode {
+        Mode::TwoD => 2,
+        Mode::ThreeD => 3,
+    };
+    let centered = Matrix::from_fn(n, k, |r, c| {
+        let d = positions[r] - centroid;
+        match c {
+            0 => d.x,
+            1 => d.y,
+            _ => d.z,
+        }
+    });
+    let svd = Svd::decompose(&centered)?;
+    let sv = svd.singular_values();
+    let s1 = sv[0];
+    if s1 <= 1e-12 {
+        return Err(CoreError::DegenerateGeometry {
+            detail: "all tag positions coincide".to_string(),
+        });
+    }
+    let v = svd.v();
+    let axis = |c: usize| -> Vec3 {
+        match mode {
+            Mode::TwoD => Vec3::new(v[(0, c)], v[(1, c)], 0.0),
+            Mode::ThreeD => Vec3::new(v[(0, c)], v[(1, c)], v[(2, c)]),
+        }
+    };
+    Ok(Frame {
+        centroid,
+        axes: (0..k).map(axis).collect(),
+        relative_spread: sv.iter().map(|s| s / s1).collect(),
+    })
+}
+
+/// Canonical orientation for the recovery normal: flip so the dominant
+/// component is positive (z, then y, then x precedence), making the
+/// default "positive side" deterministic.
+fn canonicalize(n: Vec3) -> Vec3 {
+    let flip = if n.z.abs() > 1e-9 {
+        n.z < 0.0
+    } else if n.y.abs() > 1e-9 {
+        n.y < 0.0
+    } else {
+        n.x < 0.0
+    };
+    if flip {
+        -n
+    } else {
+        n
+    }
+}
+
+fn run(
+    profile: &PhaseProfile,
+    config: &LocalizerConfig,
+    mode: Mode,
+) -> Result<Estimate, CoreError> {
+    let min_needed = match mode {
+        Mode::TwoD => 4,
+        Mode::ThreeD => 5,
+    };
+    run_with_min(profile, config, mode, min_needed)
+}
+
+/// Shared solver body with a caller-chosen sample floor: the multistatic
+/// extension feeds as few as three "samples" (one per antenna).
+pub(crate) fn run_with_min(
+    profile: &PhaseProfile,
+    config: &LocalizerConfig,
+    mode: Mode,
+    min_needed: usize,
+) -> Result<Estimate, CoreError> {
+    let n = profile.len();
+    if n < min_needed {
+        return Err(CoreError::TooFewMeasurements {
+            got: n,
+            needed: min_needed,
+        });
+    }
+    let reference = match config.reference_index {
+        Some(r) if r < n => r,
+        Some(r) => {
+            return Err(CoreError::InvalidConfig {
+                parameter: "reference_index",
+                found: format!("{r} for {n} samples"),
+            })
+        }
+        None => n / 2,
+    };
+    if !(config.rank_tolerance > 0.0 && config.rank_tolerance < 1.0) {
+        return Err(CoreError::InvalidConfig {
+            parameter: "rank_tolerance",
+            found: format!("{}", config.rank_tolerance),
+        });
+    }
+    let positions = profile.positions();
+    let deltas = profile.delta_distances(reference);
+    let frame = analyze_geometry(positions, mode)?;
+    let full_dims = frame.axes.len();
+    // How many directions the trajectory actually spans.
+    let spanned = frame
+        .relative_spread
+        .iter()
+        .filter(|&&s| s >= config.rank_tolerance)
+        .count();
+    if spanned == 0 {
+        return Err(CoreError::DegenerateGeometry {
+            detail: "tag positions span no direction".to_string(),
+        });
+    }
+    if mode == Mode::ThreeD && spanned == 1 {
+        return Err(CoreError::DegenerateGeometry {
+            detail: "a single linear trajectory cannot determine a 3D position \
+                     (paper Sec. III-C2); add a second line or a planar scan"
+                .to_string(),
+        });
+    }
+    if full_dims - spanned > 1 {
+        // Can only recover one missing coordinate from d_r.
+        return Err(CoreError::DegenerateGeometry {
+            detail: format!(
+                "trajectory spans {spanned} of {full_dims} dimensions; only one \
+                 missing dimension can be recovered from the reference distance"
+            ),
+        });
+    }
+    let lower_dimension = spanned < full_dims;
+
+    // Coordinates of every sample in the solvable sub-frame.
+    let k = spanned;
+    let mut coords = Vec::with_capacity(n * k);
+    for p in positions {
+        let d = *p - frame.centroid;
+        for axis in frame.axes.iter().take(k) {
+            coords.push(d.dot(*axis));
+        }
+    }
+    let pairs = config.pair_strategy.pairs(positions);
+    let (design, rhs) = crate::model::build_system(&coords, k, &deltas, &pairs)?;
+    let (solution, residual_stats) = solve(&design, &rhs, &config.weighting)?;
+
+    // Reconstruct the position in world coordinates.
+    let mut position = frame.centroid;
+    for (c, axis) in frame.axes.iter().take(k).enumerate() {
+        position = position + *axis * solution[c];
+    }
+    let d_r = solution[k];
+    // Map per-parameter standard errors from frame axes to world axes:
+    // var(world_component) = Σ_c (axis_c · e)²·σ_c².
+    let position_std = if residual_stats.parameter_std.len() >= k {
+        let mut var = [0.0_f64; 3];
+        for (c, axis) in frame.axes.iter().take(k).enumerate() {
+            let s2 = residual_stats.parameter_std[c] * residual_stats.parameter_std[c];
+            var[0] += axis.x * axis.x * s2;
+            var[1] += axis.y * axis.y * s2;
+            var[2] += axis.z * axis.z * s2;
+        }
+        Vec3::new(var[0].sqrt(), var[1].sqrt(), var[2].sqrt())
+    } else {
+        Vec3::new(0.0, 0.0, 0.0)
+    };
+
+    if lower_dimension {
+        // Recover the perpendicular coordinate from d_r (Observation 2):
+        // d_r² = Σ_c (sol_c − ref_c)² + w², reference has w = 0 because it
+        // lies on the trajectory subspace.
+        let ref_p = positions[reference] - frame.centroid;
+        let mut planar_sq = 0.0;
+        for (c, axis) in frame.axes.iter().take(k).enumerate() {
+            let rc = ref_p.dot(*axis);
+            planar_sq += (solution[c] - rc) * (solution[c] - rc);
+        }
+        let disc = d_r * d_r - planar_sq;
+        // Tolerate slightly negative discriminants from noise.
+        let tol = 1e-6 + 0.01 * d_r.abs() * d_r.abs();
+        if disc < -tol {
+            return Err(CoreError::RecoveryFailed { discriminant: disc });
+        }
+        let w = disc.max(0.0).sqrt();
+        let normal = canonicalize(frame.axes[k]);
+        let plus = position + normal * w;
+        let minus = position - normal * w;
+        position = match config.side_hint {
+            Some(h) => {
+                if plus.distance(h) <= minus.distance(h) {
+                    plus
+                } else {
+                    minus
+                }
+            }
+            None => plus,
+        };
+    }
+
+    Ok(Estimate {
+        position,
+        reference_distance: d_r,
+        reference_position: positions[reference],
+        mean_residual: residual_stats.mean_residual,
+        weighted_rms: residual_stats.weighted_rms,
+        iterations: residual_stats.iterations,
+        equation_count: design.rows(),
+        lower_dimension,
+        position_std,
+    })
+}
+
+struct SolveStats {
+    mean_residual: f64,
+    weighted_rms: f64,
+    iterations: usize,
+    /// 1σ standard error per solved parameter (coordinates then d_r);
+    /// empty when the covariance is unavailable.
+    parameter_std: Vec<f64>,
+}
+
+/// Diagonal of `σ̂²·(AᵀWA)⁻¹` → per-parameter standard errors.
+fn parameter_std(design: &Matrix, residuals: &[f64], weights: &[f64]) -> Vec<f64> {
+    let (m, n) = design.shape();
+    if m <= n {
+        return Vec::new();
+    }
+    let wsum: f64 = weights.iter().sum();
+    // NaN-safe: `>` is false for NaN, so NaN weight sums bail out too.
+    let wsum_ok = wsum > 0.0;
+    if !wsum_ok {
+        return Vec::new();
+    }
+    // Weighted residual variance with n fitted parameters.
+    let dof = (m - n) as f64;
+    let sigma2 = residuals
+        .iter()
+        .zip(weights)
+        .map(|(r, w)| w * r * r)
+        .sum::<f64>()
+        / dof.max(1.0)
+        / (wsum / m as f64).max(f64::MIN_POSITIVE);
+    let Ok(gram) = design.weighted_gram(weights) else {
+        return Vec::new();
+    };
+    let Ok(inv) = lion_linalg::Lu::decompose(&gram).and_then(|lu| lu.inverse()) else {
+        return Vec::new();
+    };
+    (0..n)
+        .map(|i| (sigma2 * inv[(i, i)]).max(0.0).sqrt())
+        .collect()
+}
+
+fn solve(
+    design: &Matrix,
+    rhs: &Vector,
+    weighting: &Weighting,
+) -> Result<(Vector, SolveStats), CoreError> {
+    match weighting {
+        Weighting::LeastSquares => {
+            let x = lstsq::solve(design, rhs)?;
+            let res = lstsq::residuals(design, rhs, &x)?;
+            let mean = lion_linalg::stats::mean(&res).unwrap_or(0.0);
+            let rms = lion_linalg::stats::rms(&res).unwrap_or(0.0);
+            let uniform = vec![1.0; res.len()];
+            let std = parameter_std(design, &res, &uniform);
+            Ok((
+                x,
+                SolveStats {
+                    mean_residual: mean,
+                    weighted_rms: rms,
+                    iterations: 0,
+                    parameter_std: std,
+                },
+            ))
+        }
+        Weighting::Weighted(cfg) => {
+            let report = lstsq::solve_irls(design, rhs, cfg)?;
+            let std = parameter_std(design, &report.residuals, &report.weights);
+            Ok((
+                report.solution,
+                SolveStats {
+                    mean_residual: report.mean_residual,
+                    weighted_rms: report.weighted_rms,
+                    iterations: report.iterations,
+                    parameter_std: std,
+                },
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{PI, TAU};
+
+    const LAMBDA: f64 = 299_792_458.0 / 920.625e6;
+
+    /// Noise-free wrapped phase for an antenna at `target`.
+    fn phase_of(target: Point3, p: Point3) -> f64 {
+        (4.0 * PI * target.distance(p) / LAMBDA).rem_euclid(TAU)
+    }
+
+    fn circle_measurements(target: Point3, n: usize, radius: f64) -> Vec<(Point3, f64)> {
+        (0..n)
+            .map(|i| {
+                let a = i as f64 * TAU / n as f64;
+                let p = Point3::new(radius * a.cos(), radius * a.sin(), 0.0);
+                (p, phase_of(target, p))
+            })
+            .collect()
+    }
+
+    fn clean_config() -> LocalizerConfig {
+        LocalizerConfig {
+            smoothing_window: 1,
+            pair_strategy: PairStrategy::Interval { interval: 0.15 },
+            ..LocalizerConfig::default()
+        }
+    }
+
+    #[test]
+    fn locates_antenna_from_circular_scan_2d() {
+        // Paper Fig. 6 geometry: circle radius 0.3, antenna at 1 m.
+        for target in [
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(
+                std::f64::consts::FRAC_1_SQRT_2,
+                std::f64::consts::FRAC_1_SQRT_2,
+                0.0,
+            ),
+            Point3::new(0.0, 1.0, 0.0),
+        ] {
+            let m = circle_measurements(target, 300, 0.3);
+            let est = Localizer2d::new(clean_config()).locate(&m).unwrap();
+            assert!(
+                est.distance_error(target) < 1e-6,
+                "target {target}: error {}",
+                est.distance_error(target)
+            );
+            assert!(!est.lower_dimension);
+            assert!(est.mean_residual.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn locates_antenna_from_linear_scan_2d_lower_dimension() {
+        // Paper Fig. 9 geometry: tag on x ∈ [−0.3, 0.3], antenna (0.2, 1).
+        let target = Point3::new(0.2, 1.0, 0.0);
+        let m: Vec<(Point3, f64)> = (0..240)
+            .map(|i| {
+                let x = -0.3 + i as f64 * 0.0025;
+                let p = Point3::new(x, 0.0, 0.0);
+                (p, phase_of(target, p))
+            })
+            .collect();
+        let mut cfg = clean_config();
+        cfg.side_hint = Some(Point3::new(0.0, 0.5, 0.0));
+        let est = Localizer2d::new(cfg).locate(&m).unwrap();
+        assert!(est.lower_dimension);
+        assert!(
+            est.distance_error(target) < 1e-6,
+            "error {}",
+            est.distance_error(target)
+        );
+    }
+
+    #[test]
+    fn diagonal_linear_track_uses_rotated_frame() {
+        // A 45°-slanted track: the lower-dimension path must build its
+        // frame from the principal direction, not an axis.
+        let target = Point3::new(0.5, 1.2, 0.0);
+        let dir = (1.0_f64 / 2.0_f64.sqrt(), 1.0 / 2.0_f64.sqrt());
+        let m: Vec<(Point3, f64)> = (0..300)
+            .map(|i| {
+                let s = -0.4 + i as f64 * (0.8 / 299.0);
+                let p = Point3::new(s * dir.0, s * dir.1, 0.0);
+                (p, phase_of(target, p))
+            })
+            .collect();
+        let mut cfg = clean_config();
+        cfg.side_hint = Some(Point3::new(0.0, 1.0, 0.0));
+        let est = Localizer2d::new(cfg).locate(&m).unwrap();
+        assert!(est.lower_dimension);
+        assert!(
+            est.distance_error(target) < 1e-6,
+            "error {}",
+            est.distance_error(target)
+        );
+    }
+
+    #[test]
+    fn tilted_plane_3d_recovery() {
+        // Circular scan in a plane tilted 30° about the x-axis; the
+        // recovery normal is no longer a coordinate axis.
+        let tilt = 30.0_f64.to_radians();
+        let target = Point3::new(0.1, 0.3, 0.9);
+        let m: Vec<(Point3, f64)> = (0..300)
+            .map(|i| {
+                let a = i as f64 * TAU / 300.0;
+                let (u, v) = (0.35 * a.cos(), 0.35 * a.sin());
+                // Plane basis: e1 = x, e2 = cos(t)·y + sin(t)·z.
+                let p = Point3::new(u, v * tilt.cos(), v * tilt.sin());
+                (p, phase_of(target, p))
+            })
+            .collect();
+        let mut cfg = clean_config();
+        cfg.side_hint = Some(target);
+        let est = Localizer3d::new(cfg).locate(&m).unwrap();
+        assert!(est.lower_dimension);
+        assert!(
+            est.distance_error(target) < 1e-5,
+            "error {}",
+            est.distance_error(target)
+        );
+    }
+
+    #[test]
+    fn mirror_solution_follows_hint() {
+        let target = Point3::new(0.1, -0.9, 0.0); // antenna on the NEGATIVE y side
+        let m: Vec<(Point3, f64)> = (0..200)
+            .map(|i| {
+                let x = -0.4 + i as f64 * 0.004;
+                let p = Point3::new(x, 0.0, 0.0);
+                (p, phase_of(target, p))
+            })
+            .collect();
+        let mut cfg = clean_config();
+        cfg.side_hint = Some(Point3::new(0.0, -0.5, 0.0));
+        let est = Localizer2d::new(cfg).locate(&m).unwrap();
+        assert!(est.distance_error(target) < 1e-6);
+        // Without a hint the positive-y mirror is returned.
+        let mut cfg = clean_config();
+        cfg.side_hint = None;
+        let est = Localizer2d::new(cfg).locate(&m).unwrap();
+        let mirror = Point3::new(0.1, 0.9, 0.0);
+        assert!(est.distance_error(mirror) < 1e-6);
+    }
+
+    #[test]
+    fn locates_antenna_3d_from_three_line_scan() {
+        let target = Point3::new(0.1, 0.8, 0.15);
+        let scan = lion_geom::ThreeLineScan::new(-0.4, 0.4, 0.2, 0.2).unwrap();
+        // Sample along the continuous serpentine path (the paper's "move
+        // the tag from the end of one line to the start of the next") so
+        // unwrapping stays consistent across lines.
+        use lion_geom::Trajectory;
+        let m: Vec<(Point3, f64)> = scan
+            .to_path()
+            .sample(0.1, 50.0)
+            .into_iter()
+            .map(|w| (w.position, phase_of(target, w.position)))
+            .collect();
+        let mut cfg = clean_config();
+        cfg.pair_strategy = PairStrategy::StructuredScan {
+            scan,
+            x_interval: 0.2,
+            tolerance: 0.003,
+        };
+        let est = Localizer3d::new(cfg).locate(&m).unwrap();
+        assert!(
+            est.distance_error(target) < 1e-6,
+            "error {}",
+            est.distance_error(target)
+        );
+        assert!(!est.lower_dimension);
+    }
+
+    #[test]
+    fn locates_antenna_3d_from_planar_circle_with_recovery() {
+        // Circular trajectory in the z=0 plane, antenna above it.
+        let target = Point3::new(0.2, 0.3, 0.7);
+        let m = circle_measurements(target, 300, 0.4);
+        let mut cfg = clean_config();
+        cfg.side_hint = Some(Point3::new(0.0, 0.0, 0.5));
+        let est = Localizer3d::new(cfg).locate(&m).unwrap();
+        assert!(est.lower_dimension);
+        assert!(
+            est.distance_error(target) < 1e-6,
+            "error {}",
+            est.distance_error(target)
+        );
+    }
+
+    #[test]
+    fn single_line_cannot_do_3d() {
+        let target = Point3::new(0.0, 1.0, 0.2);
+        let m: Vec<(Point3, f64)> = (0..100)
+            .map(|i| {
+                let p = Point3::new(i as f64 * 0.01, 0.0, 0.0);
+                (p, phase_of(target, p))
+            })
+            .collect();
+        let err = Localizer3d::new(clean_config()).locate(&m).unwrap_err();
+        assert!(matches!(err, CoreError::DegenerateGeometry { .. }));
+    }
+
+    #[test]
+    fn coincident_positions_rejected() {
+        let m: Vec<(Point3, f64)> = (0..10).map(|_| (Point3::ORIGIN, 0.3)).collect();
+        let err = Localizer2d::new(clean_config()).locate(&m).unwrap_err();
+        assert!(matches!(err, CoreError::DegenerateGeometry { .. }));
+    }
+
+    #[test]
+    fn too_few_measurements_rejected() {
+        let m = vec![(Point3::ORIGIN, 0.0), (Point3::new(0.1, 0.0, 0.0), 0.1)];
+        assert!(matches!(
+            Localizer2d::new(clean_config()).locate(&m),
+            Err(CoreError::TooFewMeasurements { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_reference_index_rejected() {
+        let target = Point3::new(0.5, 0.5, 0.0);
+        let m = circle_measurements(target, 50, 0.3);
+        let mut cfg = clean_config();
+        cfg.reference_index = Some(999);
+        assert!(matches!(
+            Localizer2d::new(cfg).locate(&m),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_rank_tolerance_rejected() {
+        let m = circle_measurements(Point3::new(0.5, 0.5, 0.0), 50, 0.3);
+        let mut cfg = clean_config();
+        cfg.rank_tolerance = 0.0;
+        assert!(Localizer2d::new(cfg).locate(&m).is_err());
+    }
+
+    #[test]
+    fn pair_interval_too_large_yields_no_pairs() {
+        let m = circle_measurements(Point3::new(0.5, 0.5, 0.0), 50, 0.1);
+        let mut cfg = clean_config();
+        cfg.pair_strategy = PairStrategy::Interval { interval: 5.0 };
+        assert!(matches!(
+            Localizer2d::new(cfg).locate(&m),
+            Err(CoreError::NoPairs)
+        ));
+    }
+
+    #[test]
+    fn weighted_and_plain_agree_on_clean_data() {
+        let target = Point3::new(0.6, 0.7, 0.0);
+        let m = circle_measurements(target, 200, 0.3);
+        let mut cfg_ls = clean_config();
+        cfg_ls.weighting = Weighting::LeastSquares;
+        let e_ls = Localizer2d::new(cfg_ls).locate(&m).unwrap();
+        let e_wls = Localizer2d::new(clean_config()).locate(&m).unwrap();
+        assert!(e_ls.position.distance(e_wls.position) < 1e-8);
+        assert_eq!(e_ls.iterations, 0);
+    }
+
+    #[test]
+    fn estimate_reports_metadata() {
+        let target = Point3::new(0.5, 0.8, 0.0);
+        let m = circle_measurements(target, 100, 0.3);
+        let est = Localizer2d::new(clean_config()).locate(&m).unwrap();
+        assert!(est.equation_count > 0);
+        assert!(est.reference_distance > 0.0);
+        // d_r matches the true distance to the reference position.
+        let true_dr = target.distance(est.reference_position);
+        assert!((est.reference_distance - true_dr).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wrapped_input_is_unwrapped_internally() {
+        // Same as the circular test but with a noisy-free profile whose
+        // phases wrap dozens of times — locate() must handle it.
+        let target = Point3::new(1.0, 0.2, 0.0);
+        let m = circle_measurements(target, 400, 0.3);
+        // Count wraps to make sure the test is meaningful.
+        let mut wraps = 0;
+        for w in m.windows(2) {
+            if (w[1].1 - w[0].1).abs() > PI {
+                wraps += 1;
+            }
+        }
+        assert!(wraps > 2, "test should exercise unwrapping, wraps={wraps}");
+        let est = Localizer2d::new(clean_config()).locate(&m).unwrap();
+        assert!(est.distance_error(target) < 1e-6);
+    }
+
+    #[test]
+    fn position_std_reflects_noise_level() {
+        // Deterministic pseudo-Gaussian noise via a simple LCG.
+        let mut state: u64 = 0x12345678;
+        let mut gauss = move || {
+            let mut s = 0.0;
+            for _ in 0..12 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                s += (state >> 11) as f64 / (1u64 << 53) as f64;
+            }
+            s - 6.0 // Irwin-Hall ≈ N(0, 1)
+        };
+        let target = Point3::new(0.4, 0.9, 0.0);
+        let clean = circle_measurements(target, 300, 0.3);
+        let noisy: Vec<(Point3, f64)> = clean
+            .iter()
+            .map(|&(p, t)| (p, (t + 0.1 * gauss()).rem_euclid(TAU)))
+            .collect();
+        let clean_est = Localizer2d::new(clean_config()).locate(&clean).unwrap();
+        let noisy_est = Localizer2d::new(clean_config()).locate(&noisy).unwrap();
+        // Clean data: negligible uncertainty.
+        assert!(clean_est.position_std.norm() < 1e-6);
+        // Noisy data: uncertainty reported, and consistent with the actual
+        // error (within a generous 6σ).
+        let sigma = noisy_est.position_std.norm();
+        assert!(sigma > 1e-5, "std {sigma}");
+        assert!(
+            noisy_est.distance_error(target) < 6.0 * sigma + 1e-4,
+            "error {} vs sigma {}",
+            noisy_est.distance_error(target),
+            sigma
+        );
+        // The 2D solve leaves z untouched: zero uncertainty there.
+        assert_eq!(noisy_est.position_std.z, 0.0);
+    }
+
+    #[test]
+    fn canonicalize_orients_normals() {
+        assert_eq!(
+            canonicalize(Vec3::new(0.0, 0.0, -1.0)),
+            Vec3::new(0.0, 0.0, 1.0)
+        );
+        assert_eq!(
+            canonicalize(Vec3::new(0.0, -1.0, 0.0)),
+            Vec3::new(0.0, 1.0, 0.0)
+        );
+        assert_eq!(
+            canonicalize(Vec3::new(-1.0, 0.0, 0.0)),
+            Vec3::new(1.0, 0.0, 0.0)
+        );
+        assert_eq!(
+            canonicalize(Vec3::new(0.5, 0.5, 0.5)),
+            Vec3::new(0.5, 0.5, 0.5)
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! The linear localization model: turning sample pairs into the
+//! least-squares system `𝓐·𝓧 = 𝓚` (paper Eqs. 7, 9, 12).
+//!
+//! For a pair of tag positions `Tᵢ, Tⱼ` with distance differences
+//! `Δdᵢ, Δdⱼ` relative to the common reference sample, substituting
+//! `d_t = d_r + Δd_t` (Eq. 6) into the radical-line equation (Eq. 5) and
+//! expanding `d² = d_r² + 2·d_r·Δd + Δd²` cancels the quadratic `d_r²`
+//! term and leaves one linear equation per pair:
+//!
+//! ```text
+//! Σ_c 2(c_i − c_j)·c  +  2(Δdᵢ − Δdⱼ)·d_r  =  Σ_c (c_i² − c_j²) − Δdᵢ² + Δdⱼ²
+//! ```
+//!
+//! over the coordinates `c` (x, y in 2D; x, y, z in 3D) plus the unknown
+//! reference distance `d_r`.
+
+use lion_linalg::{Matrix, Vector};
+
+use crate::error::CoreError;
+
+/// Builds the design matrix and right-hand side from per-sample coordinates
+/// and distance differences.
+///
+/// `coords` is row-major `n × k` (`k` solvable coordinates per sample, in
+/// whatever frame the caller chose); `deltas` has length `n`. Each pair
+/// `(i, j)` becomes one row with `k + 1` columns — the coordinates then
+/// `d_r`.
+///
+/// # Errors
+///
+/// - [`CoreError::InvalidConfig`] when buffer sizes disagree or `k == 0`,
+/// - [`CoreError::NoPairs`] when `pairs` is empty,
+/// - [`CoreError::TooFewMeasurements`] when there are fewer pairs than
+///   unknowns (`k + 1`),
+/// - [`CoreError::InvalidConfig`] when a pair index is out of bounds.
+pub fn build_system(
+    coords: &[f64],
+    k: usize,
+    deltas: &[f64],
+    pairs: &[(usize, usize)],
+) -> Result<(Matrix, Vector), CoreError> {
+    if k == 0 {
+        return Err(CoreError::InvalidConfig {
+            parameter: "k",
+            found: "0".to_string(),
+        });
+    }
+    if !coords.len().is_multiple_of(k) || coords.len() / k != deltas.len() {
+        return Err(CoreError::InvalidConfig {
+            parameter: "coords/deltas",
+            found: format!("{} coords (k={k}) vs {} deltas", coords.len(), deltas.len()),
+        });
+    }
+    if pairs.is_empty() {
+        return Err(CoreError::NoPairs);
+    }
+    let n = deltas.len();
+    if pairs.len() < k + 1 {
+        return Err(CoreError::TooFewMeasurements {
+            got: pairs.len(),
+            needed: k + 1,
+        });
+    }
+    let mut design = Matrix::zeros(pairs.len(), k + 1);
+    let mut rhs = Vector::zeros(pairs.len());
+    for (row, &(i, j)) in pairs.iter().enumerate() {
+        if i >= n || j >= n {
+            return Err(CoreError::InvalidConfig {
+                parameter: "pairs",
+                found: format!("pair ({i}, {j}) out of bounds for {n} samples"),
+            });
+        }
+        let mut kappa = 0.0;
+        for c in 0..k {
+            let ci = coords[i * k + c];
+            let cj = coords[j * k + c];
+            design[(row, c)] = 2.0 * (ci - cj);
+            kappa += ci * ci - cj * cj;
+        }
+        design[(row, k)] = 2.0 * (deltas[i] - deltas[j]);
+        kappa -= deltas[i] * deltas[i] - deltas[j] * deltas[j];
+        rhs[row] = kappa;
+    }
+    Ok((design, rhs))
+}
+
+/// Verifies analytically that the true target satisfies the generated
+/// equations (used by tests and debug assertions): returns the maximum
+/// absolute equation violation at the given solution.
+pub fn max_violation(design: &Matrix, rhs: &Vector, solution: &Vector) -> f64 {
+    match design.mul_vector(solution) {
+        Ok(ax) => ax
+            .as_slice()
+            .iter()
+            .zip(rhs.as_slice())
+            .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs())),
+        Err(_) => f64::INFINITY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lion_geom::Point3;
+
+    /// Builds exact coords/deltas for an antenna at `target` and returns
+    /// the system plus the expected solution.
+    fn exact_system_2d(
+        target: Point3,
+        tags: &[Point3],
+        reference: usize,
+    ) -> (Matrix, Vector, Vector) {
+        let d_ref = target.distance(tags[reference]);
+        let deltas: Vec<f64> = tags.iter().map(|t| target.distance(*t) - d_ref).collect();
+        let coords: Vec<f64> = tags.iter().flat_map(|t| [t.x, t.y]).collect();
+        let pairs: Vec<(usize, usize)> = (0..tags.len() - 1).map(|i| (i, i + 1)).collect();
+        let (a, k) = build_system(&coords, 2, &deltas, &pairs).unwrap();
+        let expect = Vector::from_slice(&[target.x, target.y, d_ref]);
+        (a, k, expect)
+    }
+
+    #[test]
+    fn exact_solution_satisfies_equations_2d() {
+        let target = Point3::new(0.5, 0.8, 0.0);
+        let tags: Vec<Point3> = (0..8)
+            .map(|i| {
+                let a = i as f64 * 0.7;
+                Point3::new(0.3 * a.cos(), 0.3 * a.sin(), 0.0)
+            })
+            .collect();
+        let (a, k, expect) = exact_system_2d(target, &tags, 0);
+        assert!(max_violation(&a, &k, &expect) < 1e-12);
+    }
+
+    #[test]
+    fn solving_exact_system_recovers_target_2d() {
+        let target = Point3::new(-0.2, 1.1, 0.0);
+        let tags: Vec<Point3> = (0..10)
+            .map(|i| {
+                let a = i as f64 * 0.6;
+                Point3::new(0.25 * a.cos() + 0.05, 0.25 * a.sin() - 0.1, 0.0)
+            })
+            .collect();
+        let (a, k, expect) = exact_system_2d(target, &tags, 0);
+        let sol = lion_linalg::lstsq::solve(&a, &k).unwrap();
+        for (s, e) in sol.as_slice().iter().zip(expect.as_slice()) {
+            assert!((s - e).abs() < 1e-9, "{s} vs {e}");
+        }
+    }
+
+    #[test]
+    fn exact_solution_3d() {
+        let target = Point3::new(0.1, 0.9, 0.3);
+        let tags: Vec<Point3> = (0..12)
+            .map(|i| {
+                let a = i as f64 * 0.5;
+                Point3::new(0.3 * a.cos(), 0.3 * a.sin(), 0.05 * i as f64)
+            })
+            .collect();
+        let reference = 3;
+        let d_ref = target.distance(tags[reference]);
+        let deltas: Vec<f64> = tags.iter().map(|t| target.distance(*t) - d_ref).collect();
+        let coords: Vec<f64> = tags.iter().flat_map(|t| [t.x, t.y, t.z]).collect();
+        let pairs: Vec<(usize, usize)> = (0..tags.len() - 1).map(|i| (i, i + 1)).collect();
+        let (a, k) = build_system(&coords, 3, &deltas, &pairs).unwrap();
+        let sol = lion_linalg::lstsq::solve(&a, &k).unwrap();
+        let expect = [target.x, target.y, target.z, d_ref];
+        for (s, e) in sol.as_slice().iter().zip(expect) {
+            assert!((s - e).abs() < 1e-8, "{s} vs {e}");
+        }
+    }
+
+    #[test]
+    fn one_dimensional_frame_solves_u_and_dr() {
+        // Collinear tags: solve only [u, d_r] in the track frame.
+        let target = Point3::new(0.2, 1.0, 0.0); // u* = 0.2, perpendicular 1.0
+        let us: Vec<f64> = (0..30).map(|i| -0.3 + i as f64 * 0.02).collect();
+        let tags: Vec<Point3> = us.iter().map(|&u| Point3::new(u, 0.0, 0.0)).collect();
+        let reference = 15;
+        let d_ref = target.distance(tags[reference]);
+        let deltas: Vec<f64> = tags.iter().map(|t| target.distance(*t) - d_ref).collect();
+        let pairs: Vec<(usize, usize)> = (0..20).map(|i| (i, i + 10)).collect();
+        let (a, k) = build_system(&us, 1, &deltas, &pairs).unwrap();
+        let sol = lion_linalg::lstsq::solve(&a, &k).unwrap();
+        assert!((sol[0] - 0.2).abs() < 1e-9, "u {}", sol[0]);
+        assert!((sol[1] - d_ref).abs() < 1e-9, "d_r {}", sol[1]);
+        // Perpendicular recovery: v = √(d_r² − (u − u_ref)²).
+        let v = (sol[1] * sol[1] - (sol[0] - us[reference]).powi(2)).sqrt();
+        assert!((v - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(matches!(
+            build_system(&[], 0, &[], &[(0, 1)]),
+            Err(CoreError::InvalidConfig { parameter: "k", .. })
+        ));
+        assert!(matches!(
+            build_system(&[1.0, 2.0, 3.0], 2, &[0.0], &[(0, 1)]),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            build_system(&[1.0, 2.0], 1, &[0.0, 0.1], &[]),
+            Err(CoreError::NoPairs)
+        ));
+        assert!(matches!(
+            build_system(&[1.0, 2.0], 1, &[0.0, 0.1], &[(0, 1)]),
+            Err(CoreError::TooFewMeasurements { needed: 2, .. })
+        ));
+        assert!(matches!(
+            build_system(&[1.0, 2.0], 1, &[0.0, 0.1], &[(0, 5), (0, 1)]),
+            Err(CoreError::InvalidConfig {
+                parameter: "pairs",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn max_violation_detects_wrong_solution() {
+        let target = Point3::new(0.5, 0.8, 0.0);
+        let tags: Vec<Point3> = (0..6)
+            .map(|i| {
+                let a = i as f64;
+                Point3::new(0.3 * a.cos(), 0.3 * a.sin(), 0.0)
+            })
+            .collect();
+        let (a, k, expect) = exact_system_2d(target, &tags, 0);
+        let mut wrong = expect.clone();
+        wrong[0] += 0.1;
+        assert!(max_violation(&a, &k, &wrong) > 1e-3);
+        // Dimension mismatch returns infinity rather than panicking.
+        assert!(max_violation(&a, &k, &Vector::zeros(1)).is_infinite());
+    }
+}

@@ -1,0 +1,402 @@
+//! Signal preprocessing (paper Sec. IV-A): phase unwrapping and smoothing.
+//!
+//! A reader reports phases modulo 2π. Because the tag moves much less than
+//! half a wavelength between consecutive reads (10 cm/s at >100 Hz ≪
+//! 16 cm), consecutive-sample jumps of ≥ π radians must be wrap artifacts
+//! and can be removed by adding/subtracting multiples of 2π — after which
+//! the profile tracks the true distance variation continuously.
+
+use lion_geom::Point3;
+use lion_linalg::stats;
+
+use crate::error::CoreError;
+
+/// Unwraps a wrapped phase sequence (paper Sec. IV-A1).
+///
+/// Whenever the jump between consecutive values is ≥ π radians, multiples
+/// of 2π are added or subtracted until it is below π. The first value is
+/// kept as-is.
+///
+/// # Example
+///
+/// ```
+/// use std::f64::consts::PI;
+/// // A true phase decreasing through zero is reported wrapped near 2π.
+/// let wrapped = [0.3, 0.1, 2.0 * PI - 0.1, 2.0 * PI - 0.3];
+/// let un = lion_core::preprocess::unwrap_phases(&wrapped);
+/// let expected = [0.3, 0.1, -0.1, -0.3];
+/// for (u, e) in un.iter().zip(expected) {
+///     assert!((u - e).abs() < 1e-12);
+/// }
+/// ```
+pub fn unwrap_phases(wrapped: &[f64]) -> Vec<f64> {
+    let tau = std::f64::consts::TAU;
+    let mut out = Vec::with_capacity(wrapped.len());
+    let mut offset = 0.0;
+    let mut prev_raw: Option<f64> = None;
+    for &theta in wrapped {
+        if let Some(p) = prev_raw {
+            let mut jump = theta - p;
+            while jump >= std::f64::consts::PI {
+                jump -= tau;
+                offset -= tau;
+            }
+            while jump < -std::f64::consts::PI {
+                jump += tau;
+                offset += tau;
+            }
+        }
+        out.push(theta + offset);
+        prev_raw = Some(theta);
+    }
+    out
+}
+
+/// Re-wraps an angle into `[0, 2π)` — the inverse direction of
+/// [`unwrap_phases`] for a single value.
+pub fn wrap_phase(theta: f64) -> f64 {
+    stats::wrap_angle(theta)
+}
+
+/// A preprocessed phase profile: tag positions with **unwrapped** (and
+/// optionally smoothed) phases, ready for the linear model.
+///
+/// Construct with [`PhaseProfile::from_wrapped`], then optionally
+/// [`PhaseProfile::smooth`]. Subsets for the adaptive parameter sweep are
+/// taken *after* unwrapping via [`PhaseProfile::restrict_x`] /
+/// [`PhaseProfile::decimate`], so wrapping continuity is never broken by
+/// filtering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseProfile {
+    positions: Vec<Point3>,
+    phases: Vec<f64>,
+    wavelength: f64,
+}
+
+impl PhaseProfile {
+    /// Builds a profile from `(position, wrapped phase)` measurements taken
+    /// at carrier wavelength `wavelength` (meters).
+    ///
+    /// # Errors
+    ///
+    /// - [`CoreError::TooFewMeasurements`] for fewer than 2 samples,
+    /// - [`CoreError::NonFiniteMeasurement`] for NaN/inf input,
+    /// - [`CoreError::InvalidConfig`] for a non-positive wavelength.
+    pub fn from_wrapped(
+        measurements: &[(Point3, f64)],
+        wavelength: f64,
+    ) -> Result<Self, CoreError> {
+        if measurements.len() < 2 {
+            return Err(CoreError::TooFewMeasurements {
+                got: measurements.len(),
+                needed: 2,
+            });
+        }
+        if !(wavelength > 0.0 && wavelength.is_finite()) {
+            return Err(CoreError::InvalidConfig {
+                parameter: "wavelength",
+                found: format!("{wavelength}"),
+            });
+        }
+        for (i, (p, theta)) in measurements.iter().enumerate() {
+            if !p.is_finite() || !theta.is_finite() {
+                return Err(CoreError::NonFiniteMeasurement { index: i });
+            }
+        }
+        let wrapped: Vec<f64> = measurements.iter().map(|(_, t)| *t).collect();
+        Ok(PhaseProfile {
+            positions: measurements.iter().map(|(p, _)| *p).collect(),
+            phases: unwrap_phases(&wrapped),
+            wavelength,
+        })
+    }
+
+    /// Builds a profile from positions and **already unwrapped** phases.
+    ///
+    /// # Errors
+    ///
+    /// Same validations as [`PhaseProfile::from_wrapped`], plus a
+    /// [`CoreError::InvalidConfig`] when lengths differ.
+    pub fn from_unwrapped(
+        positions: Vec<Point3>,
+        phases: Vec<f64>,
+        wavelength: f64,
+    ) -> Result<Self, CoreError> {
+        if positions.len() != phases.len() {
+            return Err(CoreError::InvalidConfig {
+                parameter: "positions/phases",
+                found: format!("{} vs {}", positions.len(), phases.len()),
+            });
+        }
+        if positions.len() < 2 {
+            return Err(CoreError::TooFewMeasurements {
+                got: positions.len(),
+                needed: 2,
+            });
+        }
+        if !(wavelength > 0.0 && wavelength.is_finite()) {
+            return Err(CoreError::InvalidConfig {
+                parameter: "wavelength",
+                found: format!("{wavelength}"),
+            });
+        }
+        for (i, p) in positions.iter().enumerate() {
+            if !p.is_finite() || !phases[i].is_finite() {
+                return Err(CoreError::NonFiniteMeasurement { index: i });
+            }
+        }
+        Ok(PhaseProfile {
+            positions,
+            phases,
+            wavelength,
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Returns `true` when the profile has no samples (unreachable through
+    /// the validating constructors, but kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The tag positions.
+    pub fn positions(&self) -> &[Point3] {
+        &self.positions
+    }
+
+    /// The unwrapped (and possibly smoothed) phases.
+    pub fn phases(&self) -> &[f64] {
+        &self.phases
+    }
+
+    /// Carrier wavelength (meters).
+    pub fn wavelength(&self) -> f64 {
+        self.wavelength
+    }
+
+    /// Applies a centered moving-average filter to the phases (paper
+    /// Sec. IV-A2). A window of 0 or 1 is a no-op.
+    pub fn smooth(&mut self, window: usize) {
+        self.phases = stats::moving_average(&self.phases, window);
+    }
+
+    /// Distance differences `Δd_t = (λ/4π)·(θ_t − θ_ref)` relative to the
+    /// sample at `reference` (paper Eq. 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `reference` is out of bounds.
+    pub fn delta_distances(&self, reference: usize) -> Vec<f64> {
+        assert!(reference < self.len(), "reference index out of bounds");
+        let scale = self.wavelength / (4.0 * std::f64::consts::PI);
+        let theta_r = self.phases[reference];
+        self.phases.iter().map(|t| scale * (t - theta_r)).collect()
+    }
+
+    /// Keeps samples whose x-coordinate lies in `[min_x, max_x]` — the
+    /// paper's "scanning range" restriction, applied after unwrapping.
+    pub fn restrict_x(&self, min_x: f64, max_x: f64) -> PhaseProfile {
+        let keep: Vec<usize> = (0..self.len())
+            .filter(|&i| self.positions[i].x >= min_x && self.positions[i].x <= max_x)
+            .collect();
+        PhaseProfile {
+            positions: keep.iter().map(|&i| self.positions[i]).collect(),
+            phases: keep.iter().map(|&i| self.phases[i]).collect(),
+            wavelength: self.wavelength,
+        }
+    }
+
+    /// Keeps every `step`-th sample (step 0 behaves like 1).
+    pub fn decimate(&self, step: usize) -> PhaseProfile {
+        let step = step.max(1);
+        PhaseProfile {
+            positions: self.positions.iter().copied().step_by(step).collect(),
+            phases: self.phases.iter().copied().step_by(step).collect(),
+            wavelength: self.wavelength,
+        }
+    }
+
+    /// Keeps samples satisfying a position predicate.
+    pub fn filter_positions(&self, mut keep: impl FnMut(Point3) -> bool) -> PhaseProfile {
+        let idx: Vec<usize> = (0..self.len())
+            .filter(|&i| keep(self.positions[i]))
+            .collect();
+        PhaseProfile {
+            positions: idx.iter().map(|&i| self.positions[i]).collect(),
+            phases: idx.iter().map(|&i| self.phases[i]).collect(),
+            wavelength: self.wavelength,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{PI, TAU};
+
+    fn wrap(t: f64) -> f64 {
+        stats::wrap_angle(t)
+    }
+
+    #[test]
+    fn unwrap_recovers_linear_ramp() {
+        // A steadily increasing true phase, reported wrapped.
+        let truth: Vec<f64> = (0..200).map(|i| 0.05 * i as f64).collect();
+        let wrapped: Vec<f64> = truth.iter().map(|&t| wrap(t)).collect();
+        let un = unwrap_phases(&wrapped);
+        for (u, t) in un.iter().zip(&truth) {
+            assert!((u - t).abs() < 1e-9, "{u} vs {t}");
+        }
+    }
+
+    #[test]
+    fn unwrap_recovers_descending_ramp() {
+        let truth: Vec<f64> = (0..200).map(|i| 5.0 - 0.07 * i as f64).collect();
+        let wrapped: Vec<f64> = truth.iter().map(|&t| wrap(t)).collect();
+        let un = unwrap_phases(&wrapped);
+        for (u, t) in un.iter().zip(&truth) {
+            assert!((u - t).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unwrap_recovers_v_shape() {
+        // Distance to an antenna above the track: phase falls then rises.
+        let truth: Vec<f64> = (-100..100)
+            .map(|i| {
+                let x = i as f64 * 0.002;
+                let d = (x * x + 0.64_f64).sqrt();
+                4.0 * PI * d / 0.3256
+            })
+            .collect();
+        let wrapped: Vec<f64> = truth.iter().map(|&t| wrap(t)).collect();
+        let un = unwrap_phases(&wrapped);
+        // Unwrapped differs from truth only by a constant multiple of 2π.
+        let k = (un[0] - truth[0]) / TAU;
+        assert!((k - k.round()).abs() < 1e-9);
+        for (u, t) in un.iter().zip(&truth) {
+            assert!((u - t - k.round() * TAU).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unwrap_handles_empty_and_single() {
+        assert!(unwrap_phases(&[]).is_empty());
+        assert_eq!(unwrap_phases(&[1.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn unwrap_is_identity_when_continuous() {
+        let phases = [1.0, 1.2, 1.4, 1.1, 0.8];
+        assert_eq!(unwrap_phases(&phases), phases.to_vec());
+    }
+
+    #[test]
+    fn profile_construction_validates() {
+        let m = vec![(Point3::ORIGIN, 0.1)];
+        assert!(matches!(
+            PhaseProfile::from_wrapped(&m, 0.3256),
+            Err(CoreError::TooFewMeasurements { .. })
+        ));
+        let m = vec![
+            (Point3::ORIGIN, 0.1),
+            (Point3::new(0.1, 0.0, 0.0), f64::NAN),
+        ];
+        assert!(matches!(
+            PhaseProfile::from_wrapped(&m, 0.3256),
+            Err(CoreError::NonFiniteMeasurement { index: 1 })
+        ));
+        let m = vec![(Point3::ORIGIN, 0.1), (Point3::new(0.1, 0.0, 0.0), 0.2)];
+        assert!(PhaseProfile::from_wrapped(&m, -1.0).is_err());
+        assert!(PhaseProfile::from_wrapped(&m, 0.3256).is_ok());
+    }
+
+    #[test]
+    fn from_unwrapped_validates_lengths() {
+        assert!(PhaseProfile::from_unwrapped(vec![Point3::ORIGIN], vec![0.1, 0.2], 0.3,).is_err());
+        let p = PhaseProfile::from_unwrapped(
+            vec![Point3::ORIGIN, Point3::new(1.0, 0.0, 0.0)],
+            vec![0.1, 7.0],
+            0.3,
+        )
+        .unwrap();
+        assert_eq!(p.phases(), &[0.1, 7.0]); // no unwrapping applied
+    }
+
+    #[test]
+    fn delta_distances_match_formula() {
+        let lambda = 0.3256;
+        let positions = vec![
+            Point3::ORIGIN,
+            Point3::new(0.1, 0.0, 0.0),
+            Point3::new(0.2, 0.0, 0.0),
+        ];
+        let phases = vec![0.0, TAU, 2.0 * TAU];
+        let p = PhaseProfile::from_unwrapped(positions, phases, lambda).unwrap();
+        let dd = p.delta_distances(0);
+        assert!((dd[0]).abs() < 1e-12);
+        // 2π of round-trip phase is λ/2 of distance.
+        assert!((dd[1] - lambda / 2.0).abs() < 1e-12);
+        assert!((dd[2] - lambda).abs() < 1e-12);
+        // Different reference shifts all values.
+        let dd1 = p.delta_distances(1);
+        assert!((dd1[0] + lambda / 2.0).abs() < 1e-12);
+        assert!((dd1[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "reference index")]
+    fn delta_distances_checks_reference() {
+        let p = PhaseProfile::from_unwrapped(
+            vec![Point3::ORIGIN, Point3::new(1.0, 0.0, 0.0)],
+            vec![0.0, 1.0],
+            0.3,
+        )
+        .unwrap();
+        let _ = p.delta_distances(5);
+    }
+
+    #[test]
+    fn smoothing_reduces_wiggle() {
+        let positions: Vec<Point3> = (0..100)
+            .map(|i| Point3::new(i as f64 * 0.01, 0.0, 0.0))
+            .collect();
+        let phases: Vec<f64> = (0..100)
+            .map(|i| i as f64 * 0.05 + if i % 2 == 0 { 0.05 } else { -0.05 })
+            .collect();
+        let mut p = PhaseProfile::from_unwrapped(positions, phases, 0.3256).unwrap();
+        let rough: f64 = p.phases().windows(2).map(|w| (w[1] - w[0]).abs()).sum();
+        p.smooth(5);
+        let smooth: f64 = p.phases().windows(2).map(|w| (w[1] - w[0]).abs()).sum();
+        assert!(smooth < rough);
+        assert_eq!(p.len(), 100);
+    }
+
+    #[test]
+    fn restrict_and_decimate() {
+        let positions: Vec<Point3> = (0..11)
+            .map(|i| Point3::new((i as f64 - 5.0) / 10.0, 0.0, 0.0))
+            .collect();
+        let phases: Vec<f64> = (0..11).map(|i| i as f64 * 0.1).collect();
+        let p = PhaseProfile::from_unwrapped(positions, phases, 0.3256).unwrap();
+        let r = p.restrict_x(-0.2, 0.2);
+        assert_eq!(r.len(), 5);
+        assert!(r.positions().iter().all(|q| q.x.abs() <= 0.2 + 1e-12));
+        let d = p.decimate(2);
+        assert_eq!(d.len(), 6);
+        assert_eq!(d.positions()[1].x, p.positions()[2].x);
+        assert_eq!(p.decimate(0).len(), p.len());
+        let f = p.filter_positions(|q| q.x > 0.0);
+        assert_eq!(f.len(), 5);
+    }
+
+    #[test]
+    fn wrap_phase_range() {
+        assert!((wrap_phase(-0.1) - (TAU - 0.1)).abs() < 1e-12);
+        assert!((wrap_phase(TAU + 0.1) - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,244 @@
+//! Circles and spheres — the loci of constant tag–antenna distance.
+//!
+//! In the LION model, every phase sample taken at tag position `Tᵢ` pins the
+//! antenna to a circle (2D, paper Eq. 2–4) or sphere (3D) centered at `Tᵢ`
+//! with radius equal to the inferred distance `dᵢ`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::point::{Point2, Point3};
+use crate::GeomError;
+
+/// A circle in the plane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Circle {
+    /// Center (a tag position in the LION setting).
+    pub center: Point2,
+    /// Radius (the tag–antenna distance).
+    pub radius: f64,
+}
+
+/// A sphere in 3D space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sphere {
+    /// Center (a tag position in the LION setting).
+    pub center: Point3,
+    /// Radius (the tag–antenna distance).
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Creates a circle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative (use [`Circle::try_new`] to validate
+    /// dynamically).
+    pub fn new(center: Point2, radius: f64) -> Self {
+        assert!(radius >= 0.0, "circle radius must be non-negative");
+        Circle { center, radius }
+    }
+
+    /// Creates a circle, validating the radius.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::InvalidInput`] for a negative or non-finite
+    /// radius.
+    pub fn try_new(center: Point2, radius: f64) -> Result<Self, GeomError> {
+        if !(radius >= 0.0 && radius.is_finite()) {
+            return Err(GeomError::InvalidInput {
+                operation: "circle",
+                found: format!("radius {radius}"),
+            });
+        }
+        Ok(Circle { center, radius })
+    }
+
+    /// Signed power of a point with respect to this circle:
+    /// `|p − center|² − r²`. Zero on the circle, negative inside.
+    ///
+    /// The radical line of two circles is precisely the set of points with
+    /// equal power with respect to both.
+    pub fn power(&self, p: Point2) -> f64 {
+        p.distance_squared(self.center) - self.radius * self.radius
+    }
+
+    /// Returns `true` when `p` lies on the circle within `tol`.
+    pub fn contains(&self, p: Point2, tol: f64) -> bool {
+        (p.distance(self.center) - self.radius).abs() <= tol
+    }
+}
+
+impl Sphere {
+    /// Creates a sphere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative.
+    pub fn new(center: Point3, radius: f64) -> Self {
+        assert!(radius >= 0.0, "sphere radius must be non-negative");
+        Sphere { center, radius }
+    }
+
+    /// Creates a sphere, validating the radius.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::InvalidInput`] for a negative or non-finite
+    /// radius.
+    pub fn try_new(center: Point3, radius: f64) -> Result<Self, GeomError> {
+        if !(radius >= 0.0 && radius.is_finite()) {
+            return Err(GeomError::InvalidInput {
+                operation: "sphere",
+                found: format!("radius {radius}"),
+            });
+        }
+        Ok(Sphere { center, radius })
+    }
+
+    /// Signed power of a point with respect to this sphere.
+    pub fn power(&self, p: Point3) -> f64 {
+        p.distance_squared(self.center) - self.radius * self.radius
+    }
+
+    /// Returns `true` when `p` lies on the sphere within `tol`.
+    pub fn contains(&self, p: Point3, tol: f64) -> bool {
+        (p.distance(self.center) - self.radius).abs() <= tol
+    }
+}
+
+/// Intersection points of two circles.
+///
+/// Returns zero, one (tangent), or two points. Concentric circles yield an
+/// error because the intersection is either empty or the whole circle.
+///
+/// # Errors
+///
+/// Returns [`GeomError::Degenerate`] when the centers coincide.
+///
+/// # Example
+///
+/// ```
+/// use lion_geom::{circle_intersections, Circle, Point2};
+///
+/// let a = Circle::new(Point2::new(0.0, 0.0), 1.0);
+/// let b = Circle::new(Point2::new(1.0, 0.0), 1.0);
+/// let pts = circle_intersections(&a, &b).unwrap();
+/// assert_eq!(pts.len(), 2);
+/// for p in pts {
+///     assert!(a.contains(p, 1e-12) && b.contains(p, 1e-12));
+/// }
+/// ```
+pub fn circle_intersections(a: &Circle, b: &Circle) -> Result<Vec<Point2>, GeomError> {
+    let d = a.center.distance(b.center);
+    if d == 0.0 {
+        return Err(GeomError::Degenerate {
+            operation: "circle intersection",
+        });
+    }
+    // No intersection: too far apart or one inside the other.
+    if d > a.radius + b.radius || d < (a.radius - b.radius).abs() {
+        return Ok(Vec::new());
+    }
+    // Distance from a.center to the radical line along the center line.
+    let h = (a.radius * a.radius - b.radius * b.radius + d * d) / (2.0 * d);
+    let base = a.center + (b.center - a.center) * (h / d);
+    let half_chord_sq = a.radius * a.radius - h * h;
+    if half_chord_sq <= 0.0 {
+        // Tangent (within rounding).
+        return Ok(vec![base]);
+    }
+    let half = half_chord_sq.sqrt();
+    let dir = (b.center - a.center).normalized().expect("d > 0").perp();
+    Ok(vec![base + dir * half, base - dir * half])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_sign() {
+        let c = Circle::new(Point2::new(0.0, 0.0), 2.0);
+        assert!(c.power(Point2::new(0.0, 0.0)) < 0.0);
+        assert_eq!(c.power(Point2::new(2.0, 0.0)), 0.0);
+        assert!(c.power(Point2::new(3.0, 0.0)) > 0.0);
+        let s = Sphere::new(Point3::ORIGIN, 1.0);
+        assert!(s.power(Point3::new(0.5, 0.0, 0.0)) < 0.0);
+        assert!(s.power(Point3::new(0.0, 2.0, 0.0)) > 0.0);
+    }
+
+    #[test]
+    fn contains_tolerance() {
+        let c = Circle::new(Point2::new(1.0, 1.0), 1.0);
+        assert!(c.contains(Point2::new(2.0, 1.0), 1e-12));
+        assert!(!c.contains(Point2::new(2.1, 1.0), 1e-3));
+        assert!(c.contains(Point2::new(2.05, 1.0), 0.1));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Circle::try_new(Point2::ORIGIN, -1.0).is_err());
+        assert!(Circle::try_new(Point2::ORIGIN, f64::NAN).is_err());
+        assert!(Circle::try_new(Point2::ORIGIN, 0.0).is_ok());
+        assert!(Sphere::try_new(Point3::ORIGIN, -0.1).is_err());
+        assert!(Sphere::try_new(Point3::ORIGIN, 1.0).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_radius_panics() {
+        let _ = Circle::new(Point2::ORIGIN, -2.0);
+    }
+
+    #[test]
+    fn two_point_intersection() {
+        let a = Circle::new(Point2::new(0.0, 0.0), 5.0);
+        let b = Circle::new(Point2::new(6.0, 0.0), 5.0);
+        let pts = circle_intersections(&a, &b).unwrap();
+        assert_eq!(pts.len(), 2);
+        for p in &pts {
+            assert!((p.x - 3.0).abs() < 1e-12);
+            assert!((p.y.abs() - 4.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tangent_intersection() {
+        let a = Circle::new(Point2::new(0.0, 0.0), 1.0);
+        let b = Circle::new(Point2::new(2.0, 0.0), 1.0);
+        let pts = circle_intersections(&a, &b).unwrap();
+        assert_eq!(pts.len(), 1);
+        assert!(pts[0].distance(Point2::new(1.0, 0.0)) < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_and_nested() {
+        let a = Circle::new(Point2::new(0.0, 0.0), 1.0);
+        let far = Circle::new(Point2::new(5.0, 0.0), 1.0);
+        assert!(circle_intersections(&a, &far).unwrap().is_empty());
+        let inner = Circle::new(Point2::new(0.1, 0.0), 0.2);
+        assert!(circle_intersections(&a, &inner).unwrap().is_empty());
+    }
+
+    #[test]
+    fn concentric_is_degenerate() {
+        let a = Circle::new(Point2::new(1.0, 1.0), 1.0);
+        let b = Circle::new(Point2::new(1.0, 1.0), 2.0);
+        assert!(matches!(
+            circle_intersections(&a, &b),
+            Err(GeomError::Degenerate { .. })
+        ));
+    }
+
+    #[test]
+    fn intersections_lie_on_both_circles() {
+        let a = Circle::new(Point2::new(-0.3, 0.2), 0.9);
+        let b = Circle::new(Point2::new(0.4, -0.1), 0.7);
+        for p in circle_intersections(&a, &b).unwrap() {
+            assert!(a.contains(p, 1e-10));
+            assert!(b.contains(p, 1e-10));
+        }
+    }
+}

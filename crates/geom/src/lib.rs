@@ -1,0 +1,91 @@
+//! # lion-geom
+//!
+//! Geometry substrate for the LION reproduction (ICDCS 2022): points and
+//! vectors in 2D/3D, circles and spheres with their **radical lines /
+//! radical planes** (the core geometric object of the paper's linear
+//! localization model), and the tag trajectories used for antenna
+//! calibration (linear slide, three-line 3D scan, turntable circle).
+//!
+//! The paper's Observation 1 is a classical fact of circle geometry: when
+//! three or more circles share a common point, that point lies on every
+//! pairwise radical line. [`radical_line`] computes exactly the line of
+//! paper Eq. (5); [`radical_plane`] is its 3D counterpart feeding Eq. (8).
+//!
+//! # Example
+//!
+//! ```
+//! use lion_geom::{radical_line, Circle, Point2};
+//!
+//! let target = Point2::new(0.5, 0.5);
+//! let c1 = Circle::new(Point2::new(-0.3, 0.0), target.distance(Point2::new(-0.3, 0.0)));
+//! let c2 = Circle::new(Point2::new(0.3, 0.0), target.distance(Point2::new(0.3, 0.0)));
+//! let line = radical_line(&c1, &c2).expect("distinct centers");
+//! assert!(line.distance_to(target) < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circle;
+mod line;
+mod point;
+mod trajectory;
+mod transform;
+
+pub use circle::{circle_intersections, Circle, Sphere};
+pub use line::{line_intersection, radical_line, radical_plane, Line2, Plane};
+pub use point::{Point2, Point3, Vec2, Vec3};
+pub use trajectory::{CircularArc, LineSegment, Path, ThreeLineScan, Trajectory, TrajectoryPoint};
+pub use transform::Isometry;
+
+/// Geometry-level errors.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GeomError {
+    /// The requested construction is degenerate (e.g. radical line of two
+    /// concentric circles, intersection of parallel lines).
+    Degenerate {
+        /// What was being constructed.
+        operation: &'static str,
+    },
+    /// An input value was invalid (negative radius, zero-length segment…).
+    InvalidInput {
+        /// What was being constructed.
+        operation: &'static str,
+        /// Human-readable description of the bad value.
+        found: String,
+    },
+}
+
+impl std::fmt::Display for GeomError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GeomError::Degenerate { operation } => {
+                write!(f, "degenerate geometry in {operation}")
+            }
+            GeomError::InvalidInput { operation, found } => {
+                write!(f, "invalid input to {operation}: {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_nonempty() {
+        let e = GeomError::Degenerate {
+            operation: "radical line",
+        };
+        assert!(!e.to_string().is_empty());
+        let e = GeomError::InvalidInput {
+            operation: "circle",
+            found: "radius -1".into(),
+        };
+        assert!(e.to_string().contains("circle"));
+    }
+}

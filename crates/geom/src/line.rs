@@ -1,0 +1,315 @@
+//! Lines, planes, and the radical constructions at the heart of LION.
+//!
+//! Subtracting the equations of two circles (paper Eq. 3 − Eq. 4) cancels
+//! the quadratic terms and leaves the **radical line** (paper Eq. 5):
+//!
+//! ```text
+//! 2(xᵢ−xⱼ)·x + 2(yᵢ−yⱼ)·y = xᵢ²−xⱼ² + yᵢ²−yⱼ² − dᵢ² + dⱼ²
+//! ```
+//!
+//! The same subtraction on spheres leaves the **radical plane** (Eq. 8).
+//! These are exactly the linear equations LION stacks into its
+//! least-squares system.
+
+use serde::{Deserialize, Serialize};
+
+use crate::circle::{Circle, Sphere};
+use crate::point::{Point2, Point3, Vec3};
+use crate::GeomError;
+
+/// A line in the plane in implicit form `a·x + b·y = c` with `(a, b)`
+/// normalized to unit length.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Line2 {
+    /// Unit normal x-component.
+    pub a: f64,
+    /// Unit normal y-component.
+    pub b: f64,
+    /// Offset: the signed distance of the origin times −1.
+    pub c: f64,
+}
+
+/// A plane in implicit form `n·p = d` with unit normal `n`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Plane {
+    /// Unit normal.
+    pub normal: Vec3,
+    /// Offset along the normal.
+    pub d: f64,
+}
+
+impl Line2 {
+    /// Builds a line from raw implicit coefficients `a·x + b·y = c`,
+    /// normalizing the normal vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::Degenerate`] when `a = b = 0`.
+    pub fn from_implicit(a: f64, b: f64, c: f64) -> Result<Self, GeomError> {
+        let n = a.hypot(b);
+        if n == 0.0 || !n.is_finite() {
+            return Err(GeomError::Degenerate {
+                operation: "line from implicit coefficients",
+            });
+        }
+        Ok(Line2 {
+            a: a / n,
+            b: b / n,
+            c: c / n,
+        })
+    }
+
+    /// Builds the line through two distinct points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::Degenerate`] when the points coincide.
+    pub fn through(p: Point2, q: Point2) -> Result<Self, GeomError> {
+        let d = q - p;
+        // Normal is perpendicular to the direction.
+        Line2::from_implicit(-d.y, d.x, -d.y * p.x + d.x * p.y)
+    }
+
+    /// Unsigned distance from a point to the line.
+    pub fn distance_to(&self, p: Point2) -> f64 {
+        (self.a * p.x + self.b * p.y - self.c).abs()
+    }
+
+    /// Signed evaluation `a·x + b·y − c` (zero on the line).
+    pub fn eval(&self, p: Point2) -> f64 {
+        self.a * p.x + self.b * p.y - self.c
+    }
+
+    /// Returns `true` when `p` lies on the line within `tol`.
+    pub fn contains(&self, p: Point2, tol: f64) -> bool {
+        self.distance_to(p) <= tol
+    }
+}
+
+impl Plane {
+    /// Builds a plane from a (not necessarily unit) normal and offset
+    /// `n·p = d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::Degenerate`] for a zero normal.
+    pub fn from_normal(normal: Vec3, d: f64) -> Result<Self, GeomError> {
+        let n = normal.norm();
+        if n == 0.0 || !n.is_finite() {
+            return Err(GeomError::Degenerate {
+                operation: "plane from normal",
+            });
+        }
+        Ok(Plane {
+            normal: normal / n,
+            d: d / n,
+        })
+    }
+
+    /// Unsigned distance from a point to the plane.
+    pub fn distance_to(&self, p: Point3) -> f64 {
+        (self.normal.dot(p - Point3::ORIGIN) - self.d).abs()
+    }
+
+    /// Returns `true` when `p` lies on the plane within `tol`.
+    pub fn contains(&self, p: Point3, tol: f64) -> bool {
+        self.distance_to(p) <= tol
+    }
+}
+
+/// Radical line of two circles (paper Eq. 5): the locus of equal power,
+/// which passes through both intersection points when the circles meet.
+///
+/// # Errors
+///
+/// Returns [`GeomError::Degenerate`] for concentric circles.
+///
+/// # Example
+///
+/// ```
+/// use lion_geom::{circle_intersections, radical_line, Circle, Point2};
+///
+/// let a = Circle::new(Point2::new(0.0, 0.0), 1.0);
+/// let b = Circle::new(Point2::new(1.5, 0.0), 1.0);
+/// let line = radical_line(&a, &b).unwrap();
+/// for p in circle_intersections(&a, &b).unwrap() {
+///     assert!(line.contains(p, 1e-9));
+/// }
+/// ```
+pub fn radical_line(a: &Circle, b: &Circle) -> Result<Line2, GeomError> {
+    let (ti, tj) = (a.center, b.center);
+    let alpha = 2.0 * (ti.x - tj.x);
+    let beta = 2.0 * (ti.y - tj.y);
+    let kappa = ti.x * ti.x - tj.x * tj.x + ti.y * ti.y - tj.y * tj.y - a.radius * a.radius
+        + b.radius * b.radius;
+    Line2::from_implicit(alpha, beta, kappa)
+}
+
+/// Radical plane of two spheres (paper Eq. 8).
+///
+/// # Errors
+///
+/// Returns [`GeomError::Degenerate`] for concentric spheres.
+pub fn radical_plane(a: &Sphere, b: &Sphere) -> Result<Plane, GeomError> {
+    let (ti, tj) = (a.center, b.center);
+    let normal = Vec3::new(
+        2.0 * (ti.x - tj.x),
+        2.0 * (ti.y - tj.y),
+        2.0 * (ti.z - tj.z),
+    );
+    let kappa = ti.x * ti.x - tj.x * tj.x + ti.y * ti.y - tj.y * tj.y + ti.z * ti.z
+        - tj.z * tj.z
+        - a.radius * a.radius
+        + b.radius * b.radius;
+    Plane::from_normal(normal, kappa)
+}
+
+/// Intersection point of two lines.
+///
+/// # Errors
+///
+/// Returns [`GeomError::Degenerate`] for (anti)parallel lines.
+pub fn line_intersection(l1: &Line2, l2: &Line2) -> Result<Point2, GeomError> {
+    let det = l1.a * l2.b - l2.a * l1.b;
+    if det.abs() < 1e-12 {
+        return Err(GeomError::Degenerate {
+            operation: "line intersection",
+        });
+    }
+    Ok(Point2::new(
+        (l1.c * l2.b - l2.c * l1.b) / det,
+        (l1.a * l2.c - l2.a * l1.c) / det,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circle::circle_intersections;
+
+    #[test]
+    fn line_normalization() {
+        let l = Line2::from_implicit(3.0, 4.0, 10.0).unwrap();
+        assert!((l.a * l.a + l.b * l.b - 1.0).abs() < 1e-12);
+        assert!((l.c - 2.0).abs() < 1e-12);
+        assert!(Line2::from_implicit(0.0, 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn line_through_points() {
+        let l = Line2::through(Point2::new(0.0, 1.0), Point2::new(1.0, 2.0)).unwrap();
+        assert!(l.contains(Point2::new(0.5, 1.5), 1e-12));
+        assert!(l.contains(Point2::new(-1.0, 0.0), 1e-12));
+        assert!(!l.contains(Point2::new(0.0, 0.0), 1e-6));
+        assert!(Line2::through(Point2::ORIGIN, Point2::ORIGIN).is_err());
+    }
+
+    #[test]
+    fn line_distance() {
+        // x-axis: normal (0, 1), c = 0.
+        let l = Line2::from_implicit(0.0, 2.0, 0.0).unwrap();
+        assert_eq!(l.distance_to(Point2::new(5.0, 3.0)), 3.0);
+        assert_eq!(l.distance_to(Point2::new(-2.0, -4.0)), 4.0);
+        assert!(l.eval(Point2::new(0.0, 3.0)) > 0.0);
+        assert!(l.eval(Point2::new(0.0, -3.0)) < 0.0);
+    }
+
+    #[test]
+    fn radical_line_passes_through_intersections() {
+        let a = Circle::new(Point2::new(-0.2, 0.1), 1.0);
+        let b = Circle::new(Point2::new(0.5, -0.3), 0.8);
+        let line = radical_line(&a, &b).unwrap();
+        let pts = circle_intersections(&a, &b).unwrap();
+        assert_eq!(pts.len(), 2);
+        for p in pts {
+            assert!(line.contains(p, 1e-9), "distance {}", line.distance_to(p));
+        }
+    }
+
+    #[test]
+    fn radical_line_is_equal_power_locus() {
+        let a = Circle::new(Point2::new(0.0, 0.0), 2.0);
+        let b = Circle::new(Point2::new(3.0, 1.0), 1.0);
+        let line = radical_line(&a, &b).unwrap();
+        // Walk along the line and confirm equal powers.
+        let dir = Vec3::new(-line.b, line.a, 0.0); // direction ⟂ normal
+        let base = Point2::new(line.a * line.c, line.b * line.c);
+        for t in [-2.0, -0.5, 0.0, 0.7, 1.9] {
+            let p = Point2::new(base.x + dir.x * t, base.y + dir.y * t);
+            assert!((a.power(p) - b.power(p)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn radical_line_concentric_degenerate() {
+        let a = Circle::new(Point2::new(1.0, 1.0), 1.0);
+        let b = Circle::new(Point2::new(1.0, 1.0), 2.0);
+        assert!(radical_line(&a, &b).is_err());
+    }
+
+    #[test]
+    fn observation1_three_circles_common_point() {
+        // Paper Observation 1: radical lines of circles sharing a point all
+        // pass through it.
+        let antenna = Point2::new(0.5, 0.5);
+        let tags = [
+            Point2::new(-0.3, 0.0),
+            Point2::new(0.0, -0.2),
+            Point2::new(0.3, 0.1),
+        ];
+        let circles: Vec<Circle> = tags
+            .iter()
+            .map(|&t| Circle::new(t, antenna.distance(t)))
+            .collect();
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                let l = radical_line(&circles[i], &circles[j]).unwrap();
+                assert!(l.contains(antenna, 1e-9));
+            }
+        }
+        // And pairwise radical lines intersect at the antenna.
+        let l01 = radical_line(&circles[0], &circles[1]).unwrap();
+        let l12 = radical_line(&circles[1], &circles[2]).unwrap();
+        let p = line_intersection(&l01, &l12).unwrap();
+        assert!(p.distance(antenna) < 1e-9);
+    }
+
+    #[test]
+    fn radical_plane_contains_common_point() {
+        let antenna = Point3::new(0.2, 0.8, 0.3);
+        let t1 = Point3::new(0.0, 0.0, 0.0);
+        let t2 = Point3::new(0.3, 0.0, 0.2);
+        let s1 = Sphere::new(t1, antenna.distance(t1));
+        let s2 = Sphere::new(t2, antenna.distance(t2));
+        let plane = radical_plane(&s1, &s2).unwrap();
+        assert!(plane.contains(antenna, 1e-9));
+        // Equal power along the plane.
+        assert!((s1.power(antenna) - s2.power(antenna)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn radical_plane_concentric_degenerate() {
+        let s1 = Sphere::new(Point3::ORIGIN, 1.0);
+        let s2 = Sphere::new(Point3::ORIGIN, 2.0);
+        assert!(radical_plane(&s1, &s2).is_err());
+    }
+
+    #[test]
+    fn plane_normalization_and_distance() {
+        let p = Plane::from_normal(Vec3::new(0.0, 0.0, 2.0), 4.0).unwrap();
+        assert!((p.normal.norm() - 1.0).abs() < 1e-12);
+        assert_eq!(p.distance_to(Point3::new(1.0, 1.0, 5.0)), 3.0);
+        assert!(p.contains(Point3::new(7.0, -2.0, 2.0), 1e-12));
+        assert!(Plane::from_normal(Vec3::new(0.0, 0.0, 0.0), 1.0).is_err());
+    }
+
+    #[test]
+    fn line_intersection_cases() {
+        let h = Line2::from_implicit(0.0, 1.0, 2.0).unwrap(); // y = 2
+        let v = Line2::from_implicit(1.0, 0.0, 3.0).unwrap(); // x = 3
+        let p = line_intersection(&h, &v).unwrap();
+        assert!(p.distance(Point2::new(3.0, 2.0)) < 1e-12);
+        let h2 = Line2::from_implicit(0.0, 1.0, 5.0).unwrap();
+        assert!(line_intersection(&h, &h2).is_err());
+    }
+}

@@ -1,0 +1,456 @@
+//! Points and vectors in 2D and 3D.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the 2D plane (meters, matching the paper's coordinates).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point2 {
+    /// Horizontal coordinate (the paper's antenna-plane direction).
+    pub x: f64,
+    /// Depth coordinate (perpendicular distance from the antenna plane).
+    pub y: f64,
+}
+
+/// A point in 3D space (meters).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point3 {
+    /// Horizontal coordinate along the antenna plane.
+    pub x: f64,
+    /// Depth coordinate.
+    pub y: f64,
+    /// Vertical coordinate.
+    pub z: f64,
+}
+
+/// A displacement in the 2D plane.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+}
+
+/// A displacement in 3D space.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+    /// Z component.
+    pub z: f64,
+}
+
+impl Point2 {
+    /// Origin `(0, 0)`.
+    pub const ORIGIN: Point2 = Point2 { x: 0.0, y: 0.0 };
+
+    /// Creates a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use lion_geom::Point2;
+    /// assert_eq!(Point2::new(0.0, 0.0).distance(Point2::new(3.0, 4.0)), 5.0);
+    /// ```
+    pub fn distance(self, other: Point2) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared Euclidean distance (avoids the square root).
+    pub fn distance_squared(self, other: Point2) -> f64 {
+        let d = self - other;
+        d.x * d.x + d.y * d.y
+    }
+
+    /// Midpoint with another point.
+    pub fn midpoint(self, other: Point2) -> Point2 {
+        Point2::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Embeds into 3D at height `z`.
+    pub fn with_z(self, z: f64) -> Point3 {
+        Point3::new(self.x, self.y, z)
+    }
+
+    /// Returns `true` when both coordinates are finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Point3 {
+    /// Origin `(0, 0, 0)`.
+    pub const ORIGIN: Point3 = Point3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Creates a point.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Point3 { x, y, z }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(self, other: Point3) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared Euclidean distance.
+    pub fn distance_squared(self, other: Point3) -> f64 {
+        let d = self - other;
+        d.x * d.x + d.y * d.y + d.z * d.z
+    }
+
+    /// Midpoint with another point.
+    pub fn midpoint(self, other: Point3) -> Point3 {
+        Point3::new(
+            (self.x + other.x) / 2.0,
+            (self.y + other.y) / 2.0,
+            (self.z + other.z) / 2.0,
+        )
+    }
+
+    /// Projects onto the `xy`-plane, dropping `z`.
+    pub fn to_xy(self) -> Point2 {
+        Point2::new(self.x, self.y)
+    }
+
+    /// Returns `true` when all coordinates are finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    pub fn lerp(self, other: Point3, t: f64) -> Point3 {
+        self + (other - self) * t
+    }
+}
+
+impl Vec2 {
+    /// Creates a vector.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2D cross product (signed area).
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Unit vector in the same direction; `None` for the zero vector.
+    pub fn normalized(self) -> Option<Vec2> {
+        let n = self.norm();
+        if n > 0.0 {
+            Some(Vec2::new(self.x / n, self.y / n))
+        } else {
+            None
+        }
+    }
+
+    /// Perpendicular vector (rotated +90°).
+    pub fn perp(self) -> Vec2 {
+        Vec2::new(-self.y, self.x)
+    }
+}
+
+impl Vec3 {
+    /// Creates a vector.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        (self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Vec3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product.
+    pub fn cross(self, other: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+    }
+
+    /// Unit vector in the same direction; `None` for the zero vector.
+    pub fn normalized(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n > 0.0 {
+            Some(Vec3::new(self.x / n, self.y / n, self.z / n))
+        } else {
+            None
+        }
+    }
+
+    /// Projects onto the `xy`-plane.
+    pub fn to_xy(self) -> Vec2 {
+        Vec2::new(self.x, self.y)
+    }
+}
+
+// --- operator impls -------------------------------------------------------
+
+impl Sub for Point2 {
+    type Output = Vec2;
+    fn sub(self, rhs: Point2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Add<Vec2> for Point2 {
+    type Output = Point2;
+    fn add(self, rhs: Vec2) -> Point2 {
+        Point2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub<Vec2> for Point2 {
+    type Output = Point2;
+    fn sub(self, rhs: Vec2) -> Point2 {
+        Point2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Sub for Point3 {
+    type Output = Vec3;
+    fn sub(self, rhs: Point3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl Add<Vec3> for Point3 {
+    type Output = Point3;
+    fn add(self, rhs: Vec3) -> Point3 {
+        Point3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl Sub<Vec3> for Point3 {
+    type Output = Point3;
+    fn sub(self, rhs: Vec3) -> Point3 {
+        Point3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+macro_rules! vec_ops {
+    ($t:ty, { $($f:ident),+ }) => {
+        impl Add for $t {
+            type Output = $t;
+            fn add(self, rhs: $t) -> $t {
+                <$t>::new($(self.$f + rhs.$f),+)
+            }
+        }
+        impl Sub for $t {
+            type Output = $t;
+            fn sub(self, rhs: $t) -> $t {
+                <$t>::new($(self.$f - rhs.$f),+)
+            }
+        }
+        impl AddAssign for $t {
+            fn add_assign(&mut self, rhs: $t) {
+                $(self.$f += rhs.$f;)+
+            }
+        }
+        impl SubAssign for $t {
+            fn sub_assign(&mut self, rhs: $t) {
+                $(self.$f -= rhs.$f;)+
+            }
+        }
+        impl Mul<f64> for $t {
+            type Output = $t;
+            fn mul(self, rhs: f64) -> $t {
+                <$t>::new($(self.$f * rhs),+)
+            }
+        }
+        impl Div<f64> for $t {
+            type Output = $t;
+            fn div(self, rhs: f64) -> $t {
+                <$t>::new($(self.$f / rhs),+)
+            }
+        }
+        impl Neg for $t {
+            type Output = $t;
+            fn neg(self) -> $t {
+                <$t>::new($(-self.$f),+)
+            }
+        }
+    };
+}
+
+vec_ops!(Vec2, { x, y });
+vec_ops!(Vec3, { x, y, z });
+
+impl fmt::Display for Point2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4}, {:.4})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Point3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4}, {:.4}, {:.4})", self.x, self.y, self.z)
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{:.4}, {:.4}>", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{:.4}, {:.4}, {:.4}>", self.x, self.y, self.z)
+    }
+}
+
+impl From<(f64, f64)> for Point2 {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point2::new(x, y)
+    }
+}
+
+impl From<(f64, f64, f64)> for Point3 {
+    fn from((x, y, z): (f64, f64, f64)) -> Self {
+        Point3::new(x, y, z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Point2::new(1.0, 2.0);
+        let b = Point2::new(4.0, 6.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.distance_squared(b), 25.0);
+        let p = Point3::new(1.0, 2.0, 2.0);
+        assert_eq!(Point3::ORIGIN.distance(p), 3.0);
+        assert_eq!(Point3::ORIGIN.distance_squared(p), 9.0);
+    }
+
+    #[test]
+    fn midpoints_and_lerp() {
+        assert_eq!(
+            Point2::new(0.0, 0.0).midpoint(Point2::new(2.0, 4.0)),
+            Point2::new(1.0, 2.0)
+        );
+        let a = Point3::new(0.0, 0.0, 0.0);
+        let b = Point3::new(2.0, 2.0, 2.0);
+        assert_eq!(a.midpoint(b), Point3::new(1.0, 1.0, 1.0));
+        assert_eq!(a.lerp(b, 0.25), Point3::new(0.5, 0.5, 0.5));
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+    }
+
+    #[test]
+    fn point_vector_algebra() {
+        let p = Point2::new(1.0, 1.0);
+        let v = Vec2::new(2.0, -1.0);
+        assert_eq!(p + v, Point2::new(3.0, 0.0));
+        assert_eq!((p + v) - v, p);
+        assert_eq!(Point2::new(3.0, 0.0) - p, v);
+        let q = Point3::new(1.0, 2.0, 3.0);
+        let w = Vec3::new(0.5, 0.5, 0.5);
+        assert_eq!((q + w) - q, w);
+        assert_eq!(q - w, Point3::new(0.5, 1.5, 2.5));
+    }
+
+    #[test]
+    fn vec_ops() {
+        let a = Vec2::new(1.0, 0.0);
+        let b = Vec2::new(0.0, 1.0);
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!(a.cross(b), 1.0);
+        assert_eq!(b.cross(a), -1.0);
+        assert_eq!(a.perp(), b);
+        assert_eq!((a + b).norm(), 2.0_f64.sqrt());
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Vec2::new(1.0, 1.0));
+        c -= b;
+        assert_eq!(c, a);
+        assert_eq!(-a, Vec2::new(-1.0, 0.0));
+        assert_eq!(a * 3.0, Vec2::new(3.0, 0.0));
+        assert_eq!(Vec2::new(4.0, 2.0) / 2.0, Vec2::new(2.0, 1.0));
+    }
+
+    #[test]
+    fn cross_product_3d() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        let z = Vec3::new(0.0, 0.0, 1.0);
+        assert_eq!(x.cross(y), z);
+        assert_eq!(y.cross(z), x);
+        assert_eq!(z.cross(x), y);
+        assert_eq!(x.cross(x), Vec3::new(0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Vec2::new(3.0, 4.0).normalized().unwrap().norm(), 1.0);
+        assert_eq!(Vec2::new(0.0, 0.0).normalized(), None);
+        let n = Vec3::new(1.0, 1.0, 1.0).normalized().unwrap();
+        assert!((n.norm() - 1.0).abs() < 1e-12);
+        assert_eq!(Vec3::new(0.0, 0.0, 0.0).normalized(), None);
+    }
+
+    #[test]
+    fn embeddings() {
+        assert_eq!(
+            Point2::new(1.0, 2.0).with_z(3.0),
+            Point3::new(1.0, 2.0, 3.0)
+        );
+        assert_eq!(Point3::new(1.0, 2.0, 3.0).to_xy(), Point2::new(1.0, 2.0));
+        assert_eq!(Vec3::new(1.0, 2.0, 3.0).to_xy(), Vec2::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        let p: Point2 = (1.0, 2.0).into();
+        assert_eq!(p, Point2::new(1.0, 2.0));
+        let q: Point3 = (1.0, 2.0, 3.0).into();
+        assert_eq!(q, Point3::new(1.0, 2.0, 3.0));
+        assert!(!format!("{p}").is_empty());
+        assert!(!format!("{q}").is_empty());
+        assert!(!format!("{}", Vec2::new(0.0, 0.0)).is_empty());
+        assert!(!format!("{}", Vec3::new(0.0, 0.0, 0.0)).is_empty());
+    }
+
+    #[test]
+    fn finite_checks() {
+        assert!(Point2::new(0.0, 0.0).is_finite());
+        assert!(!Point2::new(f64::NAN, 0.0).is_finite());
+        assert!(Point3::ORIGIN.is_finite());
+        assert!(!Point3::new(0.0, f64::INFINITY, 0.0).is_finite());
+    }
+}

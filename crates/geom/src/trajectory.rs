@@ -1,0 +1,634 @@
+//! Tag trajectories: the known scanning paths LION uses to calibrate an
+//! antenna.
+//!
+//! The paper's experiments use three families of trajectories:
+//!
+//! - a **linear slide** (Sec. V: a 2.5 m track at 10 cm/s) — [`LineSegment`];
+//! - the **three-line 3D scan** of Fig. 11 (parallel lines offset by `y_o`
+//!   and `z_o`) — [`ThreeLineScan`];
+//! - a **turntable circle** (Sec. V-F2) — [`CircularArc`].
+//!
+//! All implement [`Trajectory`]: a curve parameterized by arc length that
+//! can be sampled at a reader-like `(speed, rate)` to produce timestamped
+//! tag positions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::point::{Point3, Vec3};
+use crate::GeomError;
+
+/// A timestamped position along a trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryPoint {
+    /// Seconds since the start of the traversal.
+    pub time: f64,
+    /// Arc length traveled so far (meters).
+    pub arc_length: f64,
+    /// Tag position.
+    pub position: Point3,
+}
+
+/// A curve parameterized by arc length.
+///
+/// Implementors guarantee `position(0)` is the start, `position(length())`
+/// the end, and that `position` clamps out-of-range inputs to the ends.
+pub trait Trajectory {
+    /// Total arc length in meters.
+    fn length(&self) -> f64;
+
+    /// Position after traveling `s` meters from the start (clamped).
+    fn position(&self, s: f64) -> Point3;
+
+    /// Samples the trajectory at constant `speed` (m/s) and sampling `rate`
+    /// (Hz), mimicking an RFID reader interrogating a tag on a motorized
+    /// track. Always includes the start point; includes the end point when
+    /// the final step lands within one sample of it.
+    ///
+    /// Returns an empty vector when `speed` or `rate` is not positive.
+    fn sample(&self, speed: f64, rate: f64) -> Vec<TrajectoryPoint> {
+        if speed <= 0.0 || rate <= 0.0 || !speed.is_finite() || !rate.is_finite() {
+            return Vec::new();
+        }
+        let step = speed / rate;
+        let len = self.length();
+        let n = (len / step).floor() as usize + 1;
+        let mut out = Vec::with_capacity(n + 1);
+        let mut s = 0.0;
+        let mut i = 0_u64;
+        while s <= len + 1e-12 {
+            out.push(TrajectoryPoint {
+                time: i as f64 / rate,
+                arc_length: s.min(len),
+                position: self.position(s),
+            });
+            i += 1;
+            s = i as f64 * step;
+        }
+        out
+    }
+}
+
+/// A straight line segment between two points.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LineSegment {
+    start: Point3,
+    end: Point3,
+}
+
+impl LineSegment {
+    /// Creates a segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::InvalidInput`] when the endpoints coincide or
+    /// are non-finite.
+    pub fn new(start: Point3, end: Point3) -> Result<Self, GeomError> {
+        if !start.is_finite() || !end.is_finite() {
+            return Err(GeomError::InvalidInput {
+                operation: "line segment",
+                found: "non-finite endpoint".to_string(),
+            });
+        }
+        if start.distance(end) == 0.0 {
+            return Err(GeomError::InvalidInput {
+                operation: "line segment",
+                found: "zero-length segment".to_string(),
+            });
+        }
+        Ok(LineSegment { start, end })
+    }
+
+    /// Convenience: a segment along the x-axis at depth `y` and height `z`,
+    /// from `x_start` to `x_end` — the paper's linear slide.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::InvalidInput`] when `x_start == x_end`.
+    pub fn along_x(x_start: f64, x_end: f64, y: f64, z: f64) -> Result<Self, GeomError> {
+        LineSegment::new(Point3::new(x_start, y, z), Point3::new(x_end, y, z))
+    }
+
+    /// Start point.
+    pub fn start(&self) -> Point3 {
+        self.start
+    }
+
+    /// End point.
+    pub fn end(&self) -> Point3 {
+        self.end
+    }
+
+    /// Reversed copy (end to start).
+    pub fn reversed(&self) -> LineSegment {
+        LineSegment {
+            start: self.end,
+            end: self.start,
+        }
+    }
+}
+
+impl Trajectory for LineSegment {
+    fn length(&self) -> f64 {
+        self.start.distance(self.end)
+    }
+
+    fn position(&self, s: f64) -> Point3 {
+        let t = (s / self.length()).clamp(0.0, 1.0);
+        self.start.lerp(self.end, t)
+    }
+}
+
+/// A circular arc in an arbitrary plane, parameterized by arc length.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CircularArc {
+    center: Point3,
+    u: Vec3,
+    v: Vec3,
+    radius: f64,
+    start_angle: f64,
+    sweep: f64,
+}
+
+impl CircularArc {
+    /// Creates an arc in the plane spanned by orthonormal axes `u`, `v`
+    /// through `center`, starting at `start_angle` and sweeping `sweep`
+    /// radians (signed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::InvalidInput`] when the radius is not positive,
+    /// the sweep is zero, or `u`/`v` are not orthonormal.
+    pub fn new(
+        center: Point3,
+        u: Vec3,
+        v: Vec3,
+        radius: f64,
+        start_angle: f64,
+        sweep: f64,
+    ) -> Result<Self, GeomError> {
+        if !(radius > 0.0 && radius.is_finite()) {
+            return Err(GeomError::InvalidInput {
+                operation: "circular arc",
+                found: format!("radius {radius}"),
+            });
+        }
+        if sweep == 0.0 || !sweep.is_finite() {
+            return Err(GeomError::InvalidInput {
+                operation: "circular arc",
+                found: format!("sweep {sweep}"),
+            });
+        }
+        let tol = 1e-9;
+        if (u.norm() - 1.0).abs() > tol || (v.norm() - 1.0).abs() > tol || u.dot(v).abs() > tol {
+            return Err(GeomError::InvalidInput {
+                operation: "circular arc",
+                found: "axes not orthonormal".to_string(),
+            });
+        }
+        Ok(CircularArc {
+            center,
+            u,
+            v,
+            radius,
+            start_angle,
+            sweep,
+        })
+    }
+
+    /// Full circle in the horizontal `xy`-plane at the height of `center` —
+    /// the turntable of the paper's rotating-tag case study.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::InvalidInput`] for a non-positive radius.
+    pub fn turntable(center: Point3, radius: f64) -> Result<Self, GeomError> {
+        CircularArc::new(
+            center,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            radius,
+            0.0,
+            std::f64::consts::TAU,
+        )
+    }
+
+    /// Center of the arc.
+    pub fn center(&self) -> Point3 {
+        self.center
+    }
+
+    /// Radius of the arc.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Position at a given angle (radians, in the arc's own plane).
+    pub fn position_at_angle(&self, angle: f64) -> Point3 {
+        self.center + self.u * (self.radius * angle.cos()) + self.v * (self.radius * angle.sin())
+    }
+}
+
+impl Trajectory for CircularArc {
+    fn length(&self) -> f64 {
+        self.radius * self.sweep.abs()
+    }
+
+    fn position(&self, s: f64) -> Point3 {
+        let t = (s / self.length()).clamp(0.0, 1.0);
+        self.position_at_angle(self.start_angle + self.sweep * t)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+enum Segment {
+    Line(LineSegment),
+    Arc(CircularArc),
+}
+
+impl Segment {
+    fn length(&self) -> f64 {
+        match self {
+            Segment::Line(l) => l.length(),
+            Segment::Arc(a) => a.length(),
+        }
+    }
+
+    fn position(&self, s: f64) -> Point3 {
+        match self {
+            Segment::Line(l) => l.position(s),
+            Segment::Arc(a) => a.position(s),
+        }
+    }
+}
+
+/// A multi-segment trajectory traversed in order.
+///
+/// Segments need not be connected — a gap models the tag being carried
+/// (instantaneously, from the sampler's point of view) between separate
+/// scan lines, which is exactly the discontinuity the paper's profile
+/// stitching must repair. Use [`Path::is_continuous`] to check.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Path {
+    segments: Vec<Segment>,
+}
+
+impl Path {
+    /// Creates an empty path.
+    pub fn new() -> Self {
+        Path::default()
+    }
+
+    /// Appends a line segment.
+    pub fn push_line(&mut self, segment: LineSegment) -> &mut Self {
+        self.segments.push(Segment::Line(segment));
+        self
+    }
+
+    /// Appends an arc.
+    pub fn push_arc(&mut self, arc: CircularArc) -> &mut Self {
+        self.segments.push(Segment::Arc(arc));
+        self
+    }
+
+    /// Appends a straight connector from the current end to `target`
+    /// (no-op when already there).
+    pub fn connect_to(&mut self, target: Point3) -> &mut Self {
+        if let Some(end) = self.end() {
+            if let Ok(seg) = LineSegment::new(end, target) {
+                self.segments.push(Segment::Line(seg));
+            }
+        }
+        self
+    }
+
+    /// Number of segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Start of the first segment, if any.
+    pub fn start(&self) -> Option<Point3> {
+        self.segments.first().map(|s| s.position(0.0))
+    }
+
+    /// End of the last segment, if any.
+    pub fn end(&self) -> Option<Point3> {
+        self.segments.last().map(|s| s.position(s.length()))
+    }
+
+    /// Returns `true` when consecutive segments share endpoints within
+    /// `tol` — i.e. the tag physically travels the whole path and the
+    /// unwrapped phase profile will be continuous.
+    pub fn is_continuous(&self, tol: f64) -> bool {
+        self.segments.windows(2).all(|w| {
+            let end = w[0].position(w[0].length());
+            let start = w[1].position(0.0);
+            end.distance(start) <= tol
+        })
+    }
+}
+
+impl Trajectory for Path {
+    fn length(&self) -> f64 {
+        self.segments.iter().map(Segment::length).sum()
+    }
+
+    fn position(&self, s: f64) -> Point3 {
+        let mut remaining = s.max(0.0);
+        for seg in &self.segments {
+            let len = seg.length();
+            if remaining <= len {
+                return seg.position(remaining);
+            }
+            remaining -= len;
+        }
+        self.end().unwrap_or(Point3::ORIGIN)
+    }
+}
+
+/// The paper's three-line 3D calibration trajectory (Fig. 11).
+///
+/// Three parallel lines along the x-axis:
+///
+/// - `L1`: `(x, 0, 0)` — the reference line,
+/// - `L2`: `(x, 0, z_o)` — offset vertically by `z_o`,
+/// - `L3`: `(x, −y_o, 0)` — offset in depth by `y_o`.
+///
+/// `to_path()` traverses them serpentine-style (L1 forward, connector, L2
+/// backward, connector, L3 forward) so the tag physically travels between
+/// lines and the unwrapped phase profile stays continuous, as the paper
+/// recommends ("let the tag move from the end of one linear trajectory to
+/// the start of the other").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThreeLineScan {
+    x_start: f64,
+    x_end: f64,
+    y_offset: f64,
+    z_offset: f64,
+}
+
+impl ThreeLineScan {
+    /// Creates the scan geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::InvalidInput`] when `x_start == x_end` or an
+    /// offset is zero/non-finite (the pair selection would degenerate).
+    pub fn new(x_start: f64, x_end: f64, y_offset: f64, z_offset: f64) -> Result<Self, GeomError> {
+        if x_start == x_end || !x_start.is_finite() || !x_end.is_finite() {
+            return Err(GeomError::InvalidInput {
+                operation: "three-line scan",
+                found: format!("x range [{x_start}, {x_end}]"),
+            });
+        }
+        if y_offset == 0.0 || z_offset == 0.0 || !y_offset.is_finite() || !z_offset.is_finite() {
+            return Err(GeomError::InvalidInput {
+                operation: "three-line scan",
+                found: format!("offsets y_o={y_offset}, z_o={z_offset}"),
+            });
+        }
+        Ok(ThreeLineScan {
+            x_start,
+            x_end,
+            y_offset,
+            z_offset,
+        })
+    }
+
+    /// The scanned x-range `(start, end)`.
+    pub fn x_range(&self) -> (f64, f64) {
+        (self.x_start, self.x_end)
+    }
+
+    /// Depth offset `y_o` between `L1` and `L3`.
+    pub fn y_offset(&self) -> f64 {
+        self.y_offset
+    }
+
+    /// Height offset `z_o` between `L1` and `L2`.
+    pub fn z_offset(&self) -> f64 {
+        self.z_offset
+    }
+
+    /// The reference line `L1`.
+    pub fn line1(&self) -> LineSegment {
+        LineSegment::along_x(self.x_start, self.x_end, 0.0, 0.0).expect("validated")
+    }
+
+    /// The height-offset line `L2`.
+    pub fn line2(&self) -> LineSegment {
+        LineSegment::along_x(self.x_start, self.x_end, 0.0, self.z_offset).expect("validated")
+    }
+
+    /// The depth-offset line `L3`.
+    pub fn line3(&self) -> LineSegment {
+        LineSegment::along_x(self.x_start, self.x_end, -self.y_offset, 0.0).expect("validated")
+    }
+
+    /// The triple of same-`x` positions `(P_{i,1}, P_{i,2}, P_{i,3})` used
+    /// by the paper's pair selection.
+    pub fn positions_at(&self, x: f64) -> (Point3, Point3, Point3) {
+        (
+            Point3::new(x, 0.0, 0.0),
+            Point3::new(x, 0.0, self.z_offset),
+            Point3::new(x, -self.y_offset, 0.0),
+        )
+    }
+
+    /// Continuous serpentine traversal: L1 forward → connector → L2
+    /// backward → connector → L3 forward.
+    pub fn to_path(&self) -> Path {
+        let l1 = self.line1();
+        let l2 = self.line2().reversed();
+        let l3 = self.line3();
+        let mut path = Path::new();
+        path.push_line(l1)
+            .connect_to(l2.start())
+            .push_line(l2)
+            .connect_to(l3.start())
+            .push_line(l3);
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{PI, TAU};
+
+    #[test]
+    fn segment_basics() {
+        let s = LineSegment::along_x(-1.0, 1.0, 0.8, 0.0).unwrap();
+        assert_eq!(s.length(), 2.0);
+        assert_eq!(s.position(0.0), Point3::new(-1.0, 0.8, 0.0));
+        assert_eq!(s.position(2.0), Point3::new(1.0, 0.8, 0.0));
+        assert_eq!(s.position(1.0), Point3::new(0.0, 0.8, 0.0));
+        // Clamping.
+        assert_eq!(s.position(-5.0), s.start());
+        assert_eq!(s.position(99.0), s.end());
+        let r = s.reversed();
+        assert_eq!(r.start(), s.end());
+        assert_eq!(r.end(), s.start());
+    }
+
+    #[test]
+    fn segment_validation() {
+        assert!(LineSegment::new(Point3::ORIGIN, Point3::ORIGIN).is_err());
+        assert!(LineSegment::new(Point3::ORIGIN, Point3::new(f64::NAN, 0.0, 0.0)).is_err());
+        assert!(LineSegment::along_x(1.0, 1.0, 0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn sampling_rate_and_speed() {
+        // 1 m at 10 cm/s sampled at 100 Hz → 1001 samples, 1 mm apart.
+        let s = LineSegment::along_x(0.0, 1.0, 0.0, 0.0).unwrap();
+        let pts = s.sample(0.1, 100.0);
+        assert_eq!(pts.len(), 1001);
+        assert_eq!(pts[0].time, 0.0);
+        assert!((pts[1].position.x - 0.001).abs() < 1e-12);
+        assert!((pts.last().unwrap().position.x - 1.0).abs() < 1e-9);
+        assert!((pts.last().unwrap().time - 10.0).abs() < 1e-9);
+        // Degenerate sampler inputs.
+        assert!(s.sample(0.0, 100.0).is_empty());
+        assert!(s.sample(0.1, 0.0).is_empty());
+        assert!(s.sample(f64::NAN, 10.0).is_empty());
+    }
+
+    #[test]
+    fn sample_arc_lengths_monotonic() {
+        let s = LineSegment::along_x(0.0, 2.5, 0.8, 0.0).unwrap();
+        let pts = s.sample(0.1, 37.0);
+        for w in pts.windows(2) {
+            assert!(w[1].arc_length > w[0].arc_length);
+            assert!(w[1].time > w[0].time);
+        }
+    }
+
+    #[test]
+    fn arc_geometry() {
+        let arc = CircularArc::turntable(Point3::new(0.0, 0.7, 0.0), 0.2).unwrap();
+        assert!((arc.length() - 0.2 * TAU).abs() < 1e-12);
+        let start = arc.position(0.0);
+        assert!(start.distance(Point3::new(0.2, 0.7, 0.0)) < 1e-12);
+        // Quarter way round.
+        let q = arc.position(arc.length() / 4.0);
+        assert!(q.distance(Point3::new(0.0, 0.9, 0.0)) < 1e-9);
+        // All points at the radius from the center.
+        for i in 0..=20 {
+            let p = arc.position(arc.length() * i as f64 / 20.0);
+            assert!((p.distance(arc.center()) - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn arc_validation() {
+        let u = Vec3::new(1.0, 0.0, 0.0);
+        let v = Vec3::new(0.0, 1.0, 0.0);
+        assert!(CircularArc::new(Point3::ORIGIN, u, v, 0.0, 0.0, PI).is_err());
+        assert!(CircularArc::new(Point3::ORIGIN, u, v, 1.0, 0.0, 0.0).is_err());
+        assert!(CircularArc::new(Point3::ORIGIN, u, u, 1.0, 0.0, PI).is_err());
+        assert!(CircularArc::new(Point3::ORIGIN, u * 2.0, v, 1.0, 0.0, PI).is_err());
+        assert!(CircularArc::turntable(Point3::ORIGIN, -1.0).is_err());
+    }
+
+    #[test]
+    fn arc_in_vertical_plane() {
+        let arc = CircularArc::new(
+            Point3::new(0.0, 0.5, 1.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            0.3,
+            0.0,
+            PI,
+        )
+        .unwrap();
+        let top = arc.position(arc.length() / 2.0);
+        assert!(top.distance(Point3::new(0.0, 0.5, 1.3)) < 1e-9);
+        // y stays constant in the xz-plane arc.
+        for i in 0..=10 {
+            let p = arc.position(arc.length() * i as f64 / 10.0);
+            assert!((p.y - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn path_concatenation() {
+        let mut path = Path::new();
+        path.push_line(LineSegment::along_x(0.0, 1.0, 0.0, 0.0).unwrap());
+        path.connect_to(Point3::new(1.0, 0.0, 0.5));
+        path.push_line(
+            LineSegment::new(Point3::new(1.0, 0.0, 0.5), Point3::new(0.0, 0.0, 0.5)).unwrap(),
+        );
+        assert_eq!(path.segment_count(), 3);
+        assert!((path.length() - 2.5).abs() < 1e-12);
+        assert!(path.is_continuous(1e-12));
+        assert_eq!(path.start(), Some(Point3::ORIGIN));
+        assert_eq!(path.end(), Some(Point3::new(0.0, 0.0, 0.5)));
+        // Position lookup across segments.
+        assert!(path.position(1.25).distance(Point3::new(1.0, 0.0, 0.25)) < 1e-12);
+        assert!(path.position(99.0).distance(path.end().unwrap()) < 1e-12);
+    }
+
+    #[test]
+    fn discontinuous_path_detected() {
+        let mut path = Path::new();
+        path.push_line(LineSegment::along_x(0.0, 1.0, 0.0, 0.0).unwrap());
+        path.push_line(LineSegment::along_x(0.0, 1.0, 0.5, 0.0).unwrap());
+        assert!(!path.is_continuous(1e-6));
+    }
+
+    #[test]
+    fn connect_to_same_point_is_noop() {
+        let mut path = Path::new();
+        path.push_line(LineSegment::along_x(0.0, 1.0, 0.0, 0.0).unwrap());
+        path.connect_to(Point3::new(1.0, 0.0, 0.0));
+        assert_eq!(path.segment_count(), 1);
+        // connect_to on an empty path is also a no-op.
+        let mut empty = Path::new();
+        empty.connect_to(Point3::ORIGIN);
+        assert_eq!(empty.segment_count(), 0);
+        assert_eq!(empty.start(), None);
+        assert_eq!(empty.end(), None);
+    }
+
+    #[test]
+    fn three_line_scan_geometry() {
+        let scan = ThreeLineScan::new(-0.4, 0.4, 0.2, 0.2).unwrap();
+        let (p1, p2, p3) = scan.positions_at(0.1);
+        assert_eq!(p1, Point3::new(0.1, 0.0, 0.0));
+        assert_eq!(p2, Point3::new(0.1, 0.0, 0.2));
+        assert_eq!(p3, Point3::new(0.1, -0.2, 0.0));
+        assert_eq!(scan.line1().length(), scan.line2().length());
+        assert_eq!(scan.x_range(), (-0.4, 0.4));
+        assert_eq!(scan.y_offset(), 0.2);
+        assert_eq!(scan.z_offset(), 0.2);
+    }
+
+    #[test]
+    fn three_line_scan_path_is_continuous() {
+        let scan = ThreeLineScan::new(-0.4, 0.4, 0.2, 0.15).unwrap();
+        let path = scan.to_path();
+        assert!(path.is_continuous(1e-12));
+        // 3 lines + 2 connectors.
+        assert_eq!(path.segment_count(), 5);
+        // Path visits all three lines.
+        assert_eq!(path.start(), Some(Point3::new(-0.4, 0.0, 0.0)));
+        assert_eq!(path.end(), Some(Point3::new(0.4, -0.2, 0.0)));
+    }
+
+    #[test]
+    fn three_line_scan_validation() {
+        assert!(ThreeLineScan::new(0.0, 0.0, 0.2, 0.2).is_err());
+        assert!(ThreeLineScan::new(-0.4, 0.4, 0.0, 0.2).is_err());
+        assert!(ThreeLineScan::new(-0.4, 0.4, 0.2, 0.0).is_err());
+        assert!(ThreeLineScan::new(f64::NAN, 0.4, 0.2, 0.2).is_err());
+    }
+
+    #[test]
+    fn empty_path_length_zero() {
+        let p = Path::new();
+        assert_eq!(p.length(), 0.0);
+        assert_eq!(p.position(1.0), Point3::ORIGIN);
+        assert!(p.is_continuous(1e-12));
+    }
+}

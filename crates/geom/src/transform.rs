@@ -1,0 +1,339 @@
+//! Rigid transforms (rotation + translation) between frames.
+//!
+//! Calibration rigs express scan trajectories in a local frame (the paper's
+//! Fig. 11 puts `L1` on the x-axis) and then place that frame in front of
+//! each antenna. [`Isometry`] captures exactly that mapping: a proper
+//! rotation followed by a translation, with composition and inversion.
+
+use serde::{Deserialize, Serialize};
+
+use crate::point::{Point3, Vec3};
+use crate::GeomError;
+
+/// A rigid transform `p ↦ R·p + t` with `R` a proper rotation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Isometry {
+    /// Rotation matrix rows.
+    rows: [Vec3; 3],
+    /// Translation applied after the rotation.
+    translation: Vec3,
+}
+
+impl Isometry {
+    /// The identity transform.
+    pub fn identity() -> Self {
+        Isometry {
+            rows: [
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(0.0, 1.0, 0.0),
+                Vec3::new(0.0, 0.0, 1.0),
+            ],
+            translation: Vec3::new(0.0, 0.0, 0.0),
+        }
+    }
+
+    /// Pure translation.
+    pub fn translation(t: Vec3) -> Self {
+        Isometry {
+            translation: t,
+            ..Isometry::identity()
+        }
+    }
+
+    /// Rotation by `angle` radians about the z-axis (right-handed).
+    pub fn rotation_z(angle: f64) -> Self {
+        let (s, c) = angle.sin_cos();
+        Isometry {
+            rows: [
+                Vec3::new(c, -s, 0.0),
+                Vec3::new(s, c, 0.0),
+                Vec3::new(0.0, 0.0, 1.0),
+            ],
+            translation: Vec3::new(0.0, 0.0, 0.0),
+        }
+    }
+
+    /// Rotation by `angle` radians about the x-axis.
+    pub fn rotation_x(angle: f64) -> Self {
+        let (s, c) = angle.sin_cos();
+        Isometry {
+            rows: [
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(0.0, c, -s),
+                Vec3::new(0.0, s, c),
+            ],
+            translation: Vec3::new(0.0, 0.0, 0.0),
+        }
+    }
+
+    /// Rotation by `angle` radians about the y-axis.
+    pub fn rotation_y(angle: f64) -> Self {
+        let (s, c) = angle.sin_cos();
+        Isometry {
+            rows: [
+                Vec3::new(c, 0.0, s),
+                Vec3::new(0.0, 1.0, 0.0),
+                Vec3::new(-s, 0.0, c),
+            ],
+            translation: Vec3::new(0.0, 0.0, 0.0),
+        }
+    }
+
+    /// Builds a frame from orthonormal basis vectors (the columns of `R`)
+    /// and an origin: local coordinates `(u, v, w)` map to
+    /// `origin + u·e1 + v·e2 + w·e3`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::InvalidInput`] when the basis is not
+    /// right-handed orthonormal (tolerance `1e-9`).
+    pub fn from_basis(origin: Point3, e1: Vec3, e2: Vec3, e3: Vec3) -> Result<Self, GeomError> {
+        let tol = 1e-9;
+        let orthonormal = (e1.norm() - 1.0).abs() < tol
+            && (e2.norm() - 1.0).abs() < tol
+            && (e3.norm() - 1.0).abs() < tol
+            && e1.dot(e2).abs() < tol
+            && e1.dot(e3).abs() < tol
+            && e2.dot(e3).abs() < tol;
+        let right_handed = (e1.cross(e2) - e3).norm() < 1e-6;
+        if !orthonormal || !right_handed {
+            return Err(GeomError::InvalidInput {
+                operation: "isometry from basis",
+                found: "basis is not right-handed orthonormal".to_string(),
+            });
+        }
+        // Columns e1 e2 e3 → rows are (e1.x, e2.x, e3.x), ...
+        Ok(Isometry {
+            rows: [
+                Vec3::new(e1.x, e2.x, e3.x),
+                Vec3::new(e1.y, e2.y, e3.y),
+                Vec3::new(e1.z, e2.z, e3.z),
+            ],
+            translation: origin - Point3::ORIGIN,
+        })
+    }
+
+    /// Applies the transform to a point.
+    pub fn apply(&self, p: Point3) -> Point3 {
+        let v = p - Point3::ORIGIN;
+        Point3::ORIGIN
+            + Vec3::new(
+                self.rows[0].dot(v),
+                self.rows[1].dot(v),
+                self.rows[2].dot(v),
+            )
+            + self.translation
+    }
+
+    /// Applies only the rotational part to a direction vector.
+    pub fn apply_vec(&self, v: Vec3) -> Vec3 {
+        Vec3::new(
+            self.rows[0].dot(v),
+            self.rows[1].dot(v),
+            self.rows[2].dot(v),
+        )
+    }
+
+    /// Composition: `(a.then(b)).apply(p) == b.apply(a.apply(p))`.
+    pub fn then(&self, after: &Isometry) -> Isometry {
+        // Rows of the composed rotation: after.R · self.R.
+        let col = |c: usize| {
+            Vec3::new(
+                match c {
+                    0 => self.rows[0].x,
+                    1 => self.rows[0].y,
+                    _ => self.rows[0].z,
+                },
+                match c {
+                    0 => self.rows[1].x,
+                    1 => self.rows[1].y,
+                    _ => self.rows[1].z,
+                },
+                match c {
+                    0 => self.rows[2].x,
+                    1 => self.rows[2].y,
+                    _ => self.rows[2].z,
+                },
+            )
+        };
+        let composed = |r: usize| {
+            Vec3::new(
+                after.rows[r].dot(col(0)),
+                after.rows[r].dot(col(1)),
+                after.rows[r].dot(col(2)),
+            )
+        };
+        Isometry {
+            rows: [composed(0), composed(1), composed(2)],
+            translation: after.apply_vec(self.translation) + after.translation,
+        }
+    }
+
+    /// The inverse transform.
+    pub fn inverse(&self) -> Isometry {
+        // Rᵀ rows are the columns of R.
+        let rows = [
+            Vec3::new(self.rows[0].x, self.rows[1].x, self.rows[2].x),
+            Vec3::new(self.rows[0].y, self.rows[1].y, self.rows[2].y),
+            Vec3::new(self.rows[0].z, self.rows[1].z, self.rows[2].z),
+        ];
+        let inv = Isometry {
+            rows,
+            translation: Vec3::new(0.0, 0.0, 0.0),
+        };
+        Isometry {
+            translation: -inv.apply_vec(self.translation),
+            ..inv
+        }
+    }
+
+    /// The translation component.
+    pub fn translation_part(&self) -> Vec3 {
+        self.translation
+    }
+
+    /// Transforms a list of `(position, payload)` pairs — the shape of a
+    /// measurement set — into this frame.
+    pub fn apply_measurements<T: Copy>(&self, items: &[(Point3, T)]) -> Vec<(Point3, T)> {
+        items.iter().map(|&(p, t)| (self.apply(p), t)).collect()
+    }
+}
+
+impl Default for Isometry {
+    fn default() -> Self {
+        Isometry::identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn close(a: Point3, b: Point3) -> bool {
+        a.distance(b) < 1e-12
+    }
+
+    #[test]
+    fn identity_and_translation() {
+        let p = Point3::new(1.0, 2.0, 3.0);
+        assert!(close(Isometry::identity().apply(p), p));
+        let t = Isometry::translation(Vec3::new(0.5, -1.0, 2.0));
+        assert!(close(t.apply(p), Point3::new(1.5, 1.0, 5.0)));
+        assert!(close(t.inverse().apply(t.apply(p)), p));
+    }
+
+    #[test]
+    fn rotations_about_axes() {
+        let p = Point3::new(1.0, 0.0, 0.0);
+        assert!(close(
+            Isometry::rotation_z(FRAC_PI_2).apply(p),
+            Point3::new(0.0, 1.0, 0.0)
+        ));
+        assert!(close(
+            Isometry::rotation_y(FRAC_PI_2).apply(p),
+            Point3::new(0.0, 0.0, -1.0)
+        ));
+        let q = Point3::new(0.0, 1.0, 0.0);
+        assert!(close(
+            Isometry::rotation_x(FRAC_PI_2).apply(q),
+            Point3::new(0.0, 0.0, 1.0)
+        ));
+        // Full turn is identity.
+        let full = Isometry::rotation_z(2.0 * PI);
+        assert!(full.apply(p).distance(p) < 1e-12);
+    }
+
+    #[test]
+    fn rigidity_preserves_distances() {
+        let iso = Isometry::rotation_z(0.7)
+            .then(&Isometry::rotation_x(-0.3))
+            .then(&Isometry::translation(Vec3::new(1.0, 2.0, -0.5)));
+        let a = Point3::new(0.3, -0.8, 1.1);
+        let b = Point3::new(-0.5, 0.2, 0.4);
+        let d_before = a.distance(b);
+        let d_after = iso.apply(a).distance(iso.apply(b));
+        assert!((d_before - d_after).abs() < 1e-12);
+    }
+
+    #[test]
+    fn composition_order() {
+        let rot = Isometry::rotation_z(FRAC_PI_2);
+        let shift = Isometry::translation(Vec3::new(1.0, 0.0, 0.0));
+        let p = Point3::new(1.0, 0.0, 0.0);
+        // rotate then shift: (0,1,0) + (1,0,0) = (1,1,0)
+        let rs = rot.then(&shift);
+        assert!(close(rs.apply(p), Point3::new(1.0, 1.0, 0.0)));
+        // shift then rotate: (2,0,0) rotated = (0,2,0)
+        let sr = shift.then(&rot);
+        assert!(close(sr.apply(p), Point3::new(0.0, 2.0, 0.0)));
+    }
+
+    #[test]
+    fn inverse_roundtrips_composites() {
+        let iso = Isometry::rotation_y(1.1)
+            .then(&Isometry::translation(Vec3::new(-0.4, 0.9, 0.2)))
+            .then(&Isometry::rotation_z(-2.0));
+        let p = Point3::new(0.123, -0.456, 0.789);
+        assert!(close(iso.inverse().apply(iso.apply(p)), p));
+        assert!(close(iso.apply(iso.inverse().apply(p)), p));
+        // Inverse of identity is identity.
+        assert_eq!(Isometry::identity().inverse(), Isometry::identity());
+    }
+
+    #[test]
+    fn from_basis_builds_the_expected_frame() {
+        // Scan frame: x along world y, y along world −x, origin at (0, 0.7, 0).
+        let iso = Isometry::from_basis(
+            Point3::new(0.0, 0.7, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(-1.0, 0.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        )
+        .unwrap();
+        // Local (1, 0, 0) → origin + e1.
+        assert!(close(
+            iso.apply(Point3::new(1.0, 0.0, 0.0)),
+            Point3::new(0.0, 1.7, 0.0)
+        ));
+        assert!(close(
+            iso.apply(Point3::new(0.0, 2.0, 0.0)),
+            Point3::new(-2.0, 0.7, 0.0)
+        ));
+    }
+
+    #[test]
+    fn from_basis_rejects_bad_bases() {
+        let o = Point3::ORIGIN;
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        let z = Vec3::new(0.0, 0.0, 1.0);
+        // Left-handed.
+        assert!(Isometry::from_basis(o, x, y, -z).is_err());
+        // Non-unit.
+        assert!(Isometry::from_basis(o, x * 2.0, y, z).is_err());
+        // Non-orthogonal.
+        assert!(Isometry::from_basis(o, x, Vec3::new(0.7, 0.7, 0.0), z).is_err());
+    }
+
+    #[test]
+    fn measurement_transform() {
+        let iso = Isometry::translation(Vec3::new(0.0, 0.7, 0.0));
+        let m = vec![
+            (Point3::new(0.1, 0.0, 0.0), 1.5),
+            (Point3::new(0.2, 0.0, 0.0), 2.5),
+        ];
+        let out = iso.apply_measurements(&m);
+        assert_eq!(out.len(), 2);
+        assert!(close(out[0].0, Point3::new(0.1, 0.7, 0.0)));
+        assert_eq!(out[0].1, 1.5);
+        assert_eq!(out[1].1, 2.5);
+    }
+
+    #[test]
+    fn apply_vec_ignores_translation() {
+        let iso = Isometry::translation(Vec3::new(5.0, 5.0, 5.0));
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(iso.apply_vec(v), v);
+    }
+}

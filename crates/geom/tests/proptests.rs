@@ -1,0 +1,190 @@
+//! Property-based tests for the geometry substrate.
+
+use proptest::prelude::*;
+
+use lion_geom::{
+    circle_intersections, line_intersection, radical_line, radical_plane, Circle, CircularArc,
+    LineSegment, Point2, Point3, Sphere, ThreeLineScan, Trajectory, Vec3,
+};
+
+fn point2() -> impl Strategy<Value = Point2> {
+    (-5.0_f64..5.0, -5.0_f64..5.0).prop_map(|(x, y)| Point2::new(x, y))
+}
+
+fn point3() -> impl Strategy<Value = Point3> {
+    (-5.0_f64..5.0, -5.0_f64..5.0, -5.0_f64..5.0).prop_map(|(x, y, z)| Point3::new(x, y, z))
+}
+
+proptest! {
+    #[test]
+    fn radical_line_passes_through_common_point(
+        target in point2(),
+        c1 in point2(),
+        c2 in point2(),
+    ) {
+        prop_assume!(c1.distance(c2) > 1e-3);
+        let circle1 = Circle::new(c1, target.distance(c1));
+        let circle2 = Circle::new(c2, target.distance(c2));
+        let line = radical_line(&circle1, &circle2).expect("distinct centers");
+        prop_assert!(line.distance_to(target) < 1e-7, "distance {}", line.distance_to(target));
+    }
+
+    #[test]
+    fn radical_line_is_symmetric(
+        c1 in point2(),
+        c2 in point2(),
+        r1 in 0.1_f64..3.0,
+        r2 in 0.1_f64..3.0,
+    ) {
+        prop_assume!(c1.distance(c2) > 1e-3);
+        let a = Circle::new(c1, r1);
+        let b = Circle::new(c2, r2);
+        let lab = radical_line(&a, &b).expect("ok");
+        let lba = radical_line(&b, &a).expect("ok");
+        // Same line up to sign: both normals unit, distances agree.
+        for p in [Point2::new(0.0, 0.0), Point2::new(1.0, 2.0), Point2::new(-3.0, 0.5)] {
+            prop_assert!((lab.distance_to(p) - lba.distance_to(p)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn circle_intersections_lie_on_both(
+        c1 in point2(),
+        c2 in point2(),
+        r1 in 0.1_f64..3.0,
+        r2 in 0.1_f64..3.0,
+    ) {
+        prop_assume!(c1.distance(c2) > 1e-3);
+        let a = Circle::new(c1, r1);
+        let b = Circle::new(c2, r2);
+        for p in circle_intersections(&a, &b).expect("not concentric") {
+            prop_assert!(a.contains(p, 1e-7));
+            prop_assert!(b.contains(p, 1e-7));
+            // Intersection points have equal power ⇒ on the radical line.
+            let line = radical_line(&a, &b).expect("ok");
+            prop_assert!(line.contains(p, 1e-7));
+        }
+    }
+
+    #[test]
+    fn radical_plane_contains_common_point_3d(
+        target in point3(),
+        c1 in point3(),
+        c2 in point3(),
+    ) {
+        prop_assume!(c1.distance(c2) > 1e-3);
+        let s1 = Sphere::new(c1, target.distance(c1));
+        let s2 = Sphere::new(c2, target.distance(c2));
+        let plane = radical_plane(&s1, &s2).expect("distinct centers");
+        prop_assert!(plane.distance_to(target) < 1e-7);
+    }
+
+    #[test]
+    fn pairwise_radical_lines_meet_at_common_point(
+        target in point2(),
+        c1 in point2(),
+        c2 in point2(),
+        c3 in point2(),
+    ) {
+        prop_assume!(c1.distance(c2) > 0.05);
+        prop_assume!(c2.distance(c3) > 0.05);
+        prop_assume!(c1.distance(c3) > 0.05);
+        // Skip nearly-collinear centers (radical lines nearly parallel).
+        let v1 = c2 - c1;
+        let v2 = c3 - c1;
+        prop_assume!(v1.cross(v2).abs() > 0.05);
+        let circles = [
+            Circle::new(c1, target.distance(c1)),
+            Circle::new(c2, target.distance(c2)),
+            Circle::new(c3, target.distance(c3)),
+        ];
+        let l12 = radical_line(&circles[0], &circles[1]).expect("ok");
+        let l23 = radical_line(&circles[1], &circles[2]).expect("ok");
+        let meet = line_intersection(&l12, &l23).expect("not parallel");
+        prop_assert!(meet.distance(target) < 1e-5, "meet {} target {}", meet, target);
+    }
+
+    #[test]
+    fn segment_positions_interpolate_monotonically(
+        a in point3(),
+        b in point3(),
+        t1 in 0.0_f64..1.0,
+        t2 in 0.0_f64..1.0,
+    ) {
+        prop_assume!(a.distance(b) > 1e-6);
+        let seg = LineSegment::new(a, b).expect("distinct");
+        let len = seg.length();
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let p_lo = seg.position(lo * len);
+        let p_hi = seg.position(hi * len);
+        // Distance from start is monotone in arc length.
+        prop_assert!(a.distance(p_lo) <= a.distance(p_hi) + 1e-9);
+        // Positions stay on the segment (within its bounding length).
+        prop_assert!(a.distance(p_hi) <= len + 1e-9);
+    }
+
+    #[test]
+    fn sampling_spacing_is_uniform(
+        speed in 0.01_f64..1.0,
+        rate in 5.0_f64..200.0,
+    ) {
+        let seg = LineSegment::along_x(0.0, 1.0, 0.0, 0.0).expect("valid");
+        let pts = seg.sample(speed, rate);
+        prop_assume!(pts.len() >= 3);
+        let step = speed / rate;
+        for w in pts.windows(2) {
+            let d = w[0].position.distance(w[1].position);
+            // All but the final (possibly truncated) step are `step` long.
+            prop_assert!(d <= step + 1e-9);
+        }
+        for w in pts[..pts.len() - 1].windows(2) {
+            let d = w[0].position.distance(w[1].position);
+            prop_assert!((d - step).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn arc_points_at_constant_radius(
+        r in 0.05_f64..2.0,
+        s in 0.0_f64..1.0,
+    ) {
+        let arc = CircularArc::turntable(Point3::new(0.3, 0.7, 0.1), r).expect("valid");
+        let p = arc.position(s * arc.length());
+        prop_assert!((p.distance(arc.center()) - r).abs() < 1e-9);
+        prop_assert!((p.z - 0.1).abs() < 1e-12); // stays in plane
+    }
+
+    #[test]
+    fn three_line_scan_path_is_always_continuous(
+        half in 0.1_f64..1.0,
+        y_o in 0.05_f64..0.5,
+        z_o in 0.05_f64..0.5,
+    ) {
+        let scan = ThreeLineScan::new(-half, half, y_o, z_o).expect("valid");
+        let path = scan.to_path();
+        prop_assert!(path.is_continuous(1e-9));
+        // Path length ≥ three line lengths.
+        prop_assert!(path.length() >= 3.0 * 2.0 * half - 1e-9);
+        // Every sampled point lies on one of the lines or a connector
+        // (sanity: x stays within the scanned range).
+        for w in path.sample(0.1, 20.0) {
+            prop_assert!(w.position.x >= -half - 1e-9 && w.position.x <= half + 1e-9);
+        }
+    }
+
+    #[test]
+    fn vector_algebra_roundtrips(
+        p in point3(),
+        q in point3(),
+    ) {
+        let v = q - p;
+        prop_assert!((p + v).distance(q) < 1e-12);
+        prop_assert!((q - v).distance(p) < 1e-12);
+        prop_assert!((v.norm() - p.distance(q)).abs() < 1e-12);
+        // Cross product is perpendicular to both factors.
+        let w = Vec3::new(1.0, 2.0, -0.5);
+        let c = v.cross(w);
+        prop_assert!(c.dot(v).abs() < 1e-6 * (1.0 + v.norm() * w.norm()));
+        prop_assert!(c.dot(w).abs() < 1e-6 * (1.0 + v.norm() * w.norm()));
+    }
+}

@@ -1,0 +1,114 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the linear-algebra routines in this crate.
+///
+/// All public fallible operations return [`crate::Result`] with this error
+/// type; nothing in the public API panics on bad numeric input.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Matrix/vector dimensions do not line up for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        operation: &'static str,
+        /// Dimensions that were actually supplied, formatted for display.
+        found: String,
+    },
+    /// The matrix is singular (or numerically singular) and cannot be
+    /// factorized or inverted.
+    Singular,
+    /// The matrix is not positive definite (Cholesky only).
+    NotPositiveDefinite,
+    /// The system is rank deficient below the requested tolerance.
+    RankDeficient {
+        /// Estimated numerical rank.
+        rank: usize,
+        /// Number of columns (full rank expected).
+        cols: usize,
+    },
+    /// An iterative algorithm failed to converge within its iteration cap.
+    NonConvergence {
+        /// The algorithm that failed to converge.
+        algorithm: &'static str,
+        /// Number of iterations performed.
+        iterations: usize,
+    },
+    /// Input was empty where at least one element is required.
+    EmptyInput {
+        /// The operation that received the empty input.
+        operation: &'static str,
+    },
+    /// Input contained a NaN or infinite value.
+    NotFinite {
+        /// The operation that received the non-finite input.
+        operation: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { operation, found } => {
+                write!(f, "dimension mismatch in {operation}: {found}")
+            }
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::NotPositiveDefinite => {
+                write!(f, "matrix is not positive definite")
+            }
+            LinalgError::RankDeficient { rank, cols } => {
+                write!(f, "rank deficient system: rank {rank} of {cols} columns")
+            }
+            LinalgError::NonConvergence {
+                algorithm,
+                iterations,
+            } => write!(
+                f,
+                "{algorithm} did not converge after {iterations} iterations"
+            ),
+            LinalgError::EmptyInput { operation } => {
+                write!(f, "empty input supplied to {operation}")
+            }
+            LinalgError::NotFinite { operation } => {
+                write!(f, "non-finite value supplied to {operation}")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            LinalgError::DimensionMismatch {
+                operation: "mul",
+                found: "2x3 * 2x2".to_string(),
+            },
+            LinalgError::Singular,
+            LinalgError::NotPositiveDefinite,
+            LinalgError::RankDeficient { rank: 2, cols: 4 },
+            LinalgError::NonConvergence {
+                algorithm: "irls",
+                iterations: 50,
+            },
+            LinalgError::EmptyInput { operation: "mean" },
+            LinalgError::NotFinite { operation: "qr" },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

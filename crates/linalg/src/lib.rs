@@ -1,0 +1,65 @@
+//! # lion-linalg
+//!
+//! Small, self-contained dense linear-algebra toolkit used by the LION
+//! reproduction (ICDCS 2022, "Pinpoint Achilles' Heel in RFID Localization").
+//!
+//! The LION localization model reduces RFID phase localization to solving an
+//! overdetermined linear system `A·x = k` with (iteratively re-)weighted
+//! least squares. This crate provides everything that pipeline needs, built
+//! from scratch on `std` only:
+//!
+//! - [`Matrix`] / [`Vector`]: dense row-major matrices and vectors,
+//! - [`Lu`]: LU decomposition with partial pivoting (solve / det / inverse),
+//! - [`Qr`]: Householder QR (least-squares solve, rank detection),
+//! - [`Cholesky`]: for symmetric positive-definite systems,
+//! - [`Svd`]: one-sided Jacobi SVD (condition numbers, pseudo-inverse),
+//! - [`lstsq`]: plain, weighted, and iteratively-reweighted least squares
+//!   with the paper's Gaussian-of-residual weight (Eq. 15),
+//! - [`lm`]: Levenberg–Marquardt for the non-linear hyperbola baseline,
+//! - [`stats`]: summary statistics, circular (phase) statistics, filters,
+//! - [`poly`]: polynomial fitting for the parabola baseline.
+//!
+//! # Example
+//!
+//! Solve an overdetermined system in the least-squares sense:
+//!
+//! ```
+//! use lion_linalg::{Matrix, Vector, lstsq};
+//!
+//! # fn main() -> Result<(), lion_linalg::LinalgError> {
+//! // y = 2x + 1 sampled at x = 0, 1, 2 with a design matrix [x 1].
+//! let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 1.0], &[2.0, 1.0]])?;
+//! let k = Vector::from_slice(&[1.0, 3.0, 5.0]);
+//! let x = lstsq::solve(&a, &k)?;
+//! assert!((x[0] - 2.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cholesky;
+mod error;
+pub mod lm;
+pub mod lstsq;
+mod lu;
+mod matrix;
+pub mod poly;
+mod qr;
+pub mod stats;
+mod svd;
+mod vector;
+
+pub use cholesky::Cholesky;
+pub use error::LinalgError;
+pub use lm::{LevenbergMarquardt, LmOutcome, LmReport};
+pub use lstsq::{IrlsConfig, IrlsReport, WeightFunction};
+pub use lu::{solve_square, Lu};
+pub use matrix::Matrix;
+pub use qr::Qr;
+pub use svd::Svd;
+pub use vector::Vector;
+
+/// Convenience result alias for fallible linear-algebra operations.
+pub type Result<T> = std::result::Result<T, LinalgError>;

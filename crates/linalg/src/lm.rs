@@ -1,0 +1,322 @@
+//! Levenberg–Marquardt non-linear least squares.
+//!
+//! The hyperbola-based TDoA baseline (paper Sec. VI, refs [6, 14–19]) must
+//! minimize `Σ (‖p − tᵢ‖ − ‖p − tⱼ‖ − Δd_{ij})²`, a non-linear objective.
+//! This module provides a small, dependency-free LM implementation with
+//! numerical Jacobians, used by `lion-baselines` — and, in benchmarks, as
+//! evidence for the paper's claim that the non-linear route is far more
+//! expensive than LION's linear model.
+
+use crate::error::LinalgError;
+use crate::lu::Lu;
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+
+/// Why the LM iteration stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LmOutcome {
+    /// Parameter step fell below the step tolerance.
+    SmallStep,
+    /// Cost decreased by less than the cost tolerance.
+    SmallCostDecrease,
+    /// Gradient norm fell below the gradient tolerance.
+    SmallGradient,
+    /// Hit the iteration cap without meeting any tolerance.
+    MaxIterations,
+}
+
+/// Result of a Levenberg–Marquardt minimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LmReport {
+    /// Final parameter estimate.
+    pub solution: Vector,
+    /// Final cost `½·Σ rᵢ²`.
+    pub cost: f64,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Stopping reason.
+    pub outcome: LmOutcome,
+}
+
+/// Levenberg–Marquardt minimizer for `min ½‖r(x)‖²`.
+///
+/// The residual function is user-supplied; the Jacobian is computed by
+/// central finite differences.
+///
+/// # Example
+///
+/// Fit the center of a circle from noisy radius observations:
+///
+/// ```
+/// use lion_linalg::{LevenbergMarquardt, Vector};
+///
+/// # fn main() -> Result<(), lion_linalg::LinalgError> {
+/// let points = [(1.0, 0.0), (0.0, 1.0), (-1.0, 0.0), (0.0, -1.0)];
+/// let lm = LevenbergMarquardt::new();
+/// let report = lm.minimize(&Vector::from_slice(&[0.3, -0.2]), |x, out| {
+///     for (i, (px, py)) in points.iter().enumerate() {
+///         let d = ((px - x[0]).powi(2) + (py - x[1]).powi(2)).sqrt();
+///         out[i] = d - 1.0; // all points at distance 1 from the center
+///     }
+/// }, points.len())?;
+/// assert!(report.solution[0].abs() < 1e-6);
+/// assert!(report.solution[1].abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevenbergMarquardt {
+    /// Iteration cap.
+    pub max_iterations: usize,
+    /// Stop when the parameter step max-norm falls below this.
+    pub step_tolerance: f64,
+    /// Stop when the relative cost decrease falls below this.
+    pub cost_tolerance: f64,
+    /// Stop when the gradient max-norm falls below this.
+    pub gradient_tolerance: f64,
+    /// Initial damping factor λ.
+    pub initial_lambda: f64,
+    /// Finite-difference step for the numerical Jacobian.
+    pub fd_step: f64,
+}
+
+impl Default for LevenbergMarquardt {
+    fn default() -> Self {
+        LevenbergMarquardt {
+            max_iterations: 100,
+            step_tolerance: 1e-10,
+            cost_tolerance: 1e-12,
+            gradient_tolerance: 1e-10,
+            initial_lambda: 1e-3,
+            fd_step: 1e-6,
+        }
+    }
+}
+
+impl LevenbergMarquardt {
+    /// Creates a minimizer with default tolerances.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Minimizes `½‖r(x)‖²` starting from `x0`.
+    ///
+    /// `residual_fn(x, out)` must fill `out` (length `residual_len`) with
+    /// the residual vector at `x`.
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::EmptyInput`] when `x0` or the residual is empty,
+    /// - [`LinalgError::NotFinite`] when the residual function produces
+    ///   NaN/inf at the starting point,
+    /// - [`LinalgError::NonConvergence`] when damping grows unboundedly
+    ///   (the model cannot be improved in any direction).
+    pub fn minimize<F>(
+        &self,
+        x0: &Vector,
+        mut residual_fn: F,
+        residual_len: usize,
+    ) -> Result<LmReport, LinalgError>
+    where
+        F: FnMut(&Vector, &mut [f64]),
+    {
+        let n = x0.len();
+        if n == 0 || residual_len == 0 {
+            return Err(LinalgError::EmptyInput {
+                operation: "levenberg-marquardt",
+            });
+        }
+        let mut x = x0.clone();
+        let mut r = vec![0.0; residual_len];
+        residual_fn(&x, &mut r);
+        if r.iter().any(|v| !v.is_finite()) {
+            return Err(LinalgError::NotFinite {
+                operation: "levenberg-marquardt residual",
+            });
+        }
+        let mut cost = 0.5 * r.iter().map(|v| v * v).sum::<f64>();
+        let mut lambda = self.initial_lambda;
+        let mut iterations = 0;
+        let mut outcome = LmOutcome::MaxIterations;
+
+        let mut r_plus = vec![0.0; residual_len];
+        let mut r_minus = vec![0.0; residual_len];
+
+        'outer: for _ in 0..self.max_iterations {
+            iterations += 1;
+            // Numerical Jacobian by central differences.
+            let mut jac = Matrix::zeros(residual_len, n);
+            for c in 0..n {
+                let h = self.fd_step * (1.0 + x[c].abs());
+                let mut xp = x.clone();
+                xp[c] += h;
+                residual_fn(&xp, &mut r_plus);
+                let mut xm = x.clone();
+                xm[c] -= h;
+                residual_fn(&xm, &mut r_minus);
+                for rr in 0..residual_len {
+                    jac[(rr, c)] = (r_plus[rr] - r_minus[rr]) / (2.0 * h);
+                }
+            }
+            // Gradient g = Jᵀ r and Gauss-Newton Hessian H = JᵀJ.
+            let rv = Vector::from_slice(&r);
+            let grad = jac.transpose_mul_vector(&rv)?;
+            if grad.norm_inf() < self.gradient_tolerance {
+                outcome = LmOutcome::SmallGradient;
+                break;
+            }
+            let hess = jac.gram();
+            // Damped step loop: increase λ until the cost decreases.
+            let mut inner_ok = false;
+            for _ in 0..50 {
+                let mut damped = hess.clone();
+                for d in 0..n {
+                    damped[(d, d)] += lambda * hess[(d, d)].max(1e-12);
+                }
+                let step = match Lu::decompose(&damped).and_then(|lu| lu.solve(&grad)) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        lambda *= 10.0;
+                        continue;
+                    }
+                };
+                let x_new = &x - &step;
+                residual_fn(&x_new, &mut r_plus);
+                if r_plus.iter().any(|v| !v.is_finite()) {
+                    lambda *= 10.0;
+                    continue;
+                }
+                let cost_new = 0.5 * r_plus.iter().map(|v| v * v).sum::<f64>();
+                if cost_new < cost {
+                    let step_small = step.norm_inf() < self.step_tolerance;
+                    let decrease_small =
+                        (cost - cost_new) <= self.cost_tolerance * cost.max(1e-300);
+                    x = x_new;
+                    r.copy_from_slice(&r_plus);
+                    cost = cost_new;
+                    lambda = (lambda * 0.3).max(1e-12);
+                    inner_ok = true;
+                    if step_small {
+                        outcome = LmOutcome::SmallStep;
+                        break 'outer;
+                    }
+                    if decrease_small {
+                        outcome = LmOutcome::SmallCostDecrease;
+                        break 'outer;
+                    }
+                    break;
+                }
+                lambda *= 10.0;
+                if lambda > 1e12 {
+                    // No direction improves the cost: converged to a
+                    // stationary point within numerical precision.
+                    outcome = LmOutcome::SmallStep;
+                    break 'outer;
+                }
+            }
+            if !inner_ok && outcome == LmOutcome::MaxIterations {
+                outcome = LmOutcome::SmallStep;
+                break;
+            }
+        }
+        Ok(LmReport {
+            solution: x,
+            cost,
+            iterations,
+            outcome,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_rosenbrock() {
+        // Rosenbrock residuals: r1 = 10(y − x²), r2 = 1 − x; min at (1, 1).
+        let lm = LevenbergMarquardt {
+            max_iterations: 500,
+            ..LevenbergMarquardt::default()
+        };
+        let report = lm
+            .minimize(
+                &Vector::from_slice(&[-1.2, 1.0]),
+                |x, out| {
+                    out[0] = 10.0 * (x[1] - x[0] * x[0]);
+                    out[1] = 1.0 - x[0];
+                },
+                2,
+            )
+            .unwrap();
+        assert!((report.solution[0] - 1.0).abs() < 1e-5, "{report:?}");
+        assert!((report.solution[1] - 1.0).abs() < 1e-5);
+        assert!(report.cost < 1e-10);
+    }
+
+    #[test]
+    fn solves_linear_problem_in_one_hop() {
+        // r = A x − b with A = I: minimum at x = b.
+        let lm = LevenbergMarquardt::new();
+        let report = lm
+            .minimize(
+                &Vector::from_slice(&[0.0, 0.0]),
+                |x, out| {
+                    out[0] = x[0] - 3.0;
+                    out[1] = x[1] + 2.0;
+                },
+                2,
+            )
+            .unwrap();
+        assert!((report.solution[0] - 3.0).abs() < 1e-8);
+        assert!((report.solution[1] + 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn circle_center_from_distances() {
+        let points = [(2.0, 1.0), (0.0, 3.0), (-2.0, 1.0), (0.0, -1.0)];
+        // All at distance 2 from center (0, 1).
+        let lm = LevenbergMarquardt::new();
+        let report = lm
+            .minimize(
+                &Vector::from_slice(&[0.5, 0.5]),
+                |x, out| {
+                    for (i, (px, py)) in points.iter().enumerate() {
+                        let d = ((px - x[0]).powi(2) + (py - x[1]).powi(2)).sqrt();
+                        out[i] = d - 2.0;
+                    }
+                },
+                4,
+            )
+            .unwrap();
+        assert!(report.solution[0].abs() < 1e-6);
+        assert!((report.solution[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let lm = LevenbergMarquardt::new();
+        assert!(lm.minimize(&Vector::zeros(0), |_, _| {}, 1).is_err());
+        assert!(lm.minimize(&Vector::zeros(1), |_, _| {}, 0).is_err());
+    }
+
+    #[test]
+    fn nan_residual_rejected() {
+        let lm = LevenbergMarquardt::new();
+        let err = lm
+            .minimize(&Vector::from_slice(&[1.0]), |_, out| out[0] = f64::NAN, 1)
+            .unwrap_err();
+        assert!(matches!(err, LinalgError::NotFinite { .. }));
+    }
+
+    #[test]
+    fn already_at_minimum_stops_quickly() {
+        let lm = LevenbergMarquardt::new();
+        let report = lm
+            .minimize(&Vector::from_slice(&[3.0]), |x, out| out[0] = x[0] - 3.0, 1)
+            .unwrap();
+        assert!(report.iterations <= 2);
+        assert!(report.cost < 1e-20);
+    }
+}

@@ -1,0 +1,458 @@
+//! Plain, weighted, and iteratively-reweighted least squares.
+//!
+//! This module implements the estimation machinery of the LION paper
+//! (Sec. IV-B2): the optimal solution of the radical-line system is
+//! `X* = (AᵀWA)⁻¹AᵀWK` (paper Eq. 16), with the weight of each equation
+//! derived from its residual as `wᵢ = exp(−(rᵢ−μ)²/(2σ²))` (paper Eq. 15),
+//! iterated until the estimate stabilizes.
+
+use crate::cholesky::Cholesky;
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::qr::Qr;
+use crate::stats;
+use crate::svd::Svd;
+use crate::vector::Vector;
+
+/// Weighting scheme applied to equation residuals between IRLS iterations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+#[derive(Default)]
+pub enum WeightFunction {
+    /// The paper's Gaussian-of-residual weight (Eq. 15):
+    /// `wᵢ = exp(−(rᵢ−μ)²/(2σ²))` with `μ, σ` the mean/std of all residuals.
+    #[default]
+    GaussianResidual,
+    /// Huber weights: `1` for `|r| ≤ delta`, `delta/|r|` beyond. A classical
+    /// robust alternative kept for ablation studies.
+    Huber {
+        /// Transition point between quadratic and linear loss.
+        delta: f64,
+    },
+    /// All weights equal to one — degrades IRLS to ordinary least squares.
+    Uniform,
+}
+
+impl WeightFunction {
+    /// Computes a weight per residual.
+    pub fn weights(&self, residuals: &[f64]) -> Vec<f64> {
+        match *self {
+            WeightFunction::Uniform => vec![1.0; residuals.len()],
+            WeightFunction::Huber { delta } => residuals
+                .iter()
+                .map(|r| {
+                    let a = r.abs();
+                    if a <= delta || a == 0.0 {
+                        1.0
+                    } else {
+                        delta / a
+                    }
+                })
+                .collect(),
+            WeightFunction::GaussianResidual => {
+                let mu = stats::mean(residuals).unwrap_or(0.0);
+                let sigma = stats::std_dev(residuals).unwrap_or(0.0);
+                if sigma < MIN_SIGMA {
+                    // Residuals are (numerically) identical: equations are
+                    // equally reliable, weight them uniformly.
+                    return vec![1.0; residuals.len()];
+                }
+                residuals
+                    .iter()
+                    .map(|r| {
+                        let z = (r - mu) / sigma;
+                        (-0.5 * z * z).exp()
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Residual spread below which the Gaussian weight collapses to uniform.
+const MIN_SIGMA: f64 = 1e-12;
+
+/// Configuration for [`solve_irls`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IrlsConfig {
+    /// Maximum number of reweighting iterations (the first plain LS solve is
+    /// not counted). The paper iterates "until the difference between the
+    /// last estimation and the current estimation is less than the given
+    /// threshold".
+    pub max_iterations: usize,
+    /// Convergence threshold on `‖xₖ − xₖ₋₁‖∞`.
+    pub tolerance: f64,
+    /// Weighting scheme.
+    pub weight_fn: WeightFunction,
+}
+
+impl Default for IrlsConfig {
+    fn default() -> Self {
+        IrlsConfig {
+            max_iterations: 20,
+            tolerance: 1e-8,
+            weight_fn: WeightFunction::GaussianResidual,
+        }
+    }
+}
+
+/// Result of an iteratively-reweighted least-squares run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrlsReport {
+    /// The final estimate `X*`.
+    pub solution: Vector,
+    /// Final per-equation weights.
+    pub weights: Vec<f64>,
+    /// Final per-equation residuals `rᵢ = Aᵢ·X* − kᵢ`.
+    pub residuals: Vec<f64>,
+    /// Number of reweighting iterations performed.
+    pub iterations: usize,
+    /// Plain mean of the final residuals. The LION adaptive parameter
+    /// selection picks the configuration whose mean residual is closest to
+    /// zero (paper Sec. IV-C1, evaluated in Figs. 16–18).
+    pub mean_residual: f64,
+    /// Weighted root-mean-square residual.
+    pub weighted_rms: f64,
+    /// Whether the iteration converged before hitting `max_iterations`.
+    pub converged: bool,
+}
+
+/// Solves `min ‖A·x − k‖₂` by Householder QR.
+///
+/// # Errors
+///
+/// Propagates [`Qr::decompose`]/[`Qr::solve_least_squares`] errors; in
+/// particular [`LinalgError::RankDeficient`] signals the caller to use the
+/// lower-dimension path.
+pub fn solve(a: &Matrix, k: &Vector) -> Result<Vector, LinalgError> {
+    Qr::decompose(a)?.solve_least_squares(k)
+}
+
+/// Solves the rank-deficient-tolerant least squares via the SVD
+/// pseudo-inverse (minimum-norm solution).
+///
+/// # Errors
+///
+/// Propagates [`Svd::decompose`] errors.
+pub fn solve_min_norm(a: &Matrix, k: &Vector) -> Result<Vector, LinalgError> {
+    Svd::decompose(a)?.solve_min_norm(k, 1e-12)
+}
+
+/// Solves `min Σ wᵢ·(Aᵢ·x − kᵢ)²` (paper Eq. 14/16).
+///
+/// Internally scales each row by `√wᵢ` and solves by QR, which is
+/// algebraically identical to `(AᵀWA)⁻¹AᵀWK` but better conditioned.
+///
+/// # Errors
+///
+/// - [`LinalgError::DimensionMismatch`] when shapes disagree,
+/// - [`LinalgError::NotFinite`] when a weight is negative or non-finite,
+/// - factorization errors from [`Qr`].
+pub fn solve_weighted(a: &Matrix, k: &Vector, weights: &[f64]) -> Result<Vector, LinalgError> {
+    let (m, n) = a.shape();
+    if k.len() != m || weights.len() != m {
+        return Err(LinalgError::DimensionMismatch {
+            operation: "weighted least squares",
+            found: format!("{m}x{n} design, rhs {}, {} weights", k.len(), weights.len()),
+        });
+    }
+    if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+        return Err(LinalgError::NotFinite {
+            operation: "weighted least squares (weights)",
+        });
+    }
+    let mut scaled = a.clone();
+    let mut rhs = k.clone();
+    for r in 0..m {
+        let s = weights[r].sqrt();
+        for c in 0..n {
+            scaled[(r, c)] *= s;
+        }
+        rhs[r] *= s;
+    }
+    Qr::decompose(&scaled)?.solve_least_squares(&rhs)
+}
+
+/// Solves the weighted problem through the normal equations
+/// `(AᵀWA)·x = AᵀWk` with a Cholesky factorization — the literal form of
+/// paper Eq. 16. Faster than the QR route for tall-thin systems; used by the
+/// benchmarks to compare both.
+///
+/// # Errors
+///
+/// Same as [`solve_weighted`], plus [`LinalgError::NotPositiveDefinite`]
+/// when the weighted Gram matrix is singular.
+pub fn solve_weighted_normal_equations(
+    a: &Matrix,
+    k: &Vector,
+    weights: &[f64],
+) -> Result<Vector, LinalgError> {
+    let gram = a.weighted_gram(weights)?;
+    let rhs = a.weighted_transpose_mul_vector(weights, k)?;
+    Cholesky::decompose(&gram)?.solve(&rhs)
+}
+
+/// Computes the per-row residuals `rᵢ = Aᵢ·x − kᵢ`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] when shapes disagree.
+pub fn residuals(a: &Matrix, k: &Vector, x: &Vector) -> Result<Vec<f64>, LinalgError> {
+    let ax = a.mul_vector(x)?;
+    if ax.len() != k.len() {
+        return Err(LinalgError::DimensionMismatch {
+            operation: "residuals",
+            found: format!("{} vs {}", ax.len(), k.len()),
+        });
+    }
+    Ok(ax
+        .as_slice()
+        .iter()
+        .zip(k.as_slice())
+        .map(|(p, q)| p - q)
+        .collect())
+}
+
+/// Iteratively-reweighted least squares: the full LION estimation loop.
+///
+/// 1. Solve plain LS for an initial `X*` (paper Eq. 13).
+/// 2. Compute residuals, derive weights (paper Eq. 15).
+/// 3. Solve WLS (paper Eq. 16); repeat from 2 until the estimate moves less
+///    than `config.tolerance` or `config.max_iterations` is reached.
+///
+/// # Errors
+///
+/// Propagates factorization errors; [`LinalgError::RankDeficient`] from the
+/// initial solve indicates a lower-dimension geometry.
+///
+/// # Example
+///
+/// ```
+/// use lion_linalg::{lstsq, IrlsConfig, Matrix, Vector};
+///
+/// # fn main() -> Result<(), lion_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0], &[1.0, -1.0]])?;
+/// let k = Vector::from_slice(&[1.0, 2.0, 3.0, -1.0]);
+/// let report = lstsq::solve_irls(&a, &k, &IrlsConfig::default())?;
+/// assert!((report.solution[0] - 1.0).abs() < 1e-9);
+/// assert!((report.solution[1] - 2.0).abs() < 1e-9);
+/// assert!(report.converged);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_irls(a: &Matrix, k: &Vector, config: &IrlsConfig) -> Result<IrlsReport, LinalgError> {
+    let mut x = solve(a, k)?;
+    let mut res = residuals(a, k, &x)?;
+    let mut weights = config.weight_fn.weights(&res);
+    let mut iterations = 0;
+    let mut converged = matches!(config.weight_fn, WeightFunction::Uniform);
+    if !converged {
+        for _ in 0..config.max_iterations {
+            iterations += 1;
+            let x_new = solve_weighted(a, k, &weights)?;
+            let delta = x_new
+                .as_slice()
+                .iter()
+                .zip(x.as_slice())
+                .fold(0.0_f64, |m, (p, q)| m.max((p - q).abs()));
+            x = x_new;
+            res = residuals(a, k, &x)?;
+            weights = config.weight_fn.weights(&res);
+            if delta < config.tolerance {
+                converged = true;
+                break;
+            }
+        }
+    }
+    let mean_residual = stats::mean(&res).unwrap_or(0.0);
+    let wsum: f64 = weights.iter().sum();
+    let weighted_rms = if wsum > 0.0 {
+        (res.iter()
+            .zip(&weights)
+            .map(|(r, w)| w * r * r)
+            .sum::<f64>()
+            / wsum)
+            .sqrt()
+    } else {
+        0.0
+    };
+    Ok(IrlsReport {
+        solution: x,
+        weights,
+        residuals: res,
+        iterations,
+        mean_residual,
+        weighted_rms,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_system() -> (Matrix, Vector) {
+        // y = 2x + 1 with one gross outlier at the end.
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x, 1.0]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let a = Matrix::from_rows(&refs).unwrap();
+        let mut k: Vec<f64> = xs.iter().map(|&x| 2.0 * x + 1.0).collect();
+        k[7] += 10.0; // outlier
+        (a, Vector::from_slice(&k))
+    }
+
+    #[test]
+    fn plain_ls_exact_on_clean_data() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let k = Vector::from_slice(&[3.0, 4.0, 7.0]);
+        let x = solve(&a, &k).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_ls_downweights_outlier() {
+        let (a, k) = line_system();
+        // Zero weight on the outlier row recovers the exact line.
+        let mut w = vec![1.0; 8];
+        w[7] = 0.0;
+        let x = solve_weighted(&a, &k, &w).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn weighted_routes_agree() {
+        let (a, k) = line_system();
+        let w = [1.0, 0.5, 2.0, 1.0, 0.1, 1.0, 3.0, 0.7];
+        let x_qr = solve_weighted(&a, &k, &w).unwrap();
+        let x_ne = solve_weighted_normal_equations(&a, &k, &w).unwrap();
+        for (p, q) in x_qr.as_slice().iter().zip(x_ne.as_slice()) {
+            assert!((p - q).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn uniform_weights_match_plain_ls() {
+        let (a, k) = line_system();
+        let x_plain = solve(&a, &k).unwrap();
+        let x_w = solve_weighted(&a, &k, &[1.0; 8]).unwrap();
+        for (p, q) in x_plain.as_slice().iter().zip(x_w.as_slice()) {
+            assert!((p - q).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn negative_weight_rejected() {
+        let (a, k) = line_system();
+        let mut w = vec![1.0; 8];
+        w[0] = -1.0;
+        assert!(matches!(
+            solve_weighted(&a, &k, &w),
+            Err(LinalgError::NotFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn weight_length_checked() {
+        let (a, k) = line_system();
+        assert!(solve_weighted(&a, &k, &[1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn irls_beats_plain_ls_with_outlier() {
+        let (a, k) = line_system();
+        let plain = solve(&a, &k).unwrap();
+        let irls = solve_irls(&a, &k, &IrlsConfig::default()).unwrap();
+        let err = |x: &Vector| ((x[0] - 2.0).powi(2) + (x[1] - 1.0).powi(2)).sqrt();
+        assert!(
+            err(&irls.solution) < err(&plain),
+            "irls {:?} should beat plain {:?}",
+            irls.solution,
+            plain
+        );
+        assert!(irls.iterations >= 1);
+        // The outlier equation must have received the smallest weight.
+        let min_idx = irls
+            .weights
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(min_idx, 7);
+    }
+
+    #[test]
+    fn irls_on_clean_data_converges_immediately() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0], &[2.0, 1.0]]).unwrap();
+        let x_true = Vector::from_slice(&[1.5, -0.5]);
+        let k = a.mul_vector(&x_true).unwrap();
+        let report = solve_irls(&a, &k, &IrlsConfig::default()).unwrap();
+        assert!(report.converged);
+        for (p, q) in report.solution.as_slice().iter().zip(x_true.as_slice()) {
+            assert!((p - q).abs() < 1e-10);
+        }
+        assert!(report.mean_residual.abs() < 1e-10);
+        assert!(report.weighted_rms < 1e-10);
+    }
+
+    #[test]
+    fn irls_uniform_equals_plain() {
+        let (a, k) = line_system();
+        let cfg = IrlsConfig {
+            weight_fn: WeightFunction::Uniform,
+            ..IrlsConfig::default()
+        };
+        let report = solve_irls(&a, &k, &cfg).unwrap();
+        let plain = solve(&a, &k).unwrap();
+        for (p, q) in report.solution.as_slice().iter().zip(plain.as_slice()) {
+            assert!((p - q).abs() < 1e-12);
+        }
+        assert_eq!(report.iterations, 0);
+        assert!(report.converged);
+    }
+
+    #[test]
+    fn huber_weights_shape() {
+        let w = WeightFunction::Huber { delta: 1.0 }.weights(&[0.5, -2.0, 0.0]);
+        assert_eq!(w[0], 1.0);
+        assert!((w[1] - 0.5).abs() < 1e-12);
+        assert_eq!(w[2], 1.0);
+    }
+
+    #[test]
+    fn gaussian_weights_uniform_when_residuals_identical() {
+        let w = WeightFunction::GaussianResidual.weights(&[0.3, 0.3, 0.3]);
+        assert_eq!(w, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn gaussian_weights_penalize_outlier() {
+        let w = WeightFunction::GaussianResidual.weights(&[0.0, 0.1, -0.1, 5.0]);
+        assert!(w[3] < w[0]);
+        assert!(w[3] < w[1]);
+        assert!(w.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn residual_helper_checks_dims() {
+        let a = Matrix::identity(2);
+        assert!(residuals(&a, &Vector::zeros(2), &Vector::zeros(2)).is_ok());
+        assert!(residuals(&a, &Vector::zeros(2), &Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn min_norm_handles_rank_deficiency() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]).unwrap();
+        let k = Vector::from_slice(&[2.0, 4.0, 6.0]);
+        assert!(matches!(
+            solve(&a, &k),
+            Err(LinalgError::RankDeficient { .. })
+        ));
+        let x = solve_min_norm(&a, &k).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 1.0).abs() < 1e-9);
+    }
+}

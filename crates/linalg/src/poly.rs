@@ -1,0 +1,294 @@
+//! Polynomial least-squares fitting.
+//!
+//! The parabola-based localization baseline (paper Sec. VI, citing \[8\])
+//! fits a quadratic to the unwrapped phase profile of a linear scan: the
+//! vertex abscissa estimates the coordinate of the closest approach to the
+//! antenna, and the curvature encodes the perpendicular distance.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::qr::Qr;
+use crate::vector::Vector;
+
+/// A polynomial in `x`, stored internally in the centered-and-scaled
+/// variable `t = (x − offset) / scale` for numerical stability.
+///
+/// [`Polynomial::fit`] centers the abscissae automatically, so evaluating a
+/// fit remains accurate even when the `x` values sit far from zero (e.g.
+/// absolute conveyor coordinates).
+///
+/// # Example
+///
+/// ```
+/// use lion_linalg::poly::Polynomial;
+///
+/// # fn main() -> Result<(), lion_linalg::LinalgError> {
+/// let xs = [0.0, 1.0, 2.0, 3.0];
+/// let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x * x - 4.0 * x + 1.0).collect();
+/// let p = Polynomial::fit(&xs, &ys, 2)?;
+/// assert!((p.eval(1.5) - (-0.5)).abs() < 1e-9);
+/// assert!((p.vertex().unwrap().0 - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    /// Coefficients in ascending-degree order over `t`.
+    coefficients: Vec<f64>,
+    /// Centering offset: `t = (x − offset) / scale`.
+    offset: f64,
+    /// Scaling factor (always positive).
+    scale: f64,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from ascending-degree coefficients in plain `x`
+    /// (no centering/scaling).
+    ///
+    /// The empty list is the zero polynomial.
+    pub fn new(coefficients: Vec<f64>) -> Self {
+        Polynomial {
+            coefficients,
+            offset: 0.0,
+            scale: 1.0,
+        }
+    }
+
+    /// Least-squares fit of a degree-`degree` polynomial to `(xs, ys)`.
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::DimensionMismatch`] when `xs.len() != ys.len()` or
+    ///   fewer than `degree + 1` points are supplied,
+    /// - [`LinalgError::NotFinite`] for NaN/inf input,
+    /// - [`LinalgError::RankDeficient`] when all `xs` coincide.
+    pub fn fit(xs: &[f64], ys: &[f64], degree: usize) -> Result<Self, LinalgError> {
+        if xs.len() != ys.len() {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "polynomial fit",
+                found: format!("{} xs vs {} ys", xs.len(), ys.len()),
+            });
+        }
+        if xs.len() < degree + 1 {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "polynomial fit",
+                found: format!("{} points for degree {degree}", xs.len()),
+            });
+        }
+        if xs.iter().chain(ys).any(|v| !v.is_finite()) {
+            return Err(LinalgError::NotFinite {
+                operation: "polynomial fit",
+            });
+        }
+        // Center and scale x for conditioning of the Vandermonde matrix.
+        let offset = xs.iter().sum::<f64>() / xs.len() as f64;
+        let scale = xs
+            .iter()
+            .map(|x| (x - offset).abs())
+            .fold(0.0_f64, f64::max)
+            .max(1e-30);
+        let design = Matrix::from_fn(xs.len(), degree + 1, |r, c| {
+            ((xs[r] - offset) / scale).powi(c as i32)
+        });
+        let rhs = Vector::from_slice(ys);
+        let coefficients = Qr::decompose(&design)?
+            .solve_least_squares(&rhs)?
+            .into_inner();
+        Ok(Polynomial {
+            coefficients,
+            offset,
+            scale,
+        })
+    }
+
+    /// Coefficients over the internal centered variable `t`, ascending
+    /// degree. For polynomials built with [`Polynomial::new`], `t = x`.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Coefficients expanded into plain powers of `x`, ascending degree.
+    ///
+    /// For fits centered far from zero this expansion can lose precision;
+    /// prefer [`Polynomial::eval`] for evaluation.
+    pub fn to_plain_coefficients(&self) -> Vec<f64> {
+        let d = self.coefficients.len();
+        if d == 0 {
+            return Vec::new();
+        }
+        let mut out = vec![0.0; d];
+        // Basis expansion: t^c = ((x − μ)/s)^c via repeated convolution with
+        // the linear factor (−μ/s) + (1/s)·x.
+        let lin = [-self.offset / self.scale, 1.0 / self.scale];
+        let mut basis = vec![1.0];
+        for (c, &b) in self.coefficients.iter().enumerate() {
+            for (i, &v) in basis.iter().enumerate() {
+                out[i] += b * v;
+            }
+            if c + 1 < d {
+                let mut next = vec![0.0; basis.len() + 1];
+                for (i, &v) in basis.iter().enumerate() {
+                    next[i] += v * lin[0];
+                    next[i + 1] += v * lin[1];
+                }
+                basis = next;
+            }
+        }
+        out
+    }
+
+    /// Degree (index of the highest stored coefficient); 0 for the zero
+    /// polynomial.
+    pub fn degree(&self) -> usize {
+        self.coefficients.len().saturating_sub(1)
+    }
+
+    /// Evaluates at `x` by Horner's rule in the centered variable.
+    pub fn eval(&self, x: f64) -> f64 {
+        let t = (x - self.offset) / self.scale;
+        self.coefficients
+            .iter()
+            .rev()
+            .fold(0.0, |acc, &c| acc * t + c)
+    }
+
+    /// Derivative polynomial (with respect to `x`).
+    pub fn derivative(&self) -> Polynomial {
+        if self.coefficients.len() <= 1 {
+            return Polynomial::new(vec![0.0]);
+        }
+        Polynomial {
+            coefficients: self.coefficients[1..]
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| c * (i + 1) as f64 / self.scale)
+                .collect(),
+            offset: self.offset,
+            scale: self.scale,
+        }
+    }
+
+    /// Vertex `(x, y)` of a quadratic; `None` unless the polynomial is
+    /// degree 2 with a nonzero leading coefficient.
+    pub fn vertex(&self) -> Option<(f64, f64)> {
+        if self.coefficients.len() != 3 || self.coefficients[2] == 0.0 {
+            return None;
+        }
+        let t = -self.coefficients[1] / (2.0 * self.coefficients[2]);
+        let x = self.offset + self.scale * t;
+        Some((x, self.eval(x)))
+    }
+
+    /// Second derivative with respect to `x` of a quadratic (the constant
+    /// curvature `2a`); `None` unless degree 2.
+    pub fn quadratic_curvature(&self) -> Option<f64> {
+        if self.coefficients.len() != 3 {
+            return None;
+        }
+        Some(2.0 * self.coefficients[2] / (self.scale * self.scale))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_exact_quadratic() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64 * 0.3 - 1.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x * x + 2.0 * x - 5.0).collect();
+        let p = Polynomial::fit(&xs, &ys, 2).unwrap();
+        let c = p.to_plain_coefficients();
+        assert!((c[0] + 5.0).abs() < 1e-9, "{c:?}");
+        assert!((c[1] - 2.0).abs() < 1e-9);
+        assert!((c[2] - 3.0).abs() < 1e-9);
+        assert!((p.quadratic_curvature().unwrap() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fits_line() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [1.0, 3.0, 5.0];
+        let p = Polynomial::fit(&xs, &ys, 1).unwrap();
+        assert!((p.eval(10.0) - 21.0).abs() < 1e-9);
+        assert_eq!(p.degree(), 1);
+    }
+
+    #[test]
+    fn vertex_of_quadratic() {
+        let p = Polynomial::new(vec![1.0, -4.0, 2.0]);
+        let (x, y) = p.vertex().unwrap();
+        assert!((x - 1.0).abs() < 1e-12);
+        assert!((y - (-1.0)).abs() < 1e-12);
+        assert_eq!(Polynomial::new(vec![1.0, 2.0]).vertex(), None);
+        assert_eq!(Polynomial::new(vec![1.0, 2.0, 0.0]).vertex(), None);
+    }
+
+    #[test]
+    fn vertex_of_fitted_offset_parabola() {
+        // Parabola with vertex at x = 4.0 sampled away from the vertex.
+        let xs: Vec<f64> = (0..15).map(|i| i as f64 * 0.5).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 1.5 * (x - 4.0) * (x - 4.0) + 2.0)
+            .collect();
+        let p = Polynomial::fit(&xs, &ys, 2).unwrap();
+        let (vx, vy) = p.vertex().unwrap();
+        assert!((vx - 4.0).abs() < 1e-9);
+        assert!((vy - 2.0).abs() < 1e-9);
+        assert!((p.quadratic_curvature().unwrap() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derivative_rules() {
+        let p = Polynomial::new(vec![5.0, 3.0, 2.0]); // 2x² + 3x + 5
+        let d = p.derivative(); // 4x + 3
+        assert_eq!(d.coefficients(), &[3.0, 4.0]);
+        assert_eq!(
+            Polynomial::new(vec![7.0]).derivative().coefficients(),
+            &[0.0]
+        );
+        // Derivative of a fitted (centered) polynomial evaluates correctly.
+        let xs: Vec<f64> = (0..8).map(|i| i as f64 + 100.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x * x).collect();
+        let f = Polynomial::fit(&xs, &ys, 2).unwrap();
+        assert!((f.derivative().eval(103.0) - 206.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eval_horner() {
+        let p = Polynomial::new(vec![1.0, 0.0, 1.0]); // x² + 1
+        assert_eq!(p.eval(3.0), 10.0);
+        assert_eq!(Polynomial::new(vec![]).eval(5.0), 0.0);
+        assert!(Polynomial::new(vec![]).to_plain_coefficients().is_empty());
+    }
+
+    #[test]
+    fn validates_input() {
+        assert!(Polynomial::fit(&[1.0], &[1.0, 2.0], 1).is_err());
+        assert!(Polynomial::fit(&[1.0, 2.0], &[1.0, 2.0], 2).is_err());
+        assert!(Polynomial::fit(&[f64::NAN, 0.0], &[1.0, 2.0], 1).is_err());
+        // All x identical → rank deficient.
+        assert!(matches!(
+            Polynomial::fit(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0], 1),
+            Err(LinalgError::RankDeficient { .. })
+        ));
+    }
+
+    #[test]
+    fn conditioning_with_large_offsets() {
+        // x values far from zero would wreck a naive Vandermonde fit.
+        let xs: Vec<f64> = (0..20).map(|i| 1.0e6 + i as f64 * 0.01).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| {
+                let t = x - 1.0e6;
+                4.0 * t * t - t + 0.25
+            })
+            .collect();
+        let p = Polynomial::fit(&xs, &ys, 2).unwrap();
+        for (&x, &y) in xs.iter().zip(&ys) {
+            assert!((p.eval(x) - y).abs() < 1e-5, "poor fit at {x}");
+        }
+    }
+}

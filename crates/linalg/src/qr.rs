@@ -1,0 +1,299 @@
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+
+/// Householder QR decomposition `A = Q·R` for `m ≥ n` matrices.
+///
+/// This is the numerically preferred path for the overdetermined
+/// least-squares systems that the LION radical-line model produces: solving
+/// through QR avoids squaring the condition number, unlike the
+/// normal-equation route.
+///
+/// # Example
+///
+/// ```
+/// use lion_linalg::{Matrix, Qr, Vector};
+///
+/// # fn main() -> Result<(), lion_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]])?;
+/// let qr = Qr::decompose(&a)?;
+/// let x = qr.solve_least_squares(&Vector::from_slice(&[1.0, 1.0, 2.0]))?;
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Householder vectors stored below the diagonal; R on/above it.
+    factors: Matrix,
+    /// The scalar `beta` for each Householder reflector.
+    betas: Vec<f64>,
+    /// Diagonal of R (kept separately for rank queries).
+    r_diag: Vec<f64>,
+}
+
+impl Qr {
+    /// Factorizes `a` (requires `rows ≥ cols`).
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::DimensionMismatch`] when `rows < cols`,
+    /// - [`LinalgError::NotFinite`] when the input contains NaN/inf.
+    pub fn decompose(a: &Matrix) -> Result<Self, LinalgError> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "qr decompose",
+                found: format!("{m}x{n} (needs rows >= cols)"),
+            });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NotFinite {
+                operation: "qr decompose",
+            });
+        }
+        let mut f = a.clone();
+        let mut betas = vec![0.0; n];
+        let mut r_diag = vec![0.0; n];
+        for k in 0..n {
+            // Compute the Householder reflector for column k.
+            let mut norm = 0.0_f64;
+            for r in k..m {
+                norm = norm.hypot(f[(r, k)]);
+            }
+            if norm == 0.0 {
+                betas[k] = 0.0;
+                r_diag[k] = 0.0;
+                continue;
+            }
+            let alpha = if f[(k, k)] >= 0.0 { -norm } else { norm };
+            // v = x - alpha*e1, stored in place with v[k] normalized to 1.
+            let v_k = f[(k, k)] - alpha;
+            for r in (k + 1)..m {
+                let scaled = f[(r, k)] / v_k;
+                f[(r, k)] = scaled;
+            }
+            f[(k, k)] = 1.0;
+            betas[k] = -v_k / alpha;
+            r_diag[k] = alpha;
+            // Apply the reflector to the trailing columns.
+            for c in (k + 1)..n {
+                let mut s = 0.0;
+                for r in k..m {
+                    s += f[(r, k)] * f[(r, c)];
+                }
+                s *= betas[k];
+                for r in k..m {
+                    let sub = s * f[(r, k)];
+                    f[(r, c)] -= sub;
+                }
+            }
+        }
+        Ok(Qr {
+            factors: f,
+            betas,
+            r_diag,
+        })
+    }
+
+    /// Number of rows of the factorized matrix.
+    pub fn rows(&self) -> usize {
+        self.factors.rows()
+    }
+
+    /// Number of columns of the factorized matrix.
+    pub fn cols(&self) -> usize {
+        self.factors.cols()
+    }
+
+    /// Applies `Qᵀ` to a vector in place.
+    fn apply_q_transpose(&self, b: &mut Vector) {
+        let (m, n) = self.factors.shape();
+        for k in 0..n {
+            if self.betas[k] == 0.0 {
+                continue;
+            }
+            let mut s = b[k]; // v[k] == 1
+            for r in (k + 1)..m {
+                s += self.factors[(r, k)] * b[r];
+            }
+            s *= self.betas[k];
+            b[k] -= s;
+            for r in (k + 1)..m {
+                let sub = s * self.factors[(r, k)];
+                b[r] -= sub;
+            }
+        }
+    }
+
+    /// Estimated numerical rank from the diagonal of `R`.
+    ///
+    /// Counts diagonal entries above `tol · max|diag|`.
+    pub fn rank(&self, tol: f64) -> usize {
+        let max = self.r_diag.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        if max == 0.0 {
+            return 0;
+        }
+        self.r_diag.iter().filter(|v| v.abs() > tol * max).count()
+    }
+
+    /// Solves `min ‖A·x − b‖₂`.
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::DimensionMismatch`] when `b.len() != rows`,
+    /// - [`LinalgError::RankDeficient`] when `R` has a (near-)zero pivot —
+    ///   callers should fall back to the lower-dimension path of the LION
+    ///   model in that case.
+    pub fn solve_least_squares(&self, b: &Vector) -> Result<Vector, LinalgError> {
+        let (m, n) = self.factors.shape();
+        if b.len() != m {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "qr least squares",
+                found: format!("rhs length {} for {m} rows", b.len()),
+            });
+        }
+        let rank = self.rank(1e-10);
+        if rank < n {
+            return Err(LinalgError::RankDeficient { rank, cols: n });
+        }
+        let mut y = b.clone();
+        self.apply_q_transpose(&mut y);
+        // Back substitution on R (diagonal in r_diag, rest in factors).
+        let mut x = Vector::zeros(n);
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.factors[(i, j)] * x[j];
+            }
+            x[i] = s / self.r_diag[i];
+        }
+        Ok(x)
+    }
+
+    /// Reconstructs the upper-triangular factor `R` (size `cols × cols`).
+    pub fn r(&self) -> Matrix {
+        let n = self.cols();
+        Matrix::from_fn(n, n, |r, c| {
+            if r == c {
+                self.r_diag[r]
+            } else if r < c {
+                self.factors[(r, c)]
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Reconstructs the thin orthogonal factor `Q` (size `rows × cols`).
+    pub fn q(&self) -> Matrix {
+        let (m, n) = self.factors.shape();
+        let mut q = Matrix::from_fn(m, n, |r, c| if r == c { 1.0 } else { 0.0 });
+        // Apply reflectors in reverse to the identity columns.
+        for k in (0..n).rev() {
+            if self.betas[k] == 0.0 {
+                continue;
+            }
+            for c in 0..n {
+                let mut s = q[(k, c)];
+                for r in (k + 1)..m {
+                    s += self.factors[(r, k)] * q[(r, c)];
+                }
+                s *= self.betas[k];
+                q[(k, c)] -= s;
+                for r in (k + 1)..m {
+                    let sub = s * self.factors[(r, k)];
+                    q[(r, c)] -= sub;
+                }
+            }
+        }
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tall() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[7.0, 9.0]]).unwrap()
+    }
+
+    #[test]
+    fn qr_reconstructs_input() {
+        let a = tall();
+        let qr = Qr::decompose(&a).unwrap();
+        let prod = qr.q().mul_matrix(&qr.r()).unwrap();
+        assert!(prod.approx_eq(&a, 1e-10), "Q*R != A:\n{prod}\n{a}");
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let qr = Qr::decompose(&tall()).unwrap();
+        let q = qr.q();
+        let gram = q.transpose().mul_matrix(&q).unwrap();
+        assert!(gram.approx_eq(&Matrix::identity(2), 1e-10));
+    }
+
+    #[test]
+    fn least_squares_matches_line_fit() {
+        // Fit y = 3x - 2 exactly.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 1.0], &[2.0, 1.0], &[3.0, 1.0]]).unwrap();
+        let b = Vector::from_slice(&[-2.0, 1.0, 4.0, 7.0]);
+        let x = Qr::decompose(&a).unwrap().solve_least_squares(&b).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual() {
+        let a = tall();
+        let b = Vector::from_slice(&[1.0, -1.0, 2.0, 0.5]);
+        let x = Qr::decompose(&a).unwrap().solve_least_squares(&b).unwrap();
+        // Normal equations must hold at the optimum: Aᵀ(Ax − b) = 0.
+        let ax = a.mul_vector(&x).unwrap();
+        let r = &ax - &b;
+        let grad = a.transpose_mul_vector(&r).unwrap();
+        assert!(grad.norm() < 1e-9, "gradient {grad:?}");
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        assert!(Qr::decompose(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn rank_deficiency_detected() {
+        // Second column is 2x the first.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        let qr = Qr::decompose(&a).unwrap();
+        assert_eq!(qr.rank(1e-10), 1);
+        assert!(matches!(
+            qr.solve_least_squares(&Vector::zeros(3)),
+            Err(LinalgError::RankDeficient { rank: 1, cols: 2 })
+        ));
+    }
+
+    #[test]
+    fn zero_column_does_not_crash() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 2.0], &[0.0, 3.0]]).unwrap();
+        let qr = Qr::decompose(&a).unwrap();
+        assert_eq!(qr.rank(1e-10), 1);
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let qr = Qr::decompose(&tall()).unwrap();
+        assert!(qr.solve_least_squares(&Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn nan_rejected() {
+        let mut a = tall();
+        a[(0, 0)] = f64::INFINITY;
+        assert!(matches!(
+            Qr::decompose(&a),
+            Err(LinalgError::NotFinite { .. })
+        ));
+    }
+}

@@ -1,0 +1,322 @@
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+
+/// Thin singular value decomposition `A = U·Σ·Vᵀ` via one-sided Jacobi
+/// rotations.
+///
+/// One-sided Jacobi is slow for large matrices but simple, robust, and very
+/// accurate for the small systems LION works with (the design matrix has at
+/// most 4 columns). It is used for condition-number diagnostics, the
+/// pseudo-inverse fallback on rank-deficient geometries, and in tests as an
+/// independent oracle for the QR/LU solvers.
+///
+/// # Example
+///
+/// ```
+/// use lion_linalg::{Matrix, Svd};
+///
+/// # fn main() -> Result<(), lion_linalg::LinalgError> {
+/// let a = Matrix::from_diagonal(&[3.0, 2.0]);
+/// let svd = Svd::decompose(&a)?;
+/// assert!((svd.singular_values()[0] - 3.0).abs() < 1e-12);
+/// assert!((svd.condition_number() - 1.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Svd {
+    u: Matrix,
+    sigma: Vec<f64>,
+    v: Matrix,
+}
+
+/// Convergence threshold on the off-diagonal Gram entries.
+const JACOBI_TOL: f64 = 1e-14;
+/// Maximum number of full Jacobi sweeps.
+const MAX_SWEEPS: usize = 60;
+
+impl Svd {
+    /// Computes the thin SVD of `a` (requires `rows ≥ cols`).
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::DimensionMismatch`] when `rows < cols`,
+    /// - [`LinalgError::NotFinite`] for NaN/inf input,
+    /// - [`LinalgError::NonConvergence`] if Jacobi sweeps fail to converge
+    ///   (practically unreachable for well-scaled small matrices).
+    pub fn decompose(a: &Matrix) -> Result<Self, LinalgError> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "svd decompose",
+                found: format!("{m}x{n} (needs rows >= cols)"),
+            });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NotFinite {
+                operation: "svd decompose",
+            });
+        }
+        // Work on columns of W = A·V, rotating pairs until orthogonal.
+        let mut w = a.clone();
+        let mut v = Matrix::identity(n);
+        let mut converged = false;
+        for _sweep in 0..MAX_SWEEPS {
+            let mut off = 0.0_f64;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    // Gram entries for the (p, q) column pair.
+                    let mut alpha = 0.0;
+                    let mut beta = 0.0;
+                    let mut gamma = 0.0;
+                    for r in 0..m {
+                        let wp = w[(r, p)];
+                        let wq = w[(r, q)];
+                        alpha += wp * wp;
+                        beta += wq * wq;
+                        gamma += wp * wq;
+                    }
+                    let scale = (alpha * beta).sqrt();
+                    if scale > 0.0 {
+                        off = off.max(gamma.abs() / scale);
+                    }
+                    if gamma.abs() <= JACOBI_TOL * scale || scale == 0.0 {
+                        continue;
+                    }
+                    // Jacobi rotation that zeroes the Gram off-diagonal.
+                    let zeta = (beta - alpha) / (2.0 * gamma);
+                    let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = c * t;
+                    for r in 0..m {
+                        let wp = w[(r, p)];
+                        let wq = w[(r, q)];
+                        w[(r, p)] = c * wp - s * wq;
+                        w[(r, q)] = s * wp + c * wq;
+                    }
+                    for r in 0..n {
+                        let vp = v[(r, p)];
+                        let vq = v[(r, q)];
+                        v[(r, p)] = c * vp - s * vq;
+                        v[(r, q)] = s * vp + c * vq;
+                    }
+                }
+            }
+            if off <= JACOBI_TOL {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            return Err(LinalgError::NonConvergence {
+                algorithm: "jacobi svd",
+                iterations: MAX_SWEEPS,
+            });
+        }
+        // Extract singular values as column norms of W; normalize into U.
+        let mut order: Vec<usize> = (0..n).collect();
+        let norms: Vec<f64> = (0..n).map(|c| w.column(c).norm()).collect();
+        order.sort_by(|&a, &b| norms[b].partial_cmp(&norms[a]).expect("finite input implies finite norms"));
+        let mut sigma = Vec::with_capacity(n);
+        let mut u = Matrix::zeros(m, n);
+        let mut v_sorted = Matrix::zeros(n, n);
+        for (dst, &src) in order.iter().enumerate() {
+            let s = norms[src];
+            sigma.push(s);
+            for r in 0..m {
+                u[(r, dst)] = if s > 0.0 { w[(r, src)] / s } else { 0.0 };
+            }
+            for r in 0..n {
+                v_sorted[(r, dst)] = v[(r, src)];
+            }
+        }
+        Ok(Svd {
+            u,
+            sigma,
+            v: v_sorted,
+        })
+    }
+
+    /// Singular values in descending order.
+    pub fn singular_values(&self) -> &[f64] {
+        &self.sigma
+    }
+
+    /// Left singular vectors (thin, `rows × cols`).
+    pub fn u(&self) -> &Matrix {
+        &self.u
+    }
+
+    /// Right singular vectors (`cols × cols`).
+    pub fn v(&self) -> &Matrix {
+        &self.v
+    }
+
+    /// 2-norm condition number `σ_max / σ_min`; infinite when singular.
+    pub fn condition_number(&self) -> f64 {
+        match (self.sigma.first(), self.sigma.last()) {
+            (Some(&max), Some(&min)) if min > 0.0 => max / min,
+            _ => f64::INFINITY,
+        }
+    }
+
+    /// Numerical rank: singular values above `tol · σ_max`.
+    pub fn rank(&self, tol: f64) -> usize {
+        match self.sigma.first() {
+            Some(&max) if max > 0.0 => self.sigma.iter().filter(|&&s| s > tol * max).count(),
+            _ => 0,
+        }
+    }
+
+    /// Minimum-norm least-squares solution via the pseudo-inverse, with
+    /// singular values below `tol · σ_max` treated as zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `b.len() != rows`.
+    pub fn solve_min_norm(&self, b: &Vector, tol: f64) -> Result<Vector, LinalgError> {
+        let (m, n) = self.u.shape();
+        if b.len() != m {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "svd solve",
+                found: format!("rhs length {} for {m} rows", b.len()),
+            });
+        }
+        let cutoff = self.sigma.first().copied().unwrap_or(0.0) * tol;
+        let mut x = Vector::zeros(n);
+        for k in 0..n {
+            let s = self.sigma[k];
+            if s <= cutoff || s == 0.0 {
+                continue;
+            }
+            // coefficient = (u_kᵀ b) / σ_k
+            let mut coeff = 0.0;
+            for r in 0..m {
+                coeff += self.u[(r, k)] * b[r];
+            }
+            coeff /= s;
+            for r in 0..n {
+                x[r] += coeff * self.v[(r, k)];
+            }
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(svd: &Svd) -> Matrix {
+        let s = Matrix::from_diagonal(svd.singular_values());
+        svd.u()
+            .mul_matrix(&s)
+            .unwrap()
+            .mul_matrix(&svd.v().transpose())
+            .unwrap()
+    }
+
+    #[test]
+    fn reconstructs_input() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let svd = Svd::decompose(&a).unwrap();
+        assert!(reconstruct(&svd).approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn diagonal_matrix_singular_values() {
+        let a = Matrix::from_diagonal(&[1.0, 5.0, 3.0]);
+        let svd = Svd::decompose(&a).unwrap();
+        let sv = svd.singular_values();
+        assert!((sv[0] - 5.0).abs() < 1e-12);
+        assert!((sv[1] - 3.0).abs() < 1e-12);
+        assert!((sv[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_values_descending_and_nonnegative() {
+        let a = Matrix::from_rows(&[
+            &[2.0, -1.0, 0.5],
+            &[0.0, 3.0, 1.0],
+            &[1.0, 1.0, 1.0],
+            &[4.0, 0.0, -2.0],
+        ])
+        .unwrap();
+        let svd = Svd::decompose(&a).unwrap();
+        let sv = svd.singular_values();
+        for w in sv.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!(sv.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn orthogonality_of_factors() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0], &[1.0, -1.0]]).unwrap();
+        let svd = Svd::decompose(&a).unwrap();
+        let ui = svd.u().transpose().mul_matrix(svd.u()).unwrap();
+        assert!(ui.approx_eq(&Matrix::identity(2), 1e-10));
+        let vi = svd.v().transpose().mul_matrix(svd.v()).unwrap();
+        assert!(vi.approx_eq(&Matrix::identity(2), 1e-10));
+    }
+
+    #[test]
+    fn rank_and_condition() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        let svd = Svd::decompose(&a).unwrap();
+        assert_eq!(svd.rank(1e-10), 1);
+        assert!(svd.condition_number() > 1e10);
+        let id = Svd::decompose(&Matrix::identity(3)).unwrap();
+        assert!((id.condition_number() - 1.0).abs() < 1e-12);
+        assert_eq!(id.rank(1e-10), 3);
+    }
+
+    #[test]
+    fn min_norm_solution_on_rank_deficient_system() {
+        // x + y = 2 has minimum-norm solution (1, 1).
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let b = Vector::from_slice(&[2.0, 2.0]);
+        let svd = Svd::decompose(&a).unwrap();
+        let x = svd.solve_min_norm(&b, 1e-10).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_agrees_with_qr_on_full_rank() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]).unwrap();
+        let b = Vector::from_slice(&[1.0, 2.2, 2.9, 4.1]);
+        let x_svd = Svd::decompose(&a)
+            .unwrap()
+            .solve_min_norm(&b, 1e-12)
+            .unwrap();
+        let x_qr = crate::qr::Qr::decompose(&a)
+            .unwrap()
+            .solve_least_squares(&b)
+            .unwrap();
+        for (p, q) in x_svd.as_slice().iter().zip(x_qr.as_slice()) {
+            assert!((p - q).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn wide_rejected_and_nan_rejected() {
+        assert!(Svd::decompose(&Matrix::zeros(1, 2)).is_err());
+        let mut a = Matrix::identity(2);
+        a[(1, 1)] = f64::NAN;
+        assert!(matches!(
+            Svd::decompose(&a),
+            Err(LinalgError::NotFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_matrix_has_zero_rank() {
+        let svd = Svd::decompose(&Matrix::zeros(3, 2)).unwrap();
+        assert_eq!(svd.rank(1e-10), 0);
+        assert!(svd.condition_number().is_infinite());
+        let x = svd.solve_min_norm(&Vector::zeros(3), 1e-10).unwrap();
+        assert_eq!(x.as_slice(), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,386 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+use crate::error::LinalgError;
+
+/// A dense, heap-allocated vector of `f64` elements.
+///
+/// `Vector` is the column-vector companion of [`crate::Matrix`]. It is a thin
+/// wrapper over `Vec<f64>` that adds arithmetic, norms, and dot products.
+///
+/// # Example
+///
+/// ```
+/// use lion_linalg::Vector;
+///
+/// let a = Vector::from_slice(&[1.0, 2.0, 3.0]);
+/// let b = Vector::from_slice(&[4.0, 5.0, 6.0]);
+/// assert_eq!(a.dot(&b), Some(32.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Vector {
+    data: Vec<f64>,
+}
+
+impl Vector {
+    /// Creates a vector of `len` zeros.
+    pub fn zeros(len: usize) -> Self {
+        Vector {
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a vector filled with `value`.
+    pub fn filled(len: usize, value: f64) -> Self {
+        Vector {
+            data: vec![value; len],
+        }
+    }
+
+    /// Creates a vector by copying a slice.
+    pub fn from_slice(values: &[f64]) -> Self {
+        Vector {
+            data: values.to_vec(),
+        }
+    }
+
+    /// Creates a vector by evaluating `f` at each index.
+    pub fn from_fn(len: usize, f: impl FnMut(usize) -> f64) -> Self {
+        Vector {
+            data: (0..len).map(f).collect(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the vector has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows the underlying elements as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying elements.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the vector and returns the underlying storage.
+    pub fn into_inner(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Returns the element at `i`, or `None` when out of bounds.
+    pub fn get(&self, i: usize) -> Option<f64> {
+        self.data.get(i).copied()
+    }
+
+    /// Dot product; `None` when lengths differ.
+    pub fn dot(&self, other: &Vector) -> Option<f64> {
+        if self.len() != other.len() {
+            return None;
+        }
+        Some(self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum())
+    }
+
+    /// Euclidean (L2) norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// L1 norm (sum of absolute values).
+    pub fn norm_l1(&self) -> f64 {
+        self.data.iter().map(|v| v.abs()).sum()
+    }
+
+    /// Maximum absolute element; `0.0` for the empty vector.
+    pub fn norm_inf(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean; `None` for the empty vector.
+    pub fn mean(&self) -> Option<f64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.sum() / self.len() as f64)
+        }
+    }
+
+    /// Element-wise scaling by a constant.
+    pub fn scaled(&self, factor: f64) -> Vector {
+        Vector::from_fn(self.len(), |i| self.data[i] * factor)
+    }
+
+    /// Element-wise product; errors on length mismatch.
+    pub fn hadamard(&self, other: &Vector) -> Result<Vector, LinalgError> {
+        if self.len() != other.len() {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "vector hadamard product",
+                found: format!("{} vs {}", self.len(), other.len()),
+            });
+        }
+        Ok(Vector::from_fn(self.len(), |i| {
+            self.data[i] * other.data[i]
+        }))
+    }
+
+    /// Returns `true` when every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Iterator over elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, f64> {
+        self.data.iter()
+    }
+
+    /// Mutable iterator over elements.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, f64> {
+        self.data.iter_mut()
+    }
+
+    /// Appends an element.
+    pub fn push(&mut self, value: f64) {
+        self.data.push(value);
+    }
+}
+
+impl fmt::Display for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.data.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.6}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.data[i]
+    }
+}
+
+impl From<Vec<f64>> for Vector {
+    fn from(data: Vec<f64>) -> Self {
+        Vector { data }
+    }
+}
+
+impl From<Vector> for Vec<f64> {
+    fn from(v: Vector) -> Self {
+        v.data
+    }
+}
+
+impl FromIterator<f64> for Vector {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Vector {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<f64> for Vector {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        self.data.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Vector {
+    type Item = &'a f64;
+    type IntoIter = std::slice::Iter<'a, f64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.iter()
+    }
+}
+
+impl IntoIterator for Vector {
+    type Item = f64;
+    type IntoIter = std::vec::IntoIter<f64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.into_iter()
+    }
+}
+
+macro_rules! elementwise_binop {
+    ($trait_:ident, $method:ident, $op:tt) => {
+        impl $trait_<&Vector> for &Vector {
+            type Output = Vector;
+            /// # Panics
+            ///
+            /// Panics when the operand lengths differ.
+            fn $method(self, rhs: &Vector) -> Vector {
+                assert_eq!(
+                    self.len(),
+                    rhs.len(),
+                    concat!("vector ", stringify!($method), ": length mismatch"),
+                );
+                Vector::from_fn(self.len(), |i| self.data[i] $op rhs.data[i])
+            }
+        }
+        impl $trait_<Vector> for Vector {
+            type Output = Vector;
+            fn $method(self, rhs: Vector) -> Vector {
+                (&self).$method(&rhs)
+            }
+        }
+    };
+}
+
+elementwise_binop!(Add, add, +);
+elementwise_binop!(Sub, sub, -);
+
+impl AddAssign<&Vector> for Vector {
+    fn add_assign(&mut self, rhs: &Vector) {
+        assert_eq!(self.len(), rhs.len(), "vector add_assign: length mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+}
+
+impl SubAssign<&Vector> for Vector {
+    fn sub_assign(&mut self, rhs: &Vector) {
+        assert_eq!(self.len(), rhs.len(), "vector sub_assign: length mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a -= b;
+        }
+    }
+}
+
+impl Mul<f64> for &Vector {
+    type Output = Vector;
+    fn mul(self, rhs: f64) -> Vector {
+        self.scaled(rhs)
+    }
+}
+
+impl Mul<f64> for Vector {
+    type Output = Vector;
+    fn mul(self, rhs: f64) -> Vector {
+        self.scaled(rhs)
+    }
+}
+
+impl Neg for &Vector {
+    type Output = Vector;
+    fn neg(self) -> Vector {
+        self.scaled(-1.0)
+    }
+}
+
+impl Neg for Vector {
+    type Output = Vector;
+    fn neg(self) -> Vector {
+        self.scaled(-1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_len() {
+        assert_eq!(Vector::zeros(4).len(), 4);
+        assert_eq!(Vector::filled(3, 2.5).as_slice(), &[2.5, 2.5, 2.5]);
+        assert!(Vector::zeros(0).is_empty());
+        let v = Vector::from_fn(3, |i| i as f64 * 2.0);
+        assert_eq!(v.as_slice(), &[0.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn dot_and_norms() {
+        let a = Vector::from_slice(&[3.0, 4.0]);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.norm_l1(), 7.0);
+        assert_eq!(a.norm_inf(), 4.0);
+        let b = Vector::from_slice(&[1.0, -1.0]);
+        assert_eq!(a.dot(&b), Some(-1.0));
+        assert_eq!(a.dot(&Vector::zeros(3)), None);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Vector::from_slice(&[1.0, 2.0]);
+        let b = Vector::from_slice(&[3.0, 5.0]);
+        assert_eq!((&a + &b).as_slice(), &[4.0, 7.0]);
+        assert_eq!((&b - &a).as_slice(), &[2.0, 3.0]);
+        assert_eq!((&a * 2.0).as_slice(), &[2.0, 4.0]);
+        assert_eq!((-&a).as_slice(), &[-1.0, -2.0]);
+        let mut c = a.clone();
+        c += &b;
+        assert_eq!(c.as_slice(), &[4.0, 7.0]);
+        c -= &b;
+        assert_eq!(c.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn add_mismatched_panics() {
+        let _ = Vector::zeros(2) + Vector::zeros(3);
+    }
+
+    #[test]
+    fn hadamard_checks_length() {
+        let a = Vector::from_slice(&[1.0, 2.0]);
+        let b = Vector::from_slice(&[3.0, 4.0]);
+        assert_eq!(a.hadamard(&b).unwrap().as_slice(), &[3.0, 8.0]);
+        assert!(a.hadamard(&Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn mean_and_sum() {
+        let v = Vector::from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(v.sum(), 6.0);
+        assert_eq!(v.mean(), Some(2.0));
+        assert_eq!(Vector::zeros(0).mean(), None);
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(Vector::from_slice(&[1.0, 2.0]).is_finite());
+        assert!(!Vector::from_slice(&[1.0, f64::NAN]).is_finite());
+        assert!(!Vector::from_slice(&[f64::INFINITY]).is_finite());
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let v: Vector = (0..3).map(|i| i as f64).collect();
+        assert_eq!(v.as_slice(), &[0.0, 1.0, 2.0]);
+        let mut v = v;
+        v.extend([5.0]);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v[3], 5.0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let v = Vector::from_slice(&[1.0]);
+        assert!(format!("{v}").contains("1.0"));
+        assert_eq!(format!("{}", Vector::zeros(0)), "[]");
+    }
+}

@@ -1,0 +1,235 @@
+//! Property-based tests for the linear-algebra kernel.
+//!
+//! These exercise the algebraic identities the LION solver relies on, over
+//! randomized inputs: factorizations reconstruct their input, solvers
+//! invert their forward maps, and circular statistics respect wrapping.
+
+use proptest::prelude::*;
+
+use lion_linalg::{lstsq, stats, Cholesky, Lu, Matrix, Qr, Svd, Vector};
+
+/// Strategy: a well-scaled `rows × cols` matrix with entries in [-10, 10].
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0_f64..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_row_major(rows, cols, data).expect("sized"))
+}
+
+fn vector_strategy(len: usize) -> impl Strategy<Value = Vector> {
+    proptest::collection::vec(-10.0_f64..10.0, len).prop_map(Vector::from)
+}
+
+/// Makes a matrix comfortably nonsingular by boosting its diagonal.
+fn diagonally_dominant(m: &Matrix) -> Matrix {
+    let n = m.rows();
+    let mut out = m.clone();
+    for i in 0..n {
+        let row_sum: f64 = (0..n).map(|j| out[(i, j)].abs()).sum();
+        out[(i, i)] += row_sum + 1.0;
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn lu_solve_inverts_forward_map(
+        m in matrix_strategy(5, 5),
+        x in vector_strategy(5),
+    ) {
+        let a = diagonally_dominant(&m);
+        let b = a.mul_vector(&x).unwrap();
+        let solved = Lu::decompose(&a).unwrap().solve(&b).unwrap();
+        for (p, q) in solved.as_slice().iter().zip(x.as_slice()) {
+            prop_assert!((p - q).abs() < 1e-7, "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn lu_det_sign_flips_on_row_swap(m in matrix_strategy(4, 4)) {
+        let a = diagonally_dominant(&m);
+        let det_a = Lu::decompose(&a).unwrap().det();
+        let mut b = a.clone();
+        b.swap_rows(0, 1);
+        let det_b = Lu::decompose(&b).unwrap().det();
+        prop_assert!((det_a + det_b).abs() < 1e-6 * det_a.abs().max(1.0));
+    }
+
+    #[test]
+    fn qr_reconstructs_input(m in matrix_strategy(7, 3)) {
+        let qr = Qr::decompose(&m).unwrap();
+        let back = qr.q().mul_matrix(&qr.r()).unwrap();
+        prop_assert!(back.approx_eq(&m, 1e-8));
+    }
+
+    #[test]
+    fn qr_q_is_orthonormal(m in matrix_strategy(6, 3)) {
+        let qr = Qr::decompose(&m).unwrap();
+        let q = qr.q();
+        let gram = q.transpose().mul_matrix(&q).unwrap();
+        // Columns may be degenerate only if the input was rank-deficient,
+        // which has probability ~0 under this strategy.
+        prop_assert!(gram.approx_eq(&Matrix::identity(3), 1e-7));
+    }
+
+    #[test]
+    fn least_squares_residual_is_orthogonal_to_columns(
+        m in matrix_strategy(8, 3),
+        b in vector_strategy(8),
+    ) {
+        let qr = Qr::decompose(&m).unwrap();
+        if qr.rank(1e-10) < 3 { return Ok(()); }
+        let x = qr.solve_least_squares(&b).unwrap();
+        let r = &m.mul_vector(&x).unwrap() - &b;
+        let grad = m.transpose_mul_vector(&r).unwrap();
+        prop_assert!(grad.norm_inf() < 1e-6, "gradient {grad:?}");
+    }
+
+    #[test]
+    fn cholesky_solves_spd_system(
+        m in matrix_strategy(4, 4),
+        x in vector_strategy(4),
+    ) {
+        // AᵀA + I is symmetric positive definite.
+        let spd = &m.gram() + &Matrix::identity(4);
+        let b = spd.mul_vector(&x).unwrap();
+        let solved = Cholesky::decompose(&spd).unwrap().solve(&b).unwrap();
+        for (p, q) in solved.as_slice().iter().zip(x.as_slice()) {
+            prop_assert!((p - q).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn svd_reconstructs_and_orders(m in matrix_strategy(6, 4)) {
+        let svd = Svd::decompose(&m).unwrap();
+        let s = Matrix::from_diagonal(svd.singular_values());
+        let back = svd.u().mul_matrix(&s).unwrap()
+            .mul_matrix(&svd.v().transpose()).unwrap();
+        prop_assert!(back.approx_eq(&m, 1e-7));
+        for w in svd.singular_values().windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        // Frobenius norm equals the root sum of squared singular values.
+        let fro = m.norm_frobenius();
+        let sv_norm = svd.singular_values().iter().map(|s| s * s).sum::<f64>().sqrt();
+        prop_assert!((fro - sv_norm).abs() < 1e-7 * fro.max(1.0));
+    }
+
+    #[test]
+    fn weighted_ls_matches_scaled_plain_ls(
+        m in matrix_strategy(8, 3),
+        b in vector_strategy(8),
+        w in proptest::collection::vec(0.1_f64..5.0, 8),
+    ) {
+        let qr = Qr::decompose(&m).unwrap();
+        if qr.rank(1e-10) < 3 { return Ok(()); }
+        let x_w = lstsq::solve_weighted(&m, &b, &w).unwrap();
+        // Scale rows manually and solve plain LS — must agree.
+        let scaled = Matrix::from_fn(8, 3, |r, c| m[(r, c)] * w[r].sqrt());
+        let rhs = Vector::from_fn(8, |r| b[r] * w[r].sqrt());
+        let x_s = lstsq::solve(&scaled, &rhs).unwrap();
+        for (p, q) in x_w.as_slice().iter().zip(x_s.as_slice()) {
+            prop_assert!((p - q).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn irls_recovers_exact_solution_without_noise(
+        m in matrix_strategy(10, 3),
+        x in vector_strategy(3),
+    ) {
+        let qr = Qr::decompose(&m).unwrap();
+        if qr.rank(1e-8) < 3 { return Ok(()); }
+        if Svd::decompose(&m).unwrap().condition_number() > 1e5 { return Ok(()); }
+        let b = m.mul_vector(&x).unwrap();
+        let report = lstsq::solve_irls(&m, &b, &lion_linalg::IrlsConfig::default()).unwrap();
+        for (p, q) in report.solution.as_slice().iter().zip(x.as_slice()) {
+            prop_assert!((p - q).abs() < 1e-5, "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn wrap_angle_is_idempotent_and_in_range(theta in -100.0_f64..100.0) {
+        let w = stats::wrap_angle(theta);
+        prop_assert!((0.0..std::f64::consts::TAU).contains(&w));
+        prop_assert!((stats::wrap_angle(w) - w).abs() < 1e-12);
+        // Wrapping preserves the angle modulo 2π.
+        let diff = (theta - w) / std::f64::consts::TAU;
+        prop_assert!((diff - diff.round()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn circular_diff_is_antisymmetric(a in 0.0_f64..7.0, b in 0.0_f64..7.0) {
+        let d1 = stats::circular_diff(a, b);
+        let d2 = stats::circular_diff(b, a);
+        // Antisymmetric except at the branch point ±π.
+        if d1.abs() < std::f64::consts::PI - 1e-9 {
+            prop_assert!((d1 + d2).abs() < 1e-9);
+        }
+        prop_assert!(d1 <= std::f64::consts::PI + 1e-12);
+        prop_assert!(d1 > -std::f64::consts::PI - 1e-12);
+    }
+
+    #[test]
+    fn circular_mean_shifts_with_rotation(
+        base in proptest::collection::vec(-0.5_f64..0.5, 3..20),
+        shift in 0.0_f64..6.0,
+    ) {
+        // A tight cluster rotated by `shift` has its mean rotated by `shift`.
+        let m0 = stats::circular_mean(&base).unwrap();
+        let rotated: Vec<f64> = base.iter().map(|a| a + shift).collect();
+        let m1 = stats::circular_mean(&rotated).unwrap();
+        let d = stats::circular_diff(m1, m0 + shift);
+        prop_assert!(d.abs() < 1e-9, "mean moved by {d}");
+    }
+
+    #[test]
+    fn moving_average_preserves_mean_of_constant(
+        value in -5.0_f64..5.0,
+        len in 2_usize..40,
+        window in 1_usize..10,
+    ) {
+        let v = vec![value; len];
+        let s = stats::moving_average(&v, window);
+        prop_assert_eq!(s.len(), len);
+        for x in s {
+            prop_assert!((x - value).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn moving_average_stays_within_bounds(
+        v in proptest::collection::vec(-10.0_f64..10.0, 1..50),
+        window in 1_usize..12,
+    ) {
+        let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for x in stats::moving_average(&v, window) {
+            prop_assert!(x >= lo - 1e-12 && x <= hi + 1e-12);
+        }
+    }
+
+    #[test]
+    fn running_stats_matches_batch(
+        v in proptest::collection::vec(-100.0_f64..100.0, 1..60),
+    ) {
+        let mut rs = stats::RunningStats::new();
+        rs.extend(v.iter().copied());
+        let batch_mean = stats::mean(&v).unwrap();
+        let batch_var = stats::variance(&v).unwrap();
+        prop_assert!((rs.mean().unwrap() - batch_mean).abs() < 1e-8);
+        prop_assert!((rs.variance().unwrap() - batch_var).abs() < 1e-6);
+    }
+
+    #[test]
+    fn polynomial_fit_interpolates_exact_data(
+        c0 in -3.0_f64..3.0,
+        c1 in -3.0_f64..3.0,
+        c2 in -3.0_f64..3.0,
+    ) {
+        let xs: Vec<f64> = (0..12).map(|i| i as f64 * 0.25 - 1.5).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| c0 + c1 * x + c2 * x * x).collect();
+        let p = lion_linalg::poly::Polynomial::fit(&xs, &ys, 2).unwrap();
+        for (&x, &y) in xs.iter().zip(&ys) {
+            prop_assert!((p.eval(x) - y).abs() < 1e-7);
+        }
+    }
+}

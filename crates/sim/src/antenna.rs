@@ -1,0 +1,245 @@
+//! The antenna model: physical center, hidden phase center, directional
+//! gain, and hardware phase offset.
+
+use serde::{Deserialize, Serialize};
+
+use lion_geom::{Point3, Vec3};
+
+/// A directional RFID reader antenna (modeled after the Laird S9028PCL).
+///
+/// The paper's central observation (Sec. II-A) is that the point from which
+/// the antenna actually transmits/receives — the **phase center** — is
+/// displaced a few centimeters from the **physical center** that an
+/// installer can measure with a ruler. The simulator keeps both: signal
+/// propagation always uses [`Antenna::phase_center`], while localization
+/// baselines that skip calibration are fed [`Antenna::physical_center`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Antenna {
+    physical_center: Point3,
+    displacement: Vec3,
+    boresight: Vec3,
+    phase_offset: f64,
+    gain_exponent: f64,
+    backlobe_gain: f64,
+}
+
+impl Antenna {
+    /// Starts building an antenna whose physical center is at `position`.
+    pub fn builder(position: Point3) -> AntennaBuilder {
+        AntennaBuilder::new(position)
+    }
+
+    /// The manually measured mounting position.
+    pub fn physical_center(&self) -> Point3 {
+        self.physical_center
+    }
+
+    /// The true signal emission point: `physical_center + displacement`.
+    ///
+    /// This is the ground truth that LION's phase-center calibration must
+    /// recover.
+    pub fn phase_center(&self) -> Point3 {
+        self.physical_center + self.displacement
+    }
+
+    /// The hidden displacement between phase and physical center.
+    pub fn phase_center_displacement(&self) -> Vec3 {
+        self.displacement
+    }
+
+    /// The hardware phase offset `θ_R` (radians) added to every
+    /// measurement (paper Eq. 1).
+    pub fn phase_offset(&self) -> f64 {
+        self.phase_offset
+    }
+
+    /// Unit boresight direction (the way the antenna faces).
+    pub fn boresight(&self) -> Vec3 {
+        self.boresight
+    }
+
+    /// One-way field gain toward a point, normalized to 1 on boresight.
+    ///
+    /// Uses a `cos^n` pattern (`n =` `gain_exponent`) with a small constant
+    /// backlobe so the tag remains readable — if weakly — outside the main
+    /// beam. Power gain is the square of this field gain, so with the
+    /// default `n = 2` the half-power beamwidth (`cos^(2n)(θ) = 0.5`) is
+    /// ≈ 65°, matching the S9028PCL datasheet.
+    pub fn gain_toward(&self, p: Point3) -> f64 {
+        let dir = p - self.phase_center();
+        let Some(unit) = dir.normalized() else {
+            return 1.0; // co-located: treat as boresight
+        };
+        let cos = unit.dot(self.boresight);
+        if cos <= 0.0 {
+            return self.backlobe_gain;
+        }
+        (cos.powf(self.gain_exponent)).max(self.backlobe_gain)
+    }
+}
+
+/// Builder for [`Antenna`] (see [`Antenna::builder`]).
+///
+/// # Example
+///
+/// ```
+/// use lion_geom::{Point3, Vec3};
+/// use lion_sim::Antenna;
+///
+/// let a = Antenna::builder(Point3::new(0.0, 1.0, 0.0))
+///     .phase_center_displacement(0.02, -0.01, 0.015)
+///     .phase_offset(3.98)
+///     .boresight(Vec3::new(0.0, -1.0, 0.0))
+///     .build();
+/// assert_eq!(a.phase_center(), Point3::new(0.02, 0.99, 0.015));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AntennaBuilder {
+    physical_center: Point3,
+    displacement: Vec3,
+    boresight: Vec3,
+    phase_offset: f64,
+    gain_exponent: f64,
+    backlobe_gain: f64,
+}
+
+impl AntennaBuilder {
+    fn new(position: Point3) -> Self {
+        AntennaBuilder {
+            physical_center: position,
+            displacement: Vec3::new(0.0, 0.0, 0.0),
+            // Antennas in the paper's rig face the track from positive y.
+            boresight: Vec3::new(0.0, -1.0, 0.0),
+            phase_offset: 0.0,
+            gain_exponent: 2.0,
+            backlobe_gain: 0.05,
+        }
+    }
+
+    /// Sets the hidden phase-center displacement (meters). The paper
+    /// measured 2–3 cm on real hardware (Sec. II-A).
+    pub fn phase_center_displacement(mut self, dx: f64, dy: f64, dz: f64) -> Self {
+        self.displacement = Vec3::new(dx, dy, dz);
+        self
+    }
+
+    /// Sets the hardware phase offset `θ_R` in radians (wrapped into
+    /// `[0, 2π)` lazily at measurement time).
+    pub fn phase_offset(mut self, theta_r: f64) -> Self {
+        self.phase_offset = theta_r;
+        self
+    }
+
+    /// Sets the boresight direction (normalized internally; a zero vector
+    /// falls back to `-y`).
+    pub fn boresight(mut self, direction: Vec3) -> Self {
+        self.boresight = direction.normalized().unwrap_or(Vec3::new(0.0, -1.0, 0.0));
+        self
+    }
+
+    /// Sets the `cos^n` field-gain exponent (clamped to ≥ 0; default 2).
+    pub fn gain_exponent(mut self, n: f64) -> Self {
+        self.gain_exponent = n.max(0.0);
+        self
+    }
+
+    /// Sets the backlobe field gain floor (clamped to `[0, 1]`; default
+    /// 0.05).
+    pub fn backlobe_gain(mut self, g: f64) -> Self {
+        self.backlobe_gain = g.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builds the antenna.
+    pub fn build(self) -> Antenna {
+        Antenna {
+            physical_center: self.physical_center,
+            displacement: self.displacement,
+            boresight: self.boresight,
+            phase_offset: self.phase_offset,
+            gain_exponent: self.gain_exponent,
+            backlobe_gain: self.backlobe_gain,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_center_is_displaced() {
+        let a = Antenna::builder(Point3::new(0.0, 1.0, 0.0))
+            .phase_center_displacement(0.02, 0.0, -0.03)
+            .build();
+        assert_eq!(a.physical_center(), Point3::new(0.0, 1.0, 0.0));
+        assert_eq!(a.phase_center(), Point3::new(0.02, 1.0, -0.03));
+        assert_eq!(a.phase_center_displacement(), Vec3::new(0.02, 0.0, -0.03));
+    }
+
+    #[test]
+    fn default_antenna_has_no_displacement() {
+        let a = Antenna::builder(Point3::ORIGIN).build();
+        assert_eq!(a.phase_center(), a.physical_center());
+        assert_eq!(a.phase_offset(), 0.0);
+    }
+
+    #[test]
+    fn gain_pattern_shape() {
+        let a = Antenna::builder(Point3::new(0.0, 1.0, 0.0)).build();
+        // Straight down the boresight (toward the track at y=0).
+        let on_axis = a.gain_toward(Point3::new(0.0, 0.0, 0.0));
+        assert!((on_axis - 1.0).abs() < 1e-12);
+        // 45° off axis is attenuated but positive.
+        let off = a.gain_toward(Point3::new(1.0, 0.0, 0.0));
+        assert!(off < on_axis && off > 0.0);
+        // Behind the antenna: backlobe floor.
+        let behind = a.gain_toward(Point3::new(0.0, 2.0, 0.0));
+        assert_eq!(behind, 0.05);
+        // Gain decreases monotonically off axis.
+        let g30 = a.gain_toward(Point3::new(0.577, 0.0, 0.0));
+        let g60 = a.gain_toward(Point3::new(1.732, 0.0, 0.0));
+        assert!(on_axis > g30 && g30 > g60);
+    }
+
+    #[test]
+    fn half_power_beamwidth_roughly_matches_datasheet() {
+        // Power gain = field gain², so the half-power angle solves
+        // cos(θ)^(2n) = 0.5; for n = 2 that is ≈ 32.8° → HPBW ≈ 65°.
+        let a = Antenna::builder(Point3::ORIGIN).build();
+        let theta = 32.76_f64.to_radians();
+        let p = Point3::new(theta.sin(), -theta.cos(), 0.0);
+        let power = a.gain_toward(p).powi(2);
+        assert!((power - 0.5).abs() < 0.02, "power {power}");
+    }
+
+    #[test]
+    fn boresight_normalized_and_fallback() {
+        let a = Antenna::builder(Point3::ORIGIN)
+            .boresight(Vec3::new(0.0, -3.0, 0.0))
+            .build();
+        assert!((a.boresight().norm() - 1.0).abs() < 1e-12);
+        let b = Antenna::builder(Point3::ORIGIN)
+            .boresight(Vec3::new(0.0, 0.0, 0.0))
+            .build();
+        assert_eq!(b.boresight(), Vec3::new(0.0, -1.0, 0.0));
+    }
+
+    #[test]
+    fn gain_at_own_position_is_defined() {
+        let a = Antenna::builder(Point3::ORIGIN).build();
+        assert_eq!(a.gain_toward(Point3::ORIGIN), 1.0);
+    }
+
+    #[test]
+    fn builder_clamps() {
+        let a = Antenna::builder(Point3::ORIGIN)
+            .gain_exponent(-2.0)
+            .backlobe_gain(7.0)
+            .build();
+        // Exponent clamped to 0 → isotropic front hemisphere.
+        assert_eq!(a.gain_toward(Point3::new(0.0, -1.0, 0.0)), 1.0);
+        // Backlobe clamped to 1.
+        assert_eq!(a.gain_toward(Point3::new(0.0, 1.0, 0.0)), 1.0);
+    }
+}

@@ -1,0 +1,329 @@
+//! The backscatter channel: complex superposition of the direct path and
+//! reflector paths.
+
+use lion_geom::Point3;
+
+use crate::antenna::Antenna;
+use crate::environment::Environment;
+use crate::rf::round_trip_phase;
+use crate::tag::Tag;
+
+/// The coherent channel response for one interrogation: everything about
+/// the measurement except hardware offsets and thermal noise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelResponse {
+    /// Magnitude of the coherent sum of all propagation paths.
+    pub amplitude: f64,
+    /// Argument of the coherent sum (radians, unwrapped within one
+    /// interrogation but reported in `(-π, π]`).
+    pub phase: f64,
+    /// Amplitude of the line-of-sight path alone (diagnostics: the ratio
+    /// `amplitude_los / amplitude` reveals multipath severity).
+    pub amplitude_los: f64,
+}
+
+/// Computes the coherent channel response between `antenna` and `tag` at
+/// `tag_position` for carrier `wavelength`.
+///
+/// Paths modeled (field amplitudes, distances one-way):
+///
+/// 1. **direct** round trip `2d`: `a = (g·b)/d²` where `g` is the antenna
+///    field gain toward the tag and `b` the tag backscatter gain,
+/// 2. **mixed** (out direct, back via reflector and vice versa), round trip
+///    `d + d₁ + d₂`: `a = 2·(g·b)·(g_r·Γ·b)/(d·d₁·d₂)` …
+/// 3. **double-bounce** (both ways via the reflector), round trip
+///    `2(d₁ + d₂)`: `a = (g_r·Γ·b)²/(d₁·d₂)²`,
+///
+/// where `d₁ = |antenna→reflector|`, `d₂ = |reflector→tag|`, `Γ` the
+/// reflection coefficient and `g_r` the antenna gain toward the reflector.
+/// Walls are handled with the image method: the one-way reflected leg has
+/// length `d_w = |mirror(antenna) → tag|` and field amplitude
+/// `Γ·g_m/d_w`, where `g_m` is the antenna gain toward the mirror-path
+/// departure point.
+/// All phases follow the paper's convention `θ_d = (2π/λ)·2d` generalized
+/// to the round-trip length of each path.
+///
+/// Distances are measured from the antenna's **phase center** — this is
+/// precisely the physical fact LION exploits.
+pub fn compute_response(
+    antenna: &Antenna,
+    tag: &Tag,
+    tag_position: Point3,
+    environment: &Environment,
+    wavelength: f64,
+) -> ChannelResponse {
+    let pc = antenna.phase_center();
+    let d = pc.distance(tag_position).max(1e-6);
+    let g = antenna.gain_toward(tag_position);
+    let b = tag.backscatter_gain();
+
+    // Direct path.
+    let a_los = g * g * b / (d * d);
+    let phi_los = round_trip_phase(d, wavelength);
+    let mut re = a_los * phi_los.cos();
+    let mut im = -a_los * phi_los.sin();
+
+    for r in environment.reflectors() {
+        if r.coefficient == 0.0 {
+            continue;
+        }
+        let d1 = pc.distance(r.position).max(1e-6);
+        let d2 = r.position.distance(tag_position).max(1e-6);
+        let gr = antenna.gain_toward(r.position);
+        // One-way "via reflector" effective amplitude.
+        let a_ref_leg = gr * r.coefficient / (d1 * d2);
+        let a_dir_leg = g / d;
+
+        // Mixed paths (two of them, symmetric): out direct, back reflected.
+        let a_mixed = 2.0 * a_dir_leg * a_ref_leg * b;
+        let phi_mixed = round_trip_phase((d + d1 + d2) / 2.0, wavelength);
+        re += a_mixed * phi_mixed.cos();
+        im -= a_mixed * phi_mixed.sin();
+
+        // Double bounce.
+        let a_double = a_ref_leg * a_ref_leg * b;
+        let phi_double = round_trip_phase(d1 + d2, wavelength);
+        re += a_double * phi_double.cos();
+        im -= a_double * phi_double.sin();
+    }
+
+    for w in environment.walls() {
+        if w.coefficient == 0.0 {
+            continue;
+        }
+        let image = w.mirror(pc);
+        let dw = image.distance(tag_position).max(1e-6);
+        // Departure direction of the wall path: toward the tag's mirror
+        // image (equivalently, toward the bounce point).
+        let gm = antenna.gain_toward(w.mirror(tag_position));
+        let a_wall_leg = gm * w.coefficient / dw;
+        let a_dir_leg = g / d;
+
+        // Mixed paths (out direct, back via wall and vice versa).
+        let a_mixed = 2.0 * a_dir_leg * a_wall_leg * b;
+        let phi_mixed = round_trip_phase((d + dw) / 2.0, wavelength);
+        re += a_mixed * phi_mixed.cos();
+        im -= a_mixed * phi_mixed.sin();
+
+        // Both ways via the wall.
+        let a_double = a_wall_leg * a_wall_leg * b;
+        let phi_double = round_trip_phase(dw, wavelength);
+        re += a_double * phi_double.cos();
+        im -= a_double * phi_double.sin();
+    }
+
+    let amplitude = (re * re + im * im).sqrt();
+    // Sign convention: θ_d grows with distance, so report −arg(Σ a·e^{−jφ}).
+    let phase = (-im).atan2(re);
+    ChannelResponse {
+        amplitude,
+        phase,
+        amplitude_los: a_los,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::environment::Reflector;
+    use lion_geom::Vec3;
+    use lion_linalg_shim::wrap_angle;
+
+    /// Tiny local copy to avoid a dependency cycle in tests.
+    mod lion_linalg_shim {
+        pub fn wrap_angle(theta: f64) -> f64 {
+            let tau = std::f64::consts::TAU;
+            let r = theta.rem_euclid(tau);
+            if r >= tau {
+                r - tau
+            } else {
+                r
+            }
+        }
+    }
+
+    const LAMBDA: f64 = 0.3256;
+
+    fn plain_antenna(pos: Point3) -> Antenna {
+        Antenna::builder(pos).build()
+    }
+
+    #[test]
+    fn free_space_phase_matches_analytic_formula() {
+        let a = plain_antenna(Point3::new(0.0, 1.0, 0.0));
+        let t = Tag::new("x");
+        for d in [0.3, 0.65, 1.0, 1.7] {
+            let pos = Point3::new(0.0, 1.0 - d, 0.0);
+            let resp = compute_response(&a, &t, pos, &Environment::free_space(), LAMBDA);
+            let expected = wrap_angle(round_trip_phase(d, LAMBDA));
+            let got = wrap_angle(resp.phase);
+            let diff = (got - expected).abs();
+            let diff = diff.min(std::f64::consts::TAU - diff);
+            assert!(diff < 1e-9, "d={d}: got {got}, want {expected}");
+        }
+    }
+
+    #[test]
+    fn phase_uses_phase_center_not_physical_center() {
+        let displaced = Antenna::builder(Point3::new(0.0, 1.0, 0.0))
+            .phase_center_displacement(0.05, 0.0, 0.0)
+            .build();
+        let reference = plain_antenna(Point3::new(0.05, 1.0, 0.0));
+        let t = Tag::new("x");
+        let pos = Point3::new(0.3, 0.0, 0.0);
+        let r1 = compute_response(&displaced, &t, pos, &Environment::free_space(), LAMBDA);
+        let r2 = compute_response(&reference, &t, pos, &Environment::free_space(), LAMBDA);
+        assert!((r1.phase - r2.phase).abs() < 1e-12);
+        assert!((r1.amplitude - r2.amplitude).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amplitude_decays_with_distance() {
+        let a = plain_antenna(Point3::new(0.0, 2.0, 0.0));
+        let t = Tag::new("x");
+        let near = compute_response(
+            &a,
+            &t,
+            Point3::new(0.0, 1.5, 0.0),
+            &Environment::free_space(),
+            LAMBDA,
+        );
+        let far = compute_response(
+            &a,
+            &t,
+            Point3::new(0.0, 0.0, 0.0),
+            &Environment::free_space(),
+            LAMBDA,
+        );
+        assert!(near.amplitude > far.amplitude);
+        // 1/d² law: d = 0.5 vs 2.0 → 16x.
+        assert!((near.amplitude / far.amplitude - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reflector_perturbs_phase() {
+        let a = plain_antenna(Point3::new(0.0, 1.0, 0.0));
+        let t = Tag::new("x");
+        let pos = Point3::new(0.2, 0.0, 0.0);
+        let clean = compute_response(&a, &t, pos, &Environment::free_space(), LAMBDA);
+        let env =
+            Environment::with_reflectors(vec![Reflector::new(Point3::new(0.8, 0.5, 0.0), 0.6)]);
+        let dirty = compute_response(&a, &t, pos, &env, LAMBDA);
+        assert!((clean.phase - dirty.phase).abs() > 1e-6);
+        // LOS component is unchanged.
+        assert!((clean.amplitude_los - dirty.amplitude_los).abs() < 1e-12);
+        // Multipath changes total amplitude.
+        assert!((clean.amplitude - dirty.amplitude).abs() > 1e-9);
+    }
+
+    #[test]
+    fn zero_coefficient_reflector_is_noop() {
+        let a = plain_antenna(Point3::new(0.0, 1.0, 0.0));
+        let t = Tag::new("x");
+        let pos = Point3::new(0.2, 0.0, 0.0);
+        let clean = compute_response(&a, &t, pos, &Environment::free_space(), LAMBDA);
+        let env =
+            Environment::with_reflectors(vec![Reflector::new(Point3::new(0.8, 0.5, 0.0), 0.0)]);
+        let same = compute_response(&a, &t, pos, &env, LAMBDA);
+        assert_eq!(clean, same);
+    }
+
+    #[test]
+    fn multipath_severity_grows_off_beam() {
+        // Same reflector, but a tag far off boresight has weaker LOS and
+        // relatively stronger multipath → larger phase distortion. This is
+        // the mechanism behind the paper's Fig. 16/17 range effect.
+        let a = Antenna::builder(Point3::new(0.0, 0.8, 0.0))
+            .boresight(Vec3::new(0.0, -1.0, 0.0))
+            .build();
+        let t = Tag::new("x");
+        let env =
+            Environment::with_reflectors(vec![Reflector::new(Point3::new(1.5, 1.0, 0.0), 0.4)]);
+        let distortion = |x: f64| {
+            let pos = Point3::new(x, 0.0, 0.0);
+            let clean = compute_response(&a, &t, pos, &Environment::free_space(), LAMBDA);
+            let dirty = compute_response(&a, &t, pos, &env, LAMBDA);
+            let d = (clean.phase - dirty.phase).abs();
+            d.min(std::f64::consts::TAU - d)
+        };
+        // Average distortion over a small window (individual points can
+        // be lucky due to phase alignment).
+        let near: f64 = (0..8).map(|i| distortion(0.05 * i as f64)).sum::<f64>() / 8.0;
+        let far: f64 = (0..8)
+            .map(|i| distortion(1.1 + 0.05 * i as f64))
+            .sum::<f64>()
+            / 8.0;
+        assert!(far > near, "far {far} should exceed near {near}");
+    }
+
+    #[test]
+    fn tag_gain_scales_amplitude_linearly() {
+        let a = plain_antenna(Point3::new(0.0, 1.0, 0.0));
+        let pos = Point3::new(0.0, 0.0, 0.0);
+        let strong = compute_response(&a, &Tag::new("s"), pos, &Environment::free_space(), LAMBDA);
+        let weak = compute_response(
+            &a,
+            &Tag::new("w").with_backscatter_gain(0.5),
+            pos,
+            &Environment::free_space(),
+            LAMBDA,
+        );
+        assert!((strong.amplitude / weak.amplitude - 2.0).abs() < 1e-12);
+        // Phase is unaffected by the tag gain in free space.
+        assert!((strong.phase - weak.phase).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wall_path_matches_image_distance() {
+        use crate::environment::Wall;
+        // Single dominant wall, direct path suppressed by a backlobe-less
+        // antenna pointing away: the composite phase approaches the pure
+        // image-path phase.
+        let a = Antenna::builder(Point3::new(0.0, 1.0, 0.0))
+            .backlobe_gain(0.0)
+            .build();
+        let t = Tag::new("x");
+        let mut env = Environment::free_space();
+        // Floor at z = −0.5.
+        env.add_wall(Wall::new(
+            Point3::new(0.0, 0.0, -0.5),
+            lion_geom::Vec3::new(0.0, 0.0, 1.0),
+            0.8,
+        ));
+        let tag_pos = Point3::new(0.0, 0.0, 0.0);
+        let clean = compute_response(&a, &t, tag_pos, &Environment::free_space(), LAMBDA);
+        let with_wall = compute_response(&a, &t, tag_pos, &env, LAMBDA);
+        // The wall adds energy and changes the phase.
+        assert!(with_wall.amplitude != clean.amplitude);
+        let d = (with_wall.phase - clean.phase).abs();
+        let d = d.min(std::f64::consts::TAU - d);
+        assert!(d > 1e-6, "wall should perturb the phase");
+        // LOS diagnostic unchanged.
+        assert!((with_wall.amplitude_los - clean.amplitude_los).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_coefficient_wall_is_noop() {
+        use crate::environment::Wall;
+        let a = plain_antenna(Point3::new(0.0, 1.0, 0.0));
+        let t = Tag::new("x");
+        let mut env = Environment::free_space();
+        env.add_wall(Wall::new(
+            Point3::new(0.0, 0.0, -0.5),
+            lion_geom::Vec3::new(0.0, 0.0, 1.0),
+            0.0,
+        ));
+        let clean = compute_response(&a, &t, Point3::ORIGIN, &Environment::free_space(), LAMBDA);
+        let same = compute_response(&a, &t, Point3::ORIGIN, &env, LAMBDA);
+        assert_eq!(clean, same);
+    }
+
+    #[test]
+    fn coincident_positions_do_not_blow_up() {
+        let a = plain_antenna(Point3::ORIGIN);
+        let t = Tag::new("x");
+        let resp = compute_response(&a, &t, Point3::ORIGIN, &Environment::free_space(), LAMBDA);
+        assert!(resp.amplitude.is_finite());
+        assert!(resp.phase.is_finite());
+    }
+}

@@ -1,0 +1,233 @@
+//! The RF environment: reflectors causing multi-path.
+
+use serde::{Deserialize, Serialize};
+
+use lion_geom::{Point3, Vec3};
+
+/// A point scatterer: an idealized metallic object that re-radiates the
+/// reader's signal.
+///
+/// Real multi-path comes from walls, shelves and machinery; a handful of
+/// point scatterers with tuned coefficients reproduces the phenomena the
+/// paper fights — phase distortion that grows when the line-of-sight power
+/// drops (deep tags, Fig. 14b) or when the tag leaves the main beam
+/// (wide scanning ranges, Fig. 16/17).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Reflector {
+    /// Scatterer position.
+    pub position: Point3,
+    /// Field reflection coefficient in `[0, 1]`.
+    pub coefficient: f64,
+}
+
+impl Reflector {
+    /// Creates a reflector, clamping the coefficient to `[0, 1]`.
+    pub fn new(position: Point3, coefficient: f64) -> Self {
+        Reflector {
+            position,
+            coefficient: coefficient.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// A large flat reflector (floor, wall, metal shelf face), handled with
+/// the image method: the reflected path behaves as if it came from the
+/// antenna's mirror image across the plane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Wall {
+    /// Any point on the wall plane.
+    pub point: Point3,
+    /// Unit normal of the plane (normalized on construction).
+    pub normal: Vec3,
+    /// Field reflection coefficient in `[0, 1]`.
+    pub coefficient: f64,
+}
+
+impl Wall {
+    /// Creates a wall; the normal is normalized (a zero normal falls back
+    /// to +z, i.e. a floor) and the coefficient clamped to `[0, 1]`.
+    pub fn new(point: Point3, normal: Vec3, coefficient: f64) -> Self {
+        Wall {
+            point,
+            normal: normal.normalized().unwrap_or(Vec3::new(0.0, 0.0, 1.0)),
+            coefficient: coefficient.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Mirror image of `p` across the wall plane.
+    pub fn mirror(&self, p: Point3) -> Point3 {
+        let d = (p - self.point).dot(self.normal);
+        p - self.normal * (2.0 * d)
+    }
+}
+
+/// The propagation environment around the test rig.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Environment {
+    reflectors: Vec<Reflector>,
+    walls: Vec<Wall>,
+}
+
+impl Environment {
+    /// Free space: no reflectors at all. This matches the paper's Sec. III
+    /// simulations, where the only impairment is Gaussian phase noise.
+    pub fn free_space() -> Self {
+        Environment::default()
+    }
+
+    /// A typical indoor lab: a couple of moderate scatterers placed off to
+    /// the sides of the rig, roughly emulating walls/furniture around the
+    /// paper's 2.5 m track.
+    pub fn indoor_lab() -> Self {
+        Environment {
+            reflectors: vec![
+                Reflector::new(Point3::new(1.8, 0.4, 0.3), 0.12),
+                Reflector::new(Point3::new(-1.6, 1.2, -0.2), 0.10),
+                Reflector::new(Point3::new(0.5, 2.2, 0.8), 0.08),
+            ],
+            walls: Vec::new(),
+        }
+    }
+
+    /// A warehouse-like environment: the lab scatterers plus a concrete
+    /// floor 1 m below the rig and a back wall 3 m behind it.
+    pub fn warehouse() -> Self {
+        let mut env = Environment::indoor_lab();
+        env.add_wall(Wall::new(
+            Point3::new(0.0, 0.0, -1.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            0.25,
+        ));
+        env.add_wall(Wall::new(
+            Point3::new(0.0, 3.0, 0.0),
+            Vec3::new(0.0, -1.0, 0.0),
+            0.2,
+        ));
+        env
+    }
+
+    /// Creates an environment from explicit reflectors.
+    pub fn with_reflectors(reflectors: Vec<Reflector>) -> Self {
+        Environment {
+            reflectors,
+            walls: Vec::new(),
+        }
+    }
+
+    /// Adds a wall.
+    pub fn add_wall(&mut self, wall: Wall) -> &mut Self {
+        self.walls.push(wall);
+        self
+    }
+
+    /// The walls.
+    pub fn walls(&self) -> &[Wall] {
+        &self.walls
+    }
+
+    /// Adds a reflector.
+    pub fn add_reflector(&mut self, r: Reflector) -> &mut Self {
+        self.reflectors.push(r);
+        self
+    }
+
+    /// The reflectors.
+    pub fn reflectors(&self) -> &[Reflector] {
+        &self.reflectors
+    }
+
+    /// Returns `true` when there is no multi-path.
+    pub fn is_free_space(&self) -> bool {
+        self.reflectors.is_empty() && self.walls.is_empty()
+    }
+}
+
+impl FromIterator<Reflector> for Environment {
+    fn from_iter<I: IntoIterator<Item = Reflector>>(iter: I) -> Self {
+        Environment {
+            reflectors: iter.into_iter().collect(),
+            walls: Vec::new(),
+        }
+    }
+}
+
+impl Extend<Reflector> for Environment {
+    fn extend<I: IntoIterator<Item = Reflector>>(&mut self, iter: I) {
+        self.reflectors.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_space_is_empty() {
+        assert!(Environment::free_space().is_free_space());
+        assert!(Environment::default().reflectors().is_empty());
+    }
+
+    #[test]
+    fn indoor_lab_has_reflectors() {
+        let env = Environment::indoor_lab();
+        assert!(!env.is_free_space());
+        assert!(env
+            .reflectors()
+            .iter()
+            .all(|r| (0.0..=1.0).contains(&r.coefficient)));
+    }
+
+    #[test]
+    fn coefficient_clamped() {
+        let r = Reflector::new(Point3::ORIGIN, 1.5);
+        assert_eq!(r.coefficient, 1.0);
+        let r = Reflector::new(Point3::ORIGIN, -0.5);
+        assert_eq!(r.coefficient, 0.0);
+    }
+
+    #[test]
+    fn wall_mirror_is_an_involution() {
+        let w = Wall::new(Point3::new(0.0, 0.0, -1.0), Vec3::new(0.0, 0.0, 1.0), 0.3);
+        let p = Point3::new(0.5, 0.8, 0.4);
+        let m = w.mirror(p);
+        // Mirrored across z = −1: z goes from 0.4 to −2.4.
+        assert!((m.z + 2.4).abs() < 1e-12);
+        assert_eq!(m.x, p.x);
+        assert_eq!(m.y, p.y);
+        // Mirroring twice returns the original point.
+        assert!(w.mirror(m).distance(p) < 1e-12);
+        // Points on the plane are fixed.
+        let on = Point3::new(1.0, 2.0, -1.0);
+        assert!(w.mirror(on).distance(on) < 1e-12);
+    }
+
+    #[test]
+    fn wall_normal_normalized_and_fallback() {
+        let w = Wall::new(Point3::ORIGIN, Vec3::new(0.0, 3.0, 0.0), 2.0);
+        assert!((w.normal.norm() - 1.0).abs() < 1e-12);
+        assert_eq!(w.coefficient, 1.0);
+        let z = Wall::new(Point3::ORIGIN, Vec3::new(0.0, 0.0, 0.0), 0.5);
+        assert_eq!(z.normal, Vec3::new(0.0, 0.0, 1.0));
+    }
+
+    #[test]
+    fn warehouse_has_walls() {
+        let env = Environment::warehouse();
+        assert_eq!(env.walls().len(), 2);
+        assert!(!env.is_free_space());
+        let mut e = Environment::free_space();
+        assert!(e.is_free_space());
+        e.add_wall(Wall::new(Point3::ORIGIN, Vec3::new(0.0, 0.0, 1.0), 0.1));
+        assert!(!e.is_free_space());
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut env: Environment = [Reflector::new(Point3::ORIGIN, 0.5)].into_iter().collect();
+        assert_eq!(env.reflectors().len(), 1);
+        env.extend([Reflector::new(Point3::new(1.0, 0.0, 0.0), 0.1)]);
+        assert_eq!(env.reflectors().len(), 2);
+        env.add_reflector(Reflector::new(Point3::new(0.0, 1.0, 0.0), 0.2));
+        assert_eq!(env.reflectors().len(), 3);
+    }
+}

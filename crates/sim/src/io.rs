@@ -1,0 +1,225 @@
+//! Plain-text (CSV) import/export of phase traces.
+//!
+//! Real deployments log LLRP reports to flat files; this module gives the
+//! simulator the same interchange format so traces can be saved, diffed,
+//! and replayed without pulling a serialization framework into the public
+//! API. The format is a header line followed by one row per sample:
+//!
+//! ```text
+//! time,x,y,z,phase,rssi_dbm,frequency_hz
+//! 0.000000,-0.500000,0.000000,0.000000,2.094395,3.875061,920625000
+//! ```
+
+use std::io::{BufRead, Write};
+
+use lion_geom::Point3;
+
+use crate::scenario::{PhaseSample, PhaseTrace};
+use crate::SimError;
+
+/// The CSV header emitted and expected by this module.
+pub const CSV_HEADER: &str = "time,x,y,z,phase,rssi_dbm,frequency_hz";
+
+impl PhaseTrace {
+    /// Serializes the trace to CSV (header + one row per sample).
+    pub fn to_csv_string(&self) -> String {
+        let mut out = String::with_capacity(32 + self.len() * 96);
+        out.push_str(CSV_HEADER);
+        out.push('\n');
+        for s in self.samples() {
+            out.push_str(&format!(
+                "{:.6},{:.6},{:.6},{:.6},{:.9},{:.4},{:.0}\n",
+                s.time,
+                s.position.x,
+                s.position.y,
+                s.position.z,
+                s.phase,
+                s.rssi_dbm,
+                s.frequency_hz,
+            ));
+        }
+        out
+    }
+
+    /// Writes the trace as CSV to any writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_csv<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
+        writer.write_all(self.to_csv_string().as_bytes())
+    }
+
+    /// Parses a trace from CSV text previously produced by
+    /// [`PhaseTrace::to_csv_string`]. The wavelength is reconstructed from
+    /// the first sample's carrier frequency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Parse`] on malformed rows and
+    /// [`SimError::InvalidParameter`] on an empty trace.
+    pub fn from_csv_str(text: &str) -> Result<PhaseTrace, SimError> {
+        let mut samples = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if lineno == 0 && trimmed == CSV_HEADER {
+                continue;
+            }
+            let fields: Vec<&str> = trimmed.split(',').collect();
+            if fields.len() != 7 {
+                return Err(SimError::Parse {
+                    line: lineno + 1,
+                    detail: format!("expected 7 fields, found {}", fields.len()),
+                });
+            }
+            let parse = |idx: usize| -> Result<f64, SimError> {
+                fields[idx].trim().parse().map_err(|_| SimError::Parse {
+                    line: lineno + 1,
+                    detail: format!("field {} is not a number: {:?}", idx + 1, fields[idx]),
+                })
+            };
+            let sample = PhaseSample {
+                time: parse(0)?,
+                position: Point3::new(parse(1)?, parse(2)?, parse(3)?),
+                phase: parse(4)?,
+                rssi_dbm: parse(5)?,
+                frequency_hz: parse(6)?,
+            };
+            if !sample.position.is_finite() || !sample.time.is_finite() || !sample.phase.is_finite()
+            {
+                return Err(SimError::Parse {
+                    line: lineno + 1,
+                    detail: "non-finite value".to_string(),
+                });
+            }
+            samples.push(sample);
+        }
+        let first_freq =
+            samples
+                .first()
+                .map(|s| s.frequency_hz)
+                .ok_or(SimError::InvalidParameter {
+                    parameter: "csv trace",
+                    found: "no samples".to_string(),
+                })?;
+        // NaN-safe: `>` is false for NaN, so NaN frequencies are rejected.
+        let freq_ok = first_freq > 0.0;
+        if !freq_ok {
+            return Err(SimError::Parse {
+                line: 2,
+                detail: format!("non-positive carrier frequency {first_freq}"),
+            });
+        }
+        Ok(PhaseTrace::new(samples, crate::SPEED_OF_LIGHT / first_freq))
+    }
+
+    /// Reads a trace from any buffered reader containing CSV text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Parse`] wrapping I/O and format problems.
+    pub fn read_csv<R: BufRead>(mut reader: R) -> Result<PhaseTrace, SimError> {
+        let mut text = String::new();
+        reader
+            .read_to_string(&mut text)
+            .map_err(|e| SimError::Parse {
+                line: 0,
+                detail: format!("io error: {e}"),
+            })?;
+        PhaseTrace::from_csv_str(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::antenna::Antenna;
+    use crate::scenario::ScenarioBuilder;
+    use crate::tag::Tag;
+    use lion_geom::LineSegment;
+
+    fn sample_trace() -> PhaseTrace {
+        let mut sc = ScenarioBuilder::new()
+            .antenna(Antenna::builder(Point3::new(0.0, 0.8, 0.0)).build())
+            .tag(Tag::new("csv"))
+            .seed(9)
+            .build()
+            .expect("components set");
+        let track = LineSegment::along_x(-0.2, 0.2, 0.0, 0.0).expect("valid");
+        sc.scan(&track, 0.1, 50.0).expect("valid scan")
+    }
+
+    #[test]
+    fn roundtrip_preserves_samples() {
+        let trace = sample_trace();
+        let csv = trace.to_csv_string();
+        assert!(csv.starts_with(CSV_HEADER));
+        let back = PhaseTrace::from_csv_str(&csv).expect("parses");
+        assert_eq!(back.len(), trace.len());
+        assert!((back.wavelength() - trace.wavelength()).abs() < 1e-9);
+        for (a, b) in trace.samples().iter().zip(back.samples()) {
+            assert!((a.time - b.time).abs() < 1e-6);
+            assert!(a.position.distance(b.position) < 1e-5);
+            assert!((a.phase - b.phase).abs() < 1e-8);
+            assert!((a.rssi_dbm - b.rssi_dbm).abs() < 1e-3);
+            assert_eq!(a.frequency_hz.round(), b.frequency_hz.round());
+        }
+    }
+
+    #[test]
+    fn write_csv_matches_string() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        trace.write_csv(&mut buf).expect("writes");
+        assert_eq!(String::from_utf8(buf).expect("utf8"), trace.to_csv_string());
+    }
+
+    #[test]
+    fn read_csv_from_reader() {
+        let trace = sample_trace();
+        let csv = trace.to_csv_string();
+        let back = PhaseTrace::read_csv(csv.as_bytes()).expect("parses");
+        assert_eq!(back.len(), trace.len());
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        let bad = "time,x,y,z,phase,rssi_dbm,frequency_hz\n1.0,2.0\n";
+        match PhaseTrace::from_csv_str(bad) {
+            Err(SimError::Parse { line: 2, detail }) => {
+                assert!(detail.contains("7 fields"), "{detail}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let bad = "0.0,0.0,0.0,0.0,abc,0.0,920625000\n";
+        assert!(matches!(
+            PhaseTrace::from_csv_str(bad),
+            Err(SimError::Parse { line: 1, .. })
+        ));
+        let nan = "0.0,NaN,0.0,0.0,1.0,0.0,920625000\n";
+        assert!(matches!(
+            PhaseTrace::from_csv_str(nan),
+            Err(SimError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_trace_rejected() {
+        assert!(matches!(
+            PhaseTrace::from_csv_str("time,x,y,z,phase,rssi_dbm,frequency_hz\n"),
+            Err(SimError::InvalidParameter { .. })
+        ));
+        assert!(PhaseTrace::from_csv_str("").is_err());
+    }
+
+    #[test]
+    fn blank_lines_tolerated() {
+        let trace = sample_trace();
+        let csv = format!("{}\n\n", trace.to_csv_string());
+        let back = PhaseTrace::from_csv_str(&csv).expect("parses");
+        assert_eq!(back.len(), trace.len());
+    }
+}

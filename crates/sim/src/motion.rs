@@ -1,0 +1,198 @@
+//! Trajectory-knowledge error: the gap between where the tag *is* and
+//! where the control system *says* it is.
+//!
+//! The paper assumes the tag positions are known exactly ("a tag moving
+//! along the known trajectory"). Real sliding tracks and conveyors have
+//! encoder quantization, belt slip, and mounting offsets, so the positions
+//! fed to the localizer differ from the positions that generated the
+//! phases. This module perturbs the *reported* positions of a trace while
+//! leaving the phases (generated from the true positions) untouched —
+//! enabling sensitivity studies of LION to trajectory error.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use lion_geom::{Point3, Vec3};
+
+use crate::noise::gaussian;
+use crate::scenario::{PhaseSample, PhaseTrace};
+
+/// Model of how reported tag positions deviate from true ones.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PositionErrorModel {
+    /// Constant offset added to every reported position (mounting error,
+    /// datum offset) — meters.
+    pub bias: Vec3,
+    /// Along-track scale factor error (belt slip / encoder calibration):
+    /// reported displacement = true displacement × (1 + `scale_error`).
+    /// Displacements are measured from the first sample.
+    pub scale_error: f64,
+    /// Standard deviation of independent per-sample position jitter
+    /// (meters, isotropic).
+    pub jitter_std: f64,
+}
+
+impl PositionErrorModel {
+    /// No error at all (identity).
+    pub fn exact() -> Self {
+        PositionErrorModel {
+            bias: Vec3::new(0.0, 0.0, 0.0),
+            scale_error: 0.0,
+            jitter_std: 0.0,
+        }
+    }
+
+    /// A decent industrial encoder: 1 mm datum bias, 0.1% scale error,
+    /// 0.5 mm jitter.
+    pub fn industrial_encoder() -> Self {
+        PositionErrorModel {
+            bias: Vec3::new(0.001, 0.0, 0.0),
+            scale_error: 0.001,
+            jitter_std: 0.0005,
+        }
+    }
+
+    /// Applies the model to a trace: phases stay untouched (they came from
+    /// the true positions); reported positions are perturbed.
+    ///
+    /// Deterministic for a given `seed`.
+    pub fn apply(&self, trace: &PhaseTrace, seed: u64) -> PhaseTrace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let origin = trace
+            .samples()
+            .first()
+            .map(|s| s.position)
+            .unwrap_or(Point3::ORIGIN);
+        let samples: Vec<PhaseSample> = trace
+            .samples()
+            .iter()
+            .map(|s| {
+                let true_disp = s.position - origin;
+                let scaled = origin + true_disp * (1.0 + self.scale_error);
+                let jitter = if self.jitter_std > 0.0 {
+                    Vec3::new(
+                        gaussian(&mut rng) * self.jitter_std,
+                        gaussian(&mut rng) * self.jitter_std,
+                        gaussian(&mut rng) * self.jitter_std,
+                    )
+                } else {
+                    Vec3::new(0.0, 0.0, 0.0)
+                };
+                PhaseSample {
+                    position: scaled + self.bias + jitter,
+                    ..*s
+                }
+            })
+            .collect();
+        PhaseTrace::new(samples, trace.wavelength())
+    }
+}
+
+impl Default for PositionErrorModel {
+    fn default() -> Self {
+        PositionErrorModel::exact()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::antenna::Antenna;
+    use crate::noise::NoiseModel;
+    use crate::scenario::ScenarioBuilder;
+    use crate::tag::Tag;
+    use lion_geom::LineSegment;
+
+    fn trace() -> PhaseTrace {
+        let mut sc = ScenarioBuilder::new()
+            .antenna(Antenna::builder(Point3::new(0.0, 0.8, 0.0)).build())
+            .tag(Tag::new("enc"))
+            .noise(NoiseModel::noiseless())
+            .seed(4)
+            .build()
+            .expect("components set");
+        let track = LineSegment::along_x(-0.3, 0.3, 0.0, 0.0).expect("valid");
+        sc.scan(&track, 0.1, 50.0).expect("valid scan")
+    }
+
+    #[test]
+    fn exact_model_is_identity() {
+        let t = trace();
+        let p = PositionErrorModel::exact().apply(&t, 1);
+        assert_eq!(p, t);
+    }
+
+    #[test]
+    fn bias_shifts_every_position() {
+        let t = trace();
+        let model = PositionErrorModel {
+            bias: Vec3::new(0.01, -0.02, 0.0),
+            ..PositionErrorModel::exact()
+        };
+        let p = model.apply(&t, 1);
+        for (a, b) in t.samples().iter().zip(p.samples()) {
+            let d = b.position - a.position;
+            assert!((d.x - 0.01).abs() < 1e-12);
+            assert!((d.y + 0.02).abs() < 1e-12);
+            // Phase untouched.
+            assert_eq!(a.phase, b.phase);
+        }
+    }
+
+    #[test]
+    fn scale_error_grows_with_displacement() {
+        let t = trace();
+        let model = PositionErrorModel {
+            scale_error: 0.01, // 1%
+            ..PositionErrorModel::exact()
+        };
+        let p = model.apply(&t, 1);
+        let first_err = p.samples()[0].position.distance(t.samples()[0].position);
+        let last_err = p
+            .samples()
+            .last()
+            .unwrap()
+            .position
+            .distance(t.samples().last().unwrap().position);
+        assert!(first_err < 1e-12, "origin sample is the datum");
+        // 0.6 m of travel at 1% → 6 mm at the end.
+        assert!((last_err - 0.006).abs() < 1e-9, "end error {last_err}");
+    }
+
+    #[test]
+    fn jitter_is_zero_mean_and_seeded() {
+        let t = trace();
+        let model = PositionErrorModel {
+            jitter_std: 0.002,
+            ..PositionErrorModel::exact()
+        };
+        let p1 = model.apply(&t, 7);
+        let p2 = model.apply(&t, 7);
+        assert_eq!(p1, p2, "same seed replays");
+        let p3 = model.apply(&t, 8);
+        assert_ne!(p1, p3, "different seed differs");
+        let mean_err: f64 = p1
+            .samples()
+            .iter()
+            .zip(t.samples())
+            .map(|(a, b)| a.position.distance(b.position))
+            .sum::<f64>()
+            / t.len() as f64;
+        // Mean |error| of isotropic Gaussian jitter ≈ 1.6σ.
+        assert!((mean_err - 0.0032).abs() < 0.001, "mean error {mean_err}");
+    }
+
+    #[test]
+    fn industrial_encoder_is_mild() {
+        let t = trace();
+        let p = PositionErrorModel::industrial_encoder().apply(&t, 1);
+        let max_err = p
+            .samples()
+            .iter()
+            .zip(t.samples())
+            .map(|(a, b)| a.position.distance(b.position))
+            .fold(0.0_f64, f64::max);
+        assert!(max_err < 0.006, "max error {max_err}");
+    }
+}

@@ -1,0 +1,164 @@
+//! Phase-noise model.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Additive Gaussian phase noise, optionally scaled by the received signal
+/// strength.
+///
+/// The paper's own simulations (Sec. III-A) add `N(0, 0.1)` radians to every
+/// generated phase; [`NoiseModel::paper_default`] reproduces that. In the
+/// physical model, phase noise from thermal noise scales as `1/√SNR`, so
+/// with [`NoiseModel::snr_dependent`] enabled the standard deviation grows
+/// as the received amplitude drops below `reference_amplitude` — tags deep
+/// in the field or outside the main beam get noisier, which is what drives
+/// the depth/range effects in the paper's Figs. 14 and 16–18.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Baseline phase-noise standard deviation (radians).
+    pub phase_noise_std: f64,
+    /// Scale noise by `reference_amplitude / amplitude` when `true`.
+    pub snr_dependent: bool,
+    /// Amplitude at which `phase_noise_std` applies exactly.
+    pub reference_amplitude: f64,
+    /// Upper clamp on the effective standard deviation (radians).
+    pub max_phase_noise_std: f64,
+}
+
+impl NoiseModel {
+    /// The paper's simulation noise: `N(0, 0.1)` radians, SNR-independent.
+    pub fn paper_default() -> Self {
+        NoiseModel {
+            phase_noise_std: 0.1,
+            snr_dependent: false,
+            reference_amplitude: 1.0,
+            max_phase_noise_std: 1.5,
+        }
+    }
+
+    /// Noise-free measurements (for analytic tests).
+    pub fn noiseless() -> Self {
+        NoiseModel {
+            phase_noise_std: 0.0,
+            snr_dependent: false,
+            reference_amplitude: 1.0,
+            max_phase_noise_std: 0.0,
+        }
+    }
+
+    /// A realistic indoor model: 0.05 rad at the reference amplitude,
+    /// growing as `1/amplitude` for weaker returns.
+    ///
+    /// The reference amplitude corresponds to a boresight tag at 0.8 m
+    /// (the paper's default depth): `gain²/d² = 1/0.64`.
+    pub fn indoor_default() -> Self {
+        NoiseModel {
+            phase_noise_std: 0.05,
+            snr_dependent: true,
+            reference_amplitude: 1.0 / 0.64,
+            max_phase_noise_std: 1.2,
+        }
+    }
+
+    /// Effective standard deviation for a measurement received with
+    /// `amplitude`.
+    pub fn effective_std(&self, amplitude: f64) -> f64 {
+        if !self.snr_dependent {
+            return self.phase_noise_std;
+        }
+        if amplitude <= 0.0 {
+            return self.max_phase_noise_std;
+        }
+        (self.phase_noise_std * self.reference_amplitude / amplitude).min(self.max_phase_noise_std)
+    }
+
+    /// Draws one noise sample (radians) for a measurement with the given
+    /// received amplitude.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, amplitude: f64) -> f64 {
+        let std = self.effective_std(amplitude);
+        if std == 0.0 {
+            return 0.0;
+        }
+        gaussian(rng) * std
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel::paper_default()
+    }
+}
+
+/// Standard normal sample via the Box–Muller transform (keeps the
+/// dependency set to plain `rand`, avoiding `rand_distr`).
+pub(crate) fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so the log is finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_default_matches_text() {
+        let n = NoiseModel::paper_default();
+        assert_eq!(n.phase_noise_std, 0.1);
+        assert!(!n.snr_dependent);
+        assert_eq!(n.effective_std(0.001), 0.1);
+    }
+
+    #[test]
+    fn noiseless_is_exactly_zero() {
+        let n = NoiseModel::noiseless();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(n.sample(&mut rng, 0.5), 0.0);
+        }
+    }
+
+    #[test]
+    fn snr_scaling() {
+        let n = NoiseModel::indoor_default();
+        let at_ref = n.effective_std(n.reference_amplitude);
+        assert!((at_ref - 0.05).abs() < 1e-12);
+        // Half the amplitude → double the noise.
+        let weaker = n.effective_std(n.reference_amplitude / 2.0);
+        assert!((weaker - 0.1).abs() < 1e-12);
+        // Stronger signal → less noise.
+        assert!(n.effective_std(n.reference_amplitude * 4.0) < at_ref);
+        // Clamped at the maximum.
+        assert_eq!(n.effective_std(1e-9), n.max_phase_noise_std);
+        assert_eq!(n.effective_std(0.0), n.max_phase_noise_std);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(1234);
+        let samples: Vec<f64> = (0..20_000).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+        assert!(samples.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn sample_scales_with_std() {
+        let n = NoiseModel {
+            phase_noise_std: 0.2,
+            snr_dependent: false,
+            reference_amplitude: 1.0,
+            max_phase_noise_std: 1.0,
+        };
+        let mut rng = StdRng::seed_from_u64(99);
+        let samples: Vec<f64> = (0..20_000).map(|_| n.sample(&mut rng, 1.0)).collect();
+        let var = samples.iter().map(|v| v * v).sum::<f64>() / samples.len() as f64;
+        assert!((var.sqrt() - 0.2).abs() < 0.01);
+    }
+}

@@ -1,0 +1,157 @@
+//! RF constants and frequency planning.
+
+use serde::{Deserialize, Serialize};
+
+/// Speed of light in vacuum (m/s).
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// The paper's operating frequency: 920.625 MHz (Sec. V-A).
+///
+/// The corresponding wavelength is ≈ 32.57 cm, so the half-wavelength
+/// ambiguity distance is ≈ 16.3 cm — the "about 16 cm" of Sec. IV-A1.
+pub const US_DEFAULT_FREQUENCY_HZ: f64 = 920.625e6;
+
+/// How the reader chooses its carrier frequency over time.
+///
+/// The paper fixes the reader at 920.625 MHz; FCC-regulated deployments hop
+/// across 50 channels in the 902–928 MHz band. Channel hopping breaks the
+/// constant-wavelength assumption of naive unwrapping, so LION-style
+/// pipelines either fix the channel (as the paper does) or compensate per
+/// channel — the hopping variant exists here to test that failure mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum FrequencyPlan {
+    /// A single fixed carrier (Hz).
+    Fixed {
+        /// Carrier frequency in Hz.
+        frequency_hz: f64,
+    },
+    /// FCC-style hopping: cycle through `channels` (Hz), switching every
+    /// `dwell_seconds`.
+    Hopping {
+        /// Channel center frequencies in Hz.
+        channels: Vec<f64>,
+        /// Dwell time per channel in seconds.
+        dwell_seconds: f64,
+    },
+}
+
+impl Default for FrequencyPlan {
+    fn default() -> Self {
+        FrequencyPlan::Fixed {
+            frequency_hz: US_DEFAULT_FREQUENCY_HZ,
+        }
+    }
+}
+
+impl FrequencyPlan {
+    /// A fixed carrier at the paper's 920.625 MHz.
+    pub fn paper_default() -> Self {
+        FrequencyPlan::default()
+    }
+
+    /// The 50-channel FCC plan (902.75–927.25 MHz, 500 kHz spacing) with a
+    /// 0.2 s dwell, in ascending order rather than the pseudo-random FCC
+    /// sequence (the sequence does not matter for simulation purposes).
+    pub fn fcc_hopping(dwell_seconds: f64) -> Self {
+        let channels = (0..50).map(|i| 902.75e6 + i as f64 * 0.5e6).collect();
+        FrequencyPlan::Hopping {
+            channels,
+            dwell_seconds,
+        }
+    }
+
+    /// Carrier frequency in Hz at time `t` seconds.
+    ///
+    /// For an empty hopping plan this falls back to the paper default.
+    pub fn frequency_at(&self, t: f64) -> f64 {
+        match self {
+            FrequencyPlan::Fixed { frequency_hz } => *frequency_hz,
+            FrequencyPlan::Hopping {
+                channels,
+                dwell_seconds,
+            } => {
+                if channels.is_empty() || *dwell_seconds <= 0.0 {
+                    return US_DEFAULT_FREQUENCY_HZ;
+                }
+                let slot = (t / dwell_seconds).floor().max(0.0) as usize;
+                channels[slot % channels.len()]
+            }
+        }
+    }
+
+    /// Wavelength in meters at time `t`.
+    pub fn wavelength_at(&self, t: f64) -> f64 {
+        SPEED_OF_LIGHT / self.frequency_at(t)
+    }
+
+    /// Returns the fixed wavelength, or `None` for hopping plans.
+    pub fn fixed_wavelength(&self) -> Option<f64> {
+        match self {
+            FrequencyPlan::Fixed { frequency_hz } => Some(SPEED_OF_LIGHT / frequency_hz),
+            FrequencyPlan::Hopping { .. } => None,
+        }
+    }
+}
+
+/// Round-trip phase accumulated over a one-way distance `d` at wavelength
+/// `lambda`: `(2π/λ)·2d`, not wrapped.
+pub fn round_trip_phase(distance: f64, wavelength: f64) -> f64 {
+    4.0 * std::f64::consts::PI * distance / wavelength
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_wavelength_matches_text() {
+        let lambda = SPEED_OF_LIGHT / US_DEFAULT_FREQUENCY_HZ;
+        assert!((lambda - 0.3256).abs() < 1e-3, "λ = {lambda}");
+        // Half wavelength "about 16 cm" (Sec. IV-A1).
+        assert!((lambda / 2.0 - 0.163).abs() < 2e-3);
+    }
+
+    #[test]
+    fn fixed_plan_is_time_invariant() {
+        let plan = FrequencyPlan::paper_default();
+        assert_eq!(plan.frequency_at(0.0), US_DEFAULT_FREQUENCY_HZ);
+        assert_eq!(plan.frequency_at(1e6), US_DEFAULT_FREQUENCY_HZ);
+        assert!(plan.fixed_wavelength().is_some());
+    }
+
+    #[test]
+    fn hopping_cycles_channels() {
+        let plan = FrequencyPlan::fcc_hopping(0.2);
+        assert_eq!(plan.frequency_at(0.0), 902.75e6);
+        assert_eq!(plan.frequency_at(0.25), 903.25e6);
+        // Wraps after 50 channels × 0.2 s = 10 s.
+        assert_eq!(plan.frequency_at(10.05), 902.75e6);
+        assert_eq!(plan.fixed_wavelength(), None);
+    }
+
+    #[test]
+    fn hopping_degenerate_falls_back() {
+        let plan = FrequencyPlan::Hopping {
+            channels: vec![],
+            dwell_seconds: 0.2,
+        };
+        assert_eq!(plan.frequency_at(1.0), US_DEFAULT_FREQUENCY_HZ);
+        let plan = FrequencyPlan::Hopping {
+            channels: vec![915e6],
+            dwell_seconds: 0.0,
+        };
+        assert_eq!(plan.frequency_at(1.0), US_DEFAULT_FREQUENCY_HZ);
+    }
+
+    #[test]
+    fn round_trip_phase_scales_linearly() {
+        let lambda = 0.3256;
+        let p1 = round_trip_phase(1.0, lambda);
+        let p2 = round_trip_phase(2.0, lambda);
+        assert!((p2 - 2.0 * p1).abs() < 1e-12);
+        // One half-wavelength of motion is a full 2π of round-trip phase.
+        let dp = round_trip_phase(lambda / 2.0, lambda);
+        assert!((dp - std::f64::consts::TAU).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,512 @@
+//! Scenario orchestration: a reader interrogating one tag against one
+//! antenna, producing timestamped phase traces.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use lion_geom::{Point3, Trajectory};
+
+use crate::antenna::Antenna;
+use crate::channel::compute_response;
+use crate::environment::Environment;
+use crate::noise::NoiseModel;
+use crate::rf::FrequencyPlan;
+use crate::tag::Tag;
+use crate::SimError;
+
+/// One reader report: the tuple LION consumes is `(position, phase)`; the
+/// rest (time, RSSI, channel) is the metadata a real LLRP reader attaches.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSample {
+    /// Seconds since the start of the scan.
+    pub time: f64,
+    /// Ground-truth tag position at the moment of the read.
+    pub position: Point3,
+    /// Reported phase in `[0, 2π)` radians (paper Eq. 1).
+    pub phase: f64,
+    /// Received signal strength indicator in dB (arbitrary reference).
+    pub rssi_dbm: f64,
+    /// Carrier frequency of this read (Hz).
+    pub frequency_hz: f64,
+}
+
+/// A sequence of phase samples from one scan, plus the context needed to
+/// interpret them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTrace {
+    samples: Vec<PhaseSample>,
+    wavelength: f64,
+}
+
+impl PhaseTrace {
+    /// Builds a trace from samples taken at a fixed `wavelength`.
+    pub fn new(samples: Vec<PhaseSample>, wavelength: f64) -> Self {
+        PhaseTrace {
+            samples,
+            wavelength,
+        }
+    }
+
+    /// The samples in time order.
+    pub fn samples(&self) -> &[PhaseSample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` when the trace has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Carrier wavelength the samples were taken at (meters).
+    ///
+    /// For hopping plans this is the wavelength of the *first* sample;
+    /// per-sample frequencies are on each [`PhaseSample`].
+    pub fn wavelength(&self) -> f64 {
+        self.wavelength
+    }
+
+    /// The raw wrapped phases, in order.
+    pub fn phases(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.phase).collect()
+    }
+
+    /// The ground-truth tag positions, in order.
+    pub fn positions(&self) -> Vec<Point3> {
+        self.samples.iter().map(|s| s.position).collect()
+    }
+
+    /// The `(position, wrapped phase)` pairs the localization pipelines
+    /// consume.
+    pub fn to_measurements(&self) -> Vec<(Point3, f64)> {
+        self.samples.iter().map(|s| (s.position, s.phase)).collect()
+    }
+
+    /// Concatenates another trace after this one (for stitching separate
+    /// scan lines).
+    pub fn extend_from(&mut self, other: &PhaseTrace) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+}
+
+/// A complete simulated test rig: antenna + tag + environment + noise +
+/// frequency plan + seeded RNG.
+///
+/// Construct via [`ScenarioBuilder`]. Methods take `&mut self` because each
+/// scan consumes randomness; two consecutive identical scans therefore see
+/// different noise, exactly like repeated trials on the real rig, while two
+/// scenarios built with the same seed replay identically.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    antenna: Antenna,
+    tag: Tag,
+    environment: Environment,
+    noise: NoiseModel,
+    plan: FrequencyPlan,
+    rng: StdRng,
+}
+
+impl Scenario {
+    /// The antenna under test (with its ground-truth phase center).
+    pub fn antenna(&self) -> &Antenna {
+        &self.antenna
+    }
+
+    /// The tag on the trajectory.
+    pub fn tag(&self) -> &Tag {
+        &self.tag
+    }
+
+    /// The propagation environment.
+    pub fn environment(&self) -> &Environment {
+        &self.environment
+    }
+
+    /// The noise model.
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    /// The frequency plan.
+    pub fn frequency_plan(&self) -> &FrequencyPlan {
+        &self.plan
+    }
+
+    /// Mutable access to the scenario RNG for protocol layers built on
+    /// top (e.g. the inventory reader's slotting and miss draws).
+    pub(crate) fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Generates one phase measurement with the tag at `position` at scan
+    /// time `time`.
+    pub fn measure_at(&mut self, time: f64, position: Point3) -> PhaseSample {
+        let lambda = self.plan.wavelength_at(time);
+        let resp = compute_response(
+            &self.antenna,
+            &self.tag,
+            position,
+            &self.environment,
+            lambda,
+        );
+        let noise = self.noise.sample(&mut self.rng, resp.amplitude);
+        let raw = resp.phase + self.tag.phase_offset() + self.antenna.phase_offset() + noise;
+        let phase = wrap(raw);
+        PhaseSample {
+            time,
+            position,
+            phase,
+            rssi_dbm: 20.0 * resp.amplitude.max(1e-12).log10(),
+            frequency_hz: self.plan.frequency_at(time),
+        }
+    }
+
+    /// Scans the tag along `trajectory` at `speed` m/s, sampling at `rate`
+    /// Hz (the paper's rig: 10 cm/s, >100 Hz).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for non-positive speed/rate.
+    pub fn scan<T: Trajectory + ?Sized>(
+        &mut self,
+        trajectory: &T,
+        speed: f64,
+        rate: f64,
+    ) -> Result<PhaseTrace, SimError> {
+        if !(speed > 0.0 && speed.is_finite()) {
+            return Err(SimError::InvalidParameter {
+                parameter: "speed",
+                found: format!("{speed}"),
+            });
+        }
+        if !(rate > 0.0 && rate.is_finite()) {
+            return Err(SimError::InvalidParameter {
+                parameter: "rate",
+                found: format!("{rate}"),
+            });
+        }
+        let waypoints = trajectory.sample(speed, rate);
+        let samples = waypoints
+            .iter()
+            .map(|w| self.measure_at(w.time, w.position))
+            .collect();
+        Ok(PhaseTrace::new(samples, self.plan.wavelength_at(0.0)))
+    }
+
+    /// Takes `count` reads with the tag static at `position`, `rate` Hz
+    /// apart — the setup of the paper's Fig. 3 offset measurement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for a non-positive rate or
+    /// zero count.
+    pub fn read_static(
+        &mut self,
+        position: Point3,
+        count: usize,
+        rate: f64,
+    ) -> Result<PhaseTrace, SimError> {
+        if count == 0 {
+            return Err(SimError::InvalidParameter {
+                parameter: "count",
+                found: "0".to_string(),
+            });
+        }
+        if !(rate > 0.0 && rate.is_finite()) {
+            return Err(SimError::InvalidParameter {
+                parameter: "rate",
+                found: format!("{rate}"),
+            });
+        }
+        let samples = (0..count)
+            .map(|i| self.measure_at(i as f64 / rate, position))
+            .collect();
+        Ok(PhaseTrace::new(samples, self.plan.wavelength_at(0.0)))
+    }
+}
+
+/// Builder for [`Scenario`].
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioBuilder {
+    antenna: Option<Antenna>,
+    tag: Option<Tag>,
+    environment: Environment,
+    noise: NoiseModel,
+    plan: FrequencyPlan,
+    seed: u64,
+}
+
+impl ScenarioBuilder {
+    /// Starts a builder with free space, the paper's `N(0, 0.1)` noise, the
+    /// paper's fixed 920.625 MHz carrier, and seed 0.
+    pub fn new() -> Self {
+        ScenarioBuilder::default()
+    }
+
+    /// Sets the antenna under test (required).
+    pub fn antenna(mut self, antenna: Antenna) -> Self {
+        self.antenna = Some(antenna);
+        self
+    }
+
+    /// Sets the tag (required).
+    pub fn tag(mut self, tag: Tag) -> Self {
+        self.tag = Some(tag);
+        self
+    }
+
+    /// Sets the propagation environment (default: free space).
+    pub fn environment(mut self, environment: Environment) -> Self {
+        self.environment = environment;
+        self
+    }
+
+    /// Sets the noise model (default: the paper's `N(0, 0.1)`).
+    pub fn noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Sets the frequency plan (default: fixed 920.625 MHz).
+    pub fn frequency_plan(mut self, plan: FrequencyPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Sets the RNG seed (default 0): same seed → identical traces.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MissingComponent`] when the antenna or tag was
+    /// not set.
+    pub fn build(self) -> Result<Scenario, SimError> {
+        let antenna = self.antenna.ok_or(SimError::MissingComponent {
+            component: "antenna",
+        })?;
+        let tag = self
+            .tag
+            .ok_or(SimError::MissingComponent { component: "tag" })?;
+        Ok(Scenario {
+            antenna,
+            tag,
+            environment: self.environment,
+            noise: self.noise,
+            plan: self.plan,
+            rng: StdRng::seed_from_u64(self.seed),
+        })
+    }
+}
+
+fn wrap(theta: f64) -> f64 {
+    let tau = std::f64::consts::TAU;
+    let r = theta.rem_euclid(tau);
+    if r >= tau {
+        r - tau
+    } else {
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rf::{round_trip_phase, US_DEFAULT_FREQUENCY_HZ};
+    use lion_geom::LineSegment;
+
+    fn noiseless_scenario(seed: u64) -> Scenario {
+        ScenarioBuilder::new()
+            .antenna(Antenna::builder(Point3::new(0.0, 0.8, 0.0)).build())
+            .tag(Tag::new("t"))
+            .noise(NoiseModel::noiseless())
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_requires_components() {
+        assert!(matches!(
+            ScenarioBuilder::new().build(),
+            Err(SimError::MissingComponent {
+                component: "antenna"
+            })
+        ));
+        assert!(matches!(
+            ScenarioBuilder::new()
+                .antenna(Antenna::builder(Point3::ORIGIN).build())
+                .build(),
+            Err(SimError::MissingComponent { component: "tag" })
+        ));
+    }
+
+    #[test]
+    fn noiseless_phase_matches_eq1() {
+        let mut s = ScenarioBuilder::new()
+            .antenna(
+                Antenna::builder(Point3::new(0.0, 0.8, 0.0))
+                    .phase_offset(1.3)
+                    .build(),
+            )
+            .tag(Tag::new("t").with_phase_offset(0.7))
+            .noise(NoiseModel::noiseless())
+            .build()
+            .unwrap();
+        let pos = Point3::new(0.2, 0.0, 0.0);
+        let sample = s.measure_at(0.0, pos);
+        let lambda = crate::SPEED_OF_LIGHT / US_DEFAULT_FREQUENCY_HZ;
+        let d = Point3::new(0.0, 0.8, 0.0).distance(pos);
+        let expected = wrap(round_trip_phase(d, lambda) + 1.3 + 0.7);
+        let diff = (sample.phase - expected).abs();
+        let diff = diff.min(std::f64::consts::TAU - diff);
+        assert!(diff < 1e-9, "got {}, want {}", sample.phase, expected);
+        assert!((0.0..std::f64::consts::TAU).contains(&sample.phase));
+    }
+
+    #[test]
+    fn scan_produces_expected_sample_count() {
+        let mut s = noiseless_scenario(0);
+        let track = LineSegment::along_x(-0.5, 0.5, 0.0, 0.0).unwrap();
+        let trace = s.scan(&track, 0.1, 100.0).unwrap();
+        assert_eq!(trace.len(), 1001);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.samples()[0].time, 0.0);
+        assert_eq!(trace.positions().len(), 1001);
+        assert_eq!(trace.phases().len(), 1001);
+        assert_eq!(trace.to_measurements().len(), 1001);
+        assert!((trace.wavelength() - 0.3256).abs() < 1e-3);
+    }
+
+    #[test]
+    fn scan_validates_params() {
+        let mut s = noiseless_scenario(0);
+        let track = LineSegment::along_x(-0.5, 0.5, 0.0, 0.0).unwrap();
+        assert!(s.scan(&track, 0.0, 100.0).is_err());
+        assert!(s.scan(&track, 0.1, -1.0).is_err());
+        assert!(s.scan(&track, f64::NAN, 100.0).is_err());
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let track = LineSegment::along_x(-0.3, 0.3, 0.0, 0.0).unwrap();
+        let t1 = ScenarioBuilder::new()
+            .antenna(Antenna::builder(Point3::new(0.0, 0.8, 0.0)).build())
+            .tag(Tag::new("t"))
+            .seed(7)
+            .build()
+            .unwrap()
+            .scan(&track, 0.1, 50.0)
+            .unwrap();
+        let t2 = ScenarioBuilder::new()
+            .antenna(Antenna::builder(Point3::new(0.0, 0.8, 0.0)).build())
+            .tag(Tag::new("t"))
+            .seed(7)
+            .build()
+            .unwrap()
+            .scan(&track, 0.1, 50.0)
+            .unwrap();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let track = LineSegment::along_x(-0.3, 0.3, 0.0, 0.0).unwrap();
+        let make = |seed| {
+            ScenarioBuilder::new()
+                .antenna(Antenna::builder(Point3::new(0.0, 0.8, 0.0)).build())
+                .tag(Tag::new("t"))
+                .seed(seed)
+                .build()
+                .unwrap()
+                .scan(&track, 0.1, 50.0)
+                .unwrap()
+        };
+        assert_ne!(make(1), make(2));
+    }
+
+    #[test]
+    fn consecutive_scans_draw_fresh_noise() {
+        let mut s = ScenarioBuilder::new()
+            .antenna(Antenna::builder(Point3::new(0.0, 0.8, 0.0)).build())
+            .tag(Tag::new("t"))
+            .seed(3)
+            .build()
+            .unwrap();
+        let track = LineSegment::along_x(-0.3, 0.3, 0.0, 0.0).unwrap();
+        let t1 = s.scan(&track, 0.1, 50.0).unwrap();
+        let t2 = s.scan(&track, 0.1, 50.0).unwrap();
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn static_reads_cluster_around_true_phase() {
+        let mut s = ScenarioBuilder::new()
+            .antenna(Antenna::builder(Point3::new(0.0, 1.0, 0.0)).build())
+            .tag(Tag::new("t"))
+            .seed(11)
+            .build()
+            .unwrap();
+        let trace = s
+            .read_static(Point3::new(0.0, 0.0, 0.0), 500, 100.0)
+            .unwrap();
+        assert_eq!(trace.len(), 500);
+        // All phases within a few noise std of each other (mod 2π).
+        let phases = trace.phases();
+        let first = phases[0];
+        for p in &phases {
+            let d = (p - first).abs();
+            let d = d.min(std::f64::consts::TAU - d);
+            assert!(d < 0.6, "phase spread too wide: {d}");
+        }
+        assert!(s.read_static(Point3::ORIGIN, 0, 100.0).is_err());
+        assert!(s.read_static(Point3::ORIGIN, 5, 0.0).is_err());
+    }
+
+    #[test]
+    fn rssi_decreases_with_distance() {
+        let mut s = noiseless_scenario(0);
+        let near = s.measure_at(0.0, Point3::new(0.0, 0.4, 0.0));
+        let far = s.measure_at(0.0, Point3::new(0.0, -0.8, 0.0));
+        assert!(near.rssi_dbm > far.rssi_dbm);
+    }
+
+    #[test]
+    fn trace_extend() {
+        let mut s = noiseless_scenario(0);
+        let track = LineSegment::along_x(-0.1, 0.1, 0.0, 0.0).unwrap();
+        let mut t1 = s.scan(&track, 0.1, 10.0).unwrap();
+        let n = t1.len();
+        let t2 = s.scan(&track, 0.1, 10.0).unwrap();
+        t1.extend_from(&t2);
+        assert_eq!(t1.len(), n + t2.len());
+    }
+
+    #[test]
+    fn hopping_plan_varies_frequency() {
+        let mut s = ScenarioBuilder::new()
+            .antenna(Antenna::builder(Point3::new(0.0, 0.8, 0.0)).build())
+            .tag(Tag::new("t"))
+            .frequency_plan(FrequencyPlan::fcc_hopping(0.2))
+            .noise(NoiseModel::noiseless())
+            .build()
+            .unwrap();
+        let track = LineSegment::along_x(-0.5, 0.5, 0.0, 0.0).unwrap();
+        let trace = s.scan(&track, 0.1, 10.0).unwrap();
+        let freqs: std::collections::BTreeSet<u64> = trace
+            .samples()
+            .iter()
+            .map(|s| s.frequency_hz as u64)
+            .collect();
+        assert!(freqs.len() > 1, "hopping should produce multiple channels");
+    }
+}

@@ -1,0 +1,195 @@
+//! Property-based tests of the RF substrate's physical invariants.
+
+use proptest::prelude::*;
+use std::f64::consts::TAU;
+
+use lion_geom::{LineSegment, Point3, Vec3};
+use lion_sim::{
+    compute_response, Antenna, Environment, NoiseModel, PositionErrorModel, ScenarioBuilder, Tag,
+};
+
+const LAMBDA: f64 = 299_792_458.0 / 920.625e6;
+
+fn antenna_at(p: Point3) -> Antenna {
+    Antenna::builder(p).build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn free_space_phase_tracks_distance(
+        ax in -1.0_f64..1.0,
+        ay in 0.5_f64..2.0,
+        tx in -1.0_f64..1.0,
+    ) {
+        // Noise-free free-space phase equals (4π/λ)d mod 2π.
+        let a = antenna_at(Point3::new(ax, ay, 0.0));
+        let tag_pos = Point3::new(tx, 0.0, 0.0);
+        let resp = compute_response(
+            &a,
+            &Tag::new("p"),
+            tag_pos,
+            &Environment::free_space(),
+            LAMBDA,
+        );
+        let d = Point3::new(ax, ay, 0.0).distance(tag_pos);
+        let expected = (4.0 * std::f64::consts::PI * d / LAMBDA).rem_euclid(TAU);
+        let got = resp.phase.rem_euclid(TAU);
+        let diff = (got - expected).abs();
+        let diff = diff.min(TAU - diff);
+        prop_assert!(diff < 1e-9, "phase {got} vs {expected}");
+    }
+
+    #[test]
+    fn amplitude_monotone_in_distance_on_boresight(
+        d1 in 0.2_f64..1.0,
+        extra in 0.05_f64..1.0,
+    ) {
+        let a = antenna_at(Point3::new(0.0, 2.0, 0.0));
+        let t = Tag::new("p");
+        let near = compute_response(&a, &t, Point3::new(0.0, 2.0 - d1, 0.0), &Environment::free_space(), LAMBDA);
+        let far = compute_response(&a, &t, Point3::new(0.0, 2.0 - d1 - extra, 0.0), &Environment::free_space(), LAMBDA);
+        prop_assert!(near.amplitude > far.amplitude);
+        // Exact 1/d² on boresight.
+        let ratio = near.amplitude / far.amplitude;
+        let expect = ((d1 + extra) / d1).powi(2);
+        prop_assert!((ratio - expect).abs() < 1e-9 * expect);
+    }
+
+    #[test]
+    fn phase_center_displacement_is_a_pure_translation(
+        dx in -0.05_f64..0.05,
+        dy in -0.05_f64..0.05,
+        tx in -0.5_f64..0.5,
+    ) {
+        // An antenna with displacement at P behaves exactly like an ideal
+        // antenna mounted at P + displacement.
+        let displaced = Antenna::builder(Point3::new(0.0, 1.0, 0.0))
+            .phase_center_displacement(dx, dy, 0.0)
+            .build();
+        let reference = antenna_at(Point3::new(dx, 1.0 + dy, 0.0));
+        let t = Tag::new("p");
+        let pos = Point3::new(tx, 0.0, 0.0);
+        let r1 = compute_response(&displaced, &t, pos, &Environment::free_space(), LAMBDA);
+        let r2 = compute_response(&reference, &t, pos, &Environment::free_space(), LAMBDA);
+        prop_assert!((r1.phase - r2.phase).abs() < 1e-12);
+        prop_assert!((r1.amplitude - r2.amplitude).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hardware_offsets_shift_phase_by_constant(
+        theta_r in 0.0_f64..TAU,
+        theta_t in 0.0_f64..TAU,
+        tx in -0.5_f64..0.5,
+    ) {
+        let base = ScenarioBuilder::new()
+            .antenna(antenna_at(Point3::new(0.0, 0.8, 0.0)))
+            .tag(Tag::new("p"))
+            .noise(NoiseModel::noiseless())
+            .build()
+            .expect("components");
+        let offset = ScenarioBuilder::new()
+            .antenna(
+                Antenna::builder(Point3::new(0.0, 0.8, 0.0))
+                    .phase_offset(theta_r)
+                    .build(),
+            )
+            .tag(Tag::new("p").with_phase_offset(theta_t))
+            .noise(NoiseModel::noiseless())
+            .build()
+            .expect("components");
+        let pos = Point3::new(tx, 0.0, 0.0);
+        let p0 = base.clone().measure_at(0.0, pos).phase;
+        let p1 = offset.clone().measure_at(0.0, pos).phase;
+        let d = (p1 - p0 - theta_r - theta_t).rem_euclid(TAU);
+        prop_assert!(d < 1e-9 || (TAU - d) < 1e-9, "shift {d}");
+    }
+
+    #[test]
+    fn seeded_scans_are_reproducible(
+        seed in 0u64..1000,
+        depth in 0.4_f64..1.5,
+    ) {
+        let make = || {
+            ScenarioBuilder::new()
+                .antenna(antenna_at(Point3::new(0.0, depth, 0.0)))
+                .tag(Tag::new("p"))
+                .seed(seed)
+                .build()
+                .expect("components")
+                .scan(
+                    &LineSegment::along_x(-0.2, 0.2, 0.0, 0.0).expect("valid"),
+                    0.1,
+                    25.0,
+                )
+                .expect("valid scan")
+        };
+        prop_assert_eq!(make(), make());
+    }
+
+    #[test]
+    fn gain_never_exceeds_boresight(
+        px in -2.0_f64..2.0,
+        py in -2.0_f64..2.0,
+        pz in -2.0_f64..2.0,
+        n in 0.5_f64..8.0,
+    ) {
+        let a = Antenna::builder(Point3::ORIGIN)
+            .gain_exponent(n)
+            .boresight(Vec3::new(0.0, -1.0, 0.0))
+            .build();
+        let g = a.gain_toward(Point3::new(px, py, pz));
+        prop_assert!((0.0..=1.0).contains(&g), "gain {g}");
+    }
+
+    #[test]
+    fn position_error_model_preserves_phases(
+        bias in -0.02_f64..0.02,
+        jitter in 0.0_f64..0.005,
+        seed in 0u64..100,
+    ) {
+        let mut sc = ScenarioBuilder::new()
+            .antenna(antenna_at(Point3::new(0.0, 0.8, 0.0)))
+            .tag(Tag::new("p"))
+            .seed(seed)
+            .build()
+            .expect("components");
+        let trace = sc
+            .scan(&LineSegment::along_x(-0.2, 0.2, 0.0, 0.0).expect("valid"), 0.1, 25.0)
+            .expect("valid scan");
+        let model = PositionErrorModel {
+            bias: Vec3::new(bias, 0.0, 0.0),
+            scale_error: 0.0,
+            jitter_std: jitter,
+        };
+        let perturbed = model.apply(&trace, seed);
+        prop_assert_eq!(perturbed.len(), trace.len());
+        for (a, b) in trace.samples().iter().zip(perturbed.samples()) {
+            prop_assert_eq!(a.phase, b.phase);
+            prop_assert_eq!(a.time, b.time);
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip_is_lossless_enough(
+        seed in 0u64..50,
+    ) {
+        use lion_sim::PhaseTrace;
+        let mut sc = ScenarioBuilder::new()
+            .antenna(antenna_at(Point3::new(0.0, 0.8, 0.0)))
+            .tag(Tag::new("p"))
+            .seed(seed)
+            .build()
+            .expect("components");
+        let trace = sc
+            .scan(&LineSegment::along_x(-0.1, 0.1, 0.0, 0.0).expect("valid"), 0.1, 20.0)
+            .expect("valid scan");
+        let back = PhaseTrace::from_csv_str(&trace.to_csv_string()).expect("parses");
+        prop_assert_eq!(back.len(), trace.len());
+        for (a, b) in trace.samples().iter().zip(back.samples()) {
+            prop_assert!(a.position.distance(b.position) < 1e-5);
+            prop_assert!((a.phase - b.phase).abs() < 1e-8);
+        }
+    }
+}

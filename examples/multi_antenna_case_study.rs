@@ -1,0 +1,142 @@
+//! The paper's case study (Sec. V-F1, Figs. 19–20): three antennas locate
+//! a static tag with a differential hologram, at three calibration levels.
+//!
+//! 1. **No calibration** — physical centers, raw phases.
+//! 2. **Center calibration** — LION-estimated phase centers.
+//! 3. **Full calibration** — phase centers *and* per-antenna offsets.
+//!
+//! The paper measured 8.49 → 5.76 → 4.68 cm on its real rig.
+//!
+//! ```bash
+//! cargo run --release --example multi_antenna_case_study
+//! ```
+
+use lion::baselines::hologram::SearchVolume;
+use lion::baselines::multi_antenna::{locate_tag, AntennaReading, MultiAntennaConfig};
+use lion::core::{Calibrator, LocalizerConfig, PairStrategy};
+use lion::geom::{Point3, ThreeLineScan, Trajectory, Vec3};
+use lion::linalg::stats;
+use lion::sim::{Antenna, Environment, NoiseModel, ScenarioBuilder, Tag};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Three antennas in a line, 0.3 m apart, each with its own hidden
+    // displacement and hardware offset (the offsets are the paper's
+    // measured 3.98 / 2.74 / 4.07 rad).
+    let offsets = [3.98, 2.74, 4.07];
+    let displacements = [
+        Vec3::new(0.024, -0.010, 0.012),
+        Vec3::new(-0.018, 0.015, -0.020),
+        Vec3::new(0.012, 0.022, 0.008),
+    ];
+    let antennas: Vec<Antenna> = (0..3)
+        .map(|i| {
+            Antenna::builder(Point3::new(-0.3 + 0.3 * i as f64, 0.0, 0.0))
+                .phase_center_displacement(
+                    displacements[i].x,
+                    displacements[i].y,
+                    displacements[i].z,
+                )
+                .phase_offset(offsets[i])
+                .boresight(Vec3::new(0.0, 1.0, 0.0))
+                .build()
+        })
+        .collect();
+
+    let scenario_for = |antenna: Antenna, seed: u64| {
+        ScenarioBuilder::new()
+            .antenna(antenna)
+            .tag(Tag::new("case-tag").with_phase_offset(0.9))
+            .environment(Environment::indoor_lab())
+            .noise(NoiseModel::indoor_default())
+            .seed(seed)
+            .build()
+            .expect("components set")
+    };
+
+    // Step 1: calibrate each antenna with a three-line scan in front of it.
+    println!("calibrating antennas with the three-line scan (Fig. 11)...");
+    let mut calibrations = Vec::new();
+    for (i, antenna) in antennas.iter().enumerate() {
+        let physical = antenna.physical_center();
+        let mut scenario = scenario_for(antenna.clone(), 40 + i as u64);
+        let scan = ThreeLineScan::new(-0.4, 0.4, 0.2, 0.2)?;
+        let m: Vec<(Point3, f64)> = scan
+            .to_path()
+            .sample(0.1, 100.0)
+            .into_iter()
+            .map(|w| {
+                let world =
+                    Point3::new(w.position.x + physical.x, 0.7 - w.position.y, w.position.z);
+                let s = scenario.measure_at(w.time, world);
+                (world, s.phase)
+            })
+            .collect();
+        let cfg = LocalizerConfig {
+            pair_strategy: PairStrategy::AllWithMinSeparation {
+                min_separation: 0.18,
+                max_pairs: 4000,
+            },
+            side_hint: Some(physical),
+            ..LocalizerConfig::default()
+        };
+        let cal = Calibrator::new(cfg)
+            .with_adaptive(None)
+            .calibrate(&m, physical)?;
+        println!(
+            "  A{}: displacement {} ({:.1} mm), offset {:.2} rad (planted {:.2}+tag)",
+            i + 1,
+            cal.center_displacement,
+            cal.center_displacement.norm() * 1000.0,
+            cal.phase_offset,
+            offsets[i],
+        );
+        calibrations.push(cal);
+    }
+
+    // Step 2: the three antennas read a static tag at (−10 cm, 80 cm).
+    let tag_pos = Point3::new(-0.1, 0.8, 0.0);
+    let phases: Vec<f64> = antennas
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let mut scenario = scenario_for(a.clone(), 90 + i as u64);
+            let trace = scenario.read_static(tag_pos, 500, 100.0).expect("valid");
+            stats::circular_mean(&trace.phases()).expect("concentrated")
+        })
+        .collect();
+
+    // Step 3: differential hologram at the three calibration levels.
+    let volume = SearchVolume::square_2d(Point3::new(0.0, 0.8, 0.0), 0.2);
+    let config = MultiAntennaConfig::default();
+    let locate =
+        |positions: &[Point3], offs: Option<&[f64]>| -> Result<f64, Box<dyn std::error::Error>> {
+            let readings: Vec<AntennaReading> = positions
+                .iter()
+                .zip(&phases)
+                .enumerate()
+                .map(|(i, (&p, &ph))| {
+                    let r = AntennaReading::new(p, ph);
+                    match offs {
+                        Some(o) => r.with_offset(o[i]),
+                        None => r,
+                    }
+                })
+                .collect();
+            Ok(locate_tag(&readings, volume, &config)?
+                .position
+                .distance(tag_pos))
+        };
+    let physical: Vec<Point3> = antennas.iter().map(|a| a.physical_center()).collect();
+    let centers: Vec<Point3> = calibrations.iter().map(|c| c.phase_center).collect();
+    let cal_offsets: Vec<f64> = calibrations.iter().map(|c| c.phase_offset).collect();
+
+    let raw = locate(&physical, None)?;
+    let center_only = locate(&centers, None)?;
+    let full = locate(&centers, Some(&cal_offsets))?;
+    println!("\ntag localization error (truth at {tag_pos}):");
+    println!("  no calibration     : {:.2} cm", raw * 100.0);
+    println!("  center calibration : {:.2} cm", center_only * 100.0);
+    println!("  full calibration   : {:.2} cm", full * 100.0);
+    println!("  paper              : 8.49 -> 5.76 -> 4.68 cm");
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Offline workflow: record a scan to a CSV log, validate it, replay it
+//! through the calibration pipeline.
+//!
+//! Real deployments log reader reports to flat files and post-process
+//! them; this example shows the same loop against the simulator —
+//! including the physics sanity check ([`lion::core::quality`]) that
+//! catches unwrap slips before they poison the solve.
+//!
+//! ```bash
+//! cargo run --release --example trace_replay
+//! ```
+
+use lion::core::quality::validate_profile;
+use lion::core::{Calibrator, LocalizerConfig, PairStrategy, PhaseProfile};
+use lion::geom::{Point3, ThreeLineScan};
+use lion::sim::{Antenna, PhaseTrace, ScenarioBuilder, Tag};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Record -----------------------------------------------------------
+    let physical = Point3::new(0.0, 0.8, 0.0);
+    let antenna = Antenna::builder(physical)
+        .phase_center_displacement(0.019, -0.011, 0.014)
+        .phase_offset(3.1)
+        .build();
+    let truth = antenna.phase_center();
+    let mut scenario = ScenarioBuilder::new()
+        .antenna(antenna)
+        .tag(Tag::new("logged-tag").with_phase_offset(0.6))
+        .seed(99)
+        .build()?;
+    let scan = ThreeLineScan::new(-0.4, 0.4, 0.2, 0.2)?;
+    let trace = scenario.scan(&scan.to_path(), 0.1, 100.0)?;
+
+    let path = std::env::temp_dir().join("lion_trace_replay.csv");
+    trace.write_csv(std::fs::File::create(&path)?)?;
+    println!(
+        "recorded {} samples to {} ({} bytes)",
+        trace.len(),
+        path.display(),
+        std::fs::metadata(&path)?.len()
+    );
+
+    // --- Reload & validate -------------------------------------------------
+    let reloaded = PhaseTrace::read_csv(std::io::BufReader::new(std::fs::File::open(&path)?))?;
+    println!(
+        "reloaded  {} samples (λ = {:.4} m)",
+        reloaded.len(),
+        reloaded.wavelength()
+    );
+
+    let profile = PhaseProfile::from_wrapped(&reloaded.to_measurements(), reloaded.wavelength())?;
+    let quality = validate_profile(&profile, 0.008); // 3σ slack for N(0, 0.1)
+    println!(
+        "quality: {}/{} steps within the triangle-inequality bound ({:.1}%), trustworthy: {}",
+        quality.steps - quality.violations.len(),
+        quality.steps,
+        quality.fraction_ok() * 100.0,
+        quality.is_trustworthy(reloaded.wavelength())
+    );
+
+    // --- Replay through calibration ----------------------------------------
+    let config = LocalizerConfig {
+        pair_strategy: PairStrategy::StructuredScan {
+            scan,
+            x_interval: 0.2,
+            tolerance: 0.003,
+        },
+        ..LocalizerConfig::default()
+    };
+    let calibration = Calibrator::new(config)
+        .with_adaptive(None)
+        .calibrate(&reloaded.to_measurements(), physical)?;
+    println!(
+        "calibrated from the log: center {} ({:.2} mm from truth), offset {:.3} rad",
+        calibration.phase_center,
+        calibration.phase_center.distance(truth) * 1000.0,
+        calibration.phase_offset
+    );
+
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! # LION — Linear Localization for RFID Antenna Phase Calibration
+//!
+//! A from-scratch Rust reproduction of *"Pinpoint Achilles' Heel in RFID
+//! Localization: Phase Calibration of RFID Antenna based on Linear
+//! Localization Model"* (Bu et al., ICDCS 2022).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! - [`linalg`] — dense linear algebra (QR/LU/Cholesky/SVD, weighted and
+//!   iteratively-reweighted least squares, Levenberg–Marquardt),
+//! - [`geom`] — points, circles/spheres, radical lines/planes, trajectories,
+//! - [`sim`] — the RF substrate: antennas with hidden phase centers, tags,
+//!   multipath, noise, and a reader sampling phase measurements,
+//! - [`core`] — the paper's contribution: the linear localization model,
+//!   WLS estimation, adaptive parameter selection, and phase calibration,
+//! - [`baselines`] — comparison methods: Tagoram's differential augmented
+//!   hologram (DAH), hyperbola TDoA, and the parabola fit.
+//!
+//! # Quickstart
+//!
+//! Calibrate a simulated antenna's phase center in the 2D plane:
+//!
+//! ```
+//! use lion::geom::{LineSegment, Point3, Trajectory};
+//! use lion::sim::{Antenna, ScenarioBuilder, Tag};
+//! use lion::core::{Localizer2d, LocalizerConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // An antenna whose true phase center is 2 cm off its physical center.
+//! let antenna = Antenna::builder(Point3::new(0.0, 0.8, 0.0))
+//!     .phase_center_displacement(0.02, 0.0, 0.0)
+//!     .build();
+//! let track = LineSegment::along_x(-0.4, 0.4, 0.0, 0.0)?;
+//! let trace = ScenarioBuilder::new()
+//!     .antenna(antenna)
+//!     .tag(Tag::new("E51-quickstart"))
+//!     .seed(7)
+//!     .build()?
+//!     .scan(&track, 0.1, 100.0)?;
+//!
+//! let estimate = Localizer2d::new(LocalizerConfig::default())
+//!     .locate(&trace.to_measurements())?;
+//! // The estimate recovers the hidden phase center, not the physical one.
+//! assert!((estimate.position.x - 0.02).abs() < 0.01);
+//! assert!((estimate.position.y - 0.8).abs() < 0.01);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use lion_baselines as baselines;
+pub use lion_core as core;
+pub use lion_geom as geom;
+pub use lion_linalg as linalg;
+pub use lion_sim as sim;
