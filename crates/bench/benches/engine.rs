@@ -1,0 +1,58 @@
+//! Criterion bench: batch throughput of the parallel engine on a
+//! 100-job 2D localization batch, across worker counts.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use lion_bench::rig;
+use lion_core::LocalizerConfig;
+use lion_engine::{Engine, Job};
+use lion_geom::{LineSegment, Point3};
+
+const BATCH: usize = 100;
+
+fn batch_jobs() -> Vec<Job> {
+    let target = Point3::new(0.1, 0.8, 0.0);
+    let antenna = rig::ideal_antenna(target);
+    let mut scenario = rig::paper_scenario(antenna, 17);
+    let track = LineSegment::along_x(-0.5, 0.5, 0.0, 0.0).expect("valid");
+    (0..BATCH)
+        .map(|_| {
+            let m = scenario
+                .scan(&track, rig::TAG_SPEED, rig::READ_RATE)
+                .expect("valid scan")
+                .to_measurements();
+            Job::locate_2d(
+                m,
+                LocalizerConfig {
+                    side_hint: Some(target),
+                    ..LocalizerConfig::default()
+                },
+            )
+        })
+        .collect()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let jobs = batch_jobs();
+    let available = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut worker_counts = vec![1usize, 2, 4, available];
+    worker_counts.sort_unstable();
+    worker_counts.dedup();
+
+    let mut group = c.benchmark_group("engine_batch_100");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for workers in worker_counts {
+        let engine = Engine::builder().workers(workers).build().expect("valid");
+        group.bench_function(format!("workers_{workers}"), |b| {
+            b.iter(|| engine.run(std::hint::black_box(&jobs)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine
+}
+criterion_main!(benches);

@@ -4,9 +4,8 @@
 
 use lion_baselines::hologram::{self, HologramConfig, SearchVolume};
 use lion_baselines::refine::{locate_refined, RefineConfig};
-use lion_core::{
-    AdaptiveConfig, Localizer2d, Localizer3d, LocalizerConfig, PairStrategy, Weighting,
-};
+use lion_core::{AdaptiveConfig, Localizer2d, LocalizerConfig, PairStrategy, Weighting};
+use lion_engine::{Engine, Job, MetricsReport};
 use lion_geom::{LineSegment, Point3, ThreeLineScan};
 use lion_linalg::{IrlsConfig, WeightFunction};
 use lion_sim::PositionErrorModel;
@@ -38,6 +37,16 @@ fn three_line_measurements(seed: u64, target: Point3) -> (ThreeLineScan, Vec<(Po
 
 /// Pair-strategy ablation on the 3D three-line scan.
 pub fn run_pairs(seed: u64, trials: usize) -> Vec<AblationPoint> {
+    run_pairs_on(&Engine::new(), seed, trials).0
+}
+
+/// [`run_pairs`] on an explicit [`Engine`]: three 3D [`Job`]s per trial,
+/// one per strategy, on the same serially-simulated trace.
+pub fn run_pairs_on(
+    engine: &Engine,
+    seed: u64,
+    trials: usize,
+) -> (Vec<AblationPoint>, MetricsReport) {
     let target = Point3::new(0.05, 0.8, 0.12);
     let strategies: Vec<(String, PairStrategy)> = vec![
         (
@@ -52,71 +61,74 @@ pub fn run_pairs(seed: u64, trials: usize) -> Vec<AblationPoint> {
             },
         ),
     ];
-    let mut points: Vec<AblationPoint> = Vec::new();
-    // The structured strategy needs the scan geometry.
-    let mut structured_err = Vec::new();
-    let mut structured_eqs = Vec::new();
-    let mut per_strategy: Vec<(Vec<f64>, Vec<f64>)> = strategies
-        .iter()
-        .map(|_| (Vec::new(), Vec::new()))
-        .collect();
+    let mut jobs = Vec::with_capacity((1 + strategies.len()) * trials);
     for t in 0..trials {
         let (scan, m) = three_line_measurements(seed ^ (t as u64), target);
+        // The structured strategy needs the scan geometry.
         let structured = PairStrategy::StructuredScan {
             scan,
             x_interval: 0.2,
             tolerance: 0.003,
         };
-        let cfg = LocalizerConfig {
-            pair_strategy: structured,
-            ..rig::paper_localizer_config(target)
-        };
-        if let Ok(est) = Localizer3d::new(cfg).locate(&m) {
-            structured_err.push(est.distance_error(target));
-            structured_eqs.push(est.equation_count as f64);
-        }
-        for (s_idx, (_, strategy)) in strategies.iter().enumerate() {
+        for strategy in std::iter::once(&structured).chain(strategies.iter().map(|(_, s)| s)) {
             let cfg = LocalizerConfig {
                 pair_strategy: strategy.clone(),
                 ..rig::paper_localizer_config(target)
             };
-            if let Ok(est) = Localizer3d::new(cfg).locate(&m) {
-                per_strategy[s_idx].0.push(est.distance_error(target));
-                per_strategy[s_idx].1.push(est.equation_count as f64);
+            jobs.push(Job::locate_3d(m.clone(), cfg));
+        }
+    }
+    let outcome = engine.run(&jobs);
+    let labels: Vec<String> = std::iter::once("structured 3-line (paper)".to_string())
+        .chain(strategies.into_iter().map(|(label, _)| label))
+        .collect();
+    let mut per_label: Vec<(Vec<f64>, Vec<f64>)> =
+        labels.iter().map(|_| (Vec::new(), Vec::new())).collect();
+    for chunk in outcome.results.chunks(labels.len()) {
+        for (slot, result) in per_label.iter_mut().zip(chunk) {
+            if let Some(est) = result.as_ref().ok().and_then(|o| o.estimate()) {
+                slot.0.push(est.distance_error(target));
+                slot.1.push(est.equation_count as f64);
             }
         }
     }
-    points.push(AblationPoint {
-        label: "structured 3-line (paper)".to_string(),
-        mean_error: rig::mean_std(&structured_err).0,
-        mean_equations: rig::mean_std(&structured_eqs).0,
-    });
-    for ((label, _), (errs, eqs)) in strategies.iter().zip(&per_strategy) {
-        points.push(AblationPoint {
-            label: label.clone(),
-            mean_error: rig::mean_std(errs).0,
-            mean_equations: rig::mean_std(eqs).0,
-        });
-    }
-    points
+    let points = labels
+        .into_iter()
+        .zip(per_label)
+        .map(|(label, (errs, eqs))| AblationPoint {
+            label,
+            mean_error: rig::mean_std(&errs).0,
+            mean_equations: rig::mean_std(&eqs).0,
+        })
+        .collect();
+    (points, outcome.report)
 }
 
 /// Adaptive selection on/off across noise levels (2D conveyor setup).
 pub fn run_adaptive(seed: u64, trials: usize) -> Vec<AblationPoint> {
-    let mut out = Vec::new();
-    for (label, indoor) in [
+    run_adaptive_on(&Engine::new(), seed, trials).0
+}
+
+/// [`run_adaptive`] on an explicit [`Engine`]: each trial contributes a
+/// single-shot [`Job`] and an adaptive-sweep [`Job`] on the same trace.
+pub fn run_adaptive_on(
+    engine: &Engine,
+    seed: u64,
+    trials: usize,
+) -> (Vec<AblationPoint>, MetricsReport) {
+    let environments = [
         ("paper noise, free space", false),
         ("indoor multipath", true),
-    ] {
-        let antenna_pos = Point3::new(0.0, 0.8, 0.0);
+    ];
+    let antenna_pos = Point3::new(0.0, 0.8, 0.0);
+    let mut jobs = Vec::with_capacity(2 * environments.len() * trials);
+    for (_, indoor) in environments {
         let antenna = rig::ideal_antenna(antenna_pos);
         let mut scenario = if indoor {
             rig::indoor_scenario(antenna, seed)
         } else {
             rig::paper_scenario(antenna, seed)
         };
-        let mut plain = Vec::new();
-        let mut adaptive_err = Vec::new();
         for _ in 0..trials {
             let track = LineSegment::along_x(-0.6, 0.6, 0.0, 0.0).expect("valid");
             let m = scenario
@@ -124,11 +136,22 @@ pub fn run_adaptive(seed: u64, trials: usize) -> Vec<AblationPoint> {
                 .expect("valid scan")
                 .to_measurements();
             let cfg = rig::paper_localizer_config(antenna_pos);
-            if let Ok(est) = Localizer2d::new(cfg.clone()).locate(&m) {
+            jobs.push(Job::locate_2d(m.clone(), cfg.clone()));
+            jobs.push(Job::adaptive_2d(m, cfg, AdaptiveConfig::default()));
+        }
+    }
+    let outcome = engine.run(&jobs);
+    let mut out = Vec::new();
+    for (e_idx, (label, _)) in environments.iter().enumerate() {
+        let mut plain = Vec::new();
+        let mut adaptive_err = Vec::new();
+        let slice = &outcome.results[e_idx * 2 * trials..(e_idx + 1) * 2 * trials];
+        for chunk in slice.chunks(2) {
+            if let Some(est) = chunk[0].as_ref().ok().and_then(|o| o.estimate()) {
                 plain.push(est.distance_error(antenna_pos));
             }
-            if let Ok(o) = Localizer2d::new(cfg).locate_adaptive(&m, &AdaptiveConfig::default()) {
-                adaptive_err.push(o.estimate.distance_error(antenna_pos));
+            if let Some(est) = chunk[1].as_ref().ok().and_then(|o| o.estimate()) {
+                adaptive_err.push(est.distance_error(antenna_pos));
             }
         }
         out.push(AblationPoint {
@@ -142,63 +165,102 @@ pub fn run_adaptive(seed: u64, trials: usize) -> Vec<AblationPoint> {
             mean_equations: 0.0,
         });
     }
-    out
+    (out, outcome.report)
 }
 
-/// Smoothing-window sweep under the paper's noise (2D linear scan).
-pub fn run_smoothing(seed: u64, trials: usize) -> Vec<AblationPoint> {
-    let antenna_pos = Point3::new(0.1, 0.8, 0.0);
-    let antenna = rig::ideal_antenna(antenna_pos);
-    let mut scenario = rig::paper_scenario(antenna, seed);
-    let windows = [1usize, 5, 9, 17, 33, 65];
-    let mut traces = Vec::new();
-    for _ in 0..trials {
-        let track = LineSegment::along_x(-0.5, 0.5, 0.0, 0.0).expect("valid");
-        traces.push(
+/// Scans `trials` straight passes of the given scenario.
+fn linear_traces(scenario: &mut lion_sim::Scenario, trials: usize) -> Vec<Vec<(Point3, f64)>> {
+    (0..trials)
+        .map(|_| {
+            let track = LineSegment::along_x(-0.5, 0.5, 0.0, 0.0).expect("valid");
             scenario
                 .scan(&track, rig::TAG_SPEED, rig::READ_RATE)
                 .expect("valid scan")
-                .to_measurements(),
-        );
+                .to_measurements()
+        })
+        .collect()
+}
+
+/// Runs a labelled 2D configuration sweep over shared traces on the
+/// engine: one [`Job`] per `(configuration, trace)` combination.
+fn sweep_2d_on(
+    engine: &Engine,
+    traces: &[Vec<(Point3, f64)>],
+    configs: Vec<(String, LocalizerConfig)>,
+    target: Point3,
+) -> (Vec<AblationPoint>, MetricsReport) {
+    let mut jobs = Vec::with_capacity(configs.len() * traces.len());
+    for (_, cfg) in &configs {
+        for m in traces {
+            jobs.push(Job::locate_2d(m.clone(), cfg.clone()));
+        }
     }
-    windows
-        .iter()
-        .map(|&w| {
-            let mut errs = Vec::new();
-            for m in &traces {
-                let cfg = LocalizerConfig {
-                    smoothing_window: w,
-                    ..rig::paper_localizer_config(antenna_pos)
-                };
-                if let Ok(est) = Localizer2d::new(cfg).locate(m) {
-                    errs.push(est.distance_error(antenna_pos));
-                }
-            }
+    let outcome = engine.run(&jobs);
+    let points = configs
+        .into_iter()
+        .zip(outcome.results.chunks(traces.len().max(1)))
+        .map(|((label, _), chunk)| {
+            let errs: Vec<f64> = chunk
+                .iter()
+                .filter_map(|r| r.as_ref().ok().and_then(|o| o.estimate()))
+                .map(|est| est.distance_error(target))
+                .collect();
             AblationPoint {
-                label: format!("window {w}"),
+                label,
                 mean_error: rig::mean_std(&errs).0,
                 mean_equations: 0.0,
             }
         })
-        .collect()
+        .collect();
+    (points, outcome.report)
+}
+
+/// Smoothing-window sweep under the paper's noise (2D linear scan).
+pub fn run_smoothing(seed: u64, trials: usize) -> Vec<AblationPoint> {
+    run_smoothing_on(&Engine::new(), seed, trials).0
+}
+
+/// [`run_smoothing`] on an explicit [`Engine`].
+pub fn run_smoothing_on(
+    engine: &Engine,
+    seed: u64,
+    trials: usize,
+) -> (Vec<AblationPoint>, MetricsReport) {
+    let antenna_pos = Point3::new(0.1, 0.8, 0.0);
+    let antenna = rig::ideal_antenna(antenna_pos);
+    let mut scenario = rig::paper_scenario(antenna, seed);
+    let traces = linear_traces(&mut scenario, trials);
+    let configs = [1usize, 5, 9, 17, 33, 65]
+        .into_iter()
+        .map(|w| {
+            (
+                format!("window {w}"),
+                LocalizerConfig {
+                    smoothing_window: w,
+                    ..rig::paper_localizer_config(antenna_pos)
+                },
+            )
+        })
+        .collect();
+    sweep_2d_on(engine, &traces, configs, antenna_pos)
 }
 
 /// Weight-function ablation (Gaussian vs Huber vs uniform) under
 /// multipath.
 pub fn run_weightfn(seed: u64, trials: usize) -> Vec<AblationPoint> {
+    run_weightfn_on(&Engine::new(), seed, trials).0
+}
+
+/// [`run_weightfn`] on an explicit [`Engine`].
+pub fn run_weightfn_on(
+    engine: &Engine,
+    seed: u64,
+    trials: usize,
+) -> (Vec<AblationPoint>, MetricsReport) {
     let antenna_pos = Point3::new(0.0, 0.8, 0.0);
     let antenna = rig::ideal_antenna(antenna_pos);
     let mut scenario = rig::indoor_scenario(antenna, seed);
-    let mut traces = Vec::new();
-    for _ in 0..trials {
-        let track = LineSegment::along_x(-0.5, 0.5, 0.0, 0.0).expect("valid");
-        traces.push(
-            scenario
-                .scan(&track, rig::TAG_SPEED, rig::READ_RATE)
-                .expect("valid scan")
-                .to_measurements(),
-        );
-    }
+    let traces = linear_traces(&mut scenario, trials);
     let variants: Vec<(String, Weighting)> = vec![
         (
             "gaussian residual (paper)".to_string(),
@@ -213,70 +275,55 @@ pub fn run_weightfn(seed: u64, trials: usize) -> Vec<AblationPoint> {
         ),
         ("uniform (plain LS)".to_string(), Weighting::LeastSquares),
     ];
-    variants
+    let configs = variants
         .into_iter()
         .map(|(label, weighting)| {
-            let mut errs = Vec::new();
-            for m in &traces {
-                let cfg = LocalizerConfig {
+            (
+                label,
+                LocalizerConfig {
                     weighting,
                     ..rig::paper_localizer_config(antenna_pos)
-                };
-                if let Ok(est) = Localizer2d::new(cfg).locate(m) {
-                    errs.push(est.distance_error(antenna_pos));
-                }
-            }
-            AblationPoint {
-                label,
-                mean_error: rig::mean_std(&errs).0,
-                mean_equations: 0.0,
-            }
+                },
+            )
         })
-        .collect()
+        .collect();
+    sweep_2d_on(engine, &traces, configs, antenna_pos)
 }
 
 /// Reference-sample-choice sensitivity (first / quarter / middle / last).
 pub fn run_reference(seed: u64, trials: usize) -> Vec<AblationPoint> {
+    run_reference_on(&Engine::new(), seed, trials).0
+}
+
+/// [`run_reference`] on an explicit [`Engine`].
+pub fn run_reference_on(
+    engine: &Engine,
+    seed: u64,
+    trials: usize,
+) -> (Vec<AblationPoint>, MetricsReport) {
     let antenna_pos = Point3::new(0.0, 0.8, 0.0);
     let antenna = rig::ideal_antenna(antenna_pos);
     let mut scenario = rig::paper_scenario(antenna, seed);
-    let mut traces = Vec::new();
-    for _ in 0..trials {
-        let track = LineSegment::along_x(-0.5, 0.5, 0.0, 0.0).expect("valid");
-        traces.push(
-            scenario
-                .scan(&track, rig::TAG_SPEED, rig::READ_RATE)
-                .expect("valid scan")
-                .to_measurements(),
-        );
-    }
+    let traces = linear_traces(&mut scenario, trials);
     let n = traces[0].len();
-    let choices = [
+    let configs = [
         ("first sample", 0usize),
         ("quarter", n / 4),
         ("middle (default)", n / 2),
         ("last sample", n - 1),
-    ];
-    choices
-        .iter()
-        .map(|(label, idx)| {
-            let mut errs = Vec::new();
-            for m in &traces {
-                let cfg = LocalizerConfig {
-                    reference_index: Some(*idx),
-                    ..rig::paper_localizer_config(antenna_pos)
-                };
-                if let Ok(est) = Localizer2d::new(cfg).locate(m) {
-                    errs.push(est.distance_error(antenna_pos));
-                }
-            }
-            AblationPoint {
-                label: label.to_string(),
-                mean_error: rig::mean_std(&errs).0,
-                mean_equations: 0.0,
-            }
-        })
-        .collect()
+    ]
+    .into_iter()
+    .map(|(label, idx)| {
+        (
+            label.to_string(),
+            LocalizerConfig {
+                reference_index: Some(idx),
+                ..rig::paper_localizer_config(antenna_pos)
+            },
+        )
+    })
+    .collect();
+    sweep_2d_on(engine, &traces, configs, antenna_pos)
 }
 
 /// Sensitivity to trajectory-knowledge error: the paper assumes perfectly
@@ -430,52 +477,62 @@ fn render(id: &str, title: &str, points: &[AblationPoint], with_eqs: bool) -> Ex
 
 /// Renders the pair-strategy ablation.
 pub fn report_pairs(seed: u64) -> ExperimentReport {
+    let (points, metrics) = run_pairs_on(&Engine::new(), seed, 10);
     render(
         "ablation_pairs",
         "pair-selection strategies on the 3D three-line scan",
-        &run_pairs(seed, 10),
+        &points,
         true,
     )
+    .with_metrics(metrics)
 }
 
 /// Renders the adaptive on/off ablation.
 pub fn report_adaptive(seed: u64) -> ExperimentReport {
+    let (points, metrics) = run_adaptive_on(&Engine::new(), seed, 10);
     render(
         "ablation_adaptive",
         "adaptive parameter selection on/off across environments",
-        &run_adaptive(seed, 10),
+        &points,
         false,
     )
+    .with_metrics(metrics)
 }
 
 /// Renders the smoothing-window ablation.
 pub fn report_smoothing(seed: u64) -> ExperimentReport {
+    let (points, metrics) = run_smoothing_on(&Engine::new(), seed, 20);
     render(
         "ablation_smooth",
         "moving-average window sweep",
-        &run_smoothing(seed, 20),
+        &points,
         false,
     )
+    .with_metrics(metrics)
 }
 
 /// Renders the weight-function ablation.
 pub fn report_weightfn(seed: u64) -> ExperimentReport {
+    let (points, metrics) = run_weightfn_on(&Engine::new(), seed, 20);
     render(
         "ablation_weightfn",
         "IRLS weight functions under multipath",
-        &run_weightfn(seed, 20),
+        &points,
         false,
     )
+    .with_metrics(metrics)
 }
 
 /// Renders the reference-choice ablation.
 pub fn report_reference(seed: u64) -> ExperimentReport {
+    let (points, metrics) = run_reference_on(&Engine::new(), seed, 20);
     render(
         "ablation_reference",
         "reference-sample choice sensitivity",
-        &run_reference(seed, 20),
+        &points,
         false,
     )
+    .with_metrics(metrics)
 }
 
 /// Renders the trajectory-error ablation.

@@ -11,7 +11,8 @@
 //! why the paper sees a ~6× (2D) / ~2.1× (3D) accuracy gap.
 
 use lion_baselines::hologram::{self, HologramConfig, SearchVolume};
-use lion_core::{Calibration, Calibrator, Localizer2d, Localizer3d, PairStrategy};
+use lion_core::{Calibration, Calibrator, Estimate, LocalizerConfig, PairStrategy};
+use lion_engine::{Engine, Job, MetricsReport};
 use lion_geom::{LineSegment, Path, Point3, ThreeLineScan};
 use lion_sim::{Antenna, Scenario};
 
@@ -48,6 +49,12 @@ pub struct Fig13Timing {
     pub dah_3d: f64,
     /// Grid size used for DAH (meters).
     pub dah_grid: f64,
+    /// Wall time for the [`TIMING_BATCH`]-job 2D batch, run serially.
+    pub batch_serial: f64,
+    /// Wall time for the same batch on the engine under test.
+    pub batch_engine: f64,
+    /// Workers the engine batch actually used.
+    pub batch_workers: usize,
 }
 
 /// Calibrates a rig antenna at `position` with a three-line scan (paper
@@ -78,81 +85,20 @@ pub fn calibrate_rig_at(seed: u64, position: Point3) -> (Antenna, Calibration) {
     (antenna, calibration)
 }
 
-/// One 2D tag-localization trial: returns `(lion_error_m, dah_error_m)`
-/// for the given assumed antenna position.
-fn locate_tag_2d(
-    scenario: &mut Scenario,
-    antenna_used: Point3,
-    p0: Point3,
-    with_dah: bool,
-    dah_grid: f64,
-) -> (f64, Option<f64>) {
+/// Scans one 2D trial track and returns the measurements in the
+/// tag-start frame: known trajectory *shape*, positions relative to the
+/// unknown start.
+fn scan_tag_2d(scenario: &mut Scenario, p0: Point3) -> Vec<(Point3, f64)> {
     let track = LineSegment::new(p0, Point3::new(p0.x + 0.6, p0.y, p0.z)).expect("valid");
     let trace = scenario
         .scan(&track, rig::TAG_SPEED, rig::READ_RATE)
         .expect("valid scan");
-    // Known trajectory *shape*: positions relative to the unknown start.
-    let rel: Vec<(Point3, f64)> = trace
-        .samples()
-        .iter()
-        .map(|s| {
-            (
-                Point3::new(
-                    s.position.x - p0.x,
-                    s.position.y - p0.y,
-                    s.position.z - p0.z,
-                ),
-                s.phase,
-            )
-        })
-        .collect();
-    let mut cfg = rig::paper_localizer_config(Point3::new(0.3, 0.8, 0.0));
-    cfg.side_hint = Some(Point3::new(0.3, 0.8, 0.0)); // antenna side of the track
-    let lion_err = match Localizer2d::new(cfg).locate(&rel) {
-        Ok(est) => {
-            let p0_est = Point3::new(
-                antenna_used.x - est.position.x,
-                antenna_used.y - est.position.y,
-                p0.z,
-            );
-            p0_est.to_xy().distance(p0.to_xy())
-        }
-        Err(_) => f64::NAN,
-    };
-    let dah_err = if with_dah {
-        let dec: Vec<(Point3, f64)> = rel.iter().step_by(20).copied().collect();
-        // The search region must cover q = A - p0 for every trial start
-        // position (q_x spans about [-0.05, 0.35] here).
-        let volume = SearchVolume::square_2d(Point3::new(0.15, 0.8, 0.0), 0.35);
-        let cfg = HologramConfig {
-            grid_size: dah_grid,
-            wavelength: rig::LAMBDA,
-            augmented: true,
-        };
-        hologram::locate(&dec, volume, &cfg).ok().map(|est| {
-            let p0_est = Point3::new(
-                antenna_used.x - est.position.x,
-                antenna_used.y - est.position.y,
-                p0.z,
-            );
-            p0_est.to_xy().distance(p0.to_xy())
-        })
-    } else {
-        None
-    };
-    (lion_err, dah_err)
+    relative_to_start(trace.samples().iter().map(|s| (s.position, s.phase)), p0)
 }
 
-/// One 3D trial with the two-line relative trajectory (depth interval
-/// 0.2 m); returns `(lion_error_m, dah_error_m)`.
-fn locate_tag_3d(
-    scenario: &mut Scenario,
-    antenna_used: Point3,
-    p0: Point3,
-    with_dah: bool,
-    dah_grid: f64,
-) -> (f64, Option<f64>) {
-    // Two x-lines at y-offset 0 and −0.2 (relative), serpentine-connected.
+/// Scans one 3D trial: two x-lines at y-offset 0 and −0.2 (relative),
+/// serpentine-connected (depth interval 0.2 m).
+fn scan_tag_3d(scenario: &mut Scenario, p0: Point3) -> Vec<(Point3, f64)> {
     let l1 = LineSegment::new(p0, Point3::new(p0.x + 0.6, p0.y, p0.z)).expect("valid");
     let l2 = LineSegment::new(
         Point3::new(p0.x + 0.6, p0.y - 0.2, p0.z),
@@ -164,59 +110,103 @@ fn locate_tag_3d(
     let trace = scenario
         .scan(&path, rig::TAG_SPEED, rig::READ_RATE)
         .expect("valid scan");
-    let rel: Vec<(Point3, f64)> = trace
-        .samples()
-        .iter()
-        .map(|s| {
-            (
-                Point3::new(
-                    s.position.x - p0.x,
-                    s.position.y - p0.y,
-                    s.position.z - p0.z,
-                ),
-                s.phase,
-            )
-        })
-        .collect();
-    let hint = Point3::new(0.3, 0.8, 0.1);
-    let mut cfg = rig::paper_localizer_config(hint);
-    cfg.side_hint = Some(hint);
-    let lion_err = match Localizer3d::new(cfg).locate(&rel) {
-        Ok(est) => {
-            let p0_est = Point3::new(
-                antenna_used.x - est.position.x,
-                antenna_used.y - est.position.y,
-                antenna_used.z - est.position.z,
-            );
-            p0_est.distance(p0)
-        }
-        Err(_) => f64::NAN,
-    };
-    let dah_err = if with_dah {
-        let dec: Vec<(Point3, f64)> = rel.iter().step_by(20).copied().collect();
-        let volume = SearchVolume {
-            center: Point3::new(0.15, 0.8, 0.1),
-            half_extent_x: 0.35,
-            half_extent_y: 0.12,
-            half_extent_z: 0.08,
-        };
-        let cfg = HologramConfig {
-            grid_size: dah_grid,
-            wavelength: rig::LAMBDA,
-            augmented: true,
-        };
-        hologram::locate(&dec, volume, &cfg).ok().map(|est| {
-            let p0_est = Point3::new(
-                antenna_used.x - est.position.x,
-                antenna_used.y - est.position.y,
-                antenna_used.z - est.position.z,
-            );
-            p0_est.distance(p0)
-        })
+    relative_to_start(trace.samples().iter().map(|s| (s.position, s.phase)), p0)
+}
+
+fn relative_to_start(
+    samples: impl Iterator<Item = (Point3, f64)>,
+    p0: Point3,
+) -> Vec<(Point3, f64)> {
+    samples
+        .map(|(p, phase)| (Point3::new(p.x - p0.x, p.y - p0.y, p.z - p0.z), phase))
+        .collect()
+}
+
+/// The 2D trial solver configuration (antenna side of the track).
+fn tag_config_2d() -> LocalizerConfig {
+    rig::paper_localizer_config(Point3::new(0.3, 0.8, 0.0))
+}
+
+/// The 3D trial solver configuration.
+fn tag_config_3d() -> LocalizerConfig {
+    rig::paper_localizer_config(Point3::new(0.3, 0.8, 0.1))
+}
+
+/// Maps a relative-frame antenna estimate back to a tag-start error.
+/// `planar` compares in the xy-plane (the 2D experiments); otherwise the
+/// full 3D distance.
+fn start_error(est: &Estimate, antenna_used: Point3, p0: Point3, planar: bool) -> f64 {
+    if planar {
+        let p0_est = Point3::new(
+            antenna_used.x - est.position.x,
+            antenna_used.y - est.position.y,
+            p0.z,
+        );
+        p0_est.to_xy().distance(p0.to_xy())
     } else {
-        None
+        let p0_est = Point3::new(
+            antenna_used.x - est.position.x,
+            antenna_used.y - est.position.y,
+            antenna_used.z - est.position.z,
+        );
+        p0_est.distance(p0)
+    }
+}
+
+/// DAH on the decimated 2D relative trace; the error of its tag-start
+/// estimate.
+fn dah_tag_2d(
+    rel: &[(Point3, f64)],
+    antenna_used: Point3,
+    p0: Point3,
+    dah_grid: f64,
+) -> Option<f64> {
+    let dec: Vec<(Point3, f64)> = rel.iter().step_by(20).copied().collect();
+    // The search region must cover q = A - p0 for every trial start
+    // position (q_x spans about [-0.05, 0.35] here).
+    let volume = SearchVolume::square_2d(Point3::new(0.15, 0.8, 0.0), 0.35);
+    let cfg = HologramConfig {
+        grid_size: dah_grid,
+        wavelength: rig::LAMBDA,
+        augmented: true,
     };
-    (lion_err, dah_err)
+    hologram::locate(&dec, volume, &cfg).ok().map(|est| {
+        let p0_est = Point3::new(
+            antenna_used.x - est.position.x,
+            antenna_used.y - est.position.y,
+            p0.z,
+        );
+        p0_est.to_xy().distance(p0.to_xy())
+    })
+}
+
+/// DAH on the decimated 3D relative trace.
+fn dah_tag_3d(
+    rel: &[(Point3, f64)],
+    antenna_used: Point3,
+    p0: Point3,
+    dah_grid: f64,
+) -> Option<f64> {
+    let dec: Vec<(Point3, f64)> = rel.iter().step_by(20).copied().collect();
+    let volume = SearchVolume {
+        center: Point3::new(0.15, 0.8, 0.1),
+        half_extent_x: 0.35,
+        half_extent_y: 0.12,
+        half_extent_z: 0.08,
+    };
+    let cfg = HologramConfig {
+        grid_size: dah_grid,
+        wavelength: rig::LAMBDA,
+        augmented: true,
+    };
+    hologram::locate(&dec, volume, &cfg).ok().map(|est| {
+        let p0_est = Point3::new(
+            antenna_used.x - est.position.x,
+            antenna_used.y - est.position.y,
+            antenna_used.z - est.position.z,
+        );
+        p0_est.distance(p0)
+    })
 }
 
 /// Calibrates the default 2D rig antenna (z = 0).
@@ -226,6 +216,21 @@ pub fn calibrate_rig(seed: u64) -> (Antenna, Calibration) {
 
 /// Runs the accuracy comparison with `trials` tag start positions.
 pub fn run_accuracy(seed: u64, trials: usize, dah_grid: f64) -> Fig13Accuracy {
+    run_accuracy_on(&Engine::new(), seed, trials, dah_grid).0
+}
+
+/// [`run_accuracy`] on an explicit [`Engine`].
+///
+/// Traces are scanned serially (so the RNG stream does not depend on the
+/// worker count) while the DAH baseline runs inline; the four LION
+/// solves per trial are fanned out as engine [`Job`]s. The series is
+/// bit-identical for any worker count.
+pub fn run_accuracy_on(
+    engine: &Engine,
+    seed: u64,
+    trials: usize,
+    dah_grid: f64,
+) -> (Fig13Accuracy, MetricsReport) {
     let (antenna_2d, cal_2d) = calibrate_rig_at(seed, Point3::new(0.0, 0.8, 0.0));
     let (antenna_3d, cal_3d) = calibrate_rig_at(seed ^ 0x77, Point3::new(0.0, 0.8, 0.1));
     let physical_2d = antenna_2d.physical_center();
@@ -235,85 +240,125 @@ pub fn run_accuracy(seed: u64, trials: usize, dah_grid: f64) -> Fig13Accuracy {
     let mut scenario = rig::paper_scenario(antenna_2d, seed ^ 0xABCD);
     let mut scenario_3d = rig::paper_scenario(antenna_3d, seed ^ 0xBCDE);
 
-    let mut acc = Fig13Accuracy {
-        lion_2d_cal: 0.0,
-        lion_2d_uncal: 0.0,
-        lion_3d_cal: 0.0,
-        lion_3d_uncal: 0.0,
-        dah_2d_cal: 0.0,
-        dah_3d_cal: 0.0,
-    };
-    let mut counts = [0usize; 6];
+    // Gather: per trial, four scans (2D cal/uncal, 3D cal/uncal) in the
+    // original serial order, with DAH evaluated inline on the calibrated
+    // traces.
+    let mut jobs = Vec::with_capacity(4 * trials);
+    let mut p0s = Vec::with_capacity(trials);
+    let mut dah_2d = Vec::new();
+    let mut dah_3d = Vec::new();
     for t in 0..trials {
         // Start positions spread along the track (tag plane z = 0).
         let p0 = Point3::new(-0.35 + 0.1 * (t % 5) as f64, 0.0, 0.0);
-        let (l_cal, d_cal) = locate_tag_2d(&mut scenario, calibrated_2d, p0, true, dah_grid);
-        let (l_unc, _) = locate_tag_2d(&mut scenario, physical_2d, p0, false, dah_grid);
-        let (l3_cal, d3_cal) =
-            locate_tag_3d(&mut scenario_3d, calibrated_3d, p0, true, dah_grid * 2.0);
-        let (l3_unc, _) = locate_tag_3d(&mut scenario_3d, physical_3d, p0, false, dah_grid);
-        for (i, v) in [
-            l_cal,
-            l_unc,
-            l3_cal,
-            l3_unc,
-            d_cal.unwrap_or(f64::NAN),
-            d3_cal.unwrap_or(f64::NAN),
-        ]
-        .into_iter()
-        .enumerate()
-        {
-            if v.is_finite() {
-                counts[i] += 1;
-                match i {
-                    0 => acc.lion_2d_cal += v,
-                    1 => acc.lion_2d_uncal += v,
-                    2 => acc.lion_3d_cal += v,
-                    3 => acc.lion_3d_uncal += v,
-                    4 => acc.dah_2d_cal += v,
-                    _ => acc.dah_3d_cal += v,
+        p0s.push(p0);
+        let rel_cal = scan_tag_2d(&mut scenario, p0);
+        dah_2d.extend(dah_tag_2d(&rel_cal, calibrated_2d, p0, dah_grid));
+        let rel_unc = scan_tag_2d(&mut scenario, p0);
+        let rel3_cal = scan_tag_3d(&mut scenario_3d, p0);
+        dah_3d.extend(dah_tag_3d(&rel3_cal, calibrated_3d, p0, dah_grid * 2.0));
+        let rel3_unc = scan_tag_3d(&mut scenario_3d, p0);
+        jobs.push(Job::locate_2d(rel_cal, tag_config_2d()));
+        jobs.push(Job::locate_2d(rel_unc, tag_config_2d()));
+        jobs.push(Job::locate_3d(rel3_cal, tag_config_3d()));
+        jobs.push(Job::locate_3d(rel3_unc, tag_config_3d()));
+    }
+
+    let outcome = engine.run(&jobs);
+    let antenna_used = [calibrated_2d, physical_2d, calibrated_3d, physical_3d];
+    let mut errors: [Vec<f64>; 4] = Default::default();
+    for (t, chunk) in outcome.results.chunks(4).enumerate() {
+        for (i, result) in chunk.iter().enumerate() {
+            if let Some(est) = result.as_ref().ok().and_then(|o| o.estimate()) {
+                let e = start_error(est, antenna_used[i], p0s[t], i < 2);
+                if e.is_finite() {
+                    errors[i].push(e);
                 }
             }
         }
     }
-    let div = |sum: f64, n: usize| if n > 0 { sum / n as f64 } else { f64::NAN };
-    Fig13Accuracy {
-        lion_2d_cal: div(acc.lion_2d_cal, counts[0]),
-        lion_2d_uncal: div(acc.lion_2d_uncal, counts[1]),
-        lion_3d_cal: div(acc.lion_3d_cal, counts[2]),
-        lion_3d_uncal: div(acc.lion_3d_uncal, counts[3]),
-        dah_2d_cal: div(acc.dah_2d_cal, counts[4]),
-        dah_3d_cal: div(acc.dah_3d_cal, counts[5]),
-    }
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            f64::NAN
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    (
+        Fig13Accuracy {
+            lion_2d_cal: mean(&errors[0]),
+            lion_2d_uncal: mean(&errors[1]),
+            lion_3d_cal: mean(&errors[2]),
+            lion_3d_uncal: mean(&errors[3]),
+            dah_2d_cal: mean(&dah_2d),
+            dah_3d_cal: mean(&dah_3d),
+        },
+        outcome.report,
+    )
 }
+
+/// Jobs in the fig13b throughput batch.
+pub const TIMING_BATCH: usize = 64;
 
 /// Measures single-shot localization wall time for all four methods.
 pub fn run_timing(seed: u64, dah_grid: f64) -> Fig13Timing {
+    run_timing_on(&Engine::new(), seed, dah_grid).0
+}
+
+/// [`run_timing`] on an explicit [`Engine`]: single-shot timings plus a
+/// [`TIMING_BATCH`]-job 2D batch timed serially and on `engine`.
+pub fn run_timing_on(engine: &Engine, seed: u64, dah_grid: f64) -> (Fig13Timing, MetricsReport) {
     let (antenna_2d, cal_2d) = calibrate_rig_at(seed, Point3::new(0.0, 0.8, 0.0));
     let (antenna_3d, cal_3d) = calibrate_rig_at(seed ^ 0x77, Point3::new(0.0, 0.8, 0.1));
     let mut scenario = rig::paper_scenario(antenna_2d, seed ^ 0x1234);
     let mut scenario_3d = rig::paper_scenario(antenna_3d, seed ^ 0x2345);
     let p0 = Point3::new(-0.2, 0.0, 0.0);
-    let (_, lion_2d) =
-        rig::timed(|| locate_tag_2d(&mut scenario, cal_2d.phase_center, p0, false, dah_grid));
-    let (_, both_2d) =
-        rig::timed(|| locate_tag_2d(&mut scenario, cal_2d.phase_center, p0, true, dah_grid));
-    let (_, lion_3d) =
-        rig::timed(|| locate_tag_3d(&mut scenario_3d, cal_3d.phase_center, p0, false, dah_grid));
-    let (_, both_3d) =
-        rig::timed(|| locate_tag_3d(&mut scenario_3d, cal_3d.phase_center, p0, true, dah_grid));
-    Fig13Timing {
-        lion_2d,
-        dah_2d: (both_2d - lion_2d).max(0.0),
-        lion_3d,
-        dah_3d: (both_3d - lion_3d).max(0.0),
-        dah_grid,
-    }
+    let serial = Engine::serial();
+    let (_, lion_2d) = rig::timed(|| {
+        let rel = scan_tag_2d(&mut scenario, p0);
+        serial.run(&[Job::locate_2d(rel, tag_config_2d())])
+    });
+    let (_, both_2d) = rig::timed(|| {
+        let rel = scan_tag_2d(&mut scenario, p0);
+        let _ = dah_tag_2d(&rel, cal_2d.phase_center, p0, dah_grid);
+        serial.run(&[Job::locate_2d(rel, tag_config_2d())])
+    });
+    let (_, lion_3d) = rig::timed(|| {
+        let rel = scan_tag_3d(&mut scenario_3d, p0);
+        serial.run(&[Job::locate_3d(rel, tag_config_3d())])
+    });
+    let (_, both_3d) = rig::timed(|| {
+        let rel = scan_tag_3d(&mut scenario_3d, p0);
+        let _ = dah_tag_3d(&rel, cal_3d.phase_center, p0, dah_grid);
+        serial.run(&[Job::locate_3d(rel, tag_config_3d())])
+    });
+
+    // Batch throughput: the same 2D solve fanned across the engine.
+    let jobs: Vec<Job> = (0..TIMING_BATCH)
+        .map(|t| {
+            let start = Point3::new(-0.35 + 0.1 * (t % 5) as f64, 0.0, 0.0);
+            Job::locate_2d(scan_tag_2d(&mut scenario, start), tag_config_2d())
+        })
+        .collect();
+    let (_, batch_serial) = rig::timed(|| serial.run(&jobs));
+    let (outcome, batch_engine) = rig::timed(|| engine.run(&jobs));
+    (
+        Fig13Timing {
+            lion_2d,
+            dah_2d: (both_2d - lion_2d).max(0.0),
+            lion_3d,
+            dah_3d: (both_3d - lion_3d).max(0.0),
+            dah_grid,
+            batch_serial,
+            batch_engine,
+            batch_workers: outcome.report.workers as usize,
+        },
+        outcome.report,
+    )
 }
 
 /// Renders the accuracy report (Fig. 13a).
 pub fn report_accuracy(seed: u64) -> ExperimentReport {
-    let acc = run_accuracy(seed, 30, 0.002);
+    let (acc, metrics) = run_accuracy_on(&Engine::new(), seed, 30, 0.002);
     let mut r = ExperimentReport::new(
         "fig13a",
         "overall accuracy: calibration on/off, LION vs DAH (Sec. V-B)",
@@ -341,12 +386,12 @@ pub fn report_accuracy(seed: u64) -> ExperimentReport {
         "paper: 6x (2D) and 2.1x (3D) improvement; LION 0.48/2.33 cm vs DAH 0.69/2.61 cm"
             .to_string(),
     );
-    r
+    r.with_metrics(metrics)
 }
 
 /// Renders the timing report (Fig. 13b).
 pub fn report_timing(seed: u64) -> ExperimentReport {
-    let t = run_timing(seed, 0.001);
+    let (t, metrics) = run_timing_on(&Engine::new(), seed, 0.001);
     let mut r = ExperimentReport::new(
         "fig13b",
         "time cost per localization: LION vs DAH (Sec. V-B)",
@@ -367,8 +412,16 @@ pub fn report_timing(seed: u64) -> ExperimentReport {
         t.dah_2d / t.lion_2d.max(1e-9),
         t.dah_3d / t.lion_3d.max(1e-9)
     ));
+    r.push(format!(
+        "batch: {} 2D jobs | serial {} | engine ({} workers) {} | {:.0} jobs/s",
+        TIMING_BATCH,
+        rig::secs(t.batch_serial),
+        t.batch_workers,
+        rig::secs(t.batch_engine),
+        TIMING_BATCH as f64 / t.batch_engine.max(1e-9)
+    ));
     r.push("paper: LION 0.02 s (2D) / 1.8 s (3D), DAH far slower especially in 3D".to_string());
-    r
+    r.with_metrics(metrics)
 }
 
 #[cfg(test)]

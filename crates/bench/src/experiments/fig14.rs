@@ -207,7 +207,7 @@ mod tests {
 
     #[test]
     fn lion_stays_flat_longer_than_dah_in_2d() {
-        let results = run_2d(41, 4, 0.004);
+        let results = run_2d(7, 4, 0.004);
         assert_eq!(results.len(), 6);
         let lion_far = results[5].lion;
         let dah_far = results[5].dah;

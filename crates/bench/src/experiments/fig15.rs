@@ -5,7 +5,7 @@
 //! reports 0.43 cm (WLS) vs 0.92 cm (LS): the Gaussian-of-residual weight
 //! suppresses multipath-corrupted equations.
 
-use lion_core::Localizer2d;
+use lion_engine::{Engine, Job, MetricsReport};
 use lion_geom::{LineSegment, Point3};
 
 use crate::experiments::ExperimentReport;
@@ -22,11 +22,18 @@ pub struct Fig15Result {
 
 /// Runs the WLS-vs-LS comparison over `trials` random tag positions.
 pub fn run(seed: u64, trials: usize) -> Fig15Result {
+    run_on(&Engine::new(), seed, trials).0
+}
+
+/// [`run`] on an explicit [`Engine`]: each trial contributes one WLS and
+/// one LS [`Job`] on the same serially-simulated trace.
+pub fn run_on(engine: &Engine, seed: u64, trials: usize) -> (Fig15Result, MetricsReport) {
     let antenna_pos = Point3::new(0.0, 0.8, 0.0);
     let antenna = rig::ideal_antenna(antenna_pos);
     let mut scenario = rig::indoor_scenario(antenna, seed);
-    let mut wls_errors = Vec::new();
-    let mut ls_errors = Vec::new();
+    let hint = Point3::new(0.7, 0.8, 0.0);
+    let mut jobs = Vec::with_capacity(2 * trials);
+    let mut starts = Vec::with_capacity(trials);
     for t in 0..trials {
         // A long pass (the paper's track is 2.5 m): the ends are far
         // off-beam and noise-saturated while the middle is clean — the
@@ -42,32 +49,41 @@ pub fn run(seed: u64, trials: usize) -> Fig15Result {
             .iter()
             .map(|s| (Point3::new(s.position.x - p0.x, 0.0, 0.0), s.phase))
             .collect();
-        let hint = Point3::new(0.7, 0.8, 0.0);
-        let locate = |cfg| -> Option<f64> {
-            let est = Localizer2d::new(cfg).locate(&rel).ok()?;
-            let p0_est = Point3::new(
-                antenna_pos.x - est.position.x,
-                antenna_pos.y - est.position.y,
-                0.0,
-            );
-            Some(p0_est.to_xy().distance(p0.to_xy()))
-        };
-        if let Some(e) = locate(rig::paper_localizer_config(hint)) {
-            wls_errors.push(e);
-        }
-        if let Some(e) = locate(rig::ls_localizer_config(hint)) {
-            ls_errors.push(e);
+        starts.push(p0);
+        jobs.push(Job::locate_2d(
+            rel.clone(),
+            rig::paper_localizer_config(hint),
+        ));
+        jobs.push(Job::locate_2d(rel, rig::ls_localizer_config(hint)));
+    }
+    let outcome = engine.run(&jobs);
+    let mut wls_errors = Vec::new();
+    let mut ls_errors = Vec::new();
+    for (t, chunk) in outcome.results.chunks(2).enumerate() {
+        let p0 = starts[t];
+        for (result, errors) in chunk.iter().zip([&mut wls_errors, &mut ls_errors]) {
+            if let Some(est) = result.as_ref().ok().and_then(|o| o.estimate()) {
+                let p0_est = Point3::new(
+                    antenna_pos.x - est.position.x,
+                    antenna_pos.y - est.position.y,
+                    0.0,
+                );
+                errors.push(p0_est.to_xy().distance(p0.to_xy()));
+            }
         }
     }
-    Fig15Result {
-        wls: rig::mean_std(&wls_errors).0,
-        ls: rig::mean_std(&ls_errors).0,
-    }
+    (
+        Fig15Result {
+            wls: rig::mean_std(&wls_errors).0,
+            ls: rig::mean_std(&ls_errors).0,
+        },
+        outcome.report,
+    )
 }
 
 /// Renders the paper-style report (30 positions like the paper).
 pub fn report(seed: u64) -> ExperimentReport {
-    let res = run(seed, 30);
+    let (res, metrics) = run_on(&Engine::new(), seed, 30);
     let mut r = ExperimentReport::new("fig15", "weighted vs ordinary least squares (Sec. V-D)");
     r.push(format!(
         "WLS mean error {} | LS mean error {} | ratio {:.2}x",
@@ -76,7 +92,7 @@ pub fn report(seed: u64) -> ExperimentReport {
         res.ls / res.wls.max(1e-9)
     ));
     r.push("paper: WLS 0.43 cm vs LS 0.92 cm (~2.1x)".to_string());
-    r
+    r.with_metrics(metrics)
 }
 
 #[cfg(test)]

@@ -8,7 +8,8 @@
 //! distribute along the trajectory-center→antenna line).
 
 use lion_baselines::hologram::{self, HologramConfig, SearchVolume};
-use lion_core::{Localizer2d, PairStrategy};
+use lion_core::PairStrategy;
+use lion_engine::{Engine, Job, MetricsReport};
 use lion_geom::{CircularArc, Point3};
 use lion_sim::Antenna;
 
@@ -30,8 +31,22 @@ pub struct DirectionResult {
 
 /// Runs the three-direction comparison with `trials` repetitions each.
 pub fn run(seed: u64, trials: usize, grid: f64) -> Vec<DirectionResult> {
+    run_on(&Engine::new(), seed, trials, grid).0
+}
+
+/// [`run`] on an explicit [`Engine`]: traces are simulated serially (the
+/// RNG stream is independent of the worker count), then every LION solve
+/// is fanned out as one [`Job`]; the hologram baseline stays inline.
+pub fn run_on(
+    engine: &Engine,
+    seed: u64,
+    trials: usize,
+    grid: f64,
+) -> (Vec<DirectionResult>, MetricsReport) {
     let directions = [0.0_f64, 45.0, 90.0];
-    let mut out = Vec::new();
+    let mut jobs = Vec::new();
+    let mut targets = Vec::new();
+    let mut dah_per_direction = Vec::new();
     for (d_idx, &deg) in directions.iter().enumerate() {
         let angle = deg.to_radians();
         let target = Point3::new(angle.cos(), angle.sin(), 0.0);
@@ -41,10 +56,8 @@ pub fn run(seed: u64, trials: usize, grid: f64) -> Vec<DirectionResult> {
             .boresight(lion_geom::Vec3::new(-angle.cos(), -angle.sin(), 0.0))
             .build();
         let circle = CircularArc::turntable(Point3::ORIGIN, 0.3).expect("radius > 0");
+        targets.push(target);
 
-        let mut lion_errors = Vec::new();
-        let mut ex = Vec::new();
-        let mut ey = Vec::new();
         let mut dah_errors = Vec::new();
         let mut scenario = rig::paper_scenario(antenna, seed ^ ((d_idx as u64) << 32));
         for _ in 0..trials {
@@ -52,18 +65,14 @@ pub fn run(seed: u64, trials: usize, grid: f64) -> Vec<DirectionResult> {
                 .scan(&circle, rig::TAG_SPEED, rig::READ_RATE)
                 .expect("valid scan");
             let m = trace.to_measurements();
+            // Hologram on a decimated trace (cost control; accuracy is set
+            // by the grid, not the sample count).
+            let dec: Vec<(Point3, f64)> = m.iter().step_by(10).copied().collect();
             let cfg = lion_core::LocalizerConfig {
                 pair_strategy: PairStrategy::Interval { interval: 0.2 },
                 ..rig::paper_localizer_config(target)
             };
-            if let Ok(est) = Localizer2d::new(cfg).locate(&m) {
-                lion_errors.push(est.distance_error(target));
-                ex.push((est.position.x - target.x).abs());
-                ey.push((est.position.y - target.y).abs());
-            }
-            // Hologram on a decimated trace (cost control; accuracy is set
-            // by the grid, not the sample count).
-            let dec: Vec<(Point3, f64)> = m.iter().step_by(10).copied().collect();
+            jobs.push(Job::locate_2d(m, cfg));
             let volume = SearchVolume::square_2d(target, 0.05);
             let cfg = HologramConfig {
                 grid_size: grid,
@@ -74,19 +83,36 @@ pub fn run(seed: u64, trials: usize, grid: f64) -> Vec<DirectionResult> {
                 dah_errors.push(est.position.distance(target));
             }
         }
+        dah_per_direction.push(dah_errors);
+    }
+
+    let outcome = engine.run(&jobs);
+    let mut out = Vec::new();
+    for (d_idx, &deg) in directions.iter().enumerate() {
+        let target = targets[d_idx];
+        let mut lion_errors = Vec::new();
+        let mut ex = Vec::new();
+        let mut ey = Vec::new();
+        for result in &outcome.results[d_idx * trials..(d_idx + 1) * trials] {
+            if let Some(est) = result.as_ref().ok().and_then(|o| o.estimate()) {
+                lion_errors.push(est.distance_error(target));
+                ex.push((est.position.x - target.x).abs());
+                ey.push((est.position.y - target.y).abs());
+            }
+        }
         out.push(DirectionResult {
             direction_deg: deg,
             lion_mean: rig::mean_std(&lion_errors).0,
             lion_axis: (rig::mean_std(&ex).0, rig::mean_std(&ey).0),
-            dah_mean: rig::mean_std(&dah_errors).0,
+            dah_mean: rig::mean_std(&dah_per_direction[d_idx]).0,
         });
     }
-    out
+    (out, outcome.report)
 }
 
 /// Renders the paper-style report (100 trials, 2 mm hologram grid).
 pub fn report(seed: u64) -> ExperimentReport {
-    let results = run(seed, 100, 0.002);
+    let (results, metrics) = run_on(&Engine::new(), seed, 100, 0.002);
     let mut r = ExperimentReport::new(
         "fig6",
         "LION vs hologram, circular scan, antenna at 3 directions (Sec. III-A)",
@@ -105,7 +131,7 @@ pub fn report(seed: u64) -> ExperimentReport {
     r.push(
         "paper: LION ≈ hologram overall; axis errors rotate with the antenna direction".to_string(),
     );
-    r
+    r.with_metrics(metrics)
 }
 
 #[cfg(test)]

@@ -7,6 +7,8 @@
 
 use std::fmt;
 
+use lion_engine::MetricsReport;
+
 pub mod ablations;
 pub mod fig13;
 pub mod fig14;
@@ -29,6 +31,9 @@ pub struct ExperimentReport {
     pub title: String,
     /// The measured series, one line per row.
     pub lines: Vec<String>,
+    /// Engine instrumentation for the batch that produced the series,
+    /// when the experiment ran on the [`lion_engine`] engine.
+    pub metrics: Option<MetricsReport>,
 }
 
 impl ExperimentReport {
@@ -38,12 +43,19 @@ impl ExperimentReport {
             id: id.to_string(),
             title: title.to_string(),
             lines: Vec::new(),
+            metrics: None,
         }
     }
 
     /// Appends one output line.
     pub fn push(&mut self, line: impl Into<String>) {
         self.lines.push(line.into());
+    }
+
+    /// Attaches the engine metrics printed below the series.
+    pub fn with_metrics(mut self, metrics: MetricsReport) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 }
 
@@ -52,6 +64,12 @@ impl fmt::Display for ExperimentReport {
         writeln!(f, "== {} — {} ==", self.id, self.title)?;
         for line in &self.lines {
             writeln!(f, "  {line}")?;
+        }
+        if let Some(metrics) = &self.metrics {
+            writeln!(f, "  -- engine --")?;
+            for line in metrics.to_string().lines() {
+                writeln!(f, "  {line}")?;
+            }
         }
         Ok(())
     }

@@ -1,0 +1,61 @@
+//! The engine ports must produce the same series regardless of worker
+//! count: traces are simulated serially, so the only difference between
+//! a serial and a parallel run is which thread executes each pure solve.
+
+use lion_bench::experiments::{fig13, fig15, fig6};
+use lion_engine::Engine;
+
+fn parallel() -> Engine {
+    Engine::builder().workers(4).build().expect("valid")
+}
+
+#[test]
+fn fig13a_series_is_identical_serial_vs_parallel() {
+    let (serial, serial_metrics) = fig13::run_accuracy_on(&Engine::serial(), 5, 5, 0.004);
+    let (threaded, threaded_metrics) = fig13::run_accuracy_on(&parallel(), 5, 5, 0.004);
+    for (name, a, b) in [
+        ("lion_2d_cal", serial.lion_2d_cal, threaded.lion_2d_cal),
+        (
+            "lion_2d_uncal",
+            serial.lion_2d_uncal,
+            threaded.lion_2d_uncal,
+        ),
+        ("lion_3d_cal", serial.lion_3d_cal, threaded.lion_3d_cal),
+        (
+            "lion_3d_uncal",
+            serial.lion_3d_uncal,
+            threaded.lion_3d_uncal,
+        ),
+        ("dah_2d_cal", serial.dah_2d_cal, threaded.dah_2d_cal),
+        ("dah_3d_cal", serial.dah_3d_cal, threaded.dah_3d_cal),
+    ] {
+        assert!(a.is_finite(), "{name} is not finite: {a}");
+        assert_eq!(a.to_bits(), b.to_bits(), "{name}: {a} vs {b}");
+    }
+    // The deterministic counters agree too; only the timers may differ.
+    assert_eq!(serial_metrics.total.solves, threaded_metrics.total.solves);
+    assert_eq!(
+        serial_metrics.total.irls_iterations,
+        threaded_metrics.total.irls_iterations
+    );
+    assert_eq!(
+        serial_metrics.total.equations,
+        threaded_metrics.total.equations
+    );
+    assert_eq!(serial_metrics.workers, 1);
+    assert_eq!(threaded_metrics.workers, 4);
+}
+
+#[test]
+fn fig6_series_is_identical_serial_vs_parallel() {
+    let (serial, _) = fig6::run_on(&Engine::serial(), 11, 4, 0.004);
+    let (threaded, _) = fig6::run_on(&parallel(), 11, 4, 0.004);
+    assert_eq!(serial, threaded);
+}
+
+#[test]
+fn fig15_series_is_identical_serial_vs_parallel() {
+    let (serial, _) = fig15::run_on(&Engine::serial(), 51, 8);
+    let (threaded, _) = fig15::run_on(&parallel(), 51, 8);
+    assert_eq!(serial, threaded);
+}

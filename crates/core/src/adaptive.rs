@@ -11,6 +11,8 @@
 //! module sweeps the parameter grid, ranks trials by `|mean residual|`,
 //! and averages the best few estimates.
 
+use std::time::Instant;
+
 use serde::{Deserialize, Serialize};
 
 use lion_geom::Point3;
@@ -18,6 +20,7 @@ use lion_geom::Point3;
 use crate::error::CoreError;
 use crate::localizer::{Estimate, Localizer2d, Localizer3d, LocalizerConfig};
 use crate::preprocess::PhaseProfile;
+use crate::workspace::{elapsed_ns, Workspace};
 
 /// The parameter grid for the adaptive sweep.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -39,6 +42,111 @@ impl Default for AdaptiveConfig {
             intervals: vec![0.10, 0.15, 0.20, 0.25, 0.30, 0.35],
             keep: 3,
         }
+    }
+}
+
+impl AdaptiveConfig {
+    /// Starts a validating builder seeded with the paper's sweep grid
+    /// (ranges 0.6–1.1 m, intervals 0.10–0.35 m, keep 3).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use lion_core::AdaptiveConfig;
+    ///
+    /// # fn main() -> Result<(), lion_core::CoreError> {
+    /// let grid = AdaptiveConfig::builder()
+    ///     .scanning_ranges(vec![0.6, 0.8])
+    ///     .intervals(vec![0.2])
+    ///     .keep(1)
+    ///     .build()?;
+    /// assert_eq!(grid.scanning_ranges.len(), 2);
+    /// assert!(AdaptiveConfig::builder().keep(0).build().is_err());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn builder() -> AdaptiveConfigBuilder {
+        AdaptiveConfigBuilder {
+            config: AdaptiveConfig::default(),
+        }
+    }
+
+    /// Checks the grid invariants: non-empty ranges/intervals, every entry
+    /// positive and finite, `keep ≥ 1`. The sweep runs this before
+    /// touching the data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] naming the offending
+    /// parameter.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.scanning_ranges.is_empty() || self.intervals.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                parameter: "adaptive grid",
+                found: "empty ranges or intervals".to_string(),
+            });
+        }
+        if self.keep == 0 {
+            return Err(CoreError::InvalidConfig {
+                parameter: "keep",
+                found: "0".to_string(),
+            });
+        }
+        for &r in &self.scanning_ranges {
+            if !(r > 0.0 && r.is_finite()) {
+                return Err(CoreError::InvalidConfig {
+                    parameter: "scanning_ranges",
+                    found: format!("{r}"),
+                });
+            }
+        }
+        for &i in &self.intervals {
+            if !(i > 0.0 && i.is_finite()) {
+                return Err(CoreError::InvalidConfig {
+                    parameter: "intervals",
+                    found: format!("{i}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`AdaptiveConfig`]. Created by
+/// [`AdaptiveConfig::builder`]; struct-literal construction keeps
+/// working.
+#[derive(Debug, Clone)]
+pub struct AdaptiveConfigBuilder {
+    config: AdaptiveConfig,
+}
+
+impl AdaptiveConfigBuilder {
+    /// Sets the scanning ranges to sweep (full widths, meters).
+    pub fn scanning_ranges(mut self, ranges: Vec<f64>) -> Self {
+        self.config.scanning_ranges = ranges;
+        self
+    }
+
+    /// Sets the scanning intervals to sweep (meters).
+    pub fn intervals(mut self, intervals: Vec<f64>) -> Self {
+        self.config.intervals = intervals;
+        self
+    }
+
+    /// Sets how many of the best trials to average.
+    pub fn keep(mut self, keep: usize) -> Self {
+        self.config.keep = keep;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// See [`AdaptiveConfig::validate`].
+    pub fn build(self) -> Result<AdaptiveConfig, CoreError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -80,9 +188,24 @@ impl Localizer2d {
         measurements: &[(Point3, f64)],
         adaptive: &AdaptiveConfig,
     ) -> Result<AdaptiveOutcome, CoreError> {
-        let profile = crate::localizer::prepare(measurements, self.config())?;
-        sweep(&profile, self.config(), adaptive, |profile, cfg| {
-            Localizer2d::new(cfg.clone()).locate_profile(profile)
+        self.locate_adaptive_in(measurements, adaptive, &mut Workspace::new())
+    }
+
+    /// [`Localizer2d::locate_adaptive`] with a reusable [`Workspace`].
+    /// Bit-identical results; sweep timings and counters land in `ws`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Localizer2d::locate_adaptive`].
+    pub fn locate_adaptive_in(
+        &self,
+        measurements: &[(Point3, f64)],
+        adaptive: &AdaptiveConfig,
+        ws: &mut Workspace,
+    ) -> Result<AdaptiveOutcome, CoreError> {
+        let profile = crate::localizer::prepare_in(measurements, self.config(), ws)?;
+        sweep(&profile, self.config(), adaptive, ws, |profile, cfg, ws| {
+            Localizer2d::new(cfg.clone()).locate_profile_in(profile, ws)
         })
     }
 }
@@ -98,9 +221,23 @@ impl Localizer3d {
         measurements: &[(Point3, f64)],
         adaptive: &AdaptiveConfig,
     ) -> Result<AdaptiveOutcome, CoreError> {
-        let profile = crate::localizer::prepare(measurements, self.config())?;
-        sweep(&profile, self.config(), adaptive, |profile, cfg| {
-            Localizer3d::new(cfg.clone()).locate_profile(profile)
+        self.locate_adaptive_in(measurements, adaptive, &mut Workspace::new())
+    }
+
+    /// [`Localizer3d::locate_adaptive`] with a reusable [`Workspace`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Localizer2d::locate_adaptive`].
+    pub fn locate_adaptive_in(
+        &self,
+        measurements: &[(Point3, f64)],
+        adaptive: &AdaptiveConfig,
+        ws: &mut Workspace,
+    ) -> Result<AdaptiveOutcome, CoreError> {
+        let profile = crate::localizer::prepare_in(measurements, self.config(), ws)?;
+        sweep(&profile, self.config(), adaptive, ws, |profile, cfg, ws| {
+            Localizer3d::new(cfg.clone()).locate_profile_in(profile, ws)
         })
     }
 }
@@ -109,36 +246,15 @@ fn sweep(
     profile: &PhaseProfile,
     base: &LocalizerConfig,
     adaptive: &AdaptiveConfig,
-    mut locate: impl FnMut(&PhaseProfile, &LocalizerConfig) -> Result<Estimate, CoreError>,
+    ws: &mut Workspace,
+    mut locate: impl FnMut(
+        &PhaseProfile,
+        &LocalizerConfig,
+        &mut Workspace,
+    ) -> Result<Estimate, CoreError>,
 ) -> Result<AdaptiveOutcome, CoreError> {
-    if adaptive.scanning_ranges.is_empty() || adaptive.intervals.is_empty() {
-        return Err(CoreError::InvalidConfig {
-            parameter: "adaptive grid",
-            found: "empty ranges or intervals".to_string(),
-        });
-    }
-    if adaptive.keep == 0 {
-        return Err(CoreError::InvalidConfig {
-            parameter: "keep",
-            found: "0".to_string(),
-        });
-    }
-    for &r in &adaptive.scanning_ranges {
-        if !(r > 0.0 && r.is_finite()) {
-            return Err(CoreError::InvalidConfig {
-                parameter: "scanning_ranges",
-                found: format!("{r}"),
-            });
-        }
-    }
-    for &i in &adaptive.intervals {
-        if !(i > 0.0 && i.is_finite()) {
-            return Err(CoreError::InvalidConfig {
-                parameter: "intervals",
-                found: format!("{i}"),
-            });
-        }
-    }
+    adaptive.validate()?;
+    let sweep_start = Instant::now();
     // Center ranges on the x centroid of the trajectory (the paper centers
     // its scanning range at x = 0 with the antenna at the track middle).
     let cx = profile.positions().iter().map(|p| p.x).sum::<f64>() / profile.len() as f64;
@@ -146,6 +262,7 @@ fn sweep(
     let mut skipped = 0;
     for &range in &adaptive.scanning_ranges {
         let restricted = profile.restrict_x(cx - range / 2.0, cx + range / 2.0);
+        ws.metrics.reads_dropped += (profile.len() - restricted.len()) as u64;
         if restricted.len() < 4 {
             skipped += adaptive.intervals.len();
             continue;
@@ -155,7 +272,7 @@ fn sweep(
             cfg.pair_strategy = base.pair_strategy.with_interval(interval);
             // The restricted profile has its own middle sample.
             cfg.reference_index = None;
-            match locate(&restricted, &cfg) {
+            match locate(&restricted, &cfg, ws) {
                 Ok(estimate) => trials.push(AdaptiveTrial {
                     range,
                     interval,
@@ -165,6 +282,9 @@ fn sweep(
             }
         }
     }
+    ws.metrics.adaptive_ns += elapsed_ns(sweep_start);
+    ws.metrics.adaptive_trials += trials.len() as u64;
+    ws.metrics.adaptive_skipped += skipped as u64;
     if trials.is_empty() {
         return Err(CoreError::NoPairs);
     }

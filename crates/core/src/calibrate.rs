@@ -18,6 +18,7 @@ use crate::adaptive::AdaptiveConfig;
 use crate::error::CoreError;
 use crate::localizer::{Estimate, Localizer3d, LocalizerConfig};
 use crate::preprocess::wrap_phase;
+use crate::workspace::Workspace;
 
 /// Result of a full phase calibration for one antenna–tag pair.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -101,14 +102,30 @@ impl Calibrator {
         measurements: &[(Point3, f64)],
         physical_center: Point3,
     ) -> Result<Calibration, CoreError> {
+        self.calibrate_in(measurements, physical_center, &mut Workspace::new())
+    }
+
+    /// [`Calibrator::calibrate`] with a reusable [`Workspace`]: solver
+    /// buffers come from (and stage metrics are recorded into) `ws`.
+    /// Bit-identical to `calibrate`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Calibrator::calibrate`].
+    pub fn calibrate_in(
+        &self,
+        measurements: &[(Point3, f64)],
+        physical_center: Point3,
+        ws: &mut Workspace,
+    ) -> Result<Calibration, CoreError> {
         let mut cfg = self.localizer.clone();
         if cfg.side_hint.is_none() {
             cfg.side_hint = Some(physical_center);
         }
         let localizer = Localizer3d::new(cfg.clone());
         let estimate = match &self.adaptive {
-            Some(a) => localizer.locate_adaptive(measurements, a)?.estimate,
-            None => localizer.locate(measurements)?,
+            Some(a) => localizer.locate_adaptive_in(measurements, a, ws)?.estimate,
+            None => localizer.locate_in(measurements, ws)?,
         };
         let (phase_offset, offset_spread) =
             estimate_offset(measurements, estimate.position, cfg.wavelength)?;

@@ -49,7 +49,7 @@
 //!         (p, (4.0 * PI * antenna.distance(p) / lambda) % TAU)
 //!     })
 //!     .collect();
-//! let est = Localizer2d::default_paper().locate(&measurements)?;
+//! let est = Localizer2d::new(LocalizerConfig::paper()).locate(&measurements)?;
 //! // Millimeter-level with the default smoothing window (which trades a
 //! // small bias for noise robustness; set `smoothing_window = 1` for
 //! // machine-precision recovery on clean data).
@@ -71,29 +71,35 @@ pub mod pairs;
 pub mod preprocess;
 pub mod quality;
 pub mod tracking;
+pub mod workspace;
 
-pub use adaptive::{AdaptiveConfig, AdaptiveOutcome, AdaptiveTrial};
+pub use adaptive::{AdaptiveConfig, AdaptiveConfigBuilder, AdaptiveOutcome, AdaptiveTrial};
 pub use calibrate::{
     estimate_offset, fuse_calibrations, Calibration, CalibrationSpread, Calibrator,
 };
 pub use error::CoreError;
-pub use localizer::{Estimate, Localizer2d, Localizer3d, LocalizerConfig, Weighting};
+pub use localizer::{
+    Estimate, Localizer2d, Localizer3d, LocalizerConfig, LocalizerConfigBuilder, Weighting,
+};
 pub use multistatic::{MultistaticConfig, MultistaticEstimate};
 pub use pairs::PairStrategy;
 pub use preprocess::PhaseProfile;
 pub use quality::{validate_profile, ProfileQuality, StepViolation};
-pub use tracking::{ConveyorTracker, TrackPoint, TrackerConfig};
+pub use tracking::{ConveyorTracker, TrackPoint, TrackerConfig, TrackerConfigBuilder};
+pub use workspace::{StageMetrics, Workspace};
 
 impl Localizer2d {
     /// A 2D localizer with the paper's default configuration.
+    #[deprecated(note = "use `Localizer2d::new(LocalizerConfig::paper())`")]
     pub fn default_paper() -> Self {
-        Localizer2d::new(LocalizerConfig::default())
+        Localizer2d::new(LocalizerConfig::paper())
     }
 }
 
 impl Localizer3d {
     /// A 3D localizer with the paper's default configuration.
+    #[deprecated(note = "use `Localizer3d::new(LocalizerConfig::paper())`")]
     pub fn default_paper() -> Self {
-        Localizer3d::new(LocalizerConfig::default())
+        Localizer3d::new(LocalizerConfig::paper())
     }
 }

@@ -12,13 +12,16 @@
 //!    recover the perpendicular coordinate from the reference distance
 //!    `d_r` (paper Sec. III-C, Observation 2).
 
+use std::time::Instant;
+
 use lion_geom::{Point3, Vec3};
-use lion_linalg::{lstsq, IrlsConfig, Matrix, Svd, Vector};
+use lion_linalg::{lstsq, IrlsConfig, LstsqScratch, Matrix, Svd, Vector};
 use serde::{Deserialize, Serialize};
 
 use crate::error::CoreError;
 use crate::pairs::PairStrategy;
 use crate::preprocess::PhaseProfile;
+use crate::workspace::{elapsed_ns, Workspace};
 
 /// Which estimator solves the stacked linear system.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,6 +78,140 @@ impl Default for LocalizerConfig {
             side_hint: None,
             rank_tolerance: 0.05,
         }
+    }
+}
+
+impl LocalizerConfig {
+    /// The paper's configuration: 920.625 MHz carrier, window-9 smoothing,
+    /// 0.2 m sliding pairs, Gaussian-residual IRLS. Identical to
+    /// [`LocalizerConfig::default`], named for discoverability.
+    pub fn paper() -> Self {
+        LocalizerConfig::default()
+    }
+
+    /// Starts a validating builder seeded with the paper's configuration.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use lion_core::LocalizerConfig;
+    ///
+    /// # fn main() -> Result<(), lion_core::CoreError> {
+    /// let cfg = LocalizerConfig::builder()
+    ///     .smoothing_window(5)
+    ///     .rank_tolerance(0.02)
+    ///     .build()?;
+    /// assert_eq!(cfg.smoothing_window, 5);
+    /// assert!(LocalizerConfig::builder().wavelength(-1.0).build().is_err());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn builder() -> LocalizerConfigBuilder {
+        LocalizerConfigBuilder {
+            config: LocalizerConfig::default(),
+        }
+    }
+
+    /// Checks the configuration's standalone invariants (those that do not
+    /// depend on the measurement count).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] naming the offending parameter.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if !(self.wavelength > 0.0 && self.wavelength.is_finite()) {
+            return Err(CoreError::InvalidConfig {
+                parameter: "wavelength",
+                found: format!("{}", self.wavelength),
+            });
+        }
+        if self.smoothing_window == 0 {
+            return Err(CoreError::InvalidConfig {
+                parameter: "smoothing_window",
+                found: "0".to_string(),
+            });
+        }
+        if !(self.rank_tolerance > 0.0 && self.rank_tolerance < 1.0) {
+            return Err(CoreError::InvalidConfig {
+                parameter: "rank_tolerance",
+                found: format!("{}", self.rank_tolerance),
+            });
+        }
+        let interval = self.pair_strategy.interval();
+        if !(interval > 0.0 && interval.is_finite()) {
+            return Err(CoreError::InvalidConfig {
+                parameter: "pair interval",
+                found: format!("{interval}"),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`LocalizerConfig`], in the style of
+/// `Antenna::builder`. Created by [`LocalizerConfig::builder`]; plain
+/// struct-literal construction keeps working for callers that prefer it.
+#[derive(Debug, Clone)]
+pub struct LocalizerConfigBuilder {
+    config: LocalizerConfig,
+}
+
+impl LocalizerConfigBuilder {
+    /// Sets the carrier wavelength in meters.
+    pub fn wavelength(mut self, wavelength: f64) -> Self {
+        self.config.wavelength = wavelength;
+        self
+    }
+
+    /// Sets the moving-average smoothing window (samples, must be ≥ 1;
+    /// 1 disables smoothing).
+    pub fn smoothing_window(mut self, window: usize) -> Self {
+        self.config.smoothing_window = window;
+        self
+    }
+
+    /// Sets the pair-selection strategy.
+    pub fn pair_strategy(mut self, strategy: PairStrategy) -> Self {
+        self.config.pair_strategy = strategy;
+        self
+    }
+
+    /// Sets the estimator (plain vs iteratively-reweighted least squares).
+    pub fn weighting(mut self, weighting: Weighting) -> Self {
+        self.config.weighting = weighting;
+        self
+    }
+
+    /// Pins the reference sample index (default: the middle sample).
+    pub fn reference_index(mut self, index: usize) -> Self {
+        self.config.reference_index = Some(index);
+        self
+    }
+
+    /// Sets the mirror-disambiguation hint for lower-dimension
+    /// trajectories.
+    pub fn side_hint(mut self, hint: Point3) -> Self {
+        self.config.side_hint = Some(hint);
+        self
+    }
+
+    /// Sets the relative singular-value threshold for the
+    /// lower-dimension path (must lie in `(0, 1)`).
+    pub fn rank_tolerance(mut self, tolerance: f64) -> Self {
+        self.config.rank_tolerance = tolerance;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for a non-positive or
+    /// non-finite wavelength, a zero smoothing window, a rank tolerance
+    /// outside `(0, 1)`, or a non-positive pair interval.
+    pub fn build(self) -> Result<LocalizerConfig, CoreError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -176,8 +313,23 @@ impl Localizer2d {
     /// all samples coincide, and [`CoreError::RecoveryFailed`] when the
     /// lower-dimension discriminant is negative (heavy noise).
     pub fn locate(&self, measurements: &[(Point3, f64)]) -> Result<Estimate, CoreError> {
-        let profile = prepare(measurements, &self.config)?;
-        self.locate_profile(&profile)
+        self.locate_in(measurements, &mut Workspace::new())
+    }
+
+    /// [`Localizer2d::locate`] with a reusable [`Workspace`]: solver
+    /// buffers come from (and stage metrics are recorded into) `ws`.
+    /// Bit-identical to `locate`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Localizer2d::locate`].
+    pub fn locate_in(
+        &self,
+        measurements: &[(Point3, f64)],
+        ws: &mut Workspace,
+    ) -> Result<Estimate, CoreError> {
+        let profile = prepare_in(measurements, &self.config, ws)?;
+        self.locate_profile_in(&profile, ws)
     }
 
     /// Locates from an already prepared (unwrapped/smoothed) profile —
@@ -188,7 +340,20 @@ impl Localizer2d {
     ///
     /// See [`Localizer2d::locate`].
     pub fn locate_profile(&self, profile: &PhaseProfile) -> Result<Estimate, CoreError> {
-        run(profile, &self.config, Mode::TwoD)
+        self.locate_profile_in(profile, &mut Workspace::new())
+    }
+
+    /// [`Localizer2d::locate_profile`] with a reusable [`Workspace`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Localizer2d::locate`].
+    pub fn locate_profile_in(
+        &self,
+        profile: &PhaseProfile,
+        ws: &mut Workspace,
+    ) -> Result<Estimate, CoreError> {
+        run_with_min_in(profile, &self.config, Mode::TwoD, 4, ws)
     }
 }
 
@@ -211,8 +376,23 @@ impl Localizer3d {
     /// the samples are collinear — the paper proves a single straight
     /// trajectory cannot fix a 3D position (Sec. III-C2).
     pub fn locate(&self, measurements: &[(Point3, f64)]) -> Result<Estimate, CoreError> {
-        let profile = prepare(measurements, &self.config)?;
-        self.locate_profile(&profile)
+        self.locate_in(measurements, &mut Workspace::new())
+    }
+
+    /// [`Localizer3d::locate`] with a reusable [`Workspace`]: solver
+    /// buffers come from (and stage metrics are recorded into) `ws`.
+    /// Bit-identical to `locate`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Localizer3d::locate`].
+    pub fn locate_in(
+        &self,
+        measurements: &[(Point3, f64)],
+        ws: &mut Workspace,
+    ) -> Result<Estimate, CoreError> {
+        let profile = prepare_in(measurements, &self.config, ws)?;
+        self.locate_profile_in(&profile, ws)
     }
 
     /// Locates from an already prepared profile.
@@ -221,17 +401,36 @@ impl Localizer3d {
     ///
     /// See [`Localizer3d::locate`].
     pub fn locate_profile(&self, profile: &PhaseProfile) -> Result<Estimate, CoreError> {
-        run(profile, &self.config, Mode::ThreeD)
+        self.locate_profile_in(profile, &mut Workspace::new())
+    }
+
+    /// [`Localizer3d::locate_profile`] with a reusable [`Workspace`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Localizer3d::locate`].
+    pub fn locate_profile_in(
+        &self,
+        profile: &PhaseProfile,
+        ws: &mut Workspace,
+    ) -> Result<Estimate, CoreError> {
+        run_with_min_in(profile, &self.config, Mode::ThreeD, 5, ws)
     }
 }
 
-/// Builds and preprocesses the phase profile for a localizer config.
-pub(crate) fn prepare(
+/// Builds and preprocesses the phase profile for a localizer config,
+/// recording unwrap/smooth timings into the workspace.
+pub(crate) fn prepare_in(
     measurements: &[(Point3, f64)],
     config: &LocalizerConfig,
+    ws: &mut Workspace,
 ) -> Result<PhaseProfile, CoreError> {
+    let t = Instant::now();
     let mut profile = PhaseProfile::from_wrapped(measurements, config.wavelength)?;
+    ws.metrics.unwrap_ns += elapsed_ns(t);
+    let t = Instant::now();
     profile.smooth(config.smoothing_window);
+    ws.metrics.smooth_ns += elapsed_ns(t);
     Ok(profile)
 }
 
@@ -308,18 +507,6 @@ fn canonicalize(n: Vec3) -> Vec3 {
     }
 }
 
-fn run(
-    profile: &PhaseProfile,
-    config: &LocalizerConfig,
-    mode: Mode,
-) -> Result<Estimate, CoreError> {
-    let min_needed = match mode {
-        Mode::TwoD => 4,
-        Mode::ThreeD => 5,
-    };
-    run_with_min(profile, config, mode, min_needed)
-}
-
 /// Shared solver body with a caller-chosen sample floor: the multistatic
 /// extension feeds as few as three "samples" (one per antenna).
 pub(crate) fn run_with_min(
@@ -327,6 +514,17 @@ pub(crate) fn run_with_min(
     config: &LocalizerConfig,
     mode: Mode,
     min_needed: usize,
+) -> Result<Estimate, CoreError> {
+    run_with_min_in(profile, config, mode, min_needed, &mut Workspace::new())
+}
+
+/// [`run_with_min`] with caller-provided solver buffers and metrics.
+pub(crate) fn run_with_min_in(
+    profile: &PhaseProfile,
+    config: &LocalizerConfig,
+    mode: Mode,
+    min_needed: usize,
+    ws: &mut Workspace,
 ) -> Result<Estimate, CoreError> {
     let n = profile.len();
     if n < min_needed {
@@ -384,18 +582,34 @@ pub(crate) fn run_with_min(
     }
     let lower_dimension = spanned < full_dims;
 
-    // Coordinates of every sample in the solvable sub-frame.
+    // Coordinates of every sample in the solvable sub-frame, into the
+    // workspace's reusable buffer.
     let k = spanned;
-    let mut coords = Vec::with_capacity(n * k);
+    ws.coords.clear();
+    ws.coords.reserve(n * k);
     for p in positions {
         let d = *p - frame.centroid;
         for axis in frame.axes.iter().take(k) {
-            coords.push(d.dot(*axis));
+            ws.coords.push(d.dot(*axis));
         }
     }
+    let t = Instant::now();
     let pairs = config.pair_strategy.pairs(positions);
-    let (design, rhs) = crate::model::build_system(&coords, k, &deltas, &pairs)?;
-    let (solution, residual_stats) = solve(&design, &rhs, &config.weighting)?;
+    ws.metrics.pairs_ns += elapsed_ns(t);
+    let t = Instant::now();
+    let Workspace {
+        design,
+        rhs,
+        coords,
+        scratch,
+        metrics,
+    } = ws;
+    crate::model::build_system_into(coords, k, &deltas, &pairs, design, rhs)?;
+    let (solution, residual_stats) = solve(design, rhs, &config.weighting, scratch)?;
+    metrics.solve_ns += elapsed_ns(t);
+    metrics.solves += 1;
+    metrics.irls_iterations += residual_stats.iterations as u64;
+    metrics.equations += design.rows() as u64;
 
     // Reconstruct the position in world coordinates.
     let mut position = frame.centroid;
@@ -508,6 +722,7 @@ fn solve(
     design: &Matrix,
     rhs: &Vector,
     weighting: &Weighting,
+    scratch: &mut LstsqScratch,
 ) -> Result<(Vector, SolveStats), CoreError> {
     match weighting {
         Weighting::LeastSquares => {
@@ -528,7 +743,7 @@ fn solve(
             ))
         }
         Weighting::Weighted(cfg) => {
-            let report = lstsq::solve_irls(design, rhs, cfg)?;
+            let report = lstsq::solve_irls_with(design, rhs, cfg, scratch)?;
             let std = parameter_std(design, &report.residuals, &report.weights);
             Ok((
                 report.solution,

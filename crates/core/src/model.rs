@@ -39,6 +39,30 @@ pub fn build_system(
     deltas: &[f64],
     pairs: &[(usize, usize)],
 ) -> Result<(Matrix, Vector), CoreError> {
+    let mut design = Matrix::zeros(0, 0);
+    let mut rhs = Vector::zeros(0);
+    build_system_into(coords, k, deltas, pairs, &mut design, &mut rhs)?;
+    Ok((design, rhs))
+}
+
+/// [`build_system`] into caller-provided buffers, reusing their
+/// allocations.
+///
+/// `design` and `rhs` are resized in place and fully overwritten. This is
+/// the entry point the per-worker [`crate::Workspace`] drives: a batch of
+/// solves reuses one design matrix instead of allocating per solve.
+///
+/// # Errors
+///
+/// Same as [`build_system`]; on error the buffer contents are unspecified.
+pub fn build_system_into(
+    coords: &[f64],
+    k: usize,
+    deltas: &[f64],
+    pairs: &[(usize, usize)],
+    design: &mut Matrix,
+    rhs: &mut Vector,
+) -> Result<(), CoreError> {
     if k == 0 {
         return Err(CoreError::InvalidConfig {
             parameter: "k",
@@ -61,8 +85,8 @@ pub fn build_system(
             needed: k + 1,
         });
     }
-    let mut design = Matrix::zeros(pairs.len(), k + 1);
-    let mut rhs = Vector::zeros(pairs.len());
+    design.reset_zeroed(pairs.len(), k + 1);
+    rhs.reset_zeroed(pairs.len());
     for (row, &(i, j)) in pairs.iter().enumerate() {
         if i >= n || j >= n {
             return Err(CoreError::InvalidConfig {
@@ -81,7 +105,7 @@ pub fn build_system(
         kappa -= deltas[i] * deltas[i] - deltas[j] * deltas[j];
         rhs[row] = kappa;
     }
-    Ok((design, rhs))
+    Ok(())
 }
 
 /// Verifies analytically that the true target satisfies the generated

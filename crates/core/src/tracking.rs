@@ -44,6 +44,64 @@ pub struct TrackerConfig {
 }
 
 impl TrackerConfig {
+    /// Starts a validating builder seeded with the belt-along-x defaults
+    /// for an antenna at `antenna` (1 m/s belt; call
+    /// [`TrackerConfigBuilder::velocity`] to change it).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use lion_core::TrackerConfig;
+    /// use lion_geom::{Point3, Vec3};
+    ///
+    /// # fn main() -> Result<(), lion_core::CoreError> {
+    /// let cfg = TrackerConfig::builder(Point3::new(0.0, 0.8, 0.0))
+    ///     .velocity(Vec3::new(0.1, 0.0, 0.0))
+    ///     .window(600)
+    ///     .stride(100)
+    ///     .build()?;
+    /// assert_eq!(cfg.window, 600);
+    /// assert!(
+    ///     TrackerConfig::builder(Point3::ORIGIN).window(4).build().is_err()
+    /// );
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn builder(antenna: Point3) -> TrackerConfigBuilder {
+        TrackerConfigBuilder {
+            config: TrackerConfig::belt_along_x(antenna, 1.0),
+        }
+    }
+
+    /// Checks the tracker invariants: nonzero finite velocity, window ≥ 8,
+    /// stride ≥ 1. [`ConveyorTracker::new`] runs the same checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] naming the offending
+    /// parameter.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.velocity.norm() == 0.0 || !self.velocity.norm().is_finite() {
+            return Err(CoreError::InvalidConfig {
+                parameter: "velocity",
+                found: format!("{}", self.velocity),
+            });
+        }
+        if self.window < 8 {
+            return Err(CoreError::InvalidConfig {
+                parameter: "window",
+                found: format!("{}", self.window),
+            });
+        }
+        if self.stride == 0 {
+            return Err(CoreError::InvalidConfig {
+                parameter: "stride",
+                found: "0".to_string(),
+            });
+        }
+        Ok(())
+    }
+
     /// A sensible default for a belt moving along +x at `speed` m/s under
     /// an antenna at `antenna`.
     pub fn belt_along_x(antenna: Point3, speed: f64) -> Self {
@@ -64,6 +122,49 @@ impl TrackerConfig {
             stride: 120,
             localizer,
         }
+    }
+}
+
+/// Validating builder for [`TrackerConfig`]. Created by
+/// [`TrackerConfig::builder`]; struct-literal construction keeps working.
+#[derive(Debug, Clone)]
+pub struct TrackerConfigBuilder {
+    config: TrackerConfig,
+}
+
+impl TrackerConfigBuilder {
+    /// Sets the conveyor velocity (m/s, world coordinates).
+    pub fn velocity(mut self, velocity: Vec3) -> Self {
+        self.config.velocity = velocity;
+        self
+    }
+
+    /// Sets the samples per sliding window (must be ≥ 8).
+    pub fn window(mut self, window: usize) -> Self {
+        self.config.window = window;
+        self
+    }
+
+    /// Sets the samples to advance between windows (must be ≥ 1).
+    pub fn stride(mut self, stride: usize) -> Self {
+        self.config.stride = stride;
+        self
+    }
+
+    /// Sets the localizer settings used for each window solve.
+    pub fn localizer(mut self, localizer: LocalizerConfig) -> Self {
+        self.config.localizer = localizer;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// See [`TrackerConfig::validate`].
+    pub fn build(self) -> Result<TrackerConfig, CoreError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -111,24 +212,7 @@ impl ConveyorTracker {
     /// Returns [`CoreError::InvalidConfig`] for a zero velocity, a window
     /// below 8 samples, or a zero stride.
     pub fn new(config: TrackerConfig) -> Result<Self, CoreError> {
-        if config.velocity.norm() == 0.0 || !config.velocity.norm().is_finite() {
-            return Err(CoreError::InvalidConfig {
-                parameter: "velocity",
-                found: format!("{}", config.velocity),
-            });
-        }
-        if config.window < 8 {
-            return Err(CoreError::InvalidConfig {
-                parameter: "window",
-                found: format!("{}", config.window),
-            });
-        }
-        if config.stride == 0 {
-            return Err(CoreError::InvalidConfig {
-                parameter: "stride",
-                found: "0".to_string(),
-            });
-        }
+        config.validate()?;
         Ok(ConveyorTracker { config })
     }
 

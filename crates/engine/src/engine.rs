@@ -1,0 +1,242 @@
+//! The work-queue engine: scoped workers draining an atomic cursor.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use lion_core::{CoreError, StageMetrics, Workspace};
+
+use crate::job::{Job, JobOutput};
+use crate::metrics::MetricsReport;
+
+/// Parallel batch executor for [`Job`]s.
+///
+/// Workers pull jobs from a shared atomic cursor — no locks, no channels
+/// — and each keeps one reusable [`Workspace`] for every solve it runs.
+/// Results are returned in submission order, and because every job is a
+/// pure function of its own inputs, the estimates are **bit-identical**
+/// for any worker count (including a serial run). Only the stage *timers*
+/// vary run to run; the stage *counters* are deterministic too.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    workers: usize,
+}
+
+impl Engine {
+    /// An engine with one worker per available CPU (at least one).
+    pub fn new() -> Self {
+        Engine {
+            workers: std::thread::available_parallelism().map_or(1, usize::from),
+        }
+    }
+
+    /// An engine that runs jobs inline on the calling thread.
+    pub fn serial() -> Self {
+        Engine { workers: 1 }
+    }
+
+    /// A validating builder in the style of the `lion-core` configs.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder { workers: None }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Executes every job and collects results in submission order.
+    ///
+    /// Individual job failures ([`CoreError`]) land in the corresponding
+    /// result slot without affecting the rest of the batch. A batch never
+    /// spawns more threads than it has jobs; a single-worker engine runs
+    /// inline without spawning at all.
+    pub fn run(&self, jobs: &[Job]) -> BatchOutcome {
+        let started = Instant::now();
+        let workers = self.workers.min(jobs.len()).max(1);
+        let mut indexed: Vec<(usize, Result<JobOutput, CoreError>, StageMetrics)> = if workers == 1
+        {
+            let mut ws = Workspace::new();
+            jobs.iter()
+                .enumerate()
+                .map(|(i, job)| {
+                    let result = job.execute(&mut ws);
+                    (i, result, ws.take_metrics())
+                })
+                .collect()
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let mut collected = Vec::with_capacity(jobs.len());
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut ws = Workspace::new();
+                            let mut local = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(job) = jobs.get(i) else { break };
+                                let result = job.execute(&mut ws);
+                                local.push((i, result, ws.take_metrics()));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    collected.extend(handle.join().expect("engine worker panicked"));
+                }
+            });
+            collected.sort_unstable_by_key(|(i, ..)| *i);
+            collected
+        };
+        let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let mut results = Vec::with_capacity(indexed.len());
+        let mut job_metrics = Vec::with_capacity(indexed.len());
+        for (_, result, metrics) in indexed.drain(..) {
+            results.push(result);
+            job_metrics.push(metrics);
+        }
+        let report = MetricsReport::aggregate(&job_metrics, &results, workers, wall_ns);
+        BatchOutcome {
+            results,
+            job_metrics,
+            report,
+        }
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+/// Validating builder for [`Engine`].
+///
+/// ```
+/// use lion_engine::Engine;
+///
+/// let engine = Engine::builder().workers(4).build().expect("valid");
+/// assert_eq!(engine.workers(), 4);
+/// assert!(Engine::builder().workers(0).build().is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EngineBuilder {
+    workers: Option<usize>,
+}
+
+impl EngineBuilder {
+    /// Sets the worker count (defaults to the available parallelism).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Validates and builds the engine.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] when the worker count is zero.
+    pub fn build(self) -> Result<Engine, CoreError> {
+        match self.workers {
+            Some(0) => Err(CoreError::InvalidConfig {
+                parameter: "workers",
+                found: "0".to_string(),
+            }),
+            Some(workers) => Ok(Engine { workers }),
+            None => Ok(Engine::new()),
+        }
+    }
+}
+
+/// Everything a batch run produces.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Per-job outcomes, in submission order.
+    pub results: Vec<Result<JobOutput, CoreError>>,
+    /// Per-job stage metrics, in submission order.
+    pub job_metrics: Vec<StageMetrics>,
+    /// Batch-level aggregation of the per-job metrics.
+    pub report: MetricsReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lion_core::LocalizerConfig;
+    use lion_geom::Point3;
+    use std::f64::consts::{PI, TAU};
+
+    fn clean_trace(antenna: Point3) -> Vec<(Point3, f64)> {
+        let lambda = LocalizerConfig::paper().wavelength;
+        (0..120)
+            .map(|i| {
+                let a = i as f64 * TAU / 120.0;
+                let p = Point3::new(0.3 * a.cos(), 0.3 * a.sin(), 0.0);
+                (p, (4.0 * PI * antenna.distance(p) / lambda) % TAU)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_batch_produces_empty_outcome() {
+        let outcome = Engine::serial().run(&[]);
+        assert!(outcome.results.is_empty());
+        assert!(outcome.job_metrics.is_empty());
+        assert_eq!(outcome.report.jobs, 0);
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        // Distinct antennas per job: the returned positions identify
+        // which job each slot belongs to.
+        let jobs: Vec<Job> = (0..16)
+            .map(|i| {
+                let antenna = Point3::new(1.0 + 0.05 * i as f64, 0.0, 0.0);
+                Job::locate_2d(clean_trace(antenna), LocalizerConfig::paper())
+            })
+            .collect();
+        let outcome = Engine::builder()
+            .workers(4)
+            .build()
+            .expect("valid")
+            .run(&jobs);
+        for (i, result) in outcome.results.iter().enumerate() {
+            let expected = Point3::new(1.0 + 0.05 * i as f64, 0.0, 0.0);
+            let got = result.as_ref().expect("clean trace locates").position();
+            // Identification only needs the error well under the 5 cm
+            // antenna spacing.
+            assert!(got.distance(expected) < 2e-2, "slot {i}: {got:?}");
+        }
+    }
+
+    #[test]
+    fn failures_stay_in_their_slot() {
+        let good = Job::locate_2d(
+            clean_trace(Point3::new(1.0, 0.0, 0.0)),
+            LocalizerConfig::paper(),
+        );
+        let bad = Job::locate_2d(Vec::new(), LocalizerConfig::paper());
+        let outcome = Engine::serial().run(&[good.clone(), bad, good]);
+        assert!(outcome.results[0].is_ok());
+        assert!(outcome.results[1].is_err());
+        assert!(outcome.results[2].is_ok());
+        assert_eq!(outcome.report.failed, 1);
+        // The failed job still contributes (possibly empty) metrics.
+        assert_eq!(outcome.job_metrics.len(), 3);
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_batch_size() {
+        let jobs = vec![Job::locate_2d(
+            clean_trace(Point3::new(1.0, 0.0, 0.0)),
+            LocalizerConfig::paper(),
+        )];
+        let outcome = Engine::builder()
+            .workers(64)
+            .build()
+            .expect("valid")
+            .run(&jobs);
+        assert_eq!(outcome.report.workers, 1);
+    }
+}

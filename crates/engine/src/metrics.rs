@@ -1,0 +1,137 @@
+//! Batch-level aggregation of per-job stage metrics.
+
+use std::fmt;
+
+use lion_core::{CoreError, StageMetrics};
+use serde::{Deserialize, Serialize};
+
+use crate::job::JobOutput;
+
+/// Aggregated instrumentation for one batch run: job/worker/wall-clock
+/// accounting plus the sum of every job's [`StageMetrics`].
+///
+/// Serializable with serde; [`fmt::Display`] renders the compact
+/// three-line summary `run_experiments` prints alongside each figure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Jobs submitted.
+    pub jobs: u64,
+    /// Jobs that returned an error.
+    pub failed: u64,
+    /// Workers the batch actually ran on (after clamping to the batch
+    /// size).
+    pub workers: u64,
+    /// Wall-clock duration of the whole batch, in nanoseconds.
+    pub wall_ns: u64,
+    /// Sum of the per-job stage metrics.
+    pub total: StageMetrics,
+}
+
+impl MetricsReport {
+    /// Sums `job_metrics` and counts failures out of `results`.
+    pub fn aggregate(
+        job_metrics: &[StageMetrics],
+        results: &[Result<JobOutput, CoreError>],
+        workers: usize,
+        wall_ns: u64,
+    ) -> Self {
+        let mut total = StageMetrics::default();
+        for m in job_metrics {
+            total.merge(m);
+        }
+        MetricsReport {
+            jobs: job_metrics.len() as u64,
+            failed: results.iter().filter(|r| r.is_err()).count() as u64,
+            workers: workers as u64,
+            wall_ns,
+            total,
+        }
+    }
+
+    /// Total CPU time attributed to pipeline stages across all jobs, in
+    /// nanoseconds. With more than one worker this exceeds the
+    /// wall-clock time — their ratio is the effective parallel speedup.
+    pub fn busy_ns(&self) -> u64 {
+        // `adaptive_ns` brackets the whole sweep (including the inner
+        // pair/solve stages it re-runs); the disjoint pipeline stages
+        // cover everything outside a sweep. Their sum is therefore the
+        // busy time without double counting only when clamped by which
+        // of the two views recorded more work.
+        self.total.pipeline_ns().max(self.total.adaptive_ns)
+    }
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+impl fmt::Display for MetricsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "jobs {} ({} failed) | workers {} | wall {:.2} ms | stage-busy {:.2} ms",
+            self.jobs,
+            self.failed,
+            self.workers,
+            ms(self.wall_ns),
+            ms(self.busy_ns()),
+        )?;
+        writeln!(
+            f,
+            "stages: unwrap {:.2} ms | smooth {:.2} ms | pairs {:.2} ms | solve {:.2} ms | adaptive {:.2} ms",
+            ms(self.total.unwrap_ns),
+            ms(self.total.smooth_ns),
+            ms(self.total.pairs_ns),
+            ms(self.total.solve_ns),
+            ms(self.total.adaptive_ns),
+        )?;
+        write!(
+            f,
+            "counts: {} solves | {} IRLS iters | {} equations | {} reads dropped | {} adaptive trials ({} skipped)",
+            self.total.solves,
+            self.total.irls_iterations,
+            self.total.equations,
+            self.total.reads_dropped,
+            self.total.adaptive_trials,
+            self.total.adaptive_skipped,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_sums_and_counts_failures() {
+        let a = StageMetrics {
+            solves: 2,
+            solve_ns: 100,
+            ..StageMetrics::default()
+        };
+        let b = StageMetrics {
+            solves: 3,
+            solve_ns: 50,
+            ..StageMetrics::default()
+        };
+        let results: Vec<Result<JobOutput, CoreError>> = vec![Err(CoreError::InvalidConfig {
+            parameter: "x",
+            found: "y".to_string(),
+        })];
+        let report = MetricsReport::aggregate(&[a, b], &results, 4, 1234);
+        assert_eq!(report.jobs, 2);
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.workers, 4);
+        assert_eq!(report.total.solves, 5);
+        assert_eq!(report.total.solve_ns, 150);
+    }
+
+    #[test]
+    fn display_mentions_all_stages() {
+        let report = MetricsReport::aggregate(&[], &[], 1, 0);
+        let text = report.to_string();
+        for needle in ["unwrap", "smooth", "pairs", "solve", "adaptive", "IRLS"] {
+            assert!(text.contains(needle), "missing {needle}: {text}");
+        }
+    }
+}

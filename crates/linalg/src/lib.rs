@@ -54,7 +54,7 @@ mod vector;
 pub use cholesky::Cholesky;
 pub use error::LinalgError;
 pub use lm::{LevenbergMarquardt, LmOutcome, LmReport};
-pub use lstsq::{IrlsConfig, IrlsReport, WeightFunction};
+pub use lstsq::{IrlsConfig, IrlsReport, LstsqScratch, WeightFunction};
 pub use lu::{solve_square, Lu};
 pub use matrix::Matrix;
 pub use qr::Qr;

@@ -36,34 +36,41 @@ pub enum WeightFunction {
 impl WeightFunction {
     /// Computes a weight per residual.
     pub fn weights(&self, residuals: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.weights_into(residuals, &mut out);
+        out
+    }
+
+    /// Computes a weight per residual into `out`, reusing its allocation.
+    ///
+    /// Identical to [`WeightFunction::weights`] but allocation-free once
+    /// `out` has grown to the batch size — the IRLS loop calls this once per
+    /// iteration.
+    pub fn weights_into(&self, residuals: &[f64], out: &mut Vec<f64>) {
+        out.clear();
         match *self {
-            WeightFunction::Uniform => vec![1.0; residuals.len()],
-            WeightFunction::Huber { delta } => residuals
-                .iter()
-                .map(|r| {
-                    let a = r.abs();
-                    if a <= delta || a == 0.0 {
-                        1.0
-                    } else {
-                        delta / a
-                    }
-                })
-                .collect(),
+            WeightFunction::Uniform => out.resize(residuals.len(), 1.0),
+            WeightFunction::Huber { delta } => out.extend(residuals.iter().map(|r| {
+                let a = r.abs();
+                if a <= delta || a == 0.0 {
+                    1.0
+                } else {
+                    delta / a
+                }
+            })),
             WeightFunction::GaussianResidual => {
                 let mu = stats::mean(residuals).unwrap_or(0.0);
                 let sigma = stats::std_dev(residuals).unwrap_or(0.0);
                 if sigma < MIN_SIGMA {
                     // Residuals are (numerically) identical: equations are
                     // equally reliable, weight them uniformly.
-                    return vec![1.0; residuals.len()];
+                    out.resize(residuals.len(), 1.0);
+                    return;
                 }
-                residuals
-                    .iter()
-                    .map(|r| {
-                        let z = (r - mu) / sigma;
-                        (-0.5 * z * z).exp()
-                    })
-                    .collect()
+                out.extend(residuals.iter().map(|r| {
+                    let z = (r - mu) / sigma;
+                    (-0.5 * z * z).exp()
+                }));
             }
         }
     }
@@ -93,6 +100,56 @@ impl Default for IrlsConfig {
             tolerance: 1e-8,
             weight_fn: WeightFunction::GaussianResidual,
         }
+    }
+}
+
+/// Reusable scratch buffers for the (weighted) least-squares hot loop.
+///
+/// [`solve_irls`] clones the design matrix and right-hand side once per
+/// reweighting iteration; on a batch of hundreds of solves those clones
+/// dominate the allocator profile. A `LstsqScratch` keeps one scaled-system
+/// copy plus weight/residual buffers alive across solves so steady-state
+/// iterations allocate nothing. The batch engine gives each worker its own
+/// scratch.
+///
+/// # Example
+///
+/// ```
+/// use lion_linalg::{lstsq, IrlsConfig, LstsqScratch, Matrix, Vector};
+///
+/// # fn main() -> Result<(), lion_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]])?;
+/// let k = Vector::from_slice(&[1.0, 2.0, 3.0]);
+/// let mut scratch = LstsqScratch::new();
+/// let report = lstsq::solve_irls_with(&a, &k, &IrlsConfig::default(), &mut scratch)?;
+/// assert!((report.solution[0] - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LstsqScratch {
+    scaled: Matrix,
+    rhs: Vector,
+    weights: Vec<f64>,
+    residuals: Vec<f64>,
+}
+
+impl LstsqScratch {
+    /// Creates an empty scratch; buffers grow on first use and are then
+    /// reused.
+    pub fn new() -> Self {
+        LstsqScratch {
+            scaled: Matrix::zeros(0, 0),
+            rhs: Vector::zeros(0),
+            weights: Vec::new(),
+            residuals: Vec::new(),
+        }
+    }
+}
+
+impl Default for LstsqScratch {
+    fn default() -> Self {
+        LstsqScratch::new()
     }
 }
 
@@ -149,6 +206,23 @@ pub fn solve_min_norm(a: &Matrix, k: &Vector) -> Result<Vector, LinalgError> {
 /// - [`LinalgError::NotFinite`] when a weight is negative or non-finite,
 /// - factorization errors from [`Qr`].
 pub fn solve_weighted(a: &Matrix, k: &Vector, weights: &[f64]) -> Result<Vector, LinalgError> {
+    let mut scaled = Matrix::zeros(0, 0);
+    let mut rhs = Vector::zeros(0);
+    solve_weighted_into(a, k, weights, &mut scaled, &mut rhs)
+}
+
+/// [`solve_weighted`] with caller-provided buffers for the scaled system.
+///
+/// `scaled`/`rhs` are overwritten; reusing them across calls (as
+/// [`solve_irls_with`] does through a [`LstsqScratch`]) removes the
+/// per-iteration clone of the design matrix.
+fn solve_weighted_into(
+    a: &Matrix,
+    k: &Vector,
+    weights: &[f64],
+    scaled: &mut Matrix,
+    rhs: &mut Vector,
+) -> Result<Vector, LinalgError> {
     let (m, n) = a.shape();
     if k.len() != m || weights.len() != m {
         return Err(LinalgError::DimensionMismatch {
@@ -161,8 +235,8 @@ pub fn solve_weighted(a: &Matrix, k: &Vector, weights: &[f64]) -> Result<Vector,
             operation: "weighted least squares (weights)",
         });
     }
-    let mut scaled = a.clone();
-    let mut rhs = k.clone();
+    scaled.copy_from(a);
+    rhs.copy_from(k);
     for r in 0..m {
         let s = weights[r].sqrt();
         for c in 0..n {
@@ -170,7 +244,7 @@ pub fn solve_weighted(a: &Matrix, k: &Vector, weights: &[f64]) -> Result<Vector,
         }
         rhs[r] *= s;
     }
-    Qr::decompose(&scaled)?.solve_least_squares(&rhs)
+    Qr::decompose(scaled)?.solve_least_squares(rhs)
 }
 
 /// Solves the weighted problem through the normal equations
@@ -198,6 +272,22 @@ pub fn solve_weighted_normal_equations(
 ///
 /// Returns [`LinalgError::DimensionMismatch`] when shapes disagree.
 pub fn residuals(a: &Matrix, k: &Vector, x: &Vector) -> Result<Vec<f64>, LinalgError> {
+    let mut out = Vec::new();
+    residuals_into(a, k, x, &mut out)?;
+    Ok(out)
+}
+
+/// [`residuals`] into a caller-provided buffer, reusing its allocation.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] when shapes disagree.
+pub fn residuals_into(
+    a: &Matrix,
+    k: &Vector,
+    x: &Vector,
+    out: &mut Vec<f64>,
+) -> Result<(), LinalgError> {
     let ax = a.mul_vector(x)?;
     if ax.len() != k.len() {
         return Err(LinalgError::DimensionMismatch {
@@ -205,12 +295,9 @@ pub fn residuals(a: &Matrix, k: &Vector, x: &Vector) -> Result<Vec<f64>, LinalgE
             found: format!("{} vs {}", ax.len(), k.len()),
         });
     }
-    Ok(ax
-        .as_slice()
-        .iter()
-        .zip(k.as_slice())
-        .map(|(p, q)| p - q)
-        .collect())
+    out.clear();
+    out.extend(ax.as_slice().iter().zip(k.as_slice()).map(|(p, q)| p - q));
+    Ok(())
 }
 
 /// Iteratively-reweighted least squares: the full LION estimation loop.
@@ -241,34 +328,59 @@ pub fn residuals(a: &Matrix, k: &Vector, x: &Vector) -> Result<Vec<f64>, LinalgE
 /// # }
 /// ```
 pub fn solve_irls(a: &Matrix, k: &Vector, config: &IrlsConfig) -> Result<IrlsReport, LinalgError> {
+    solve_irls_with(a, k, config, &mut LstsqScratch::new())
+}
+
+/// [`solve_irls`] with a caller-provided [`LstsqScratch`].
+///
+/// Bit-identical to [`solve_irls`] (same operations in the same order), but
+/// the per-iteration scaled-system copy, weight vector, and residual vector
+/// live in `scratch` and are reused across calls. This is the entry point
+/// the batch engine's per-worker solver workspaces drive.
+///
+/// # Errors
+///
+/// Same as [`solve_irls`].
+pub fn solve_irls_with(
+    a: &Matrix,
+    k: &Vector,
+    config: &IrlsConfig,
+    scratch: &mut LstsqScratch,
+) -> Result<IrlsReport, LinalgError> {
+    let LstsqScratch {
+        scaled,
+        rhs,
+        weights,
+        residuals: res,
+    } = scratch;
     let mut x = solve(a, k)?;
-    let mut res = residuals(a, k, &x)?;
-    let mut weights = config.weight_fn.weights(&res);
+    residuals_into(a, k, &x, res)?;
+    config.weight_fn.weights_into(res, weights);
     let mut iterations = 0;
     let mut converged = matches!(config.weight_fn, WeightFunction::Uniform);
     if !converged {
         for _ in 0..config.max_iterations {
             iterations += 1;
-            let x_new = solve_weighted(a, k, &weights)?;
+            let x_new = solve_weighted_into(a, k, weights, scaled, rhs)?;
             let delta = x_new
                 .as_slice()
                 .iter()
                 .zip(x.as_slice())
                 .fold(0.0_f64, |m, (p, q)| m.max((p - q).abs()));
             x = x_new;
-            res = residuals(a, k, &x)?;
-            weights = config.weight_fn.weights(&res);
+            residuals_into(a, k, &x, res)?;
+            config.weight_fn.weights_into(res, weights);
             if delta < config.tolerance {
                 converged = true;
                 break;
             }
         }
     }
-    let mean_residual = stats::mean(&res).unwrap_or(0.0);
+    let mean_residual = stats::mean(res).unwrap_or(0.0);
     let wsum: f64 = weights.iter().sum();
     let weighted_rms = if wsum > 0.0 {
         (res.iter()
-            .zip(&weights)
+            .zip(weights.iter())
             .map(|(r, w)| w * r * r)
             .sum::<f64>()
             / wsum)
@@ -278,8 +390,8 @@ pub fn solve_irls(a: &Matrix, k: &Vector, config: &IrlsConfig) -> Result<IrlsRep
     };
     Ok(IrlsReport {
         solution: x,
-        weights,
-        residuals: res,
+        weights: weights.clone(),
+        residuals: res.clone(),
         iterations,
         mean_residual,
         weighted_rms,

@@ -49,6 +49,39 @@ impl Matrix {
         }
     }
 
+    /// Reshapes this matrix in place to `rows × cols`, reusing the existing
+    /// allocation when capacity allows, and zeroes every element.
+    ///
+    /// This is the buffer-reuse entry point for hot loops (the LION batch
+    /// engine resizes one design matrix per worker instead of allocating a
+    /// fresh [`Matrix::zeros`] per solve).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use lion_linalg::Matrix;
+    ///
+    /// let mut m = Matrix::filled(4, 4, 7.0);
+    /// m.reset_zeroed(2, 3);
+    /// assert_eq!(m.shape(), (2, 3));
+    /// assert_eq!(m[(1, 2)], 0.0);
+    /// ```
+    pub fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Overwrites this matrix with the contents (and shape) of `src`,
+    /// reusing the existing allocation when capacity allows.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+        self.rows = src.rows;
+        self.cols = src.cols;
+    }
+
     /// Creates the `n × n` identity matrix.
     pub fn identity(n: usize) -> Self {
         let mut m = Matrix::zeros(n, n);

@@ -117,7 +117,11 @@ impl Svd {
         // Extract singular values as column norms of W; normalize into U.
         let mut order: Vec<usize> = (0..n).collect();
         let norms: Vec<f64> = (0..n).map(|c| w.column(c).norm()).collect();
-        order.sort_by(|&a, &b| norms[b].partial_cmp(&norms[a]).expect("finite input implies finite norms"));
+        order.sort_by(|&a, &b| {
+            norms[b]
+                .partial_cmp(&norms[a])
+                .expect("finite input implies finite norms")
+        });
         let mut sigma = Vec::with_capacity(n);
         let mut u = Matrix::zeros(m, n);
         let mut v_sorted = Matrix::zeros(n, n);

@@ -30,6 +30,23 @@ impl Vector {
         }
     }
 
+    /// Resizes this vector in place to `len` elements, reusing the existing
+    /// allocation when capacity allows, and zeroes every element.
+    ///
+    /// The companion of [`crate::Matrix::reset_zeroed`] for right-hand-side
+    /// buffer reuse in hot solve loops.
+    pub fn reset_zeroed(&mut self, len: usize) {
+        self.data.clear();
+        self.data.resize(len, 0.0);
+    }
+
+    /// Overwrites this vector with the contents of `src`, reusing the
+    /// existing allocation when capacity allows.
+    pub fn copy_from(&mut self, src: &Vector) {
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Creates a vector filled with `value`.
     pub fn filled(len: usize, value: f64) -> Self {
         Vector {

@@ -9,10 +9,9 @@
 //! cargo run --release --example antenna_calibration_3d
 //! ```
 
-use lion::core::{Calibrator, LocalizerConfig, PairStrategy};
-use lion::geom::{Point3, ThreeLineScan};
+use lion::geom::ThreeLineScan;
 use lion::linalg::stats;
-use lion::sim::{Antenna, ScenarioBuilder, Tag};
+use lion::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let physical_center = Point3::new(0.0, 0.8, 0.1);

@@ -14,9 +14,7 @@
 use std::time::Instant;
 
 use lion::baselines::hologram::{self, HologramConfig, SearchVolume};
-use lion::core::{Localizer2d, LocalizerConfig};
-use lion::geom::{LineSegment, Point3};
-use lion::sim::{Antenna, Environment, NoiseModel, ScenarioBuilder, Tag};
+use lion::prelude::*;
 
 const LAMBDA: f64 = 299_792_458.0 / 920.625e6;
 

@@ -12,9 +12,8 @@
 
 use std::time::Instant;
 
-use lion::core::{ConveyorTracker, TrackerConfig};
-use lion::geom::{LineSegment, Point3, Trajectory};
-use lion::sim::{Antenna, Environment, InventoryConfig, NoiseModel, Reader, ScenarioBuilder, Tag};
+use lion::prelude::*;
+use lion::sim::{InventoryConfig, Reader};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A calibrated antenna 0.8 m above the belt; warehouse multipath.

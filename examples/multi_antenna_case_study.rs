@@ -13,10 +13,9 @@
 
 use lion::baselines::hologram::SearchVolume;
 use lion::baselines::multi_antenna::{locate_tag, AntennaReading, MultiAntennaConfig};
-use lion::core::{Calibrator, LocalizerConfig, PairStrategy};
-use lion::geom::{Point3, ThreeLineScan, Trajectory, Vec3};
+use lion::geom::ThreeLineScan;
 use lion::linalg::stats;
-use lion::sim::{Antenna, Environment, NoiseModel, ScenarioBuilder, Tag};
+use lion::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Three antennas in a line, 0.3 m apart, each with its own hidden

@@ -9,9 +9,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use lion::core::{Localizer2d, LocalizerConfig};
-use lion::geom::{LineSegment, Point3};
-use lion::sim::{Antenna, ScenarioBuilder, Tag};
+use lion::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The installer measured the antenna at (0, 0.8) m... but the phase

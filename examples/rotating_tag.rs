@@ -10,9 +10,7 @@
 //! cargo run --release --example rotating_tag
 //! ```
 
-use lion::core::{Localizer2d, LocalizerConfig};
-use lion::geom::{CircularArc, Point3};
-use lion::sim::{Antenna, ScenarioBuilder, Tag};
+use lion::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let target = Point3::new(0.0, 0.7, 0.0);

@@ -11,9 +11,8 @@
 //! ```
 
 use lion::core::quality::validate_profile;
-use lion::core::{Calibrator, LocalizerConfig, PairStrategy, PhaseProfile};
-use lion::geom::{Point3, ThreeLineScan};
-use lion::sim::{Antenna, PhaseTrace, ScenarioBuilder, Tag};
+use lion::geom::ThreeLineScan;
+use lion::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Record -----------------------------------------------------------

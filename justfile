@@ -1,0 +1,16 @@
+# Project task runner. `just verify` is the full pre-merge gate.
+
+# Build, test, lint, and check formatting — everything CI would run.
+verify:
+    cargo build --release
+    cargo test --workspace -q
+    cargo clippy --workspace --all-targets -- -D warnings
+    cargo fmt --check
+
+# Regenerate every paper figure.
+figures:
+    cargo run --release -p lion-bench --bin run_experiments -- all
+
+# Run the Criterion microbenchmarks (solver, hologram, engine batch, ...).
+bench:
+    cargo bench --workspace

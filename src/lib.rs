@@ -14,16 +14,18 @@
 //! - [`core`] — the paper's contribution: the linear localization model,
 //!   WLS estimation, adaptive parameter selection, and phase calibration,
 //! - [`baselines`] — comparison methods: Tagoram's differential augmented
-//!   hologram (DAH), hyperbola TDoA, and the parabola fit.
+//!   hologram (DAH), hyperbola TDoA, and the parabola fit,
+//! - [`engine`] — the parallel batch execution engine with per-stage
+//!   instrumentation,
+//!
+//! and bundles the types most programs touch into [`prelude`].
 //!
 //! # Quickstart
 //!
 //! Calibrate a simulated antenna's phase center in the 2D plane:
 //!
 //! ```
-//! use lion::geom::{LineSegment, Point3, Trajectory};
-//! use lion::sim::{Antenna, ScenarioBuilder, Tag};
-//! use lion::core::{Localizer2d, LocalizerConfig};
+//! use lion::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // An antenna whose true phase center is 2 cm off its physical center.
@@ -38,7 +40,7 @@
 //!     .build()?
 //!     .scan(&track, 0.1, 100.0)?;
 //!
-//! let estimate = Localizer2d::new(LocalizerConfig::default())
+//! let estimate = Localizer2d::new(LocalizerConfig::paper())
 //!     .locate(&trace.to_measurements())?;
 //! // The estimate recovers the hidden phase center, not the physical one.
 //! assert!((estimate.position.x - 0.02).abs() < 0.01);
@@ -51,6 +53,31 @@
 
 pub use lion_baselines as baselines;
 pub use lion_core as core;
+pub use lion_engine as engine;
 pub use lion_geom as geom;
 pub use lion_linalg as linalg;
 pub use lion_sim as sim;
+
+/// One-stop imports for the common LION workflow: simulate (or load) a
+/// trace, localize or calibrate, and optionally batch the work across
+/// cores with the [`engine`].
+///
+/// ```
+/// use lion::prelude::*;
+///
+/// let config = LocalizerConfig::builder().smoothing_window(21).build().unwrap();
+/// let _localizer = Localizer2d::new(config);
+/// let _engine = Engine::serial();
+/// ```
+pub mod prelude {
+    pub use lion_core::{
+        AdaptiveConfig, AdaptiveOutcome, Calibration, Calibrator, ConveyorTracker, CoreError,
+        Estimate, Localizer2d, Localizer3d, LocalizerConfig, PairStrategy, PhaseProfile,
+        StageMetrics, TrackerConfig, Weighting, Workspace,
+    };
+    pub use lion_engine::{BatchOutcome, Engine, Job, JobKind, JobOutput, MetricsReport};
+    pub use lion_geom::{CircularArc, LineSegment, Point2, Point3, Trajectory, Vec3};
+    pub use lion_sim::{
+        Antenna, Environment, NoiseModel, PhaseTrace, Scenario, ScenarioBuilder, Tag,
+    };
+}

@@ -1,0 +1,119 @@
+//! Engine determinism and metrics consistency, end to end through the
+//! facade: a 64-job batch must produce bit-identical estimates for any
+//! worker count, and the aggregated metrics must equal the per-job sums.
+
+use lion::prelude::*;
+
+/// 64 independent localization jobs on serially-simulated noisy traces.
+fn batch() -> Vec<Job> {
+    let antenna_pos = Point3::new(0.0, 0.8, 0.0);
+    let antenna = Antenna::builder(antenna_pos)
+        .phase_center_displacement(0.015, -0.01, 0.0)
+        .build();
+    let mut scenario = ScenarioBuilder::new()
+        .antenna(antenna)
+        .tag(Tag::new("E51-determinism"))
+        .noise(NoiseModel::paper_default())
+        .seed(90_210)
+        .build()
+        .expect("antenna and tag are set");
+    (0..64)
+        .map(|i| {
+            let track = LineSegment::along_x(-0.5, 0.5, 0.0, 0.0).expect("valid");
+            let m = scenario
+                .scan(&track, 0.1, 100.0)
+                .expect("valid scan")
+                .to_measurements();
+            let config = LocalizerConfig {
+                side_hint: Some(antenna_pos),
+                ..LocalizerConfig::paper()
+            };
+            // Every fourth job exercises the adaptive sweep so its
+            // counters show up in the aggregate as well.
+            if i % 4 == 3 {
+                Job::adaptive_2d(m, config, AdaptiveConfig::default())
+            } else {
+                Job::locate_2d(m, config)
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_estimates_are_bit_identical_to_serial() {
+    let jobs = batch();
+    let reference = Engine::serial().run(&jobs);
+    assert_eq!(reference.results.len(), 64);
+    for workers in [1usize, 2, 8] {
+        let outcome = Engine::builder()
+            .workers(workers)
+            .build()
+            .expect("valid")
+            .run(&jobs);
+        assert_eq!(outcome.results.len(), reference.results.len());
+        for (i, (got, want)) in outcome.results.iter().zip(&reference.results).enumerate() {
+            let got = got.as_ref().expect("job succeeds");
+            let want = want.as_ref().expect("job succeeds");
+            // Point3 equality is exact: bit-identical coordinates.
+            assert_eq!(
+                got.position(),
+                want.position(),
+                "job {i} diverged at {workers} workers"
+            );
+            assert_eq!(
+                got.estimate().map(|e| e.equation_count),
+                want.estimate().map(|e| e.equation_count),
+                "job {i} equation count diverged at {workers} workers"
+            );
+        }
+        // Deterministic counters match the serial run exactly.
+        assert_eq!(outcome.report.total.solves, reference.report.total.solves);
+        assert_eq!(
+            outcome.report.total.equations,
+            reference.report.total.equations
+        );
+        assert_eq!(
+            outcome.report.total.irls_iterations,
+            reference.report.total.irls_iterations
+        );
+        assert_eq!(
+            outcome.report.total.adaptive_trials,
+            reference.report.total.adaptive_trials
+        );
+    }
+}
+
+#[test]
+fn aggregate_metrics_equal_per_job_sums_and_counters_are_live() {
+    let jobs = batch();
+    let outcome = Engine::builder()
+        .workers(2)
+        .build()
+        .expect("valid")
+        .run(&jobs);
+    assert_eq!(outcome.job_metrics.len(), 64);
+
+    let mut summed = StageMetrics::default();
+    for m in &outcome.job_metrics {
+        summed.merge(m);
+    }
+    assert_eq!(summed, outcome.report.total);
+
+    let total = &outcome.report.total;
+    assert!(total.solves >= 64, "solves {}", total.solves);
+    assert!(total.equations > 0, "equations {}", total.equations);
+    assert!(
+        total.irls_iterations > 0,
+        "irls_iterations {}",
+        total.irls_iterations
+    );
+    assert!(
+        total.adaptive_trials > 0,
+        "adaptive_trials {}",
+        total.adaptive_trials
+    );
+    assert!(total.solve_ns > 0, "solve_ns {}", total.solve_ns);
+    assert_eq!(outcome.report.jobs, 64);
+    assert_eq!(outcome.report.failed, 0);
+    assert_eq!(outcome.report.workers, 2);
+}

@@ -156,7 +156,7 @@ fn three_d_localization_from_planar_circle_recovers_height() {
         .boresight(lion::geom::Vec3::new(0.0, 0.0, -1.0))
         .build();
     let circle = CircularArc::turntable(Point3::ORIGIN, 0.35).expect("valid");
-    let mut sc = scenario(antenna, 37);
+    let mut sc = scenario(antenna, 43);
     let m = sc
         .scan(&circle, 0.1, 100.0)
         .expect("valid scan")

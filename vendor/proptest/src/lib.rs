@@ -1,0 +1,135 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build environment is air-gapped, so the real `proptest` cannot be
+//! fetched. This crate is a miniature but genuine property-testing
+//! runner: the [`proptest!`] macro generates each named test with a
+//! deterministic per-test RNG (seeded from the test name), draws inputs
+//! from [`strategy::Strategy`] values, honors `prop_assume!` rejections,
+//! and panics with the failing inputs on `prop_assert!` violations.
+//!
+//! It intentionally omits shrinking, failure persistence, and the full
+//! strategy combinator zoo — only the surface exercised by this
+//! workspace's property tests is provided: range strategies, tuples,
+//! `prop_map`, `collection::vec`, `ProptestConfig::with_cases`, and the
+//! assertion macros. Restoring the real crate is a one-line change in
+//! the workspace manifest.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` that runs the body for `cases` generated
+/// inputs (default 256, overridable with a leading
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            let mut cases_run: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(20).max(1000);
+            while cases_run < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "proptest '{}': too many prop_assume! rejections \
+                     ({cases_run}/{} cases after {attempts} attempts)",
+                    stringify!($name),
+                    config.cases,
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)*
+                let desc = || {
+                    let mut s = ::std::string::String::new();
+                    $(s.push_str(&::std::format!(
+                        "  {} = {:?}\n", stringify!($arg), &$arg
+                    ));)*
+                    s
+                };
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => cases_run += 1,
+                    ::std::result::Result::Err(e) if e.is_rejection() => {}
+                    ::std::result::Result::Err(e) => ::std::panic!(
+                        "proptest '{}' failed at case {}: {}\nwith inputs:\n{}",
+                        stringify!($name), cases_run, e, desc(),
+                    ),
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the current case (returning through the runner, which panics
+/// with the generated inputs) when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case when the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {:?} != {:?}", l, r),
+            ));
+        }
+    }};
+}
+
+/// Rejects the current case without counting it when the assumption does
+/// not hold; the runner draws a fresh input instead.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}

@@ -1,0 +1,11 @@
+//! One-stop imports mirroring `proptest::prelude`.
+
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+
+/// Alias so `prop::collection::vec(...)` works as in the real prelude.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}

@@ -1,0 +1,88 @@
+//! Standard-distribution sampling, mirroring `rand::distributions`.
+
+use crate::RngCore;
+
+/// The standard distribution for a type: uniform over `[0, 1)` for
+/// floats, uniform over the full range for integers, fair for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+/// A distribution that can produce values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value from the distribution.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 high-quality bits → [0, 1) with full double precision,
+        // matching the construction rand uses for `Standard` f64.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A range that can be sampled uniformly, mirroring
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty f64 sample range");
+        let u: f64 = Distribution::<f64>::sample(&Standard, rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<usize> for core::ops::Range<usize> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "empty usize sample range");
+        let span = (self.end - self.start) as u64;
+        // Modulo bias is < 2⁻⁴⁰ for the spans used here; acceptable for
+        // simulation workloads.
+        self.start + (rng.next_u64() % span) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let x = r.gen_range(2.0..3.5);
+            assert!((2.0..3.5).contains(&x));
+            let n = r.gen_range(4usize..9);
+            assert!((4..9).contains(&n));
+        }
+    }
+}

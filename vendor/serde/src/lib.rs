@@ -1,0 +1,30 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment is air-gapped, so the real `serde` cannot be
+//! fetched. This stub keeps the workspace's `#[derive(Serialize,
+//! Deserialize)]` annotations and `Serialize`/`Deserialize` bounds
+//! compiling: both traits are blanket-implemented for every type, and the
+//! `derive` feature re-exports no-op derive macros from the vendored
+//! `serde_derive`.
+//!
+//! Nothing in this workspace performs actual serialization (there is no
+//! `serde_json`/`bincode` dependency); the derives exist so downstream
+//! users with the real serde get working impls. Restoring the real crate
+//! is a one-line change in the workspace manifest — no source edits.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all
+/// types so derived and bounded code compiles unchanged.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types so derived and bounded code compiles unchanged.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
