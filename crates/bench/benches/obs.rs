@@ -1,0 +1,80 @@
+//! Criterion bench: cost of the observability layer itself.
+//!
+//! The acceptance bar for threading `lion-obs` through the hot path is
+//! that the *disabled* case stays effectively free — `enabled()` is one
+//! relaxed atomic load and a disabled span never reads the clock. The
+//! enabled cases quantify what a subscriber actually pays per span/event
+//! and per histogram record.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lion_obs::{CollectingSubscriber, Histogram};
+
+fn bench_disabled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_disabled");
+    group.bench_function("span", |b| {
+        b.iter(|| {
+            let span = lion_obs::span!("bench.noop");
+            black_box(&span);
+        })
+    });
+    group.bench_function("event", |b| {
+        b.iter(|| {
+            lion_obs::event!(
+                lion_obs::Level::Debug,
+                "bench.noop",
+                "value" => black_box(42u64),
+            );
+        })
+    });
+    group.finish();
+}
+
+fn bench_enabled(c: &mut Criterion) {
+    let collector = Arc::new(CollectingSubscriber::new());
+    lion_obs::set_global_subscriber(collector);
+    let mut group = c.benchmark_group("obs_enabled");
+    group.bench_function("span", |b| {
+        b.iter(|| {
+            let span = lion_obs::span!("bench.collected");
+            black_box(&span);
+        })
+    });
+    group.bench_function("event", |b| {
+        b.iter(|| {
+            lion_obs::event!(
+                lion_obs::Level::Debug,
+                "bench.collected",
+                "value" => black_box(42u64),
+            );
+        })
+    });
+    group.finish();
+    lion_obs::clear_global_subscriber();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_histogram");
+    group.bench_function("record", |b| {
+        let mut h = Histogram::new();
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(black_box(v >> 32));
+        })
+    });
+    group.bench_function("quantile", |b| {
+        let mut h = Histogram::new();
+        for i in 0..10_000u64 {
+            h.record(i * 37 + 11);
+        }
+        b.iter(|| black_box(h.p99()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_disabled, bench_enabled, bench_histogram);
+criterion_main!(benches);

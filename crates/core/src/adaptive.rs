@@ -254,7 +254,12 @@ fn sweep(
     ) -> Result<Estimate, CoreError>,
 ) -> Result<AdaptiveOutcome, CoreError> {
     adaptive.validate()?;
+    let _sweep_span = lion_obs::span!("lion.adaptive");
     let sweep_start = Instant::now();
+    // Inner trials re-enter the pipeline stages below; snapshotting their
+    // disjoint sum lets the sweep attribute its own orchestration overhead
+    // (grid iteration, profile restriction, ranking) exactly.
+    let inner_before = ws.metrics.pipeline_ns();
     // Center ranges on the x centroid of the trajectory (the paper centers
     // its scanning range at x = 0 with the antenna at the track middle).
     let cx = profile.positions().iter().map(|p| p.x).sum::<f64>() / profile.len() as f64;
@@ -282,9 +287,19 @@ fn sweep(
             }
         }
     }
-    ws.metrics.adaptive_ns += elapsed_ns(sweep_start);
+    let sweep_ns = elapsed_ns(sweep_start);
+    let inner_ns = ws.metrics.pipeline_ns() - inner_before;
+    ws.metrics.adaptive_ns += sweep_ns;
+    ws.metrics.adaptive_exclusive_ns += sweep_ns.saturating_sub(inner_ns);
     ws.metrics.adaptive_trials += trials.len() as u64;
     ws.metrics.adaptive_skipped += skipped as u64;
+    lion_obs::event!(
+        lion_obs::Level::Debug,
+        "lion.adaptive.sweep",
+        "trials" => trials.len(),
+        "skipped" => skipped,
+        "sweep_ns" => sweep_ns,
+    );
     if trials.is_empty() {
         return Err(CoreError::NoPairs);
     }
@@ -453,6 +468,28 @@ mod tests {
             .locate_adaptive(&m, &adaptive)
             .unwrap();
         assert!(outcome.estimate.distance_error(target) < 1e-5);
+    }
+
+    #[test]
+    fn sweep_records_exclusive_time_disjoint_from_pipeline_stages() {
+        let target = Point3::new(0.1, 0.8, 0.0);
+        let m = linear_scan(target, 0.6, 0.005);
+        let mut ws = Workspace::new();
+        Localizer2d::new(cfg())
+            .locate_adaptive_in(&m, &AdaptiveConfig::default(), &mut ws)
+            .unwrap();
+        let metrics = ws.take_metrics();
+        // The exclusive share can never exceed the inclusive sweep time,
+        // and busy time is the exact sum of the disjoint components.
+        assert!(metrics.adaptive_exclusive_ns <= metrics.adaptive_ns);
+        assert_eq!(
+            metrics.busy_ns(),
+            metrics.pipeline_ns() + metrics.adaptive_exclusive_ns
+        );
+        // The sweep ran inner solves, so some pipeline time was recorded
+        // inside it; the inclusive timer must cover that too.
+        assert!(metrics.solve_ns > 0);
+        assert!(metrics.adaptive_ns >= metrics.adaptive_exclusive_ns);
     }
 
     #[test]

@@ -51,6 +51,24 @@ pub enum CoreError {
     Geometry(GeomError),
 }
 
+impl CoreError {
+    /// A stable snake_case label for this error's variant, independent of
+    /// the variant's payload — the key the observability layer uses for
+    /// per-error-kind failure counters and report breakdowns.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CoreError::TooFewMeasurements { .. } => "too_few_measurements",
+            CoreError::NonFiniteMeasurement { .. } => "non_finite_measurement",
+            CoreError::DegenerateGeometry { .. } => "degenerate_geometry",
+            CoreError::RecoveryFailed { .. } => "recovery_failed",
+            CoreError::InvalidConfig { .. } => "invalid_config",
+            CoreError::NoPairs => "no_pairs",
+            CoreError::Linalg(_) => "linalg",
+            CoreError::Geometry(_) => "geometry",
+        }
+    }
+}
+
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -122,6 +140,22 @@ mod tests {
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn kinds_are_stable_snake_case_labels() {
+        let pairs = [
+            (
+                CoreError::TooFewMeasurements { got: 1, needed: 4 },
+                "too_few_measurements",
+            ),
+            (CoreError::NoPairs, "no_pairs"),
+            (CoreError::Linalg(LinalgError::Singular), "linalg"),
+        ];
+        for (e, kind) in pairs {
+            assert_eq!(e.kind(), kind);
+            assert!(e.kind().chars().all(|c| c.is_ascii_lowercase() || c == '_'));
         }
     }
 

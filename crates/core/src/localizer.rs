@@ -425,9 +425,12 @@ pub(crate) fn prepare_in(
     config: &LocalizerConfig,
     ws: &mut Workspace,
 ) -> Result<PhaseProfile, CoreError> {
+    let span = lion_obs::span!("lion.unwrap");
     let t = Instant::now();
     let mut profile = PhaseProfile::from_wrapped(measurements, config.wavelength)?;
     ws.metrics.unwrap_ns += elapsed_ns(t);
+    drop(span);
+    let _span = lion_obs::span!("lion.smooth");
     let t = Instant::now();
     profile.smooth(config.smoothing_window);
     ws.metrics.smooth_ns += elapsed_ns(t);
@@ -593,9 +596,12 @@ pub(crate) fn run_with_min_in(
             ws.coords.push(d.dot(*axis));
         }
     }
+    let pairs_span = lion_obs::span!("lion.pairs");
     let t = Instant::now();
     let pairs = config.pair_strategy.pairs(positions);
     ws.metrics.pairs_ns += elapsed_ns(t);
+    drop(pairs_span);
+    let _solve_span = lion_obs::span!("lion.solve");
     let t = Instant::now();
     let Workspace {
         design,
@@ -610,6 +616,7 @@ pub(crate) fn run_with_min_in(
     metrics.solves += 1;
     metrics.irls_iterations += residual_stats.iterations as u64;
     metrics.equations += design.rows() as u64;
+    drop(_solve_span);
 
     // Reconstruct the position in world coordinates.
     let mut position = frame.centroid;

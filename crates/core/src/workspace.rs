@@ -25,7 +25,10 @@ use std::time::Instant;
 /// sweep and therefore *includes* the pair-generation and solve time of
 /// its inner trials — the four pipeline timers (`unwrap_ns`, `smooth_ns`,
 /// `pairs_ns`, `solve_ns`) are mutually disjoint, `adaptive_ns` is not
-/// disjoint from them.
+/// disjoint from them. The sweep additionally records
+/// `adaptive_exclusive_ns`, the share of `adaptive_ns` spent outside
+/// those four stages, so [`StageMetrics::busy_ns`] can sum disjoint
+/// components exactly.
 ///
 /// # Example
 ///
@@ -66,6 +69,13 @@ pub struct StageMetrics {
     /// Wall time of adaptive parameter sweeps (includes the nested pair
     /// generation and solves of the sweep's trials).
     pub adaptive_ns: u64,
+    /// The sweep-exclusive share of `adaptive_ns`: orchestration time the
+    /// sweep spent *outside* the four pipeline stages (grid iteration,
+    /// profile restriction, trial ranking). Disjoint from `unwrap_ns` /
+    /// `smooth_ns` / `pairs_ns` / `solve_ns`, so
+    /// `pipeline_ns() + adaptive_exclusive_ns` is the total busy time
+    /// without double counting.
+    pub adaptive_exclusive_ns: u64,
     /// Number of linear-system solves performed.
     pub solves: u64,
     /// Total IRLS reweighting iterations across all solves.
@@ -88,6 +98,7 @@ impl StageMetrics {
         self.pairs_ns += other.pairs_ns;
         self.solve_ns += other.solve_ns;
         self.adaptive_ns += other.adaptive_ns;
+        self.adaptive_exclusive_ns += other.adaptive_exclusive_ns;
         self.solves += other.solves;
         self.irls_iterations += other.irls_iterations;
         self.equations += other.equations;
@@ -100,6 +111,13 @@ impl StageMetrics {
     /// solve), excluding the overlapping adaptive timer.
     pub fn pipeline_ns(&self) -> u64 {
         self.unwrap_ns + self.smooth_ns + self.pairs_ns + self.solve_ns
+    }
+
+    /// Total busy time as a sum of disjoint components: the four pipeline
+    /// stages plus the sweep-exclusive adaptive overhead. No clamping
+    /// heuristics — every nanosecond is counted exactly once.
+    pub fn busy_ns(&self) -> u64 {
+        self.pipeline_ns() + self.adaptive_exclusive_ns
     }
 
     /// Resets every timer and counter to zero.

@@ -6,7 +6,41 @@ use std::time::Instant;
 use lion_core::{CoreError, StageMetrics, Workspace};
 
 use crate::job::{Job, JobOutput};
-use crate::metrics::MetricsReport;
+use crate::metrics::{JobTiming, MetricsReport};
+
+/// Runs one job, measuring queue wait (batch start → pickup) and
+/// execution time, and emitting an `engine.job` span plus a per-job
+/// event when a subscriber is installed.
+fn run_job(
+    job: &Job,
+    ws: &mut Workspace,
+    batch_start: Instant,
+    index: usize,
+) -> (Result<JobOutput, CoreError>, StageMetrics, JobTiming) {
+    let picked = Instant::now();
+    let queue_wait_ns =
+        u64::try_from(picked.duration_since(batch_start).as_nanos()).unwrap_or(u64::MAX);
+    let span = lion_obs::span!("engine.job");
+    let result = job.execute(ws);
+    drop(span);
+    let execute_ns = u64::try_from(picked.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    lion_obs::event!(
+        lion_obs::Level::Debug,
+        "engine.job.done",
+        "job" => index as u64,
+        "ok" => result.is_ok(),
+        "queue_wait_ns" => queue_wait_ns,
+        "execute_ns" => execute_ns,
+    );
+    (
+        result,
+        ws.take_metrics(),
+        JobTiming {
+            queue_wait_ns,
+            execute_ns,
+        },
+    )
+}
 
 /// Parallel batch executor for [`Job`]s.
 ///
@@ -53,14 +87,14 @@ impl Engine {
     pub fn run(&self, jobs: &[Job]) -> BatchOutcome {
         let started = Instant::now();
         let workers = self.workers.min(jobs.len()).max(1);
-        let mut indexed: Vec<(usize, Result<JobOutput, CoreError>, StageMetrics)> = if workers == 1
-        {
+        type Slot = (usize, Result<JobOutput, CoreError>, StageMetrics, JobTiming);
+        let mut indexed: Vec<Slot> = if workers == 1 {
             let mut ws = Workspace::new();
             jobs.iter()
                 .enumerate()
                 .map(|(i, job)| {
-                    let result = job.execute(&mut ws);
-                    (i, result, ws.take_metrics())
+                    let (result, metrics, timing) = run_job(job, &mut ws, started, i);
+                    (i, result, metrics, timing)
                 })
                 .collect()
         } else {
@@ -75,8 +109,8 @@ impl Engine {
                             loop {
                                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                                 let Some(job) = jobs.get(i) else { break };
-                                let result = job.execute(&mut ws);
-                                local.push((i, result, ws.take_metrics()));
+                                let (result, metrics, timing) = run_job(job, &mut ws, started, i);
+                                local.push((i, result, metrics, timing));
                             }
                             local
                         })
@@ -92,14 +126,25 @@ impl Engine {
         let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let mut results = Vec::with_capacity(indexed.len());
         let mut job_metrics = Vec::with_capacity(indexed.len());
-        for (_, result, metrics) in indexed.drain(..) {
+        let mut timings = Vec::with_capacity(indexed.len());
+        for (_, result, metrics, timing) in indexed.drain(..) {
             results.push(result);
             job_metrics.push(metrics);
+            timings.push(timing);
         }
-        let report = MetricsReport::aggregate(&job_metrics, &results, workers, wall_ns);
+        let report = MetricsReport::aggregate(&job_metrics, &results, &timings, workers, wall_ns);
+        lion_obs::event!(
+            lion_obs::Level::Info,
+            "engine.batch.done",
+            "jobs" => report.jobs,
+            "failed" => report.failed,
+            "workers" => report.workers,
+            "wall_ns" => report.wall_ns,
+        );
         BatchOutcome {
             results,
             job_metrics,
+            timings,
             report,
         }
     }
@@ -156,6 +201,8 @@ pub struct BatchOutcome {
     pub results: Vec<Result<JobOutput, CoreError>>,
     /// Per-job stage metrics, in submission order.
     pub job_metrics: Vec<StageMetrics>,
+    /// Per-job queue-wait/execute timings, in submission order.
+    pub timings: Vec<JobTiming>,
     /// Batch-level aggregation of the per-job metrics.
     pub report: MetricsReport,
 }

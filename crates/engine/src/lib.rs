@@ -57,4 +57,4 @@ pub mod metrics;
 
 pub use engine::{BatchOutcome, Engine, EngineBuilder};
 pub use job::{Job, JobKind, JobOutput};
-pub use metrics::MetricsReport;
+pub use metrics::{JobTiming, MetricsReport, StageDistributions};

@@ -1,0 +1,234 @@
+//! Snapshot exporters: JSON-lines files and Prometheus text exposition.
+//!
+//! Two formats cover the two consumption patterns:
+//!
+//! - **JSON lines** ([`to_json_line`], [`append_json_line`]): one
+//!   self-contained JSON object per snapshot, appended to a file —
+//!   a trajectory of the system over time, in the style of the
+//!   `BENCH_*.json` artifacts. Histograms serialize with full bucket
+//!   fidelity so they can be parsed back ([`parse_json_line`]) and merged.
+//! - **Prometheus text exposition** ([`to_prometheus`],
+//!   [`write_prometheus`]): the standard `# TYPE` + sample-line format,
+//!   rendered to a string for a scrape endpoint, a file, or stdout.
+//!   Histograms emit cumulative `_bucket{le="…"}` samples plus `_sum` and
+//!   `_count`.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::hist::Histogram;
+use crate::json::{self, Json};
+use crate::registry::{Metric, Snapshot};
+
+/// Renders a snapshot as one JSON object (no trailing newline).
+///
+/// Shape: `{"label":…,"counters":{…},"gauges":{…},"histograms":{…}}` with
+/// each histogram in [`Histogram::to_json`] form.
+pub fn to_json_line(label: &str, snapshot: &Snapshot) -> String {
+    let mut counters = Vec::new();
+    let mut gauges = Vec::new();
+    let mut histograms = Vec::new();
+    for (name, metric) in &snapshot.metrics {
+        let key = json::escape(name);
+        match metric {
+            Metric::Counter(v) => counters.push(format!("\"{key}\":{v}")),
+            Metric::Gauge(v) => {
+                if v.is_finite() {
+                    gauges.push(format!("\"{key}\":{v}"));
+                } else {
+                    gauges.push(format!("\"{key}\":null"));
+                }
+            }
+            Metric::Histogram(h) => histograms.push(format!("\"{key}\":{}", h.to_json())),
+        }
+    }
+    format!(
+        "{{\"label\":\"{}\",\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}}}}",
+        json::escape(label),
+        counters.join(","),
+        gauges.join(","),
+        histograms.join(","),
+    )
+}
+
+/// Parses one line produced by [`to_json_line`] back into a label and
+/// snapshot (gauges serialized as `null` come back as NaN).
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem.
+pub fn parse_json_line(line: &str) -> Result<(String, Snapshot), String> {
+    let doc = json::parse(line).map_err(|e| e.to_string())?;
+    let label = doc
+        .get("label")
+        .and_then(Json::as_str)
+        .ok_or("snapshot: missing label")?
+        .to_string();
+    let mut metrics = Vec::new();
+    if let Some(fields) = doc.get("counters").and_then(Json::as_object) {
+        for (name, value) in fields {
+            let v = value.as_u64().ok_or("snapshot: non-integer counter")?;
+            metrics.push((name.clone(), Metric::Counter(v)));
+        }
+    }
+    if let Some(fields) = doc.get("gauges").and_then(Json::as_object) {
+        for (name, value) in fields {
+            let v = value.as_f64().unwrap_or(f64::NAN);
+            metrics.push((name.clone(), Metric::Gauge(v)));
+        }
+    }
+    if let Some(fields) = doc.get("histograms").and_then(Json::as_object) {
+        for (name, value) in fields {
+            let h = Histogram::from_json(value)?;
+            metrics.push((name.clone(), Metric::Histogram(h)));
+        }
+    }
+    metrics.sort_by(|(a, _), (b, _)| a.cmp(b));
+    Ok((label, Snapshot { metrics }))
+}
+
+/// Appends a snapshot to `path` as one JSON line, creating the file and
+/// any missing parent directories.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn append_json_line(path: &Path, label: &str, snapshot: &Snapshot) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut file = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    file.write_all(to_json_line(label, snapshot).as_bytes())?;
+    file.write_all(b"\n")
+}
+
+/// Sanitizes a metric name for Prometheus: `[a-zA-Z0-9_:]` pass through,
+/// everything else becomes `_`, and a leading digit gets a `_` prefix.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok || c.is_ascii_digit() { c } else { '_' });
+    }
+    out
+}
+
+/// Renders a snapshot in the Prometheus text exposition format.
+pub fn to_prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, metric) in &snapshot.metrics {
+        let name = prometheus_name(name);
+        match metric {
+            Metric::Counter(v) => {
+                out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+            }
+            Metric::Gauge(v) => {
+                out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+            }
+            Metric::Histogram(h) => {
+                out.push_str(&format!("# TYPE {name} histogram\n"));
+                let mut cumulative = 0u64;
+                for (upper, count) in h.nonzero_buckets() {
+                    cumulative = cumulative.saturating_add(count);
+                    out.push_str(&format!("{name}_bucket{{le=\"{upper}\"}} {cumulative}\n"));
+                }
+                out.push_str(&format!(
+                    "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
+                    h.count(),
+                    h.sum(),
+                    h.count()
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Writes the Prometheus rendering of a snapshot to `path`, creating
+/// missing parent directories.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_prometheus(path: &Path, snapshot: &Snapshot) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, to_prometheus(snapshot))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample_snapshot() -> Snapshot {
+        let r = Registry::new();
+        r.counter_add("engine.jobs", 96);
+        r.counter_add("engine.failures.no_pairs", 2);
+        r.gauge_set("sim.reader.read_rate", 0.875);
+        r.histogram_record("engine.solve_ns", 1_000);
+        r.histogram_record("engine.solve_ns", 2_000);
+        r.snapshot()
+    }
+
+    #[test]
+    fn json_line_round_trips() {
+        let snapshot = sample_snapshot();
+        let line = to_json_line("test-run", &snapshot);
+        assert!(!line.contains('\n'));
+        let (label, back) = parse_json_line(&line).expect("parses");
+        assert_eq!(label, "test-run");
+        assert_eq!(back, snapshot);
+    }
+
+    #[test]
+    fn jsonl_file_accumulates_lines() {
+        let dir = std::env::temp_dir().join("lion_obs_export_test");
+        let path = dir.join("snap.jsonl");
+        let _ = fs::remove_file(&path);
+        let snapshot = sample_snapshot();
+        append_json_line(&path, "first", &snapshot).expect("write");
+        append_json_line(&path, "second", &snapshot).expect("write");
+        let text = fs::read_to_string(&path).expect("read");
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(parse_json_line(lines[1]).expect("parses").0, "second");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn prometheus_rendering_has_types_and_cumulative_buckets() {
+        let text = to_prometheus(&sample_snapshot());
+        assert!(text.contains("# TYPE engine_jobs counter"));
+        assert!(text.contains("engine_jobs 96"));
+        assert!(text.contains("# TYPE sim_reader_read_rate gauge"));
+        assert!(text.contains("sim_reader_read_rate 0.875"));
+        assert!(text.contains("# TYPE engine_solve_ns histogram"));
+        assert!(text.contains("engine_solve_ns_count 2"));
+        assert!(text.contains("engine_solve_ns_sum 3000"));
+        assert!(text.contains("_bucket{le=\"+Inf\"} 2"));
+        // Bucket counts are cumulative: the +Inf bucket equals the count
+        // and every listed bucket count is ≤ it.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{le=\"")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "non-cumulative bucket line: {line}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitized() {
+        assert_eq!(prometheus_name("engine.jobs-v2"), "engine_jobs_v2");
+        assert_eq!(prometheus_name("9lives"), "_9lives");
+        assert_eq!(prometheus_name("ok_name:sub"), "ok_name:sub");
+    }
+}

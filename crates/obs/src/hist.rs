@@ -1,0 +1,401 @@
+//! Fixed-bucket log-linear latency histograms (HDR-style).
+//!
+//! A [`Histogram`] records `u64` values (nanoseconds, counts, bytes — any
+//! non-negative magnitude) into a fixed set of buckets whose width grows
+//! with the value: every power of two is split into [`SUB_BUCKETS`] linear
+//! sub-buckets, so the relative quantization error is bounded by
+//! `1 / SUB_BUCKETS` (6.25%) across the full `u64` range. The bucket
+//! layout is identical for every histogram, which makes two histograms
+//! mergeable by bucket-wise addition — the property batch aggregation
+//! relies on.
+//!
+//! Recording is branch-light (a leading-zeros count and two shifts),
+//! allocation-free after construction, and never overflows: counts and
+//! sums saturate instead of wrapping, and `record(u64::MAX)` lands in the
+//! last bucket whose upper bound is exactly `u64::MAX`.
+
+use serde::{Deserialize, Serialize};
+
+/// log2 of the linear sub-buckets per power of two.
+const SUB_BITS: u32 = 4;
+/// Linear sub-buckets per power of two (16 → ≤ 6.25% relative error).
+pub const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+/// Total bucket count covering the whole `u64` range.
+const BUCKETS: usize = ((63 - SUB_BITS as usize) + 1) * SUB_BUCKETS as usize + SUB_BUCKETS as usize;
+
+/// Bucket index for a value (log-linear: 16 sub-buckets per octave).
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let shift = msb - SUB_BITS;
+        let sub = ((v >> shift) - SUB_BUCKETS) as usize;
+        ((msb - SUB_BITS + 1) as usize) * SUB_BUCKETS as usize + sub
+    }
+}
+
+/// Inclusive upper bound of a bucket (the value quantiles report).
+#[inline]
+fn bucket_upper(idx: usize) -> u64 {
+    let octave = idx / SUB_BUCKETS as usize;
+    let sub = (idx % SUB_BUCKETS as usize) as u64;
+    if octave == 0 {
+        sub
+    } else {
+        let shift = (octave - 1) as u32;
+        ((SUB_BUCKETS + sub) << shift) + ((1u64 << shift) - 1)
+    }
+}
+
+/// A mergeable log-linear histogram with bounded relative error.
+///
+/// # Example
+///
+/// ```
+/// use lion_obs::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [100u64, 200, 300, 400, 1_000_000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert!(h.p50() >= 300 && h.p50() <= 320); // ≤ 6.25% above the true 300
+/// assert!(h.max() >= 1_000_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one value. Count and sum saturate rather than wrap.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` occurrences of `value`.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_index(value)] = self.counts[bucket_index(value)].saturating_add(n);
+        self.count = self.count.saturating_add(n);
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Adds every bucket of `other` into `self`. Because all histograms
+    /// share one bucket layout this is exact: the merged histogram is
+    /// identical to recording both input streams into one histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a = a.saturating_add(*b);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Saturating sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (exact, not quantized; 0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`) as the upper bound of
+    /// the bucket holding the rank-`⌈q·count⌉` value, clamped to the exact
+    /// observed `[min, max]`. Returns 0 when empty. The reported value is
+    /// never below the true quantile and at most 6.25% above it.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.is_empty() {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                return bucket_upper(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`Histogram::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, count)` pairs in
+    /// ascending bound order — the exporters' iteration primitive.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper(i), c))
+    }
+
+    /// Resets to the empty state, keeping the allocation.
+    pub fn reset(&mut self) {
+        self.counts.fill(0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
+    /// Full-fidelity JSON encoding (sparse buckets), the inverse of
+    /// [`Histogram::from_json`]. Used by the snapshot exporter so a
+    /// persisted histogram can be reloaded and re-merged exactly.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str(&format!(
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+            self.count,
+            self.sum,
+            self.min(),
+            self.max,
+            self.p50(),
+            self.p90(),
+            self.p99()
+        ));
+        let mut first = true;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("[{idx},{c}]"));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Reconstructs a histogram from the object produced by
+    /// [`Histogram::to_json`] (parsed with [`crate::json::parse`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or malformed field.
+    pub fn from_json(value: &crate::json::Json) -> Result<Self, String> {
+        let mut h = Histogram::new();
+        let count = value
+            .get("count")
+            .and_then(|v| v.as_u64())
+            .ok_or("histogram: missing count")?;
+        let sum = value
+            .get("sum")
+            .and_then(|v| v.as_u64())
+            .ok_or("histogram: missing sum")?;
+        let max = value
+            .get("max")
+            .and_then(|v| v.as_u64())
+            .ok_or("histogram: missing max")?;
+        let min = value
+            .get("min")
+            .and_then(|v| v.as_u64())
+            .ok_or("histogram: missing min")?;
+        let buckets = value
+            .get("buckets")
+            .and_then(|v| v.as_array())
+            .ok_or("histogram: missing buckets")?;
+        for pair in buckets {
+            let entries = pair.as_array().ok_or("histogram: bucket not an array")?;
+            let (Some(idx), Some(c)) = (
+                entries.first().and_then(|v| v.as_u64()),
+                entries.get(1).and_then(|v| v.as_u64()),
+            ) else {
+                return Err("histogram: malformed bucket pair".to_string());
+            };
+            let idx = idx as usize;
+            if idx >= BUCKETS {
+                return Err(format!("histogram: bucket index {idx} out of range"));
+            }
+            h.counts[idx] = c;
+        }
+        h.count = count;
+        h.sum = sum;
+        h.max = max;
+        h.min = if count == 0 { u64::MAX } else { min };
+        Ok(h)
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert!(h.is_empty());
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        // Values below SUB_BUCKETS get one bucket each → exact quantiles.
+        let mut h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.p50(), 7);
+        assert_eq!(h.quantile(1.0), 15);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let mut h = Histogram::new();
+        h.record_n(1_000_000, 100);
+        let p50 = h.p50();
+        assert!(p50 >= 1_000_000);
+        assert!(p50 as f64 <= 1_000_000.0 * (1.0 + 1.0 / SUB_BUCKETS as f64));
+    }
+
+    #[test]
+    fn u64_max_round_trips_through_buckets() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert_eq!(h.count(), 2);
+        // Saturating sum, no panic.
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+    }
+
+    #[test]
+    fn merge_equals_recording_both_streams() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in [3u64, 900, 1_000_000, 77] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [12u64, 40_000, 5] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotone_and_cover_u64() {
+        let mut prev = None;
+        for idx in 0..BUCKETS {
+            let upper = bucket_upper(idx);
+            if let Some(p) = prev {
+                assert!(upper > p, "bucket {idx} bound {upper} <= {p}");
+            }
+            prev = Some(upper);
+        }
+        assert_eq!(bucket_upper(BUCKETS - 1), u64::MAX);
+        // Every value maps into a bucket whose bound brackets it.
+        for v in [0u64, 1, 15, 16, 17, 1023, 1024, 1 << 40, u64::MAX] {
+            let idx = bucket_index(v);
+            assert!(bucket_upper(idx) >= v);
+            if idx > 0 {
+                assert!(bucket_upper(idx - 1) < v);
+            }
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let mut h = Histogram::new();
+        for v in [0u64, 5, 1_000, 123_456_789, u64::MAX] {
+            h.record(v);
+        }
+        let text = h.to_json();
+        let parsed = crate::json::parse(&text).expect("valid json");
+        let back = Histogram::from_json(&parsed).expect("well-formed");
+        assert_eq!(h, back);
+        // Empty histograms round-trip too (min sentinel preserved).
+        let empty = Histogram::new();
+        let parsed = crate::json::parse(&empty.to_json()).expect("valid json");
+        assert_eq!(Histogram::from_json(&parsed).expect("well-formed"), empty);
+    }
+}

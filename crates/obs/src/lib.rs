@@ -1,0 +1,56 @@
+//! # lion-obs
+//!
+//! Zero-dependency, air-gap-friendly observability for the LION
+//! workspace: structured tracing, latency histograms, and exportable
+//! telemetry.
+//!
+//! Four pieces, each usable alone:
+//!
+//! - **Spans and events** ([`span!`], [`event!`], [`Subscriber`]) — a
+//!   thread-local/global subscriber model in the spirit of `tracing`.
+//!   With no subscriber installed the macros cost a single relaxed atomic
+//!   load ([`enabled`]), so the solver hot paths stay instrumented
+//!   unconditionally.
+//! - **Histograms** ([`Histogram`]) — fixed-bucket log-linear (HDR-style)
+//!   `u64` distributions with ≤ 6.25% relative quantization error,
+//!   exactly mergeable, reporting p50/p90/p99/max. These replace bare
+//!   nanosecond sums wherever a distribution matters.
+//! - **Registry** ([`Registry`], [`global`]) — named counters, gauges,
+//!   and histograms with deterministic (sorted) snapshots.
+//! - **Exporters** ([`export`]) — JSON-lines snapshot files (with a full
+//!   round-trip parser, since the vendored `serde` is a no-op stub) and
+//!   Prometheus text exposition.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use lion_obs::{CollectingSubscriber, Level};
+//!
+//! let collector = Arc::new(CollectingSubscriber::new());
+//! let guard = lion_obs::set_thread_subscriber(collector.clone());
+//! {
+//!     let _span = lion_obs::span!("solve");
+//!     lion_obs::event!(Level::Info, "solve.start", "equations" => 128u64);
+//! }
+//! drop(guard);
+//! assert_eq!(collector.events().len(), 1);
+//! assert_eq!(collector.span_histogram("solve").unwrap().count(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+mod hist;
+pub mod json;
+mod registry;
+mod subscriber;
+
+pub use hist::{Histogram, SUB_BUCKETS};
+pub use registry::{global, Metric, Registry, Snapshot};
+pub use subscriber::{
+    clear_global_subscriber, dispatch_event, dispatch_span_close, enabled, set_global_subscriber,
+    set_thread_subscriber, CollectingSubscriber, Event, Level, OwnedEvent, Span, SpanClose,
+    Subscriber, ThreadSubscriberGuard, Value,
+};

@@ -168,6 +168,26 @@ impl Reader {
                 samples.push(sample);
             }
         }
+        let reads = samples.len() as u64;
+        let dropped = attempts - reads;
+        let read_rate = if attempts > 0 {
+            reads as f64 / attempts as f64
+        } else {
+            0.0
+        };
+        let registry = lion_obs::global();
+        registry.counter_add("sim.reader.attempts", attempts);
+        registry.counter_add("sim.reader.reads", reads);
+        registry.counter_add("sim.reader.dropped", dropped);
+        registry.gauge_set("sim.reader.read_rate", read_rate);
+        lion_obs::event!(
+            lion_obs::Level::Debug,
+            "sim.reader.inventory",
+            "attempts" => attempts,
+            "reads" => reads,
+            "dropped" => dropped,
+            "read_rate" => read_rate,
+        );
         Ok(PhaseTrace::new(
             samples,
             wavelength.unwrap_or_else(|| scenario.frequency_plan().wavelength_at(0.0)),
@@ -287,6 +307,24 @@ mod tests {
             ..InventoryConfig::default()
         });
         assert!(bad.inventory(&mut sc, &track, 0.1).is_err());
+    }
+
+    #[test]
+    fn inventory_updates_global_telemetry() {
+        let mut sc = scenario(6);
+        let track = LineSegment::along_x(-0.2, 0.2, 0.0, 0.0).expect("valid");
+        let reader = Reader::new(InventoryConfig::default());
+        let before = lion_obs::global().snapshot();
+        let trace = reader.inventory(&mut sc, &track, 0.1).expect("valid");
+        let after = lion_obs::global().snapshot();
+        // Counters are process-global and only ever grow, so the deltas
+        // are valid even with other tests running in parallel.
+        let delta =
+            |name: &str| after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0);
+        assert!(delta("sim.reader.attempts") >= trace.len() as u64);
+        assert!(delta("sim.reader.reads") >= trace.len() as u64);
+        let rate = after.gauge("sim.reader.read_rate").expect("gauge set");
+        assert!((0.0..=1.0).contains(&rate), "{rate}");
     }
 
     #[test]

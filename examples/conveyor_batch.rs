@@ -7,10 +7,16 @@
 //! run, with per-stage instrumentation aggregated into a
 //! [`MetricsReport`].
 //!
+//! With an output directory argument the run also exports its telemetry
+//! — a JSON-lines registry snapshot and a Prometheus text exposition —
+//! which `just telemetry` and `examples/telemetry_dashboard.rs` consume:
+//!
 //! ```bash
 //! cargo run --release --example conveyor_batch
+//! cargo run --release --example conveyor_batch -- target/telemetry
 //! ```
 
+use std::path::Path;
 use std::time::Instant;
 
 use lion::prelude::*;
@@ -90,5 +96,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("mean phase-center error: {:.2} mm", mean_error * 1e3);
 
     println!("\n== per-stage instrumentation ==\n{}", parallel.report);
+
+    // Optional telemetry export: `conveyor_batch -- <dir>` writes the
+    // registry snapshot as JSON lines and Prometheus text.
+    if let Some(dir) = std::env::args().nth(1) {
+        let dir = Path::new(&dir);
+        let registry = Registry::new();
+        parallel.report.record_into(&registry);
+        let snapshot = registry.snapshot();
+        let jsonl = dir.join("snapshot.jsonl");
+        let prom = dir.join("metrics.prom");
+        lion::obs::export::append_json_line(&jsonl, "conveyor_batch", &snapshot)?;
+        lion::obs::export::write_prometheus(&prom, &snapshot)?;
+        println!(
+            "\ntelemetry written: {} and {}",
+            jsonl.display(),
+            prom.display()
+        );
+    }
     Ok(())
 }

@@ -1,0 +1,98 @@
+//! A compact latency dashboard for one batch run.
+//!
+//! Runs the conveyor workload, exports the telemetry registry snapshot
+//! to a JSON line, parses it back (exactly what an external collector
+//! would do with `target/telemetry/snapshot.jsonl`), and renders a
+//! per-stage percentile table from the round-tripped data — proving the
+//! export is lossless enough to drive a dashboard.
+//!
+//! ```bash
+//! cargo run --release --example telemetry_dashboard
+//! ```
+
+use lion::obs::export::{parse_json_line, to_json_line};
+use lion::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Collect span durations too: the engine emits an `engine.job` span
+    // per job, and the core stages emit lion.unwrap/smooth/pairs/solve.
+    let collector = std::sync::Arc::new(lion::obs::CollectingSubscriber::new());
+    lion::obs::set_global_subscriber(collector.clone());
+
+    let antenna = Antenna::builder(Point3::new(0.0, 0.8, 0.0))
+        .phase_center_displacement(0.013, -0.008, 0.0)
+        .build();
+    let track = LineSegment::along_x(-0.45, 0.45, 0.0, 0.0)?;
+    let mut scenario = ScenarioBuilder::new()
+        .antenna(antenna)
+        .tag(Tag::new("E51-dashboard"))
+        .noise(NoiseModel::paper_default())
+        .seed(41_213)
+        .build()?;
+    let mut jobs = Vec::new();
+    for _ in 0..64 {
+        let trace = scenario.scan(&track, 0.25, 120.0)?;
+        jobs.push(Job::locate_2d(
+            trace.to_measurements(),
+            LocalizerConfig::paper(),
+        ));
+    }
+    let outcome = Engine::new().run(&jobs);
+    lion::obs::clear_global_subscriber();
+
+    // Export → parse round trip, as an external collector would see it.
+    let registry = Registry::new();
+    outcome.report.record_into(&registry);
+    let line = to_json_line("telemetry_dashboard", &registry.snapshot());
+    let (label, snapshot) = parse_json_line(&line)?;
+
+    println!("== telemetry dashboard: {label} ==");
+    println!(
+        "jobs {} | failed {} | workers {}",
+        snapshot.counter("engine.jobs").unwrap_or(0),
+        snapshot.counter("engine.failed").unwrap_or(0),
+        snapshot.gauge("engine.workers").unwrap_or(0.0),
+    );
+    println!();
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "stage", "jobs", "p50 µs", "p90 µs", "p99 µs", "max µs"
+    );
+    for stage in [
+        "unwrap",
+        "smooth",
+        "pairs",
+        "solve",
+        "adaptive",
+        "job_busy",
+        "queue_wait",
+        "execute",
+    ] {
+        let Some(hist) = snapshot.histogram(&format!("engine.stage.{stage}_ns")) else {
+            continue;
+        };
+        let us = |ns: u64| ns as f64 / 1e3;
+        println!(
+            "{:<12} {:>8} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            stage,
+            hist.count(),
+            us(hist.p50()),
+            us(hist.p90()),
+            us(hist.p99()),
+            us(hist.max()),
+        );
+    }
+
+    // The span view of the same run, straight from the subscriber.
+    println!("\n== span durations (collected live) ==");
+    for (name, hist) in collector.span_histograms() {
+        println!(
+            "{:<14} n={:<5} p50 {:>8.1} µs  p99 {:>8.1} µs",
+            name,
+            hist.count(),
+            hist.p50() as f64 / 1e3,
+            hist.p99() as f64 / 1e3,
+        );
+    }
+    Ok(())
+}

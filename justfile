@@ -14,3 +14,8 @@ figures:
 # Run the Criterion microbenchmarks (solver, hologram, engine batch, ...).
 bench:
     cargo bench --workspace
+
+# Run the conveyor batch and export its telemetry (JSON-lines registry
+# snapshot + Prometheus text exposition) to target/telemetry/.
+telemetry:
+    cargo run --release --example conveyor_batch -- target/telemetry

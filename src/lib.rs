@@ -17,6 +17,9 @@
 //!   hologram (DAH), hyperbola TDoA, and the parabola fit,
 //! - [`engine`] — the parallel batch execution engine with per-stage
 //!   instrumentation,
+//! - [`obs`] — zero-dependency observability: structured spans/events,
+//!   log-linear latency histograms, and a telemetry registry with
+//!   JSON-lines and Prometheus exporters,
 //!
 //! and bundles the types most programs touch into [`prelude`].
 //!
@@ -56,6 +59,7 @@ pub use lion_core as core;
 pub use lion_engine as engine;
 pub use lion_geom as geom;
 pub use lion_linalg as linalg;
+pub use lion_obs as obs;
 pub use lion_sim as sim;
 
 /// One-stop imports for the common LION workflow: simulate (or load) a
@@ -75,8 +79,11 @@ pub mod prelude {
         Estimate, Localizer2d, Localizer3d, LocalizerConfig, PairStrategy, PhaseProfile,
         StageMetrics, TrackerConfig, Weighting, Workspace,
     };
-    pub use lion_engine::{BatchOutcome, Engine, Job, JobKind, JobOutput, MetricsReport};
+    pub use lion_engine::{
+        BatchOutcome, Engine, Job, JobKind, JobOutput, JobTiming, MetricsReport, StageDistributions,
+    };
     pub use lion_geom::{CircularArc, LineSegment, Point2, Point3, Trajectory, Vec3};
+    pub use lion_obs::{Histogram, Registry, Snapshot};
     pub use lion_sim::{
         Antenna, Environment, NoiseModel, PhaseTrace, Scenario, ScenarioBuilder, Tag,
     };
