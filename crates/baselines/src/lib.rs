@@ -76,6 +76,23 @@ pub enum BaselineError {
     Core(lion_core::CoreError),
 }
 
+impl BaselineError {
+    /// A stable snake_case label for this error's variant, independent of
+    /// the variant's payload — the same taxonomy contract as
+    /// [`lion_core::CoreError::kind`] (used for failure counters and the
+    /// workspace-wide `lion::Error::kind`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            BaselineError::TooFewMeasurements { .. } => "too_few_measurements",
+            BaselineError::InvalidParameter { .. } => "invalid_parameter",
+            BaselineError::NonFiniteInput { .. } => "non_finite_input",
+            BaselineError::UnsupportedGeometry { .. } => "unsupported_geometry",
+            BaselineError::Numeric(_) => "numeric",
+            BaselineError::Core(e) => e.kind(),
+        }
+    }
+}
+
 impl std::fmt::Display for BaselineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

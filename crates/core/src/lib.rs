@@ -71,6 +71,7 @@ pub mod pairs;
 pub mod preprocess;
 pub mod quality;
 pub mod tracking;
+pub mod window;
 pub mod workspace;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveConfigBuilder, AdaptiveOutcome, AdaptiveTrial};
@@ -86,20 +87,5 @@ pub use pairs::PairStrategy;
 pub use preprocess::PhaseProfile;
 pub use quality::{validate_profile, ProfileQuality, StepViolation};
 pub use tracking::{ConveyorTracker, TrackPoint, TrackerConfig, TrackerConfigBuilder};
+pub use window::{PushOutcome, SlidingWindow, WindowSample};
 pub use workspace::{StageMetrics, Workspace};
-
-impl Localizer2d {
-    /// A 2D localizer with the paper's default configuration.
-    #[deprecated(note = "use `Localizer2d::new(LocalizerConfig::paper())`")]
-    pub fn default_paper() -> Self {
-        Localizer2d::new(LocalizerConfig::paper())
-    }
-}
-
-impl Localizer3d {
-    /// A 3D localizer with the paper's default configuration.
-    #[deprecated(note = "use `Localizer3d::new(LocalizerConfig::paper())`")]
-    pub fn default_paper() -> Self {
-        Localizer3d::new(LocalizerConfig::paper())
-    }
-}

@@ -332,6 +332,28 @@ impl Localizer2d {
         self.locate_profile_in(&profile, ws)
     }
 
+    /// Locates from the reads held by a [`crate::SlidingWindow`] — the
+    /// streaming entry point. The window's `(position, wrapped phase)`
+    /// measurements are staged into `ws`'s reusable buffer and run
+    /// through the standard pipeline, so the result is **bit-identical**
+    /// to [`Localizer2d::locate`] on the same window contents (the
+    /// streaming/batch parity guarantee).
+    ///
+    /// # Errors
+    ///
+    /// See [`Localizer2d::locate`].
+    pub fn locate_window_in(
+        &self,
+        window: &crate::SlidingWindow,
+        ws: &mut Workspace,
+    ) -> Result<Estimate, CoreError> {
+        let mut staged = std::mem::take(&mut ws.window_measurements);
+        window.write_measurements_into(&mut staged);
+        let result = self.locate_in(&staged, ws);
+        ws.window_measurements = staged;
+        result
+    }
+
     /// Locates from an already prepared (unwrapped/smoothed) profile —
     /// the entry point the adaptive parameter sweep uses to avoid
     /// re-unwrapping.
@@ -393,6 +415,25 @@ impl Localizer3d {
     ) -> Result<Estimate, CoreError> {
         let profile = prepare_in(measurements, &self.config, ws)?;
         self.locate_profile_in(&profile, ws)
+    }
+
+    /// Locates from the reads held by a [`crate::SlidingWindow`];
+    /// bit-identical to [`Localizer3d::locate`] on the same window
+    /// contents. See [`Localizer2d::locate_window_in`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Localizer3d::locate`].
+    pub fn locate_window_in(
+        &self,
+        window: &crate::SlidingWindow,
+        ws: &mut Workspace,
+    ) -> Result<Estimate, CoreError> {
+        let mut staged = std::mem::take(&mut ws.window_measurements);
+        window.write_measurements_into(&mut staged);
+        let result = self.locate_in(&staged, ws);
+        ws.window_measurements = staged;
+        result
     }
 
     /// Locates from an already prepared profile.
@@ -609,6 +650,7 @@ pub(crate) fn run_with_min_in(
         coords,
         scratch,
         metrics,
+        ..
     } = ws;
     crate::model::build_system_into(coords, k, &deltas, &pairs, design, rhs)?;
     let (solution, residual_stats) = solve(design, rhs, &config.weighting, scratch)?;

@@ -1,0 +1,399 @@
+//! Bounded-memory sliding windows over a live read stream.
+//!
+//! Offline entry points ([`crate::Localizer2d::locate`]) consume a whole
+//! trace at once. A deployed reader instead produces one read at a time,
+//! indefinitely — the online pipeline keeps only the most recent reads in
+//! a [`SlidingWindow`]: a time-ordered ring buffer with a hard capacity,
+//! so an arbitrary-length trace runs in O(window) memory.
+//!
+//! The window stores each sample's **wrapped** phase (exactly as the
+//! reader reported it) alongside an incrementally maintained unwrapped
+//! phase. Solves use the wrapped phases: [`crate::Localizer2d::locate_window_in`]
+//! replays the window through the exact same unwrap → smooth → pairs →
+//! solve path as the batch `locate`, so a streaming solve on a static
+//! window is **bit-identical** to the batch solver on the same reads.
+//! This "windowed re-factorization" choice — re-running the O(window)
+//! pipeline per solve instead of rank-one normal-equation up/downdates —
+//! is deliberate; see DESIGN.md §"Streaming calibration" for the
+//! numerical tradeoff.
+//!
+//! Out-of-order arrival is handled by timestamp-sorted insertion: a late
+//! read is spliced into its time slot (so the window always equals the
+//! re-sorted trace), and a read older than everything a full window
+//! retains is rejected as too late.
+
+use std::collections::VecDeque;
+
+use lion_geom::Point3;
+
+use crate::error::CoreError;
+use crate::preprocess;
+
+/// One read held by a [`SlidingWindow`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowSample {
+    /// Read timestamp (seconds, the stream's own clock).
+    pub time: f64,
+    /// Tag position at the moment of the read.
+    pub position: Point3,
+    /// The phase exactly as reported, in `[0, 2π)` — what solves consume.
+    pub wrapped: f64,
+    /// Incrementally unwrapped phase (relative to the window's oldest
+    /// sample); a cheap continuity diagnostic, not used by the solver.
+    pub unwrapped: f64,
+}
+
+/// What [`SlidingWindow::push`] did with a read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Inserted; the window had room.
+    Inserted,
+    /// Inserted; the oldest sample was evicted to make room.
+    Evicted,
+    /// Rejected: the read is older than everything a full window retains.
+    TooLate,
+}
+
+/// A bounded, time-ordered ring buffer of phase reads.
+///
+/// # Example
+///
+/// ```
+/// use lion_core::window::{PushOutcome, SlidingWindow};
+/// use lion_geom::Point3;
+///
+/// # fn main() -> Result<(), lion_core::CoreError> {
+/// let mut w = SlidingWindow::new(3)?;
+/// for i in 0..5 {
+///     w.push(i as f64, Point3::new(i as f64 * 0.01, 0.0, 0.0), 0.1 * i as f64);
+/// }
+/// assert_eq!(w.len(), 3);
+/// assert_eq!(w.evicted(), 2);
+/// // A read older than the retained span of a full window is rejected.
+/// assert_eq!(w.push(0.5, Point3::ORIGIN, 0.0), PushOutcome::TooLate);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    samples: VecDeque<WindowSample>,
+    capacity: usize,
+    evicted: u64,
+    rejected_late: u64,
+}
+
+impl SlidingWindow {
+    /// Creates a window holding at most `capacity` reads.
+    ///
+    /// The backing buffer is allocated once, up front; pushes never
+    /// reallocate, which is what keeps unbounded streams in O(window)
+    /// memory.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] when `capacity` is zero.
+    pub fn new(capacity: usize) -> Result<Self, CoreError> {
+        if capacity == 0 {
+            return Err(CoreError::InvalidConfig {
+                parameter: "window_capacity",
+                found: "0".to_string(),
+            });
+        }
+        Ok(SlidingWindow {
+            samples: VecDeque::with_capacity(capacity),
+            capacity,
+            evicted: 0,
+            rejected_late: 0,
+        })
+    }
+
+    /// Maximum number of reads retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Allocated slots of the backing buffer — exposed so tests can pin
+    /// the O(window) memory guarantee (it must not grow after warm-up).
+    pub fn backing_capacity(&self) -> usize {
+        self.samples.capacity()
+    }
+
+    /// Reads currently held.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` when no reads are held.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Returns `true` when the window is at capacity (pushes evict).
+    pub fn is_full(&self) -> bool {
+        self.samples.len() == self.capacity
+    }
+
+    /// Total reads evicted to make room since construction.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Total reads rejected as too late since construction.
+    pub fn rejected_late(&self) -> u64 {
+        self.rejected_late
+    }
+
+    /// Time span covered by the window (newest − oldest timestamp), the
+    /// online analogue of the paper's *scanning range*; 0 when fewer than
+    /// two reads are held.
+    pub fn span(&self) -> f64 {
+        match (self.samples.front(), self.samples.back()) {
+            (Some(a), Some(b)) => b.time - a.time,
+            _ => 0.0,
+        }
+    }
+
+    /// The held samples, oldest first.
+    pub fn samples(&self) -> impl Iterator<Item = &WindowSample> {
+        self.samples.iter()
+    }
+
+    /// Inserts a read in timestamp order, evicting the oldest read when
+    /// full. A read with a non-finite field, or older than everything a
+    /// full window retains, is rejected (the latter as
+    /// [`PushOutcome::TooLate`]). Ties insert after existing equal
+    /// timestamps, so in-order delivery is never reordered.
+    pub fn push(&mut self, time: f64, position: Point3, wrapped: f64) -> PushOutcome {
+        if !time.is_finite() || !position.is_finite() || !wrapped.is_finite() {
+            self.rejected_late += 1;
+            return PushOutcome::TooLate;
+        }
+        let mut evicted_now = false;
+        if self.is_full() {
+            if let Some(front) = self.samples.front() {
+                if time < front.time {
+                    self.rejected_late += 1;
+                    return PushOutcome::TooLate;
+                }
+            }
+            // Evict BEFORE inserting so the backing buffer never exceeds
+            // `capacity` elements and therefore never reallocates.
+            self.samples.pop_front();
+            self.evicted += 1;
+            evicted_now = true;
+        }
+        // Insertion index: after every sample with time <= new time.
+        // Streams are overwhelmingly in-order, so scan from the back.
+        let mut idx = self.samples.len();
+        while idx > 0 && self.samples[idx - 1].time > time {
+            idx -= 1;
+        }
+        self.samples.insert(
+            idx,
+            WindowSample {
+                time,
+                position,
+                wrapped,
+                unwrapped: wrapped, // fixed up below
+            },
+        );
+        // An eviction re-anchors the whole unwrap chain; an in-window
+        // insert only invalidates the tail from the insertion point.
+        self.reunwrap_from(if evicted_now { 0 } else { idx });
+        if evicted_now {
+            PushOutcome::Evicted
+        } else {
+            PushOutcome::Inserted
+        }
+    }
+
+    /// Recomputes the incremental unwrapped phases from `start` to the
+    /// newest sample. In-order pushes hit this with `start = len − 1`
+    /// (O(1)); an out-of-order splice or an eviction re-anchors the tail.
+    fn reunwrap_from(&mut self, start: usize) {
+        let n = self.samples.len();
+        for i in start..n {
+            if i == 0 {
+                let s = &mut self.samples[0];
+                s.unwrapped = s.wrapped;
+                continue;
+            }
+            let prev = self.samples[i - 1];
+            let s = &mut self.samples[i];
+            let mut jump = s.wrapped - prev.wrapped;
+            while jump >= std::f64::consts::PI {
+                jump -= std::f64::consts::TAU;
+            }
+            while jump < -std::f64::consts::PI {
+                jump += std::f64::consts::TAU;
+            }
+            s.unwrapped = prev.unwrapped + jump;
+        }
+    }
+
+    /// Writes the window's `(position, wrapped phase)` measurements —
+    /// oldest first — into `out` (cleared first). This is exactly the
+    /// list the batch entry points accept, which is what makes streaming
+    /// solves bit-identical to [`crate::Localizer2d::locate`] on the same
+    /// window.
+    pub fn write_measurements_into(&self, out: &mut Vec<(Point3, f64)>) {
+        out.clear();
+        out.extend(self.samples.iter().map(|s| (s.position, s.wrapped)));
+    }
+
+    /// Builds a [`preprocess::PhaseProfile`] from the window's
+    /// incrementally unwrapped phases (diagnostics; solves go through
+    /// [`SlidingWindow::write_measurements_into`] instead).
+    ///
+    /// # Errors
+    ///
+    /// See [`preprocess::PhaseProfile::from_unwrapped`].
+    pub fn to_profile(&self, wavelength: f64) -> Result<preprocess::PhaseProfile, CoreError> {
+        preprocess::PhaseProfile::from_unwrapped(
+            self.samples.iter().map(|s| s.position).collect(),
+            self.samples.iter().map(|s| s.unwrapped).collect(),
+            wavelength,
+        )
+    }
+
+    /// Drops every held read (counters are kept).
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    fn p(x: f64) -> Point3 {
+        Point3::new(x, 0.0, 0.0)
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        assert!(matches!(
+            SlidingWindow::new(0),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn push_evicts_oldest_beyond_capacity() {
+        let mut w = SlidingWindow::new(4).unwrap();
+        for i in 0..10 {
+            let out = w.push(i as f64, p(i as f64), 0.0);
+            if i < 4 {
+                assert_eq!(out, PushOutcome::Inserted);
+            } else {
+                assert_eq!(out, PushOutcome::Evicted);
+            }
+        }
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.evicted(), 6);
+        let times: Vec<f64> = w.samples().map(|s| s.time).collect();
+        assert_eq!(times, vec![6.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn out_of_order_insertion_sorts_by_time() {
+        let mut w = SlidingWindow::new(8).unwrap();
+        for t in [0.0, 3.0, 1.0, 2.0, 5.0, 4.0] {
+            w.push(t, p(t), 0.0);
+        }
+        let times: Vec<f64> = w.samples().map(|s| s.time).collect();
+        assert_eq!(times, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn too_late_rejected_only_when_full() {
+        let mut w = SlidingWindow::new(3).unwrap();
+        for t in [5.0, 6.0] {
+            w.push(t, p(t), 0.0);
+        }
+        // Not full: an older read is fine.
+        assert_eq!(w.push(1.0, p(1.0), 0.0), PushOutcome::Inserted);
+        // Full: older than the retained front is rejected.
+        assert_eq!(w.push(0.5, p(0.5), 0.0), PushOutcome::TooLate);
+        assert_eq!(w.rejected_late(), 1);
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn non_finite_reads_rejected() {
+        let mut w = SlidingWindow::new(3).unwrap();
+        assert_eq!(w.push(f64::NAN, p(0.0), 0.0), PushOutcome::TooLate);
+        assert_eq!(w.push(0.0, p(0.0), f64::INFINITY), PushOutcome::TooLate);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn incremental_unwrap_matches_batch_unwrap() {
+        // A ramp that wraps several times.
+        let truth: Vec<f64> = (0..50).map(|i| 0.4 * i as f64).collect();
+        let wrapped: Vec<f64> = truth.iter().map(|t| t.rem_euclid(TAU)).collect();
+        let mut w = SlidingWindow::new(64).unwrap();
+        for (i, &theta) in wrapped.iter().enumerate() {
+            w.push(i as f64, p(i as f64 * 0.01), theta);
+        }
+        let batch = preprocess::unwrap_phases(&wrapped);
+        for (s, b) in w.samples().zip(&batch) {
+            assert!((s.unwrapped - b).abs() < 1e-12, "{} vs {}", s.unwrapped, b);
+        }
+    }
+
+    #[test]
+    fn unwrap_consistent_after_out_of_order_splice() {
+        let truth: Vec<f64> = (0..20).map(|i| 0.5 * i as f64).collect();
+        let wrapped: Vec<f64> = truth.iter().map(|t| t.rem_euclid(TAU)).collect();
+        let mut w = SlidingWindow::new(32).unwrap();
+        // Deliver with index 7 held back until the end.
+        for (i, &theta) in wrapped.iter().enumerate() {
+            if i != 7 {
+                w.push(i as f64, p(i as f64 * 0.01), theta);
+            }
+        }
+        w.push(7.0, p(0.07), wrapped[7]);
+        let batch = preprocess::unwrap_phases(&wrapped);
+        for (s, b) in w.samples().zip(&batch) {
+            assert!((s.unwrapped - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn span_and_measurements() {
+        let mut w = SlidingWindow::new(4).unwrap();
+        assert_eq!(w.span(), 0.0);
+        w.push(1.0, p(0.1), 0.2);
+        w.push(3.0, p(0.3), 0.4);
+        assert_eq!(w.span(), 2.0);
+        let mut out = vec![(Point3::ORIGIN, 9.9)];
+        w.write_measurements_into(&mut out);
+        assert_eq!(out, vec![(p(0.1), 0.2), (p(0.3), 0.4)]);
+        w.clear();
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn backing_buffer_never_grows() {
+        let mut w = SlidingWindow::new(256).unwrap();
+        for i in 0..1000 {
+            w.push(
+                i as f64,
+                p(i as f64 * 1e-3),
+                (i as f64 * 0.3).rem_euclid(TAU),
+            );
+        }
+        let warm = w.backing_capacity();
+        for i in 1000..20_000 {
+            w.push(
+                i as f64,
+                p(i as f64 * 1e-3),
+                (i as f64 * 0.3).rem_euclid(TAU),
+            );
+        }
+        assert_eq!(w.backing_capacity(), warm, "ring buffer reallocated");
+        assert_eq!(w.len(), 256);
+    }
+}

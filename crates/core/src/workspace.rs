@@ -145,6 +145,10 @@ pub struct Workspace {
     pub(crate) coords: Vec<f64>,
     pub(crate) scratch: LstsqScratch,
     pub(crate) metrics: StageMetrics,
+    /// Reusable staging buffer for windowed solves: a
+    /// [`crate::SlidingWindow`]'s measurements are copied here (capacity
+    /// retained across solves) before running the standard pipeline.
+    pub(crate) window_measurements: Vec<(lion_geom::Point3, f64)>,
 }
 
 impl Workspace {
@@ -157,6 +161,7 @@ impl Workspace {
             coords: Vec::new(),
             scratch: LstsqScratch::new(),
             metrics: StageMetrics::default(),
+            window_measurements: Vec::new(),
         }
     }
 

@@ -54,7 +54,9 @@
 mod engine;
 mod job;
 pub mod metrics;
+mod stream;
 
 pub use engine::{BatchOutcome, Engine, EngineBuilder};
 pub use job::{Job, JobKind, JobOutput};
 pub use metrics::{JobTiming, MetricsReport, StageDistributions};
+pub use stream::{StreamJob, StreamOutcome};

@@ -1,0 +1,334 @@
+//! Concurrent stream execution: many tag streams, one worker pool.
+//!
+//! A batch [`crate::Job`] is "here is a finished trace, locate it"; a
+//! [`StreamJob`] is "here is a *live feed* of reads for one tag, keep a
+//! running estimate". [`Engine::run_streams`] multiplexes any number of
+//! such feeds across the same scoped worker pool as [`Engine::run`], one
+//! stream per worker at a time, draining a shared atomic cursor.
+//!
+//! Each stream gets its own bounded [`Ingress`] queue between arrival and
+//! solve — the per-stream backpressure. Reads arrive in bursts (a real
+//! reader reports inventory rounds, not single tags); when a burst
+//! overflows the queue, the **oldest queued** reads are shed, newest
+//! kept. Both the burst schedule and the shed set are pure functions of
+//! the job description, so outcomes are bit-identical across worker
+//! counts and runs — see `tests/stream_backpressure.rs`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use lion_core::CoreError;
+use lion_stream::{Ingress, StreamConfig, StreamEstimate, StreamLocalizer, StreamRead};
+
+use crate::engine::Engine;
+
+/// One tag's read feed plus the pipeline and backpressure settings to
+/// run it under.
+#[derive(Debug, Clone)]
+pub struct StreamJob {
+    /// The reads, in arrival order (not necessarily timestamp order —
+    /// the window re-sorts).
+    pub reads: Vec<StreamRead>,
+    /// Pipeline configuration.
+    pub config: StreamConfig,
+    /// Reads delivered per arrival burst (an inventory round). The queue
+    /// is drained between bursts.
+    pub burst: usize,
+    /// Ingress queue capacity; a burst larger than this sheds its oldest
+    /// queued reads deterministically.
+    pub queue_capacity: usize,
+    /// Whether to force a final solve on whatever the window holds after
+    /// the feed ends (reads past the last cadence point).
+    pub flush_at_end: bool,
+}
+
+impl StreamJob {
+    /// A job with the default burst shape: bursts of 32 into a queue of
+    /// 64, flushing at end-of-stream.
+    pub fn new(reads: Vec<StreamRead>, config: StreamConfig) -> Self {
+        StreamJob {
+            reads,
+            config,
+            burst: 32,
+            queue_capacity: 64,
+            flush_at_end: true,
+        }
+    }
+
+    /// Sets the arrival burst size.
+    pub fn with_burst(mut self, burst: usize) -> Self {
+        self.burst = burst;
+        self
+    }
+
+    /// Sets the ingress queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Enables or disables the end-of-stream flush solve.
+    pub fn with_flush_at_end(mut self, flush: bool) -> Self {
+        self.flush_at_end = flush;
+        self
+    }
+
+    /// Checks the job's invariants (burst ≥ 1; queue and pipeline config
+    /// via their own validators).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] naming the offending parameter.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.burst == 0 {
+            return Err(CoreError::InvalidConfig {
+                parameter: "burst",
+                found: "0".to_string(),
+            });
+        }
+        if self.queue_capacity == 0 {
+            return Err(CoreError::InvalidConfig {
+                parameter: "queue_capacity",
+                found: "0".to_string(),
+            });
+        }
+        self.config.validate()
+    }
+}
+
+/// Everything one stream produced.
+#[derive(Debug, Clone)]
+pub struct StreamOutcome {
+    /// Every estimate the pipeline emitted, in emission order.
+    pub estimates: Vec<StreamEstimate>,
+    /// Reads the feed offered.
+    pub reads_in: u64,
+    /// Reads shed by ingress backpressure (queue overflow, oldest-drop).
+    pub overflow_dropped: u64,
+    /// Reads rejected by the window as too late.
+    pub late_rejected: u64,
+    /// Due solves that failed (counted, not fatal — the stream carries
+    /// on; a window can be transiently degenerate).
+    pub solve_errors: u64,
+    /// Whether the stream ended in the converged state.
+    pub converged: bool,
+}
+
+impl StreamOutcome {
+    /// The last emitted estimate, if any solve succeeded.
+    pub fn final_estimate(&self) -> Option<&StreamEstimate> {
+        self.estimates.last()
+    }
+}
+
+/// Runs one stream to completion: burst-offer into ingress, drain into
+/// the pipeline, repeat; optional flush at end-of-feed.
+fn run_stream_job(job: &StreamJob) -> Result<StreamOutcome, CoreError> {
+    job.validate()?;
+    let _span = lion_obs::span!("lion.stream.job");
+    let mut pipeline = StreamLocalizer::new(job.config.clone())?;
+    let mut ingress = Ingress::new(job.queue_capacity)?;
+    let mut estimates = Vec::new();
+    let mut solve_errors = 0u64;
+    for burst in job.reads.chunks(job.burst) {
+        for &read in burst {
+            // Overflow sheds the oldest queued read; it never reaches
+            // the pipeline, exactly as if the reader buffer dropped it.
+            let _ = ingress.offer(read);
+        }
+        while let Some((read, arrival)) = ingress.pop_with_arrival() {
+            match pipeline.push_at(read, arrival) {
+                Ok(Some(estimate)) => estimates.push(estimate),
+                Ok(None) => {}
+                Err(_) => solve_errors += 1,
+            }
+        }
+    }
+    if job.flush_at_end {
+        // Only meaningful when reads arrived after the last cadence
+        // solve; a flush on an already-solved window re-emits.
+        match pipeline.flush() {
+            Ok(Some(estimate)) => estimates.push(estimate),
+            Ok(None) => {}
+            Err(_) => solve_errors += 1,
+        }
+    }
+    lion_obs::event!(
+        lion_obs::Level::Info,
+        "lion.stream.job.done",
+        "reads" => job.reads.len() as u64,
+        "estimates" => estimates.len() as u64,
+        "dropped" => ingress.overflow_dropped(),
+        "converged" => pipeline.is_converged(),
+    );
+    Ok(StreamOutcome {
+        reads_in: ingress.offered(),
+        overflow_dropped: ingress.overflow_dropped(),
+        late_rejected: pipeline.rejected_late(),
+        solve_errors,
+        converged: pipeline.is_converged(),
+        estimates,
+    })
+}
+
+impl Engine {
+    /// Runs every stream to completion across the worker pool, returning
+    /// outcomes in submission order.
+    ///
+    /// Parallelism is *across* streams: each stream is drained start to
+    /// finish by one worker (reads within a stream are sequential by
+    /// nature), and workers pull the next pending stream from an atomic
+    /// cursor. Outcomes are bit-identical for any worker count. A job
+    /// with an invalid configuration fails in its own slot without
+    /// affecting the rest.
+    pub fn run_streams(&self, jobs: &[StreamJob]) -> Vec<Result<StreamOutcome, CoreError>> {
+        let workers = self.workers().min(jobs.len()).max(1);
+        if workers == 1 {
+            return jobs.iter().map(run_stream_job).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let mut collected: Vec<(usize, Result<StreamOutcome, CoreError>)> =
+            Vec::with_capacity(jobs.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(job) = jobs.get(i) else { break };
+                            local.push((i, run_stream_job(job)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                collected.extend(handle.join().expect("stream worker panicked"));
+            }
+        });
+        collected.sort_unstable_by_key(|(i, _)| *i);
+        collected.into_iter().map(|(_, outcome)| outcome).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lion_geom::Point3;
+    use lion_stream::Cadence;
+    use std::f64::consts::{PI, TAU};
+
+    fn clean_reads(antenna: Point3, n: usize) -> Vec<StreamRead> {
+        let lambda = StreamConfig::default().localizer.wavelength;
+        (0..n)
+            .map(|i| {
+                let a = i as f64 * TAU / 120.0;
+                let p = Point3::new(0.3 * a.cos(), 0.3 * a.sin(), 0.0);
+                StreamRead {
+                    time: i as f64 * 0.01,
+                    position: p,
+                    phase: (4.0 * PI * antenna.distance(p) / lambda) % TAU,
+                    ..StreamRead::default()
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streams_come_back_in_submission_order() {
+        // Distinct antennas identify the slots.
+        let jobs: Vec<StreamJob> = (0..6)
+            .map(|i| {
+                let antenna = Point3::new(1.0 + 0.1 * i as f64, 0.4, 0.0);
+                StreamJob::new(clean_reads(antenna, 300), StreamConfig::default())
+            })
+            .collect();
+        let outcomes = Engine::builder()
+            .workers(3)
+            .build()
+            .expect("valid")
+            .run_streams(&jobs);
+        assert_eq!(outcomes.len(), 6);
+        for (i, outcome) in outcomes.iter().enumerate() {
+            let outcome = outcome.as_ref().expect("clean stream runs");
+            let expected = Point3::new(1.0 + 0.1 * i as f64, 0.4, 0.0);
+            let got = outcome
+                .final_estimate()
+                .expect("estimates emitted")
+                .position;
+            assert!(got.distance(expected) < 5e-2, "slot {i}: {got:?}");
+        }
+    }
+
+    #[test]
+    fn outcomes_are_identical_across_worker_counts() {
+        let jobs: Vec<StreamJob> = (0..4)
+            .map(|i| {
+                let antenna = Point3::new(1.0 + 0.1 * i as f64, 0.4, 0.0);
+                StreamJob::new(clean_reads(antenna, 250), StreamConfig::default())
+                    .with_burst(40)
+                    .with_queue_capacity(24)
+            })
+            .collect();
+        let serial = Engine::serial().run_streams(&jobs);
+        let parallel = Engine::builder()
+            .workers(4)
+            .build()
+            .expect("valid")
+            .run_streams(&jobs);
+        for (s, p) in serial.iter().zip(&parallel) {
+            let (s, p) = (s.as_ref().unwrap(), p.as_ref().unwrap());
+            assert_eq!(s.overflow_dropped, p.overflow_dropped);
+            assert_eq!(s.estimates.len(), p.estimates.len());
+            for (a, b) in s.estimates.iter().zip(&p.estimates) {
+                // Bit-identical, not approximately equal.
+                assert_eq!(a.position, b.position);
+                assert_eq!(a.d_r, b.d_r);
+                assert_eq!(a.seq, b.seq);
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_bursts_shed_deterministically() {
+        let antenna = Point3::new(1.2, 0.4, 0.0);
+        // 100-read bursts into a 25-slot queue: 75 shed per full burst.
+        let job = StreamJob::new(
+            clean_reads(antenna, 300),
+            StreamConfig::builder()
+                .cadence(Cadence::EveryReads(8))
+                .build()
+                .unwrap(),
+        )
+        .with_burst(100)
+        .with_queue_capacity(25);
+        let outcome = Engine::serial()
+            .run_streams(std::slice::from_ref(&job))
+            .pop()
+            .unwrap()
+            .expect("runs");
+        assert_eq!(outcome.reads_in, 300);
+        assert_eq!(outcome.overflow_dropped, 3 * 75);
+        // And the exact same counts again.
+        let again = Engine::serial().run_streams(&[job]).pop().unwrap().unwrap();
+        assert_eq!(again.overflow_dropped, outcome.overflow_dropped);
+        assert_eq!(again.estimates.len(), outcome.estimates.len());
+    }
+
+    #[test]
+    fn invalid_job_fails_in_its_own_slot() {
+        let antenna = Point3::new(1.2, 0.4, 0.0);
+        let good = StreamJob::new(clean_reads(antenna, 200), StreamConfig::default());
+        let bad = good.clone().with_burst(0);
+        let outcomes = Engine::serial().run_streams(&[good.clone(), bad, good]);
+        assert!(outcomes[0].is_ok());
+        assert!(matches!(
+            outcomes[1],
+            Err(CoreError::InvalidConfig {
+                parameter: "burst",
+                ..
+            })
+        ));
+        assert!(outcomes[2].is_ok());
+    }
+}

@@ -57,6 +57,19 @@ pub enum GeomError {
     },
 }
 
+impl GeomError {
+    /// A stable snake_case label for this error's variant, independent of
+    /// the variant's payload — the same taxonomy contract as
+    /// `CoreError::kind` in `lion-core` (used for failure counters and
+    /// the workspace-wide `lion::Error::kind`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            GeomError::Degenerate { .. } => "degenerate",
+            GeomError::InvalidInput { .. } => "invalid_input",
+        }
+    }
+}
+
 impl std::fmt::Display for GeomError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

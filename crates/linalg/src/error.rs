@@ -46,6 +46,24 @@ pub enum LinalgError {
     },
 }
 
+impl LinalgError {
+    /// A stable snake_case label for this error's variant, independent of
+    /// the variant's payload — the same taxonomy contract as
+    /// `CoreError::kind` in `lion-core` (used for failure counters and
+    /// the workspace-wide `lion::Error::kind`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LinalgError::DimensionMismatch { .. } => "dimension_mismatch",
+            LinalgError::Singular => "singular",
+            LinalgError::NotPositiveDefinite => "not_positive_definite",
+            LinalgError::RankDeficient { .. } => "rank_deficient",
+            LinalgError::NonConvergence { .. } => "non_convergence",
+            LinalgError::EmptyInput { .. } => "empty_input",
+            LinalgError::NotFinite { .. } => "not_finite",
+        }
+    }
+}
+
 impl fmt::Display for LinalgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -46,6 +46,7 @@ mod hist;
 pub mod json;
 mod registry;
 mod subscriber;
+mod timer;
 
 pub use hist::{Histogram, SUB_BUCKETS};
 pub use registry::{global, Metric, Registry, Snapshot};
@@ -54,3 +55,4 @@ pub use subscriber::{
     set_thread_subscriber, CollectingSubscriber, Event, Level, OwnedEvent, Span, SpanClose,
     Subscriber, ThreadSubscriberGuard, Value,
 };
+pub use timer::HistogramTimer;

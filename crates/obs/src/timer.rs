@@ -1,0 +1,101 @@
+//! Scoped histogram timers.
+//!
+//! A [`HistogramTimer`] measures the wall-clock lifetime of a scope and
+//! records it (in nanoseconds) into a named [`Registry`] histogram on
+//! drop — the ergonomic way to feed latency distributions like the
+//! streaming pipeline's `lion.stream.stream_lag_ns` without sprinkling
+//! `Instant::now()` pairs through the call sites.
+
+use std::time::Instant;
+
+use crate::registry::Registry;
+
+/// Records elapsed nanoseconds into a registry histogram when dropped.
+///
+/// # Example
+///
+/// ```
+/// use lion_obs::{HistogramTimer, Registry};
+///
+/// let registry = Registry::new();
+/// {
+///     let _t = HistogramTimer::start(&registry, "work_ns");
+///     // ... timed work ...
+/// }
+/// let snap = registry.snapshot();
+/// assert_eq!(snap.histogram("work_ns").unwrap().count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct HistogramTimer<'a> {
+    registry: &'a Registry,
+    name: &'a str,
+    started: Instant,
+    stopped: bool,
+}
+
+impl<'a> HistogramTimer<'a> {
+    /// Starts timing; the elapsed time lands in `registry`'s histogram
+    /// `name` when the timer drops (or [`HistogramTimer::stop`] is
+    /// called).
+    pub fn start(registry: &'a Registry, name: &'a str) -> Self {
+        HistogramTimer {
+            registry,
+            name,
+            started: Instant::now(),
+            stopped: false,
+        }
+    }
+
+    /// Records now instead of at drop, returning the elapsed nanoseconds.
+    pub fn stop(mut self) -> u64 {
+        let elapsed = self.record();
+        self.stopped = true;
+        elapsed
+    }
+
+    /// Nanoseconds since the timer started, saturating at `u64::MAX`.
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn record(&self) -> u64 {
+        let elapsed = self.elapsed_ns();
+        self.registry.histogram_record(self.name, elapsed);
+        elapsed
+    }
+}
+
+impl Drop for HistogramTimer<'_> {
+    fn drop(&mut self) {
+        if !self.stopped {
+            self.record();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_on_drop() {
+        let registry = Registry::new();
+        {
+            let _t = HistogramTimer::start(&registry, "t_ns");
+        }
+        {
+            let _t = HistogramTimer::start(&registry, "t_ns");
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.histogram("t_ns").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn stop_records_once() {
+        let registry = Registry::new();
+        let t = HistogramTimer::start(&registry, "t_ns");
+        let _elapsed = t.stop();
+        let snap = registry.snapshot();
+        assert_eq!(snap.histogram("t_ns").unwrap().count(), 1);
+    }
+}

@@ -62,6 +62,7 @@ mod noise;
 mod reader;
 mod rf;
 mod scenario;
+mod source;
 mod tag;
 
 pub use antenna::{Antenna, AntennaBuilder};
@@ -73,6 +74,7 @@ pub use noise::NoiseModel;
 pub use reader::{InventoryConfig, MissModel, Reader};
 pub use rf::{FrequencyPlan, SPEED_OF_LIGHT, US_DEFAULT_FREQUENCY_HZ};
 pub use scenario::{PhaseSample, PhaseTrace, Scenario, ScenarioBuilder};
+pub use source::SampleSource;
 pub use tag::Tag;
 
 /// Errors produced by the simulation substrate.
@@ -100,6 +102,21 @@ pub enum SimError {
         /// Human-readable description.
         detail: String,
     },
+}
+
+impl SimError {
+    /// A stable snake_case label for this error's variant, independent of
+    /// the variant's payload — the same taxonomy contract as
+    /// [`lion_core::CoreError::kind`] (used for failure counters and the
+    /// workspace-wide `lion::Error::kind`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimError::MissingComponent { .. } => "missing_component",
+            SimError::InvalidParameter { .. } => "invalid_parameter",
+            SimError::Geometry(_) => "geometry",
+            SimError::Parse { .. } => "parse",
+        }
+    }
 }
 
 impl std::fmt::Display for SimError {

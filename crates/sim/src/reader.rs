@@ -19,8 +19,14 @@ use crate::SimError;
 /// Probability model for whether an interrogation round yields a read.
 ///
 /// The success probability is a logistic function of the RSSI:
-/// `p = 1 / (1 + exp(−(rssi − threshold)/width))`, clamped to
-/// `[floor, ceiling]`.
+/// `p = 1 / (1 + exp(−(rssi − threshold)/width))`. The `floor`/`ceiling`
+/// clamps are applied **after** the logistic is evaluated (they bound its
+/// output, they do not reshape its slope), so `floor` puts a lower bound
+/// on the probability at any RSSI — however weak — and `ceiling` caps it
+/// at any RSSI — however strong. With `rssi_threshold_dbm` at
+/// `f64::NEG_INFINITY` the logistic is bypassed entirely and the clamped
+/// `ceiling` is returned directly, which is how [`MissModel::always_reads`]
+/// (ceiling = 1) pins the probability to exactly 1.0 at every RSSI.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MissModel {
     /// RSSI (dB) at which the read probability is 50%.
@@ -261,6 +267,38 @@ mod tests {
             .len();
         assert!(far < near, "far {far} should read less than near {near}");
         assert!(far > 0, "far tag should still read sometimes");
+    }
+
+    #[test]
+    fn always_reads_is_exactly_one_across_the_full_rssi_range() {
+        // Pins the documented contract: the clamps apply after the
+        // logistic, and `always_reads` bypasses the logistic entirely, so
+        // p is exactly 1.0 at ANY RSSI — weak, strong, or infinite.
+        let m = MissModel::always_reads();
+        let mut rssi = -200.0;
+        while rssi <= 200.0 {
+            assert_eq!(m.read_probability(rssi), 1.0, "rssi {rssi}");
+            rssi += 0.5;
+        }
+        assert_eq!(m.read_probability(f64::NEG_INFINITY), 1.0);
+        assert_eq!(m.read_probability(f64::INFINITY), 1.0);
+    }
+
+    #[test]
+    fn clamps_apply_after_the_logistic() {
+        // A floor ABOVE the logistic's value at weak RSSI must win, and a
+        // ceiling BELOW its value at strong RSSI must win — i.e. the
+        // clamp bounds the logistic's output rather than reshaping it.
+        let m = MissModel {
+            rssi_threshold_dbm: 0.0,
+            soft_width_db: 1.0,
+            floor: 0.2,
+            ceiling: 0.8,
+        };
+        assert_eq!(m.read_probability(-50.0), 0.2);
+        assert_eq!(m.read_probability(50.0), 0.8);
+        // In between, the raw logistic value passes through untouched.
+        assert!((m.read_probability(0.0) - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,272 @@
+//! Pull-based sample sources: replay a trace (or a live inventory) as a
+//! stream of one-at-a-time reads.
+//!
+//! Offline pipelines consume a whole [`PhaseTrace`]; a deployed reader
+//! delivers reads one at a time, slightly out of order (LLRP report
+//! batching), and with dropouts. [`SampleSource`] turns any trace into
+//! exactly that kind of stream so the online pipeline (`lion-stream`) can
+//! be exercised against realistic arrival patterns:
+//!
+//! - [`SampleSource::replay`] — in-order replay of a recorded trace,
+//! - [`SampleSource::with_shuffle`] — bounded out-of-order delivery: each
+//!   read may overtake at most `depth − 1` neighbours (a seeded
+//!   reservoir shuffle, deterministic per seed),
+//! - [`SampleSource::with_drop_probability`] — i.i.d. read loss on top of
+//!   whatever the [`crate::Reader`] miss model already removed.
+//!
+//! The source is a plain [`Iterator`] over [`PhaseSample`]s, so it plugs
+//! into `for` loops, adaptors, and channel feeds alike.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lion_geom::Trajectory;
+
+use crate::reader::Reader;
+use crate::scenario::{PhaseSample, PhaseTrace, Scenario};
+use crate::SimError;
+
+/// A pull-based stream of reads replayed from a trace.
+///
+/// # Example
+///
+/// ```
+/// use lion_geom::{LineSegment, Point3};
+/// use lion_sim::{Antenna, SampleSource, ScenarioBuilder, Tag};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut scenario = ScenarioBuilder::new()
+///     .antenna(Antenna::builder(Point3::new(0.0, 0.8, 0.0)).build())
+///     .tag(Tag::new("stream"))
+///     .seed(9)
+///     .build()?;
+/// let track = LineSegment::along_x(-0.3, 0.3, 0.0, 0.0)?;
+/// let trace = scenario.scan(&track, 0.1, 50.0)?;
+/// let n = trace.len();
+/// // Out-of-order, lossy delivery of the same reads.
+/// let reads: Vec<_> = SampleSource::replay(&trace)
+///     .with_shuffle(8, 7)
+///     .with_drop_probability(0.05, 11)
+///     .collect();
+/// assert!(reads.len() <= n);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SampleSource {
+    /// Remaining samples, stored reversed so `next()` pops from the back.
+    pending: Vec<PhaseSample>,
+    /// Reorder reservoir (empty when delivery is in-order).
+    reservoir: Vec<PhaseSample>,
+    shuffle_depth: usize,
+    drop_probability: f64,
+    rng: StdRng,
+    delivered: u64,
+    dropped: u64,
+}
+
+impl SampleSource {
+    /// An in-order, lossless replay of `trace`.
+    pub fn replay(trace: &PhaseTrace) -> Self {
+        let mut pending: Vec<PhaseSample> = trace.samples().to_vec();
+        pending.reverse();
+        SampleSource {
+            pending,
+            reservoir: Vec::new(),
+            shuffle_depth: 1,
+            drop_probability: 0.0,
+            rng: StdRng::seed_from_u64(0),
+            delivered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Runs a full [`Reader::inventory`] pass and replays the resulting
+    /// trace — "live" reads including the reader's own miss model and
+    /// slot jitter.
+    ///
+    /// # Errors
+    ///
+    /// See [`Reader::inventory`].
+    pub fn inventory<T: Trajectory + ?Sized>(
+        reader: &Reader,
+        scenario: &mut Scenario,
+        trajectory: &T,
+        speed: f64,
+    ) -> Result<Self, SimError> {
+        Ok(SampleSource::replay(
+            &reader.inventory(scenario, trajectory, speed)?,
+        ))
+    }
+
+    /// Enables bounded out-of-order delivery: reads are emitted from a
+    /// `depth`-slot reservoir filled in arrival order and drained in a
+    /// seeded random order, so a read can overtake at most `depth − 1`
+    /// neighbours. `depth <= 1` keeps delivery in-order.
+    pub fn with_shuffle(mut self, depth: usize, seed: u64) -> Self {
+        self.shuffle_depth = depth.max(1);
+        self.rng = StdRng::seed_from_u64(seed);
+        self
+    }
+
+    /// Enables i.i.d. read loss at probability `p` (clamped to `[0, 1)`).
+    /// Without shuffling the drop draws use their own stream seeded with
+    /// `seed ^ 0x5eed`; with shuffling enabled both draws share the
+    /// shuffle RNG (still deterministic per shuffle seed).
+    pub fn with_drop_probability(mut self, p: f64, seed: u64) -> Self {
+        self.drop_probability = if p.is_finite() {
+            p.clamp(0.0, 0.999_999)
+        } else {
+            0.0
+        };
+        if self.shuffle_depth <= 1 {
+            self.rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        }
+        self
+    }
+
+    /// Reads delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Reads dropped by [`SampleSource::with_drop_probability`] so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Pulls the next read from the input, refilling the reservoir.
+    fn pull(&mut self) -> Option<PhaseSample> {
+        loop {
+            let sample = self.pending.pop()?;
+            if self.drop_probability > 0.0 && self.rng.gen::<f64>() < self.drop_probability {
+                self.dropped += 1;
+                continue;
+            }
+            return Some(sample);
+        }
+    }
+}
+
+impl Iterator for SampleSource {
+    type Item = PhaseSample;
+
+    fn next(&mut self) -> Option<PhaseSample> {
+        if self.shuffle_depth <= 1 {
+            let s = self.pull();
+            if s.is_some() {
+                self.delivered += 1;
+            }
+            return s;
+        }
+        // Reservoir shuffle: keep up to `depth` reads buffered, emit a
+        // uniformly chosen one each step.
+        while self.reservoir.len() < self.shuffle_depth {
+            match self.pull() {
+                Some(s) => self.reservoir.push(s),
+                None => break,
+            }
+        }
+        if self.reservoir.is_empty() {
+            return None;
+        }
+        let idx = self.rng.gen_range(0..self.reservoir.len());
+        self.delivered += 1;
+        Some(self.reservoir.swap_remove(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::antenna::Antenna;
+    use crate::noise::NoiseModel;
+    use crate::scenario::ScenarioBuilder;
+    use crate::tag::Tag;
+    use lion_geom::{LineSegment, Point3};
+
+    fn trace(seed: u64) -> PhaseTrace {
+        let mut sc = ScenarioBuilder::new()
+            .antenna(Antenna::builder(Point3::new(0.0, 0.8, 0.0)).build())
+            .tag(Tag::new("src"))
+            .noise(NoiseModel::noiseless())
+            .seed(seed)
+            .build()
+            .expect("components set");
+        let track = LineSegment::along_x(-0.3, 0.3, 0.0, 0.0).expect("valid");
+        sc.scan(&track, 0.1, 50.0).expect("valid scan")
+    }
+
+    #[test]
+    fn replay_is_lossless_and_in_order() {
+        let t = trace(1);
+        let reads: Vec<PhaseSample> = SampleSource::replay(&t).collect();
+        assert_eq!(reads.len(), t.len());
+        assert_eq!(reads, t.samples().to_vec());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_with_bounded_displacement() {
+        let t = trace(2);
+        let depth = 6;
+        let reads: Vec<PhaseSample> = SampleSource::replay(&t).with_shuffle(depth, 42).collect();
+        assert_eq!(reads.len(), t.len());
+        // Same multiset: re-sorting by time recovers the original trace.
+        let mut sorted = reads.clone();
+        sorted.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite times"));
+        assert_eq!(sorted, t.samples().to_vec());
+        // Bounded displacement: read i can appear no earlier than
+        // position i − (depth − 1).
+        for (emit_pos, read) in reads.iter().enumerate() {
+            let orig_pos = t
+                .samples()
+                .iter()
+                .position(|s| s == read)
+                .expect("read came from the trace");
+            assert!(
+                emit_pos + depth > orig_pos,
+                "read {orig_pos} emitted too early at {emit_pos}"
+            );
+        }
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_per_seed() {
+        let t = trace(3);
+        let a: Vec<PhaseSample> = SampleSource::replay(&t).with_shuffle(8, 7).collect();
+        let b: Vec<PhaseSample> = SampleSource::replay(&t).with_shuffle(8, 7).collect();
+        let c: Vec<PhaseSample> = SampleSource::replay(&t).with_shuffle(8, 8).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn drops_remove_roughly_p_fraction() {
+        let t = trace(4);
+        let mut source = SampleSource::replay(&t).with_drop_probability(0.3, 5);
+        let reads: Vec<PhaseSample> = source.by_ref().collect();
+        let kept = reads.len() as f64 / t.len() as f64;
+        assert!((0.55..0.85).contains(&kept), "kept fraction {kept}");
+        assert_eq!(source.delivered() as usize, reads.len());
+        assert_eq!(source.dropped() as usize, t.len() - reads.len());
+    }
+
+    #[test]
+    fn inventory_source_streams_reader_output() {
+        let mut sc = ScenarioBuilder::new()
+            .antenna(Antenna::builder(Point3::new(0.0, 0.8, 0.0)).build())
+            .tag(Tag::new("src"))
+            .seed(6)
+            .build()
+            .expect("components set");
+        let track = LineSegment::along_x(-0.2, 0.2, 0.0, 0.0).expect("valid");
+        let reader = Reader::new(crate::reader::InventoryConfig::default());
+        let reads: Vec<PhaseSample> = SampleSource::inventory(&reader, &mut sc, &track, 0.1)
+            .expect("valid inventory")
+            .collect();
+        assert!(reads.len() > 100);
+        for w in reads.windows(2) {
+            assert!(w[1].time >= w[0].time);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Hysteresis-based convergence detection.
+
+use lion_geom::Point3;
+
+use crate::config::ConvergenceConfig;
+
+/// Tracks whether successive position estimates have settled.
+///
+/// Pure hysteresis state machine (see [`ConvergenceConfig`]): feed it each
+/// solve's position via [`ConvergenceTracker::observe`] and read back
+/// whether the stream counts as converged. No wall-clock, no randomness —
+/// the same estimate sequence always produces the same verdict sequence.
+#[derive(Debug, Clone)]
+pub struct ConvergenceTracker {
+    config: ConvergenceConfig,
+    last: Option<Point3>,
+    streak: usize,
+    converged: bool,
+}
+
+impl ConvergenceTracker {
+    /// A tracker in the unconverged state.
+    pub fn new(config: ConvergenceConfig) -> Self {
+        ConvergenceTracker {
+            config,
+            last: None,
+            streak: 0,
+            converged: false,
+        }
+    }
+
+    /// Feeds the next solve's position; returns the updated verdict.
+    ///
+    /// The first observation never converges (there is no movement to
+    /// measure yet).
+    pub fn observe(&mut self, position: Point3) -> bool {
+        if let Some(last) = self.last {
+            let movement = position.distance(last);
+            if self.converged {
+                if movement > self.config.exit_eps {
+                    self.converged = false;
+                    self.streak = 0;
+                }
+            } else if movement < self.config.enter_eps {
+                self.streak += 1;
+                if self.streak >= self.config.hold {
+                    self.converged = true;
+                }
+            } else {
+                self.streak = 0;
+            }
+        }
+        self.last = Some(position);
+        self.converged
+    }
+
+    /// The current verdict without feeding a new estimate.
+    pub fn is_converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Forgets all state (verdict, streak, last position).
+    pub fn reset(&mut self) {
+        self.last = None;
+        self.streak = 0;
+        self.converged = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(enter: f64, exit: f64, hold: usize) -> ConvergenceTracker {
+        ConvergenceTracker::new(ConvergenceConfig {
+            enter_eps: enter,
+            exit_eps: exit,
+            hold,
+        })
+    }
+
+    #[test]
+    fn converges_after_hold_quiet_solves() {
+        let mut t = tracker(1e-3, 5e-3, 3);
+        let p = Point3::new(1.0, 0.0, 0.0);
+        assert!(!t.observe(p)); // first: no movement defined
+        assert!(!t.observe(p)); // streak 1
+        assert!(!t.observe(p)); // streak 2
+        assert!(t.observe(p)); // streak 3 → converged
+    }
+
+    #[test]
+    fn hysteresis_band_does_not_flap() {
+        let mut t = tracker(1e-3, 5e-3, 1);
+        let p = Point3::new(1.0, 0.0, 0.0);
+        t.observe(p);
+        assert!(t.observe(p));
+        // Movement inside (enter_eps, exit_eps): converged holds.
+        assert!(t.observe(Point3::new(1.0 + 3e-3, 0.0, 0.0)));
+        // Movement beyond exit_eps: drops out.
+        assert!(!t.observe(Point3::new(1.0 + 20e-3, 0.0, 0.0)));
+        // And it must re-earn the streak.
+        assert!(t.observe(Point3::new(1.0 + 20e-3, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn noisy_movement_resets_the_streak() {
+        let mut t = tracker(1e-3, 5e-3, 2);
+        let p = Point3::new(1.0, 0.0, 0.0);
+        t.observe(p);
+        assert!(!t.observe(p)); // streak 1
+        assert!(!t.observe(Point3::new(1.1, 0.0, 0.0))); // reset
+        assert!(!t.observe(Point3::new(1.1, 0.0, 0.0))); // streak 1
+        assert!(t.observe(Point3::new(1.1, 0.0, 0.0))); // streak 2 → converged
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut t = tracker(1e-3, 5e-3, 1);
+        let p = Point3::new(1.0, 0.0, 0.0);
+        t.observe(p);
+        assert!(t.observe(p));
+        t.reset();
+        assert!(!t.is_converged());
+        assert!(!t.observe(p)); // first observation again
+    }
+}

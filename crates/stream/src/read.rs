@@ -1,0 +1,80 @@
+//! The streaming input record.
+
+use lion_geom::Point3;
+use lion_sim::PhaseSample;
+
+/// One read delivered to the streaming pipeline: `(timestamp, position,
+/// phase, rssi, channel)` exactly as a reader reports it.
+///
+/// Field-for-field this mirrors [`lion_sim::PhaseSample`] (and converts
+/// from it), but it lives here so the pipeline is not tied to the
+/// simulator — hardware adapters construct it directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamRead {
+    /// Seconds on the stream's own clock.
+    pub time: f64,
+    /// Tag position at the moment of the read (the calibration scan's
+    /// known trajectory point).
+    pub position: Point3,
+    /// Reported phase in `[0, 2π)` radians.
+    pub phase: f64,
+    /// Received signal strength (dBm).
+    pub rssi_dbm: f64,
+    /// Carrier frequency of this read's channel (Hz).
+    pub frequency_hz: f64,
+}
+
+impl Default for StreamRead {
+    /// Zero time/position/phase at the US-band default channel with a
+    /// strong (-50 dBm) RSSI — a convenient base for struct-update syntax
+    /// in tests and examples.
+    fn default() -> Self {
+        StreamRead {
+            time: 0.0,
+            position: Point3::ORIGIN,
+            phase: 0.0,
+            rssi_dbm: -50.0,
+            frequency_hz: lion_sim::US_DEFAULT_FREQUENCY_HZ,
+        }
+    }
+}
+
+impl From<PhaseSample> for StreamRead {
+    fn from(s: PhaseSample) -> Self {
+        StreamRead {
+            time: s.time,
+            position: s.position,
+            phase: s.phase,
+            rssi_dbm: s.rssi_dbm,
+            frequency_hz: s.frequency_hz,
+        }
+    }
+}
+
+impl From<&PhaseSample> for StreamRead {
+    fn from(s: &PhaseSample) -> Self {
+        StreamRead::from(*s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converts_from_phase_sample() {
+        let sample = PhaseSample {
+            time: 1.5,
+            position: Point3::new(0.1, 0.2, 0.3),
+            phase: 2.0,
+            rssi_dbm: -60.0,
+            frequency_hz: 915e6,
+        };
+        let read = StreamRead::from(sample);
+        assert_eq!(read.time, 1.5);
+        assert_eq!(read.position, Point3::new(0.1, 0.2, 0.3));
+        assert_eq!(read.phase, 2.0);
+        assert_eq!(read.rssi_dbm, -60.0);
+        assert_eq!(read.frequency_hz, 915e6);
+    }
+}

@@ -13,7 +13,7 @@ use lion::geom::ThreeLineScan;
 use lion::linalg::stats;
 use lion::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), lion::Error> {
     let physical_center = Point3::new(0.0, 0.8, 0.1);
     let antenna = Antenna::builder(physical_center)
         .phase_center_displacement(0.024, -0.015, 0.018)

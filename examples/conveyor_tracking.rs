@@ -18,7 +18,7 @@ use lion::prelude::*;
 
 const LAMBDA: f64 = 299_792_458.0 / 920.625e6;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), lion::Error> {
     // Calibrated antenna 0.8 m above the belt (we aim at the true phase
     // center, as one would after running the calibration example).
     let antenna_center = Point3::new(0.0, 0.8, 0.0);

@@ -15,7 +15,7 @@ use std::time::Instant;
 use lion::prelude::*;
 use lion::sim::{InventoryConfig, Reader};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), lion::Error> {
     // A calibrated antenna 0.8 m above the belt; warehouse multipath.
     let antenna_center = Point3::new(0.0, 0.8, 0.0);
     let mut scenario = ScenarioBuilder::new()

@@ -17,7 +17,7 @@ use lion::geom::ThreeLineScan;
 use lion::linalg::stats;
 use lion::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), lion::Error> {
     // Three antennas in a line, 0.3 m apart, each with its own hidden
     // displacement and hardware offset (the offsets are the paper's
     // measured 3.98 / 2.74 / 4.07 rad).
@@ -107,24 +107,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Step 3: differential hologram at the three calibration levels.
     let volume = SearchVolume::square_2d(Point3::new(0.0, 0.8, 0.0), 0.2);
     let config = MultiAntennaConfig::default();
-    let locate =
-        |positions: &[Point3], offs: Option<&[f64]>| -> Result<f64, Box<dyn std::error::Error>> {
-            let readings: Vec<AntennaReading> = positions
-                .iter()
-                .zip(&phases)
-                .enumerate()
-                .map(|(i, (&p, &ph))| {
-                    let r = AntennaReading::new(p, ph);
-                    match offs {
-                        Some(o) => r.with_offset(o[i]),
-                        None => r,
-                    }
-                })
-                .collect();
-            Ok(locate_tag(&readings, volume, &config)?
-                .position
-                .distance(tag_pos))
-        };
+    let locate = |positions: &[Point3], offs: Option<&[f64]>| -> Result<f64, lion::Error> {
+        let readings: Vec<AntennaReading> = positions
+            .iter()
+            .zip(&phases)
+            .enumerate()
+            .map(|(i, (&p, &ph))| {
+                let r = AntennaReading::new(p, ph);
+                match offs {
+                    Some(o) => r.with_offset(o[i]),
+                    None => r,
+                }
+            })
+            .collect();
+        Ok(locate_tag(&readings, volume, &config)?
+            .position
+            .distance(tag_pos))
+    };
     let physical: Vec<Point3> = antennas.iter().map(|a| a.physical_center()).collect();
     let centers: Vec<Point3> = calibrations.iter().map(|c| c.phase_center).collect();
     let cal_offsets: Vec<f64> = calibrations.iter().map(|c| c.phase_offset).collect();

@@ -11,7 +11,7 @@
 
 use lion::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), lion::Error> {
     // The installer measured the antenna at (0, 0.8) m... but the phase
     // center hides 2.1 cm to the side and 1.2 cm closer to the track.
     let physical_center = Point3::new(0.0, 0.8, 0.0);

@@ -12,7 +12,7 @@
 
 use lion::prelude::*;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), lion::Error> {
     let target = Point3::new(0.0, 0.7, 0.0);
     let antenna = Antenna::builder(target).build();
     let mut scenario = ScenarioBuilder::new()

@@ -1,9 +1,13 @@
 # Project task runner. `just verify` is the full pre-merge gate.
 
 # Build, test, lint, and check formatting — everything CI would run.
+# Tests run with overflow-checks on (see [profile.test] in Cargo.toml);
+# the streaming parity + backpressure suites are named explicitly so a
+# test-filter typo can't silently skip the bit-identicality gate.
 verify:
     cargo build --release
     cargo test --workspace -q
+    cargo test -q --test stream_parity --test stream_backpressure
     cargo clippy --workspace --all-targets -- -D warnings
     cargo fmt --check
 
@@ -14,6 +18,11 @@ figures:
 # Run the Criterion microbenchmarks (solver, hologram, engine batch, ...).
 bench:
     cargo bench --workspace
+
+# Streaming pipeline benchmarks only: throughput across window sizes,
+# window-maintenance cost per read, and single windowed re-solve latency.
+stream-bench:
+    cargo bench -p lion-bench --bench stream
 
 # Run the conveyor batch and export its telemetry (JSON-lines registry
 # snapshot + Prometheus text exposition) to target/telemetry/.

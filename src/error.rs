@@ -1,0 +1,179 @@
+//! The workspace-wide error type.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use lion_baselines::BaselineError;
+use lion_core::CoreError;
+use lion_geom::GeomError;
+use lion_linalg::LinalgError;
+use lion_sim::SimError;
+
+/// Any error the LION workspace can produce, one variant per crate.
+///
+/// Cross-crate programs (examples, services, tests) that would otherwise
+/// juggle five per-crate error types can `?` everything into this one:
+/// every per-crate error converts via `From`, sources chain through
+/// [`StdError::source`], and [`Error::kind`] exposes the same stable
+/// snake_case taxonomy as the per-crate `kind()` methods (useful as a
+/// failure-counter label that survives refactors of the error payloads).
+///
+/// ```
+/// use lion::Error;
+///
+/// fn pipeline() -> Result<(), Error> {
+///     let config = lion::core::LocalizerConfig::builder()
+///         .smoothing_window(0)
+///         .build()?; // CoreError → Error
+///     let _ = config;
+///     Ok(())
+/// }
+///
+/// let err = pipeline().unwrap_err();
+/// assert_eq!(err.kind(), "invalid_config");
+/// assert_eq!(err.domain(), "core");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// From the localization/calibration pipeline (`lion-core`).
+    Core(CoreError),
+    /// From the simulator (`lion-sim`).
+    Sim(SimError),
+    /// From the geometry substrate (`lion-geom`).
+    Geom(GeomError),
+    /// From the linear-algebra kernels (`lion-linalg`).
+    Linalg(LinalgError),
+    /// From the baseline methods (`lion-baselines`).
+    Baseline(BaselineError),
+}
+
+impl Error {
+    /// A stable snake_case label for the underlying error's variant —
+    /// delegates to the wrapped error's own `kind()`, so the label is
+    /// identical whether a caller matched the per-crate type or this one.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Core(e) => e.kind(),
+            Error::Sim(e) => e.kind(),
+            Error::Geom(e) => e.kind(),
+            Error::Linalg(e) => e.kind(),
+            Error::Baseline(e) => e.kind(),
+        }
+    }
+
+    /// Which crate the error came from: `"core"`, `"sim"`, `"geom"`,
+    /// `"linalg"`, or `"baselines"`.
+    pub fn domain(&self) -> &'static str {
+        match self {
+            Error::Core(_) => "core",
+            Error::Sim(_) => "sim",
+            Error::Geom(_) => "geom",
+            Error::Linalg(_) => "linalg",
+            Error::Baseline(_) => "baselines",
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Core(e) => write!(f, "core: {e}"),
+            Error::Sim(e) => write!(f, "sim: {e}"),
+            Error::Geom(e) => write!(f, "geom: {e}"),
+            Error::Linalg(e) => write!(f, "linalg: {e}"),
+            Error::Baseline(e) => write!(f, "baselines: {e}"),
+        }
+    }
+}
+
+impl StdError for Error {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            Error::Core(e) => Some(e),
+            Error::Sim(e) => Some(e),
+            Error::Geom(e) => Some(e),
+            Error::Linalg(e) => Some(e),
+            Error::Baseline(e) => Some(e),
+        }
+    }
+}
+
+impl From<CoreError> for Error {
+    fn from(e: CoreError) -> Self {
+        Error::Core(e)
+    }
+}
+
+impl From<SimError> for Error {
+    fn from(e: SimError) -> Self {
+        Error::Sim(e)
+    }
+}
+
+impl From<GeomError> for Error {
+    fn from(e: GeomError) -> Self {
+        Error::Geom(e)
+    }
+}
+
+impl From<LinalgError> for Error {
+    fn from(e: LinalgError) -> Self {
+        Error::Linalg(e)
+    }
+}
+
+impl From<BaselineError> for Error {
+    fn from(e: BaselineError) -> Self {
+        Error::Baseline(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_matches_wrapped_error() {
+        let core = CoreError::NoPairs;
+        assert_eq!(Error::from(core.clone()).kind(), core.kind());
+        let linalg = LinalgError::Singular;
+        assert_eq!(Error::from(linalg.clone()).kind(), linalg.kind());
+        let geom = GeomError::Degenerate {
+            operation: "radical line",
+        };
+        assert_eq!(Error::from(geom.clone()).kind(), geom.kind());
+    }
+
+    #[test]
+    fn domains_cover_every_variant() {
+        let errors: Vec<Error> = vec![
+            CoreError::NoPairs.into(),
+            GeomError::Degenerate { operation: "x" }.into(),
+            LinalgError::Singular.into(),
+            BaselineError::NonFiniteInput { index: 0 }.into(),
+        ];
+        let domains: Vec<&str> = errors.iter().map(Error::domain).collect();
+        assert_eq!(domains, vec!["core", "geom", "linalg", "baselines"]);
+        for e in &errors {
+            assert!(!e.to_string().is_empty());
+            assert!(std::error::Error::source(e).is_some());
+        }
+    }
+
+    #[test]
+    fn question_mark_converts_per_crate_errors() {
+        fn cross_crate(bad: bool) -> Result<f64, Error> {
+            if bad {
+                lion_geom::radical_line(
+                    &lion_geom::Circle::new(lion_geom::Point2::new(0.0, 0.0), 1.0),
+                    &lion_geom::Circle::new(lion_geom::Point2::new(0.0, 0.0), 2.0),
+                )?; // GeomError (concentric)
+            }
+            let config = lion_core::LocalizerConfig::builder().build()?; // CoreError
+            Ok(config.wavelength)
+        }
+        assert!(cross_crate(false).is_ok());
+        assert_eq!(cross_crate(true).unwrap_err().domain(), "geom");
+    }
+}

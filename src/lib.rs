@@ -16,12 +16,17 @@
 //! - [`baselines`] — comparison methods: Tagoram's differential augmented
 //!   hologram (DAH), hyperbola TDoA, and the parabola fit,
 //! - [`engine`] — the parallel batch execution engine with per-stage
-//!   instrumentation,
+//!   instrumentation (and [`engine::Engine::run_streams`] for many
+//!   concurrent tag streams),
+//! - [`stream`] — the online pipeline: reads in one at a time, bounded
+//!   sliding-window re-solves out, with convergence detection —
+//!   bit-identical to the batch solver on the same window,
 //! - [`obs`] — zero-dependency observability: structured spans/events,
 //!   log-linear latency histograms, and a telemetry registry with
 //!   JSON-lines and Prometheus exporters,
 //!
-//! and bundles the types most programs touch into [`prelude`].
+//! and bundles the types most programs touch into [`prelude`], plus the
+//! workspace-wide [`Error`] that every per-crate error converts into.
 //!
 //! # Quickstart
 //!
@@ -54,6 +59,10 @@
 
 #![forbid(unsafe_code)]
 
+mod error;
+
+pub use error::Error;
+
 pub use lion_baselines as baselines;
 pub use lion_core as core;
 pub use lion_engine as engine;
@@ -61,6 +70,7 @@ pub use lion_geom as geom;
 pub use lion_linalg as linalg;
 pub use lion_obs as obs;
 pub use lion_sim as sim;
+pub use lion_stream as stream;
 
 /// One-stop imports for the common LION workflow: simulate (or load) a
 /// trace, localize or calibrate, and optionally batch the work across
@@ -74,17 +84,22 @@ pub use lion_sim as sim;
 /// let _engine = Engine::serial();
 /// ```
 pub mod prelude {
+    pub use crate::Error;
     pub use lion_core::{
         AdaptiveConfig, AdaptiveOutcome, Calibration, Calibrator, ConveyorTracker, CoreError,
         Estimate, Localizer2d, Localizer3d, LocalizerConfig, PairStrategy, PhaseProfile,
-        StageMetrics, TrackerConfig, Weighting, Workspace,
+        PushOutcome, SlidingWindow, StageMetrics, TrackerConfig, Weighting, Workspace,
     };
     pub use lion_engine::{
-        BatchOutcome, Engine, Job, JobKind, JobOutput, JobTiming, MetricsReport, StageDistributions,
+        BatchOutcome, Engine, Job, JobKind, JobOutput, JobTiming, MetricsReport,
+        StageDistributions, StreamJob, StreamOutcome,
     };
     pub use lion_geom::{CircularArc, LineSegment, Point2, Point3, Trajectory, Vec3};
-    pub use lion_obs::{Histogram, Registry, Snapshot};
+    pub use lion_obs::{Histogram, HistogramTimer, Registry, Snapshot};
     pub use lion_sim::{
-        Antenna, Environment, NoiseModel, PhaseTrace, Scenario, ScenarioBuilder, Tag,
+        Antenna, Environment, NoiseModel, PhaseTrace, SampleSource, Scenario, ScenarioBuilder, Tag,
+    };
+    pub use lion_stream::{
+        Cadence, ConvergenceConfig, StreamConfig, StreamEstimate, StreamLocalizer, StreamRead,
     };
 }

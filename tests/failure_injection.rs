@@ -124,6 +124,32 @@ fn errors_format_and_chain() {
 }
 
 #[test]
+fn unified_error_preserves_kind_and_domain_across_crates() {
+    // Every per-crate error funnels into `lion::Error` with its stable
+    // machine-readable kind intact and a domain naming the origin crate.
+    let core_err = Localizer2d::new(LocalizerConfig::default())
+        .locate(&[])
+        .unwrap_err();
+    let unified: lion::Error = core_err.into();
+    assert_eq!(unified.kind(), "too_few_measurements");
+    assert_eq!(unified.domain(), "core");
+
+    let geom_err = LineSegment::new(Point3::ORIGIN, Point3::ORIGIN).unwrap_err();
+    let unified: lion::Error = geom_err.into();
+    assert_eq!(unified.kind(), "invalid_input");
+    assert_eq!(unified.domain(), "geom");
+
+    let baseline_err = hyperbola::locate(&[], &hyperbola::HyperbolaConfig::default()).unwrap_err();
+    let unified: lion::Error = baseline_err.into();
+    assert_eq!(unified.domain(), "baselines");
+
+    // Display carries the domain prefix; source() chains to the inner error.
+    use std::error::Error as _;
+    assert!(unified.to_string().starts_with("baselines: "));
+    assert!(unified.source().is_some());
+}
+
+#[test]
 fn frequency_hopping_degrades_but_does_not_panic() {
     // Naive unwrapping across channel hops violates the constant-λ
     // assumption; the pipeline must survive and report *something* (with

@@ -1,0 +1,136 @@
+//! Per-stream backpressure: bounded ingress, deterministic oldest-drop.
+//!
+//! A burst larger than the ingress queue must shed exactly its oldest
+//! reads — the same reads, the same counts, every run, any worker count.
+
+use lion::prelude::*;
+use lion::stream::Ingress;
+use std::f64::consts::{PI, TAU};
+
+const LAMBDA: f64 = 299_792_458.0 / 920.625e6;
+
+fn circle_reads(antenna: Point3, n: usize) -> Vec<StreamRead> {
+    (0..n)
+        .map(|i| {
+            let a = i as f64 * TAU / 120.0;
+            let p = Point3::new(0.3 * a.cos(), 0.3 * a.sin(), 0.0);
+            StreamRead {
+                time: i as f64 * 0.01,
+                position: p,
+                phase: (4.0 * PI * antenna.distance(p) / LAMBDA) % TAU,
+                ..StreamRead::default()
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn ingress_sheds_exactly_the_oldest() {
+    let reads = circle_reads(Point3::new(1.2, 0.4, 0.0), 10);
+    let mut q = Ingress::new(4).expect("valid");
+    let mut shed = Vec::new();
+    for &read in &reads {
+        if let Some(old) = q.offer(read) {
+            shed.push(old.time);
+        }
+    }
+    // Capacity 4, 10 offers: reads 0..6 shed in order, 6..10 retained.
+    assert_eq!(shed, vec![0.0, 0.01, 0.02, 0.03, 0.04, 0.05]);
+    let kept: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|r| r.time).collect();
+    assert_eq!(kept, vec![0.06, 0.07, 0.08, 0.09]);
+    assert_eq!(q.overflow_dropped(), 6);
+    assert_eq!(q.offered(), 10);
+}
+
+#[test]
+fn overflow_counts_are_an_exact_function_of_burst_shape() {
+    let reads = circle_reads(Point3::new(1.2, 0.4, 0.0), 600);
+    // burst 100 into queue 30: each full burst sheds 70.
+    let job = StreamJob::new(reads, StreamConfig::default())
+        .with_burst(100)
+        .with_queue_capacity(30);
+    let outcome = Engine::serial()
+        .run_streams(std::slice::from_ref(&job))
+        .pop()
+        .unwrap()
+        .expect("runs");
+    assert_eq!(outcome.reads_in, 600);
+    assert_eq!(outcome.overflow_dropped, 6 * 70);
+    // The pipeline only ever saw the surviving 30 reads per burst.
+    let survivors = 600 - outcome.overflow_dropped;
+    assert_eq!(survivors, 180);
+}
+
+#[test]
+fn capacity_at_least_burst_never_drops() {
+    let reads = circle_reads(Point3::new(1.2, 0.4, 0.0), 400);
+    let job = StreamJob::new(reads, StreamConfig::default())
+        .with_burst(32)
+        .with_queue_capacity(32);
+    let outcome = Engine::serial()
+        .run_streams(std::slice::from_ref(&job))
+        .pop()
+        .unwrap()
+        .expect("runs");
+    assert_eq!(outcome.overflow_dropped, 0);
+    assert!(outcome.final_estimate().is_some());
+}
+
+#[test]
+fn backpressure_outcomes_identical_across_worker_counts() {
+    let jobs: Vec<StreamJob> = (0..8)
+        .map(|i| {
+            let antenna = Point3::new(1.0 + 0.05 * i as f64, 0.4, 0.0);
+            StreamJob::new(circle_reads(antenna, 350), StreamConfig::default())
+                .with_burst(90)
+                .with_queue_capacity(40)
+        })
+        .collect();
+    let serial = Engine::serial().run_streams(&jobs);
+    let parallel = Engine::builder()
+        .workers(4)
+        .build()
+        .expect("valid")
+        .run_streams(&jobs);
+    for (slot, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        let (s, p) = (s.as_ref().unwrap(), p.as_ref().unwrap());
+        assert_eq!(s.overflow_dropped, p.overflow_dropped, "slot {slot}");
+        assert_eq!(s.late_rejected, p.late_rejected, "slot {slot}");
+        assert_eq!(s.estimates.len(), p.estimates.len(), "slot {slot}");
+        for (a, b) in s.estimates.iter().zip(&p.estimates) {
+            assert_eq!(a.position, b.position, "slot {slot} seq {}", a.seq);
+            assert_eq!(a.d_r, b.d_r);
+            assert_eq!(a.window_span, b.window_span);
+        }
+    }
+}
+
+#[test]
+fn dropped_reads_do_not_block_convergence() {
+    // Heavy shedding still leaves a usable stream: the estimates that do
+    // come out are built from the retained reads and still locate.
+    let antenna = Point3::new(1.2, 0.4, 0.0);
+    let job = StreamJob::new(
+        circle_reads(antenna, 1_200),
+        StreamConfig::builder()
+            .min_window_len(24)
+            .cadence(Cadence::EveryReads(16))
+            .build()
+            .expect("valid"),
+    )
+    .with_burst(60)
+    .with_queue_capacity(45);
+    let outcome = Engine::serial()
+        .run_streams(&[job])
+        .pop()
+        .unwrap()
+        .expect("runs");
+    assert!(outcome.overflow_dropped > 0, "test needs real shedding");
+    let last = outcome.final_estimate().expect("estimates emitted");
+    assert!(
+        last.position.distance(antenna) < 5e-2,
+        "located {:?} despite {} drops",
+        last.position,
+        outcome.overflow_dropped
+    );
+}

@@ -1,0 +1,240 @@
+//! Streaming ⇔ batch parity: a streaming solve on a static window must be
+//! **bit-identical** to the batch solver on the same reads — under
+//! in-order delivery AND under shuffled arrival (the window re-sorts by
+//! timestamp, so the batch reference is the timestamp-sorted trace).
+//!
+//! Also pins the O(window) memory guarantee on a 1M-sample stream.
+
+use lion::prelude::*;
+use lion::stream::Space;
+use std::f64::consts::{PI, TAU};
+
+const LAMBDA: f64 = 299_792_458.0 / 920.625e6;
+
+/// A noisy-free circular scan read stream with strictly increasing
+/// timestamps (distinct timestamps make the sorted order unambiguous).
+fn circle_reads(antenna: Point3, n: usize) -> Vec<StreamRead> {
+    (0..n)
+        .map(|i| {
+            let a = i as f64 * TAU / 120.0;
+            let p = Point3::new(0.3 * a.cos(), 0.3 * a.sin(), 0.0);
+            StreamRead {
+                time: i as f64 * 0.01,
+                position: p,
+                phase: (4.0 * PI * antenna.distance(p) / LAMBDA) % TAU,
+                ..StreamRead::default()
+            }
+        })
+        .collect()
+}
+
+/// Pseudo-shuffle with a fixed permutation: deterministic, displaces
+/// every element, and depends on no external RNG.
+fn shuffled<T: Clone>(items: &[T]) -> Vec<T> {
+    let n = items.len();
+    let mut out: Vec<T> = items.to_vec();
+    // A fixed LCG-driven Fisher–Yates: reproducible across runs.
+    let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+    for i in (1..n).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        out.swap(i, j);
+    }
+    out
+}
+
+/// Batch reference: the timestamp-sorted reads through the plain batch
+/// entry point.
+fn batch_reference(reads: &[StreamRead], config: &LocalizerConfig) -> Estimate {
+    let mut sorted: Vec<&StreamRead> = reads.iter().collect();
+    sorted.sort_by(|a, b| a.time.total_cmp(&b.time));
+    let measurements: Vec<(Point3, f64)> = sorted.iter().map(|r| (r.position, r.phase)).collect();
+    Localizer2d::new(config.clone())
+        .locate(&measurements)
+        .expect("batch reference solves")
+}
+
+fn stream_estimate(reads: &[StreamRead], config: StreamConfig) -> StreamEstimate {
+    let mut stream = StreamLocalizer::new(config).expect("valid config");
+    for &read in reads {
+        // Cadence never fires (EveryReads(usize::MAX)); only the final
+        // flush solves, on exactly the full window.
+        let emitted = stream.push(read).expect("no cadence solve");
+        assert!(emitted.is_none());
+    }
+    stream
+        .flush()
+        .expect("flush solves")
+        .expect("window non-empty")
+}
+
+fn parity_config(window: usize) -> StreamConfig {
+    StreamConfig::builder()
+        .window_capacity(window)
+        .min_window_len(24)
+        .cadence(Cadence::EveryReads(usize::MAX))
+        .build()
+        .expect("valid")
+}
+
+#[test]
+fn in_order_streaming_is_bit_identical_to_batch() {
+    let antenna = Point3::new(1.2, 0.4, 0.0);
+    let reads = circle_reads(antenna, 200);
+    let config = parity_config(200);
+    let batch = batch_reference(&reads, &config.localizer);
+    let streamed = stream_estimate(&reads, config);
+    // Bit-identical: == on f64, no tolerance.
+    assert_eq!(streamed.position, batch.position);
+    assert_eq!(streamed.d_r, batch.reference_distance);
+    assert_eq!(streamed.mean_residual, batch.mean_residual);
+    assert_eq!(streamed.batch.weighted_rms, batch.weighted_rms);
+    assert_eq!(streamed.batch.iterations, batch.iterations);
+    assert_eq!(streamed.window_len, 200);
+}
+
+#[test]
+fn shuffled_arrival_is_bit_identical_to_sorted_batch() {
+    let antenna = Point3::new(1.2, 0.4, 0.0);
+    let reads = circle_reads(antenna, 200);
+    let config = parity_config(200);
+    let batch = batch_reference(&reads, &config.localizer);
+    let arrival = shuffled(&reads);
+    assert_ne!(
+        arrival.iter().map(|r| r.time).collect::<Vec<_>>(),
+        reads.iter().map(|r| r.time).collect::<Vec<_>>(),
+        "shuffle must actually reorder"
+    );
+    let streamed = stream_estimate(&arrival, config);
+    assert_eq!(streamed.position, batch.position);
+    assert_eq!(streamed.d_r, batch.reference_distance);
+    assert_eq!(streamed.mean_residual, batch.mean_residual);
+}
+
+#[test]
+fn sample_source_shuffle_preserves_parity() {
+    // The same property through the simulator's out-of-order adapter.
+    let antenna = Point3::new(1.2, 0.4, 0.0);
+    let reads = circle_reads(antenna, 150);
+    let samples: Vec<lion::sim::PhaseSample> = reads
+        .iter()
+        .map(|r| lion::sim::PhaseSample {
+            time: r.time,
+            position: r.position,
+            phase: r.phase,
+            rssi_dbm: r.rssi_dbm,
+            frequency_hz: r.frequency_hz,
+        })
+        .collect();
+    let trace = PhaseTrace::new(samples, LAMBDA);
+    let config = parity_config(150);
+    let batch = batch_reference(&reads, &config.localizer);
+    let source = SampleSource::replay(&trace).with_shuffle(8, 42);
+    let arrival: Vec<StreamRead> = source.map(StreamRead::from).collect();
+    let streamed = stream_estimate(&arrival, config);
+    assert_eq!(streamed.position, batch.position);
+    assert_eq!(streamed.d_r, batch.reference_distance);
+}
+
+#[test]
+fn windowed_streaming_matches_batch_on_each_window() {
+    // Mid-stream (window full and sliding): every cadence solve must
+    // equal the batch solver run on that window's reads.
+    let antenna = Point3::new(1.2, 0.4, 0.0);
+    let reads = circle_reads(antenna, 400);
+    let window = 128;
+    let config = StreamConfig::builder()
+        .window_capacity(window)
+        .min_window_len(window)
+        .cadence(Cadence::EveryReads(64))
+        .build()
+        .expect("valid");
+    let localizer = config.localizer.clone();
+    let mut stream = StreamLocalizer::new(config).expect("valid");
+    let mut solves = 0;
+    for (i, &read) in reads.iter().enumerate() {
+        if let Some(est) = stream.push(read).expect("solves") {
+            let window_reads = &reads[i + 1 - window..=i];
+            let batch = batch_reference(window_reads, &localizer);
+            assert_eq!(est.position, batch.position, "solve at read {i}");
+            assert_eq!(est.d_r, batch.reference_distance);
+            solves += 1;
+        }
+    }
+    assert!(
+        solves >= 4,
+        "expected several mid-stream solves, got {solves}"
+    );
+}
+
+#[test]
+fn three_d_parity() {
+    // 3D space through the same path: a tilted circle spans all axes.
+    let antenna = Point3::new(1.0, 0.5, 0.4);
+    let reads: Vec<StreamRead> = (0..200)
+        .map(|i| {
+            let a = i as f64 * TAU / 120.0;
+            let p = Point3::new(0.3 * a.cos(), 0.3 * a.sin(), 0.1 * (2.0 * a).sin());
+            StreamRead {
+                time: i as f64 * 0.01,
+                position: p,
+                phase: (4.0 * PI * antenna.distance(p) / LAMBDA) % TAU,
+                ..StreamRead::default()
+            }
+        })
+        .collect();
+    let config = StreamConfig::builder()
+        .window_capacity(200)
+        .min_window_len(24)
+        .cadence(Cadence::EveryReads(usize::MAX))
+        .space(Space::ThreeD)
+        .build()
+        .expect("valid");
+    let measurements: Vec<(Point3, f64)> = reads.iter().map(|r| (r.position, r.phase)).collect();
+    let batch = Localizer3d::new(config.localizer.clone())
+        .locate(&measurements)
+        .expect("3d batch solves");
+    let streamed = stream_estimate(&shuffled(&reads), config);
+    assert_eq!(streamed.position, batch.position);
+    assert_eq!(streamed.d_r, batch.reference_distance);
+}
+
+#[test]
+fn million_read_stream_stays_in_window_memory() {
+    let antenna = Point3::new(1.2, 0.4, 0.0);
+    let config = StreamConfig::builder()
+        .window_capacity(256)
+        .min_window_len(64)
+        .cadence(Cadence::EveryReads(10_000))
+        .build()
+        .expect("valid");
+    let mut stream = StreamLocalizer::new(config).expect("valid");
+    let read_at = |i: usize| {
+        let a = i as f64 * TAU / 120.0;
+        let p = Point3::new(0.3 * a.cos(), 0.3 * a.sin(), 0.0);
+        StreamRead {
+            time: i as f64 * 1e-3,
+            position: p,
+            phase: (4.0 * PI * antenna.distance(p) / LAMBDA) % TAU,
+            ..StreamRead::default()
+        }
+    };
+    // Warm up past the first solves, then pin the ring buffer.
+    for i in 0..50_000 {
+        let _ = stream.push(read_at(i)).expect("solves");
+    }
+    let warm = stream.window().backing_capacity();
+    for i in 50_000..1_000_000 {
+        let _ = stream.push(read_at(i)).expect("solves");
+    }
+    assert_eq!(
+        stream.window().backing_capacity(),
+        warm,
+        "ring buffer grew past its window"
+    );
+    assert_eq!(stream.window().len(), 256);
+    assert_eq!(stream.reads_seen(), 1_000_000);
+    assert!(stream.estimates_emitted() >= 99);
+}
