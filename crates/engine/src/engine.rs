@@ -10,16 +10,20 @@ use crate::metrics::{JobTiming, MetricsReport};
 
 /// Runs one job, measuring queue wait (batch start → pickup) and
 /// execution time, and emitting an `engine.job` span plus a per-job
-/// event when a subscriber is installed.
+/// event when a subscriber is installed. `trace` is the job's root
+/// context, minted at submission: attaching it here is what parents the
+/// worker-side span tree to the submitting batch, across threads.
 fn run_job(
     job: &Job,
     ws: &mut Workspace,
     batch_start: Instant,
     index: usize,
+    trace: Option<lion_obs::TraceContext>,
 ) -> (Result<JobOutput, CoreError>, StageMetrics, JobTiming) {
     let picked = Instant::now();
     let queue_wait_ns =
         u64::try_from(picked.duration_since(batch_start).as_nanos()).unwrap_or(u64::MAX);
+    let _trace = trace.map(lion_obs::attach);
     let span = lion_obs::span!("engine.job");
     let result = job.execute(ws);
     drop(span);
@@ -40,6 +44,22 @@ fn run_job(
             execute_ns,
         },
     )
+}
+
+/// Mints one root [`lion_obs::TraceContext`] per job at submission time
+/// (`None`s when instrumentation is disabled, keeping the fast path
+/// free of id allocation). Minting happens on the submitting thread in
+/// index order, so trace ids ascend with job index regardless of which
+/// worker later runs each job — the property the causality tests use to
+/// pair up traces across worker counts.
+pub(crate) fn job_contexts(jobs: usize) -> Vec<Option<lion_obs::TraceContext>> {
+    if lion_obs::enabled() {
+        (0..jobs)
+            .map(|_| Some(lion_obs::TraceContext::root()))
+            .collect()
+    } else {
+        vec![None; jobs]
+    }
 }
 
 /// Parallel batch executor for [`Job`]s.
@@ -87,13 +107,16 @@ impl Engine {
     pub fn run(&self, jobs: &[Job]) -> BatchOutcome {
         let started = Instant::now();
         let workers = self.workers.min(jobs.len()).max(1);
+        // Root trace contexts, minted in submission order so trace ids
+        // ascend with job index no matter which worker runs what.
+        let contexts = job_contexts(jobs.len());
         type Slot = (usize, Result<JobOutput, CoreError>, StageMetrics, JobTiming);
         let mut indexed: Vec<Slot> = if workers == 1 {
             let mut ws = Workspace::new();
             jobs.iter()
                 .enumerate()
                 .map(|(i, job)| {
-                    let (result, metrics, timing) = run_job(job, &mut ws, started, i);
+                    let (result, metrics, timing) = run_job(job, &mut ws, started, i, contexts[i]);
                     (i, result, metrics, timing)
                 })
                 .collect()
@@ -109,7 +132,8 @@ impl Engine {
                             loop {
                                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                                 let Some(job) = jobs.get(i) else { break };
-                                let (result, metrics, timing) = run_job(job, &mut ws, started, i);
+                                let (result, metrics, timing) =
+                                    run_job(job, &mut ws, started, i, contexts[i]);
                                 local.push((i, result, metrics, timing));
                             }
                             local

@@ -336,8 +336,12 @@ impl fmt::Display for MetricsReport {
             ms(self.busy_ns()),
         )?;
         if !self.failures_by_kind.is_empty() {
-            let parts: Vec<String> = self
-                .failures_by_kind
+            // Sort by kind at render time: `aggregate` already orders the
+            // list, but hand-built or JSON-loaded reports may not, and
+            // telemetry diffs need a stable rendering either way.
+            let mut by_kind: Vec<&(String, u64)> = self.failures_by_kind.iter().collect();
+            by_kind.sort_by(|(a, _), (b, _)| a.cmp(b));
+            let parts: Vec<String> = by_kind
                 .iter()
                 .map(|(kind, count)| format!("{kind}\u{d7}{count}"))
                 .collect();

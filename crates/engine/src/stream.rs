@@ -15,11 +15,13 @@
 //! counts and runs — see `tests/stream_backpressure.rs`.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use lion_core::CoreError;
+use lion_obs::{Doctor, DoctorConfig, HealthReport, SolveObservation};
 use lion_stream::{Ingress, StreamConfig, StreamEstimate, StreamLocalizer, StreamRead};
 
-use crate::engine::Engine;
+use crate::engine::{job_contexts, Engine};
 
 /// One tag's read feed plus the pipeline and backpressure settings to
 /// run it under.
@@ -39,6 +41,10 @@ pub struct StreamJob {
     /// Whether to force a final solve on whatever the window holds after
     /// the feed ends (reads past the last cadence point).
     pub flush_at_end: bool,
+    /// Optional calibration-health watchdogs: when set, a
+    /// [`Doctor`] observes every solve and the outcome carries its
+    /// [`HealthReport`].
+    pub doctor: Option<DoctorConfig>,
 }
 
 impl StreamJob {
@@ -51,6 +57,7 @@ impl StreamJob {
             burst: 32,
             queue_capacity: 64,
             flush_at_end: true,
+            doctor: None,
         }
     }
 
@@ -69,6 +76,15 @@ impl StreamJob {
     /// Enables or disables the end-of-stream flush solve.
     pub fn with_flush_at_end(mut self, flush: bool) -> Self {
         self.flush_at_end = flush;
+        self
+    }
+
+    /// Enables calibration-health watchdogs for this stream: a
+    /// [`Doctor`] with `config` observes every solve (residual drift,
+    /// convergence stalls, ingress shed rate, solve-latency p99) and the
+    /// outcome's [`StreamOutcome::health`] carries its report.
+    pub fn with_doctor(mut self, config: DoctorConfig) -> Self {
+        self.doctor = Some(config);
         self
     }
 
@@ -111,6 +127,9 @@ pub struct StreamOutcome {
     pub solve_errors: u64,
     /// Whether the stream ended in the converged state.
     pub converged: bool,
+    /// The watchdog report, when the job ran with
+    /// [`StreamJob::with_doctor`].
+    pub health: Option<HealthReport>,
 }
 
 impl StreamOutcome {
@@ -121,23 +140,63 @@ impl StreamOutcome {
 }
 
 /// Runs one stream to completion: burst-offer into ingress, drain into
-/// the pipeline, repeat; optional flush at end-of-feed.
-fn run_stream_job(job: &StreamJob) -> Result<StreamOutcome, CoreError> {
+/// the pipeline, repeat; optional flush at end-of-feed. `trace` is the
+/// job's root context minted at submission — attached here so the whole
+/// solve tree (ingress → window → unwrap → … → adaptive) hangs under
+/// one `lion.stream.job` root even on a foreign worker thread.
+fn run_stream_job(
+    job: &StreamJob,
+    trace: Option<lion_obs::TraceContext>,
+) -> Result<StreamOutcome, CoreError> {
     job.validate()?;
+    let _trace = trace.map(lion_obs::attach);
     let _span = lion_obs::span!("lion.stream.job");
     let mut pipeline = StreamLocalizer::new(job.config.clone())?;
     let mut ingress = Ingress::new(job.queue_capacity)?;
+    let mut doctor = job.doctor.clone().map(Doctor::new);
     let mut estimates = Vec::new();
     let mut solve_errors = 0u64;
+    let mut observed_accepted = 0u64;
+    let mut observed_shed = 0u64;
+    let mut observe = |doctor: &mut Option<Doctor>,
+                       estimate: &StreamEstimate,
+                       ingress: &Ingress,
+                       solve_ns: u64| {
+        let Some(doctor) = doctor.as_mut() else {
+            return;
+        };
+        let accepted = ingress.offered() - ingress.overflow_dropped();
+        let shed = ingress.overflow_dropped();
+        doctor.observe(SolveObservation {
+            time: estimate.trigger_time,
+            mean_residual: estimate.mean_residual,
+            converged: estimate.converged,
+            solve_ns,
+            reads_in: accepted - observed_accepted,
+            shed: shed - observed_shed,
+        });
+        observed_accepted = accepted;
+        observed_shed = shed;
+    };
     for burst in job.reads.chunks(job.burst) {
-        for &read in burst {
-            // Overflow sheds the oldest queued read; it never reaches
-            // the pipeline, exactly as if the reader buffer dropped it.
-            let _ = ingress.offer(read);
+        {
+            let _ingress_span = lion_obs::span!("lion.stream.ingress");
+            for &read in burst {
+                // Overflow sheds the oldest queued read; it never reaches
+                // the pipeline, exactly as if the reader buffer dropped it.
+                let _ = ingress.offer(read);
+            }
         }
         while let Some((read, arrival)) = ingress.pop_with_arrival() {
+            // Clock reads only when a doctor is watching solve latency.
+            let pushed_at = doctor.is_some().then(Instant::now);
             match pipeline.push_at(read, arrival) {
-                Ok(Some(estimate)) => estimates.push(estimate),
+                Ok(Some(estimate)) => {
+                    let solve_ns =
+                        pushed_at.map_or(0, |t| lion_obs::saturating_ns_between(t, Instant::now()));
+                    observe(&mut doctor, &estimate, &ingress, solve_ns);
+                    estimates.push(estimate);
+                }
                 Ok(None) => {}
                 Err(_) => solve_errors += 1,
             }
@@ -146,8 +205,14 @@ fn run_stream_job(job: &StreamJob) -> Result<StreamOutcome, CoreError> {
     if job.flush_at_end {
         // Only meaningful when reads arrived after the last cadence
         // solve; a flush on an already-solved window re-emits.
+        let flushed_at = doctor.is_some().then(Instant::now);
         match pipeline.flush() {
-            Ok(Some(estimate)) => estimates.push(estimate),
+            Ok(Some(estimate)) => {
+                let solve_ns =
+                    flushed_at.map_or(0, |t| lion_obs::saturating_ns_between(t, Instant::now()));
+                observe(&mut doctor, &estimate, &ingress, solve_ns);
+                estimates.push(estimate);
+            }
             Ok(None) => {}
             Err(_) => solve_errors += 1,
         }
@@ -166,6 +231,7 @@ fn run_stream_job(job: &StreamJob) -> Result<StreamOutcome, CoreError> {
         late_rejected: pipeline.rejected_late(),
         solve_errors,
         converged: pipeline.is_converged(),
+        health: doctor.map(|d| d.report()),
         estimates,
     })
 }
@@ -182,8 +248,14 @@ impl Engine {
     /// affecting the rest.
     pub fn run_streams(&self, jobs: &[StreamJob]) -> Vec<Result<StreamOutcome, CoreError>> {
         let workers = self.workers().min(jobs.len()).max(1);
+        // Root trace contexts in submission order (see `job_contexts`).
+        let contexts = job_contexts(jobs.len());
         if workers == 1 {
-            return jobs.iter().map(run_stream_job).collect();
+            return jobs
+                .iter()
+                .zip(&contexts)
+                .map(|(job, ctx)| run_stream_job(job, *ctx))
+                .collect();
         }
         let cursor = AtomicUsize::new(0);
         let mut collected: Vec<(usize, Result<StreamOutcome, CoreError>)> =
@@ -196,7 +268,7 @@ impl Engine {
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(job) = jobs.get(i) else { break };
-                            local.push((i, run_stream_job(job)));
+                            local.push((i, run_stream_job(job, contexts[i])));
                         }
                         local
                     })

@@ -1,0 +1,546 @@
+//! Calibration-health watchdogs: windowed rules over solve telemetry.
+//!
+//! Latency histograms say how *fast* the pipeline is; nothing in PR 2/3
+//! says whether the calibration is still *good*. Residual statistics
+//! drift long before estimates visibly break (multipath growing as a
+//! site changes, an antenna knocked out of alignment), convergence that
+//! keeps un-latching signals an unstable geometry, and a shedding
+//! ingress silently biases the window toward bursts. The [`Doctor`]
+//! watches all of these from the stream of per-solve observations the
+//! engine already produces.
+//!
+//! Operation: feed one [`SolveObservation`] per cadence solve via
+//! [`Doctor::observe`], then ask for a [`HealthReport`]. Every rule is
+//! evaluated over a rolling window of the last `window` observations,
+//! so a fault is flagged within one window of its onset:
+//!
+//! - **`residual_drift`** — mean |weighted residual| over the recent
+//!   window vs. a baseline frozen from the *first* full window (floored
+//!   by `residual_floor` so a near-zero clean baseline can't make noise
+//!   look like drift). Fires when the ratio exceeds
+//!   `residual_drift_ratio`.
+//! - **`convergence_stall`** — converged→unconverged regressions
+//!   (hysteresis un-latching, see `ConvergenceTracker`) within the
+//!   window reaching `stall_regressions`.
+//! - **`ingress_shed`** — fraction of offered reads shed by the bounded
+//!   ingress over the window exceeding `max_shed_rate`.
+//! - **`solve_latency`** — p99 of per-solve wall time over the window
+//!   exceeding `max_solve_p99_ns`.
+//!
+//! Reports are deterministic: rules appear in the fixed order above,
+//! and for identical observation sequences the JSON and `Display`
+//! renderings are byte-identical.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::json;
+
+/// Thresholds and window length for the watchdog rules. All rules share
+/// one window so "within one watchdog window" means the same thing for
+/// every failure mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DoctorConfig {
+    /// Observations per rolling window (≥ 2; default 8).
+    pub window: usize,
+    /// `residual_drift` fires when recent mean |residual| exceeds
+    /// `ratio ×` the frozen baseline (default 3).
+    pub residual_drift_ratio: f64,
+    /// Baseline floor in residual units (meters); protects a near-zero
+    /// clean baseline from flagging noise (default 0.5 mm).
+    pub residual_floor: f64,
+    /// `convergence_stall` fires at this many converged→unconverged
+    /// regressions within the window (default 2).
+    pub stall_regressions: u32,
+    /// `ingress_shed` fires when shed/offered over the window exceeds
+    /// this fraction (default 0.05).
+    pub max_shed_rate: f64,
+    /// `solve_latency` fires when windowed p99 solve time exceeds this
+    /// (default 50 ms).
+    pub max_solve_p99_ns: u64,
+}
+
+impl Default for DoctorConfig {
+    fn default() -> Self {
+        DoctorConfig {
+            window: 8,
+            residual_drift_ratio: 3.0,
+            residual_floor: 5e-4,
+            stall_regressions: 2,
+            max_shed_rate: 0.05,
+            max_solve_p99_ns: 50_000_000,
+        }
+    }
+}
+
+/// What the doctor learns from one cadence solve. Counts are deltas
+/// since the previous observation, not running totals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveObservation {
+    /// Stream time of the solve (seconds).
+    pub time: f64,
+    /// The solve's mean weighted residual (meters; sign preserved).
+    pub mean_residual: f64,
+    /// Whether the convergence tracker held "converged" after the solve.
+    pub converged: bool,
+    /// Wall time of the solve, nanoseconds.
+    pub solve_ns: u64,
+    /// Reads accepted into the pipeline since the last observation.
+    pub reads_in: u64,
+    /// Reads shed by the bounded ingress since the last observation.
+    pub shed: u64,
+}
+
+/// Whether a rule fired, and whether it had enough data to judge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleStatus {
+    /// Enough data, within threshold.
+    Healthy,
+    /// Enough data, threshold exceeded.
+    Firing,
+    /// Not enough observations yet to evaluate.
+    Insufficient,
+}
+
+impl fmt::Display for RuleStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RuleStatus::Healthy => "healthy",
+            RuleStatus::Firing => "FIRING",
+            RuleStatus::Insufficient => "insufficient-data",
+        })
+    }
+}
+
+/// One rule's verdict: measured value vs. its firing threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleReport {
+    /// Rule name (fixed set, fixed order — see the module docs).
+    pub rule: &'static str,
+    /// Verdict.
+    pub status: RuleStatus,
+    /// The measured value the rule compared (units vary per rule).
+    pub value: f64,
+    /// The threshold it compared against.
+    pub threshold: f64,
+    /// Human-oriented context (units, window, baseline).
+    pub detail: String,
+}
+
+/// A deterministic health summary: every rule's verdict plus an overall
+/// flag. Render with `Display` or [`HealthReport::to_json`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthReport {
+    /// Observations consumed so far.
+    pub observations: u64,
+    /// Per-rule verdicts, in the fixed rule order.
+    pub rules: Vec<RuleReport>,
+    /// `false` iff any rule is [`RuleStatus::Firing`].
+    pub healthy: bool,
+}
+
+impl HealthReport {
+    /// The report for one rule by name.
+    pub fn rule(&self, name: &str) -> Option<&RuleReport> {
+        self.rules.iter().find(|r| r.rule == name)
+    }
+
+    /// Names of the rules currently firing, in rule order.
+    pub fn firing(&self) -> Vec<&'static str> {
+        self.rules
+            .iter()
+            .filter(|r| r.status == RuleStatus::Firing)
+            .map(|r| r.rule)
+            .collect()
+    }
+
+    /// Renders the report as one deterministic JSON object (field order
+    /// fixed; floats via Rust's shortest round-trip formatting).
+    pub fn to_json(&self) -> String {
+        let rules: Vec<String> = self
+            .rules
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"rule\":\"{}\",\"status\":\"{}\",\"value\":{},\"threshold\":{},\"detail\":\"{}\"}}",
+                    json::escape(r.rule),
+                    r.status,
+                    fmt_f64(r.value),
+                    fmt_f64(r.threshold),
+                    json::escape(&r.detail),
+                )
+            })
+            .collect();
+        format!(
+            "{{\"observations\":{},\"healthy\":{},\"rules\":[{}]}}",
+            self.observations,
+            self.healthy,
+            rules.join(","),
+        )
+    }
+}
+
+/// Formats an `f64` so the in-repo JSON parser reads it back: finite
+/// values as-is, non-finite as `null`.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl fmt::Display for HealthReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "calibration health: {} ({} observations)",
+            if self.healthy { "OK" } else { "DEGRADED" },
+            self.observations,
+        )?;
+        for r in &self.rules {
+            writeln!(
+                f,
+                "  {:18} {:17} value={:.6} threshold={:.6}  {}",
+                r.rule, r.status, r.value, r.threshold, r.detail,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The watchdog engine: feed observations, ask for reports. See the
+/// module docs for the rule set.
+#[derive(Debug, Clone)]
+pub struct Doctor {
+    config: DoctorConfig,
+    recent: VecDeque<SolveObservation>,
+    /// Mean |residual| of the first full window, frozen once available.
+    baseline_residual: Option<f64>,
+    observations: u64,
+}
+
+impl Doctor {
+    /// Creates a doctor with `config` (window clamped to ≥ 2).
+    pub fn new(mut config: DoctorConfig) -> Doctor {
+        config.window = config.window.max(2);
+        Doctor {
+            config,
+            recent: VecDeque::new(),
+            baseline_residual: None,
+            observations: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DoctorConfig {
+        &self.config
+    }
+
+    /// Consumes one per-solve observation.
+    pub fn observe(&mut self, obs: SolveObservation) {
+        self.observations += 1;
+        self.recent.push_back(obs);
+        if self.recent.len() > self.config.window {
+            self.recent.pop_front();
+        }
+        // Freeze the residual baseline the first time a full window is
+        // available: the earliest steady view of the clean system.
+        if self.baseline_residual.is_none() && self.recent.len() == self.config.window {
+            let mean = self
+                .recent
+                .iter()
+                .map(|o| o.mean_residual.abs())
+                .sum::<f64>()
+                / self.recent.len() as f64;
+            self.baseline_residual = Some(mean);
+        }
+    }
+
+    /// Evaluates every rule over the current window.
+    pub fn report(&self) -> HealthReport {
+        let rules = vec![
+            self.residual_drift(),
+            self.convergence_stall(),
+            self.ingress_shed(),
+            self.solve_latency(),
+        ];
+        let healthy = rules.iter().all(|r| r.status != RuleStatus::Firing);
+        HealthReport {
+            observations: self.observations,
+            rules,
+            healthy,
+        }
+    }
+
+    fn residual_drift(&self) -> RuleReport {
+        let threshold = self.config.residual_drift_ratio;
+        let Some(baseline) = self.baseline_residual else {
+            return RuleReport {
+                rule: "residual_drift",
+                status: RuleStatus::Insufficient,
+                value: 0.0,
+                threshold,
+                detail: format!(
+                    "baseline not frozen yet ({}/{} observations)",
+                    self.recent.len(),
+                    self.config.window,
+                ),
+            };
+        };
+        let floor = self.config.residual_floor.max(f64::MIN_POSITIVE);
+        let baseline = baseline.max(floor);
+        let recent = self
+            .recent
+            .iter()
+            .map(|o| o.mean_residual.abs())
+            .sum::<f64>()
+            / self.recent.len() as f64;
+        let ratio = recent / baseline;
+        RuleReport {
+            rule: "residual_drift",
+            status: if ratio > threshold {
+                RuleStatus::Firing
+            } else {
+                RuleStatus::Healthy
+            },
+            value: ratio,
+            threshold,
+            detail: format!("recent mean |residual| {recent:.6} m vs baseline {baseline:.6} m"),
+        }
+    }
+
+    fn convergence_stall(&self) -> RuleReport {
+        let threshold = f64::from(self.config.stall_regressions);
+        if self.recent.len() < 2 {
+            return RuleReport {
+                rule: "convergence_stall",
+                status: RuleStatus::Insufficient,
+                value: 0.0,
+                threshold,
+                detail: "need at least 2 observations".to_string(),
+            };
+        }
+        let regressions = self
+            .recent
+            .iter()
+            .zip(self.recent.iter().skip(1))
+            .filter(|(prev, next)| prev.converged && !next.converged)
+            .count() as u32;
+        RuleReport {
+            rule: "convergence_stall",
+            status: if regressions >= self.config.stall_regressions {
+                RuleStatus::Firing
+            } else {
+                RuleStatus::Healthy
+            },
+            value: f64::from(regressions),
+            threshold,
+            detail: format!(
+                "converged\u{2192}unconverged regressions in the last {} solves",
+                self.recent.len(),
+            ),
+        }
+    }
+
+    fn ingress_shed(&self) -> RuleReport {
+        let threshold = self.config.max_shed_rate;
+        let accepted: u64 = self.recent.iter().map(|o| o.reads_in).sum();
+        let shed: u64 = self.recent.iter().map(|o| o.shed).sum();
+        let offered = accepted + shed;
+        if offered == 0 {
+            return RuleReport {
+                rule: "ingress_shed",
+                status: RuleStatus::Insufficient,
+                value: 0.0,
+                threshold,
+                detail: "no reads offered in the window".to_string(),
+            };
+        }
+        let rate = shed as f64 / offered as f64;
+        RuleReport {
+            rule: "ingress_shed",
+            status: if rate > threshold {
+                RuleStatus::Firing
+            } else {
+                RuleStatus::Healthy
+            },
+            value: rate,
+            threshold,
+            detail: format!("{shed} of {offered} offered reads shed in the window"),
+        }
+    }
+
+    fn solve_latency(&self) -> RuleReport {
+        let threshold = self.config.max_solve_p99_ns as f64;
+        if self.recent.is_empty() {
+            return RuleReport {
+                rule: "solve_latency",
+                status: RuleStatus::Insufficient,
+                value: 0.0,
+                threshold,
+                detail: "no solves observed".to_string(),
+            };
+        }
+        let mut times: Vec<u64> = self.recent.iter().map(|o| o.solve_ns).collect();
+        times.sort_unstable();
+        // Nearest-rank p99 over the window.
+        let rank = ((times.len() as f64 * 0.99).ceil() as usize).clamp(1, times.len());
+        let p99 = times[rank - 1];
+        RuleReport {
+            rule: "solve_latency",
+            status: if (p99 as f64) > threshold {
+                RuleStatus::Firing
+            } else {
+                RuleStatus::Healthy
+            },
+            value: p99 as f64,
+            threshold,
+            detail: format!("windowed p99 solve time over {} solves, ns", times.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(residual: f64, converged: bool) -> SolveObservation {
+        SolveObservation {
+            time: 0.0,
+            mean_residual: residual,
+            converged,
+            solve_ns: 1_000,
+            reads_in: 25,
+            shed: 0,
+        }
+    }
+
+    fn doctor_with_window(window: usize) -> Doctor {
+        Doctor::new(DoctorConfig {
+            window,
+            ..DoctorConfig::default()
+        })
+    }
+
+    #[test]
+    fn clean_run_reports_all_healthy() {
+        let mut doc = doctor_with_window(4);
+        for _ in 0..12 {
+            doc.observe(obs(1e-3, true));
+        }
+        let report = doc.report();
+        assert!(report.healthy);
+        assert!(report.firing().is_empty());
+        assert!(report.rules.iter().all(|r| r.status == RuleStatus::Healthy));
+    }
+
+    #[test]
+    fn rules_report_insufficient_before_data() {
+        let doc = doctor_with_window(4);
+        let report = doc.report();
+        assert!(report.healthy, "insufficient data is not a failure");
+        assert!(report
+            .rules
+            .iter()
+            .all(|r| r.status == RuleStatus::Insufficient));
+    }
+
+    #[test]
+    fn residual_drift_fires_within_one_window() {
+        let mut doc = doctor_with_window(4);
+        for _ in 0..4 {
+            doc.observe(obs(1e-3, true));
+        }
+        assert!(doc.report().healthy);
+        // Residuals jump 10×: must fire within the next window.
+        for _ in 0..4 {
+            doc.observe(obs(1e-2, true));
+        }
+        let report = doc.report();
+        assert_eq!(report.firing(), ["residual_drift"]);
+        assert!(!report.healthy);
+    }
+
+    #[test]
+    fn residual_floor_suppresses_noise_on_a_clean_baseline() {
+        let mut doc = Doctor::new(DoctorConfig {
+            window: 4,
+            residual_floor: 5e-4,
+            ..DoctorConfig::default()
+        });
+        // Near-zero baseline, then small noise below the floor-scaled
+        // threshold: ratio uses the floor, not the tiny baseline.
+        for _ in 0..4 {
+            doc.observe(obs(1e-9, true));
+        }
+        for _ in 0..4 {
+            doc.observe(obs(1e-4, true));
+        }
+        assert!(doc.report().healthy);
+    }
+
+    #[test]
+    fn convergence_stall_counts_regressions() {
+        let mut doc = doctor_with_window(8);
+        for converged in [true, false, true, false, true, true, true, true] {
+            doc.observe(obs(1e-3, converged));
+        }
+        let report = doc.report();
+        assert_eq!(report.firing(), ["convergence_stall"]);
+        assert_eq!(report.rule("convergence_stall").unwrap().value, 2.0);
+    }
+
+    #[test]
+    fn shed_rate_fires_on_overflow() {
+        let mut doc = doctor_with_window(4);
+        for _ in 0..4 {
+            doc.observe(SolveObservation {
+                shed: 5,
+                ..obs(1e-3, true)
+            });
+        }
+        let report = doc.report();
+        assert_eq!(report.firing(), ["ingress_shed"]);
+        let rule = report.rule("ingress_shed").unwrap();
+        assert!((rule.value - 20.0 / 120.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_p99_fires_on_slow_solves() {
+        let mut doc = Doctor::new(DoctorConfig {
+            window: 4,
+            max_solve_p99_ns: 10_000,
+            ..DoctorConfig::default()
+        });
+        for _ in 0..4 {
+            doc.observe(SolveObservation {
+                solve_ns: 20_000,
+                ..obs(1e-3, true)
+            });
+        }
+        assert_eq!(doc.report().firing(), ["solve_latency"]);
+    }
+
+    #[test]
+    fn report_json_is_deterministic_and_parses() {
+        let mut a = doctor_with_window(4);
+        let mut b = doctor_with_window(4);
+        for _ in 0..6 {
+            a.observe(obs(1e-3, true));
+            b.observe(obs(1e-3, true));
+        }
+        let ja = a.report().to_json();
+        let jb = b.report().to_json();
+        assert_eq!(ja, jb);
+        let doc = crate::json::parse(&ja).expect("valid JSON");
+        assert_eq!(doc.get("observations").and_then(|v| v.as_u64()), Some(6));
+        assert_eq!(doc.get("healthy"), Some(&crate::json::Json::Bool(true)));
+        assert_eq!(
+            doc.get("rules").and_then(|v| v.as_array()).map(|a| a.len()),
+            Some(4)
+        );
+        // Display is likewise stable.
+        assert_eq!(a.report().to_string(), b.report().to_string());
+    }
+}

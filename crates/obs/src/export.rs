@@ -1,6 +1,7 @@
-//! Snapshot exporters: JSON-lines files and Prometheus text exposition.
+//! Snapshot and trace exporters: JSON lines, Prometheus text, and Chrome
+//! trace events.
 //!
-//! Two formats cover the two consumption patterns:
+//! Three formats cover the three consumption patterns:
 //!
 //! - **JSON lines** ([`to_json_line`], [`append_json_line`]): one
 //!   self-contained JSON object per snapshot, appended to a file —
@@ -11,7 +12,13 @@
 //!   [`write_prometheus`]): the standard `# TYPE` + sample-line format,
 //!   rendered to a string for a scrape endpoint, a file, or stdout.
 //!   Histograms emit cumulative `_bucket{le="…"}` samples plus `_sum` and
-//!   `_count`.
+//!   `_count`. [`to_prometheus_with_labels`] attaches a constant label
+//!   set to every sample, with values escaped per the exposition format.
+//! - **Chrome trace events** ([`to_chrome_trace`], [`write_chrome_trace`]):
+//!   the flight recorder's tail as a Trace Event Format JSON document
+//!   that loads directly in Perfetto (<https://ui.perfetto.dev>) or
+//!   `chrome://tracing`, with one lane per worker thread and spans
+//!   nested by their recorded intervals.
 
 use std::fs;
 use std::io::{self, Write};
@@ -19,7 +26,9 @@ use std::path::Path;
 
 use crate::hist::Histogram;
 use crate::json::{self, Json};
+use crate::recorder::FlightRecord;
 use crate::registry::{Metric, Snapshot};
+use crate::subscriber::Value;
 
 /// Renders a snapshot as one JSON object (no trailing newline).
 ///
@@ -164,6 +173,176 @@ pub fn write_prometheus(path: &Path, snapshot: &Snapshot) -> io::Result<()> {
     fs::write(path, to_prometheus(snapshot))
 }
 
+/// Escapes a Prometheus label *value* per the text exposition format:
+/// `\` → `\\`, `"` → `\"`, newline → `\n`.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one `{name="value",…}` label block (empty string for no
+/// labels), with values escaped by [`escape_label_value`] and label
+/// names sanitized like metric names.
+fn label_block(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let rendered: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", prometheus_name(k), escape_label_value(v)))
+        .collect();
+    format!("{{{}}}", rendered.join(","))
+}
+
+/// Like [`to_prometheus`], but attaches `labels` to every sample.
+/// Histogram `_bucket` samples merge the constant labels with their `le`
+/// label. Label values are escaped per the exposition format, so values
+/// containing `"`, `\`, or newlines stay parseable.
+pub fn to_prometheus_with_labels(snapshot: &Snapshot, labels: &[(&str, &str)]) -> String {
+    let block = label_block(labels);
+    let bucket_prefix = if labels.is_empty() {
+        String::new()
+    } else {
+        // Inside a merged `{…,le="…"}` block: constant labels first.
+        let inner = block.trim_start_matches('{').trim_end_matches('}');
+        format!("{inner},")
+    };
+    let mut out = String::new();
+    for (name, metric) in &snapshot.metrics {
+        let name = prometheus_name(name);
+        match metric {
+            Metric::Counter(v) => {
+                out.push_str(&format!("# TYPE {name} counter\n{name}{block} {v}\n"));
+            }
+            Metric::Gauge(v) => {
+                out.push_str(&format!("# TYPE {name} gauge\n{name}{block} {v}\n"));
+            }
+            Metric::Histogram(h) => {
+                out.push_str(&format!("# TYPE {name} histogram\n"));
+                let mut cumulative = 0u64;
+                for (upper, count) in h.nonzero_buckets() {
+                    cumulative = cumulative.saturating_add(count);
+                    out.push_str(&format!(
+                        "{name}_bucket{{{bucket_prefix}le=\"{upper}\"}} {cumulative}\n"
+                    ));
+                }
+                out.push_str(&format!(
+                    "{name}_bucket{{{bucket_prefix}le=\"+Inf\"}} {}\n{name}_sum{block} {}\n{name}_count{block} {}\n",
+                    h.count(),
+                    h.sum(),
+                    h.count()
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Formats nanoseconds-since-epoch as Trace Event microseconds with
+/// exact sub-µs decimals. The conversion is monotone and exact, so
+/// recorded interval containment (child within parent) survives export.
+fn chrome_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// One event `args` value as JSON (strings escaped, non-finite floats as
+/// `null` so the document stays parseable).
+fn chrome_value(value: &Value) -> String {
+    match value {
+        Value::U64(v) => format!("{v}"),
+        Value::F64(v) if v.is_finite() => format!("{v}"),
+        Value::F64(_) => "null".to_string(),
+        Value::Bool(v) => format!("{v}"),
+        Value::Str(s) => format!("\"{}\"", json::escape(s)),
+        Value::Owned(s) => format!("\"{}\"", json::escape(s)),
+    }
+}
+
+/// Renders flight-recorder records as a Chrome Trace Event Format JSON
+/// document (the object form, `{"traceEvents":[…]}`), loadable in
+/// Perfetto or `chrome://tracing`.
+///
+/// Mapping: every span close becomes a complete (`"ph":"X"`) event on
+/// `pid` 1 with `tid` = its lane, `ts`/`dur` in microseconds from the
+/// process trace epoch, and `args` carrying the span/parent/trace ids;
+/// every recorded event becomes a thread-scoped instant (`"ph":"i"`)
+/// with its fields in `args`. A `thread_name` metadata record names each
+/// lane so workers appear as separate tracks.
+pub fn to_chrome_trace(records: &[FlightRecord]) -> String {
+    let mut lanes: Vec<u64> = records.iter().map(FlightRecord::thread).collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+    let mut events: Vec<String> = lanes
+        .iter()
+        .map(|lane| {
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{lane},\"args\":{{\"name\":\"lane {lane}\"}}}}"
+            )
+        })
+        .collect();
+    for record in records {
+        match record {
+            FlightRecord::Span(s) => {
+                events.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"id\":{},\"parent\":{},\"trace\":{}}}}}",
+                    json::escape(s.name),
+                    json::escape(s.target),
+                    s.thread,
+                    chrome_us(s.start_ns),
+                    chrome_us(s.elapsed_ns),
+                    s.id,
+                    s.parent,
+                    s.trace_id,
+                ));
+            }
+            FlightRecord::Event(e) => {
+                let mut args: Vec<String> = vec![
+                    format!("\"parent\":{}", e.parent),
+                    format!("\"trace\":{}", e.trace_id),
+                ];
+                args.extend(
+                    e.fields
+                        .iter()
+                        .map(|(k, v)| format!("\"{}\":{}", json::escape(k), chrome_value(v))),
+                );
+                events.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\"ts\":{},\"args\":{{{}}}}}",
+                    json::escape(e.name),
+                    json::escape(e.target),
+                    e.thread,
+                    chrome_us(e.at_ns),
+                    args.join(","),
+                ));
+            }
+        }
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}",
+        events.join(",")
+    )
+}
+
+/// Writes [`to_chrome_trace`] to `path`, creating missing parent
+/// directories.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_chrome_trace(path: &Path, records: &[FlightRecord]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, to_chrome_trace(records))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,5 +409,114 @@ mod tests {
         assert_eq!(prometheus_name("engine.jobs-v2"), "engine_jobs_v2");
         assert_eq!(prometheus_name("9lives"), "_9lives");
         assert_eq!(prometheus_name("ok_name:sub"), "ok_name:sub");
+    }
+
+    #[test]
+    fn label_values_are_escaped_per_exposition_format() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd",);
+        let r = Registry::new();
+        r.counter_add("jobs", 1);
+        r.histogram_record("lat_ns", 500);
+        let text = to_prometheus_with_labels(&r.snapshot(), &[("run", "line1\nline\"2\\end")]);
+        assert!(text.contains("jobs{run=\"line1\\nline\\\"2\\\\end\"} 1"));
+        // Histogram buckets merge the constant labels with `le`.
+        assert!(text.contains("lat_ns_bucket{run=\"line1\\nline\\\"2\\\\end\",le=\"+Inf\"} 1"));
+        assert!(text.contains("lat_ns_count{run=\"line1\\nline\\\"2\\\\end\"} 1"));
+        // No raw (unescaped) newline may survive inside a sample line.
+        for line in text.lines() {
+            assert!(!line.contains("line1\nline"));
+        }
+    }
+
+    #[test]
+    fn with_empty_labels_matches_plain_rendering() {
+        let snapshot = sample_snapshot();
+        assert_eq!(
+            to_prometheus_with_labels(&snapshot, &[]),
+            to_prometheus(&snapshot)
+        );
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_and_nests() {
+        use crate::recorder::{FlightRecord, RecordedEvent};
+        use crate::{Level, SpanClose};
+        let span = |name: &'static str, id: u64, parent: u64, start: u64, end: u64| {
+            FlightRecord::Span(SpanClose {
+                target: "test",
+                name,
+                id,
+                parent,
+                trace_id: 10,
+                thread: 3,
+                start_ns: start,
+                end_ns: end,
+                elapsed_ns: end - start,
+            })
+        };
+        let records = vec![
+            span("job", 11, 0, 1_000, 9_000),
+            span("stage", 12, 11, 2_000, 8_500),
+            span("sub", 13, 12, 2_250, 4_750),
+            FlightRecord::Event(RecordedEvent {
+                target: "test",
+                name: "mark",
+                level: Level::Info,
+                fields: vec![("k", Value::U64(7)), ("s", Value::Str("x\"y"))],
+                trace_id: 10,
+                parent: 12,
+                at_ns: 3_000,
+                thread: 3,
+            }),
+        ];
+        let text = to_chrome_trace(&records);
+        let doc = json::parse(&text).expect("chrome trace parses with the in-repo parser");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        // 1 metadata + 3 spans + 1 instant.
+        assert_eq!(events.len(), 5);
+        let by_name = |name: &str| {
+            events
+                .iter()
+                .find(|e| e.get("name").and_then(Json::as_str) == Some(name))
+                .unwrap()
+        };
+        let interval = |name: &str| {
+            let e = by_name(name);
+            let ts = e.get("ts").and_then(Json::as_f64).unwrap();
+            let dur = e.get("dur").and_then(Json::as_f64).unwrap();
+            (ts, ts + dur)
+        };
+        let (job_s, job_e) = interval("job");
+        let (stage_s, stage_e) = interval("stage");
+        let (sub_s, sub_e) = interval("sub");
+        assert!(job_s <= stage_s && stage_e <= job_e);
+        assert!(stage_s <= sub_s && sub_e <= stage_e);
+        assert_eq!((job_s, job_e), (1.0, 9.0));
+        // Sub-µs precision survives: 2_250 ns → 2.25 µs.
+        assert_eq!(sub_s, 2.25);
+        // Args carry the causal ids; the instant carries its fields.
+        let stage = by_name("stage");
+        assert_eq!(
+            stage
+                .get("args")
+                .and_then(|a| a.get("parent"))
+                .and_then(Json::as_u64),
+            Some(11)
+        );
+        let mark = by_name("mark");
+        assert_eq!(mark.get("ph").and_then(Json::as_str), Some("i"));
+        assert_eq!(
+            mark.get("args")
+                .and_then(|a| a.get("s"))
+                .and_then(Json::as_str),
+            Some("x\"y")
+        );
+        // The lane got a metadata track name.
+        let meta = by_name("thread_name");
+        assert_eq!(meta.get("tid").and_then(Json::as_u64), Some(3));
     }
 }

@@ -41,18 +41,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod doctor;
 pub mod export;
 mod hist;
 pub mod json;
+pub mod recorder;
 mod registry;
 mod subscriber;
 mod timer;
+pub mod trace;
 
+pub use doctor::{Doctor, DoctorConfig, HealthReport, RuleReport, RuleStatus, SolveObservation};
 pub use hist::{Histogram, SUB_BUCKETS};
+pub use recorder::{
+    flight_recorder, install_flight_recorder, note_failure, uninstall_flight_recorder, FailureDump,
+    FlightRecord, FlightRecorder, FlightSnapshot, RecordedEvent,
+};
 pub use registry::{global, Metric, Registry, Snapshot};
 pub use subscriber::{
     clear_global_subscriber, dispatch_event, dispatch_span_close, enabled, set_global_subscriber,
     set_thread_subscriber, CollectingSubscriber, Event, Level, OwnedEvent, Span, SpanClose,
     Subscriber, ThreadSubscriberGuard, Value,
 };
-pub use timer::HistogramTimer;
+pub use timer::{saturating_ns_between, HistogramTimer};
+pub use trace::{attach, TraceContext, TraceGuard};

@@ -16,9 +16,10 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
-use std::time::Instant;
 
 use crate::hist::Histogram;
+use crate::recorder;
+use crate::trace;
 
 /// Severity of an [`Event`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -123,14 +124,29 @@ pub struct Event<'a> {
     pub fields: &'a [(&'static str, Value)],
 }
 
-/// A closed (completed) span: name plus measured wall time.
+/// A closed (completed) span: name, measured wall time, and its position
+/// in the causal trace (see [`crate::trace`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpanClose {
     /// Module path of the emitting code.
     pub target: &'static str,
     /// Span name.
     pub name: &'static str,
+    /// Process-unique span id.
+    pub id: u64,
+    /// Id of the enclosing span, or `0` for a trace root.
+    pub parent: u64,
+    /// Trace this span belongs to (shared by the whole tree).
+    pub trace_id: u64,
+    /// Lane (thread) id the span ran on.
+    pub thread: u64,
+    /// Open time, nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Close time, nanoseconds since the process trace epoch.
+    pub end_ns: u64,
     /// Wall-clock duration between open and close, in nanoseconds.
+    /// Always `end_ns.saturating_sub(start_ns)` — a clock anomaly yields
+    /// `0`, never a wrap or panic.
     pub elapsed_ns: u64,
 }
 
@@ -142,9 +158,20 @@ pub trait Subscriber: Send + Sync {
     fn on_span_close(&self, span: &SpanClose);
 }
 
-/// Count of installed subscribers (global slot + thread-local slots).
-/// Non-zero means instrumentation must dispatch.
+/// Count of installed sinks (global slot + thread-local slots + the
+/// flight recorder). Non-zero means instrumentation must dispatch.
 static INSTALLED: AtomicUsize = AtomicUsize::new(0);
+
+/// Registers one more reason for instrumentation to run (used by the
+/// flight recorder, which is a sink but not a [`Subscriber`]).
+pub(crate) fn instrumentation_on() {
+    INSTALLED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Releases a slot taken by [`instrumentation_on`].
+pub(crate) fn instrumentation_off() {
+    INSTALLED.fetch_sub(1, Ordering::Relaxed);
+}
 
 static GLOBAL: RwLock<Option<Arc<dyn Subscriber>>> = RwLock::new(None);
 
@@ -209,10 +236,12 @@ impl Drop for ThreadSubscriberGuard {
     }
 }
 
-/// Sends an event to the thread-local subscriber if present, else the
-/// global one. Called by the [`event!`](crate::event) macro after its
-/// [`enabled`] check; harmless (just slower) to call directly.
+/// Sends an event to the flight recorder (if installed) and to the
+/// thread-local subscriber if present, else the global one. Called by
+/// the [`event!`](crate::event) macro after its [`enabled`] check;
+/// harmless (just slower) to call directly.
 pub fn dispatch_event(event: &Event<'_>) {
+    recorder::record_event(event);
     let handled = LOCAL.with(|slot| {
         if let Some(sub) = slot.borrow().as_ref() {
             sub.on_event(event);
@@ -228,9 +257,10 @@ pub fn dispatch_event(event: &Event<'_>) {
     }
 }
 
-/// Sends a closed span to the thread-local subscriber if present, else
-/// the global one.
+/// Sends a closed span to the flight recorder (if installed) and to the
+/// thread-local subscriber if present, else the global one.
 pub fn dispatch_span_close(span: &SpanClose) {
+    recorder::record_span_close(span);
     let handled = LOCAL.with(|slot| {
         if let Some(sub) = slot.borrow().as_ref() {
             sub.on_span_close(span);
@@ -244,11 +274,25 @@ pub fn dispatch_span_close(span: &SpanClose) {
             sub.on_span_close(span);
         }
     }
+}
+
+/// The live half of a recording span: identity resolved at open time.
+#[derive(Debug, Clone, Copy)]
+struct Recording {
+    id: u64,
+    parent: u64,
+    trace_id: u64,
+    start_ns: u64,
 }
 
 /// An RAII timed span: measures wall time from construction to drop and
-/// dispatches a [`SpanClose`]. When no subscriber is installed at
-/// construction the span is inert — no clock read, no dispatch.
+/// dispatches a [`SpanClose`]. When no sink is installed at construction
+/// the span is inert — no clock read, no id allocation, no dispatch.
+///
+/// A recording span also joins the causal trace: it is pushed onto the
+/// thread's span stack (see [`crate::trace`]) so spans opened inside its
+/// scope become its children, and its close record carries `id`,
+/// `parent`, and `trace_id` for tree reconstruction.
 ///
 /// Created by the [`span!`](crate::span) macro.
 #[derive(Debug)]
@@ -256,7 +300,7 @@ pub fn dispatch_span_close(span: &SpanClose) {
 pub struct Span {
     target: &'static str,
     name: &'static str,
-    started: Option<Instant>,
+    recording: Option<Recording>,
 }
 
 impl Span {
@@ -264,31 +308,50 @@ impl Span {
     /// span.
     #[inline]
     pub fn enter(target: &'static str, name: &'static str) -> Span {
+        let recording = if enabled() {
+            let (id, parent, trace_id) = trace::enter_span();
+            Some(Recording {
+                id,
+                parent,
+                trace_id,
+                start_ns: trace::now_ns(),
+            })
+        } else {
+            None
+        };
         Span {
             target,
             name,
-            started: if enabled() {
-                Some(Instant::now())
-            } else {
-                None
-            },
+            recording,
         }
     }
 
     /// Whether this span is actually recording.
     pub fn is_recording(&self) -> bool {
-        self.started.is_some()
+        self.recording.is_some()
+    }
+
+    /// The span's process-unique id, if recording.
+    pub fn id(&self) -> Option<u64> {
+        self.recording.map(|r| r.id)
     }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
-        if let Some(started) = self.started {
-            let elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if let Some(rec) = self.recording {
+            let end_ns = trace::now_ns();
+            trace::exit_span(rec.id);
             dispatch_span_close(&SpanClose {
                 target: self.target,
                 name: self.name,
-                elapsed_ns,
+                id: rec.id,
+                parent: rec.parent,
+                trace_id: rec.trace_id,
+                thread: trace::lane(),
+                start_ns: rec.start_ns,
+                end_ns,
+                elapsed_ns: end_ns.saturating_sub(rec.start_ns),
             });
         }
     }

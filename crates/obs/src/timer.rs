@@ -53,9 +53,11 @@ impl<'a> HistogramTimer<'a> {
         elapsed
     }
 
-    /// Nanoseconds since the timer started, saturating at `u64::MAX`.
+    /// Nanoseconds since the timer started, saturating at `u64::MAX`
+    /// (and at `0` against clock anomalies — see
+    /// [`saturating_ns_between`]).
     pub fn elapsed_ns(&self) -> u64 {
-        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        saturating_ns_between(self.started, Instant::now())
     }
 
     fn record(&self) -> u64 {
@@ -70,6 +72,18 @@ impl Drop for HistogramTimer<'_> {
         if !self.stopped {
             self.record();
         }
+    }
+}
+
+/// The interval from `earlier` to `later` in nanoseconds, saturating in
+/// both directions: `0` when `later` precedes `earlier` (a backwards or
+/// frozen clock must record a zero-length interval, never wrap or
+/// panic — the repo builds with `overflow-checks` on), `u64::MAX` when
+/// the interval overflows `u64`.
+pub fn saturating_ns_between(earlier: Instant, later: Instant) -> u64 {
+    match later.checked_duration_since(earlier) {
+        Some(d) => u64::try_from(d.as_nanos()).unwrap_or(u64::MAX),
+        None => 0,
     }
 }
 
@@ -97,5 +111,19 @@ mod tests {
         let _elapsed = t.stop();
         let snap = registry.snapshot();
         assert_eq!(snap.histogram("t_ns").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn clock_anomalies_saturate_instead_of_wrapping() {
+        let earlier = Instant::now();
+        let later = Instant::now();
+        // A zero-length interval is 0, not a panic.
+        assert_eq!(saturating_ns_between(earlier, earlier), 0);
+        // A forced *backwards* interval (later observed before earlier)
+        // saturates to 0 — with overflow-checks on, a naive subtraction
+        // here would abort the process.
+        assert_eq!(saturating_ns_between(later, earlier), 0);
+        // The forward direction still measures.
+        assert!(saturating_ns_between(earlier, Instant::now()) < u64::MAX);
     }
 }

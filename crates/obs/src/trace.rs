@@ -1,0 +1,266 @@
+//! Causal trace propagation: span ids, ambient context, and lanes.
+//!
+//! PR 2's spans measured *durations*; this module gives them *structure*.
+//! Every recording [`crate::Span`] now carries a process-unique id, the id
+//! of the span that was open on the same thread when it was entered (its
+//! parent), and a trace id shared by every span descended from the same
+//! root — so a subscriber can reassemble the exact call tree of one solve
+//! even when spans from many tags and workers interleave.
+//!
+//! Within a thread, parenting is automatic: spans nest lexically, and a
+//! thread-local stack tracks the innermost open span. Across threads the
+//! link must be explicit — a thread does not inherit another thread's
+//! stack — which is what [`TraceContext`] is for:
+//!
+//! 1. the submitting side captures [`TraceContext::current`] (or mints a
+//!    fresh root with [`TraceContext::root`]),
+//! 2. the value is moved to the worker (it is `Copy + Send`),
+//! 3. the worker installs it with [`attach`]; spans opened while the
+//!    returned guard lives parent into the foreign trace.
+//!
+//! All timestamps are nanoseconds since a process-wide monotonic epoch
+//! ([`now_ns`]), which is what lets span intervals from different threads
+//! be merged into one timeline (the flight recorder's drain order and the
+//! Chrome trace export's `ts` axis).
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Process-wide id source for spans and traces. Ids are unique and
+/// ascending in allocation order; they carry no other meaning.
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a fresh nonzero id (spans, traces, recorder instances).
+pub fn next_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The process trace epoch: fixed at first use, shared by every thread.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process trace epoch, saturating at `u64::MAX`.
+/// Monotonic within the process; comparable across threads.
+pub fn now_ns() -> u64 {
+    u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+static NEXT_LANE: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// This thread's lane: a small process-unique id assigned on first
+    /// use, stable for the thread's lifetime. Spans record it so trace
+    /// viewers can lay workers out side by side.
+    static LANE: u64 = NEXT_LANE.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The calling thread's lane id (assigned on first use, then stable).
+pub fn lane() -> u64 {
+    LANE.with(|l| *l)
+}
+
+/// A position in a trace that new work should hang under: the trace id
+/// plus the span to parent to (`0` = root of the trace).
+///
+/// `Copy + Send`, so it crosses thread boundaries by value — capture it
+/// where the work is submitted, [`attach`] it where the work runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The trace every descendant span will carry.
+    pub trace_id: u64,
+    /// Span id new children parent to; `0` makes them trace roots.
+    pub parent: u64,
+}
+
+impl TraceContext {
+    /// Mints a brand-new trace: fresh trace id, children become roots.
+    pub fn root() -> Self {
+        TraceContext {
+            trace_id: next_id(),
+            parent: 0,
+        }
+    }
+
+    /// The context a new child span would inherit on this thread right
+    /// now: the innermost open span if any, else the innermost
+    /// [`attach`]ed context, else `None` (no ambient trace).
+    pub fn current() -> Option<TraceContext> {
+        AMBIENT.with(|a| {
+            let a = a.borrow();
+            match a.spans.last() {
+                Some(&(id, trace_id)) => Some(TraceContext {
+                    trace_id,
+                    parent: id,
+                }),
+                None => a.installed.last().copied(),
+            }
+        })
+    }
+}
+
+struct Ambient {
+    /// Contexts installed by [`attach`], innermost last.
+    installed: Vec<TraceContext>,
+    /// Open spans on this thread: `(span_id, trace_id)`, innermost last.
+    spans: Vec<(u64, u64)>,
+}
+
+thread_local! {
+    static AMBIENT: RefCell<Ambient> = const {
+        RefCell::new(Ambient {
+            installed: Vec::new(),
+            spans: Vec::new(),
+        })
+    };
+}
+
+/// Restores the previous ambient context when dropped. `!Send`: the
+/// guard must drop on the thread that attached.
+#[must_use = "dropping the guard immediately detaches the context"]
+pub struct TraceGuard {
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Installs `context` as this thread's ambient trace until the returned
+/// guard drops. Spans opened while no span is open on this thread parent
+/// to `context.parent` inside `context.trace_id` — the cross-thread half
+/// of causal propagation (see the module docs for the hand-off pattern).
+///
+/// Attaches nest: the innermost attach wins, and dropping the guard
+/// restores the previous one.
+pub fn attach(context: TraceContext) -> TraceGuard {
+    AMBIENT.with(|a| a.borrow_mut().installed.push(context));
+    TraceGuard {
+        _not_send: PhantomData,
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        AMBIENT.with(|a| {
+            a.borrow_mut().installed.pop();
+        });
+    }
+}
+
+/// Opens a span on this thread's stack: allocates its id, resolves its
+/// parent and trace from the ambient state, and pushes it. Returns
+/// `(id, parent, trace_id)`. A span opened with no ambient trace becomes
+/// the root of a fresh trace whose id equals its own span id.
+pub(crate) fn enter_span() -> (u64, u64, u64) {
+    let id = next_id();
+    AMBIENT.with(|a| {
+        let mut a = a.borrow_mut();
+        let (parent, trace_id) = match a.spans.last() {
+            Some(&(parent_id, trace_id)) => (parent_id, trace_id),
+            None => match a.installed.last() {
+                Some(ctx) => (ctx.parent, ctx.trace_id),
+                None => (0, id),
+            },
+        };
+        a.spans.push((id, trace_id));
+        (id, parent, trace_id)
+    })
+}
+
+/// Closes a span: removes it (and, defensively, anything opened above it
+/// that failed to close in order) from this thread's stack.
+pub(crate) fn exit_span(id: u64) {
+    AMBIENT.with(|a| {
+        let mut a = a.borrow_mut();
+        if let Some(pos) = a.spans.iter().rposition(|&(span_id, _)| span_id == id) {
+            a.spans.truncate(pos);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_ascending() {
+        let a = next_id();
+        let b = next_id();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn now_ns_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn lanes_are_stable_per_thread_and_distinct_across_threads() {
+        let here = lane();
+        assert_eq!(lane(), here);
+        let there = std::thread::spawn(lane).join().unwrap();
+        assert_ne!(here, there);
+    }
+
+    #[test]
+    fn span_stack_resolves_parents() {
+        // No ambient: a span roots its own trace.
+        let (id_a, parent_a, trace_a) = enter_span();
+        assert_eq!(parent_a, 0);
+        assert_eq!(trace_a, id_a);
+        // Nested: child parents to the open span, same trace.
+        let (id_b, parent_b, trace_b) = enter_span();
+        assert_eq!(parent_b, id_a);
+        assert_eq!(trace_b, trace_a);
+        exit_span(id_b);
+        exit_span(id_a);
+        assert!(TraceContext::current().is_none());
+    }
+
+    #[test]
+    fn attach_supplies_the_ambient_for_root_spans() {
+        let ctx = TraceContext {
+            trace_id: 777,
+            parent: 42,
+        };
+        {
+            let _guard = attach(ctx);
+            assert_eq!(TraceContext::current(), Some(ctx));
+            let (id, parent, trace_id) = enter_span();
+            assert_eq!(parent, 42);
+            assert_eq!(trace_id, 777);
+            exit_span(id);
+        }
+        assert_eq!(TraceContext::current(), None);
+    }
+
+    #[test]
+    fn attach_crosses_threads_by_value() {
+        let ctx = TraceContext::root();
+        let (parent, trace_id) = std::thread::spawn(move || {
+            let _guard = attach(ctx);
+            let (id, parent, trace_id) = enter_span();
+            exit_span(id);
+            (parent, trace_id)
+        })
+        .join()
+        .unwrap();
+        assert_eq!(parent, 0);
+        assert_eq!(trace_id, ctx.trace_id);
+    }
+
+    #[test]
+    fn out_of_order_close_truncates_descendants() {
+        let (id_a, ..) = enter_span();
+        let (_id_b, ..) = enter_span();
+        // Closing the outer span first must not leave the inner entry
+        // behind to corrupt later parenting.
+        exit_span(id_a);
+        let (id_c, parent_c, _) = enter_span();
+        assert_eq!(parent_c, 0);
+        exit_span(id_c);
+    }
+}

@@ -1,0 +1,93 @@
+//! Concurrency tests for the metric registry: merging histograms from
+//! many threads must produce *exactly* the same distribution as the
+//! equivalent sequential merge — bucket-for-bucket, not approximately.
+
+use lion_obs::{Histogram, Metric, Registry};
+
+/// The values thread `t` contributes: a deterministic spread across
+/// several histogram buckets.
+fn values_for_thread(t: u64) -> Vec<u64> {
+    (0..256)
+        .map(|i| (t + 1) * 37 + i * 113 + (i * i) % 1009)
+        .collect()
+}
+
+#[test]
+fn concurrent_histogram_merge_equals_sequential_merge_exactly() {
+    const THREADS: u64 = 8;
+
+    // Sequential reference: one thread records everything in order.
+    let reference = Registry::new();
+    for t in 0..THREADS {
+        let mut local = Histogram::new();
+        for v in values_for_thread(t) {
+            local.record(v);
+        }
+        reference.histogram_merge("solve_ns", &local);
+        reference.counter_add("solves", 256);
+    }
+
+    // Concurrent run: each thread builds the same local histogram and
+    // merges it into the shared registry in whatever order the scheduler
+    // picks.
+    let concurrent = Registry::new();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let concurrent = &concurrent;
+            scope.spawn(move || {
+                let mut local = Histogram::new();
+                for v in values_for_thread(t) {
+                    local.record(v);
+                }
+                concurrent.histogram_merge("solve_ns", &local);
+                concurrent.counter_add("solves", 256);
+            });
+        }
+    });
+
+    // Exact equality: Histogram's PartialEq compares every bucket.
+    let expected = reference.snapshot();
+    let got = concurrent.snapshot();
+    assert_eq!(expected.counter("solves"), Some(THREADS * 256));
+    assert_eq!(got.counter("solves"), Some(THREADS * 256));
+    let expected_hist = expected.histogram("solve_ns").expect("histogram");
+    let got_hist = got.histogram("solve_ns").expect("histogram");
+    assert_eq!(expected_hist, got_hist);
+    assert_eq!(got_hist.count(), THREADS * 256);
+    // And the whole snapshots match metric-for-metric.
+    assert_eq!(expected.metrics, got.metrics);
+}
+
+#[test]
+fn interleaved_point_records_match_sequential_distribution() {
+    const THREADS: u64 = 4;
+
+    let reference = Registry::new();
+    for t in 0..THREADS {
+        for v in values_for_thread(t) {
+            reference.histogram_record("lag_ns", v);
+        }
+    }
+
+    let concurrent = Registry::new();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let concurrent = &concurrent;
+            scope.spawn(move || {
+                for v in values_for_thread(t) {
+                    concurrent.histogram_record("lag_ns", v);
+                }
+            });
+        }
+    });
+
+    // Point records interleave arbitrarily, but histograms are
+    // order-insensitive: the final buckets must be identical.
+    match (
+        reference.snapshot().get("lag_ns"),
+        concurrent.snapshot().get("lag_ns"),
+    ) {
+        (Some(Metric::Histogram(a)), Some(Metric::Histogram(b))) => assert_eq!(a, b),
+        other => panic!("expected two histograms, got {other:?}"),
+    }
+}

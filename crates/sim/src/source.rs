@@ -60,6 +60,9 @@ pub struct SampleSource {
     reservoir: Vec<PhaseSample>,
     shuffle_depth: usize,
     drop_probability: f64,
+    /// Phase-offset drift injection: ramp start time and rate (rad/s).
+    ramp_start: f64,
+    ramp_rate: f64,
     rng: StdRng,
     delivered: u64,
     dropped: u64,
@@ -75,6 +78,8 @@ impl SampleSource {
             reservoir: Vec::new(),
             shuffle_depth: 1,
             drop_probability: 0.0,
+            ramp_start: 0.0,
+            ramp_rate: 0.0,
             rng: StdRng::seed_from_u64(0),
             delivered: 0,
             dropped: 0,
@@ -125,6 +130,25 @@ impl SampleSource {
         self
     }
 
+    /// Injects a phase-offset *drift* starting mid-stream: every sample
+    /// with `time >= start_time` gets an extra phase of
+    /// `(time − start_time) × rate_rad_per_s`, wrapped to `[0, 2π)` —
+    /// the signature of a diversity-phase offset walking away from its
+    /// calibrated value (cable aging, a firmware hop-table change).
+    ///
+    /// The injection keys on the sample's *stream* timestamp, so it is
+    /// independent of delivery order (shuffle/drop) and deterministic.
+    /// A `rate_rad_per_s` of `0.0` disables the ramp.
+    pub fn with_phase_ramp(mut self, start_time: f64, rate_rad_per_s: f64) -> Self {
+        self.ramp_start = start_time;
+        self.ramp_rate = if rate_rad_per_s.is_finite() {
+            rate_rad_per_s
+        } else {
+            0.0
+        };
+        self
+    }
+
     /// Reads delivered so far.
     pub fn delivered(&self) -> u64 {
         self.delivered
@@ -138,10 +162,14 @@ impl SampleSource {
     /// Pulls the next read from the input, refilling the reservoir.
     fn pull(&mut self) -> Option<PhaseSample> {
         loop {
-            let sample = self.pending.pop()?;
+            let mut sample = self.pending.pop()?;
             if self.drop_probability > 0.0 && self.rng.gen::<f64>() < self.drop_probability {
                 self.dropped += 1;
                 continue;
+            }
+            if self.ramp_rate != 0.0 && sample.time >= self.ramp_start {
+                let drift = (sample.time - self.ramp_start) * self.ramp_rate;
+                sample.phase = (sample.phase + drift).rem_euclid(std::f64::consts::TAU);
             }
             return Some(sample);
         }
@@ -249,6 +277,45 @@ mod tests {
         assert!((0.55..0.85).contains(&kept), "kept fraction {kept}");
         assert_eq!(source.delivered() as usize, reads.len());
         assert_eq!(source.dropped() as usize, t.len() - reads.len());
+    }
+
+    #[test]
+    fn phase_ramp_drifts_late_samples_only() {
+        let t = trace(5);
+        let start = 2.0;
+        let rate = 0.5;
+        let clean: Vec<PhaseSample> = SampleSource::replay(&t).collect();
+        let ramped: Vec<PhaseSample> = SampleSource::replay(&t)
+            .with_phase_ramp(start, rate)
+            .collect();
+        assert_eq!(clean.len(), ramped.len());
+        let mut drifted = 0;
+        for (c, r) in clean.iter().zip(&ramped) {
+            assert_eq!(c.time, r.time);
+            if c.time < start {
+                assert_eq!(c.phase, r.phase, "pre-ramp sample altered at t={}", c.time);
+            } else {
+                let expected =
+                    (c.phase + (c.time - start) * rate).rem_euclid(std::f64::consts::TAU);
+                assert!((r.phase - expected).abs() < 1e-12);
+                if r.phase != c.phase {
+                    drifted += 1;
+                }
+            }
+        }
+        assert!(drifted > 0, "ramp must alter post-start samples");
+        // Deterministic, and independent of delivery order: shuffled
+        // delivery applies the identical per-sample drift.
+        let again: Vec<PhaseSample> = SampleSource::replay(&t)
+            .with_phase_ramp(start, rate)
+            .collect();
+        assert_eq!(ramped, again);
+        let mut shuffled: Vec<PhaseSample> = SampleSource::replay(&t)
+            .with_phase_ramp(start, rate)
+            .with_shuffle(6, 9)
+            .collect();
+        shuffled.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite times"));
+        assert_eq!(shuffled, ramped);
     }
 
     #[test]

@@ -177,7 +177,13 @@ impl StreamLocalizer {
         arrival: Instant,
     ) -> Result<Option<StreamEstimate>, CoreError> {
         self.reads_seen += 1;
-        match self.window.push(read.time, read.position, read.phase) {
+        let outcome = {
+            // Window maintenance (ordered insert, eviction, late
+            // rejection) as its own stage in the solve's span tree.
+            let _span = lion_obs::span!("lion.stream.window");
+            self.window.push(read.time, read.position, read.phase)
+        };
+        match outcome {
             PushOutcome::TooLate => return Ok(None),
             PushOutcome::Inserted | PushOutcome::Evicted => {}
         }

@@ -12,11 +12,39 @@
 //!
 //! ```bash
 //! cargo run --release --example conveyor_stream
+//! # record a causal trace + health report + registry snapshot:
+//! cargo run --release --example conveyor_stream -- --trace target/trace
 //! ```
+//!
+//! With `--trace <dir>` the run installs the flight recorder and a
+//! calibration-health [`Doctor`], then writes `<dir>/conveyor_stream.trace.json`
+//! (Chrome trace-event JSON — load it at <https://ui.perfetto.dev>),
+//! `<dir>/health.json`, and `<dir>/snapshot.jsonl`.
 
+use lion::obs::SolveObservation;
 use lion::prelude::*;
+use std::path::PathBuf;
+use std::time::Instant;
 
-fn main() -> Result<(), lion::Error> {
+/// Parses `--trace <dir>` from the command line, if present.
+fn trace_dir_from_args() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            return Some(PathBuf::from(
+                args.next().expect("--trace requires a directory"),
+            ));
+        }
+    }
+    None
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace_dir = trace_dir_from_args();
+    let recorder = trace_dir.as_ref().map(|_| install_flight_recorder(1 << 16));
+    let mut doctor = trace_dir
+        .as_ref()
+        .map(|_| Doctor::new(DoctorConfig::default()));
     // The portal: one antenna over the belt, its true phase center a
     // hidden ~1.5 cm off the physical mount.
     let antenna_pos = Point3::new(0.0, 0.8, 0.0);
@@ -64,7 +92,14 @@ fn main() -> Result<(), lion::Error> {
     println!("  seq   reads  window   span(s)    x(m)      y(m)    err(mm)  conf  state");
 
     let mut first_converged_at: Option<u64> = None;
+    let mut observed_reads = 0u64;
+    // One root span over the whole feed: every stage span the pipeline
+    // emits (window → unwrap → … → solve) nests under it, so the
+    // recorded Chrome trace shows one job tree instead of loose roots.
+    let feed_span = lion::obs::span!("conveyor.feed");
     for sample in source {
+        // Clock reads only while the doctor watches solve latency.
+        let pushed_at = doctor.is_some().then(Instant::now);
         let emitted = match stream.push(StreamRead::from(sample)) {
             Ok(emitted) => emitted,
             // A transiently degenerate window (warm-up) is not fatal to
@@ -72,6 +107,18 @@ fn main() -> Result<(), lion::Error> {
             Err(_) => continue,
         };
         if let Some(est) = emitted {
+            if let Some(doctor) = doctor.as_mut() {
+                doctor.observe(SolveObservation {
+                    time: est.trigger_time,
+                    mean_residual: est.mean_residual,
+                    converged: est.converged,
+                    solve_ns: pushed_at
+                        .map_or(0, |t| lion::obs::saturating_ns_between(t, Instant::now())),
+                    reads_in: est.reads_seen - observed_reads,
+                    shed: 0,
+                });
+                observed_reads = est.reads_seen;
+            }
             let err_mm = est.position.distance(truth) * 1e3;
             println!(
                 "  {:3}  {:6}  {:6}  {:7.3}  {:+.4}  {:+.4}  {:7.2}  {:.2}  {}",
@@ -96,6 +143,7 @@ fn main() -> Result<(), lion::Error> {
     }
     // End of belt: solve whatever the window still holds.
     let final_estimate = stream.flush()?.expect("stream saw reads");
+    drop(feed_span);
 
     println!();
     println!("reads simulated     : {total_simulated}");
@@ -139,6 +187,31 @@ fn main() -> Result<(), lion::Error> {
                 h.quantile(0.99),
             );
         }
+    }
+
+    // `--trace <dir>`: dump everything observability collected.
+    if let (Some(dir), Some(recorder)) = (trace_dir, recorder) {
+        std::fs::create_dir_all(&dir)?;
+        let tail = recorder.drain();
+        lion::obs::uninstall_flight_recorder();
+        let trace_path = dir.join("conveyor_stream.trace.json");
+        lion::obs::export::write_chrome_trace(&trace_path, tail.records())?;
+        let health = doctor.expect("doctor runs alongside the recorder").report();
+        let health_path = dir.join("health.json");
+        std::fs::write(&health_path, health.to_json())?;
+        let snapshot_path = dir.join("snapshot.jsonl");
+        lion::obs::export::append_json_line(&snapshot_path, "conveyor_stream", &snapshot)?;
+        println!();
+        print!("{health}");
+        println!(
+            "trace written       : {} ({} spans/events, {} dropped)",
+            trace_path.display(),
+            tail.records().len(),
+            tail.total_dropped(),
+        );
+        println!("health written      : {}", health_path.display());
+        println!("snapshot written    : {}", snapshot_path.display());
+        println!("view the trace at https://ui.perfetto.dev (open trace file)");
     }
     Ok(())
 }

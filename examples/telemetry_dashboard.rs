@@ -8,12 +8,37 @@
 //!
 //! ```bash
 //! cargo run --release --example telemetry_dashboard
+//! # record a causal trace + health report + registry snapshot:
+//! cargo run --release --example telemetry_dashboard -- --trace target/trace
 //! ```
+//!
+//! With `--trace <dir>` the run installs the flight recorder and feeds a
+//! calibration-health [`Doctor`] one observation per job, then writes
+//! `<dir>/telemetry_dashboard.trace.json` (Chrome trace-event JSON —
+//! load it at <https://ui.perfetto.dev>), `<dir>/health.json`, and
+//! `<dir>/snapshot.jsonl`.
 
-use lion::obs::export::{parse_json_line, to_json_line};
+use lion::obs::export::{append_json_line, parse_json_line, to_json_line, write_chrome_trace};
+use lion::obs::SolveObservation;
 use lion::prelude::*;
+use std::path::PathBuf;
+
+/// Parses `--trace <dir>` from the command line, if present.
+fn trace_dir_from_args() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            return Some(PathBuf::from(
+                args.next().expect("--trace requires a directory"),
+            ));
+        }
+    }
+    None
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace_dir = trace_dir_from_args();
+    let recorder = trace_dir.as_ref().map(|_| install_flight_recorder(1 << 16));
     // Collect span durations too: the engine emits an `engine.job` span
     // per job, and the core stages emit lion.unwrap/smooth/pairs/solve.
     let collector = std::sync::Arc::new(lion::obs::CollectingSubscriber::new());
@@ -93,6 +118,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             hist.p50() as f64 / 1e3,
             hist.p99() as f64 / 1e3,
         );
+    }
+
+    // `--trace <dir>`: dump the causal trace, a batch-level health
+    // report (one observation per job), and the registry snapshot.
+    if let (Some(dir), Some(recorder)) = (trace_dir, recorder) {
+        std::fs::create_dir_all(&dir)?;
+        let tail = recorder.drain();
+        lion::obs::uninstall_flight_recorder();
+        let mut doctor = Doctor::new(DoctorConfig::default());
+        for (i, result) in outcome.results.iter().enumerate() {
+            let estimate = result.as_ref().ok().and_then(|output| output.estimate());
+            doctor.observe(SolveObservation {
+                time: i as f64,
+                mean_residual: estimate.map_or(f64::NAN, |e| e.mean_residual),
+                converged: estimate.is_some(),
+                solve_ns: outcome.timings[i].execute_ns,
+                reads_in: 1,
+                shed: u64::from(result.is_err()),
+            });
+        }
+        let trace_path = dir.join("telemetry_dashboard.trace.json");
+        write_chrome_trace(&trace_path, tail.records())?;
+        let health = doctor.report();
+        let health_path = dir.join("health.json");
+        std::fs::write(&health_path, health.to_json())?;
+        let snapshot_path = dir.join("snapshot.jsonl");
+        append_json_line(&snapshot_path, "telemetry_dashboard", &snapshot)?;
+        println!();
+        print!("{health}");
+        println!(
+            "trace written    : {} ({} spans/events, {} dropped)",
+            trace_path.display(),
+            tail.records().len(),
+            tail.total_dropped(),
+        );
+        println!("health written   : {}", health_path.display());
+        println!("snapshot written : {}", snapshot_path.display());
+        println!("view the trace at https://ui.perfetto.dev (open trace file)");
     }
     Ok(())
 }

@@ -8,6 +8,7 @@ verify:
     cargo build --release
     cargo test --workspace -q
     cargo test -q --test stream_parity --test stream_backpressure
+    cargo test -q --test tracing_causality
     cargo clippy --workspace --all-targets -- -D warnings
     cargo fmt --check
 
@@ -28,3 +29,9 @@ stream-bench:
 # snapshot + Prometheus text exposition) to target/telemetry/.
 telemetry:
     cargo run --release --example conveyor_batch -- target/telemetry
+
+# Record a causally-traced conveyor_stream run: Chrome trace-event JSON
+# (load target/trace/*.trace.json at https://ui.perfetto.dev), the
+# calibration HealthReport, and the registry snapshot.
+trace:
+    cargo run --release --example conveyor_stream -- --trace target/trace

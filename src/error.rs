@@ -18,6 +18,11 @@ use lion_sim::SimError;
 /// snake_case taxonomy as the per-crate `kind()` methods (useful as a
 /// failure-counter label that survives refactors of the error payloads).
 ///
+/// Construction doubles as the flight-recorder failure hook: every
+/// `From` conversion calls [`lion_obs::note_failure`], so when a
+/// [`lion_obs::FlightRecorder`] is installed, each surfaced error files
+/// a dump carrying the trace tail that led to it (a no-op otherwise).
+///
 /// ```
 /// use lion::Error;
 ///
@@ -101,30 +106,35 @@ impl StdError for Error {
 
 impl From<CoreError> for Error {
     fn from(e: CoreError) -> Self {
+        lion_obs::note_failure("core", e.kind());
         Error::Core(e)
     }
 }
 
 impl From<SimError> for Error {
     fn from(e: SimError) -> Self {
+        lion_obs::note_failure("sim", e.kind());
         Error::Sim(e)
     }
 }
 
 impl From<GeomError> for Error {
     fn from(e: GeomError) -> Self {
+        lion_obs::note_failure("geom", e.kind());
         Error::Geom(e)
     }
 }
 
 impl From<LinalgError> for Error {
     fn from(e: LinalgError) -> Self {
+        lion_obs::note_failure("linalg", e.kind());
         Error::Linalg(e)
     }
 }
 
 impl From<BaselineError> for Error {
     fn from(e: BaselineError) -> Self {
+        lion_obs::note_failure("baselines", e.kind());
         Error::Baseline(e)
     }
 }

@@ -21,9 +21,11 @@
 //! - [`stream`] — the online pipeline: reads in one at a time, bounded
 //!   sliding-window re-solves out, with convergence detection —
 //!   bit-identical to the batch solver on the same window,
-//! - [`obs`] — zero-dependency observability: structured spans/events,
+//! - [`obs`] — zero-dependency observability: structured spans/events
+//!   with causal trace propagation, an always-on flight recorder that
+//!   dumps the trace tail on failure, calibration-health watchdogs,
 //!   log-linear latency histograms, and a telemetry registry with
-//!   JSON-lines and Prometheus exporters,
+//!   JSON-lines, Prometheus, and Chrome-trace (Perfetto) exporters,
 //!
 //! and bundles the types most programs touch into [`prelude`], plus the
 //! workspace-wide [`Error`] that every per-crate error converts into.
@@ -95,7 +97,10 @@ pub mod prelude {
         StageDistributions, StreamJob, StreamOutcome,
     };
     pub use lion_geom::{CircularArc, LineSegment, Point2, Point3, Trajectory, Vec3};
-    pub use lion_obs::{Histogram, HistogramTimer, Registry, Snapshot};
+    pub use lion_obs::{
+        install_flight_recorder, Doctor, DoctorConfig, FlightRecorder, FlightSnapshot,
+        HealthReport, Histogram, HistogramTimer, Registry, Snapshot, TraceContext,
+    };
     pub use lion_sim::{
         Antenna, Environment, NoiseModel, PhaseTrace, SampleSource, Scenario, ScenarioBuilder, Tag,
     };
