@@ -74,7 +74,9 @@ pub mod tracking;
 pub mod window;
 pub mod workspace;
 
-pub use adaptive::{AdaptiveConfig, AdaptiveConfigBuilder, AdaptiveOutcome, AdaptiveTrial};
+pub use adaptive::{
+    AdaptiveConfig, AdaptiveConfigBuilder, AdaptiveOutcome, AdaptiveTrial, SweepPlan,
+};
 pub use calibrate::{
     estimate_offset, fuse_calibrations, Calibration, CalibrationSpread, Calibrator,
 };

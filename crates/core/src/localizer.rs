@@ -252,6 +252,25 @@ impl Estimate {
     }
 }
 
+impl Default for Estimate {
+    /// An all-zero placeholder (origin position, no residual statistics).
+    /// Exists so outcome buffers can be pre-allocated and refilled in
+    /// place; every real estimate comes from a solve.
+    fn default() -> Self {
+        Estimate {
+            position: Point3::ORIGIN,
+            reference_distance: 0.0,
+            reference_position: Point3::ORIGIN,
+            mean_residual: 0.0,
+            weighted_rms: 0.0,
+            iterations: 0,
+            equation_count: 0,
+            lower_dimension: false,
+            position_std: Vec3::new(0.0, 0.0, 0.0),
+        }
+    }
+}
+
 /// 2D localization: the target and the tag trajectory lie in (or are
 /// projected onto) the horizontal plane; sample `z` coordinates are
 /// ignored except to report the plane height.
@@ -328,8 +347,11 @@ impl Localizer2d {
         measurements: &[(Point3, f64)],
         ws: &mut Workspace,
     ) -> Result<Estimate, CoreError> {
-        let profile = prepare_in(measurements, &self.config, ws)?;
-        self.locate_profile_in(&profile, ws)
+        let mut profile = std::mem::take(&mut ws.profile);
+        let result = prepare_profile_in(measurements, &self.config, &mut profile, ws)
+            .and_then(|()| self.locate_profile_in(&profile, ws));
+        ws.profile = profile;
+        result
     }
 
     /// Locates from the reads held by a [`crate::SlidingWindow`] — the
@@ -413,8 +435,11 @@ impl Localizer3d {
         measurements: &[(Point3, f64)],
         ws: &mut Workspace,
     ) -> Result<Estimate, CoreError> {
-        let profile = prepare_in(measurements, &self.config, ws)?;
-        self.locate_profile_in(&profile, ws)
+        let mut profile = std::mem::take(&mut ws.profile);
+        let result = prepare_profile_in(measurements, &self.config, &mut profile, ws)
+            .and_then(|()| self.locate_profile_in(&profile, ws));
+        ws.profile = profile;
+        result
     }
 
     /// Locates from the reads held by a [`crate::SlidingWindow`];
@@ -478,6 +503,33 @@ pub(crate) fn prepare_in(
     Ok(profile)
 }
 
+/// [`prepare_in`] into a caller-owned profile: rebuilds `profile` from
+/// the wrapped measurements and smooths it using the workspace's scratch
+/// buffers, so the steady-state prepare stage performs no heap
+/// allocations. Timings land in the same `unwrap_ns`/`smooth_ns` buckets.
+pub(crate) fn prepare_profile_in(
+    measurements: &[(Point3, f64)],
+    config: &LocalizerConfig,
+    profile: &mut PhaseProfile,
+    ws: &mut Workspace,
+) -> Result<(), CoreError> {
+    let span = lion_obs::span!("lion.unwrap");
+    let t = Instant::now();
+    let rebuilt = profile.rebuild_from_wrapped(measurements, config.wavelength);
+    ws.metrics.unwrap_ns += elapsed_ns(t);
+    drop(span);
+    rebuilt?;
+    let _span = lion_obs::span!("lion.smooth");
+    let t = Instant::now();
+    let mut prefix = std::mem::take(&mut ws.sweep.smooth_prefix);
+    let mut tmp = std::mem::take(&mut ws.sweep.smooth_tmp);
+    profile.smooth_with_scratch(config.smoothing_window, &mut prefix, &mut tmp);
+    ws.sweep.smooth_prefix = prefix;
+    ws.sweep.smooth_tmp = tmp;
+    ws.metrics.smooth_ns += elapsed_ns(t);
+    Ok(())
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Mode {
     TwoD,
@@ -530,6 +582,100 @@ fn analyze_geometry(positions: &[Point3], mode: Mode) -> Result<Frame, CoreError
         centroid,
         axes: (0..k).map(axis).collect(),
         relative_spread: sv.iter().map(|s| s / s1).collect(),
+    })
+}
+
+/// Stack-only principal-component frame used by the adaptive sweep: same
+/// geometry analysis as [`analyze_geometry`] but via a 3×3 symmetric
+/// eigendecomposition of `Σ d·dᵀ` instead of an SVD of the centered
+/// `n × k` matrix, so computing it allocates nothing. The square roots of
+/// the eigenvalues equal the singular values of the centered matrix, so
+/// the spanned-direction count agrees with the SVD route up to
+/// floating-point noise far below the rank tolerance.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FrameSmall {
+    pub(crate) centroid: Point3,
+    /// Orthonormal axes, strongest spread first. For 2D mode only the xy
+    /// components are nonzero and the last axis is `±e_z`.
+    pub(crate) axes: [Vec3; 3],
+    /// How many directions the trajectory spans at the given tolerance.
+    pub(crate) spanned: usize,
+    /// The target dimensionality (2 or 3).
+    pub(crate) dims: usize,
+}
+
+pub(crate) fn analyze_geometry_small(
+    positions: &[Point3],
+    mode: Mode,
+    rank_tolerance: f64,
+) -> Result<FrameSmall, CoreError> {
+    let n = positions.len();
+    let inv = 1.0 / n as f64;
+    let centroid = positions.iter().fold(Point3::ORIGIN, |acc, p| {
+        Point3::new(acc.x + p.x * inv, acc.y + p.y * inv, acc.z + p.z * inv)
+    });
+    let dims = match mode {
+        Mode::TwoD => 2,
+        Mode::ThreeD => 3,
+    };
+    // Unnormalized sample covariance Σ d·dᵀ; its eigenvalues are the
+    // squared singular values of the centered sample matrix. 2D mode
+    // keeps the z row/column exactly zero, which `sym_eigen3` preserves.
+    let mut cov = [[0.0_f64; 3]; 3];
+    for p in positions {
+        let d = *p - centroid;
+        let v = match mode {
+            Mode::TwoD => [d.x, d.y, 0.0],
+            Mode::ThreeD => [d.x, d.y, d.z],
+        };
+        for r in 0..3 {
+            for c in 0..3 {
+                cov[r][c] += v[r] * v[c];
+            }
+        }
+    }
+    let (vals, vecs) = lion_linalg::sym_eigen3(&cov);
+    let s1 = vals[0].max(0.0).sqrt();
+    if s1 <= 1e-12 {
+        return Err(CoreError::DegenerateGeometry {
+            detail: "all tag positions coincide".to_string(),
+        });
+    }
+    let axes = [
+        Vec3::new(vecs[0][0], vecs[0][1], vecs[0][2]),
+        Vec3::new(vecs[1][0], vecs[1][1], vecs[1][2]),
+        Vec3::new(vecs[2][0], vecs[2][1], vecs[2][2]),
+    ];
+    let spanned = vals
+        .iter()
+        .take(dims)
+        .filter(|&&v| v.max(0.0).sqrt() / s1 >= rank_tolerance)
+        .count();
+    if spanned == 0 {
+        return Err(CoreError::DegenerateGeometry {
+            detail: "tag positions span no direction".to_string(),
+        });
+    }
+    if mode == Mode::ThreeD && spanned == 1 {
+        return Err(CoreError::DegenerateGeometry {
+            detail: "a single linear trajectory cannot determine a 3D position \
+                     (paper Sec. III-C2); add a second line or a planar scan"
+                .to_string(),
+        });
+    }
+    if dims - spanned > 1 {
+        return Err(CoreError::DegenerateGeometry {
+            detail: format!(
+                "trajectory spans {spanned} of {dims} dimensions; only one \
+                 missing dimension can be recovered from the reference distance"
+            ),
+        });
+    }
+    Ok(FrameSmall {
+        centroid,
+        axes,
+        spanned,
+        dims,
     })
 }
 
@@ -660,18 +806,59 @@ pub(crate) fn run_with_min_in(
     metrics.equations += design.rows() as u64;
     drop(_solve_span);
 
-    // Reconstruct the position in world coordinates.
-    let mut position = frame.centroid;
-    for (c, axis) in frame.axes.iter().take(k).enumerate() {
+    let (position, position_std) = assemble_position(
+        frame.centroid,
+        &frame.axes,
+        k,
+        solution.as_slice(),
+        &residual_stats.parameter_std,
+        positions[reference],
+        lower_dimension,
+        config.side_hint,
+    )?;
+    let d_r = solution[k];
+
+    Ok(Estimate {
+        position,
+        reference_distance: d_r,
+        reference_position: positions[reference],
+        mean_residual: residual_stats.mean_residual,
+        weighted_rms: residual_stats.weighted_rms,
+        iterations: residual_stats.iterations,
+        equation_count: design.rows(),
+        lower_dimension,
+        position_std,
+    })
+}
+
+/// World-coordinate reconstruction shared by every solve path: rebuilds
+/// the position from the frame solution, maps per-parameter standard
+/// errors to world axes, and — on lower-dimension trajectories — recovers
+/// the perpendicular coordinate from the reference distance (paper
+/// Sec. III-C, Observation 2). `axes` must hold at least `k + 1` entries
+/// when `lower_dimension` is set (entry `k` is the recovery normal).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assemble_position(
+    centroid: Point3,
+    axes: &[Vec3],
+    k: usize,
+    solution: &[f64],
+    parameter_std: &[f64],
+    reference_position: Point3,
+    lower_dimension: bool,
+    side_hint: Option<Point3>,
+) -> Result<(Point3, Vec3), CoreError> {
+    let mut position = centroid;
+    for (c, axis) in axes.iter().take(k).enumerate() {
         position = position + *axis * solution[c];
     }
     let d_r = solution[k];
     // Map per-parameter standard errors from frame axes to world axes:
     // var(world_component) = Σ_c (axis_c · e)²·σ_c².
-    let position_std = if residual_stats.parameter_std.len() >= k {
+    let position_std = if parameter_std.len() >= k {
         let mut var = [0.0_f64; 3];
-        for (c, axis) in frame.axes.iter().take(k).enumerate() {
-            let s2 = residual_stats.parameter_std[c] * residual_stats.parameter_std[c];
+        for (c, axis) in axes.iter().take(k).enumerate() {
+            let s2 = parameter_std[c] * parameter_std[c];
             var[0] += axis.x * axis.x * s2;
             var[1] += axis.y * axis.y * s2;
             var[2] += axis.z * axis.z * s2;
@@ -685,9 +872,9 @@ pub(crate) fn run_with_min_in(
         // Recover the perpendicular coordinate from d_r (Observation 2):
         // d_r² = Σ_c (sol_c − ref_c)² + w², reference has w = 0 because it
         // lies on the trajectory subspace.
-        let ref_p = positions[reference] - frame.centroid;
+        let ref_p = reference_position - centroid;
         let mut planar_sq = 0.0;
-        for (c, axis) in frame.axes.iter().take(k).enumerate() {
+        for (c, axis) in axes.iter().take(k).enumerate() {
             let rc = ref_p.dot(*axis);
             planar_sq += (solution[c] - rc) * (solution[c] - rc);
         }
@@ -698,10 +885,10 @@ pub(crate) fn run_with_min_in(
             return Err(CoreError::RecoveryFailed { discriminant: disc });
         }
         let w = disc.max(0.0).sqrt();
-        let normal = canonicalize(frame.axes[k]);
+        let normal = canonicalize(axes[k]);
         let plus = position + normal * w;
         let minus = position - normal * w;
-        position = match config.side_hint {
+        position = match side_hint {
             Some(h) => {
                 if plus.distance(h) <= minus.distance(h) {
                     plus
@@ -712,18 +899,7 @@ pub(crate) fn run_with_min_in(
             None => plus,
         };
     }
-
-    Ok(Estimate {
-        position,
-        reference_distance: d_r,
-        reference_position: positions[reference],
-        mean_residual: residual_stats.mean_residual,
-        weighted_rms: residual_stats.weighted_rms,
-        iterations: residual_stats.iterations,
-        equation_count: design.rows(),
-        lower_dimension,
-        position_std,
-    })
+    Ok((position, position_std))
 }
 
 struct SolveStats {

@@ -86,26 +86,39 @@ impl PairStrategy {
     /// Invalid parameters (non-positive intervals) yield an empty list,
     /// which the caller reports as [`crate::CoreError::NoPairs`].
     pub fn pairs(&self, positions: &[Point3]) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        self.pairs_into(positions, &mut out);
+        out
+    }
+
+    /// [`PairStrategy::pairs`] into a caller-provided buffer, reusing its
+    /// allocation. For [`PairStrategy::Interval`] and
+    /// [`PairStrategy::AllWithMinSeparation`] this is allocation-free in
+    /// steady state; [`PairStrategy::StructuredScan`] still allocates
+    /// internally for its per-line classification (it is not on the
+    /// adaptive hot path — the zero-alloc sweep guarantee covers the
+    /// interval strategies).
+    pub fn pairs_into(&self, positions: &[Point3], out: &mut Vec<(usize, usize)>) {
+        out.clear();
         match self {
-            PairStrategy::Interval { interval } => interval_pairs(positions, *interval),
+            PairStrategy::Interval { interval } => interval_pairs_into(positions, *interval, out),
             PairStrategy::AllWithMinSeparation {
                 min_separation,
                 max_pairs,
-            } => all_pairs(positions, *min_separation, *max_pairs),
+            } => all_pairs_into(positions, *min_separation, *max_pairs, out),
             PairStrategy::StructuredScan {
                 scan,
                 x_interval,
                 tolerance,
-            } => structured_pairs(positions, scan, *x_interval, *tolerance),
+            } => out.extend(structured_pairs(positions, scan, *x_interval, *tolerance)),
         }
     }
 }
 
-fn interval_pairs(positions: &[Point3], interval: f64) -> Vec<(usize, usize)> {
+fn interval_pairs_into(positions: &[Point3], interval: f64, out: &mut Vec<(usize, usize)>) {
     if !(interval > 0.0 && interval.is_finite()) {
-        return Vec::new();
+        return;
     }
-    let mut out = Vec::new();
     let mut j = 0;
     for i in 0..positions.len() {
         if j <= i {
@@ -118,17 +131,20 @@ fn interval_pairs(positions: &[Point3], interval: f64) -> Vec<(usize, usize)> {
             out.push((i, j));
         }
     }
-    out
 }
 
-fn all_pairs(positions: &[Point3], min_separation: f64, max_pairs: usize) -> Vec<(usize, usize)> {
+fn all_pairs_into(
+    positions: &[Point3],
+    min_separation: f64,
+    max_pairs: usize,
+    out: &mut Vec<(usize, usize)>,
+) {
     if !(min_separation > 0.0 && min_separation.is_finite()) || max_pairs == 0 {
-        return Vec::new();
+        return;
     }
     let n = positions.len();
     // Estimate the count and choose strides to stay near the cap without an
     // O(n²) materialization first.
-    let mut out = Vec::new();
     let total_candidates = n.saturating_mul(n.saturating_sub(1)) / 2;
     let stride = (total_candidates / max_pairs.max(1)).max(1);
     let mut counter = 0usize;
@@ -145,7 +161,6 @@ fn all_pairs(positions: &[Point3], min_separation: f64, max_pairs: usize) -> Vec
             break;
         }
     }
-    out
 }
 
 fn structured_pairs(

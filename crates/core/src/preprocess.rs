@@ -73,6 +73,20 @@ pub struct PhaseProfile {
     wavelength: f64,
 }
 
+impl Default for PhaseProfile {
+    /// An empty placeholder profile (no samples, wavelength 1). Exists so
+    /// a [`crate::Workspace`] can own a reusable profile and the locate
+    /// paths can `mem::take` it without allocating; every use refills it
+    /// through [`PhaseProfile::rebuild_from_wrapped`] before solving.
+    fn default() -> Self {
+        PhaseProfile {
+            positions: Vec::new(),
+            phases: Vec::new(),
+            wavelength: 1.0,
+        }
+    }
+}
+
 impl PhaseProfile {
     /// Builds a profile from `(position, wrapped phase)` measurements taken
     /// at carrier wavelength `wavelength` (meters).
@@ -109,6 +123,66 @@ impl PhaseProfile {
             phases: unwrap_phases(&wrapped),
             wavelength,
         })
+    }
+
+    /// Refills this profile from wrapped measurements, reusing its
+    /// buffers — the allocation-free counterpart of
+    /// [`PhaseProfile::from_wrapped`], used by the workspace-staged
+    /// locate paths. Validation and unwrap arithmetic are identical
+    /// (same operations in the same order), so the resulting phases are
+    /// bit-identical to a fresh `from_wrapped` build.
+    ///
+    /// On error the profile is left empty.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PhaseProfile::from_wrapped`].
+    pub fn rebuild_from_wrapped(
+        &mut self,
+        measurements: &[(Point3, f64)],
+        wavelength: f64,
+    ) -> Result<(), CoreError> {
+        self.positions.clear();
+        self.phases.clear();
+        if measurements.len() < 2 {
+            return Err(CoreError::TooFewMeasurements {
+                got: measurements.len(),
+                needed: 2,
+            });
+        }
+        if !(wavelength > 0.0 && wavelength.is_finite()) {
+            return Err(CoreError::InvalidConfig {
+                parameter: "wavelength",
+                found: format!("{wavelength}"),
+            });
+        }
+        for (i, (p, theta)) in measurements.iter().enumerate() {
+            if !p.is_finite() || !theta.is_finite() {
+                return Err(CoreError::NonFiniteMeasurement { index: i });
+            }
+        }
+        self.wavelength = wavelength;
+        // Inline unwrap, same arithmetic as `unwrap_phases`.
+        let tau = std::f64::consts::TAU;
+        let mut offset = 0.0;
+        let mut prev_raw: Option<f64> = None;
+        for &(p, theta) in measurements {
+            self.positions.push(p);
+            if let Some(prev) = prev_raw {
+                let mut jump = theta - prev;
+                while jump >= std::f64::consts::PI {
+                    jump -= tau;
+                    offset -= tau;
+                }
+                while jump < -std::f64::consts::PI {
+                    jump += tau;
+                    offset += tau;
+                }
+            }
+            self.phases.push(theta + offset);
+            prev_raw = Some(theta);
+        }
+        Ok(())
     }
 
     /// Builds a profile from positions and **already unwrapped** phases.
@@ -184,6 +258,21 @@ impl PhaseProfile {
         self.phases = stats::moving_average(&self.phases, window);
     }
 
+    /// Applies the moving-average filter through caller-provided scratch
+    /// buffers — the allocation-free counterpart of
+    /// [`PhaseProfile::smooth`], bit-identical by construction (both run
+    /// [`stats::moving_average`]'s arithmetic). `prefix` holds the
+    /// prefix sums, `tmp` the filtered output before it is swapped in.
+    pub fn smooth_with_scratch(
+        &mut self,
+        window: usize,
+        prefix: &mut Vec<f64>,
+        tmp: &mut Vec<f64>,
+    ) {
+        stats::moving_average_into(&self.phases, window, prefix, tmp);
+        std::mem::swap(&mut self.phases, tmp);
+    }
+
     /// Distance differences `Δd_t = (λ/4π)·(θ_t − θ_ref)` relative to the
     /// sample at `reference` (paper Eq. 6).
     ///
@@ -191,10 +280,23 @@ impl PhaseProfile {
     ///
     /// Panics when `reference` is out of bounds.
     pub fn delta_distances(&self, reference: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.delta_distances_into(reference, &mut out);
+        out
+    }
+
+    /// [`PhaseProfile::delta_distances`] into a caller-provided buffer,
+    /// reusing its allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `reference` is out of bounds.
+    pub fn delta_distances_into(&self, reference: usize, out: &mut Vec<f64>) {
         assert!(reference < self.len(), "reference index out of bounds");
         let scale = self.wavelength / (4.0 * std::f64::consts::PI);
         let theta_r = self.phases[reference];
-        self.phases.iter().map(|t| scale * (t - theta_r)).collect()
+        out.clear();
+        out.extend(self.phases.iter().map(|t| scale * (t - theta_r)));
     }
 
     /// Keeps samples whose x-coordinate lies in `[min_x, max_x]` — the
@@ -392,6 +494,32 @@ mod tests {
         assert_eq!(p.decimate(0).len(), p.len());
         let f = p.filter_positions(|q| q.x > 0.0);
         assert_eq!(f.len(), 5);
+    }
+
+    #[test]
+    fn rebuild_matches_from_wrapped_bitwise() {
+        let m: Vec<(Point3, f64)> = (0..50)
+            .map(|i| {
+                let x = i as f64 * 0.01;
+                (Point3::new(x, 0.0, 0.0), wrap(0.3 * i as f64))
+            })
+            .collect();
+        let mut fresh = PhaseProfile::from_wrapped(&m, 0.3256).unwrap();
+        let mut staged = PhaseProfile::default();
+        staged.rebuild_from_wrapped(&m, 0.3256).unwrap();
+        assert_eq!(staged, fresh);
+        // Scratch-based smoothing stays bit-identical to `smooth`.
+        fresh.smooth(9);
+        let (mut prefix, mut tmp) = (Vec::new(), Vec::new());
+        staged.smooth_with_scratch(9, &mut prefix, &mut tmp);
+        assert_eq!(staged, fresh);
+        // Buffered delta distances match the allocating path exactly.
+        let mut deltas = Vec::new();
+        staged.delta_distances_into(3, &mut deltas);
+        assert_eq!(deltas, fresh.delta_distances(3));
+        // A failed rebuild leaves the profile empty.
+        assert!(staged.rebuild_from_wrapped(&m[..1], 0.3256).is_err());
+        assert!(staged.is_empty());
     }
 
     #[test]

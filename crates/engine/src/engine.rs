@@ -3,7 +3,11 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use lion_core::{CoreError, StageMetrics, Workspace};
+use lion_core::{
+    AdaptiveConfig, AdaptiveOutcome, AdaptiveTrial, CoreError, Localizer2d, Localizer3d,
+    LocalizerConfig, StageMetrics, SweepPlan, Workspace,
+};
+use lion_geom::Point3;
 
 use crate::job::{Job, JobOutput};
 use crate::metrics::{JobTiming, MetricsReport};
@@ -171,6 +175,96 @@ impl Engine {
             timings,
             report,
         }
+    }
+
+    /// Runs the 2D adaptive sweep with the grid cells fanned out across
+    /// the worker pool.
+    ///
+    /// Preprocessing (unwrap, smooth, frame analysis) happens once on the
+    /// calling thread; each worker then solves cells with its own
+    /// [`Workspace`], and results are reduced in submission order. The
+    /// outcome is **bit-identical** for any worker count — including to
+    /// the sequential [`Localizer2d::locate_adaptive`] — see the
+    /// [`SweepPlan`] docs for why.
+    ///
+    /// # Errors
+    ///
+    /// See [`Localizer2d::locate_adaptive`].
+    pub fn locate_adaptive_2d(
+        &self,
+        measurements: &[(Point3, f64)],
+        config: &LocalizerConfig,
+        adaptive: &AdaptiveConfig,
+    ) -> Result<AdaptiveOutcome, CoreError> {
+        let mut ws = Workspace::new();
+        let plan = Localizer2d::new(config.clone()).sweep_plan(measurements, adaptive, &mut ws)?;
+        self.run_plan(&plan, ws)
+    }
+
+    /// Runs the 3D adaptive sweep across the worker pool; see
+    /// [`Engine::locate_adaptive_2d`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Localizer2d::locate_adaptive`].
+    pub fn locate_adaptive_3d(
+        &self,
+        measurements: &[(Point3, f64)],
+        config: &LocalizerConfig,
+        adaptive: &AdaptiveConfig,
+    ) -> Result<AdaptiveOutcome, CoreError> {
+        let mut ws = Workspace::new();
+        let plan = Localizer3d::new(config.clone()).sweep_plan(measurements, adaptive, &mut ws)?;
+        self.run_plan(&plan, ws)
+    }
+
+    /// Fans a [`SweepPlan`]'s cells across the workers (atomic cursor,
+    /// per-worker workspaces) and reduces in submission order.
+    fn run_plan(&self, plan: &SweepPlan, mut ws: Workspace) -> Result<AdaptiveOutcome, CoreError> {
+        let started = Instant::now();
+        let cells = plan.cell_count();
+        let workers = self.workers.min(cells).max(1);
+        let outcome = if workers <= 1 {
+            let results: Vec<_> = (0..cells).map(|i| plan.solve_cell(i, &mut ws)).collect();
+            plan.finish(results)
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let mut collected: Vec<(usize, Result<AdaptiveTrial, CoreError>)> =
+                Vec::with_capacity(cells);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut ws = Workspace::new();
+                            let mut local = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                if i >= cells {
+                                    break;
+                                }
+                                local.push((i, plan.solve_cell(i, &mut ws)));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    collected.extend(handle.join().expect("engine worker panicked"));
+                }
+            });
+            collected.sort_unstable_by_key(|(i, _)| *i);
+            plan.finish(collected.into_iter().map(|(_, r)| r))
+        };
+        let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        lion_obs::event!(
+            lion_obs::Level::Info,
+            "engine.adaptive.done",
+            "cells" => cells as u64,
+            "workers" => workers as u64,
+            "ok" => outcome.is_ok(),
+            "wall_ns" => wall_ns,
+        );
+        outcome
     }
 }
 

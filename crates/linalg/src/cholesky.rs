@@ -2,6 +2,66 @@ use crate::error::LinalgError;
 use crate::matrix::Matrix;
 use crate::vector::Vector;
 
+/// In-place Cholesky factorization of a flat row-major `n × n` buffer.
+///
+/// Only the lower triangle is read; on success the lower triangle holds
+/// `L` (the strict upper triangle is left untouched and must never be
+/// read). This is the single factorization kernel shared by
+/// [`Cholesky::decompose`] and the incremental
+/// [`crate::NormalEq`] solver — both paths run
+/// exactly the same arithmetic, so their factors are bit-identical.
+///
+/// # Errors
+///
+/// [`LinalgError::NotPositiveDefinite`] when a diagonal pivot is not
+/// strictly positive (or not finite).
+pub(crate) fn factor_in_place(l: &mut [f64], n: usize) -> Result<(), LinalgError> {
+    debug_assert_eq!(l.len(), n * n);
+    for j in 0..n {
+        let mut d = l[j * n + j];
+        for k in 0..j {
+            d -= l[j * n + k] * l[j * n + k];
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite);
+        }
+        let dj = d.sqrt();
+        l[j * n + j] = dj;
+        for i in (j + 1)..n {
+            let mut s = l[i * n + j];
+            for k in 0..j {
+                s -= l[i * n + k] * l[j * n + k];
+            }
+            l[i * n + j] = s / dj;
+        }
+    }
+    Ok(())
+}
+
+/// Solves `L·Lᵀ·x = b` in place given a factor produced by
+/// [`factor_in_place`]; `b` is overwritten with the solution. Shared by
+/// [`Cholesky::solve`] and [`crate::NormalEq::solve`].
+pub(crate) fn solve_in_place(l: &[f64], n: usize, b: &mut [f64]) {
+    debug_assert_eq!(l.len(), n * n);
+    debug_assert_eq!(b.len(), n);
+    // L·y = b
+    for i in 0..n {
+        let mut s = b[i];
+        for j in 0..i {
+            s -= l[i * n + j] * b[j];
+        }
+        b[i] = s / l[i * n + i];
+    }
+    // Lᵀ·x = y
+    for i in (0..n).rev() {
+        let mut s = b[i];
+        for j in (i + 1)..n {
+            s -= l[j * n + i] * b[j];
+        }
+        b[i] = s / l[i * n + i];
+    }
+}
+
 /// Cholesky decomposition `A = L·Lᵀ` for symmetric positive-definite
 /// matrices.
 ///
@@ -56,24 +116,7 @@ impl Cholesky {
         }
         let n = a.rows();
         let mut l = a.clone();
-        for j in 0..n {
-            let mut d = l[(j, j)];
-            for k in 0..j {
-                d -= l[(j, k)] * l[(j, k)];
-            }
-            if d <= 0.0 || !d.is_finite() {
-                return Err(LinalgError::NotPositiveDefinite);
-            }
-            let dj = d.sqrt();
-            l[(j, j)] = dj;
-            for i in (j + 1)..n {
-                let mut s = l[(i, j)];
-                for k in 0..j {
-                    s -= l[(i, k)] * l[(j, k)];
-                }
-                l[(i, j)] = s / dj;
-            }
-        }
+        factor_in_place(l.as_mut_slice(), n)?;
         Ok(Cholesky { l })
     }
 
@@ -95,23 +138,8 @@ impl Cholesky {
                 found: format!("rhs length {} for dim {n}", b.len()),
             });
         }
-        // L·y = b
         let mut y = b.clone();
-        for i in 0..n {
-            let mut s = y[i];
-            for j in 0..i {
-                s -= self.l[(i, j)] * y[j];
-            }
-            y[i] = s / self.l[(i, i)];
-        }
-        // Lᵀ·x = y
-        for i in (0..n).rev() {
-            let mut s = y[i];
-            for j in (i + 1)..n {
-                s -= self.l[(j, i)] * y[j];
-            }
-            y[i] = s / self.l[(i, i)];
-        }
+        solve_in_place(self.l.as_slice(), n, y.as_mut_slice());
         Ok(y)
     }
 

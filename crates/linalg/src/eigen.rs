@@ -1,0 +1,174 @@
+//! Fixed-size symmetric eigensolver for geometry frame analysis.
+//!
+//! The adaptive sweep needs the principal axes of the tag-position cloud
+//! (a 2×2 or 3×3 sample covariance) without touching the heap. A cyclic
+//! Jacobi iteration on a stack-allocated 3×3 matrix does that: it is
+//! deterministic (fixed rotation order, no pivot search on runtime
+//! values beyond exact-zero skips), converges quadratically, and — key
+//! for the planar (2-D) case — never mixes the z row/column into the
+//! others when they are exactly zero, so planar inputs keep exactly
+//! planar eigenvectors.
+
+/// Eigendecomposition of a symmetric 3×3 matrix.
+///
+/// Returns `(eigenvalues, eigenvectors)` with eigenvalues sorted in
+/// descending order and `eigenvectors[i]` the unit eigenvector (as a row)
+/// paired with `eigenvalues[i]`. Ties keep the pre-sort (diagonal) order,
+/// so the output is fully deterministic.
+///
+/// Only symmetric inputs make sense; the routine reads both triangles and
+/// assumes `a[i][j] == a[j][i]`. For a 2-D problem, pad with a zero third
+/// row/column: the zeros are preserved exactly, the third eigenvalue is
+/// exactly `0.0`, and the third eigenvector is exactly `±e_z`.
+///
+/// # Example
+///
+/// ```
+/// use lion_linalg::sym_eigen3;
+///
+/// let a = [[2.0, 0.0, 0.0], [0.0, 5.0, 0.0], [0.0, 0.0, 3.0]];
+/// let (vals, vecs) = sym_eigen3(&a);
+/// assert_eq!(vals, [5.0, 3.0, 2.0]);
+/// assert_eq!(vecs[0][1].abs(), 1.0);
+/// ```
+pub fn sym_eigen3(a: &[[f64; 3]; 3]) -> ([f64; 3], [[f64; 3]; 3]) {
+    let mut m = *a;
+    // Rows of `v` accumulate Vᵀ, i.e. v[i] is the i-th eigenvector.
+    let mut v = [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]];
+    const PAIRS: [(usize, usize); 3] = [(0, 1), (0, 2), (1, 2)];
+    for _ in 0..64 {
+        let off = m[0][1] * m[0][1] + m[0][2] * m[0][2] + m[1][2] * m[1][2];
+        let scale = m[0][0] * m[0][0] + m[1][1] * m[1][1] + m[2][2] * m[2][2] + 2.0 * off;
+        if off <= f64::EPSILON * f64::EPSILON * scale.max(f64::MIN_POSITIVE) {
+            break;
+        }
+        for &(p, q) in &PAIRS {
+            let apq = m[p][q];
+            if apq == 0.0 {
+                continue;
+            }
+            let theta = (m[q][q] - m[p][p]) / (2.0 * apq);
+            let t = if theta >= 0.0 {
+                1.0 / (theta + (theta * theta + 1.0).sqrt())
+            } else {
+                -1.0 / (-theta + (theta * theta + 1.0).sqrt())
+            };
+            let c = 1.0 / (t * t + 1.0).sqrt();
+            let s = t * c;
+            let r = 3 - p - q;
+            m[p][p] -= t * apq;
+            m[q][q] += t * apq;
+            m[p][q] = 0.0;
+            m[q][p] = 0.0;
+            let arp = m[r][p];
+            let arq = m[r][q];
+            m[r][p] = c * arp - s * arq;
+            m[p][r] = m[r][p];
+            m[r][q] = s * arp + c * arq;
+            m[q][r] = m[r][q];
+            let (head, tail) = v.split_at_mut(q);
+            for (ep, eq) in head[p].iter_mut().zip(tail[0].iter_mut()) {
+                let (vp, vq) = (*ep, *eq);
+                *ep = c * vp - s * vq;
+                *eq = s * vp + c * vq;
+            }
+        }
+    }
+    // Stable descending sort of the three diagonal entries.
+    let mut order = [0usize, 1, 2];
+    for i in 1..3 {
+        let mut j = i;
+        while j > 0 && m[order[j]][order[j]] > m[order[j - 1]][order[j - 1]] {
+            order.swap(j, j - 1);
+            j -= 1;
+        }
+    }
+    (
+        [
+            m[order[0]][order[0]],
+            m[order[1]][order[1]],
+            m[order[2]][order[2]],
+        ],
+        [v[order[0]], v[order[1]], v[order[2]]],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat_vec(a: &[[f64; 3]; 3], x: &[f64; 3]) -> [f64; 3] {
+        [
+            a[0][0] * x[0] + a[0][1] * x[1] + a[0][2] * x[2],
+            a[1][0] * x[0] + a[1][1] * x[1] + a[1][2] * x[2],
+            a[2][0] * x[0] + a[2][1] * x[1] + a[2][2] * x[2],
+        ]
+    }
+
+    #[test]
+    fn diagonal_is_sorted_identity_rotation() {
+        let a = [[1.0, 0.0, 0.0], [0.0, 4.0, 0.0], [0.0, 0.0, 2.0]];
+        let (vals, vecs) = sym_eigen3(&a);
+        assert_eq!(vals, [4.0, 2.0, 1.0]);
+        assert_eq!(vecs[0], [0.0, 1.0, 0.0]);
+        assert_eq!(vecs[1], [0.0, 0.0, 1.0]);
+        assert_eq!(vecs[2], [1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn eigenpairs_satisfy_definition() {
+        let a = [[4.0, 1.0, -2.0], [1.0, 3.0, 0.5], [-2.0, 0.5, 5.0]];
+        let (vals, vecs) = sym_eigen3(&a);
+        for i in 0..3 {
+            let av = mat_vec(&a, &vecs[i]);
+            for c in 0..3 {
+                assert!(
+                    (av[c] - vals[i] * vecs[i][c]).abs() < 1e-10,
+                    "pair {i} component {c}: {av:?} vs {vals:?}·{:?}",
+                    vecs[i]
+                );
+            }
+            let norm: f64 = vecs[i].iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-12);
+        }
+        assert!(vals[0] >= vals[1] && vals[1] >= vals[2]);
+        // Trace is preserved.
+        let trace: f64 = vals.iter().sum();
+        assert!((trace - 12.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn planar_input_keeps_exact_zero_z() {
+        // Positive semi-definite in-plane block (like a sample covariance).
+        let a = [[2.0, 1.2, 0.0], [1.2, 1.0, 0.0], [0.0, 0.0, 0.0]];
+        let (vals, vecs) = sym_eigen3(&a);
+        // Third eigenpair is exactly (0, e_z); the in-plane eigenvectors
+        // carry exact zeros in z.
+        assert_eq!(vals[2], 0.0);
+        assert_eq!(vecs[0][2], 0.0);
+        assert_eq!(vecs[1][2], 0.0);
+        assert_eq!(vecs[2], [0.0, 0.0, 1.0]);
+        assert!(vals[0] > 0.0);
+    }
+
+    #[test]
+    fn matches_hand_computed_two_by_two() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1 with vectors (1,1)/√2,
+        // (1,-1)/√2.
+        let a = [[2.0, 1.0, 0.0], [1.0, 2.0, 0.0], [0.0, 0.0, 0.0]];
+        let (vals, vecs) = sym_eigen3(&a);
+        assert!((vals[0] - 3.0).abs() < 1e-12);
+        assert!((vals[1] - 1.0).abs() < 1e-12);
+        let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((vecs[0][0].abs() - inv_sqrt2).abs() < 1e-12);
+        assert!((vecs[0][1].abs() - inv_sqrt2).abs() < 1e-12);
+        assert_eq!(vecs[0][0].signum(), vecs[0][1].signum());
+    }
+
+    #[test]
+    fn repeated_eigenvalues_converge() {
+        let a = [[3.0, 0.0, 0.0], [0.0, 3.0, 0.0], [0.0, 0.0, 1.0]];
+        let (vals, _) = sym_eigen3(&a);
+        assert_eq!(vals, [3.0, 3.0, 1.0]);
+    }
+}

@@ -12,6 +12,10 @@
 //! - [`Lu`]: LU decomposition with partial pivoting (solve / det / inverse),
 //! - [`Qr`]: Householder QR (least-squares solve, rank detection),
 //! - [`Cholesky`]: for symmetric positive-definite systems,
+//! - [`NormalEq`]: incrementally maintained normal equations (rank-1 IRLS
+//!   reweights, row insert/remove) for families of related solves,
+//! - [`sym_eigen3`]: stack-only symmetric 3×3 eigensolver for geometry
+//!   frames,
 //! - [`Svd`]: one-sided Jacobi SVD (condition numbers, pseudo-inverse),
 //! - [`lstsq`]: plain, weighted, and iteratively-reweighted least squares
 //!   with the paper's Gaussian-of-residual weight (Eq. 15),
@@ -40,11 +44,13 @@
 #![warn(missing_docs)]
 
 mod cholesky;
+mod eigen;
 mod error;
 pub mod lm;
 pub mod lstsq;
 mod lu;
 mod matrix;
+pub mod normal;
 pub mod poly;
 mod qr;
 pub mod stats;
@@ -52,11 +58,13 @@ mod svd;
 mod vector;
 
 pub use cholesky::Cholesky;
+pub use eigen::sym_eigen3;
 pub use error::LinalgError;
 pub use lm::{LevenbergMarquardt, LmOutcome, LmReport};
 pub use lstsq::{IrlsConfig, IrlsReport, LstsqScratch, WeightFunction};
 pub use lu::{solve_square, Lu};
 pub use matrix::Matrix;
+pub use normal::{solve_irls_normal, NormalEq, NormalIrlsOutcome, NormalIrlsScratch};
 pub use qr::Qr;
 pub use svd::Svd;
 pub use vector::Vector;

@@ -47,6 +47,23 @@ impl WeightFunction {
     /// `out` has grown to the batch size — the IRLS loop calls this once per
     /// iteration.
     pub fn weights_into(&self, residuals: &[f64], out: &mut Vec<f64>) {
+        let (sum, sumsq) = residuals
+            .iter()
+            .fold((0.0_f64, 0.0_f64), |(s, q), &r| (s + r, q + r * r));
+        self.weights_into_with_stats(residuals, sum, sumsq, out);
+    }
+
+    /// [`WeightFunction::weights_into`] for callers that already hold
+    /// `Σr` and `Σr²` accumulated left-to-right over `residuals` (e.g.
+    /// fused into the residual computation itself) — the results are
+    /// identical, one pass cheaper.
+    pub fn weights_into_with_stats(
+        &self,
+        residuals: &[f64],
+        sum: f64,
+        sumsq: f64,
+        out: &mut Vec<f64>,
+    ) {
         out.clear();
         match *self {
             WeightFunction::Uniform => out.resize(residuals.len(), 1.0),
@@ -59,18 +76,31 @@ impl WeightFunction {
                 }
             })),
             WeightFunction::GaussianResidual => {
-                let mu = stats::mean(residuals).unwrap_or(0.0);
-                let sigma = stats::std_dev(residuals).unwrap_or(0.0);
-                if sigma < MIN_SIGMA {
+                // σ² = E[r²] − μ² from the fused sums, with a
+                // non-negativity guard against cancellation.
+                let n = residuals.len();
+                let mu = if n == 0 { 0.0 } else { sum / n as f64 };
+                let sigma2 = if n == 0 {
+                    0.0
+                } else {
+                    (sumsq / n as f64 - mu * mu).max(0.0)
+                };
+                if sigma2 < MIN_SIGMA * MIN_SIGMA {
                     // Residuals are (numerically) identical: equations are
                     // equally reliable, weight them uniformly.
-                    out.resize(residuals.len(), 1.0);
+                    out.resize(n, 1.0);
                     return;
                 }
+                // Hoist the division out of the row loop: z²/2 becomes a
+                // multiply by 1/(2σ²) per equation. The exponentiation
+                // runs as a second branch-free pass over the slice so it
+                // can vectorize.
+                let inv_two_sigma2 = 0.5 / sigma2;
                 out.extend(residuals.iter().map(|r| {
-                    let z = (r - mu) / sigma;
-                    (-0.5 * z * z).exp()
+                    let d = r - mu;
+                    -(d * d) * inv_two_sigma2
                 }));
+                exp_non_positive_slice(out);
             }
         }
     }
@@ -78,6 +108,50 @@ impl WeightFunction {
 
 /// Residual spread below which the Gaussian weight collapses to uniform.
 const MIN_SIGMA: f64 = 1e-12;
+
+/// Elementwise `x → exp(x)` for non-positive `x`, in place.
+///
+/// This is the Gaussian-weight hot path: the IRLS loop evaluates one
+/// `exp` per equation per iteration, so a libm call each would dominate
+/// the whole reweight. Instead: Cody–Waite reduction `x = n·ln2 + r`
+/// (`|r| ≤ ln2/2`), a degree-9 Taylor polynomial for `exp(r)` (remainder
+/// below 7e-12 on the reduced range — noise at the scale of a
+/// reliability weight), and an exact power-of-two scale assembled from
+/// the shift trick's mantissa bits. The body is straight-line arithmetic
+/// with no branches, calls, or float→int conversions, so it
+/// autovectorizes on baseline targets.
+fn exp_non_positive_slice(xs: &mut [f64]) {
+    // The digits spell out the exact Cody-Waite hi/lo split of ln 2.
+    #[allow(clippy::excessive_precision)]
+    const LN2_HI: f64 = 6.931_471_803_691_238_2e-1;
+    const LN2_LO: f64 = 1.908_214_929_270_587_7e-10;
+    // 1.5·2⁵²: adding then subtracting rounds to the nearest integer and
+    // leaves that integer in the sum's low mantissa bits.
+    const SHIFT: f64 = 6_755_399_441_055_744.0;
+    for x in xs {
+        debug_assert!(*x <= 0.0);
+        // exp(-690) ≈ 1e-300 — an effectively zero weight — and the
+        // clamp keeps the 2ⁿ scale inside normal-number range.
+        let v = x.max(-690.0);
+        let t = v * std::f64::consts::LOG2_E + SHIFT;
+        let n = t - SHIFT;
+        let r = (v - n * LN2_HI) - n * LN2_LO;
+        let p = 1.0 / 362_880.0;
+        let p = 1.0 / 40_320.0 + r * p;
+        let p = 1.0 / 5_040.0 + r * p;
+        let p = 1.0 / 720.0 + r * p;
+        let p = 1.0 / 120.0 + r * p;
+        let p = 1.0 / 24.0 + r * p;
+        let p = 1.0 / 6.0 + r * p;
+        let p = 0.5 + r * p;
+        let p = 1.0 + r * p;
+        let p = 1.0 + r * p;
+        // n ∈ [-996, 0] lives in t's low mantissa bits (mod 2¹²), so the
+        // biased exponent (n + 1023) << 52 comes straight from them.
+        let scale = f64::from_bits(t.to_bits().wrapping_add(1023) << 52);
+        *x = p * scale;
+    }
+}
 
 /// Configuration for [`solve_irls`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -279,6 +353,12 @@ pub fn residuals(a: &Matrix, k: &Vector, x: &Vector) -> Result<Vec<f64>, LinalgE
 
 /// [`residuals`] into a caller-provided buffer, reusing its allocation.
 ///
+/// Computes each row's dot product directly instead of materializing
+/// `A·x` — this runs once per IRLS iteration, and the intermediate vector
+/// used to be the loop's only unavoidable allocation. The per-row sum
+/// folds left-to-right exactly like [`Matrix::mul_vector`], so results
+/// are bit-identical to the old route.
+///
 /// # Errors
 ///
 /// Returns [`LinalgError::DimensionMismatch`] when shapes disagree.
@@ -288,15 +368,18 @@ pub fn residuals_into(
     x: &Vector,
     out: &mut Vec<f64>,
 ) -> Result<(), LinalgError> {
-    let ax = a.mul_vector(x)?;
-    if ax.len() != k.len() {
+    let (m, n) = a.shape();
+    if k.len() != m || x.len() != n {
         return Err(LinalgError::DimensionMismatch {
             operation: "residuals",
-            found: format!("{} vs {}", ax.len(), k.len()),
+            found: format!("{m}x{n} design, rhs {}, x {}", k.len(), x.len()),
         });
     }
     out.clear();
-    out.extend(ax.as_slice().iter().zip(k.as_slice()).map(|(p, q)| p - q));
+    for r in 0..m {
+        let dot: f64 = a.row(r).iter().zip(x.as_slice()).map(|(p, q)| p * q).sum();
+        out.push(dot - k[r]);
+    }
     Ok(())
 }
 
@@ -553,6 +636,42 @@ mod tests {
         let a = Matrix::identity(2);
         assert!(residuals(&a, &Vector::zeros(2), &Vector::zeros(2)).is_ok());
         assert!(residuals(&a, &Vector::zeros(2), &Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn exp_slice_matches_libm_exp() {
+        // Dense sweep over the weight function's whole useful range plus
+        // the clamp region; relative error must stay far below anything
+        // a reliability weight can influence.
+        let mut xs: Vec<f64> = (0..=200_000).map(|i| -i as f64 * 0.0004).collect();
+        let want: Vec<f64> = xs.iter().map(|x| x.exp()).collect();
+        exp_non_positive_slice(&mut xs);
+        for ((got, want), i) in xs.iter().zip(&want).zip(0..) {
+            let rel = (got - want).abs() / want.max(f64::MIN_POSITIVE);
+            assert!(
+                rel < 1e-11,
+                "exp({}) = {got}, libm {want}, rel {rel}",
+                -i as f64 * 0.0004
+            );
+        }
+        let mut edge = [0.0, -690.1, -1.0e4];
+        exp_non_positive_slice(&mut edge);
+        assert_eq!(edge[0], 1.0);
+        assert!(edge[1] > 0.0 && edge[1] < 1e-299);
+        assert_eq!(edge[1], edge[2]);
+    }
+
+    #[test]
+    fn gaussian_weights_match_explicit_formula() {
+        let residuals = [0.3, -0.1, 0.05, 0.8, -0.4, 0.0];
+        let mu: f64 = residuals.iter().sum::<f64>() / residuals.len() as f64;
+        let sigma2 =
+            residuals.iter().map(|r| (r - mu) * (r - mu)).sum::<f64>() / residuals.len() as f64;
+        let w = WeightFunction::GaussianResidual.weights(&residuals);
+        for (r, got) in residuals.iter().zip(&w) {
+            let z2 = (r - mu) * (r - mu) / sigma2;
+            assert!((got - (-0.5 * z2).exp()).abs() < 1e-9, "weight for r={r}");
+        }
     }
 
     #[test]

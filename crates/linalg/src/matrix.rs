@@ -181,6 +181,11 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutably borrows the underlying row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Returns the element at `(r, c)`, or `None` when out of bounds.
     pub fn get(&self, r: usize, c: usize) -> Option<f64> {
         if r < self.rows && c < self.cols {

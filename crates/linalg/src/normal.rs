@@ -1,0 +1,937 @@
+//! Incremental normal-equation solver for families of related
+//! least-squares problems.
+//!
+//! The adaptive sweep (paper Sec. IV-C1) solves a 6×6 grid of weighted
+//! least-squares problems that share most of their rows: every grid cell
+//! draws its equations from the same sample pool, IRLS only changes the
+//! weights between iterations, and a wider scanning range's system is a
+//! superset of a narrower one's. [`NormalEq`] exploits all three by
+//! maintaining the normal equations `AᵀWA · x = AᵀWk` (paper Eq. 16)
+//! incrementally:
+//!
+//! - **Row accumulation** — `push_row` folds `wᵢ·aᵢaᵢᵀ` / `wᵢ·aᵢkᵢ` into
+//!   the Gram matrix as rows arrive, so building costs `O(m·n²)` with no
+//!   intermediate `m×n` factorization.
+//! - **Rank-1 reweighting** — an IRLS weight change `wᵢ → wᵢ + Δwᵢ`
+//!   shifts the Gram matrix by `Δwᵢ·aᵢaᵢᵀ`, an `O(n²)` update per changed
+//!   row instead of an `O(m·n²)` rebuild. A full rebuild every
+//!   `rebuild_every`-th reweight bounds floating-point drift.
+//! - **Row insert/remove** — a wider scanning range extends a narrower
+//!   one's system in place instead of starting over.
+//!
+//! Solves go through the same Cholesky kernel as [`crate::Cholesky`]
+//! (literally the same function), so the two routes cannot drift.
+//!
+//! **Determinism contract:** `push_row` accumulates the Gram matrix in
+//! push order, and [`NormalEq::rebuild`] re-accumulates in storage order
+//! with identical arithmetic. A system built by pushing rows 0..m with
+//! unit weights and a system rebuilt from the same stored rows therefore
+//! produce *bit-identical* Gram matrices, factors, and solutions — this
+//! is what lets the sequential (row-reusing) and parallel (fresh-build)
+//! adaptive sweeps return identical results.
+//!
+//! Accuracy: solving via the normal equations squares the condition
+//! number relative to the QR route ([`crate::lstsq::solve_weighted`]),
+//! so solutions agree to roughly `κ(A)²·ε` relative error. For the
+//! well-conditioned systems the LION model produces this is ≤ ~1e-9;
+//! the proptests in `tests/proptests.rs` pin a 1e-6 parity tolerance
+//! against QR for random systems with condition number below 1e3.
+
+use crate::cholesky;
+use crate::error::LinalgError;
+use crate::lstsq::{IrlsConfig, WeightFunction};
+
+/// Default reweight count between full Gram rebuilds.
+const DEFAULT_REBUILD_EVERY: usize = 8;
+
+/// Accumulates the lower triangle of `w·a·aᵀ` into `gram` and `w·a·k`
+/// into `atk`.
+///
+/// Only the lower triangle is maintained: the Cholesky routines read
+/// nothing above the diagonal, so the mirrored upper entries would be
+/// dead work (upper storage stays at the zeros `begin` wrote). This is
+/// the single accumulation kernel used by `push_row`, `rebuild`, rank-1
+/// reweights (with `w = Δw`), and row removal (with `w = −wᵢ`) —
+/// identical per-entry addition order everywhere is what makes fresh
+/// builds and rebuilds bit-identical.
+fn accumulate(gram: &mut [f64], atk: &mut [f64], cols: usize, a: &[f64], k: f64, w: f64) {
+    for r in 0..cols {
+        let wa = w * a[r];
+        let row = &mut gram[r * cols..r * cols + r + 1];
+        for (g, &ac) in row.iter_mut().zip(a) {
+            *g += wa * ac;
+        }
+        atk[r] += wa * k;
+    }
+}
+
+/// Bulk counterpart of [`accumulate`]: sums `Σ wᵢ·aᵢaᵢᵀ` (lower
+/// triangle) and `Σ wᵢ·aᵢ·kᵢ` over every row with the accumulators held
+/// in registers for the whole sweep, instead of a read-modify-write of
+/// the Gram storage per row. `weight(i)` supplies the per-row factor —
+/// the stored weight for rebuilds, the weight *delta* for reweights.
+///
+/// Each Gram entry sees the same terms added in the same (row) order as
+/// repeated [`accumulate`] calls, so a bulk rebuild stays bit-identical
+/// to an incremental row-at-a-time build of the same system.
+#[inline]
+fn bulk_accumulate<const N: usize>(
+    rows: &[f64],
+    rhs: &[f64],
+    weights: impl Iterator<Item = f64>,
+) -> ([[f64; N]; N], [f64; N]) {
+    let mut gram = [[0.0; N]; N];
+    let mut atk = [0.0; N];
+    for ((chunk, &k), w) in rows.chunks_exact(N).zip(rhs).zip(weights) {
+        let a: &[f64; N] = chunk.try_into().expect("chunk length equals N");
+        for r in 0..N {
+            let wa = w * a[r];
+            for c in 0..=r {
+                gram[r][c] += wa * a[c];
+            }
+            atk[r] += wa * k;
+        }
+    }
+    (gram, atk)
+}
+
+/// Fixed-width residual kernel `rᵢ = aᵢ·x − kᵢ` with fused `(Σr, Σr²)`
+/// accumulation; same ascending-column summation (from 0) as the generic
+/// path, so the values are bit-identical — the constant width just lets
+/// the dot product unroll.
+#[inline]
+fn residuals_fixed<const N: usize>(
+    rows: &[f64],
+    rhs: &[f64],
+    x: &[f64],
+    out: &mut Vec<f64>,
+) -> (f64, f64) {
+    let x: &[f64; N] = x[..N].try_into().expect("solution length equals N");
+    let mut sum = 0.0;
+    let mut sumsq = 0.0;
+    out.extend(rows.chunks_exact(N).zip(rhs).map(|(a, &k)| {
+        let mut dot = 0.0;
+        for c in 0..N {
+            dot += a[c] * x[c];
+        }
+        let r = dot - k;
+        sum += r;
+        sumsq += r * r;
+        r
+    }));
+    (sum, sumsq)
+}
+
+/// Incrementally maintained weighted normal equations `AᵀWA · x = AᵀWk`.
+///
+/// All buffers are reused across [`NormalEq::begin`] calls, so a
+/// workspace-owned instance performs zero heap allocations in steady
+/// state.
+///
+/// # Example
+///
+/// ```
+/// use lion_linalg::NormalEq;
+///
+/// # fn main() -> Result<(), lion_linalg::LinalgError> {
+/// // Fit y = 2x + 1 from three points.
+/// let mut ne = NormalEq::new();
+/// ne.begin(2);
+/// for (x, y) in [(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)] {
+///     ne.push_row(&[x, 1.0], y);
+/// }
+/// let sol = ne.solve()?;
+/// assert!((sol[0] - 2.0).abs() < 1e-12 && (sol[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NormalEq {
+    cols: usize,
+    /// Flat row-major `m × cols` copy of the design rows.
+    rows: Vec<f64>,
+    /// Right-hand side, one entry per row.
+    rhs: Vec<f64>,
+    /// Current per-row weights (the `W` diagonal).
+    weights: Vec<f64>,
+    /// Flat row-major `cols × cols` Gram matrix `AᵀWA`; only the lower
+    /// triangle is maintained (the upper entries stay zero), matching
+    /// what the Cholesky factorization reads.
+    gram: Vec<f64>,
+    /// `AᵀWk`.
+    atk: Vec<f64>,
+    /// Cholesky factor scratch (lower triangle valid after a solve).
+    chol: Vec<f64>,
+    /// Last solution.
+    solution: Vec<f64>,
+    /// Unit-vector scratch for covariance extraction.
+    unit: Vec<f64>,
+    /// When set, `gram`/`atk` do not reflect `rows` (rows were inserted
+    /// or the caller asked for a deferred rebuild).
+    dirty: bool,
+    rebuild_every: usize,
+    reweights_since_rebuild: usize,
+    gram_rebuilds: u64,
+}
+
+impl NormalEq {
+    /// An empty system with the default rebuild cadence.
+    pub fn new() -> Self {
+        Self::with_rebuild_every(DEFAULT_REBUILD_EVERY)
+    }
+
+    /// An empty system that fully rebuilds the Gram matrix on every
+    /// `rebuild_every`-th reweight (clamped to at least 1; a value of 1
+    /// rebuilds on every reweight, disabling rank-1 updates entirely).
+    pub fn with_rebuild_every(rebuild_every: usize) -> Self {
+        NormalEq {
+            cols: 0,
+            rows: Vec::new(),
+            rhs: Vec::new(),
+            weights: Vec::new(),
+            gram: Vec::new(),
+            atk: Vec::new(),
+            chol: Vec::new(),
+            solution: Vec::new(),
+            unit: Vec::new(),
+            dirty: false,
+            rebuild_every: rebuild_every.max(1),
+            reweights_since_rebuild: 0,
+            gram_rebuilds: 0,
+        }
+    }
+
+    /// Starts a fresh system with `cols` unknowns, reusing all buffers.
+    pub fn begin(&mut self, cols: usize) {
+        self.cols = cols;
+        self.rows.clear();
+        self.rhs.clear();
+        self.weights.clear();
+        self.gram.clear();
+        self.gram.resize(cols * cols, 0.0);
+        self.atk.clear();
+        self.atk.resize(cols, 0.0);
+        self.dirty = false;
+        self.reweights_since_rebuild = 0;
+    }
+
+    /// Number of rows currently in the system.
+    pub fn rows(&self) -> usize {
+        self.rhs.len()
+    }
+
+    /// Number of unknowns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// True when the system has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rhs.is_empty()
+    }
+
+    /// Borrows design row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of bounds.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.rows[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Current per-row weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The most recent solution (empty before the first solve).
+    pub fn solution(&self) -> &[f64] {
+        &self.solution
+    }
+
+    /// Cumulative count of full Gram rebuilds (survives `begin`), the
+    /// counter behind the `lion.adaptive.gram_rebuilds` metric.
+    pub fn gram_rebuilds(&self) -> u64 {
+        self.gram_rebuilds
+    }
+
+    /// Appends a row with unit weight, folding it into the Gram matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a.len()` differs from the column count set by
+    /// [`NormalEq::begin`].
+    pub fn push_row(&mut self, a: &[f64], k: f64) {
+        assert_eq!(a.len(), self.cols, "row length must equal column count");
+        self.rows.extend_from_slice(a);
+        self.rhs.push(k);
+        self.weights.push(1.0);
+        if !self.dirty {
+            accumulate(&mut self.gram, &mut self.atk, self.cols, a, k, 1.0);
+        }
+    }
+
+    /// Inserts a row (unit weight) at position `at`, marking the Gram
+    /// matrix dirty; the next solve (or [`NormalEq::rebuild`]) brings it
+    /// back in sync. Used by the sweep to extend a narrower range's
+    /// system with a wider range's extra rows while keeping rows in the
+    /// canonical order that makes rebuilds bit-identical to fresh builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a.len()` differs from the column count or `at` is
+    /// past the end.
+    pub fn insert_row(&mut self, at: usize, a: &[f64], k: f64) {
+        assert_eq!(a.len(), self.cols, "row length must equal column count");
+        assert!(at <= self.rhs.len(), "insert position out of bounds");
+        let old = self.rows.len();
+        self.rows.resize(old + self.cols, 0.0);
+        self.rows
+            .copy_within(at * self.cols..old, (at + 1) * self.cols);
+        self.rows[at * self.cols..(at + 1) * self.cols].copy_from_slice(a);
+        self.rhs.insert(at, k);
+        self.weights.insert(at, 1.0);
+        self.dirty = true;
+    }
+
+    /// Removes the row at `at`. When the Gram matrix is in sync it is
+    /// rank-1 *downdated* (`−wᵢ·aᵢaᵢᵀ`) rather than rebuilt; the usual
+    /// drift caveat applies and is bounded by the rebuild cadence.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `at` is out of bounds.
+    pub fn remove_row(&mut self, at: usize) {
+        assert!(at < self.rhs.len(), "remove position out of bounds");
+        if !self.dirty {
+            let start = at * self.cols;
+            accumulate(
+                &mut self.gram,
+                &mut self.atk,
+                self.cols,
+                &self.rows[start..start + self.cols],
+                self.rhs[at],
+                -self.weights[at],
+            );
+        }
+        let old = self.rows.len();
+        self.rows
+            .copy_within((at + 1) * self.cols.., at * self.cols);
+        self.rows.truncate(old - self.cols);
+        self.rhs.remove(at);
+        self.weights.remove(at);
+    }
+
+    /// Replaces the weight diagonal.
+    ///
+    /// In-sync systems receive per-row rank-1 updates `Δwᵢ·aᵢaᵢᵀ`
+    /// (skipping unchanged rows); every `rebuild_every`-th call — or any
+    /// call on a dirty system — triggers a full rebuild instead, which
+    /// bounds the accumulated floating-point drift of the updates.
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::DimensionMismatch`] when `w.len()` differs from
+    ///   the row count,
+    /// - [`LinalgError::NotFinite`] when a weight is negative or
+    ///   non-finite (matching [`crate::lstsq::solve_weighted`]).
+    pub fn set_weights(&mut self, w: &[f64]) -> Result<(), LinalgError> {
+        let m = self.rhs.len();
+        if w.len() != m {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "normal-equation reweight",
+                found: format!("{} weights for {m} rows", w.len()),
+            });
+        }
+        if w.iter().any(|x| !x.is_finite() || *x < 0.0) {
+            return Err(LinalgError::NotFinite {
+                operation: "normal-equation reweight (weights)",
+            });
+        }
+        self.apply_weights(w);
+        Ok(())
+    }
+
+    /// [`NormalEq::set_weights`] minus the validation passes, for
+    /// in-crate callers whose weights are valid by construction (the
+    /// IRLS loop's come out of a weight function that maps into
+    /// `[0, 1]`). The caller must also have checked the length. Takes
+    /// the vector by `&mut` so the stored weights can be swapped in
+    /// instead of copied; on return `w` holds the *previous* weights.
+    pub(crate) fn set_weights_trusted(&mut self, w: &mut Vec<f64>) {
+        debug_assert_eq!(w.len(), self.rhs.len());
+        debug_assert!(w.iter().all(|x| x.is_finite() && *x >= 0.0));
+        if self.dirty || self.reweights_since_rebuild + 1 >= self.rebuild_every {
+            std::mem::swap(&mut self.weights, w);
+            self.rebuild();
+            return;
+        }
+        self.reweights_since_rebuild += 1;
+        match self.cols {
+            3 => self.reweight_fixed::<3>(w),
+            4 => self.reweight_fixed::<4>(w),
+            _ => {
+                self.reweight_generic(w);
+                return;
+            }
+        }
+        std::mem::swap(&mut self.weights, w);
+    }
+
+    fn apply_weights(&mut self, w: &[f64]) {
+        if self.dirty || self.reweights_since_rebuild + 1 >= self.rebuild_every {
+            self.weights.clear();
+            self.weights.extend_from_slice(w);
+            self.rebuild();
+            return;
+        }
+        self.reweights_since_rebuild += 1;
+        match self.cols {
+            3 => {
+                self.reweight_fixed::<3>(w);
+                self.weights.clear();
+                self.weights.extend_from_slice(w);
+            }
+            4 => {
+                self.reweight_fixed::<4>(w);
+                self.weights.clear();
+                self.weights.extend_from_slice(w);
+            }
+            _ => self.reweight_generic(w),
+        }
+    }
+
+    /// Per-row rank-1 reweight for arbitrary column counts, skipping
+    /// unchanged rows; stores the new weights as it goes.
+    fn reweight_generic(&mut self, w: &[f64]) {
+        for (i, &wi) in w.iter().enumerate() {
+            let dw = wi - self.weights[i];
+            if dw != 0.0 {
+                let start = i * self.cols;
+                accumulate(
+                    &mut self.gram,
+                    &mut self.atk,
+                    self.cols,
+                    &self.rows[start..start + self.cols],
+                    self.rhs[i],
+                    dw,
+                );
+                self.weights[i] = wi;
+            }
+        }
+    }
+
+    /// Rank-1 reweight via [`bulk_accumulate`] over the weight deltas:
+    /// one register-resident pass over the rows, then a single update of
+    /// the Gram storage. IRLS changes every weight every iteration, so
+    /// the per-row skip of the generic path buys nothing there. The
+    /// caller stores the new weights afterwards (by copy or swap).
+    fn reweight_fixed<const N: usize>(&mut self, w: &[f64]) {
+        let deltas = w.iter().zip(&self.weights).map(|(new, old)| new - old);
+        let (dg, datk) = bulk_accumulate::<N>(&self.rows, &self.rhs, deltas);
+        for r in 0..N {
+            for (c, d) in dg[r][..=r].iter().enumerate() {
+                self.gram[r * N + c] += d;
+            }
+            self.atk[r] += datk[r];
+        }
+    }
+
+    /// Resets all weights to 1 (the IRLS starting point). A no-op when
+    /// the weights are already uniform and the Gram matrix is in sync;
+    /// otherwise rebuilds, so the resulting Gram matrix is bit-identical
+    /// to a fresh unit-weight build of the same rows.
+    pub fn reset_weights_uniform(&mut self) {
+        if !self.dirty && self.weights.iter().all(|w| *w == 1.0) {
+            return;
+        }
+        self.weights.iter_mut().for_each(|w| *w = 1.0);
+        self.rebuild();
+    }
+
+    /// Recomputes `AᵀWA` / `AᵀWk` from the stored rows in storage order,
+    /// clearing any drift from rank-1 updates and syncing after inserts.
+    pub fn rebuild(&mut self) {
+        self.gram.iter_mut().for_each(|g| *g = 0.0);
+        self.atk.iter_mut().for_each(|g| *g = 0.0);
+        match self.cols {
+            3 => self.rebuild_fixed::<3>(),
+            4 => self.rebuild_fixed::<4>(),
+            _ => {
+                for i in 0..self.rhs.len() {
+                    let start = i * self.cols;
+                    accumulate(
+                        &mut self.gram,
+                        &mut self.atk,
+                        self.cols,
+                        &self.rows[start..start + self.cols],
+                        self.rhs[i],
+                        self.weights[i],
+                    );
+                }
+            }
+        }
+        self.dirty = false;
+        self.reweights_since_rebuild = 0;
+        self.gram_rebuilds += 1;
+    }
+
+    /// [`bulk_accumulate`]-backed rebuild for the column counts the
+    /// localizers actually use (3 for 2D, 4 for 3D). Bit-identical to
+    /// the generic row-at-a-time path.
+    fn rebuild_fixed<const N: usize>(&mut self) {
+        let weights = self.weights.iter().copied();
+        let (gram, atk) = bulk_accumulate::<N>(&self.rows, &self.rhs, weights);
+        for r in 0..N {
+            for (c, &g) in gram[r][..=r].iter().enumerate() {
+                self.gram[r * N + c] = g;
+            }
+            self.atk[r] = atk[r];
+        }
+    }
+
+    /// Solves the current system, rebuilding first if rows were inserted
+    /// since the last sync. The returned slice aliases
+    /// [`NormalEq::solution`].
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::NotPositiveDefinite`] when the weighted Gram matrix
+    /// is singular (fewer independent rows than unknowns, or all weights
+    /// collapsed to zero).
+    pub fn solve(&mut self) -> Result<&[f64], LinalgError> {
+        if self.dirty {
+            self.rebuild();
+        }
+        self.chol.clear();
+        self.chol.extend_from_slice(&self.gram);
+        cholesky::factor_in_place(&mut self.chol, self.cols)?;
+        self.solution.clear();
+        self.solution.extend_from_slice(&self.atk);
+        cholesky::solve_in_place(&self.chol, self.cols, &mut self.solution);
+        Ok(&self.solution)
+    }
+
+    /// Per-row residuals `rᵢ = aᵢ·x − kᵢ` into `out` (allocation-free
+    /// once `out` has capacity).
+    pub fn residuals_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        self.residuals_stats_into(x, out);
+    }
+
+    /// [`NormalEq::residuals_into`] fused with a left-to-right `(Σr, Σr²)`
+    /// accumulation — exactly what the Gaussian weight function consumes
+    /// via [`WeightFunction::weights_into_with_stats`], one pass cheaper
+    /// than computing the sums separately.
+    pub fn residuals_stats_into(&self, x: &[f64], out: &mut Vec<f64>) -> (f64, f64) {
+        out.clear();
+        match self.cols {
+            3 => residuals_fixed::<3>(&self.rows, &self.rhs, x, out),
+            4 => residuals_fixed::<4>(&self.rows, &self.rhs, x, out),
+            _ => {
+                let mut sum = 0.0;
+                let mut sumsq = 0.0;
+                for i in 0..self.rhs.len() {
+                    let start = i * self.cols;
+                    let dot: f64 = self.rows[start..start + self.cols]
+                        .iter()
+                        .zip(x)
+                        .map(|(p, q)| p * q)
+                        .sum();
+                    let r = dot - self.rhs[i];
+                    sum += r;
+                    sumsq += r * r;
+                    out.push(r);
+                }
+                (sum, sumsq)
+            }
+        }
+    }
+
+    /// Diagonal of `(AᵀWA)⁻¹` — the parameter covariance up to the
+    /// residual variance factor — into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NormalEq::solve`].
+    pub fn covariance_diag_into(&mut self, out: &mut Vec<f64>) -> Result<(), LinalgError> {
+        if self.dirty {
+            self.rebuild();
+        }
+        self.chol.clear();
+        self.chol.extend_from_slice(&self.gram);
+        cholesky::factor_in_place(&mut self.chol, self.cols)?;
+        out.clear();
+        for j in 0..self.cols {
+            self.unit.clear();
+            self.unit.resize(self.cols, 0.0);
+            self.unit[j] = 1.0;
+            cholesky::solve_in_place(&self.chol, self.cols, &mut self.unit);
+            out.push(self.unit[j]);
+        }
+        Ok(())
+    }
+}
+
+impl Default for NormalEq {
+    fn default() -> Self {
+        NormalEq::new()
+    }
+}
+
+/// Reusable buffers for [`solve_irls_normal`].
+#[derive(Debug, Clone, Default)]
+pub struct NormalIrlsScratch {
+    x: Vec<f64>,
+    residuals: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl NormalIrlsScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The final per-row weights of the last run (what
+    /// [`crate::IrlsReport::weights`] would hold).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The final per-row residuals of the last run.
+    pub fn residuals(&self) -> &[f64] {
+        &self.residuals
+    }
+}
+
+/// Summary of a [`solve_irls_normal`] run; the solution itself stays in
+/// [`NormalEq::solution`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormalIrlsOutcome {
+    /// Number of reweighting iterations performed (the initial plain
+    /// solve is not counted), matching [`crate::IrlsReport::iterations`].
+    pub iterations: usize,
+    /// Whether the iteration converged before `max_iterations`.
+    pub converged: bool,
+    /// Plain mean of the final residuals.
+    pub mean_residual: f64,
+    /// Weighted root-mean-square residual.
+    pub weighted_rms: f64,
+}
+
+/// IRLS over an incrementally maintained [`NormalEq`] system.
+///
+/// Mirrors [`crate::lstsq::solve_irls_with`] step for step — initial
+/// uniform-weight solve, then residuals → weights → weighted solve until
+/// `‖Δx‖∞ < tolerance` — but reweights are rank-1 Gram updates instead of
+/// per-iteration re-factorizations of the scaled `m × n` system, and the
+/// whole loop is allocation-free in steady state.
+///
+/// # Errors
+///
+/// Propagates [`NormalEq::solve`]/[`NormalEq::set_weights`] errors.
+pub fn solve_irls_normal(
+    ne: &mut NormalEq,
+    config: &IrlsConfig,
+    scratch: &mut NormalIrlsScratch,
+) -> Result<NormalIrlsOutcome, LinalgError> {
+    ne.reset_weights_uniform();
+    let x0 = ne.solve()?;
+    scratch.x.clear();
+    scratch.x.extend_from_slice(x0);
+    let (mut sum, mut sumsq) = ne.residuals_stats_into(&scratch.x, &mut scratch.residuals);
+    config
+        .weight_fn
+        .weights_into_with_stats(&scratch.residuals, sum, sumsq, &mut scratch.weights);
+    let mut iterations = 0;
+    let mut converged = matches!(config.weight_fn, WeightFunction::Uniform);
+    if !converged {
+        for _ in 0..config.max_iterations {
+            iterations += 1;
+            // Weight functions map into [0, 1] over as many entries as
+            // there are rows, so the validating entry point is redundant
+            // here. The swap leaves last iteration's weights in the
+            // scratch buffer; they are overwritten below.
+            ne.set_weights_trusted(&mut scratch.weights);
+            let x_new = ne.solve()?;
+            let delta = x_new
+                .iter()
+                .zip(scratch.x.iter())
+                .fold(0.0_f64, |m, (p, q)| m.max((p - q).abs()));
+            scratch.x.clear();
+            scratch.x.extend_from_slice(x_new);
+            (sum, sumsq) = ne.residuals_stats_into(&scratch.x, &mut scratch.residuals);
+            config.weight_fn.weights_into_with_stats(
+                &scratch.residuals,
+                sum,
+                sumsq,
+                &mut scratch.weights,
+            );
+            if delta < config.tolerance {
+                converged = true;
+                break;
+            }
+        }
+    }
+    // `sum` was accumulated left-to-right over the final residuals, so
+    // this is bit-identical to `stats::mean(&scratch.residuals)`.
+    let mean_residual = if scratch.residuals.is_empty() {
+        0.0
+    } else {
+        sum / scratch.residuals.len() as f64
+    };
+    let wsum: f64 = scratch.weights.iter().sum();
+    let weighted_rms = if wsum > 0.0 {
+        (scratch
+            .residuals
+            .iter()
+            .zip(scratch.weights.iter())
+            .map(|(r, w)| w * r * r)
+            .sum::<f64>()
+            / wsum)
+            .sqrt()
+    } else {
+        0.0
+    };
+    Ok(NormalIrlsOutcome {
+        iterations,
+        converged,
+        mean_residual,
+        weighted_rms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lstsq::{self, IrlsConfig, WeightFunction};
+    use crate::matrix::Matrix;
+    use crate::vector::Vector;
+
+    fn line_rows() -> Vec<([f64; 2], f64)> {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        let mut rows: Vec<([f64; 2], f64)> =
+            xs.iter().map(|&x| ([x, 1.0], 2.0 * x + 1.0)).collect();
+        rows[7].1 += 10.0; // outlier
+        rows
+    }
+
+    fn build(rows: &[([f64; 2], f64)]) -> NormalEq {
+        let mut ne = NormalEq::new();
+        ne.begin(2);
+        for (a, k) in rows {
+            ne.push_row(a, *k);
+        }
+        ne
+    }
+
+    fn qr_weighted(rows: &[([f64; 2], f64)], w: &[f64]) -> Vec<f64> {
+        let refs: Vec<&[f64]> = rows.iter().map(|(a, _)| a.as_slice()).collect();
+        let a = Matrix::from_rows(&refs).unwrap();
+        let k = Vector::from_slice(&rows.iter().map(|(_, k)| *k).collect::<Vec<_>>());
+        lstsq::solve_weighted(&a, &k, w).unwrap().into_inner()
+    }
+
+    #[test]
+    fn plain_solve_matches_qr() {
+        let rows = line_rows();
+        let mut ne = build(&rows);
+        let sol = ne.solve().unwrap().to_vec();
+        let qr = qr_weighted(&rows, &[1.0; 8]);
+        for (p, q) in sol.iter().zip(&qr) {
+            assert!((p - q).abs() < 1e-9, "{sol:?} vs {qr:?}");
+        }
+    }
+
+    #[test]
+    fn reweight_matches_qr() {
+        let rows = line_rows();
+        let mut ne = build(&rows);
+        let w = [1.0, 0.5, 2.0, 1.0, 0.1, 1.0, 3.0, 0.7];
+        ne.set_weights(&w).unwrap();
+        let sol = ne.solve().unwrap().to_vec();
+        let qr = qr_weighted(&rows, &w);
+        for (p, q) in sol.iter().zip(&qr) {
+            assert!((p - q).abs() < 1e-9, "{sol:?} vs {qr:?}");
+        }
+    }
+
+    #[test]
+    fn rank_one_updates_match_rebuild() {
+        let rows = line_rows();
+        // High cadence: every reweight below stays rank-1.
+        let mut incremental = NormalEq::with_rebuild_every(100);
+        incremental.begin(2);
+        for (a, k) in &rows {
+            incremental.push_row(a, *k);
+        }
+        // Cadence 1: every reweight is a full rebuild.
+        let mut rebuilt = NormalEq::with_rebuild_every(1);
+        rebuilt.begin(2);
+        for (a, k) in &rows {
+            rebuilt.push_row(a, *k);
+        }
+        let seqs: [[f64; 8]; 3] = [
+            [1.0, 0.5, 2.0, 1.0, 0.1, 1.0, 3.0, 0.7],
+            [0.2, 0.2, 0.2, 5.0, 1.0, 1.0, 1.0, 1.0],
+            [1.0; 8],
+        ];
+        for w in &seqs {
+            incremental.set_weights(w).unwrap();
+            rebuilt.set_weights(w).unwrap();
+            let a = incremental.solve().unwrap().to_vec();
+            let b = rebuilt.solve().unwrap().to_vec();
+            for (p, q) in a.iter().zip(&b) {
+                assert!((p - q).abs() < 1e-9, "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn insert_extends_to_wider_system() {
+        let rows = line_rows();
+        // Narrow system: middle rows 2..6; wide system: all rows.
+        let mut ne = NormalEq::new();
+        ne.begin(2);
+        for (a, k) in &rows[2..6] {
+            ne.push_row(a, *k);
+        }
+        let narrow = ne.solve().unwrap().to_vec();
+        let narrow_qr = qr_weighted(&rows[2..6], &[1.0; 4]);
+        for (p, q) in narrow.iter().zip(&narrow_qr) {
+            assert!((p - q).abs() < 1e-9);
+        }
+        // Extend to the full row set, keeping storage order canonical.
+        ne.insert_row(0, &rows[0].0, rows[0].1);
+        ne.insert_row(1, &rows[1].0, rows[1].1);
+        ne.insert_row(6, &rows[6].0, rows[6].1);
+        ne.insert_row(7, &rows[7].0, rows[7].1);
+        let wide = ne.solve().unwrap().to_vec();
+        let wide_qr = qr_weighted(&rows, &[1.0; 8]);
+        for (p, q) in wide.iter().zip(&wide_qr) {
+            assert!((p - q).abs() < 1e-9, "{wide:?} vs {wide_qr:?}");
+        }
+        assert_eq!(ne.rows(), 8);
+        for (i, (a, _)) in rows.iter().enumerate() {
+            assert_eq!(ne.row(i), a.as_slice());
+        }
+    }
+
+    #[test]
+    fn insert_then_rebuild_is_bit_identical_to_fresh_build() {
+        let rows = line_rows();
+        let mut extended = NormalEq::new();
+        extended.begin(2);
+        for (a, k) in &rows[2..6] {
+            extended.push_row(a, *k);
+        }
+        extended.solve().unwrap();
+        extended.insert_row(0, &rows[0].0, rows[0].1);
+        extended.insert_row(1, &rows[1].0, rows[1].1);
+        extended.insert_row(6, &rows[6].0, rows[6].1);
+        extended.insert_row(7, &rows[7].0, rows[7].1);
+        let a = extended.solve().unwrap().to_vec();
+        let mut fresh = build(&rows);
+        let b = fresh.solve().unwrap().to_vec();
+        // Exactly equal, not approximately: the determinism contract.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn remove_row_matches_subset() {
+        let rows = line_rows();
+        let mut ne = build(&rows);
+        ne.solve().unwrap();
+        ne.remove_row(7); // drop the outlier
+        let sol = ne.solve().unwrap().to_vec();
+        let qr = qr_weighted(&rows[..7], &[1.0; 7]);
+        for (p, q) in sol.iter().zip(&qr) {
+            assert!((p - q).abs() < 1e-9, "{sol:?} vs {qr:?}");
+        }
+        // The clean line is recovered exactly once the outlier is gone.
+        assert!((sol[0] - 2.0).abs() < 1e-9 && (sol[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn irls_matches_qr_irls() {
+        let rows = line_rows();
+        let refs: Vec<&[f64]> = rows.iter().map(|(a, _)| a.as_slice()).collect();
+        let a = Matrix::from_rows(&refs).unwrap();
+        let k = Vector::from_slice(&rows.iter().map(|(_, k)| *k).collect::<Vec<_>>());
+        let config = IrlsConfig::default();
+        let report = lstsq::solve_irls(&a, &k, &config).unwrap();
+        let mut ne = build(&rows);
+        let mut scratch = NormalIrlsScratch::new();
+        let outcome = solve_irls_normal(&mut ne, &config, &mut scratch).unwrap();
+        assert_eq!(outcome.iterations, report.iterations);
+        assert_eq!(outcome.converged, report.converged);
+        for (p, q) in ne.solution().iter().zip(report.solution.as_slice()) {
+            assert!(
+                (p - q).abs() < 1e-7,
+                "{:?} vs {:?}",
+                ne.solution(),
+                report.solution
+            );
+        }
+        assert!((outcome.mean_residual - report.mean_residual).abs() < 1e-7);
+        assert!((outcome.weighted_rms - report.weighted_rms).abs() < 1e-7);
+    }
+
+    #[test]
+    fn irls_uniform_converges_immediately() {
+        let rows = line_rows();
+        let mut ne = build(&rows);
+        let config = IrlsConfig {
+            weight_fn: WeightFunction::Uniform,
+            ..IrlsConfig::default()
+        };
+        let outcome = solve_irls_normal(&mut ne, &config, &mut NormalIrlsScratch::new()).unwrap();
+        assert_eq!(outcome.iterations, 0);
+        assert!(outcome.converged);
+    }
+
+    #[test]
+    fn covariance_diag_matches_explicit_inverse() {
+        let rows = line_rows();
+        let mut ne = build(&rows);
+        let w = [1.0, 0.5, 2.0, 1.0, 0.1, 1.0, 3.0, 0.7];
+        ne.set_weights(&w).unwrap();
+        let mut diag = Vec::new();
+        ne.covariance_diag_into(&mut diag).unwrap();
+        let refs: Vec<&[f64]> = rows.iter().map(|(a, _)| a.as_slice()).collect();
+        let a = Matrix::from_rows(&refs).unwrap();
+        let gram = a.weighted_gram(&w).unwrap();
+        let inv = crate::lu::Lu::decompose(&gram).unwrap().inverse().unwrap();
+        for (j, d) in diag.iter().enumerate() {
+            assert!((d - inv[(j, j)]).abs() < 1e-9, "{diag:?}");
+        }
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        let mut ne = NormalEq::new();
+        ne.begin(3);
+        ne.push_row(&[1.0, 0.0, 0.0], 1.0);
+        assert_eq!(ne.solve().unwrap_err(), LinalgError::NotPositiveDefinite);
+    }
+
+    #[test]
+    fn weight_validation_matches_weighted_ls() {
+        let mut ne = build(&line_rows());
+        assert!(matches!(
+            ne.set_weights(&[1.0; 3]),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        let mut bad = [1.0; 8];
+        bad[0] = -1.0;
+        assert!(matches!(
+            ne.set_weights(&bad),
+            Err(LinalgError::NotFinite { .. })
+        ));
+        bad[0] = f64::NAN;
+        assert!(matches!(
+            ne.set_weights(&bad),
+            Err(LinalgError::NotFinite { .. })
+        ));
+    }
+}

@@ -26,8 +26,17 @@ pub fn mean(values: &[f64]) -> Option<f64> {
 
 /// Population variance; `None` for empty input.
 pub fn variance(values: &[f64]) -> Option<f64> {
-    let m = mean(values)?;
-    Some(values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64)
+    Some(variance_with_mean(values, mean(values)?))
+}
+
+/// Population variance about a precomputed mean. Identical arithmetic to
+/// [`variance`] given `mean(values)`; callers that already hold the mean
+/// save a pass over the data.
+pub fn variance_with_mean(values: &[f64], mean: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64
 }
 
 /// Population standard deviation; `None` for empty input.
@@ -165,14 +174,32 @@ pub fn circular_std_dev(angles: &[f64]) -> Option<f64> {
 /// assert!((smoothed[1] - 7.0 / 3.0).abs() < 1e-12);
 /// ```
 pub fn moving_average(values: &[f64], window: usize) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut prefix = Vec::new();
+    moving_average_into(values, window, &mut prefix, &mut out);
+    out
+}
+
+/// [`moving_average`] into caller-provided buffers, reusing their
+/// allocations. `prefix` is scratch for the prefix sums; `out` receives
+/// the smoothed values. Bit-identical to [`moving_average`] (same
+/// operations in the same order) — the streaming and adaptive-sweep hot
+/// paths rely on that to stay exactly in parity with the batch path.
+pub fn moving_average_into(
+    values: &[f64],
+    window: usize,
+    prefix: &mut Vec<f64>,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
     if window <= 1 || values.len() <= 1 {
-        return values.to_vec();
+        out.extend_from_slice(values);
+        return;
     }
     let half = window / 2;
     let n = values.len();
-    let mut out = Vec::with_capacity(n);
     // Prefix sums for O(n) averaging.
-    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.clear();
     prefix.push(0.0);
     for &v in values {
         prefix.push(prefix.last().expect("seeded with 0.0") + v);
@@ -183,7 +210,6 @@ pub fn moving_average(values: &[f64], window: usize) -> Vec<f64> {
         let hi = hi.max(lo + 1);
         out.push((prefix[hi] - prefix[lo]) / (hi - lo) as f64);
     }
-    out
 }
 
 /// Streaming mean/variance accumulator (Welford's algorithm).

@@ -6,7 +6,25 @@
 
 use proptest::prelude::*;
 
-use lion_linalg::{lstsq, stats, Cholesky, Lu, Matrix, Qr, Svd, Vector};
+use lion_linalg::{lstsq, stats, Cholesky, Lu, Matrix, NormalEq, Qr, Svd, Vector};
+
+/// Loads a matrix/rhs pair into a fresh incremental system.
+fn normal_eq_from(m: &Matrix, b: &Vector) -> NormalEq {
+    let mut ne = NormalEq::new();
+    ne.begin(m.cols());
+    for r in 0..m.rows() {
+        ne.push_row(m.row(r), b[r]);
+    }
+    ne
+}
+
+/// Skips draws where the squared-condition-number error amplification of
+/// the normal-equation route would exceed the parity tolerance.
+fn well_conditioned(m: &Matrix) -> bool {
+    Svd::decompose(m)
+        .map(|s| s.condition_number() < 1e3)
+        .unwrap_or(false)
+}
 
 /// Strategy: a well-scaled `rows × cols` matrix with entries in [-10, 10].
 fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
@@ -217,6 +235,96 @@ proptest! {
         let batch_var = stats::variance(&v).unwrap();
         prop_assert!((rs.mean().unwrap() - batch_mean).abs() < 1e-8);
         prop_assert!((rs.variance().unwrap() - batch_var).abs() < 1e-6);
+    }
+
+    // Parity tolerance for NormalEq vs QR: the normal-equation route
+    // squares the condition number, so for κ(A) < 1e3 (enforced by
+    // `well_conditioned`) solutions agree to ~κ²·ε ≈ 1e-10 relative —
+    // 1e-6 leaves two orders of headroom. Documented in DESIGN §11.
+    #[test]
+    fn normal_eq_matches_qr_on_weighted_systems(
+        m in matrix_strategy(10, 3),
+        b in vector_strategy(10),
+        w in proptest::collection::vec(0.1_f64..5.0, 10),
+    ) {
+        if !well_conditioned(&m) { return Ok(()); }
+        let x_qr = lstsq::solve_weighted(&m, &b, &w).unwrap();
+        let mut ne = normal_eq_from(&m, &b);
+        ne.set_weights(&w).unwrap();
+        let x_ne = ne.solve().unwrap();
+        for (p, q) in x_ne.iter().zip(x_qr.as_slice()) {
+            prop_assert!((p - q).abs() < 1e-6 * (1.0 + q.abs()), "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn normal_eq_weight_sequences_match_qr(
+        m in matrix_strategy(10, 3),
+        b in vector_strategy(10),
+        seq in proptest::collection::vec(
+            proptest::collection::vec(0.1_f64..5.0, 10), 1..6),
+        cadence in 1_usize..10,
+    ) {
+        if !well_conditioned(&m) { return Ok(()); }
+        // Random rank-1-update/rebuild interleavings must stay in parity
+        // with a from-scratch weighted QR solve of the *final* weights.
+        let mut ne = NormalEq::with_rebuild_every(cadence);
+        ne.begin(m.cols());
+        for r in 0..m.rows() {
+            ne.push_row(m.row(r), b[r]);
+        }
+        for w in &seq {
+            ne.set_weights(w).unwrap();
+            ne.solve().unwrap();
+        }
+        let last = seq.last().unwrap();
+        let x_qr = lstsq::solve_weighted(&m, &b, last).unwrap();
+        let x_ne = ne.solve().unwrap();
+        for (p, q) in x_ne.iter().zip(x_qr.as_slice()) {
+            prop_assert!((p - q).abs() < 1e-6 * (1.0 + q.abs()), "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn normal_eq_add_remove_matches_subset_qr(
+        m in matrix_strategy(10, 3),
+        b in vector_strategy(10),
+        keep in proptest::collection::vec((0_usize..2).prop_map(|v| v == 1), 10),
+    ) {
+        if keep.iter().filter(|k| **k).count() < 5 { return Ok(()); }
+        let mut ne = normal_eq_from(&m, &b);
+        ne.solve().ok(); // sync so removals exercise the downdate path
+        for at in (0..10).rev() {
+            if !keep[at] {
+                ne.remove_row(at);
+            }
+        }
+        let rows: Vec<&[f64]> =
+            (0..10).filter(|r| keep[*r]).map(|r| m.row(r)).collect();
+        let sub = Matrix::from_rows(&rows).unwrap();
+        if !well_conditioned(&sub) { return Ok(()); }
+        let rhs = Vector::from_slice(
+            &(0..10).filter(|r| keep[*r]).map(|r| b[r]).collect::<Vec<_>>());
+        let x_qr = lstsq::solve(&sub, &rhs).unwrap();
+        let x_ne = ne.solve().unwrap().to_vec();
+        for (p, q) in x_ne.iter().zip(x_qr.as_slice()) {
+            prop_assert!((p - q).abs() < 1e-6 * (1.0 + q.abs()), "{p} vs {q}");
+        }
+        // Re-inserting the removed rows at their original positions must
+        // recover the full system. Ascending order keeps every earlier
+        // original row present, so the insert position is the original
+        // index itself.
+        for at in 0..10 {
+            if !keep[at] {
+                ne.insert_row(at, m.row(at), b[at]);
+            }
+        }
+        if !well_conditioned(&m) { return Ok(()); }
+        let x_full_qr = lstsq::solve(&m, &b).unwrap();
+        let x_full = ne.solve().unwrap();
+        for (p, q) in x_full.iter().zip(x_full_qr.as_slice()) {
+            prop_assert!((p - q).abs() < 1e-6 * (1.0 + q.abs()), "{p} vs {q}");
+        }
     }
 
     #[test]

@@ -39,13 +39,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .noise(NoiseModel::paper_default())
         .seed(20_108)
         .build()?;
+    // Every eighth case runs the adaptive range/interval sweep — the
+    // QC station double-checking a sample of cases — so the batch also
+    // exercises the shared-prefix sweep and its reuse counters.
     let mut jobs = Vec::new();
-    for _ in 0..96 {
+    for case in 0..96 {
         let trace = scenario.scan(&track, 0.25, 120.0)?;
-        jobs.push(Job::locate_2d(
-            trace.to_measurements(),
-            LocalizerConfig::paper(),
-        ));
+        let measurements = trace.to_measurements();
+        let config = LocalizerConfig::paper();
+        jobs.push(if case % 8 == 0 {
+            Job::adaptive_2d(measurements, config, AdaptiveConfig::default())
+        } else {
+            Job::locate_2d(measurements, config)
+        });
     }
 
     // Serial reference.
@@ -96,6 +102,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("mean phase-center error: {:.2} mm", mean_error * 1e3);
 
     println!("\n== per-stage instrumentation ==\n{}", parallel.report);
+
+    // The shared-prefix sweep's reuse counters: how many grid cells
+    // extended a previous cell's normal equations instead of rebuilding,
+    // and how often the Gram matrix was rebuilt from scratch.
+    let totals = &parallel.report.total;
+    println!(
+        "adaptive sweep: {} trials ({} skipped), {} cells reused, {} gram rebuilds",
+        totals.adaptive_trials,
+        totals.adaptive_skipped,
+        totals.adaptive_cells_reused,
+        totals.adaptive_gram_rebuilds,
+    );
 
     // Optional telemetry export: `conveyor_batch -- <dir>` writes the
     // registry snapshot as JSON lines and Prometheus text.

@@ -54,13 +54,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .noise(NoiseModel::paper_default())
         .seed(41_213)
         .build()?;
+    // A sample of jobs runs the adaptive sweep so the dashboard shows
+    // the shared-prefix reuse counters alongside the stage latencies.
     let mut jobs = Vec::new();
-    for _ in 0..64 {
+    for case in 0..64 {
         let trace = scenario.scan(&track, 0.25, 120.0)?;
-        jobs.push(Job::locate_2d(
-            trace.to_measurements(),
-            LocalizerConfig::paper(),
-        ));
+        let measurements = trace.to_measurements();
+        let config = LocalizerConfig::paper();
+        jobs.push(if case % 8 == 0 {
+            Job::adaptive_2d(measurements, config, AdaptiveConfig::default())
+        } else {
+            Job::locate_2d(measurements, config)
+        });
     }
     let outcome = Engine::new().run(&jobs);
     lion::obs::clear_global_subscriber();
@@ -77,6 +82,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         snapshot.counter("engine.jobs").unwrap_or(0),
         snapshot.counter("engine.failed").unwrap_or(0),
         snapshot.gauge("engine.workers").unwrap_or(0.0),
+    );
+    println!(
+        "adaptive: {} trials | {} cells reused | {} gram rebuilds",
+        snapshot.counter("engine.adaptive_trials").unwrap_or(0),
+        snapshot
+            .counter("engine.adaptive_cells_reused")
+            .unwrap_or(0),
+        snapshot
+            .counter("engine.adaptive_gram_rebuilds")
+            .unwrap_or(0),
     );
     println!();
     println!(

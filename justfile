@@ -9,6 +9,8 @@ verify:
     cargo test --workspace -q
     cargo test -q --test stream_parity --test stream_backpressure
     cargo test -q --test tracing_causality
+    cargo test -q -p lion-linalg --test proptests normal_eq
+    cargo test -q -p lion-core --test zero_alloc --test adaptive_regression
     cargo clippy --workspace --all-targets -- -D warnings
     cargo fmt --check
 
@@ -16,8 +18,19 @@ verify:
 figures:
     cargo run --release -p lion-bench --bin run_experiments -- all
 
-# Run the Criterion microbenchmarks (solver, hologram, engine batch, ...).
+# Tracked benchmark: run the adaptive-sweep bench bin and diff against
+# the committed BENCH_5.json baseline (generous 3× regression threshold;
+# the committed speedup must stay ≥ 5×).
 bench:
+    cargo run --release -p lion-bench --bin bench_adaptive -- --check BENCH_5.json
+
+# Regenerate the committed benchmark baseline. Run on a quiet machine and
+# eyeball the diff before committing.
+bench-write:
+    cargo run --release -p lion-bench --bin bench_adaptive -- --write BENCH_5.json
+
+# Run the Criterion microbenchmarks (solver, hologram, engine batch, ...).
+microbench:
     cargo bench --workspace
 
 # Streaming pipeline benchmarks only: throughput across window sizes,
