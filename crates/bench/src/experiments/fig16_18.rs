@@ -11,7 +11,7 @@
 //! - Interval sweep (range fixed at 80 cm): larger intervals enlarge the
 //!   pairwise phase difference relative to noise.
 
-use lion_core::{Localizer2d, PhaseProfile};
+use lion_core::{Localizer2d, PhaseProfile, Workspace};
 use lion_geom::{LineSegment, Point3};
 
 use crate::experiments::ExperimentReport;
@@ -53,6 +53,7 @@ fn sweep(
                 .expect("valid scan"),
         );
     }
+    let mut ws = Workspace::new();
     settings
         .iter()
         .map(|&(range, interval)| {
@@ -69,7 +70,7 @@ fn sweep(
                     }
                     Err(_) => continue,
                 };
-                if let Ok(est) = Localizer2d::new(cfg).locate_profile(&profile) {
+                if let Ok(est) = Localizer2d::new(cfg).locate_profile_in(&profile, &mut ws) {
                     residuals.push(est.mean_residual.abs());
                     errors.push(est.distance_error(antenna_pos));
                 }

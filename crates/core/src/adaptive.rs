@@ -47,6 +47,14 @@
 //! be solved independently (and concurrently) with per-worker
 //! workspaces; [`SweepPlan::finish`] reduces results in submission order
 //! so the outcome is bit-identical for any worker count.
+//!
+//! When the base configuration selects [`crate::SolverKind::Grid`], each
+//! cell runs the likelihood-grid backend on its range-sliced sample
+//! subset instead of the normal-equation solve — reusing the same shared
+//! deltas, pinned reference, and x-sorted slicing. Grid cells ignore the
+//! scanning interval (the grid scores samples directly, no pairing), so
+//! cells that share a range produce identical estimates and only the
+//! range axis of the sweep differentiates trials.
 
 use std::time::Instant;
 
@@ -62,6 +70,9 @@ use crate::localizer::{
 };
 use crate::pairs::PairStrategy;
 use crate::preprocess::PhaseProfile;
+use crate::solver::{
+    grid_estimate, grid_search, pick_mirror_side, GridBest, GridConfig, GridProblem,
+};
 use crate::workspace::{elapsed_ns, CellScratch, StageMetrics, SweepScratch, Workspace};
 
 /// The parameter grid for the adaptive sweep.
@@ -287,6 +298,10 @@ impl Localizer2d {
     /// # Errors
     ///
     /// See [`Localizer2d::locate_adaptive`].
+    #[deprecated(
+        since = "0.6.0",
+        note = "use locate_adaptive_naive_in with a reusable Workspace (the consolidated sweep entry point)"
+    )]
     pub fn locate_adaptive_naive(
         &self,
         measurements: &[(Point3, f64)],
@@ -391,6 +406,10 @@ impl Localizer3d {
     /// # Errors
     ///
     /// See [`Localizer2d::locate_adaptive`].
+    #[deprecated(
+        since = "0.6.0",
+        note = "use locate_adaptive_naive_in with a reusable Workspace (the consolidated sweep entry point)"
+    )]
     pub fn locate_adaptive_naive(
         &self,
         measurements: &[(Point3, f64)],
@@ -595,6 +614,8 @@ fn sweep_profile_shared(
         pair_strategy: &base.pair_strategy,
         irls: resolve_irls(&base.weighting),
         min_needed,
+        mode,
+        grid: base.solver.grid().copied(),
     };
     let mut skipped = 0usize;
     for &interval in &adaptive.intervals {
@@ -744,6 +765,9 @@ struct CellCtx<'a> {
     pair_strategy: &'a PairStrategy,
     irls: IrlsConfig,
     min_needed: usize,
+    mode: Mode,
+    /// `Some` routes every cell through the likelihood-grid backend.
+    grid: Option<GridConfig>,
 }
 
 /// Resolves the localizer's weighting into the IRLS configuration the
@@ -825,6 +849,9 @@ fn solve_cell(
             got: cell.subset.len(),
             needed: ctx.min_needed,
         });
+    }
+    if let Some(grid) = &ctx.grid {
+        return solve_cell_grid(ctx, grid, cell, metrics);
     }
     cell.subset_pos.clear();
     cell.subset_pos
@@ -941,6 +968,46 @@ fn solve_cell(
     })
 }
 
+/// Solves one grid cell through the likelihood-grid backend on the
+/// shared sweep state: the range-sliced subset indexes straight into the
+/// shared delta buffer, and the pinned reference / global frame carry
+/// over unchanged. The scanning interval plays no role (no pairing).
+fn solve_cell_grid(
+    ctx: &CellCtx<'_>,
+    grid: &GridConfig,
+    cell: &mut CellScratch,
+    metrics: &mut StageMetrics,
+) -> Result<Estimate, CoreError> {
+    let _span = lion_obs::span!("lion.solve");
+    let t = Instant::now();
+    let problem = GridProblem {
+        positions: ctx.positions,
+        deltas: ctx.deltas,
+        subset: Some(&cell.subset),
+        reference: ctx.reference,
+        anchor: ctx.centroid,
+        planar: ctx.mode == Mode::TwoD,
+        side_hint: ctx.side_hint,
+    };
+    let result = grid_search(&problem, grid, None).map(|mut best| {
+        if ctx.lower_dimension {
+            let resolved =
+                pick_mirror_side(best.position, ctx.centroid, ctx.axes[ctx.k], ctx.side_hint);
+            if resolved != best.position {
+                best = GridBest {
+                    position: resolved,
+                    score: problem.score(resolved),
+                };
+            }
+        }
+        grid_estimate(&problem, best, grid.levels)
+    });
+    metrics.solve_ns += elapsed_ns(t);
+    metrics.solves += 1;
+    metrics.equations += cell.subset.len() as u64;
+    result
+}
+
 /// Ranks trials by `|mean residual|` ascending, breaking ties by
 /// interval then range — a total order over distinct grid cells, so the
 /// result is independent of cell visit order.
@@ -1001,6 +1068,8 @@ pub struct SweepPlan {
     pair_strategy: PairStrategy,
     irls: IrlsConfig,
     min_needed: usize,
+    mode: Mode,
+    grid: Option<GridConfig>,
     keep: usize,
     /// `(range, interval)` per cell, in sequential visit order.
     cells: Vec<(f64, f64)>,
@@ -1076,6 +1145,8 @@ impl SweepPlan {
             pair_strategy: base.pair_strategy.clone(),
             irls: resolve_irls(&base.weighting),
             min_needed,
+            mode,
+            grid: base.solver.grid().copied(),
             keep: adaptive.keep,
             cells,
         })
@@ -1129,6 +1200,8 @@ impl SweepPlan {
             pair_strategy: &self.pair_strategy,
             irls: self.irls,
             min_needed: self.min_needed,
+            mode: self.mode,
+            grid: self.grid,
         };
         let cell_start = Instant::now();
         let solved = solve_cell(
@@ -1345,7 +1418,9 @@ mod tests {
         let loc = Localizer2d::new(cfg());
         let grid = AdaptiveConfig::default();
         let shared = loc.locate_adaptive(&m, &grid).unwrap();
-        let naive = loc.locate_adaptive_naive(&m, &grid).unwrap();
+        let naive = loc
+            .locate_adaptive_naive_in(&m, &grid, &mut Workspace::new())
+            .unwrap();
         assert_eq!(shared.trials.len(), naive.trials.len());
         assert_eq!(shared.skipped, naive.skipped);
         // The shared frame/reference shift every cell's system only within
@@ -1442,6 +1517,35 @@ mod tests {
         };
         let loc = Localizer3d::new(c);
         let sequential = loc.locate_adaptive(&m, &adaptive).unwrap();
+        let mut ws = Workspace::new();
+        let plan = loc.sweep_plan(&m, &adaptive, &mut ws).unwrap();
+        let results: Vec<_> = (0..plan.cell_count())
+            .map(|i| plan.solve_cell(i, &mut ws))
+            .collect();
+        let fanned = plan.finish(results).unwrap();
+        assert_eq!(sequential, fanned);
+    }
+
+    #[test]
+    fn grid_solver_sweep_matches_truth_and_plan_fanout() {
+        let target = Point3::new(0.1, 0.8, 0.0);
+        let m = linear_scan(target, 0.6, 0.005);
+        let mut c = cfg();
+        c.solver = crate::SolverKind::Grid(crate::GridConfig::default());
+        let loc = Localizer2d::new(c);
+        let adaptive = AdaptiveConfig {
+            scanning_ranges: vec![0.8, 1.0],
+            intervals: vec![0.2],
+            keep: 1,
+        };
+        let sequential = loc.locate_adaptive(&m, &adaptive).unwrap();
+        assert!(
+            sequential.estimate.distance_error(target) < 1e-4,
+            "error {}",
+            sequential.estimate.distance_error(target)
+        );
+        // Grid cells carry no pairing: the whole range subset scores.
+        assert!(sequential.trials[0].estimate.equation_count > 100);
         let mut ws = Workspace::new();
         let plan = loc.sweep_plan(&m, &adaptive, &mut ws).unwrap();
         let results: Vec<_> = (0..plan.cell_count())

@@ -70,6 +70,7 @@ pub mod multistatic;
 pub mod pairs;
 pub mod preprocess;
 pub mod quality;
+pub mod solver;
 pub mod tracking;
 pub mod window;
 pub mod workspace;
@@ -88,6 +89,7 @@ pub use multistatic::{MultistaticConfig, MultistaticEstimate};
 pub use pairs::PairStrategy;
 pub use preprocess::PhaseProfile;
 pub use quality::{validate_profile, ProfileQuality, StepViolation};
+pub use solver::{GridConfig, GridSolver, LinearSolver, SolveSpace, Solver, SolverKind};
 pub use tracking::{ConveyorTracker, TrackPoint, TrackerConfig, TrackerConfigBuilder};
 pub use window::{PushOutcome, SlidingWindow, WindowSample};
 pub use workspace::{StageMetrics, Workspace};

@@ -65,6 +65,9 @@ pub struct LocalizerConfig {
     /// direction counts as unspanned (triggers the lower-dimension path).
     /// Default 0.05.
     pub rank_tolerance: f64,
+    /// Which estimation backend runs the solve (default: the paper's
+    /// linear model; see [`crate::solver::SolverKind`]).
+    pub solver: crate::solver::SolverKind,
 }
 
 impl Default for LocalizerConfig {
@@ -77,6 +80,7 @@ impl Default for LocalizerConfig {
             reference_index: None,
             side_hint: None,
             rank_tolerance: 0.05,
+            solver: crate::solver::SolverKind::Linear,
         }
     }
 }
@@ -144,6 +148,7 @@ impl LocalizerConfig {
                 found: format!("{interval}"),
             });
         }
+        self.solver.validate()?;
         Ok(())
     }
 }
@@ -199,6 +204,13 @@ impl LocalizerConfigBuilder {
     /// lower-dimension path (must lie in `(0, 1)`).
     pub fn rank_tolerance(mut self, tolerance: f64) -> Self {
         self.config.rank_tolerance = tolerance;
+        self
+    }
+
+    /// Selects the estimation backend (linear least squares vs the
+    /// likelihood grid); validated by [`LocalizerConfigBuilder::build`].
+    pub fn solver(mut self, kind: crate::solver::SolverKind) -> Self {
+        self.config.solver = kind;
         self
     }
 
@@ -376,18 +388,24 @@ impl Localizer2d {
         result
     }
 
-    /// Locates from an already prepared (unwrapped/smoothed) profile —
-    /// the entry point the adaptive parameter sweep uses to avoid
-    /// re-unwrapping.
+    /// Locates from an already prepared (unwrapped/smoothed) profile.
     ///
     /// # Errors
     ///
     /// See [`Localizer2d::locate`].
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `locate_profile_in` with a reusable `Workspace` (the \
+                consolidated solve entry point)"
+    )]
     pub fn locate_profile(&self, profile: &PhaseProfile) -> Result<Estimate, CoreError> {
         self.locate_profile_in(profile, &mut Workspace::new())
     }
 
-    /// [`Localizer2d::locate_profile`] with a reusable [`Workspace`].
+    /// Locates from an already prepared (unwrapped/smoothed) profile with
+    /// a reusable [`Workspace`] — the entry point the adaptive parameter
+    /// sweep uses to avoid re-unwrapping, and the dispatch point where
+    /// [`LocalizerConfig::solver`] selects the backend.
     ///
     /// # Errors
     ///
@@ -397,7 +415,7 @@ impl Localizer2d {
         profile: &PhaseProfile,
         ws: &mut Workspace,
     ) -> Result<Estimate, CoreError> {
-        run_with_min_in(profile, &self.config, Mode::TwoD, 4, ws)
+        crate::solver::dispatch_profile(profile, &self.config, crate::SolveSpace::TwoD, ws)
     }
 }
 
@@ -466,11 +484,18 @@ impl Localizer3d {
     /// # Errors
     ///
     /// See [`Localizer3d::locate`].
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `locate_profile_in` with a reusable `Workspace` (the \
+                consolidated solve entry point)"
+    )]
     pub fn locate_profile(&self, profile: &PhaseProfile) -> Result<Estimate, CoreError> {
         self.locate_profile_in(profile, &mut Workspace::new())
     }
 
-    /// [`Localizer3d::locate_profile`] with a reusable [`Workspace`].
+    /// Locates from an already prepared profile with a reusable
+    /// [`Workspace`]; the dispatch point where
+    /// [`LocalizerConfig::solver`] selects the backend.
     ///
     /// # Errors
     ///
@@ -480,7 +505,7 @@ impl Localizer3d {
         profile: &PhaseProfile,
         ws: &mut Workspace,
     ) -> Result<Estimate, CoreError> {
-        run_with_min_in(profile, &self.config, Mode::ThreeD, 5, ws)
+        crate::solver::dispatch_profile(profile, &self.config, crate::SolveSpace::ThreeD, ws)
     }
 }
 
@@ -682,7 +707,7 @@ pub(crate) fn analyze_geometry_small(
 /// Canonical orientation for the recovery normal: flip so the dominant
 /// component is positive (z, then y, then x precedence), making the
 /// default "positive side" deterministic.
-fn canonicalize(n: Vec3) -> Vec3 {
+pub(crate) fn canonicalize(n: Vec3) -> Vec3 {
     let flip = if n.z.abs() > 1e-9 {
         n.z < 0.0
     } else if n.y.abs() > 1e-9 {

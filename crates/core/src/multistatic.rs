@@ -161,6 +161,7 @@ pub fn locate_tag(
         // zero and make *wrong* integer hypotheses fit perfectly — the
         // residual must honestly reflect the misfit to rank hypotheses.
         weighting: crate::localizer::Weighting::LeastSquares,
+        solver: crate::solver::SolverKind::Linear,
     };
     let tau = std::f64::consts::TAU;
     let span = config.max_ambiguity;

@@ -60,7 +60,9 @@ fn shared_and_naive_sweeps_rank_cells_identically_on_noisy_data() {
     for seed in [7, 42, 1234] {
         let m = fig16_measurements(target, 0.1, seed);
         let shared = loc.locate_adaptive(&m, &grid).expect("shared sweep");
-        let naive = loc.locate_adaptive_naive(&m, &grid).expect("naive sweep");
+        let naive = loc
+            .locate_adaptive_naive_in(&m, &grid, &mut lion_core::Workspace::new())
+            .expect("naive sweep");
         assert_eq!(shared.trials.len(), naive.trials.len(), "seed {seed}");
         assert_eq!(shared.skipped, naive.skipped, "seed {seed}");
         // Both sweeps pick the same best cells, in the same order.

@@ -4,7 +4,10 @@ use proptest::prelude::*;
 use std::f64::consts::{PI, TAU};
 
 use lion_core::preprocess::{unwrap_phases, wrap_phase, PhaseProfile};
-use lion_core::{Localizer2d, Localizer3d, LocalizerConfig, PairStrategy};
+use lion_core::{
+    GridConfig, GridSolver, Localizer2d, Localizer3d, LocalizerConfig, PairStrategy, SolveSpace,
+    Workspace,
+};
 use lion_geom::Point3;
 
 const LAMBDA: f64 = 299_792_458.0 / 920.625e6;
@@ -210,5 +213,52 @@ proptest! {
         let e_down = Localizer2d::new(down).locate(&m).expect("locates");
         prop_assert!((e_up.position.x - e_down.position.x).abs() < 1e-7);
         prop_assert!((e_up.position.y + e_down.position.y).abs() < 1e-7);
+    }
+
+    #[test]
+    fn grid_refinement_never_ranks_below_the_coarse_pass(
+        tx in -0.6_f64..0.6,
+        ty in 0.5_f64..1.4,
+        sigma in 0.0_f64..0.3,
+        seed in 0_u64..1u64 << 32,
+    ) {
+        // Each refinement level carries its incumbent best forward, so
+        // the traced per-level score sequence must be non-increasing
+        // (up to the deterministic tie band) for any geometry and any
+        // phase-noise level — the coarse pass is never beaten by a
+        // *worse* refined candidate.
+        let target = Point3::new(tx, ty, 0.0);
+        let mut lcg = seed.wrapping_mul(2).wrapping_add(1);
+        let mut noise = move || {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((lcg >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 2.0
+        };
+        let m: Vec<(Point3, f64)> = (0..200)
+            .map(|i| {
+                let a = i as f64 * TAU / 200.0;
+                let p = Point3::new(0.3 * a.cos(), 0.3 * a.sin(), 0.0);
+                (p, wrap_phase(phase_of(target, p) + sigma * noise()))
+            })
+            .collect();
+        let cfg = clean_config();
+        let mut profile = PhaseProfile::from_wrapped(&m, cfg.wavelength).expect("valid");
+        profile.smooth(cfg.smoothing_window);
+        let mut scores = Vec::new();
+        GridSolver::default()
+            .solve_profile_traced(&profile, &cfg, SolveSpace::TwoD, &mut Workspace::new(), &mut scores)
+            .expect("grid solves");
+        prop_assert_eq!(scores.len(), GridConfig::default().levels);
+        for w in scores.windows(2) {
+            prop_assert!(
+                w[1] <= w[0] * (1.0 + 1e-9) + 1e-18,
+                "refinement regressed: {:?}",
+                scores
+            );
+        }
+        prop_assert!(
+            *scores.last().expect("levels > 0") <= scores[0] * (1.0 + 1e-9) + 1e-18,
+            "final level ranks below the coarse pass: {:?}",
+            scores
+        );
     }
 }

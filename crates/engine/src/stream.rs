@@ -45,6 +45,11 @@ pub struct StreamJob {
     /// [`Doctor`] observes every solve and the outcome carries its
     /// [`HealthReport`].
     pub doctor: Option<DoctorConfig>,
+    /// Optional cross-check backend: when set, every cadence emission is
+    /// re-solved on the same window through this solver and the distance
+    /// between the two estimates feeds the doctor's
+    /// `solver_disagreement` rule.
+    pub cross_check: Option<lion_core::SolverKind>,
 }
 
 impl StreamJob {
@@ -58,6 +63,7 @@ impl StreamJob {
             queue_capacity: 64,
             flush_at_end: true,
             doctor: None,
+            cross_check: None,
         }
     }
 
@@ -88,6 +94,17 @@ impl StreamJob {
         self
     }
 
+    /// Enables the solver cross-check: every emission is re-solved on
+    /// the same window with `kind` (e.g.
+    /// `SolverKind::Grid(GridConfig::default())` against a linear
+    /// primary) and the estimate distance feeds the doctor's
+    /// `solver_disagreement` rule. The kind must be valid under
+    /// [`lion_core::SolverKind::validate`].
+    pub fn with_solver_cross_check(mut self, kind: lion_core::SolverKind) -> Self {
+        self.cross_check = Some(kind);
+        self
+    }
+
     /// Checks the job's invariants (burst ≥ 1; queue and pipeline config
     /// via their own validators).
     ///
@@ -106,6 +123,9 @@ impl StreamJob {
                 parameter: "queue_capacity",
                 found: "0".to_string(),
             });
+        }
+        if let Some(kind) = &self.cross_check {
+            kind.validate()?;
         }
         self.config.validate()
     }
@@ -161,7 +181,8 @@ fn run_stream_job(
     let mut observe = |doctor: &mut Option<Doctor>,
                        estimate: &StreamEstimate,
                        ingress: &Ingress,
-                       solve_ns: u64| {
+                       solve_ns: u64,
+                       solver_disagreement_m: Option<f64>| {
         let Some(doctor) = doctor.as_mut() else {
             return;
         };
@@ -174,9 +195,22 @@ fn run_stream_job(
             solve_ns,
             reads_in: accepted - observed_accepted,
             shed: shed - observed_shed,
+            solver_disagreement_m,
         });
         observed_accepted = accepted;
         observed_shed = shed;
+    };
+    // The second opinion: re-solve the emission's window through the
+    // cross-check backend and measure how far the two estimators
+    // diverge. A failed cross-check solve yields no data point (the
+    // doctor's rule reports insufficient data rather than guessing).
+    let cross_check = |pipeline: &mut StreamLocalizer, estimate: &StreamEstimate| {
+        job.cross_check.and_then(|kind| {
+            pipeline
+                .cross_check_in(kind)
+                .ok()
+                .map(|alt| alt.position.distance(estimate.position))
+        })
     };
     for burst in job.reads.chunks(job.burst) {
         {
@@ -194,7 +228,11 @@ fn run_stream_job(
                 Ok(Some(estimate)) => {
                     let solve_ns =
                         pushed_at.map_or(0, |t| lion_obs::saturating_ns_between(t, Instant::now()));
-                    observe(&mut doctor, &estimate, &ingress, solve_ns);
+                    let disagreement = doctor
+                        .is_some()
+                        .then(|| cross_check(&mut pipeline, &estimate))
+                        .flatten();
+                    observe(&mut doctor, &estimate, &ingress, solve_ns, disagreement);
                     estimates.push(estimate);
                 }
                 Ok(None) => {}
@@ -210,7 +248,11 @@ fn run_stream_job(
             Ok(Some(estimate)) => {
                 let solve_ns =
                     flushed_at.map_or(0, |t| lion_obs::saturating_ns_between(t, Instant::now()));
-                observe(&mut doctor, &estimate, &ingress, solve_ns);
+                let disagreement = doctor
+                    .is_some()
+                    .then(|| cross_check(&mut pipeline, &estimate))
+                    .flatten();
+                observe(&mut doctor, &estimate, &ingress, solve_ns, disagreement);
                 estimates.push(estimate);
             }
             Ok(None) => {}

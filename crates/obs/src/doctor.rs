@@ -26,6 +26,13 @@
 //!   ingress over the window exceeding `max_shed_rate`.
 //! - **`solve_latency`** — p99 of per-solve wall time over the window
 //!   exceeding `max_solve_p99_ns`.
+//! - **`solver_disagreement`** — maximum distance between the primary
+//!   solver's estimate and an independent cross-check backend's estimate
+//!   (e.g. linear least squares vs. the likelihood grid) over the
+//!   window exceeding `max_solver_disagreement_m`. Two estimators that
+//!   agree on clean data and diverge under drift turn systematic phase
+//!   corruption into a detectable signal; with no cross-check wired the
+//!   rule reports insufficient data.
 //!
 //! Reports are deterministic: rules appear in the fixed order above,
 //! and for identical observation sequences the JSON and `Display`
@@ -58,6 +65,10 @@ pub struct DoctorConfig {
     /// `solve_latency` fires when windowed p99 solve time exceeds this
     /// (default 50 ms).
     pub max_solve_p99_ns: u64,
+    /// `solver_disagreement` fires when the largest primary-vs-cross-check
+    /// estimate distance in the window exceeds this radius, meters
+    /// (default 5 cm).
+    pub max_solver_disagreement_m: f64,
 }
 
 impl Default for DoctorConfig {
@@ -69,6 +80,7 @@ impl Default for DoctorConfig {
             stall_regressions: 2,
             max_shed_rate: 0.05,
             max_solve_p99_ns: 50_000_000,
+            max_solver_disagreement_m: 0.05,
         }
     }
 }
@@ -89,6 +101,10 @@ pub struct SolveObservation {
     pub reads_in: u64,
     /// Reads shed by the bounded ingress since the last observation.
     pub shed: u64,
+    /// Distance between the primary estimate and an independent
+    /// cross-check backend's estimate for the same window, meters.
+    /// `None` when no cross-check solve ran for this observation.
+    pub solver_disagreement_m: Option<f64>,
 }
 
 /// Whether a rule fired, and whether it had enough data to judge.
@@ -264,6 +280,7 @@ impl Doctor {
             self.convergence_stall(),
             self.ingress_shed(),
             self.solve_latency(),
+            self.solver_disagreement(),
         ];
         let healthy = rules.iter().all(|r| r.status != RuleStatus::Firing);
         HealthReport {
@@ -399,6 +416,38 @@ impl Doctor {
             detail: format!("windowed p99 solve time over {} solves, ns", times.len()),
         }
     }
+
+    fn solver_disagreement(&self) -> RuleReport {
+        let threshold = self.config.max_solver_disagreement_m;
+        let mut max: Option<f64> = None;
+        let mut checked = 0usize;
+        for o in &self.recent {
+            if let Some(d) = o.solver_disagreement_m {
+                checked += 1;
+                max = Some(max.map_or(d, |m| m.max(d)));
+            }
+        }
+        let Some(max) = max else {
+            return RuleReport {
+                rule: "solver_disagreement",
+                status: RuleStatus::Insufficient,
+                value: 0.0,
+                threshold,
+                detail: "no cross-check solves in the window".to_string(),
+            };
+        };
+        RuleReport {
+            rule: "solver_disagreement",
+            status: if max > threshold {
+                RuleStatus::Firing
+            } else {
+                RuleStatus::Healthy
+            },
+            value: max,
+            threshold,
+            detail: format!("max primary-vs-cross-check distance over {checked} checked solves, m"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -413,6 +462,7 @@ mod tests {
             solve_ns: 1_000,
             reads_in: 25,
             shed: 0,
+            solver_disagreement_m: Some(1e-3),
         }
     }
 
@@ -523,6 +573,44 @@ mod tests {
     }
 
     #[test]
+    fn solver_disagreement_fires_on_divergence() {
+        let mut doc = doctor_with_window(4);
+        for _ in 0..4 {
+            doc.observe(obs(1e-3, true));
+        }
+        assert!(doc.report().healthy);
+        // The cross-check backend wanders 8 cm away: beyond the 5 cm
+        // default radius, the rule must fire within one window.
+        for _ in 0..4 {
+            doc.observe(SolveObservation {
+                solver_disagreement_m: Some(0.08),
+                ..obs(1e-3, true)
+            });
+        }
+        let report = doc.report();
+        assert_eq!(report.firing(), ["solver_disagreement"]);
+        let rule = report.rule("solver_disagreement").unwrap();
+        assert_eq!(rule.value, 0.08);
+    }
+
+    #[test]
+    fn solver_disagreement_without_cross_check_is_insufficient() {
+        let mut doc = doctor_with_window(4);
+        for _ in 0..6 {
+            doc.observe(SolveObservation {
+                solver_disagreement_m: None,
+                ..obs(1e-3, true)
+            });
+        }
+        let report = doc.report();
+        assert!(report.healthy, "no cross-check data is not a failure");
+        assert_eq!(
+            report.rule("solver_disagreement").unwrap().status,
+            RuleStatus::Insufficient
+        );
+    }
+
+    #[test]
     fn report_json_is_deterministic_and_parses() {
         let mut a = doctor_with_window(4);
         let mut b = doctor_with_window(4);
@@ -538,7 +626,7 @@ mod tests {
         assert_eq!(doc.get("healthy"), Some(&crate::json::Json::Bool(true)));
         assert_eq!(
             doc.get("rules").and_then(|v| v.as_array()).map(|a| a.len()),
-            Some(4)
+            Some(5)
         );
         // Display is likewise stable.
         assert_eq!(a.report().to_string(), b.report().to_string());

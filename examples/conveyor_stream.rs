@@ -116,6 +116,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         .map_or(0, |t| lion::obs::saturating_ns_between(t, Instant::now())),
                     reads_in: est.reads_seen - observed_reads,
                     shed: 0,
+                    solver_disagreement_m: None,
                 });
                 observed_reads = est.reads_seen;
             }

@@ -151,6 +151,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 solve_ns: outcome.timings[i].execute_ns,
                 reads_in: 1,
                 shed: u64::from(result.is_err()),
+                solver_disagreement_m: None,
             });
         }
         let trace_path = dir.join("telemetry_dashboard.trace.json");

@@ -11,6 +11,7 @@ verify:
     cargo test -q --test tracing_causality
     cargo test -q -p lion-linalg --test proptests normal_eq
     cargo test -q -p lion-core --test zero_alloc --test adaptive_regression
+    cargo test -q --test solver_parity
     cargo clippy --workspace --all-targets -- -D warnings
     cargo fmt --check
 
@@ -18,16 +19,19 @@ verify:
 figures:
     cargo run --release -p lion-bench --bin run_experiments -- all
 
-# Tracked benchmark: run the adaptive-sweep bench bin and diff against
-# the committed BENCH_5.json baseline (generous 3× regression threshold;
-# the committed speedup must stay ≥ 5×).
+# Tracked benchmarks: run the adaptive-sweep and solver-backend bench
+# bins and diff against the committed baselines (generous 3× regression
+# threshold; the committed sweep speedup must stay ≥ 5×, and the
+# solver-backend parity must stay inside the documented 2 cm radius).
 bench:
     cargo run --release -p lion-bench --bin bench_adaptive -- --check BENCH_5.json
+    cargo run --release -p lion-bench --bin bench_solvers -- --check BENCH_6.json
 
-# Regenerate the committed benchmark baseline. Run on a quiet machine and
-# eyeball the diff before committing.
+# Regenerate the committed benchmark baselines. Run on a quiet machine
+# and eyeball the diff before committing.
 bench-write:
     cargo run --release -p lion-bench --bin bench_adaptive -- --write BENCH_5.json
+    cargo run --release -p lion-bench --bin bench_solvers -- --write BENCH_6.json
 
 # Run the Criterion microbenchmarks (solver, hologram, engine batch, ...).
 microbench:

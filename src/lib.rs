@@ -89,8 +89,9 @@ pub mod prelude {
     pub use crate::Error;
     pub use lion_core::{
         AdaptiveConfig, AdaptiveOutcome, Calibration, Calibrator, ConveyorTracker, CoreError,
-        Estimate, Localizer2d, Localizer3d, LocalizerConfig, PairStrategy, PhaseProfile,
-        PushOutcome, SlidingWindow, StageMetrics, TrackerConfig, Weighting, Workspace,
+        Estimate, GridConfig, GridSolver, LinearSolver, Localizer2d, Localizer3d, LocalizerConfig,
+        PairStrategy, PhaseProfile, PushOutcome, SlidingWindow, SolveSpace, Solver, SolverKind,
+        StageMetrics, TrackerConfig, Weighting, Workspace,
     };
     pub use lion_engine::{
         BatchOutcome, Engine, Job, JobKind, JobOutput, JobTiming, MetricsReport,

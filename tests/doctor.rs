@@ -29,13 +29,23 @@ fn circle_samples(antenna: Point3, n: usize) -> Vec<PhaseSample> {
 }
 
 fn doctored_job(reads: Vec<StreamRead>) -> StreamJob {
+    // Noiseless fixture: smoothing off keeps both solver backends exact,
+    // so the cross-check disagreement reflects injected faults only (the
+    // smoothing bias otherwise separates the two objectives' minima
+    // along the grid's shallow range valley on short-arc windows).
     let config = StreamConfig::builder()
+        .localizer(LocalizerConfig {
+            smoothing_window: 1,
+            ..LocalizerConfig::default()
+        })
         .window_capacity(200)
         .min_window_len(40)
         .cadence(Cadence::EveryReads(20))
         .build()
         .expect("valid config");
-    StreamJob::new(reads, config).with_doctor(DoctorConfig::default())
+    StreamJob::new(reads, config)
+        .with_doctor(DoctorConfig::default())
+        .with_solver_cross_check(SolverKind::Grid(GridConfig::default()))
 }
 
 fn run_health(reads: Vec<StreamRead>) -> HealthReport {
@@ -87,6 +97,12 @@ fn injected_phase_ramp_trips_residual_drift_within_one_window() {
         rule.value,
         rule.threshold
     );
+    // The shredded phases also pull the linear and grid estimators apart
+    // far beyond the 5 cm agreement radius.
+    assert!(
+        health.firing().contains(&"solver_disagreement"),
+        "expected solver_disagreement to fire: {health}"
+    );
 
     // The report renders deterministically and round-trips the in-repo
     // JSON parser.
@@ -107,7 +123,8 @@ fn injected_phase_ramp_trips_residual_drift_within_one_window() {
             "residual_drift",
             "convergence_stall",
             "ingress_shed",
-            "solve_latency"
+            "solve_latency",
+            "solver_disagreement"
         ],
         "rule order is fixed"
     );
