@@ -38,6 +38,13 @@ const CHECK_RATIO: f64 = 3.0;
 /// (DESIGN §12): the grid estimate must land within this distance of
 /// the linear estimate, both in the committed baseline and fresh.
 const PARITY_LIMIT_M: f64 = 0.02;
+/// Budget for one `/metrics` scrape render (snapshot + Prometheus text)
+/// of a bench-shaped registry. An **absolute** gate, not
+/// baseline-relative: the committed `BENCH_6.json` needs no regeneration
+/// and a serialization regression on the scrape hot path fails `--check`
+/// outright. 5 ms is ~100× the measured cost on the reference rig while
+/// still far below any sane Prometheus scrape interval.
+const METRICS_RENDER_BUDGET_NS: u64 = 5_000_000;
 
 fn median_ns(mut samples: Vec<u64>) -> u64 {
     samples.sort_unstable();
@@ -88,6 +95,7 @@ struct BenchResults {
     sweep_linear_ns: u64,
     sweep_grid_ns: u64,
     parity_m: f64,
+    metrics_render_ns: u64,
 }
 
 impl BenchResults {
@@ -113,13 +121,15 @@ impl BenchResults {
             .join(",");
         format!(
             "{{\"schema\":\"lion-bench-6\",\"env\":{{\"cores\":{},\"os\":\"{}\",\"arch\":\"{}\"}},\
-             \"benches\":{{{}}},\"grid_vs_linear_slowdown\":{:.2},\"parity_m\":{:.6}}}",
+             \"benches\":{{{}}},\"grid_vs_linear_slowdown\":{:.2},\"parity_m\":{:.6},\
+             \"metrics_render_ns\":{}}}",
             std::thread::available_parallelism().map_or(1, usize::from),
             std::env::consts::OS,
             std::env::consts::ARCH,
             benches,
             self.slowdown(),
             self.parity_m,
+            self.metrics_render_ns,
         )
     }
 }
@@ -181,7 +191,52 @@ fn run_benches() -> BenchResults {
         sweep_linear_ns,
         sweep_grid_ns,
         parity_m,
+        metrics_render_ns: bench_metrics_render(),
     }
+}
+
+/// Times one `/metrics` scrape render — registry snapshot + Prometheus
+/// text — on a registry shaped like a live fleet run: a handful of
+/// counters/gauges, the fleet rollup gauges, and well-populated stage
+/// histograms (a histogram renders one sample per non-zero bucket, so
+/// spread values drive the cost).
+fn bench_metrics_render() -> u64 {
+    let registry = lion_obs::Registry::new();
+    registry.counter_add("engine.jobs", 4096);
+    registry.counter_add("engine.failed", 3);
+    registry.gauge_set("engine.workers", 8.0);
+    for rule in [
+        "residual_drift",
+        "convergence_stall",
+        "ingress_shed",
+        "solve_latency",
+        "solver_disagreement",
+    ] {
+        registry.gauge_set(&format!("fleet.rule.{rule}.firing"), 2.0);
+    }
+    for stage in [
+        "unwrap",
+        "smooth",
+        "pairs",
+        "solve",
+        "adaptive",
+        "job_busy",
+        "queue_wait",
+        "execute",
+    ] {
+        let name = format!("engine.stage.{stage}_ns");
+        for i in 0..4096u64 {
+            // Spread across buckets the way real latencies are.
+            registry.histogram_record(&name, (i * 7919) % 10_000_000);
+        }
+    }
+    let mut rendered = 0usize;
+    let ns = bench(51, || {
+        let text = lion_obs::export::to_prometheus(&registry.snapshot());
+        rendered = std::hint::black_box(text.len());
+    });
+    assert!(rendered > 0, "render produced no exposition text");
+    ns
 }
 
 fn load_baseline(path: &str) -> Result<(Vec<(String, u64)>, f64), String> {
@@ -243,6 +298,20 @@ fn check(results: &BenchResults, path: &str) -> Result<(), String> {
             results.parity_m
         ));
     }
+    // Absolute gate on the scrape hot path (no committed counterpart —
+    // see METRICS_RENDER_BUDGET_NS).
+    let render = results.metrics_render_ns;
+    let render_status = if render > METRICS_RENDER_BUDGET_NS {
+        failures.push(format!(
+            "metrics_render_ns {render} exceeds the {METRICS_RENDER_BUDGET_NS} ns scrape budget"
+        ));
+        "FAIL"
+    } else {
+        "ok"
+    };
+    eprintln!(
+        "check metrics_render_ns: fresh {render} ns, budget {METRICS_RENDER_BUDGET_NS} ns [{render_status}]"
+    );
     if failures.is_empty() {
         Ok(())
     } else {

@@ -26,7 +26,7 @@
 //! steady-state sweep performs **zero heap allocations**.
 //!
 //! Two deliberate semantic changes versus the naive per-cell pipeline
-//! (which is preserved as [`Localizer2d::locate_adaptive_naive`] for
+//! (which is preserved as [`Localizer2d::locate_adaptive_naive_in`] for
 //! comparison and benchmarking):
 //!
 //! - every cell shares one **pinned reference sample** (the sample whose
@@ -298,24 +298,6 @@ impl Localizer2d {
     /// # Errors
     ///
     /// See [`Localizer2d::locate_adaptive`].
-    #[deprecated(
-        since = "0.6.0",
-        note = "use locate_adaptive_naive_in with a reusable Workspace (the consolidated sweep entry point)"
-    )]
-    pub fn locate_adaptive_naive(
-        &self,
-        measurements: &[(Point3, f64)],
-        adaptive: &AdaptiveConfig,
-    ) -> Result<AdaptiveOutcome, CoreError> {
-        self.locate_adaptive_naive_in(measurements, adaptive, &mut Workspace::new())
-    }
-
-    /// [`Localizer2d::locate_adaptive_naive`] with a reusable
-    /// [`Workspace`].
-    ///
-    /// # Errors
-    ///
-    /// See [`Localizer2d::locate_adaptive`].
     pub fn locate_adaptive_naive_in(
         &self,
         measurements: &[(Point3, f64)],
@@ -401,25 +383,7 @@ impl Localizer3d {
     }
 
     /// The pre-shared-prefix sweep; see
-    /// [`Localizer2d::locate_adaptive_naive`].
-    ///
-    /// # Errors
-    ///
-    /// See [`Localizer2d::locate_adaptive`].
-    #[deprecated(
-        since = "0.6.0",
-        note = "use locate_adaptive_naive_in with a reusable Workspace (the consolidated sweep entry point)"
-    )]
-    pub fn locate_adaptive_naive(
-        &self,
-        measurements: &[(Point3, f64)],
-        adaptive: &AdaptiveConfig,
-    ) -> Result<AdaptiveOutcome, CoreError> {
-        self.locate_adaptive_naive_in(measurements, adaptive, &mut Workspace::new())
-    }
-
-    /// [`Localizer3d::locate_adaptive_naive`] with a reusable
-    /// [`Workspace`].
+    /// [`Localizer2d::locate_adaptive_naive_in`].
     ///
     /// # Errors
     ///

@@ -174,6 +174,11 @@ fn run_stream_job(
     let mut pipeline = StreamLocalizer::new(job.config.clone())?;
     let mut ingress = Ingress::new(job.queue_capacity)?;
     let mut doctor = job.doctor.clone().map(Doctor::new);
+    // Live telemetry plane: when a hub is installed, every solve feeds
+    // the fleet SLO window. One relaxed atomic load when it isn't.
+    let hub = lion_obs::telemetry_hub();
+    // Clock solves only when someone consumes the latency.
+    let clock_solves = doctor.is_some() || hub.is_some();
     let mut estimates = Vec::new();
     let mut solve_errors = 0u64;
     let mut observed_accepted = 0u64;
@@ -222,12 +227,14 @@ fn run_stream_job(
             }
         }
         while let Some((read, arrival)) = ingress.pop_with_arrival() {
-            // Clock reads only when a doctor is watching solve latency.
-            let pushed_at = doctor.is_some().then(Instant::now);
+            let pushed_at = clock_solves.then(Instant::now);
             match pipeline.push_at(read, arrival) {
                 Ok(Some(estimate)) => {
                     let solve_ns =
                         pushed_at.map_or(0, |t| lion_obs::saturating_ns_between(t, Instant::now()));
+                    if let Some(hub) = &hub {
+                        hub.with_fleet(|fleet| fleet.observe_solve(solve_ns));
+                    }
                     let disagreement = doctor
                         .is_some()
                         .then(|| cross_check(&mut pipeline, &estimate))
@@ -236,18 +243,26 @@ fn run_stream_job(
                     estimates.push(estimate);
                 }
                 Ok(None) => {}
-                Err(_) => solve_errors += 1,
+                Err(e) => {
+                    solve_errors += 1;
+                    if let Some(hub) = &hub {
+                        hub.with_fleet(|fleet| fleet.observe_failure(e.kind()));
+                    }
+                }
             }
         }
     }
     if job.flush_at_end {
         // Only meaningful when reads arrived after the last cadence
         // solve; a flush on an already-solved window re-emits.
-        let flushed_at = doctor.is_some().then(Instant::now);
+        let flushed_at = clock_solves.then(Instant::now);
         match pipeline.flush() {
             Ok(Some(estimate)) => {
                 let solve_ns =
                     flushed_at.map_or(0, |t| lion_obs::saturating_ns_between(t, Instant::now()));
+                if let Some(hub) = &hub {
+                    hub.with_fleet(|fleet| fleet.observe_solve(solve_ns));
+                }
                 let disagreement = doctor
                     .is_some()
                     .then(|| cross_check(&mut pipeline, &estimate))
@@ -256,7 +271,12 @@ fn run_stream_job(
                 estimates.push(estimate);
             }
             Ok(None) => {}
-            Err(_) => solve_errors += 1,
+            Err(e) => {
+                solve_errors += 1;
+                if let Some(hub) = &hub {
+                    hub.with_fleet(|fleet| fleet.observe_failure(e.kind()));
+                }
+            }
         }
     }
     lion_obs::event!(
@@ -288,16 +308,23 @@ impl Engine {
     /// cursor. Outcomes are bit-identical for any worker count. A job
     /// with an invalid configuration fails in its own slot without
     /// affecting the rest.
+    ///
+    /// When a [`lion_obs::TelemetryHub`] is installed, each doctored
+    /// stream's [`HealthReport`] is ingested into the hub's fleet rollup
+    /// (stream ids `stream-0`, `stream-1`, … by submission slot) — in
+    /// submission order, after collection, so the rollup is identical
+    /// for any worker count.
     pub fn run_streams(&self, jobs: &[StreamJob]) -> Vec<Result<StreamOutcome, CoreError>> {
         let workers = self.workers().min(jobs.len()).max(1);
         // Root trace contexts in submission order (see `job_contexts`).
         let contexts = job_contexts(jobs.len());
         if workers == 1 {
-            return jobs
-                .iter()
-                .zip(&contexts)
-                .map(|(job, ctx)| run_stream_job(job, *ctx))
-                .collect();
+            return ingest_fleet_health(
+                jobs.iter()
+                    .zip(&contexts)
+                    .map(|(job, ctx)| run_stream_job(job, *ctx))
+                    .collect(),
+            );
         }
         let cursor = AtomicUsize::new(0);
         let mut collected: Vec<(usize, Result<StreamOutcome, CoreError>)> =
@@ -321,8 +348,28 @@ impl Engine {
             }
         });
         collected.sort_unstable_by_key(|(i, _)| *i);
-        collected.into_iter().map(|(_, outcome)| outcome).collect()
+        ingest_fleet_health(collected.into_iter().map(|(_, outcome)| outcome).collect())
     }
+}
+
+/// Feeds every doctored outcome's health report into the installed
+/// telemetry hub's fleet rollup, in submission order. Pass-through (one
+/// relaxed atomic load) when no hub is installed.
+fn ingest_fleet_health(
+    outcomes: Vec<Result<StreamOutcome, CoreError>>,
+) -> Vec<Result<StreamOutcome, CoreError>> {
+    if let Some(hub) = lion_obs::telemetry_hub() {
+        hub.with_fleet(|fleet| {
+            for (i, outcome) in outcomes.iter().enumerate() {
+                if let Ok(outcome) = outcome {
+                    if let Some(health) = &outcome.health {
+                        fleet.ingest(&format!("stream-{i}"), health);
+                    }
+                }
+            }
+        });
+    }
+    outcomes
 }
 
 #[cfg(test)]

@@ -139,6 +139,17 @@ pub struct RuleReport {
     pub value: f64,
     /// The threshold it compared against.
     pub threshold: f64,
+    /// How many observations currently inform this rule. Together with
+    /// [`RuleReport::samples_needed`] this makes an
+    /// [`RuleStatus::Insufficient`] verdict machine-readable: `seen = 0`
+    /// with the doctor already past `samples_needed` total observations
+    /// means the rule is *data-starved* (e.g. no cross-check wired, no
+    /// reads offered), while a small `seen` early in the run is an
+    /// ordinary cold start.
+    pub samples_seen: u64,
+    /// The minimum [`RuleReport::samples_seen`] at which the rule can
+    /// leave [`RuleStatus::Insufficient`].
+    pub samples_needed: u64,
     /// Human-oriented context (units, window, baseline).
     pub detail: String,
 }
@@ -178,11 +189,14 @@ impl HealthReport {
             .iter()
             .map(|r| {
                 format!(
-                    "{{\"rule\":\"{}\",\"status\":\"{}\",\"value\":{},\"threshold\":{},\"detail\":\"{}\"}}",
+                    "{{\"rule\":\"{}\",\"status\":\"{}\",\"value\":{},\"threshold\":{},\
+                     \"samples_seen\":{},\"samples_needed\":{},\"detail\":\"{}\"}}",
                     json::escape(r.rule),
                     r.status,
                     fmt_f64(r.value),
                     fmt_f64(r.threshold),
+                    r.samples_seen,
+                    r.samples_needed,
                     json::escape(&r.detail),
                 )
             })
@@ -217,8 +231,8 @@ impl fmt::Display for HealthReport {
         for r in &self.rules {
             writeln!(
                 f,
-                "  {:18} {:17} value={:.6} threshold={:.6}  {}",
-                r.rule, r.status, r.value, r.threshold, r.detail,
+                "  {:18} {:17} value={:.6} threshold={:.6} samples={}/{}  {}",
+                r.rule, r.status, r.value, r.threshold, r.samples_seen, r.samples_needed, r.detail,
             )?;
         }
         Ok(())
@@ -292,12 +306,16 @@ impl Doctor {
 
     fn residual_drift(&self) -> RuleReport {
         let threshold = self.config.residual_drift_ratio;
+        let samples_seen = self.recent.len() as u64;
+        let samples_needed = self.config.window as u64;
         let Some(baseline) = self.baseline_residual else {
             return RuleReport {
                 rule: "residual_drift",
                 status: RuleStatus::Insufficient,
                 value: 0.0,
                 threshold,
+                samples_seen,
+                samples_needed,
                 detail: format!(
                     "baseline not frozen yet ({}/{} observations)",
                     self.recent.len(),
@@ -323,18 +341,23 @@ impl Doctor {
             },
             value: ratio,
             threshold,
+            samples_seen,
+            samples_needed,
             detail: format!("recent mean |residual| {recent:.6} m vs baseline {baseline:.6} m"),
         }
     }
 
     fn convergence_stall(&self) -> RuleReport {
         let threshold = f64::from(self.config.stall_regressions);
+        let samples_seen = self.recent.len() as u64;
         if self.recent.len() < 2 {
             return RuleReport {
                 rule: "convergence_stall",
                 status: RuleStatus::Insufficient,
                 value: 0.0,
                 threshold,
+                samples_seen,
+                samples_needed: 2,
                 detail: "need at least 2 observations".to_string(),
             };
         }
@@ -353,6 +376,8 @@ impl Doctor {
             },
             value: f64::from(regressions),
             threshold,
+            samples_seen,
+            samples_needed: 2,
             detail: format!(
                 "converged\u{2192}unconverged regressions in the last {} solves",
                 self.recent.len(),
@@ -365,12 +390,22 @@ impl Doctor {
         let accepted: u64 = self.recent.iter().map(|o| o.reads_in).sum();
         let shed: u64 = self.recent.iter().map(|o| o.shed).sum();
         let offered = accepted + shed;
+        // Observations that actually carried reads: an empty-window
+        // verdict with non-empty `recent` is data starvation, not a
+        // cold start.
+        let samples_seen = self
+            .recent
+            .iter()
+            .filter(|o| o.reads_in + o.shed > 0)
+            .count() as u64;
         if offered == 0 {
             return RuleReport {
                 rule: "ingress_shed",
                 status: RuleStatus::Insufficient,
                 value: 0.0,
                 threshold,
+                samples_seen,
+                samples_needed: 1,
                 detail: "no reads offered in the window".to_string(),
             };
         }
@@ -384,18 +419,23 @@ impl Doctor {
             },
             value: rate,
             threshold,
+            samples_seen,
+            samples_needed: 1,
             detail: format!("{shed} of {offered} offered reads shed in the window"),
         }
     }
 
     fn solve_latency(&self) -> RuleReport {
         let threshold = self.config.max_solve_p99_ns as f64;
+        let samples_seen = self.recent.len() as u64;
         if self.recent.is_empty() {
             return RuleReport {
                 rule: "solve_latency",
                 status: RuleStatus::Insufficient,
                 value: 0.0,
                 threshold,
+                samples_seen,
+                samples_needed: 1,
                 detail: "no solves observed".to_string(),
             };
         }
@@ -413,6 +453,8 @@ impl Doctor {
             },
             value: p99 as f64,
             threshold,
+            samples_seen,
+            samples_needed: 1,
             detail: format!("windowed p99 solve time over {} solves, ns", times.len()),
         }
     }
@@ -433,6 +475,8 @@ impl Doctor {
                 status: RuleStatus::Insufficient,
                 value: 0.0,
                 threshold,
+                samples_seen: checked as u64,
+                samples_needed: 1,
                 detail: "no cross-check solves in the window".to_string(),
             };
         };
@@ -445,6 +489,8 @@ impl Doctor {
             },
             value: max,
             threshold,
+            samples_seen: checked as u64,
+            samples_needed: 1,
             detail: format!("max primary-vs-cross-check distance over {checked} checked solves, m"),
         }
     }
@@ -607,6 +653,59 @@ mod tests {
         assert_eq!(
             report.rule("solver_disagreement").unwrap().status,
             RuleStatus::Insufficient
+        );
+    }
+
+    #[test]
+    fn insufficient_rules_distinguish_cold_start_from_starvation() {
+        // Cold start: no observations at all. Every rule reports
+        // seen < needed with seen growing toward needed.
+        let doc = doctor_with_window(4);
+        let report = doc.report();
+        for rule in &report.rules {
+            assert_eq!(rule.status, RuleStatus::Insufficient);
+            assert_eq!(rule.samples_seen, 0);
+            assert!(rule.samples_needed >= 1);
+        }
+
+        // Starvation: plenty of observations, but none carrying reads or
+        // cross-checks. The affected rules stay Insufficient with
+        // seen = 0 while residual_drift has seen = needed.
+        let mut doc = doctor_with_window(4);
+        for _ in 0..6 {
+            doc.observe(SolveObservation {
+                reads_in: 0,
+                shed: 0,
+                solver_disagreement_m: None,
+                ..obs(1e-3, true)
+            });
+        }
+        let report = doc.report();
+        let drift = report.rule("residual_drift").unwrap();
+        assert_eq!(drift.status, RuleStatus::Healthy);
+        assert_eq!((drift.samples_seen, drift.samples_needed), (4, 4));
+        let shed = report.rule("ingress_shed").unwrap();
+        assert_eq!(shed.status, RuleStatus::Insufficient);
+        assert_eq!((shed.samples_seen, shed.samples_needed), (0, 1));
+        let cross = report.rule("solver_disagreement").unwrap();
+        assert_eq!(cross.status, RuleStatus::Insufficient);
+        assert_eq!((cross.samples_seen, cross.samples_needed), (0, 1));
+
+        // The pair is machine-readable from the JSON rendering.
+        let json = report.to_json();
+        let doc = crate::json::parse(&json).expect("valid JSON");
+        let rules = doc.get("rules").and_then(|v| v.as_array()).unwrap();
+        let shed_json = rules
+            .iter()
+            .find(|r| r.get("rule").and_then(|v| v.as_str()) == Some("ingress_shed"))
+            .unwrap();
+        assert_eq!(
+            shed_json.get("samples_seen").and_then(|v| v.as_u64()),
+            Some(0)
+        );
+        assert_eq!(
+            shed_json.get("samples_needed").and_then(|v| v.as_u64()),
+            Some(1)
         );
     }
 

@@ -129,35 +129,102 @@ fn prometheus_name(name: &str) -> String {
     out
 }
 
-/// Renders a snapshot in the Prometheus text exposition format.
-pub fn to_prometheus(snapshot: &Snapshot) -> String {
-    let mut out = String::new();
-    for (name, metric) in &snapshot.metrics {
-        let name = prometheus_name(name);
-        match metric {
-            Metric::Counter(v) => {
-                out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
-            }
-            Metric::Gauge(v) => {
-                out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
-            }
-            Metric::Histogram(h) => {
-                out.push_str(&format!("# TYPE {name} histogram\n"));
-                let mut cumulative = 0u64;
-                for (upper, count) in h.nonzero_buckets() {
-                    cumulative = cumulative.saturating_add(count);
-                    out.push_str(&format!("{name}_bucket{{le=\"{upper}\"}} {cumulative}\n"));
-                }
-                out.push_str(&format!(
-                    "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
-                    h.count(),
-                    h.sum(),
-                    h.count()
-                ));
-            }
+/// Escapes a `# HELP` text per the exposition format: `\` → `\\`,
+/// newline → `\n` (quotes are *not* escaped in help text).
+fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
         }
     }
     out
+}
+
+/// The exposition-format type keyword for a metric.
+fn metric_kind(metric: &Metric) -> &'static str {
+    match metric {
+        Metric::Counter(_) => "counter",
+        Metric::Gauge(_) => "gauge",
+        Metric::Histogram(_) => "histogram",
+    }
+}
+
+/// Appends one metric's sample lines (no `# HELP`/`# TYPE` header) for
+/// the label set rendered as `block`/`bucket_prefix` (see
+/// [`label_block`]).
+fn push_samples(out: &mut String, name: &str, metric: &Metric, block: &str, bucket_prefix: &str) {
+    match metric {
+        Metric::Counter(v) => out.push_str(&format!("{name}{block} {v}\n")),
+        Metric::Gauge(v) => out.push_str(&format!("{name}{block} {v}\n")),
+        Metric::Histogram(h) => {
+            let mut cumulative = 0u64;
+            for (upper, count) in h.nonzero_buckets() {
+                cumulative = cumulative.saturating_add(count);
+                out.push_str(&format!(
+                    "{name}_bucket{{{bucket_prefix}le=\"{upper}\"}} {cumulative}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "{name}_bucket{{{bucket_prefix}le=\"+Inf\"}} {}\n{name}_sum{block} {}\n{name}_count{block} {}\n",
+                h.count(),
+                h.sum(),
+                h.count()
+            ));
+        }
+    }
+}
+
+/// Renders several labeled snapshots as one conformant exposition
+/// document: metric families are merged across the groups, and every
+/// family gets its `# HELP` and `# TYPE` lines **exactly once**, before
+/// all of its samples — even when the same metric appears under several
+/// label sets (the rule the Prometheus text parser enforces).
+///
+/// Families are emitted in ascending (sanitized) name order; within a
+/// family, samples follow the group order given. The `# HELP` text is
+/// the metric's original (pre-sanitization) registry name. If two groups
+/// disagree on a family's kind, the first group's kind wins and the
+/// conflicting samples are dropped — a scrape document with one family
+/// under two types would be rejected whole.
+pub fn to_prometheus_grouped(groups: &[(&[(&str, &str)], &Snapshot)]) -> String {
+    use std::collections::BTreeMap;
+    // family → (kind, help, accumulated sample lines)
+    let mut families: BTreeMap<String, (&'static str, String, String)> = BTreeMap::new();
+    for (labels, snapshot) in groups {
+        let block = label_block(labels);
+        let bucket_prefix = if labels.is_empty() {
+            String::new()
+        } else {
+            // Inside a merged `{…,le="…"}` block: constant labels first.
+            let inner = block.trim_start_matches('{').trim_end_matches('}');
+            format!("{inner},")
+        };
+        for (name, metric) in &snapshot.metrics {
+            let family = prometheus_name(name);
+            let kind = metric_kind(metric);
+            let entry = families
+                .entry(family.clone())
+                .or_insert_with(|| (kind, escape_help(name), String::new()));
+            if entry.0 != kind {
+                continue;
+            }
+            push_samples(&mut entry.2, &family, metric, &block, &bucket_prefix);
+        }
+    }
+    let mut out = String::new();
+    for (family, (kind, help, samples)) in &families {
+        out.push_str(&format!("# HELP {family} {help}\n# TYPE {family} {kind}\n"));
+        out.push_str(samples);
+    }
+    out
+}
+
+/// Renders a snapshot in the Prometheus text exposition format.
+pub fn to_prometheus(snapshot: &Snapshot) -> String {
+    to_prometheus_grouped(&[(&[], snapshot)])
 }
 
 /// Writes the Prometheus rendering of a snapshot to `path`, creating
@@ -205,45 +272,12 @@ fn label_block(labels: &[(&str, &str)]) -> String {
 /// Like [`to_prometheus`], but attaches `labels` to every sample.
 /// Histogram `_bucket` samples merge the constant labels with their `le`
 /// label. Label values are escaped per the exposition format, so values
-/// containing `"`, `\`, or newlines stay parseable.
+/// containing `"`, `\`, or newlines stay parseable. To export the same
+/// metrics under several label sets in one document, use
+/// [`to_prometheus_grouped`] — concatenating two renderings would repeat
+/// the `# HELP`/`# TYPE` headers, which the exposition format forbids.
 pub fn to_prometheus_with_labels(snapshot: &Snapshot, labels: &[(&str, &str)]) -> String {
-    let block = label_block(labels);
-    let bucket_prefix = if labels.is_empty() {
-        String::new()
-    } else {
-        // Inside a merged `{…,le="…"}` block: constant labels first.
-        let inner = block.trim_start_matches('{').trim_end_matches('}');
-        format!("{inner},")
-    };
-    let mut out = String::new();
-    for (name, metric) in &snapshot.metrics {
-        let name = prometheus_name(name);
-        match metric {
-            Metric::Counter(v) => {
-                out.push_str(&format!("# TYPE {name} counter\n{name}{block} {v}\n"));
-            }
-            Metric::Gauge(v) => {
-                out.push_str(&format!("# TYPE {name} gauge\n{name}{block} {v}\n"));
-            }
-            Metric::Histogram(h) => {
-                out.push_str(&format!("# TYPE {name} histogram\n"));
-                let mut cumulative = 0u64;
-                for (upper, count) in h.nonzero_buckets() {
-                    cumulative = cumulative.saturating_add(count);
-                    out.push_str(&format!(
-                        "{name}_bucket{{{bucket_prefix}le=\"{upper}\"}} {cumulative}\n"
-                    ));
-                }
-                out.push_str(&format!(
-                    "{name}_bucket{{{bucket_prefix}le=\"+Inf\"}} {}\n{name}_sum{block} {}\n{name}_count{block} {}\n",
-                    h.count(),
-                    h.sum(),
-                    h.count()
-                ));
-            }
-        }
-    }
-    out
+    to_prometheus_grouped(&[(labels, snapshot)])
 }
 
 /// Formats nanoseconds-since-epoch as Trace Event microseconds with
@@ -427,6 +461,89 @@ mod tests {
         for line in text.lines() {
             assert!(!line.contains("line1\nline"));
         }
+    }
+
+    #[test]
+    fn help_and_type_appear_exactly_once_per_family_across_label_sets() {
+        // The same registry exported under two label sets — the fleet
+        // per-stream case. Headers must not repeat per label set.
+        let r = Registry::new();
+        r.counter_add("engine.jobs", 7);
+        r.histogram_record("solve_ns", 1_000);
+        let snap = r.snapshot();
+        let text =
+            to_prometheus_grouped(&[(&[("stream", "a")], &snap), (&[("stream", "b")], &snap)]);
+        for family in ["engine_jobs", "solve_ns"] {
+            let help = text.matches(&format!("# HELP {family} ")).count();
+            let typ = text.matches(&format!("# TYPE {family} ")).count();
+            assert_eq!(help, 1, "HELP for {family} repeated:\n{text}");
+            assert_eq!(typ, 1, "TYPE for {family} repeated:\n{text}");
+        }
+        // Both label sets' samples survive, under the single header.
+        assert!(text.contains("engine_jobs{stream=\"a\"} 7"));
+        assert!(text.contains("engine_jobs{stream=\"b\"} 7"));
+        assert!(text.contains("solve_ns_count{stream=\"a\"} 1"));
+        assert!(text.contains("solve_ns_count{stream=\"b\"} 1"));
+        // Headers precede every sample of their family.
+        let type_pos = text.find("# TYPE engine_jobs ").unwrap();
+        let first_sample = text.find("engine_jobs{").unwrap();
+        assert!(type_pos < first_sample);
+        // HELP text carries the original (unsanitized) name.
+        assert!(text.contains("# HELP engine_jobs engine.jobs\n"));
+    }
+
+    #[test]
+    fn kind_conflicts_keep_the_first_family_type() {
+        let a = Registry::new();
+        a.counter_add("x", 1);
+        let b = Registry::new();
+        b.gauge_set("x", 2.0);
+        let text = to_prometheus_grouped(&[
+            (&[("s", "a")], &a.snapshot()),
+            (&[("s", "b")], &b.snapshot()),
+        ]);
+        assert_eq!(text.matches("# TYPE x ").count(), 1);
+        assert!(text.contains("# TYPE x counter"));
+        assert!(text.contains("x{s=\"a\"} 1"));
+        // The conflicting gauge sample is dropped, not emitted untyped.
+        assert!(!text.contains("x{s=\"b\"}"));
+    }
+
+    #[test]
+    fn label_escaping_round_trips_through_with_labels() {
+        // Regression: `\n` and `"` in a label value must come back out
+        // of the rendered document escaped — and unescaping the rendered
+        // value must reproduce the original exactly.
+        let original = "line1\nline\"2\\end";
+        let r = Registry::new();
+        r.counter_add("jobs", 3);
+        let text = to_prometheus_with_labels(&r.snapshot(), &[("run", original)]);
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("jobs{"))
+            .expect("sample line");
+        let value = line
+            .split("run=\"")
+            .nth(1)
+            .and_then(|rest| rest.split("\"}").next())
+            .expect("label value");
+        assert_eq!(value, "line1\\nline\\\"2\\\\end");
+        // Unescape per the exposition format and compare to the input.
+        let mut unescaped = String::new();
+        let mut chars = value.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('n') => unescaped.push('\n'),
+                    Some('"') => unescaped.push('"'),
+                    Some('\\') => unescaped.push('\\'),
+                    other => panic!("unknown escape \\{other:?}"),
+                }
+            } else {
+                unescaped.push(c);
+            }
+        }
+        assert_eq!(unescaped, original);
     }
 
     #[test]

@@ -1,0 +1,376 @@
+//! Zero-dependency HTTP/1.1 scrape server for live telemetry.
+//!
+//! Everything `lion-obs` produces — Prometheus text, fleet health JSON,
+//! registry snapshots, Chrome traces, flamegraphs — was historically a
+//! one-shot file export at process exit. [`TelemetryServer`] makes the
+//! same artifacts scrapeable **while the pipeline runs**, on nothing but
+//! `std::net`:
+//!
+//! | Route       | Body                                                | Content-Type |
+//! |-------------|-----------------------------------------------------|--------------|
+//! | `/metrics`  | Prometheus text of the global registry (plus fleet gauges when a hub is installed) | `text/plain; version=0.0.4; charset=utf-8` |
+//! | `/health`   | [`crate::fleet::FleetReport`] JSON from the installed hub | `application/json` |
+//! | `/snapshot` | Global registry as JSON-lines                       | `application/x-ndjson` |
+//! | `/trace`    | Chrome-trace JSON of the flight recorder's rings    | `application/json` |
+//! | `/profile`  | Collapsed-stack flamegraph of the same rings        | `text/plain; charset=utf-8` |
+//!
+//! The server owns one accept thread (`lion-telemetry`) and answers
+//! requests on it sequentially — a scrape plane, not an app server: the
+//! bounded single worker means a slow or malicious client can delay
+//! other scrapes but can never exhaust process threads or memory
+//! (request heads are capped, sockets carry read timeouts).
+//!
+//! Every body is rendered at request time from the live global sources
+//! ([`crate::global`], [`crate::fleet::telemetry_hub`],
+//! [`crate::flight_recorder`]) and is deterministic for a fixed state —
+//! sorted registry snapshots, canonical ring merge order, sorted stacks
+//! — so consecutive scrapes of a quiet system diff cleanly.
+//!
+//! Shutdown is graceful and idempotent: [`TelemetryServer::shutdown`]
+//! (or drop) flips a flag, nudges the listener with a loopback connect
+//! so `accept` wakes, and joins the thread — no request in flight is
+//! truncated, no thread leaks.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::export;
+use crate::fleet::telemetry_hub;
+use crate::recorder::flight_recorder;
+
+/// Per-socket read/write timeout: a stalled scraper cannot pin the
+/// worker for longer than this.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Upper bound on the request head (request line + headers) we will
+/// buffer before answering 400.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// The five routes, fixed order — also the `/` index listing.
+const ROUTES: [&str; 5] = ["/metrics", "/health", "/snapshot", "/trace", "/profile"];
+
+/// A running telemetry scrape server. See the module docs for routes.
+///
+/// ```no_run
+/// let server = lion_obs::http::TelemetryServer::bind("127.0.0.1:0").unwrap();
+/// println!("scrape http://{}/metrics", server.local_addr());
+/// server.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Binds `addr` (use port `0` for an ephemeral port — the real one
+    /// is in [`TelemetryServer::local_addr`]) and starts the accept
+    /// thread.
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<TelemetryServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let worker = std::thread::Builder::new()
+            .name("lion-telemetry".to_string())
+            .spawn(move || accept_loop(listener, &flag))?;
+        Ok(TelemetryServer {
+            addr,
+            stop,
+            worker: Some(worker),
+        })
+    }
+
+    /// The bound address (the real port even when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, wakes the worker, and joins it. Idempotent;
+    /// also runs on drop.
+    pub fn shutdown(mut self) {
+        self.stop_worker();
+    }
+
+    fn stop_worker(&mut self) {
+        let Some(worker) = self.worker.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // Self-connect so the blocking accept() observes the flag. The
+        // connect may fail if the listener already died; join anyway.
+        let _ = TcpStream::connect_timeout(&self.addr, SOCKET_TIMEOUT);
+        let _ = worker.join();
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.stop_worker();
+    }
+}
+
+fn accept_loop(listener: TcpListener, stop: &AtomicBool) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Per-connection errors (timeouts, resets, malformed heads that
+        // also fail the 400 write) only affect that scraper.
+        let _ = handle_connection(stream);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(SOCKET_TIMEOUT))?;
+    stream.set_write_timeout(Some(SOCKET_TIMEOUT))?;
+    let head = match read_head(&mut stream) {
+        Ok(head) => head,
+        Err(_) => {
+            return write_response(
+                &mut stream,
+                "400 Bad Request",
+                "text/plain; charset=utf-8",
+                b"malformed request head\n",
+                &[],
+            );
+        }
+    };
+    let (method, path) = match parse_request_line(&head) {
+        Some(parts) => parts,
+        None => {
+            return write_response(
+                &mut stream,
+                "400 Bad Request",
+                "text/plain; charset=utf-8",
+                b"malformed request line\n",
+                &[],
+            );
+        }
+    };
+    let known = path == "/" || ROUTES.contains(&path.as_str());
+    if method != "GET" {
+        return if known {
+            write_response(
+                &mut stream,
+                "405 Method Not Allowed",
+                "text/plain; charset=utf-8",
+                b"only GET is supported\n",
+                &[("Allow", "GET")],
+            )
+        } else {
+            not_found(&mut stream)
+        };
+    }
+    match path.as_str() {
+        "/" => {
+            let mut body = String::from("lion telemetry\n");
+            for route in ROUTES {
+                body.push_str(route);
+                body.push('\n');
+            }
+            write_response(
+                &mut stream,
+                "200 OK",
+                "text/plain; charset=utf-8",
+                body.as_bytes(),
+                &[],
+            )
+        }
+        "/metrics" => write_response(
+            &mut stream,
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            render_metrics().as_bytes(),
+            &[],
+        ),
+        "/health" => write_response(
+            &mut stream,
+            "200 OK",
+            "application/json",
+            render_health().as_bytes(),
+            &[],
+        ),
+        "/snapshot" => write_response(
+            &mut stream,
+            "200 OK",
+            "application/x-ndjson",
+            render_snapshot().as_bytes(),
+            &[],
+        ),
+        "/trace" => write_response(
+            &mut stream,
+            "200 OK",
+            "application/json",
+            render_trace().as_bytes(),
+            &[],
+        ),
+        "/profile" => write_response(
+            &mut stream,
+            "200 OK",
+            "text/plain; charset=utf-8",
+            render_profile().as_bytes(),
+            &[],
+        ),
+        _ => not_found(&mut stream),
+    }
+}
+
+fn not_found(stream: &mut TcpStream) -> io::Result<()> {
+    write_response(
+        stream,
+        "404 Not Found",
+        "text/plain; charset=utf-8",
+        b"no such route; try /metrics /health /snapshot /trace /profile\n",
+        &[],
+    )
+}
+
+/// Reads until the blank line ending the request head, bounded by
+/// [`MAX_HEAD_BYTES`].
+fn read_head(stream: &mut TcpStream) -> io::Result<String> {
+    let mut head = Vec::new();
+    let mut buf = [0u8; 512];
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.windows(2).any(|w| w == b"\n\n") {
+            break;
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request head too large",
+            ));
+        }
+    }
+    String::from_utf8(head).map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 head"))
+}
+
+/// Extracts `(method, path)` from the request line, dropping any query
+/// string. Returns `None` when the line is not `METHOD SP TARGET [SP
+/// VERSION]`.
+fn parse_request_line(head: &str) -> Option<(String, String)> {
+    let line = head.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let target = parts.next()?;
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    if !path.starts_with('/') {
+        return None;
+    }
+    Some((method, path))
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &[u8],
+    extra_headers: &[(&str, &str)],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len(),
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// `/metrics`: the global registry as Prometheus text. When a telemetry
+/// hub is installed its fleet rollup is refreshed into `fleet.*` gauges
+/// first, so one scrape carries both raw pipeline metrics and the fleet
+/// verdict.
+fn render_metrics() -> String {
+    if let Some(hub) = telemetry_hub() {
+        hub.fleet_report().record_into(crate::global());
+    }
+    export::to_prometheus(&crate::global().snapshot())
+}
+
+/// `/health`: the hub's fleet rollup as JSON, or an explicit
+/// `"hub_installed": false` envelope when telemetry is off.
+fn render_health() -> String {
+    match telemetry_hub() {
+        Some(hub) => format!(
+            "{{\"hub_installed\":true,\"fleet\":{}}}\n",
+            hub.fleet_report().to_json()
+        ),
+        None => "{\"hub_installed\":false,\"fleet\":null}\n".to_string(),
+    }
+}
+
+/// `/snapshot`: the global registry as one labelled JSON line.
+fn render_snapshot() -> String {
+    export::to_json_line("global", &crate::global().snapshot())
+}
+
+/// `/trace`: the flight recorder's retained rings as Chrome-trace JSON
+/// (non-draining — scraping does not consume records). An empty trace
+/// when no recorder is installed.
+fn render_trace() -> String {
+    let records = flight_recorder()
+        .map(|recorder| recorder.snapshot().records().to_vec())
+        .unwrap_or_default();
+    export::to_chrome_trace(&records)
+}
+
+/// `/profile`: collapsed-stack flamegraph of the recorder's rings.
+/// Empty body when no recorder is installed or nothing was traced.
+fn render_profile() -> String {
+    flight_recorder()
+        .map(|recorder| crate::profile::to_collapsed_stacks(&recorder.snapshot()))
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_line_parses_and_rejects_garbage() {
+        assert_eq!(
+            parse_request_line("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n"),
+            Some(("GET".to_string(), "/metrics".to_string()))
+        );
+        assert_eq!(
+            parse_request_line("GET /health?verbose=1 HTTP/1.1\r\n"),
+            Some(("GET".to_string(), "/health".to_string()))
+        );
+        assert_eq!(parse_request_line(""), None);
+        assert_eq!(parse_request_line("GET"), None);
+        assert_eq!(parse_request_line("GET http//nope HTTP/1.1"), None);
+    }
+
+    #[test]
+    fn bind_reports_real_port_and_shuts_down_cleanly() {
+        let server = TelemetryServer::bind("127.0.0.1:0").expect("bind ephemeral");
+        assert_ne!(server.local_addr().port(), 0);
+        server.shutdown();
+    }
+}

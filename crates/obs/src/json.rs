@@ -48,6 +48,14 @@ impl Json {
         }
     }
 
+    /// The value as `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as `f64`.
     pub fn as_f64(&self) -> Option<f64> {
         match self {

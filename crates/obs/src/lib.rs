@@ -21,6 +21,13 @@
 //!   round-trip parser, since the vendored `serde` is a no-op stub) and
 //!   Prometheus text exposition.
 //!
+//! On top of those, the **live telemetry plane**: [`fleet`] rolls
+//! per-stream [`doctor`] health reports into a fleet-wide report with
+//! SLO budgets behind a process-global [`TelemetryHub`], [`profile`]
+//! turns flight-recorder span rings into exclusive-time collapsed-stack
+//! flamegraphs, and [`http`] serves everything over a zero-dependency
+//! HTTP scrape endpoint ([`TelemetryServer`]) while the pipeline runs.
+//!
 //! # Example
 //!
 //! ```
@@ -43,8 +50,11 @@
 
 pub mod doctor;
 pub mod export;
+pub mod fleet;
 mod hist;
+pub mod http;
 pub mod json;
+pub mod profile;
 pub mod recorder;
 mod registry;
 mod subscriber;
@@ -52,7 +62,12 @@ mod timer;
 pub mod trace;
 
 pub use doctor::{Doctor, DoctorConfig, HealthReport, RuleReport, RuleStatus, SolveObservation};
+pub use fleet::{
+    install_telemetry_hub, telemetry_hub, uninstall_telemetry_hub, FleetDoctor, FleetReport,
+    SloConfig, SloReport, SloTracker, TelemetryHub,
+};
 pub use hist::{Histogram, SUB_BUCKETS};
+pub use http::TelemetryServer;
 pub use recorder::{
     flight_recorder, install_flight_recorder, note_failure, uninstall_flight_recorder, FailureDump,
     FlightRecord, FlightRecorder, FlightSnapshot, RecordedEvent,

@@ -14,12 +14,22 @@
 //! cargo run --release --example conveyor_stream
 //! # record a causal trace + health report + registry snapshot:
 //! cargo run --release --example conveyor_stream -- --trace target/trace
+//! # live telemetry plane: run a whole portal fleet and scrape it:
+//! cargo run --release --example conveyor_stream -- --serve 127.0.0.1:9184 --hold
 //! ```
 //!
 //! With `--trace <dir>` the run installs the flight recorder and a
 //! calibration-health [`Doctor`], then writes `<dir>/conveyor_stream.trace.json`
 //! (Chrome trace-event JSON — load it at <https://ui.perfetto.dev>),
 //! `<dir>/health.json`, and `<dir>/snapshot.jsonl`.
+//!
+//! With `--serve <addr>` the run switches to **fleet mode**: it installs
+//! the telemetry hub + flight recorder, starts the HTTP scrape server,
+//! and drives twelve doctored portal streams through
+//! [`Engine::run_streams`] while `/metrics`, `/health`, `/snapshot`,
+//! `/trace`, and `/profile` answer live. Add `--hold` to keep the server
+//! up after the fleet drains (press Enter to stop) — port `0` picks an
+//! ephemeral port and prints it.
 
 use lion::obs::SolveObservation;
 use lion::prelude::*;
@@ -39,7 +49,93 @@ fn trace_dir_from_args() -> Option<PathBuf> {
     None
 }
 
+/// Parses `--serve <addr>` from the command line, if present.
+fn serve_addr_from_args() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--serve" {
+            return Some(args.next().expect("--serve requires an address"));
+        }
+    }
+    None
+}
+
+/// One portal's read feed: a calibration tag rides the belt past an
+/// antenna at `x_offset`, with seeded delivery jitter and loss.
+fn portal_reads(x_offset: f64, seed: u64) -> Result<Vec<StreamRead>, Box<dyn std::error::Error>> {
+    let antenna = Antenna::builder(Point3::new(x_offset, 0.8, 0.0))
+        .phase_center_displacement(0.013, -0.008, 0.0)
+        .build();
+    let track = LineSegment::along_x(x_offset - 0.45, x_offset + 0.45, 0.0, 0.0)?;
+    let trace = ScenarioBuilder::new()
+        .antenna(antenna)
+        .tag(Tag::new("E51-fleet"))
+        .noise(NoiseModel::paper_default())
+        .seed(seed)
+        .build()?
+        .scan(&track, 0.25, 120.0)?;
+    Ok(SampleSource::replay(&trace)
+        .with_shuffle(6, seed)
+        .with_drop_probability(0.10, seed)
+        .map(StreamRead::from)
+        .collect())
+}
+
+/// Fleet mode: twelve doctored portal streams under the live scrape
+/// plane. Every solve feeds the hub's SLO window; every stream's health
+/// report lands in the fleet rollup.
+fn serve_fleet(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let hold = std::env::args().any(|a| a == "--hold");
+    lion::obs::install_flight_recorder(1 << 14);
+    let hub = install_telemetry_hub(SloConfig::default());
+    let server = TelemetryServer::bind(addr)?;
+    println!("== conveyor fleet: live telemetry ==");
+    println!("scrape  http://{}/metrics", server.local_addr());
+    for route in ["health", "snapshot", "trace", "profile"] {
+        println!("        http://{}/{route}", server.local_addr());
+    }
+    println!();
+
+    // Twelve portals along the line. Portals 9-11 run starved ingress
+    // queues so the shed watchdog has something to fire on.
+    let config = StreamConfig::builder()
+        .window_capacity(320)
+        .min_window_len(48)
+        .cadence(Cadence::EveryReads(25))
+        .build()?;
+    let mut jobs = Vec::new();
+    for portal in 0..12u64 {
+        let reads = portal_reads(0.6 * portal as f64, 20_200 + portal)?;
+        let mut job = StreamJob::new(reads, config.clone()).with_doctor(DoctorConfig::default());
+        if portal >= 9 {
+            job = job.with_burst(100).with_queue_capacity(25);
+        }
+        jobs.push(job);
+    }
+    let engine = Engine::builder().workers(4).build()?;
+    let outcomes = engine.run_streams(&jobs);
+    let solved = outcomes.iter().filter(|o| o.is_ok()).count();
+    println!("fleet drained: {solved}/{} streams solved", outcomes.len());
+    let report = hub.fleet_report();
+    report.record_into(lion::obs::global());
+    print!("{report}");
+
+    if hold {
+        println!();
+        println!("serving until Enter is pressed...");
+        let mut line = String::new();
+        std::io::stdin().read_line(&mut line)?;
+    }
+    server.shutdown();
+    uninstall_telemetry_hub();
+    lion::obs::uninstall_flight_recorder();
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(addr) = serve_addr_from_args() {
+        return serve_fleet(&addr);
+    }
     let trace_dir = trace_dir_from_args();
     let recorder = trace_dir.as_ref().map(|_| install_flight_recorder(1 << 16));
     let mut doctor = trace_dir

@@ -10,6 +10,8 @@
 //! cargo run --release --example telemetry_dashboard
 //! # record a causal trace + health report + registry snapshot:
 //! cargo run --release --example telemetry_dashboard -- --trace target/trace
+//! # expose the run over the live scrape plane, holding after the batch:
+//! cargo run --release --example telemetry_dashboard -- --serve 127.0.0.1:9185 --hold
 //! ```
 //!
 //! With `--trace <dir>` the run installs the flight recorder and feeds a
@@ -17,6 +19,11 @@
 //! `<dir>/telemetry_dashboard.trace.json` (Chrome trace-event JSON —
 //! load it at <https://ui.perfetto.dev>), `<dir>/health.json`, and
 //! `<dir>/snapshot.jsonl`.
+//!
+//! With `--serve <addr>` the run starts the HTTP scrape server before
+//! the batch and publishes the batch report into the global registry,
+//! so `/metrics`, `/snapshot`, `/trace`, and `/profile` carry the run.
+//! Add `--hold` to keep serving after the table renders (Enter stops).
 
 use lion::obs::export::{append_json_line, parse_json_line, to_json_line, write_chrome_trace};
 use lion::obs::SolveObservation;
@@ -36,9 +43,34 @@ fn trace_dir_from_args() -> Option<PathBuf> {
     None
 }
 
+/// Parses `--serve <addr>` from the command line, if present.
+fn serve_addr_from_args() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--serve" {
+            return Some(args.next().expect("--serve requires an address"));
+        }
+    }
+    None
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace_dir = trace_dir_from_args();
-    let recorder = trace_dir.as_ref().map(|_| install_flight_recorder(1 << 16));
+    let server = serve_addr_from_args()
+        .map(TelemetryServer::bind)
+        .transpose()?;
+    // Serving wants span rings for /trace and /profile even without
+    // --trace; --trace's own (larger) recorder wins when both are given.
+    let recorder = trace_dir
+        .as_ref()
+        .map(|_| install_flight_recorder(1 << 16))
+        .or_else(|| server.as_ref().map(|_| install_flight_recorder(1 << 14)));
+    if let Some(server) = &server {
+        println!(
+            "serving http://{}/metrics (and /health /snapshot /trace /profile)",
+            server.local_addr()
+        );
+    }
     // Collect span durations too: the engine emits an `engine.job` span
     // per job, and the core stages emit lion.unwrap/smooth/pairs/solve.
     let collector = std::sync::Arc::new(lion::obs::CollectingSubscriber::new());
@@ -75,6 +107,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     outcome.report.record_into(&registry);
     let line = to_json_line("telemetry_dashboard", &registry.snapshot());
     let (label, snapshot) = parse_json_line(&line)?;
+    // Publish the batch report to the global registry too, so a scraper
+    // hitting /metrics or /snapshot sees the same stage histograms.
+    outcome.report.record_into(lion::obs::global());
 
     println!("== telemetry dashboard: {label} ==");
     println!(
@@ -172,6 +207,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("health written   : {}", health_path.display());
         println!("snapshot written : {}", snapshot_path.display());
         println!("view the trace at https://ui.perfetto.dev (open trace file)");
+    }
+    if let Some(server) = server {
+        if std::env::args().any(|a| a == "--hold") {
+            println!("\nserving until Enter is pressed...");
+            let mut line = String::new();
+            std::io::stdin().read_line(&mut line)?;
+        }
+        server.shutdown();
     }
     Ok(())
 }

@@ -12,6 +12,8 @@ verify:
     cargo test -q -p lion-linalg --test proptests normal_eq
     cargo test -q -p lion-core --test zero_alloc --test adaptive_regression
     cargo test -q --test solver_parity
+    cargo test -q -p lion-obs --test http_plane
+    cargo test -q --test fleet_health
     cargo clippy --workspace --all-targets -- -D warnings
     cargo fmt --check
 
@@ -52,3 +54,9 @@ telemetry:
 # calibration HealthReport, and the registry snapshot.
 trace:
     cargo run --release --example conveyor_stream -- --trace target/trace
+
+# Live telemetry plane for manual poking: run the twelve-portal fleet
+# under the HTTP scrape server and hold until Enter. Scrape
+# /metrics /health /snapshot /trace /profile on the printed port.
+serve:
+    cargo run --release --example conveyor_stream -- --serve 127.0.0.1:9184 --hold

@@ -23,9 +23,12 @@
 //!   bit-identical to the batch solver on the same window,
 //! - [`obs`] — zero-dependency observability: structured spans/events
 //!   with causal trace propagation, an always-on flight recorder that
-//!   dumps the trace tail on failure, calibration-health watchdogs,
-//!   log-linear latency histograms, and a telemetry registry with
-//!   JSON-lines, Prometheus, and Chrome-trace (Perfetto) exporters,
+//!   dumps the trace tail on failure, calibration-health watchdogs with
+//!   fleet-wide rollups and SLO budgets, log-linear latency histograms,
+//!   a telemetry registry with JSON-lines, Prometheus, and Chrome-trace
+//!   (Perfetto) exporters, and a live HTTP scrape plane
+//!   ([`obs::http::TelemetryServer`]: `/metrics`, `/health`,
+//!   `/snapshot`, `/trace`, `/profile`),
 //!
 //! and bundles the types most programs touch into [`prelude`], plus the
 //! workspace-wide [`Error`] that every per-crate error converts into.
@@ -99,8 +102,9 @@ pub mod prelude {
     };
     pub use lion_geom::{CircularArc, LineSegment, Point2, Point3, Trajectory, Vec3};
     pub use lion_obs::{
-        install_flight_recorder, Doctor, DoctorConfig, FlightRecorder, FlightSnapshot,
-        HealthReport, Histogram, HistogramTimer, Registry, Snapshot, TraceContext,
+        install_flight_recorder, install_telemetry_hub, uninstall_telemetry_hub, Doctor,
+        DoctorConfig, FleetDoctor, FleetReport, FlightRecorder, FlightSnapshot, HealthReport,
+        Histogram, HistogramTimer, Registry, SloConfig, Snapshot, TelemetryServer, TraceContext,
     };
     pub use lion_sim::{
         Antenna, Environment, NoiseModel, PhaseTrace, SampleSource, Scenario, ScenarioBuilder, Tag,

@@ -1,0 +1,159 @@
+//! Fleet-wide telemetry integration: `Engine::run_streams` feeding the
+//! installed telemetry hub, scraped over the live HTTP plane.
+//!
+//! One test drives a ≥ 8-stream fleet (some streams deliberately
+//! starved so watchdogs fire) with the hub and scrape server up, then
+//! asserts `/health` carries the full rollup — per-rule firing counts,
+//! healthy/degraded totals, SLO budget burn — and that the engine's
+//! outcomes are bit-identical to a hub-less run of the same jobs (the
+//! telemetry plane observes; it must not perturb).
+//!
+//! The hub, registry, and recorder are process globals, so this file
+//! holds exactly one test.
+
+use lion::prelude::*;
+use std::f64::consts::{PI, TAU};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+const LAMBDA: f64 = 299_792_458.0 / 920.625e6;
+
+/// A noiseless circular scan around `antenna`: 100 Hz, `n` reads.
+fn circle_reads(antenna: Point3, n: usize) -> Vec<StreamRead> {
+    (0..n)
+        .map(|i| {
+            let a = i as f64 * TAU / 120.0;
+            let p = Point3::new(0.3 * a.cos(), 0.3 * a.sin(), 0.0);
+            StreamRead {
+                time: i as f64 * 0.01,
+                position: p,
+                phase: (4.0 * PI * antenna.distance(p) / LAMBDA).rem_euclid(TAU),
+                ..StreamRead::default()
+            }
+        })
+        .collect()
+}
+
+fn fleet_jobs() -> Vec<StreamJob> {
+    let config = StreamConfig::builder()
+        .window_capacity(200)
+        .min_window_len(40)
+        .cadence(Cadence::EveryReads(20))
+        .build()
+        .expect("valid config");
+    (0..10)
+        .map(|i| {
+            let antenna = Point3::new(1.0 + 0.1 * i as f64, 0.4, 0.0);
+            let mut job = StreamJob::new(circle_reads(antenna, 300), config.clone())
+                .with_doctor(DoctorConfig::default());
+            if i >= 8 {
+                // Starved ingress: 100-read bursts into 25 slots shed
+                // 75%, so `ingress_shed` fires on these two streams.
+                job = job.with_burst(100).with_queue_capacity(25);
+            }
+            job
+        })
+        .collect()
+}
+
+fn scrape(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .expect("send");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read");
+    let text = String::from_utf8(response).expect("utf8 response");
+    let (head, body) = text.split_once("\r\n\r\n").expect("head/body split");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{path}: {head}");
+    body.to_string()
+}
+
+#[test]
+fn fleet_rollup_is_scrapeable_and_does_not_perturb_outcomes() {
+    let jobs = fleet_jobs();
+    let engine = Engine::builder().workers(4).build().expect("valid engine");
+
+    // Baseline: the same fleet with no telemetry plane attached.
+    let baseline = engine.run_streams(&jobs);
+
+    // Live plane up: hub + scrape server (the recorder stays out — the
+    // profile/trace routes are covered by the obs crate's own tests).
+    let hub = install_telemetry_hub(lion::obs::SloConfig::default());
+    let server = TelemetryServer::bind("127.0.0.1:0").expect("bind ephemeral");
+    let observed = engine.run_streams(&jobs);
+
+    // The plane observes without perturbing: bit-identical estimates.
+    for (b, o) in baseline.iter().zip(&observed) {
+        let (b, o) = (b.as_ref().unwrap(), o.as_ref().unwrap());
+        assert_eq!(b.estimates.len(), o.estimates.len());
+        for (x, y) in b.estimates.iter().zip(&o.estimates) {
+            assert_eq!(x.position, y.position);
+            assert_eq!(x.seq, y.seq);
+        }
+    }
+
+    // `/health` carries the rollup of all 10 doctored streams.
+    let health = scrape(server.local_addr(), "/health");
+    let doc = lion::obs::json::parse(health.trim()).expect("health JSON parses");
+    assert_eq!(
+        doc.get("hub_installed").and_then(|v| v.as_bool()),
+        Some(true)
+    );
+    let fleet = doc.get("fleet").expect("fleet rollup present");
+    let streams = fleet.get("streams").and_then(|v| v.as_u64()).unwrap();
+    assert!(streams >= 8, "only {streams} streams aggregated");
+
+    // Per-rule firing counts: the two starved streams trip ingress_shed
+    // and nothing reports the clean streams unhealthy.
+    let rules = fleet
+        .get("rules")
+        .and_then(|v| v.as_array())
+        .expect("rules array");
+    let firing = |name: &str| {
+        rules
+            .iter()
+            .find(|r| r.get("rule").and_then(|v| v.as_str()) == Some(name))
+            .and_then(|r| r.get("firing"))
+            .and_then(|v| v.as_u64())
+            .unwrap_or_else(|| panic!("rule {name} missing from rollup"))
+    };
+    assert_eq!(firing("ingress_shed"), 2, "{health}");
+    assert_eq!(firing("convergence_stall"), 0, "{health}");
+    let healthy = fleet.get("healthy").and_then(|v| v.as_u64()).unwrap();
+    assert!(healthy >= 8, "{health}");
+
+    // SLO budget burn is present and finite (every solve fed the window).
+    let slo = fleet.get("slo").expect("slo verdict");
+    assert!(slo.get("window_len").and_then(|v| v.as_u64()).unwrap() > 0);
+    assert!(slo.get("burn_rate").and_then(|v| v.as_f64()).is_some());
+
+    // The same rollup reaches Prometheus as fleet gauges.
+    let metrics = scrape(server.local_addr(), "/metrics");
+    assert!(
+        metrics.contains(&format!("fleet_streams {streams}")),
+        "{metrics}"
+    );
+    assert!(metrics.contains("fleet_rule_ingress_shed_firing 2"));
+    assert!(metrics.contains("# TYPE fleet_slo_burn_rate gauge"));
+
+    // And the rollup is submission-order deterministic: the worst shed
+    // offender is one of the two starved slots, by stream id.
+    let worst = rules
+        .iter()
+        .find(|r| r.get("rule").and_then(|v| v.as_str()) == Some("ingress_shed"))
+        .and_then(|r| r.get("worst_stream"))
+        .and_then(|v| v.as_str())
+        .expect("worst offender recorded");
+    assert!(worst == "stream-8" || worst == "stream-9", "{worst}");
+
+    server.shutdown();
+    let hub_again = uninstall_telemetry_hub().expect("hub was installed");
+    assert_eq!(hub_again.fleet_report().streams, hub.fleet_report().streams);
+}
