@@ -23,7 +23,8 @@
 use std::time::Instant;
 
 use lion_core::{
-    AdaptiveConfig, AdaptiveOutcome, Localizer2d, LocalizerConfig, SlidingWindow, Workspace,
+    locate_window_in, AdaptiveConfig, AdaptiveOutcome, Localizer2d, LocalizerConfig, SlidingWindow,
+    SolveSpace, Workspace,
 };
 use lion_geom::{LineSegment, Point3};
 use lion_linalg::NormalEq;
@@ -206,9 +207,7 @@ fn run_benches() -> BenchResults {
     let streaming_resolve_ns = bench(51, || {
         let (t, (p, phase)) = next();
         window.push(t, p, phase);
-        localizer
-            .locate_window_in(&window, &mut ws)
-            .expect("solvable window");
+        locate_window_in(&config, SolveSpace::TwoD, &window, &mut ws).expect("solvable window");
     });
 
     BenchResults {

@@ -70,6 +70,7 @@ pub mod multistatic;
 pub mod pairs;
 pub mod preprocess;
 pub mod quality;
+pub mod resolve;
 pub mod solver;
 pub mod tracking;
 pub mod window;
@@ -83,13 +84,15 @@ pub use calibrate::{
 };
 pub use error::CoreError;
 pub use localizer::{
-    Estimate, Localizer2d, Localizer3d, LocalizerConfig, LocalizerConfigBuilder, Weighting,
+    locate_window_in, Estimate, Localizer2d, Localizer3d, LocalizerConfig, LocalizerConfigBuilder,
+    Weighting,
 };
 pub use multistatic::{MultistaticConfig, MultistaticEstimate};
 pub use pairs::PairStrategy;
 pub use preprocess::PhaseProfile;
 pub use quality::{validate_profile, ProfileQuality, StepViolation};
+pub use resolve::{IncrementalState, ResolvePath};
 pub use solver::{GridConfig, GridSolver, LinearSolver, SolveSpace, Solver, SolverKind};
 pub use tracking::{ConveyorTracker, TrackPoint, TrackerConfig, TrackerConfigBuilder};
-pub use window::{PushOutcome, SlidingWindow, WindowSample};
+pub use window::{PushOutcome, SlidingWindow, WindowDelta, WindowSample};
 pub use workspace::{StageMetrics, Workspace};

@@ -366,26 +366,25 @@ impl Localizer2d {
         result
     }
 
-    /// Locates from the reads held by a [`crate::SlidingWindow`] — the
-    /// streaming entry point. The window's `(position, wrapped phase)`
-    /// measurements are staged into `ws`'s reusable buffer and run
-    /// through the standard pipeline, so the result is **bit-identical**
-    /// to [`Localizer2d::locate`] on the same window contents (the
-    /// streaming/batch parity guarantee).
+    /// Locates from the reads held by a [`crate::SlidingWindow`];
+    /// superseded by the space-parametric free function
+    /// [`locate_window_in`], which both solve spaces and the incremental
+    /// re-solve path share.
     ///
     /// # Errors
     ///
     /// See [`Localizer2d::locate`].
+    #[deprecated(
+        since = "0.8.0",
+        note = "use the free `lion_core::locate_window_in(config, SolveSpace::TwoD, window, ws)` \
+                (the seam-aware streaming entry point)"
+    )]
     pub fn locate_window_in(
         &self,
         window: &crate::SlidingWindow,
         ws: &mut Workspace,
     ) -> Result<Estimate, CoreError> {
-        let mut staged = std::mem::take(&mut ws.window_measurements);
-        window.write_measurements_into(&mut staged);
-        let result = self.locate_in(&staged, ws);
-        ws.window_measurements = staged;
-        result
+        locate_window_in(&self.config, crate::SolveSpace::TwoD, window, ws)
     }
 
     /// Locates from an already prepared (unwrapped/smoothed) profile.
@@ -461,22 +460,23 @@ impl Localizer3d {
     }
 
     /// Locates from the reads held by a [`crate::SlidingWindow`];
-    /// bit-identical to [`Localizer3d::locate`] on the same window
-    /// contents. See [`Localizer2d::locate_window_in`].
+    /// superseded by the space-parametric free function
+    /// [`locate_window_in`].
     ///
     /// # Errors
     ///
     /// See [`Localizer3d::locate`].
+    #[deprecated(
+        since = "0.8.0",
+        note = "use the free `lion_core::locate_window_in(config, SolveSpace::ThreeD, window, ws)` \
+                (the seam-aware streaming entry point)"
+    )]
     pub fn locate_window_in(
         &self,
         window: &crate::SlidingWindow,
         ws: &mut Workspace,
     ) -> Result<Estimate, CoreError> {
-        let mut staged = std::mem::take(&mut ws.window_measurements);
-        window.write_measurements_into(&mut staged);
-        let result = self.locate_in(&staged, ws);
-        ws.window_measurements = staged;
-        result
+        locate_window_in(&self.config, crate::SolveSpace::ThreeD, window, ws)
     }
 
     /// Locates from an already prepared profile.
@@ -507,6 +507,38 @@ impl Localizer3d {
     ) -> Result<Estimate, CoreError> {
         crate::solver::dispatch_profile(profile, &self.config, crate::SolveSpace::ThreeD, ws)
     }
+}
+
+/// Locates from the reads held by a [`crate::SlidingWindow`] — the
+/// consolidated streaming entry point, replacing the near-duplicate
+/// `Localizer2d::locate_window_in` / `Localizer3d::locate_window_in`
+/// methods with one seam-aware function parametric over the solve space.
+///
+/// The window's `(position, wrapped phase)` measurements are staged into
+/// `ws`'s reusable buffer and replayed through the standard unwrap →
+/// smooth → pairs → solve pipeline (dispatching on
+/// [`LocalizerConfig::solver`]), so the result is **bit-identical** to
+/// the batch `locate` on the same window contents — the streaming/batch
+/// parity guarantee, and the oracle the O(delta)
+/// [`crate::IncrementalState`] path is checked against.
+///
+/// # Errors
+///
+/// See [`Localizer2d::locate`] / [`Localizer3d::locate`].
+pub fn locate_window_in(
+    config: &LocalizerConfig,
+    space: crate::SolveSpace,
+    window: &crate::SlidingWindow,
+    ws: &mut Workspace,
+) -> Result<Estimate, CoreError> {
+    let mut staged = std::mem::take(&mut ws.window_measurements);
+    window.write_measurements_into(&mut staged);
+    let mut profile = std::mem::take(&mut ws.profile);
+    let result = prepare_profile_in(&staged, config, &mut profile, ws)
+        .and_then(|()| crate::solver::dispatch_profile(&profile, config, space, ws));
+    ws.profile = profile;
+    ws.window_measurements = staged;
+    result
 }
 
 /// Builds and preprocesses the phase profile for a localizer config,

@@ -58,6 +58,53 @@ pub fn wrap_phase(theta: f64) -> f64 {
     stats::wrap_angle(theta)
 }
 
+/// One step of the unwrap chain: the unwrapped value for `wrapped` given
+/// the previous sample's wrapped and unwrapped values.
+///
+/// This is how [`crate::IncrementalState`] extends an existing chain when
+/// the window slides, instead of re-running [`unwrap_phases`] from the
+/// front. The jump normalization is the same while-loop arithmetic, so the
+/// recovered integer number of wraps is identical; the *accumulation*
+/// differs (`prev_unwrapped + jump` here vs the batch path's running
+/// `theta + offset`), which makes the continued chain equal to the batch
+/// chain only up to floating-point association — one source of the
+/// documented 1e-6 incremental-vs-replay tolerance (DESIGN.md §14).
+pub fn unwrap_step(prev_wrapped: f64, prev_unwrapped: f64, wrapped: f64) -> f64 {
+    let tau = std::f64::consts::TAU;
+    let mut jump = wrapped - prev_wrapped;
+    while jump >= std::f64::consts::PI {
+        jump -= tau;
+    }
+    while jump < -std::f64::consts::PI {
+        jump += tau;
+    }
+    prev_unwrapped + jump
+}
+
+/// The centered moving-average value at one index, by direct summation
+/// over the same `[lo, hi)` span [`stats::moving_average_into`] uses.
+///
+/// Lets an incremental re-solver re-smooth only the indices whose
+/// averaging span changed when the window slid. Direct summation and the
+/// batch path's prefix-sum difference agree only up to floating-point
+/// association — the other source of the documented 1e-6 tolerance
+/// (DESIGN.md §14).
+///
+/// # Panics
+///
+/// Panics when `i` is out of bounds.
+pub fn smoothed_at(values: &[f64], window: usize, i: usize) -> f64 {
+    if window <= 1 || values.len() <= 1 {
+        return values[i];
+    }
+    assert!(i < values.len(), "smoothing index out of bounds");
+    let half = window / 2;
+    let lo = i.saturating_sub(half);
+    let hi = (i + half + (window % 2)).min(values.len()).max(lo + 1);
+    let sum: f64 = values[lo..hi].iter().sum();
+    sum / (hi - lo) as f64
+}
+
 /// A preprocessed phase profile: tag positions with **unwrapped** (and
 /// optionally smoothed) phases, ready for the linear model.
 ///
@@ -520,6 +567,37 @@ mod tests {
         // A failed rebuild leaves the profile empty.
         assert!(staged.rebuild_from_wrapped(&m[..1], 0.3256).is_err());
         assert!(staged.is_empty());
+    }
+
+    #[test]
+    fn unwrap_step_continues_a_chain() {
+        let truth: Vec<f64> = (0..120).map(|i| 0.4 * i as f64).collect();
+        let wrapped: Vec<f64> = truth.iter().map(|&t| wrap(t)).collect();
+        let batch = unwrap_phases(&wrapped);
+        // Continue step-by-step from the first sample only.
+        let mut chain = vec![batch[0]];
+        for i in 1..wrapped.len() {
+            let next = unwrap_step(wrapped[i - 1], chain[i - 1], wrapped[i]);
+            chain.push(next);
+        }
+        for (c, b) in chain.iter().zip(&batch) {
+            assert!((c - b).abs() < 1e-9, "{c} vs {b}");
+        }
+    }
+
+    #[test]
+    fn smoothed_at_matches_moving_average() {
+        let values: Vec<f64> = (0..37).map(|i| (i as f64 * 0.7).sin() + i as f64).collect();
+        for window in [0usize, 1, 2, 3, 5, 8, 37, 100] {
+            let batch = stats::moving_average(&values, window);
+            for (i, b) in batch.iter().enumerate() {
+                let direct = smoothed_at(&values, window, i);
+                assert!(
+                    (direct - b).abs() < 1e-12,
+                    "window {window} index {i}: {direct} vs {b}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -324,6 +324,24 @@ impl GridConfig {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LinearSolver;
 
+impl LinearSolver {
+    /// Solves a [`crate::SlidingWindow`] resuming from persistent
+    /// incremental state: O(delta) when the slide since the last call is
+    /// patchable, falling back to a bit-exact replay otherwise. This is
+    /// the streaming counterpart of [`crate::locate_window_in`]; see
+    /// [`crate::IncrementalState`] for the state machine and parity tiers.
+    pub fn resume_window_in(
+        &self,
+        state: &mut crate::IncrementalState,
+        window: &mut crate::SlidingWindow,
+        config: &LocalizerConfig,
+        space: SolveSpace,
+        ws: &mut Workspace,
+    ) -> Result<(Estimate, crate::ResolvePath), CoreError> {
+        state.solve_window(window, config, space, ws)
+    }
+}
+
 impl Solver for LinearSolver {
     fn name(&self) -> &'static str {
         "linear"

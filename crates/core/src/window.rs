@@ -8,14 +8,15 @@
 //!
 //! The window stores each sample's **wrapped** phase (exactly as the
 //! reader reported it) alongside an incrementally maintained unwrapped
-//! phase. Solves use the wrapped phases: [`crate::Localizer2d::locate_window_in`]
+//! phase. Solves use the wrapped phases: [`crate::locate_window_in`]
 //! replays the window through the exact same unwrap → smooth → pairs →
 //! solve path as the batch `locate`, so a streaming solve on a static
 //! window is **bit-identical** to the batch solver on the same reads.
-//! This "windowed re-factorization" choice — re-running the O(window)
-//! pipeline per solve instead of rank-one normal-equation up/downdates —
-//! is deliberate; see DESIGN.md §"Streaming calibration" for the
-//! numerical tradeoff.
+//! That full replay remains the parity oracle; an
+//! [`crate::IncrementalState`] can instead consume the window's
+//! [`WindowDelta`] (see [`SlidingWindow::take_slide_delta`]) to re-solve
+//! in O(delta) per tick — see DESIGN.md §"Streaming calibration" and
+//! §"Incremental re-solve" for the numerical tradeoff.
 //!
 //! Out-of-order arrival is handled by timestamp-sorted insertion: a late
 //! read is spliced into its time slot (so the window always equals the
@@ -54,6 +55,28 @@ pub enum PushOutcome {
     TooLate,
 }
 
+/// How the window's contents changed since the last
+/// [`SlidingWindow::take_slide_delta`] call — the contract an
+/// incremental re-solver consumes instead of replaying the whole window.
+///
+/// The common streaming shape is pure sliding: `evicted` reads left the
+/// front, `appended` reads joined the back, nothing moved in between.
+/// `spliced` flags everything else — an out-of-order read inserted into
+/// the middle, or a [`SlidingWindow::clear`] — after which positional
+/// bookkeeping from the previous tick is void and the consumer must fall
+/// back to a full replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowDelta {
+    /// Reads accepted since the last delta take (all at the back unless
+    /// `spliced`).
+    pub appended: usize,
+    /// Reads evicted from the front since the last delta take.
+    pub evicted: usize,
+    /// Set when an accepted read landed anywhere but the back, or the
+    /// window was cleared: the slide model above does not hold.
+    pub spliced: bool,
+}
+
 /// A bounded, time-ordered ring buffer of phase reads.
 ///
 /// # Example
@@ -80,6 +103,7 @@ pub struct SlidingWindow {
     capacity: usize,
     evicted: u64,
     rejected_late: u64,
+    pending: WindowDelta,
 }
 
 impl SlidingWindow {
@@ -104,6 +128,7 @@ impl SlidingWindow {
             capacity,
             evicted: 0,
             rejected_late: 0,
+            pending: WindowDelta::default(),
         })
     }
 
@@ -158,6 +183,21 @@ impl SlidingWindow {
         self.samples.iter()
     }
 
+    /// The sample at index `i` (0 = oldest), or `None` past the end.
+    pub fn sample(&self, i: usize) -> Option<&WindowSample> {
+        self.samples.get(i)
+    }
+
+    /// Returns the changes accumulated since the previous call and resets
+    /// the accounting, so consecutive calls describe disjoint spans of
+    /// stream history. A fresh window reports an all-zero delta.
+    ///
+    /// Rejected reads ([`PushOutcome::TooLate`]) never appear in a delta —
+    /// they did not change the window.
+    pub fn take_slide_delta(&mut self) -> WindowDelta {
+        std::mem::take(&mut self.pending)
+    }
+
     /// Inserts a read in timestamp order, evicting the oldest read when
     /// full. A read with a non-finite field, or older than everything a
     /// full window retains, is rejected (the latter as
@@ -180,6 +220,7 @@ impl SlidingWindow {
             // `capacity` elements and therefore never reallocates.
             self.samples.pop_front();
             self.evicted += 1;
+            self.pending.evicted += 1;
             evicted_now = true;
         }
         // Insertion index: after every sample with time <= new time.
@@ -187,6 +228,10 @@ impl SlidingWindow {
         let mut idx = self.samples.len();
         while idx > 0 && self.samples[idx - 1].time > time {
             idx -= 1;
+        }
+        self.pending.appended += 1;
+        if idx < self.samples.len() {
+            self.pending.spliced = true;
         }
         self.samples.insert(
             idx,
@@ -256,9 +301,12 @@ impl SlidingWindow {
         )
     }
 
-    /// Drops every held read (counters are kept).
+    /// Drops every held read (counters are kept). The pending
+    /// [`WindowDelta`] is marked spliced: positional bookkeeping from
+    /// before the clear no longer describes the window.
     pub fn clear(&mut self) {
         self.samples.clear();
+        self.pending.spliced = true;
     }
 }
 
@@ -373,6 +421,61 @@ mod tests {
         assert_eq!(out, vec![(p(0.1), 0.2), (p(0.3), 0.4)]);
         w.clear();
         assert!(w.is_empty());
+    }
+
+    #[test]
+    fn slide_delta_counts_in_order_appends_and_evictions() {
+        let mut w = SlidingWindow::new(4).unwrap();
+        assert_eq!(w.take_slide_delta(), WindowDelta::default());
+        for i in 0..3 {
+            w.push(i as f64, p(i as f64), 0.0);
+        }
+        let d = w.take_slide_delta();
+        assert_eq!(d.appended, 3);
+        assert_eq!(d.evicted, 0);
+        assert!(!d.spliced);
+        // Fill to capacity, then slide twice.
+        for i in 3..6 {
+            w.push(i as f64, p(i as f64), 0.0);
+        }
+        let d = w.take_slide_delta();
+        assert_eq!(d.appended, 3);
+        assert_eq!(d.evicted, 2);
+        assert!(!d.spliced);
+        // Take resets: nothing new means an all-zero delta.
+        assert_eq!(w.take_slide_delta(), WindowDelta::default());
+    }
+
+    #[test]
+    fn slide_delta_flags_splices_and_clears() {
+        let mut w = SlidingWindow::new(8).unwrap();
+        for t in [0.0, 1.0, 3.0] {
+            w.push(t, p(t), 0.0);
+        }
+        w.take_slide_delta();
+        // Out-of-order read lands mid-window.
+        w.push(2.0, p(2.0), 0.0);
+        let d = w.take_slide_delta();
+        assert_eq!(d.appended, 1);
+        assert!(d.spliced);
+        // A subsequent in-order append is clean again.
+        w.push(4.0, p(4.0), 0.0);
+        assert!(!w.take_slide_delta().spliced);
+        w.clear();
+        let d = w.take_slide_delta();
+        assert_eq!(d.appended, 0);
+        assert!(d.spliced);
+    }
+
+    #[test]
+    fn slide_delta_ignores_rejected_reads() {
+        let mut w = SlidingWindow::new(2).unwrap();
+        w.push(5.0, p(5.0), 0.0);
+        w.push(6.0, p(6.0), 0.0);
+        w.take_slide_delta();
+        assert_eq!(w.push(1.0, p(1.0), 0.0), PushOutcome::TooLate);
+        assert_eq!(w.push(f64::NAN, p(0.0), 0.0), PushOutcome::TooLate);
+        assert_eq!(w.take_slide_delta(), WindowDelta::default());
     }
 
     #[test]

@@ -17,9 +17,11 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use lion_core::CoreError;
+use lion_core::{CoreError, ResolvePath};
 use lion_obs::{Doctor, DoctorConfig, HealthReport, SolveObservation};
-use lion_stream::{Ingress, StreamConfig, StreamEstimate, StreamLocalizer, StreamRead};
+use lion_stream::{
+    Ingress, ResolveMode, StreamConfig, StreamEstimate, StreamLocalizer, StreamRead,
+};
 
 use crate::engine::{job_contexts, Engine};
 
@@ -147,6 +149,15 @@ pub struct StreamOutcome {
     pub solve_errors: u64,
     /// Whether the stream ended in the converged state.
     pub converged: bool,
+    /// Normal-equation rows touched by incremental delta re-solves
+    /// (zero unless the job ran [`ResolveMode::Incremental`]).
+    pub resolve_rows_delta: u64,
+    /// Full incremental-state rebuilds (warm-up, periodic re-anchors,
+    /// fallbacks); zero in replay mode.
+    pub resolve_rebuilds: u64,
+    /// Emitted solves that fell back to the replay path while in
+    /// incremental mode; zero in replay mode.
+    pub resolve_fallbacks: u64,
     /// The watchdog report, when the job ran with
     /// [`StreamJob::with_doctor`].
     pub health: Option<HealthReport>,
@@ -193,6 +204,12 @@ fn run_stream_job(
         };
         let accepted = ingress.offered() - ingress.overflow_dropped();
         let shed = ingress.overflow_dropped();
+        // Replay mode replays by design — there is no fallback signal to
+        // report, so the doctor's rule sees no data rather than alarms.
+        let resolve_fallback = match job.config.resolve_mode {
+            ResolveMode::Incremental => Some(estimate.resolve_path == ResolvePath::Replayed),
+            _ => None,
+        };
         doctor.observe(SolveObservation {
             time: estimate.trigger_time,
             mean_residual: estimate.mean_residual,
@@ -201,6 +218,7 @@ fn run_stream_job(
             reads_in: accepted - observed_accepted,
             shed: shed - observed_shed,
             solver_disagreement_m,
+            resolve_fallback,
         });
         observed_accepted = accepted;
         observed_shed = shed;
@@ -293,6 +311,9 @@ fn run_stream_job(
         late_rejected: pipeline.rejected_late(),
         solve_errors,
         converged: pipeline.is_converged(),
+        resolve_rows_delta: pipeline.resolve_rows_delta(),
+        resolve_rebuilds: pipeline.resolve_rebuilds(),
+        resolve_fallbacks: pipeline.resolve_fallbacks(),
         health: doctor.map(|d| d.report()),
         estimates,
     })
@@ -474,6 +495,58 @@ mod tests {
         let again = Engine::serial().run_streams(&[job]).pop().unwrap().unwrap();
         assert_eq!(again.overflow_dropped, outcome.overflow_dropped);
         assert_eq!(again.estimates.len(), outcome.estimates.len());
+    }
+
+    #[test]
+    fn incremental_outcomes_are_identical_across_worker_counts() {
+        let jobs: Vec<StreamJob> = (0..4)
+            .map(|i| {
+                let antenna = Point3::new(1.0 + 0.1 * i as f64, 0.4, 0.0);
+                let config = StreamConfig::builder()
+                    .resolve_mode(ResolveMode::Incremental)
+                    .build()
+                    .unwrap();
+                StreamJob::new(clean_reads(antenna, 300), config)
+                    .with_burst(40)
+                    .with_queue_capacity(24)
+            })
+            .collect();
+        let serial = Engine::serial().run_streams(&jobs);
+        let parallel = Engine::builder()
+            .workers(4)
+            .build()
+            .expect("valid")
+            .run_streams(&jobs);
+        for (s, p) in serial.iter().zip(&parallel) {
+            let (s, p) = (s.as_ref().unwrap(), p.as_ref().unwrap());
+            // The replay/delta tick pattern and every estimate are
+            // bit-identical regardless of worker count.
+            assert_eq!(s.resolve_rows_delta, p.resolve_rows_delta);
+            assert_eq!(s.resolve_rebuilds, p.resolve_rebuilds);
+            assert_eq!(s.resolve_fallbacks, p.resolve_fallbacks);
+            assert_eq!(s.estimates.len(), p.estimates.len());
+            for (a, b) in s.estimates.iter().zip(&p.estimates) {
+                assert_eq!(a.resolve_path, b.resolve_path);
+                assert_eq!(a.position, b.position);
+                assert_eq!(a.d_r, b.d_r);
+            }
+            assert!(s.resolve_rows_delta > 0, "delta ticks must have run");
+            assert!(s.resolve_rebuilds >= 1);
+        }
+    }
+
+    #[test]
+    fn replay_jobs_report_zero_resolve_metrics() {
+        let antenna = Point3::new(1.2, 0.4, 0.0);
+        let job = StreamJob::new(clean_reads(antenna, 200), StreamConfig::default());
+        let outcome = Engine::serial()
+            .run_streams(std::slice::from_ref(&job))
+            .pop()
+            .unwrap()
+            .expect("runs");
+        assert_eq!(outcome.resolve_rows_delta, 0);
+        assert_eq!(outcome.resolve_rebuilds, 0);
+        assert_eq!(outcome.resolve_fallbacks, 0);
     }
 
     #[test]

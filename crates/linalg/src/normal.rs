@@ -170,7 +170,11 @@ pub struct NormalEq {
     /// or the caller asked for a deferred rebuild).
     dirty: bool,
     rebuild_every: usize,
-    reweights_since_rebuild: usize,
+    /// Rank-1 Gram edits (reweights, row removals/replacements) since the
+    /// last full rebuild — the drift budget. `push_row` does not count:
+    /// appending accumulates in storage order, so it is bit-identical to
+    /// what a rebuild would produce and introduces no drift.
+    updates_since_rebuild: usize,
     gram_rebuilds: u64,
 }
 
@@ -196,7 +200,7 @@ impl NormalEq {
             unit: Vec::new(),
             dirty: false,
             rebuild_every: rebuild_every.max(1),
-            reweights_since_rebuild: 0,
+            updates_since_rebuild: 0,
             gram_rebuilds: 0,
         }
     }
@@ -212,7 +216,19 @@ impl NormalEq {
         self.atk.clear();
         self.atk.resize(cols, 0.0);
         self.dirty = false;
-        self.reweights_since_rebuild = 0;
+        self.updates_since_rebuild = 0;
+    }
+
+    /// Counts `count` rank-1 Gram edits against the drift budget; once
+    /// the budget is spent, marks the system dirty so the next solve (or
+    /// reweight) performs a full rebuild. This is what bounds
+    /// floating-point drift for callers that edit rows without ever
+    /// reweighting (e.g. a uniform-weight streaming window).
+    fn note_updates(&mut self, count: usize) {
+        self.updates_since_rebuild = self.updates_since_rebuild.saturating_add(count);
+        if self.updates_since_rebuild >= self.rebuild_every {
+            self.dirty = true;
+        }
     }
 
     /// Number of rows currently in the system.
@@ -291,12 +307,14 @@ impl NormalEq {
         self.rows[at * self.cols..(at + 1) * self.cols].copy_from_slice(a);
         self.rhs.insert(at, k);
         self.weights.insert(at, 1.0);
+        self.note_updates(1);
         self.dirty = true;
     }
 
     /// Removes the row at `at`. When the Gram matrix is in sync it is
     /// rank-1 *downdated* (`−wᵢ·aᵢaᵢᵀ`) rather than rebuilt; the usual
-    /// drift caveat applies and is bounded by the rebuild cadence.
+    /// drift caveat applies and, like reweights, the edit counts against
+    /// the `rebuild_every` drift budget.
     ///
     /// # Panics
     ///
@@ -320,6 +338,74 @@ impl NormalEq {
         self.rows.truncate(old - self.cols);
         self.rhs.remove(at);
         self.weights.remove(at);
+        self.note_updates(1);
+    }
+
+    /// Removes the first `count` rows in one batched front drain — the
+    /// sliding-window case, where evicted reads retire the oldest
+    /// equations. Each dropped row is rank-1 downdated (when in sync) and
+    /// counted against the drift budget; the surviving rows then shift
+    /// down with a single `memmove` instead of `count` of them.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `count` exceeds the row count.
+    pub fn remove_rows_front(&mut self, count: usize) {
+        assert!(count <= self.rhs.len(), "front drain past the end");
+        if count == 0 {
+            return;
+        }
+        if !self.dirty {
+            for at in 0..count {
+                let start = at * self.cols;
+                accumulate(
+                    &mut self.gram,
+                    &mut self.atk,
+                    self.cols,
+                    &self.rows[start..start + self.cols],
+                    self.rhs[at],
+                    -self.weights[at],
+                );
+            }
+        }
+        let old = self.rows.len();
+        self.rows.copy_within(count * self.cols.., 0);
+        self.rows.truncate(old - count * self.cols);
+        self.rhs.drain(..count);
+        self.weights.drain(..count);
+        self.note_updates(count);
+    }
+
+    /// Replaces the row at `at` in place (resetting its weight to 1): a
+    /// rank-1 downdate of the old equation plus a rank-1 update of the
+    /// new one, with no row shuffling. This is the refresh primitive for
+    /// equations whose underlying data changed (e.g. a smoothed phase
+    /// near a window boundary) while their position in the system did
+    /// not. Counts one edit against the drift budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a.len()` differs from the column count or `at` is out
+    /// of bounds.
+    pub fn replace_row(&mut self, at: usize, a: &[f64], k: f64) {
+        assert_eq!(a.len(), self.cols, "row length must equal column count");
+        assert!(at < self.rhs.len(), "replace position out of bounds");
+        let start = at * self.cols;
+        if !self.dirty {
+            accumulate(
+                &mut self.gram,
+                &mut self.atk,
+                self.cols,
+                &self.rows[start..start + self.cols],
+                self.rhs[at],
+                -self.weights[at],
+            );
+            accumulate(&mut self.gram, &mut self.atk, self.cols, a, k, 1.0);
+        }
+        self.rows[start..start + self.cols].copy_from_slice(a);
+        self.rhs[at] = k;
+        self.weights[at] = 1.0;
+        self.note_updates(1);
     }
 
     /// Replaces the weight diagonal.
@@ -361,12 +447,12 @@ impl NormalEq {
     pub(crate) fn set_weights_trusted(&mut self, w: &mut Vec<f64>) {
         debug_assert_eq!(w.len(), self.rhs.len());
         debug_assert!(w.iter().all(|x| x.is_finite() && *x >= 0.0));
-        if self.dirty || self.reweights_since_rebuild + 1 >= self.rebuild_every {
+        if self.dirty || self.updates_since_rebuild + 1 >= self.rebuild_every {
             std::mem::swap(&mut self.weights, w);
             self.rebuild();
             return;
         }
-        self.reweights_since_rebuild += 1;
+        self.updates_since_rebuild += 1;
         match self.cols {
             3 => self.reweight_fixed::<3>(w),
             4 => self.reweight_fixed::<4>(w),
@@ -379,13 +465,13 @@ impl NormalEq {
     }
 
     fn apply_weights(&mut self, w: &[f64]) {
-        if self.dirty || self.reweights_since_rebuild + 1 >= self.rebuild_every {
+        if self.dirty || self.updates_since_rebuild + 1 >= self.rebuild_every {
             self.weights.clear();
             self.weights.extend_from_slice(w);
             self.rebuild();
             return;
         }
-        self.reweights_since_rebuild += 1;
+        self.updates_since_rebuild += 1;
         match self.cols {
             3 => {
                 self.reweight_fixed::<3>(w);
@@ -472,7 +558,7 @@ impl NormalEq {
             }
         }
         self.dirty = false;
-        self.reweights_since_rebuild = 0;
+        self.updates_since_rebuild = 0;
         self.gram_rebuilds += 1;
     }
 
@@ -602,6 +688,15 @@ impl NormalIrlsScratch {
     pub fn residuals(&self) -> &[f64] {
         &self.residuals
     }
+
+    /// Realigns the stored warm-start weights with a system that dropped
+    /// `dropped_front` rows from the front and now has `rows` rows:
+    /// surviving rows keep their weights, new tail rows start at 1.0.
+    /// Call before [`solve_irls_normal_warm`] when the row set shifted.
+    pub fn align_weights(&mut self, dropped_front: usize, rows: usize) {
+        self.weights.drain(..dropped_front.min(self.weights.len()));
+        self.weights.resize(rows, 1.0);
+    }
 }
 
 /// Summary of a [`solve_irls_normal`] run; the solution itself stays in
@@ -636,6 +731,51 @@ pub fn solve_irls_normal(
     scratch: &mut NormalIrlsScratch,
 ) -> Result<NormalIrlsOutcome, LinalgError> {
     ne.reset_weights_uniform();
+    solve_irls_from_current(ne, config, scratch)
+}
+
+/// [`solve_irls_normal`] warm-started from the weights left in `scratch`
+/// by the previous run, instead of restarting from uniform.
+///
+/// When consecutive systems differ by only a few rows — the streaming
+/// delta-tick case — the previous weights are already near the fixed
+/// point and the iteration converges in one or two reweights instead of
+/// replaying the whole cold-start trajectory. Both starts stop at the
+/// same `‖Δx‖∞ < tolerance` criterion, so the solutions agree to within
+/// the configured tolerance; call [`NormalIrlsScratch::align_weights`]
+/// first if rows were dropped or appended since the weights were
+/// recorded. Falls back to the cold start when the stored weights do not
+/// match the system's row count.
+///
+/// # Errors
+///
+/// Propagates [`NormalEq::solve`]/[`NormalEq::set_weights`] errors.
+pub fn solve_irls_normal_warm(
+    ne: &mut NormalEq,
+    config: &IrlsConfig,
+    scratch: &mut NormalIrlsScratch,
+) -> Result<NormalIrlsOutcome, LinalgError> {
+    let warm = scratch.weights.len() == ne.rows()
+        && !matches!(config.weight_fn, WeightFunction::Uniform)
+        && scratch
+            .weights
+            .iter()
+            .all(|w| w.is_finite() && (0.0..=1.0).contains(w));
+    if warm {
+        ne.set_weights_trusted(&mut scratch.weights);
+    } else {
+        ne.reset_weights_uniform();
+    }
+    solve_irls_from_current(ne, config, scratch)
+}
+
+/// The shared IRLS loop: solve with whatever weights `ne` currently
+/// carries, then reweight from residuals until the step converges.
+fn solve_irls_from_current(
+    ne: &mut NormalEq,
+    config: &IrlsConfig,
+    scratch: &mut NormalIrlsScratch,
+) -> Result<NormalIrlsOutcome, LinalgError> {
     let x0 = ne.solve()?;
     scratch.x.clear();
     scratch.x.extend_from_slice(x0);
@@ -913,6 +1053,155 @@ mod tests {
         ne.begin(3);
         ne.push_row(&[1.0, 0.0, 0.0], 1.0);
         assert_eq!(ne.solve().unwrap_err(), LinalgError::NotPositiveDefinite);
+    }
+
+    #[test]
+    fn remove_rows_front_matches_suffix() {
+        let rows = line_rows();
+        let mut ne = build(&rows);
+        ne.solve().unwrap();
+        ne.remove_rows_front(3);
+        assert_eq!(ne.rows(), 5);
+        for (i, (a, _)) in rows[3..].iter().enumerate() {
+            assert_eq!(ne.row(i), a.as_slice());
+        }
+        let sol = ne.solve().unwrap().to_vec();
+        let qr = qr_weighted(&rows[3..], &[1.0; 5]);
+        for (p, q) in sol.iter().zip(&qr) {
+            assert!((p - q).abs() < 1e-9, "{sol:?} vs {qr:?}");
+        }
+        // Zero-count drain is a no-op.
+        let before = ne.rows();
+        ne.remove_rows_front(0);
+        assert_eq!(ne.rows(), before);
+    }
+
+    #[test]
+    fn replace_row_matches_fresh_build() {
+        let rows = line_rows();
+        let mut ne = build(&rows);
+        ne.solve().unwrap();
+        // Swap the outlier for its clean value, in place.
+        let clean = ([7.0, 1.0], 15.0);
+        ne.replace_row(7, &clean.0, clean.1);
+        let sol = ne.solve().unwrap().to_vec();
+        let mut fixed = rows.clone();
+        fixed[7] = clean;
+        let qr = qr_weighted(&fixed, &[1.0; 8]);
+        for (p, q) in sol.iter().zip(&qr) {
+            assert!((p - q).abs() < 1e-9, "{sol:?} vs {qr:?}");
+        }
+        assert_eq!(ne.row(7), clean.0.as_slice());
+        // The clean line is recovered.
+        assert!((sol[0] - 2.0).abs() < 1e-9 && (sol[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn row_edits_count_toward_rebuild_cadence() {
+        // Regression for the drift bound under mixed insert/remove
+        // streams: before the fix only reweights ticked the budget, so a
+        // caller that only edits rows (uniform weights, sliding window)
+        // accumulated unbounded rank-1 drift. Now every row edit counts,
+        // and crossing the budget forces a full rebuild on the next
+        // solve.
+        let rows = line_rows();
+        let mut ne = NormalEq::with_rebuild_every(4);
+        ne.begin(2);
+        for (a, k) in &rows {
+            ne.push_row(a, *k);
+        }
+        ne.solve().unwrap();
+        let rebuilds_before = ne.gram_rebuilds();
+        // Three edits: under budget, still rank-1 (no rebuild yet).
+        ne.remove_row(7);
+        ne.replace_row(0, &rows[0].0, rows[0].1);
+        ne.remove_rows_front(1);
+        assert_eq!(ne.gram_rebuilds(), rebuilds_before);
+        ne.solve().unwrap();
+        assert_eq!(ne.gram_rebuilds(), rebuilds_before);
+        // One more edit crosses the budget of 4: the next solve rebuilds.
+        ne.remove_row(0);
+        ne.solve().unwrap();
+        assert_eq!(ne.gram_rebuilds(), rebuilds_before + 1);
+        // The rebuild resets the budget: further under-budget edits stay
+        // rank-1 again.
+        ne.remove_row(0);
+        ne.solve().unwrap();
+        assert_eq!(ne.gram_rebuilds(), rebuilds_before + 1);
+        // And the post-rebuild answer matches a fresh build exactly.
+        let survivors: Vec<([f64; 2], f64)> = rows[2..7].iter().skip(1).copied().collect();
+        let mut fresh = build(&survivors);
+        assert_eq!(ne.solve().unwrap(), fresh.solve().unwrap());
+    }
+
+    #[test]
+    fn inserts_and_removes_share_one_drift_budget() {
+        // Mixed sequences: inserts force a rebuild via `dirty` anyway,
+        // but they must also tick the shared budget so interleaved
+        // removals cannot stretch the cadence.
+        let rows = line_rows();
+        let mut ne = NormalEq::with_rebuild_every(2);
+        ne.begin(2);
+        for (a, k) in &rows[..6] {
+            ne.push_row(a, *k);
+        }
+        ne.solve().unwrap();
+        let before = ne.gram_rebuilds();
+        ne.insert_row(6, &rows[6].0, rows[6].1);
+        ne.remove_row(0);
+        ne.solve().unwrap();
+        // The budget of 2 was spent (insert + remove): exactly one
+        // rebuild, folded into the solve.
+        assert_eq!(ne.gram_rebuilds(), before + 1);
+        let qr = qr_weighted(&rows[1..7], &[1.0; 6]);
+        for (p, q) in ne.solution().iter().zip(&qr) {
+            assert!((p - q).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn warm_start_matches_cold_start_with_fewer_iterations() {
+        let rows = line_rows();
+        let cfg = IrlsConfig::default();
+        // Cold reference run on the full system.
+        let mut cold_ne = build(&rows);
+        let mut cold = NormalIrlsScratch::new();
+        solve_irls_normal(&mut cold_ne, &cfg, &mut cold).unwrap();
+        let cold_sol = cold_ne.solution().to_vec();
+        // Warm run: converge once, slide the system by one row, realign
+        // the weights, and re-solve from them.
+        let mut ne = build(&rows);
+        let mut scratch = NormalIrlsScratch::new();
+        solve_irls_normal(&mut ne, &cfg, &mut scratch).unwrap();
+        ne.remove_rows_front(1);
+        ne.push_row(&[8.0, 1.0], 17.0);
+        scratch.align_weights(1, ne.rows());
+        let warm = solve_irls_normal_warm(&mut ne, &cfg, &mut scratch).unwrap();
+        assert!(warm.converged);
+        // Oracle: cold start on the slid system.
+        let slid: Vec<([f64; 2], f64)> = rows[1..]
+            .iter()
+            .copied()
+            .chain([([8.0, 1.0], 17.0)])
+            .collect();
+        let mut oracle_ne = build(&slid);
+        let mut oracle = NormalIrlsScratch::new();
+        let cold_out = solve_irls_normal(&mut oracle_ne, &cfg, &mut oracle).unwrap();
+        for (p, q) in ne.solution().iter().zip(oracle_ne.solution()) {
+            assert!((p - q).abs() < 1e-6, "warm vs cold: {p} vs {q}");
+        }
+        assert!(
+            warm.iterations <= cold_out.iterations,
+            "warm {} > cold {}",
+            warm.iterations,
+            cold_out.iterations
+        );
+        // Mismatched weight length falls back to the cold start exactly.
+        let mut fb_ne = build(&rows);
+        let mut fb = NormalIrlsScratch::new();
+        fb.weights = vec![0.5; 3]; // wrong length
+        solve_irls_normal_warm(&mut fb_ne, &cfg, &mut fb).unwrap();
+        assert_eq!(fb_ne.solution(), cold_sol.as_slice());
     }
 
     #[test]

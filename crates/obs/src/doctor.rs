@@ -33,6 +33,13 @@
 //!   agree on clean data and diverge under drift turn systematic phase
 //!   corruption into a detectable signal; with no cross-check wired the
 //!   rule reports insufficient data.
+//! - **`resolve_fallback`** — fraction of incremental-mode solves that
+//!   fell back to the full replay path over the window exceeding
+//!   `max_resolve_fallback_rate`. A stream configured for O(delta)
+//!   re-solves that keeps replaying (out-of-order arrivals splicing the
+//!   window, degenerate geometry, pair-structure churn) has silently
+//!   lost its latency budget; streams in plain replay mode produce no
+//!   data for this rule and it reports insufficient data.
 //!
 //! Reports are deterministic: rules appear in the fixed order above,
 //! and for identical observation sequences the JSON and `Display`
@@ -69,6 +76,10 @@ pub struct DoctorConfig {
     /// estimate distance in the window exceeds this radius, meters
     /// (default 5 cm).
     pub max_solver_disagreement_m: f64,
+    /// `resolve_fallback` fires when the fraction of incremental-mode
+    /// solves that fell back to full replay over the window exceeds this
+    /// (default 0.5 — the periodic re-anchor alone stays well under it).
+    pub max_resolve_fallback_rate: f64,
 }
 
 impl Default for DoctorConfig {
@@ -81,6 +92,7 @@ impl Default for DoctorConfig {
             max_shed_rate: 0.05,
             max_solve_p99_ns: 50_000_000,
             max_solver_disagreement_m: 0.05,
+            max_resolve_fallback_rate: 0.5,
         }
     }
 }
@@ -105,6 +117,10 @@ pub struct SolveObservation {
     /// cross-check backend's estimate for the same window, meters.
     /// `None` when no cross-check solve ran for this observation.
     pub solver_disagreement_m: Option<f64>,
+    /// Whether this solve, running in incremental resolve mode, fell
+    /// back to the full replay path. `None` for streams in plain replay
+    /// mode (replaying is then by design, not a fallback).
+    pub resolve_fallback: Option<bool>,
 }
 
 /// Whether a rule fired, and whether it had enough data to judge.
@@ -295,6 +311,7 @@ impl Doctor {
             self.ingress_shed(),
             self.solve_latency(),
             self.solver_disagreement(),
+            self.resolve_fallback(),
         ];
         let healthy = rules.iter().all(|r| r.status != RuleStatus::Firing);
         HealthReport {
@@ -494,6 +511,43 @@ impl Doctor {
             detail: format!("max primary-vs-cross-check distance over {checked} checked solves, m"),
         }
     }
+
+    fn resolve_fallback(&self) -> RuleReport {
+        let threshold = self.config.max_resolve_fallback_rate;
+        let mut fallbacks = 0u64;
+        let mut checked = 0u64;
+        for o in &self.recent {
+            if let Some(fell_back) = o.resolve_fallback {
+                checked += 1;
+                fallbacks += u64::from(fell_back);
+            }
+        }
+        if checked == 0 {
+            return RuleReport {
+                rule: "resolve_fallback",
+                status: RuleStatus::Insufficient,
+                value: 0.0,
+                threshold,
+                samples_seen: 0,
+                samples_needed: 1,
+                detail: "no incremental-mode solves in the window".to_string(),
+            };
+        }
+        let rate = fallbacks as f64 / checked as f64;
+        RuleReport {
+            rule: "resolve_fallback",
+            status: if rate > threshold {
+                RuleStatus::Firing
+            } else {
+                RuleStatus::Healthy
+            },
+            value: rate,
+            threshold,
+            samples_seen: checked,
+            samples_needed: 1,
+            detail: format!("{fallbacks} of {checked} incremental-mode solves replayed"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -509,6 +563,7 @@ mod tests {
             reads_in: 25,
             shed: 0,
             solver_disagreement_m: Some(1e-3),
+            resolve_fallback: Some(false),
         }
     }
 
@@ -657,6 +712,41 @@ mod tests {
     }
 
     #[test]
+    fn resolve_fallback_fires_when_incremental_mode_keeps_replaying() {
+        let mut doc = doctor_with_window(4);
+        for _ in 0..4 {
+            doc.observe(obs(1e-3, true));
+        }
+        assert!(doc.report().healthy);
+        // 3 of 4 solves in the window fall back: above the 0.5 default.
+        for fell_back in [true, true, true, false] {
+            doc.observe(SolveObservation {
+                resolve_fallback: Some(fell_back),
+                ..obs(1e-3, true)
+            });
+        }
+        let report = doc.report();
+        assert_eq!(report.firing(), ["resolve_fallback"]);
+        assert_eq!(report.rule("resolve_fallback").unwrap().value, 0.75);
+    }
+
+    #[test]
+    fn resolve_fallback_without_incremental_mode_is_insufficient() {
+        let mut doc = doctor_with_window(4);
+        for _ in 0..6 {
+            doc.observe(SolveObservation {
+                resolve_fallback: None,
+                ..obs(1e-3, true)
+            });
+        }
+        let report = doc.report();
+        assert!(report.healthy, "replay-mode streams produce no signal");
+        let rule = report.rule("resolve_fallback").unwrap();
+        assert_eq!(rule.status, RuleStatus::Insufficient);
+        assert_eq!((rule.samples_seen, rule.samples_needed), (0, 1));
+    }
+
+    #[test]
     fn insufficient_rules_distinguish_cold_start_from_starvation() {
         // Cold start: no observations at all. Every rule reports
         // seen < needed with seen growing toward needed.
@@ -725,7 +815,7 @@ mod tests {
         assert_eq!(doc.get("healthy"), Some(&crate::json::Json::Bool(true)));
         assert_eq!(
             doc.get("rules").and_then(|v| v.as_array()).map(|a| a.len()),
-            Some(5)
+            Some(6)
         );
         // Display is likewise stable.
         assert_eq!(a.report().to_string(), b.report().to_string());

@@ -364,12 +364,13 @@ impl fmt::Display for FleetReport {
 
 /// The doctor's fixed rule order, mirrored here so the rollup reports
 /// every rule even before any stream mentioned it.
-const RULE_ORDER: [&str; 5] = [
+const RULE_ORDER: [&str; 6] = [
     "residual_drift",
     "convergence_stall",
     "ingress_shed",
     "solve_latency",
     "solver_disagreement",
+    "resolve_fallback",
 ];
 
 /// Running per-rule accumulator inside [`FleetDoctor`].
@@ -588,6 +589,7 @@ mod tests {
                 reads_in: 25,
                 shed,
                 solver_disagreement_m: Some(1e-3),
+                resolve_fallback: Some(false),
             });
         }
         doctor.report()

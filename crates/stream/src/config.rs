@@ -115,6 +115,46 @@ pub enum Space {
     ThreeD,
 }
 
+impl Space {
+    /// The core solver dimensionality this stream space drives.
+    pub fn solve_space(self) -> lion_core::SolveSpace {
+        match self {
+            Space::TwoD => lion_core::SolveSpace::TwoD,
+            Space::ThreeD => lion_core::SolveSpace::ThreeD,
+        }
+    }
+}
+
+/// How cadence re-solves execute.
+///
+/// Both modes emit estimates at exactly the same ticks; they differ only
+/// in how much work a tick does and in the floating-point tier of the
+/// result (see `tests/stream_parity.rs` and DESIGN.md §14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum ResolveMode {
+    /// Replay the full window through the batch pipeline on every tick —
+    /// O(window) per solve, bit-identical to the batch localizer.
+    #[default]
+    Replay,
+    /// Patch persistent state with only the reads that entered/left since
+    /// the last tick ([`lion_core::IncrementalState`]) — O(delta) per
+    /// solve, within a documented 1e-6 of replay, falling back to a
+    /// bit-exact replay deterministically (splices, evicted reference,
+    /// non-linear solver, periodic re-anchor).
+    Incremental,
+}
+
+impl ResolveMode {
+    /// Stable label for metrics and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ResolveMode::Replay => "replay",
+            ResolveMode::Incremental => "incremental",
+        }
+    }
+}
+
 /// Configuration for a [`crate::StreamLocalizer`].
 ///
 /// Build with [`StreamConfig::builder`]; `Default` is the paper's solver
@@ -133,6 +173,8 @@ pub struct StreamConfig {
     pub localizer: LocalizerConfig,
     /// 2D or 3D solve.
     pub space: Space,
+    /// Replay vs incremental cadence re-solves.
+    pub resolve_mode: ResolveMode,
 }
 
 impl Default for StreamConfig {
@@ -144,6 +186,7 @@ impl Default for StreamConfig {
             convergence: ConvergenceConfig::default(),
             localizer: LocalizerConfig::default(),
             space: Space::default(),
+            resolve_mode: ResolveMode::default(),
         }
     }
 }
@@ -250,6 +293,12 @@ impl StreamConfigBuilder {
         self
     }
 
+    /// Selects replay vs incremental cadence re-solves.
+    pub fn resolve_mode(mut self, mode: ResolveMode) -> Self {
+        self.config.resolve_mode = mode;
+        self
+    }
+
     /// Validates and builds.
     ///
     /// # Errors
@@ -268,6 +317,18 @@ mod tests {
     #[test]
     fn default_config_is_valid() {
         StreamConfig::default().validate().expect("default valid");
+    }
+
+    #[test]
+    fn resolve_mode_round_trips_through_builder() {
+        assert_eq!(StreamConfig::default().resolve_mode, ResolveMode::Replay);
+        let cfg = StreamConfig::builder()
+            .resolve_mode(ResolveMode::Incremental)
+            .build()
+            .expect("incremental mode is valid with the default localizer");
+        assert_eq!(cfg.resolve_mode, ResolveMode::Incremental);
+        assert_eq!(cfg.resolve_mode.label(), "incremental");
+        assert_eq!(ResolveMode::Replay.label(), "replay");
     }
 
     #[test]

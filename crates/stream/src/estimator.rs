@@ -4,13 +4,13 @@ use std::time::Instant;
 
 use lion_core::calibrate::estimate_offset;
 use lion_core::{
-    CoreError, Estimate, Localizer2d, Localizer3d, PushOutcome, SlidingWindow, SolverKind,
-    Workspace,
+    locate_window_in, CoreError, Estimate, IncrementalState, PushOutcome, ResolvePath,
+    SlidingWindow, SolverKind, Workspace,
 };
 use lion_geom::Point3;
 use lion_obs::HistogramTimer;
 
-use crate::config::{Cadence, Space, StreamConfig};
+use crate::config::{Cadence, ResolveMode, StreamConfig};
 use crate::convergence::ConvergenceTracker;
 use crate::read::StreamRead;
 
@@ -41,7 +41,9 @@ pub struct StreamEstimate {
     /// Estimated reference distance `d_r` (meters).
     pub d_r: f64,
     /// Diversity-phase offset `θ_div` estimated against `position`
-    /// (radians), `None` when the offset fit was degenerate.
+    /// (radians), `None` when the offset fit was degenerate — and always
+    /// `None` on incremental delta ticks, which skip the O(window) offset
+    /// fit to stay O(delta) (every resync/fallback tick refreshes it).
     pub phase_offset: Option<f64>,
     /// Circular spread of the per-sample offsets (radians), `None`
     /// whenever `phase_offset` is.
@@ -54,15 +56,17 @@ pub struct StreamEstimate {
     pub confidence: f64,
     /// Convergence verdict under the configured hysteresis.
     pub converged: bool,
-    /// The full batch-solver estimate this emission is derived from —
-    /// bit-identical to running the batch localizer on the window's reads.
+    /// Which path produced this emission. Always
+    /// [`ResolvePath::Replayed`] in [`ResolveMode::Replay`];
+    /// in [`ResolveMode::Incremental`] a `Replayed` tick is a resync or
+    /// deterministic fallback.
+    pub resolve_path: ResolvePath,
+    /// The full solver estimate this emission is derived from. On
+    /// [`ResolvePath::Replayed`] ticks it is bit-identical to running the
+    /// batch localizer on the window's reads; on
+    /// [`ResolvePath::Incremental`] ticks the position agrees with that
+    /// replay to a documented 1e-6 (DESIGN.md §14).
     pub batch: Estimate,
-}
-
-#[derive(Debug)]
-enum Solver {
-    TwoD(Localizer2d),
-    ThreeD(Localizer3d),
 }
 
 /// Online calibration: feed reads one at a time, get a stream of
@@ -72,10 +76,13 @@ enum Solver {
 /// allocated once and reused — an arbitrarily long stream does not grow
 /// the pipeline (see `backing_capacity`-pinning tests).
 ///
-/// A solve replays the window through the **exact same** code path as the
-/// batch localizer, so a streaming estimate on a static window is
-/// bit-identical to [`Localizer2d::locate`] on the same reads (see
-/// `tests/stream_parity.rs`).
+/// In the default [`ResolveMode::Replay`] a solve replays the window
+/// through the **exact same** code path as the batch localizer, so a
+/// streaming estimate on a static window is bit-identical to
+/// [`lion_core::Localizer2d::locate`] on the same reads (see
+/// `tests/stream_parity.rs`). [`ResolveMode::Incremental`] trades that
+/// guarantee down to a documented 1e-6 on delta ticks in exchange for
+/// O(delta) work per solve; fallback ticks remain bit-identical.
 ///
 /// # Example
 ///
@@ -112,7 +119,9 @@ enum Solver {
 #[derive(Debug)]
 pub struct StreamLocalizer {
     config: StreamConfig,
-    solver: Solver,
+    /// Persistent O(delta) re-solve state; `Some` iff the configured
+    /// resolve mode is [`ResolveMode::Incremental`].
+    resolve: Option<IncrementalState>,
     window: SlidingWindow,
     workspace: Workspace,
     /// Scratch for the phase-offset fit; reused across solves.
@@ -124,6 +133,7 @@ pub struct StreamLocalizer {
     last_solve_time: Option<f64>,
     seq: u64,
     solve_errors: u64,
+    resolve_fallbacks: u64,
 }
 
 impl StreamLocalizer {
@@ -135,16 +145,16 @@ impl StreamLocalizer {
     /// See [`StreamConfig::validate`].
     pub fn new(config: StreamConfig) -> Result<Self, CoreError> {
         config.validate()?;
-        let solver = match config.space {
-            Space::TwoD => Solver::TwoD(Localizer2d::new(config.localizer.clone())),
-            Space::ThreeD => Solver::ThreeD(Localizer3d::new(config.localizer.clone())),
+        let resolve = match config.resolve_mode {
+            ResolveMode::Incremental => Some(IncrementalState::new()),
+            _ => None,
         };
         let window = SlidingWindow::new(config.window_capacity)?;
         Ok(StreamLocalizer {
             tracker: ConvergenceTracker::new(config.convergence),
             measurements: Vec::with_capacity(config.window_capacity),
             config,
-            solver,
+            resolve,
             window,
             workspace: Workspace::new(),
             reads_seen: 0,
@@ -153,6 +163,7 @@ impl StreamLocalizer {
             last_solve_time: None,
             seq: 0,
             solve_errors: 0,
+            resolve_fallbacks: 0,
         })
     }
 
@@ -245,14 +256,12 @@ impl StreamLocalizer {
         let _span = lion_obs::span!("lion.stream.cross_check");
         let mut config = self.config.localizer.clone();
         config.solver = kind;
-        match self.config.space {
-            Space::TwoD => {
-                Localizer2d::new(config).locate_window_in(&self.window, &mut self.workspace)
-            }
-            Space::ThreeD => {
-                Localizer3d::new(config).locate_window_in(&self.window, &mut self.workspace)
-            }
-        }
+        locate_window_in(
+            &config,
+            self.config.space.solve_space(),
+            &self.window,
+            &mut self.workspace,
+        )
     }
 
     fn solve(
@@ -262,13 +271,25 @@ impl StreamLocalizer {
     ) -> Result<StreamEstimate, CoreError> {
         let _span = lion_obs::span!("lion.stream.solve");
         let solve_timer = HistogramTimer::start(lion_obs::global(), SOLVE_HISTOGRAM);
-        let solved = match &self.solver {
-            Solver::TwoD(loc) => loc.locate_window_in(&self.window, &mut self.workspace),
-            Solver::ThreeD(loc) => loc.locate_window_in(&self.window, &mut self.workspace),
+        let space = self.config.space.solve_space();
+        let solved = match self.resolve.as_mut() {
+            Some(state) => state.solve_window(
+                &mut self.window,
+                &self.config.localizer,
+                space,
+                &mut self.workspace,
+            ),
+            None => locate_window_in(
+                &self.config.localizer,
+                space,
+                &self.window,
+                &mut self.workspace,
+            )
+            .map(|est| (est, ResolvePath::Replayed)),
         };
         solve_timer.stop();
-        let batch = match solved {
-            Ok(batch) => batch,
+        let (batch, resolve_path) = match solved {
+            Ok(solved) => solved,
             Err(e) => {
                 self.solve_errors += 1;
                 lion_obs::global().counter_add("lion.stream.solve_errors", 1);
@@ -281,15 +302,32 @@ impl StreamLocalizer {
                 return Err(e);
             }
         };
+        let mode_counter = match (self.config.resolve_mode, resolve_path) {
+            (ResolveMode::Incremental, ResolvePath::Incremental) => {
+                "lion.stream.resolve_mode.incremental"
+            }
+            (ResolveMode::Incremental, ResolvePath::Replayed) => {
+                self.resolve_fallbacks += 1;
+                "lion.stream.resolve_mode.fallback"
+            }
+            _ => "lion.stream.resolve_mode.replay",
+        };
+        lion_obs::global().counter_add(mode_counter, 1);
         // Diversity-phase offset against the solved phase center, on the
-        // very same wrapped reads the solve consumed.
-        self.window.write_measurements_into(&mut self.measurements);
-        let offset = estimate_offset(
-            &self.measurements,
-            batch.position,
-            self.config.localizer.wavelength,
-        )
-        .ok();
+        // very same wrapped reads the solve consumed — skipped on delta
+        // ticks: the fit walks the whole window, which would erase the
+        // O(delta) budget. Every resync/fallback tick refreshes it.
+        let offset = if resolve_path == ResolvePath::Incremental {
+            None
+        } else {
+            self.window.write_measurements_into(&mut self.measurements);
+            estimate_offset(
+                &self.measurements,
+                batch.position,
+                self.config.localizer.wavelength,
+            )
+            .ok()
+        };
         let converged = self.tracker.observe(batch.position);
         let fill = self.window.len() as f64 / self.window.capacity() as f64;
         let residual_scale = self.config.localizer.wavelength / 8.0;
@@ -308,6 +346,7 @@ impl StreamLocalizer {
             mean_residual: batch.mean_residual,
             confidence,
             converged,
+            resolve_path,
             batch,
         };
         self.seq += 1;
@@ -360,6 +399,31 @@ impl StreamLocalizer {
         self.solve_errors
     }
 
+    /// The configured resolve mode (replay vs incremental).
+    pub fn resolve_mode(&self) -> ResolveMode {
+        self.config.resolve_mode
+    }
+
+    /// Normal-equation rows touched by incremental delta ticks (removed +
+    /// replaced + pushed) — the O(delta) work metric. Zero in
+    /// [`ResolveMode::Replay`].
+    pub fn resolve_rows_delta(&self) -> u64 {
+        self.resolve.as_ref().map_or(0, |s| s.rows_delta())
+    }
+
+    /// Full state rebuilds in incremental mode (initial warm-up, periodic
+    /// re-anchors, and fallbacks). Zero in [`ResolveMode::Replay`].
+    pub fn resolve_rebuilds(&self) -> u64 {
+        self.resolve.as_ref().map_or(0, |s| s.rebuilds())
+    }
+
+    /// Emitted solves that fell back to (or resynced via) the replay path
+    /// while in [`ResolveMode::Incremental`]. Zero in
+    /// [`ResolveMode::Replay`], where every solve replays by design.
+    pub fn resolve_fallbacks(&self) -> u64 {
+        self.resolve_fallbacks
+    }
+
     /// Current convergence verdict.
     pub fn is_converged(&self) -> bool {
         self.tracker.is_converged()
@@ -369,6 +433,9 @@ impl StreamLocalizer {
     /// counters are kept) — e.g. when the stream switches tags.
     pub fn reset(&mut self) {
         self.window.clear();
+        if let Some(state) = self.resolve.as_mut() {
+            state.invalidate();
+        }
         self.tracker.reset();
         self.reads_since_solve = 0;
         self.last_solve_time = None;
@@ -436,6 +503,54 @@ mod tests {
         let (_, estimates) = run_stream(config, 120);
         let triggers: Vec<u64> = estimates.iter().map(|e| e.reads_seen).collect();
         assert_eq!(triggers, vec![24, 54, 84, 114]);
+    }
+
+    #[test]
+    fn incremental_mode_emits_delta_ticks_and_counts_work() {
+        let config = StreamConfig::builder()
+            .resolve_mode(ResolveMode::Incremental)
+            .build()
+            .unwrap();
+        let (stream, estimates) = run_stream(config, 400);
+        assert_eq!(stream.resolve_mode(), ResolveMode::Incremental);
+        assert!(!estimates.is_empty());
+        // The first tick warms the state via replay; the steady state is
+        // delta ticks (in-order arrivals, cadence 16 << window 256).
+        assert_eq!(estimates[0].resolve_path, ResolvePath::Replayed);
+        let incremental = estimates
+            .iter()
+            .filter(|e| e.resolve_path == ResolvePath::Incremental)
+            .count();
+        assert!(
+            incremental >= estimates.len() / 2,
+            "expected mostly delta ticks, got {incremental}/{}",
+            estimates.len()
+        );
+        assert!(stream.resolve_rows_delta() > 0);
+        assert!(stream.resolve_rebuilds() >= 1);
+        assert!(stream.resolve_fallbacks() >= 1);
+        // Delta ticks skip the O(window) offset fit; fallback ticks run it.
+        for est in &estimates {
+            if est.resolve_path == ResolvePath::Incremental {
+                assert!(est.phase_offset.is_none());
+                assert!(est.offset_spread.is_none());
+            }
+        }
+        // And the positions still track the antenna.
+        let last = estimates.last().unwrap();
+        assert!(last.position.distance(Point3::new(1.2, 0.4, 0.0)) < 5e-2);
+    }
+
+    #[test]
+    fn replay_mode_reports_no_incremental_work() {
+        let (stream, estimates) = run_stream(StreamConfig::default(), 200);
+        assert_eq!(stream.resolve_mode(), ResolveMode::Replay);
+        assert!(estimates
+            .iter()
+            .all(|e| e.resolve_path == ResolvePath::Replayed));
+        assert_eq!(stream.resolve_rows_delta(), 0);
+        assert_eq!(stream.resolve_rebuilds(), 0);
+        assert_eq!(stream.resolve_fallbacks(), 0);
     }
 
     #[test]

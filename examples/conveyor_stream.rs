@@ -213,6 +213,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     reads_in: est.reads_seen - observed_reads,
                     shed: 0,
                     solver_disagreement_m: None,
+                    resolve_fallback: None,
                 });
                 observed_reads = est.reads_seen;
             }

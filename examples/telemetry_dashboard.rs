@@ -187,6 +187,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 reads_in: 1,
                 shed: u64::from(result.is_err()),
                 solver_disagreement_m: None,
+                resolve_fallback: None,
             });
         }
         let trace_path = dir.join("telemetry_dashboard.trace.json");

@@ -21,19 +21,22 @@ verify:
 figures:
     cargo run --release -p lion-bench --bin run_experiments -- all
 
-# Tracked benchmarks: run the adaptive-sweep and solver-backend bench
-# bins and diff against the committed baselines (generous 3× regression
-# threshold; the committed sweep speedup must stay ≥ 5×, and the
-# solver-backend parity must stay inside the documented 2 cm radius).
+# Tracked benchmarks: run the adaptive-sweep, solver-backend, and
+# streaming-resolve bench bins and diff against the committed baselines
+# (generous 3× regression threshold; the committed sweep and
+# incremental-vs-replay speedups must stay ≥ 5×, and the solver-backend
+# parity must stay inside the documented 2 cm radius).
 bench:
     cargo run --release -p lion-bench --bin bench_adaptive -- --check BENCH_5.json
     cargo run --release -p lion-bench --bin bench_solvers -- --check BENCH_6.json
+    cargo run --release -p lion-bench --bin bench_stream_resolve -- --check BENCH_8.json
 
 # Regenerate the committed benchmark baselines. Run on a quiet machine
 # and eyeball the diff before committing.
 bench-write:
     cargo run --release -p lion-bench --bin bench_adaptive -- --write BENCH_5.json
     cargo run --release -p lion-bench --bin bench_solvers -- --write BENCH_6.json
+    cargo run --release -p lion-bench --bin bench_stream_resolve -- --write BENCH_8.json
 
 # Run the Criterion microbenchmarks (solver, hologram, engine batch, ...).
 microbench:

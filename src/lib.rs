@@ -20,7 +20,9 @@
 //!   concurrent tag streams),
 //! - [`stream`] — the online pipeline: reads in one at a time, bounded
 //!   sliding-window re-solves out, with convergence detection —
-//!   bit-identical to the batch solver on the same window,
+//!   bit-identical to the batch solver on the same window in replay
+//!   mode, or O(delta) incremental re-solves
+//!   ([`stream::ResolveMode::Incremental`]) within a documented 1e-6,
 //! - [`obs`] — zero-dependency observability: structured spans/events
 //!   with causal trace propagation, an always-on flight recorder that
 //!   dumps the trace tail on failure, calibration-health watchdogs with
@@ -91,10 +93,11 @@ pub use lion_stream as stream;
 pub mod prelude {
     pub use crate::Error;
     pub use lion_core::{
-        AdaptiveConfig, AdaptiveOutcome, Calibration, Calibrator, ConveyorTracker, CoreError,
-        Estimate, GridConfig, GridSolver, LinearSolver, Localizer2d, Localizer3d, LocalizerConfig,
-        PairStrategy, PhaseProfile, PushOutcome, SlidingWindow, SolveSpace, Solver, SolverKind,
-        StageMetrics, TrackerConfig, Weighting, Workspace,
+        locate_window_in, AdaptiveConfig, AdaptiveOutcome, Calibration, Calibrator,
+        ConveyorTracker, CoreError, Estimate, GridConfig, GridSolver, IncrementalState,
+        LinearSolver, Localizer2d, Localizer3d, LocalizerConfig, PairStrategy, PhaseProfile,
+        PushOutcome, ResolvePath, SlidingWindow, SolveSpace, Solver, SolverKind, StageMetrics,
+        TrackerConfig, Weighting, WindowDelta, Workspace,
     };
     pub use lion_engine::{
         BatchOutcome, Engine, Job, JobKind, JobOutput, JobTiming, MetricsReport,
@@ -110,6 +113,7 @@ pub mod prelude {
         Antenna, Environment, NoiseModel, PhaseTrace, SampleSource, Scenario, ScenarioBuilder, Tag,
     };
     pub use lion_stream::{
-        Cadence, ConvergenceConfig, StreamConfig, StreamEstimate, StreamLocalizer, StreamRead,
+        Cadence, ConvergenceConfig, ResolveMode, StreamConfig, StreamEstimate, StreamLocalizer,
+        StreamRead,
     };
 }

@@ -33,6 +33,9 @@ fn doctored_job(reads: Vec<StreamRead>) -> StreamJob {
     // so the cross-check disagreement reflects injected faults only (the
     // smoothing bias otherwise separates the two objectives' minima
     // along the grid's shallow range valley on short-arc windows).
+    // Incremental resolve mode so the doctor's sixth rule
+    // (`resolve_fallback`) sees data — in replay mode it is
+    // insufficient-data by design.
     let config = StreamConfig::builder()
         .localizer(LocalizerConfig {
             smoothing_window: 1,
@@ -41,6 +44,7 @@ fn doctored_job(reads: Vec<StreamRead>) -> StreamJob {
         .window_capacity(200)
         .min_window_len(40)
         .cadence(Cadence::EveryReads(20))
+        .resolve_mode(ResolveMode::Incremental)
         .build()
         .expect("valid config");
     StreamJob::new(reads, config)
@@ -124,7 +128,8 @@ fn injected_phase_ramp_trips_residual_drift_within_one_window() {
             "convergence_stall",
             "ingress_shed",
             "solve_latency",
-            "solver_disagreement"
+            "solver_disagreement",
+            "resolve_fallback"
         ],
         "rule order is fixed"
     );
