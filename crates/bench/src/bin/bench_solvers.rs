@@ -45,6 +45,13 @@ const PARITY_LIMIT_M: f64 = 0.02;
 /// outright. 5 ms is ~100× the measured cost on the reference rig while
 /// still far below any sane Prometheus scrape interval.
 const METRICS_RENDER_BUDGET_NS: u64 = 5_000_000;
+/// Budget for one steady-state history-plane sampler tick (registry
+/// snapshot → counter/gauge points + histogram deltas into the tsdb) on
+/// the same bench-shaped registry. Absolute, like the render gate: the
+/// background sampler runs once a second inside live pipelines, so a
+/// tick must stay far under its period. 5 ms is ~100× the measured
+/// steady-state cost on the reference rig.
+const SAMPLER_TICK_BUDGET_NS: u64 = 5_000_000;
 
 fn median_ns(mut samples: Vec<u64>) -> u64 {
     samples.sort_unstable();
@@ -96,6 +103,7 @@ struct BenchResults {
     sweep_grid_ns: u64,
     parity_m: f64,
     metrics_render_ns: u64,
+    sampler_tick_ns: u64,
 }
 
 impl BenchResults {
@@ -122,7 +130,7 @@ impl BenchResults {
         format!(
             "{{\"schema\":\"lion-bench-6\",\"env\":{{\"cores\":{},\"os\":\"{}\",\"arch\":\"{}\"}},\
              \"benches\":{{{}}},\"grid_vs_linear_slowdown\":{:.2},\"parity_m\":{:.6},\
-             \"metrics_render_ns\":{}}}",
+             \"metrics_render_ns\":{},\"sampler_tick_ns\":{}}}",
             std::thread::available_parallelism().map_or(1, usize::from),
             std::env::consts::OS,
             std::env::consts::ARCH,
@@ -130,6 +138,7 @@ impl BenchResults {
             self.slowdown(),
             self.parity_m,
             self.metrics_render_ns,
+            self.sampler_tick_ns,
         )
     }
 }
@@ -192,15 +201,12 @@ fn run_benches() -> BenchResults {
         sweep_grid_ns,
         parity_m,
         metrics_render_ns: bench_metrics_render(),
+        sampler_tick_ns: bench_sampler_tick(),
     }
 }
 
-/// Times one `/metrics` scrape render — registry snapshot + Prometheus
-/// text — on a registry shaped like a live fleet run: a handful of
-/// counters/gauges, the fleet rollup gauges, and well-populated stage
-/// histograms (a histogram renders one sample per non-zero bucket, so
-/// spread values drive the cost).
-fn bench_metrics_render() -> u64 {
+/// Builds the same bench-shaped registry as [`bench_metrics_render`].
+fn bench_registry() -> lion_obs::Registry {
     let registry = lion_obs::Registry::new();
     registry.counter_add("engine.jobs", 4096);
     registry.counter_add("engine.failed", 3);
@@ -230,6 +236,38 @@ fn bench_metrics_render() -> u64 {
             registry.histogram_record(&name, (i * 7919) % 10_000_000);
         }
     }
+    registry
+}
+
+/// Times one steady-state history-plane sampler tick on the bench-shaped
+/// registry: every counter and gauge becomes a point, every histogram a
+/// sparse delta against the previous snapshot. A manual clock advanced
+/// one period per iteration keeps every `tick` call a real sample (no
+/// skipped due-checks), and the warm-up tick absorbs the one-off
+/// first-sample cost so the median is the steady-state figure the
+/// background sampler pays once a second.
+fn bench_sampler_tick() -> u64 {
+    let registry = bench_registry();
+    let clock = lion_obs::ManualClock::new(0);
+    let tsdb = std::sync::Arc::new(lion_obs::Tsdb::new(lion_obs::TsdbConfig::default()));
+    let mut sampler = lion_obs::Sampler::new(tsdb.clone(), 1, clock.clone());
+    let mut ticked = 0u64;
+    let ns = bench(51, || {
+        clock.advance(1_000_000_000);
+        ticked = sampler.tick(&registry).expect("tick due");
+    });
+    assert!(ticked > 0, "sampler never sampled");
+    assert!(tsdb.stats().series > 0, "no series stored");
+    ns
+}
+
+/// Times one `/metrics` scrape render — registry snapshot + Prometheus
+/// text — on a registry shaped like a live fleet run: a handful of
+/// counters/gauges, the fleet rollup gauges, and well-populated stage
+/// histograms (a histogram renders one sample per non-zero bucket, so
+/// spread values drive the cost).
+fn bench_metrics_render() -> u64 {
+    let registry = bench_registry();
     let mut rendered = 0usize;
     let ns = bench(51, || {
         let text = lion_obs::export::to_prometheus(&registry.snapshot());
@@ -311,6 +349,20 @@ fn check(results: &BenchResults, path: &str) -> Result<(), String> {
     };
     eprintln!(
         "check metrics_render_ns: fresh {render} ns, budget {METRICS_RENDER_BUDGET_NS} ns [{render_status}]"
+    );
+    // Absolute gate on the background sampler's per-tick cost (also no
+    // committed counterpart — see SAMPLER_TICK_BUDGET_NS).
+    let tick = results.sampler_tick_ns;
+    let tick_status = if tick > SAMPLER_TICK_BUDGET_NS {
+        failures.push(format!(
+            "sampler_tick_ns {tick} exceeds the {SAMPLER_TICK_BUDGET_NS} ns tick budget"
+        ));
+        "FAIL"
+    } else {
+        "ok"
+    };
+    eprintln!(
+        "check sampler_tick_ns: fresh {tick} ns, budget {SAMPLER_TICK_BUDGET_NS} ns [{tick_status}]"
     );
     if failures.is_empty() {
         Ok(())

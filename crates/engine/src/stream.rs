@@ -332,15 +332,31 @@ impl Engine {
     ///
     /// When a [`lion_obs::TelemetryHub`] is installed, each doctored
     /// stream's [`HealthReport`] is ingested into the hub's fleet rollup
-    /// (stream ids `stream-0`, `stream-1`, … by submission slot) — in
-    /// submission order, after collection, so the rollup is identical
-    /// for any worker count.
+    /// — in submission order, after collection, so the rollup is
+    /// identical for any worker count. Streams are identified by
+    /// `config.label` when set, else by submission slot (`stream-<i>`).
+    ///
+    /// When the hub's **history plane** is enabled
+    /// ([`lion_obs::TelemetryHub::enable_history`]), the run also brackets
+    /// itself with [`lion_obs::TelemetryHub::sample_tick`] (one due-check
+    /// before the first job, one after ingestion) and records each
+    /// stream's estimates into the time-series store as
+    /// `lion.stream.*{stream="<label>"}` series, timestamped in *stream
+    /// time* — so the stored history, like the outcomes, is bit-identical
+    /// across worker counts.
     pub fn run_streams(&self, jobs: &[StreamJob]) -> Vec<Result<StreamOutcome, CoreError>> {
         let workers = self.workers().min(jobs.len()).max(1);
+        let hub = lion_obs::telemetry_hub();
+        // Fixed lifecycle point: sampling before any job starts keeps
+        // the tick count independent of worker scheduling.
+        if let Some(hub) = &hub {
+            hub.sample_tick();
+        }
         // Root trace contexts in submission order (see `job_contexts`).
         let contexts = job_contexts(jobs.len());
         if workers == 1 {
             return ingest_fleet_health(
+                jobs,
                 jobs.iter()
                     .zip(&contexts)
                     .map(|(job, ctx)| run_stream_job(job, *ctx))
@@ -369,28 +385,80 @@ impl Engine {
             }
         });
         collected.sort_unstable_by_key(|(i, _)| *i);
-        ingest_fleet_health(collected.into_iter().map(|(_, outcome)| outcome).collect())
+        ingest_fleet_health(
+            jobs,
+            collected.into_iter().map(|(_, outcome)| outcome).collect(),
+        )
     }
 }
 
+/// The stream's telemetry identity: its configured label, or its
+/// submission slot.
+fn stream_label(job: &StreamJob, slot: usize) -> String {
+    job.config
+        .label
+        .clone()
+        .unwrap_or_else(|| format!("stream-{slot}"))
+}
+
 /// Feeds every doctored outcome's health report into the installed
-/// telemetry hub's fleet rollup, in submission order. Pass-through (one
-/// relaxed atomic load) when no hub is installed.
+/// telemetry hub's fleet rollup and, when the history plane is on,
+/// records per-stream series and runs one sampler due-check — all in
+/// submission order. Pass-through (one relaxed atomic load) when no hub
+/// is installed.
 fn ingest_fleet_health(
+    jobs: &[StreamJob],
     outcomes: Vec<Result<StreamOutcome, CoreError>>,
 ) -> Vec<Result<StreamOutcome, CoreError>> {
     if let Some(hub) = lion_obs::telemetry_hub() {
         hub.with_fleet(|fleet| {
-            for (i, outcome) in outcomes.iter().enumerate() {
+            for (i, (job, outcome)) in jobs.iter().zip(&outcomes).enumerate() {
                 if let Ok(outcome) = outcome {
                     if let Some(health) = &outcome.health {
-                        fleet.ingest(&format!("stream-{i}"), health);
+                        fleet.ingest(&stream_label(job, i), health);
                     }
                 }
             }
         });
+        record_stream_series(&hub, jobs, &outcomes);
+        hub.sample_tick();
     }
     outcomes
+}
+
+/// Records each stream's outcome into the hub's time-series store:
+/// per-estimate `residual` / `confidence` gauges timestamped in stream
+/// time (`trigger_time` seconds → ns), plus final `reads_in` /
+/// `overflow_dropped` cumulative counters. No-op unless
+/// [`lion_obs::TelemetryHub::enable_history`] was called.
+fn record_stream_series(
+    hub: &lion_obs::TelemetryHub,
+    jobs: &[StreamJob],
+    outcomes: &[Result<StreamOutcome, CoreError>],
+) {
+    let Some(tsdb) = hub.tsdb() else {
+        return;
+    };
+    let series = |metric: &str, label: &str| format!("lion.stream.{metric}{{stream=\"{label}\"}}");
+    for (i, (job, outcome)) in jobs.iter().zip(outcomes).enumerate() {
+        let Ok(outcome) = outcome else { continue };
+        let label = stream_label(job, i);
+        let mut last_t_ns = 0u64;
+        for estimate in &outcome.estimates {
+            // Stream-time timestamps: deterministic across runs and
+            // worker counts, unlike the wall clock.
+            let t_ns = (estimate.trigger_time * 1e9) as u64;
+            last_t_ns = last_t_ns.max(t_ns);
+            tsdb.push_gauge(&series("residual", &label), t_ns, estimate.mean_residual);
+            tsdb.push_gauge(&series("confidence", &label), t_ns, estimate.confidence);
+        }
+        tsdb.push_counter(&series("reads_in", &label), last_t_ns, outcome.reads_in);
+        tsdb.push_counter(
+            &series("overflow_dropped", &label),
+            last_t_ns,
+            outcome.overflow_dropped,
+        );
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,873 @@
+//! Deterministic alerting over stored samples.
+//!
+//! An [`AlertEngine`] evaluates two rule kinds against a [`Tsdb`] —
+//! never against live metrics, so every verdict is reproducible from
+//! stored history alone:
+//!
+//! - **recording rules** materialize derived values (counter rates,
+//!   windowed quantiles rebuilt from histogram deltas) as new gauge
+//!   series named `rule:<name>`, queryable like any stored series;
+//! - **alert rules** compare an expression against a threshold with a
+//!   `for`-duration and a hysteresis band, driving the classic
+//!   inactive → pending → firing state machine. A firing alert resolves
+//!   only once the value crosses the *clear* threshold, so values
+//!   oscillating inside the band cannot flap the alert.
+//!
+//! Evaluation happens at sample timestamps supplied by the caller (the
+//! hub's sampler), so under a [`ManualClock`](crate::ManualClock) the
+//! full transition history is bit-identical run to run — the property
+//! the worker-count parity gate asserts. When an alert fires, its
+//! annotations are enriched from the current [`FleetReport`] (worst
+//! stream per Doctor rule) and from histogram exemplars in the offending
+//! window (trace ids linking to [`FlightRecorder`](crate::FlightRecorder)
+//! span trees).
+
+use std::collections::VecDeque;
+
+use crate::fleet::FleetReport;
+use crate::tsdb::Tsdb;
+
+/// Resolved alerts retained for `/alerts`.
+const RESOLVED_RETAINED: usize = 32;
+/// Transition log entries retained (newest kept).
+const TRANSITIONS_RETAINED: usize = 256;
+
+/// A value derived from stored samples, evaluated at a point in time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlertExpr {
+    /// Exact per-second rate of a counter series over the trailing
+    /// window: `(last − first) / span` of the cumulative values.
+    CounterRatePerSec {
+        /// Counter series name.
+        series: String,
+        /// Trailing window width.
+        window_ns: u64,
+    },
+    /// The `q`-quantile of a histogram series over the trailing window,
+    /// rebuilt from stored bucket deltas.
+    WindowQuantile {
+        /// Histogram series name.
+        series: String,
+        /// Quantile in `[0, 1]`.
+        q: f64,
+        /// Trailing window width.
+        window_ns: u64,
+    },
+    /// The most recent stored value of a gauge series.
+    GaugeLast {
+        /// Gauge series name.
+        series: String,
+    },
+    /// Mean of a gauge series over the trailing window.
+    GaugeAvg {
+        /// Gauge series name.
+        series: String,
+        /// Trailing window width.
+        window_ns: u64,
+    },
+}
+
+impl AlertExpr {
+    /// Evaluates against stored samples at `now_ns`. `None` means "no
+    /// data" (missing series or empty window), which deliberately never
+    /// changes alert state.
+    pub fn evaluate(&self, tsdb: &Tsdb, now_ns: u64) -> Option<f64> {
+        match self {
+            AlertExpr::CounterRatePerSec { series, window_ns } => {
+                tsdb.rate_per_sec(series, *window_ns, now_ns)
+            }
+            AlertExpr::WindowQuantile {
+                series,
+                q,
+                window_ns,
+            } => tsdb.window_quantile(series, *q, *window_ns, now_ns),
+            AlertExpr::GaugeLast { series } => tsdb.gauge_last(series),
+            AlertExpr::GaugeAvg { series, window_ns } => tsdb.gauge_avg(series, *window_ns, now_ns),
+        }
+    }
+
+    /// The histogram series this expression windows over, if any —
+    /// the source for exemplar annotations.
+    fn histogram_series(&self) -> Option<(&str, u64)> {
+        match self {
+            AlertExpr::WindowQuantile {
+                series, window_ns, ..
+            } => Some((series, *window_ns)),
+            _ => None,
+        }
+    }
+
+    /// A compact human-readable form for JSON and summaries.
+    pub fn describe(&self) -> String {
+        match self {
+            AlertExpr::CounterRatePerSec { series, window_ns } => {
+                format!("rate({series}[{}s])", window_ns / 1_000_000_000)
+            }
+            AlertExpr::WindowQuantile {
+                series,
+                q,
+                window_ns,
+            } => format!("quantile({q}, {series}[{}s])", window_ns / 1_000_000_000),
+            AlertExpr::GaugeLast { series } => format!("last({series})"),
+            AlertExpr::GaugeAvg { series, window_ns } => {
+                format!("avg({series}[{}s])", window_ns / 1_000_000_000)
+            }
+        }
+    }
+}
+
+/// Materializes an [`AlertExpr`] as the gauge series `rule:<name>` on
+/// every evaluation where the expression yields a value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordingRule {
+    /// Output series suffix: values land in `rule:<name>`.
+    pub name: String,
+    /// The derived value.
+    pub expr: AlertExpr,
+}
+
+impl RecordingRule {
+    /// Creates a recording rule.
+    pub fn new(name: impl Into<String>, expr: AlertExpr) -> RecordingRule {
+        RecordingRule {
+            name: name.into(),
+            expr,
+        }
+    }
+
+    /// The output series name.
+    pub fn output_series(&self) -> String {
+        format!("rule:{}", self.name)
+    }
+}
+
+/// Which side of the threshold counts as breaching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// Breach when `value > threshold`; clear when
+    /// `value <= clear_threshold`.
+    Above,
+    /// Breach when `value < threshold`; clear when
+    /// `value >= clear_threshold`.
+    Below,
+}
+
+/// A threshold alert with `for`-duration and hysteresis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertRule {
+    /// Alert name (unique within an engine).
+    pub name: String,
+    /// The evaluated expression.
+    pub expr: AlertExpr,
+    /// Breach direction.
+    pub cmp: Cmp,
+    /// Breach threshold.
+    pub threshold: f64,
+    /// Hysteresis: a firing alert resolves only once the value crosses
+    /// this (for [`Cmp::Above`], `value <= clear_threshold`).
+    pub clear_threshold: f64,
+    /// The breach must persist this long before the alert fires.
+    pub for_ns: u64,
+    /// Static annotations; enriched with dynamic context at fire time.
+    pub annotations: Vec<(String, String)>,
+}
+
+impl AlertRule {
+    /// An alert that fires when `expr > threshold`.
+    pub fn above(name: impl Into<String>, expr: AlertExpr, threshold: f64) -> AlertRule {
+        AlertRule {
+            name: name.into(),
+            expr,
+            cmp: Cmp::Above,
+            threshold,
+            clear_threshold: threshold,
+            for_ns: 0,
+            annotations: Vec::new(),
+        }
+    }
+
+    /// An alert that fires when `expr < threshold`.
+    pub fn below(name: impl Into<String>, expr: AlertExpr, threshold: f64) -> AlertRule {
+        AlertRule {
+            name: name.into(),
+            expr,
+            cmp: Cmp::Below,
+            threshold,
+            clear_threshold: threshold,
+            for_ns: 0,
+            annotations: Vec::new(),
+        }
+    }
+
+    /// Sets the hysteresis clear threshold.
+    pub fn clear_at(mut self, clear_threshold: f64) -> AlertRule {
+        self.clear_threshold = clear_threshold;
+        self
+    }
+
+    /// Requires the breach to persist `for_ns` before firing.
+    pub fn for_duration(mut self, for_ns: u64) -> AlertRule {
+        self.for_ns = for_ns;
+        self
+    }
+
+    /// Adds a static annotation.
+    pub fn annotate(mut self, key: impl Into<String>, value: impl Into<String>) -> AlertRule {
+        self.annotations.push((key.into(), value.into()));
+        self
+    }
+
+    fn breached(&self, value: f64) -> bool {
+        match self.cmp {
+            Cmp::Above => value > self.threshold,
+            Cmp::Below => value < self.threshold,
+        }
+    }
+
+    fn cleared(&self, value: f64) -> bool {
+        match self.cmp {
+            Cmp::Above => value <= self.clear_threshold,
+            Cmp::Below => value >= self.clear_threshold,
+        }
+    }
+
+    /// The default rule set mirroring the calibration Doctor: one alert
+    /// per Doctor watchdog over the `fleet.rule.<name>.firing` gauges
+    /// the hub refreshes before each sample, plus an SLO burn-rate
+    /// alert and a windowed p99 solve-latency alert rebuilt from the
+    /// `lion.stream.solve_ns` histogram deltas (the one carrying trace
+    /// exemplars). The README's "Metrics history & alerting" table
+    /// documents each pairing.
+    pub fn doctor_rules() -> Vec<AlertRule> {
+        let mut rules: Vec<AlertRule> = crate::fleet::RULE_ORDER
+            .iter()
+            .map(|rule| {
+                AlertRule::above(
+                    format!("doctor_{rule}"),
+                    AlertExpr::GaugeLast {
+                        series: format!("fleet.rule.{rule}.firing"),
+                    },
+                    0.0,
+                )
+                .annotate("doctor_rule", *rule)
+            })
+            .collect();
+        rules.push(
+            AlertRule::above(
+                "slo_burn_rate",
+                AlertExpr::GaugeLast {
+                    series: "fleet.slo.burn_rate".to_string(),
+                },
+                1.0,
+            )
+            .clear_at(0.5)
+            .annotate("doctor_rule", "solve_latency"),
+        );
+        rules.push(
+            AlertRule::above(
+                "solve_latency_p99",
+                AlertExpr::WindowQuantile {
+                    series: "lion.stream.solve_ns".to_string(),
+                    q: 0.99,
+                    window_ns: 60_000_000_000,
+                },
+                1_000_000.0,
+            )
+            .clear_at(750_000.0)
+            .annotate("doctor_rule", "solve_latency"),
+        );
+        rules
+    }
+}
+
+/// Alert lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertState {
+    /// Not breaching.
+    Inactive,
+    /// Breaching, but not yet for the rule's `for` duration.
+    Pending,
+    /// Breaching past the `for` duration.
+    Firing,
+}
+
+impl AlertState {
+    /// Wire label: `inactive`, `pending`, or `firing`.
+    pub fn label(self) -> &'static str {
+        match self {
+            AlertState::Inactive => "inactive",
+            AlertState::Pending => "pending",
+            AlertState::Firing => "firing",
+        }
+    }
+}
+
+/// One state-machine edge, in evaluation order. The full log (bounded,
+/// newest retained) is the parity gate's comparison artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertTransition {
+    /// Rule name.
+    pub rule: String,
+    /// State before.
+    pub from: AlertState,
+    /// State after.
+    pub to: AlertState,
+    /// Evaluation timestamp.
+    pub at_ns: u64,
+    /// The expression value that drove the edge.
+    pub value: f64,
+}
+
+/// A resolved firing, retained for `/alerts`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedAlert {
+    /// Rule name.
+    pub rule: String,
+    /// When the alert entered `Firing`.
+    pub fired_at_ns: u64,
+    /// When it resolved.
+    pub resolved_at_ns: u64,
+    /// The worst value observed while pending/firing.
+    pub peak_value: f64,
+}
+
+/// Per-rule runtime state.
+#[derive(Debug, Clone)]
+struct RuleRuntime {
+    state: AlertState,
+    /// When the current pending/firing episode began breaching.
+    breach_since_ns: u64,
+    /// When the alert entered `Firing` (valid while firing).
+    fired_at_ns: u64,
+    last_value: Option<f64>,
+    peak_value: f64,
+    /// Dynamic annotations captured at fire time.
+    fire_annotations: Vec<(String, String)>,
+}
+
+impl RuleRuntime {
+    fn new() -> RuleRuntime {
+        RuleRuntime {
+            state: AlertState::Inactive,
+            breach_since_ns: 0,
+            fired_at_ns: 0,
+            last_value: None,
+            peak_value: 0.0,
+            fire_annotations: Vec::new(),
+        }
+    }
+}
+
+/// Evaluates recording and alert rules against a [`Tsdb`] at sample
+/// timestamps, maintaining deterministic alert state.
+#[derive(Debug)]
+pub struct AlertEngine {
+    recording: Vec<RecordingRule>,
+    rules: Vec<AlertRule>,
+    runtime: Vec<RuleRuntime>,
+    resolved: VecDeque<ResolvedAlert>,
+    transitions: VecDeque<AlertTransition>,
+    evaluations: u64,
+    last_eval_ns: u64,
+}
+
+impl AlertEngine {
+    /// Creates an engine over the given rule sets.
+    pub fn new(recording: Vec<RecordingRule>, rules: Vec<AlertRule>) -> AlertEngine {
+        let runtime = rules.iter().map(|_| RuleRuntime::new()).collect();
+        AlertEngine {
+            recording,
+            rules,
+            runtime,
+            resolved: VecDeque::new(),
+            transitions: VecDeque::new(),
+            evaluations: 0,
+            last_eval_ns: 0,
+        }
+    }
+
+    /// Runs one evaluation pass at `now_ns`: recording rules first (so
+    /// alert rules may reference `rule:<name>` series from the same
+    /// pass), then every alert rule in declaration order. Returns the
+    /// transitions this pass produced. `fleet` enriches fire-time
+    /// annotations with the worst stream per Doctor rule.
+    pub fn evaluate(
+        &mut self,
+        tsdb: &Tsdb,
+        now_ns: u64,
+        fleet: Option<&FleetReport>,
+    ) -> Vec<AlertTransition> {
+        self.evaluations += 1;
+        self.last_eval_ns = now_ns;
+        for rule in &self.recording {
+            if let Some(v) = rule.expr.evaluate(tsdb, now_ns) {
+                tsdb.push_gauge(&rule.output_series(), now_ns, v);
+            }
+        }
+        let mut edges = Vec::new();
+        for (rule, rt) in self.rules.iter().zip(self.runtime.iter_mut()) {
+            // No data → hold state. A dead sampler must not resolve a
+            // firing alert or age a pending one into firing.
+            let Some(value) = rule.expr.evaluate(tsdb, now_ns) else {
+                rt.last_value = None;
+                continue;
+            };
+            rt.last_value = Some(value);
+            let from = rt.state;
+            match rt.state {
+                AlertState::Inactive => {
+                    if rule.breached(value) {
+                        rt.breach_since_ns = now_ns;
+                        rt.peak_value = value;
+                        if rule.for_ns == 0 {
+                            rt.state = AlertState::Firing;
+                            rt.fired_at_ns = now_ns;
+                            rt.fire_annotations =
+                                fire_annotations(rule, value, tsdb, now_ns, fleet);
+                        } else {
+                            rt.state = AlertState::Pending;
+                        }
+                    }
+                }
+                AlertState::Pending => {
+                    if rule.breached(value) {
+                        rt.peak_value = peak(rule.cmp, rt.peak_value, value);
+                        if now_ns.saturating_sub(rt.breach_since_ns) >= rule.for_ns {
+                            rt.state = AlertState::Firing;
+                            rt.fired_at_ns = now_ns;
+                            rt.fire_annotations =
+                                fire_annotations(rule, value, tsdb, now_ns, fleet);
+                        }
+                    } else {
+                        rt.state = AlertState::Inactive;
+                    }
+                }
+                AlertState::Firing => {
+                    if rule.cleared(value) {
+                        rt.state = AlertState::Inactive;
+                        self.resolved.push_back(ResolvedAlert {
+                            rule: rule.name.clone(),
+                            fired_at_ns: rt.fired_at_ns,
+                            resolved_at_ns: now_ns,
+                            peak_value: rt.peak_value,
+                        });
+                        if self.resolved.len() > RESOLVED_RETAINED {
+                            self.resolved.pop_front();
+                        }
+                        rt.fire_annotations.clear();
+                    } else {
+                        rt.peak_value = peak(rule.cmp, rt.peak_value, value);
+                    }
+                }
+            }
+            if rt.state != from {
+                edges.push(AlertTransition {
+                    rule: rule.name.clone(),
+                    from,
+                    to: rt.state,
+                    at_ns: now_ns,
+                    value,
+                });
+            }
+        }
+        for edge in &edges {
+            self.transitions.push_back(edge.clone());
+            if self.transitions.len() > TRANSITIONS_RETAINED {
+                self.transitions.pop_front();
+            }
+        }
+        edges
+    }
+
+    /// Rules currently firing, in declaration order.
+    pub fn firing(&self) -> Vec<&str> {
+        self.rules
+            .iter()
+            .zip(&self.runtime)
+            .filter(|(_, rt)| rt.state == AlertState::Firing)
+            .map(|(r, _)| r.name.as_str())
+            .collect()
+    }
+
+    /// Rules currently pending.
+    pub fn pending(&self) -> Vec<&str> {
+        self.rules
+            .iter()
+            .zip(&self.runtime)
+            .filter(|(_, rt)| rt.state == AlertState::Pending)
+            .map(|(r, _)| r.name.as_str())
+            .collect()
+    }
+
+    /// Recently-resolved firings, oldest first.
+    pub fn resolved(&self) -> impl Iterator<Item = &ResolvedAlert> {
+        self.resolved.iter()
+    }
+
+    /// The bounded transition log, oldest first.
+    pub fn transitions(&self) -> impl Iterator<Item = &AlertTransition> {
+        self.transitions.iter()
+    }
+
+    /// Evaluation passes run.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// One-line status for demo output.
+    pub fn summary(&self) -> String {
+        let firing = self.firing();
+        let firing_list = if firing.is_empty() {
+            String::new()
+        } else {
+            format!(" [{}]", firing.join(", "))
+        };
+        format!(
+            "alerts: {} firing{}, {} pending, {} resolved retained ({} evaluations)",
+            firing.len(),
+            firing_list,
+            self.pending().len(),
+            self.resolved.len(),
+            self.evaluations
+        )
+    }
+
+    /// Deterministic JSON for `/alerts`: every rule with its state and
+    /// last value, plus the recently-resolved ring.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"evaluations\":{},\"last_eval_ns\":{},\"rules\":[",
+            self.evaluations, self.last_eval_ns
+        );
+        for (i, (rule, rt)) in self.rules.iter().zip(&self.runtime).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":{},\"expr\":{},\"state\":\"{}\",\"threshold\":{},\"clear_threshold\":{},\"for_ns\":{}",
+                json_string(&rule.name),
+                json_string(&rule.expr.describe()),
+                rt.state.label(),
+                fmt_f64(rule.threshold),
+                fmt_f64(rule.clear_threshold),
+                rule.for_ns
+            ));
+            match rt.last_value {
+                Some(v) => out.push_str(&format!(",\"value\":{}", fmt_f64(v))),
+                None => out.push_str(",\"value\":null"),
+            }
+            if rt.state == AlertState::Firing {
+                out.push_str(&format!(
+                    ",\"fired_at_ns\":{},\"peak_value\":{}",
+                    rt.fired_at_ns,
+                    fmt_f64(rt.peak_value)
+                ));
+            }
+            if rt.state == AlertState::Pending {
+                out.push_str(&format!(",\"pending_since_ns\":{}", rt.breach_since_ns));
+            }
+            let annotations: Vec<&(String, String)> = rule
+                .annotations
+                .iter()
+                .chain(rt.fire_annotations.iter())
+                .collect();
+            if !annotations.is_empty() {
+                out.push_str(",\"annotations\":{");
+                for (j, (k, v)) in annotations.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{}:{}", json_string(k), json_string(v)));
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("],\"resolved\":[");
+        for (i, r) in self.resolved.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":{},\"fired_at_ns\":{},\"resolved_at_ns\":{},\"peak_value\":{}}}",
+                json_string(&r.rule),
+                r.fired_at_ns,
+                r.resolved_at_ns,
+                fmt_f64(r.peak_value)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// The "worse" of two values relative to the breach direction.
+fn peak(cmp: Cmp, a: f64, b: f64) -> f64 {
+    match cmp {
+        Cmp::Above => a.max(b),
+        Cmp::Below => a.min(b),
+    }
+}
+
+/// Dynamic annotations captured the moment a rule fires: the driving
+/// value, the worst stream for the rule's Doctor counterpart (from the
+/// fleet rollup), and trace-id exemplars from the offending histogram
+/// window.
+fn fire_annotations(
+    rule: &AlertRule,
+    value: f64,
+    tsdb: &Tsdb,
+    now_ns: u64,
+    fleet: Option<&FleetReport>,
+) -> Vec<(String, String)> {
+    let mut out = vec![("fired_value".to_string(), format!("{value}"))];
+    let doctor_rule = rule
+        .annotations
+        .iter()
+        .find(|(k, _)| k == "doctor_rule")
+        .map(|(_, v)| v.as_str());
+    if let (Some(doctor_rule), Some(fleet)) = (doctor_rule, fleet) {
+        if let Some(rollup) = fleet.rule(doctor_rule) {
+            if let Some(worst) = &rollup.worst_stream {
+                out.push(("worst_stream".to_string(), worst.clone()));
+                out.push(("worst_value".to_string(), format!("{}", rollup.worst_value)));
+            }
+        }
+    }
+    if let Some((series, window_ns)) = rule.expr.histogram_series() {
+        let exemplars = tsdb.window_exemplars(series, window_ns, now_ns);
+        if !exemplars.is_empty() {
+            let ids: Vec<String> = exemplars
+                .iter()
+                .rev() // largest values first
+                .map(|e| format!("{:#x}", e.trace_id))
+                .collect();
+            out.push(("exemplar_trace_ids".to_string(), ids.join(",")));
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as JSON (non-finite → `null`).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tsdb::TsdbConfig;
+
+    fn gauge_rule(for_ns: u64) -> AlertRule {
+        AlertRule::above(
+            "g_high",
+            AlertExpr::GaugeLast {
+                series: "g".to_string(),
+            },
+            10.0,
+        )
+        .clear_at(5.0)
+        .for_duration(for_ns)
+    }
+
+    #[test]
+    fn pending_for_duration_then_firing_then_hysteresis_resolve() {
+        let db = Tsdb::new(TsdbConfig::default());
+        let mut engine = AlertEngine::new(vec![], vec![gauge_rule(2_000_000_000)]);
+        let sec = 1_000_000_000u64;
+
+        db.push_gauge("g", 0, 1.0);
+        assert!(engine.evaluate(&db, 0, None).is_empty());
+
+        // Breach → pending.
+        db.push_gauge("g", sec, 20.0);
+        let edges = engine.evaluate(&db, sec, None);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].to, AlertState::Pending);
+
+        // Still breaching but under the for-duration.
+        db.push_gauge("g", 2 * sec, 25.0);
+        assert!(engine.evaluate(&db, 2 * sec, None).is_empty());
+
+        // Past the for-duration → firing.
+        db.push_gauge("g", 3 * sec, 22.0);
+        let edges = engine.evaluate(&db, 3 * sec, None);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].to, AlertState::Firing);
+
+        // Inside the hysteresis band (5 < 7 <= 10): still firing.
+        db.push_gauge("g", 4 * sec, 7.0);
+        assert!(engine.evaluate(&db, 4 * sec, None).is_empty());
+        assert_eq!(engine.firing(), vec!["g_high"]);
+
+        // Below the clear threshold → resolved.
+        db.push_gauge("g", 5 * sec, 4.0);
+        let edges = engine.evaluate(&db, 5 * sec, None);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].to, AlertState::Inactive);
+        let resolved: Vec<_> = engine.resolved().collect();
+        assert_eq!(resolved.len(), 1);
+        assert_eq!(resolved[0].fired_at_ns, 3 * sec);
+        assert_eq!(resolved[0].resolved_at_ns, 5 * sec);
+        assert_eq!(resolved[0].peak_value, 25.0);
+    }
+
+    #[test]
+    fn pending_resets_when_breach_stops_early() {
+        let db = Tsdb::new(TsdbConfig::default());
+        let mut engine = AlertEngine::new(vec![], vec![gauge_rule(10_000_000_000)]);
+        db.push_gauge("g", 0, 20.0);
+        engine.evaluate(&db, 0, None);
+        assert_eq!(engine.pending(), vec!["g_high"]);
+        db.push_gauge("g", 1, 1.0);
+        engine.evaluate(&db, 1, None);
+        assert!(engine.pending().is_empty());
+        assert!(engine.firing().is_empty());
+        // The aborted pending episode never fired, so nothing resolved.
+        assert_eq!(engine.resolved().count(), 0);
+    }
+
+    #[test]
+    fn no_data_holds_state() {
+        let db = Tsdb::new(TsdbConfig::default());
+        let mut engine = AlertEngine::new(vec![], vec![gauge_rule(0)]);
+        db.push_gauge("g", 0, 20.0);
+        engine.evaluate(&db, 0, None);
+        assert_eq!(engine.firing(), vec!["g_high"]);
+        // Evaluate against a different (empty) store: no data, still firing.
+        let empty = Tsdb::new(TsdbConfig::default());
+        let edges = engine.evaluate(&empty, 1_000_000_000, None);
+        assert!(edges.is_empty());
+        assert_eq!(engine.firing(), vec!["g_high"]);
+        let json = engine.to_json();
+        assert!(json.contains("\"value\":null"), "{json}");
+    }
+
+    #[test]
+    fn recording_rules_materialize_gauge_series() {
+        let db = Tsdb::new(TsdbConfig::default());
+        db.push_counter("c", 0, 0);
+        db.push_counter("c", 2_000_000_000, 100);
+        let recording = vec![RecordingRule::new(
+            "c_rate",
+            AlertExpr::CounterRatePerSec {
+                series: "c".to_string(),
+                window_ns: 10_000_000_000,
+            },
+        )];
+        // An alert over the recorded series sees the same-pass value.
+        let alert = AlertRule::above(
+            "rate_high",
+            AlertExpr::GaugeLast {
+                series: "rule:c_rate".to_string(),
+            },
+            10.0,
+        );
+        let mut engine = AlertEngine::new(recording, vec![alert]);
+        let edges = engine.evaluate(&db, 2_000_000_000, None);
+        assert_eq!(db.gauge_last("rule:c_rate"), Some(50.0));
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].to, AlertState::Firing);
+    }
+
+    #[test]
+    fn below_rules_invert_breach_and_clear() {
+        let db = Tsdb::new(TsdbConfig::default());
+        let rule = AlertRule::below(
+            "g_low",
+            AlertExpr::GaugeLast {
+                series: "g".to_string(),
+            },
+            1.0,
+        )
+        .clear_at(2.0);
+        let mut engine = AlertEngine::new(vec![], vec![rule]);
+        db.push_gauge("g", 0, 0.5);
+        engine.evaluate(&db, 0, None);
+        assert_eq!(engine.firing(), vec!["g_low"]);
+        // 1.5 is above the breach threshold but below clear: still firing.
+        db.push_gauge("g", 1, 1.5);
+        engine.evaluate(&db, 1, None);
+        assert_eq!(engine.firing(), vec!["g_low"]);
+        db.push_gauge("g", 2, 3.0);
+        engine.evaluate(&db, 2, None);
+        assert!(engine.firing().is_empty());
+    }
+
+    #[test]
+    fn fire_annotations_capture_exemplars() {
+        use crate::hist::Exemplar;
+        let db = Tsdb::new(TsdbConfig::default());
+        // One slow observation carrying a trace id, in bucket space.
+        let mut h = crate::hist::Histogram::new();
+        h.record_with_exemplar(2_000_000, 0xabc);
+        let (buckets, c, s) = h.sparse_delta(None);
+        db.push_histogram_delta(
+            "lat",
+            0,
+            c,
+            s,
+            buckets,
+            vec![Exemplar {
+                value: 2_000_000,
+                trace_id: 0xabc,
+            }],
+        );
+        let rule = AlertRule::above(
+            "lat_p99",
+            AlertExpr::WindowQuantile {
+                series: "lat".to_string(),
+                q: 0.99,
+                window_ns: 60_000_000_000,
+            },
+            1_000_000.0,
+        );
+        let mut engine = AlertEngine::new(vec![], vec![rule]);
+        engine.evaluate(&db, 0, None);
+        let json = engine.to_json();
+        assert!(json.contains("\"exemplar_trace_ids\":\"0xabc\""), "{json}");
+        assert!(json.contains("\"state\":\"firing\""), "{json}");
+    }
+
+    #[test]
+    fn doctor_rules_cover_every_watchdog() {
+        let rules = AlertRule::doctor_rules();
+        for watchdog in crate::fleet::RULE_ORDER {
+            assert!(
+                rules.iter().any(|r| r
+                    .annotations
+                    .iter()
+                    .any(|(k, v)| k == "doctor_rule" && v == watchdog)),
+                "no alert rule annotated for doctor rule {watchdog}"
+            );
+        }
+        // Names are unique.
+        let mut names: Vec<&str> = rules.iter().map(|r| r.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), rules.len());
+    }
+}

@@ -189,6 +189,10 @@ fn push_samples(out: &mut String, name: &str, metric: &Metric, block: &str, buck
 /// disagree on a family's kind, the first group's kind wins and the
 /// conflicting samples are dropped — a scrape document with one family
 /// under two types would be rejected whole.
+///
+/// Counter families follow the Prometheus naming convention: the family
+/// name gets a `_total` suffix unless the registry name already carries
+/// one, so `engine.jobs` exports as `engine_jobs_total`.
 pub fn to_prometheus_grouped(groups: &[(&[(&str, &str)], &Snapshot)]) -> String {
     use std::collections::BTreeMap;
     // family → (kind, help, accumulated sample lines)
@@ -203,8 +207,11 @@ pub fn to_prometheus_grouped(groups: &[(&[(&str, &str)], &Snapshot)]) -> String 
             format!("{inner},")
         };
         for (name, metric) in &snapshot.metrics {
-            let family = prometheus_name(name);
             let kind = metric_kind(metric);
+            let mut family = prometheus_name(name);
+            if kind == "counter" && !family.ends_with("_total") {
+                family.push_str("_total");
+            }
             let entry = families
                 .entry(family.clone())
                 .or_insert_with(|| (kind, escape_help(name), String::new()));
@@ -420,8 +427,8 @@ mod tests {
     #[test]
     fn prometheus_rendering_has_types_and_cumulative_buckets() {
         let text = to_prometheus(&sample_snapshot());
-        assert!(text.contains("# TYPE engine_jobs counter"));
-        assert!(text.contains("engine_jobs 96"));
+        assert!(text.contains("# TYPE engine_jobs_total counter"));
+        assert!(text.contains("engine_jobs_total 96"));
         assert!(text.contains("# TYPE sim_reader_read_rate gauge"));
         assert!(text.contains("sim_reader_read_rate 0.875"));
         assert!(text.contains("# TYPE engine_solve_ns histogram"));
@@ -453,7 +460,7 @@ mod tests {
         r.counter_add("jobs", 1);
         r.histogram_record("lat_ns", 500);
         let text = to_prometheus_with_labels(&r.snapshot(), &[("run", "line1\nline\"2\\end")]);
-        assert!(text.contains("jobs{run=\"line1\\nline\\\"2\\\\end\"} 1"));
+        assert!(text.contains("jobs_total{run=\"line1\\nline\\\"2\\\\end\"} 1"));
         // Histogram buckets merge the constant labels with `le`.
         assert!(text.contains("lat_ns_bucket{run=\"line1\\nline\\\"2\\\\end\",le=\"+Inf\"} 1"));
         assert!(text.contains("lat_ns_count{run=\"line1\\nline\\\"2\\\\end\"} 1"));
@@ -473,40 +480,71 @@ mod tests {
         let snap = r.snapshot();
         let text =
             to_prometheus_grouped(&[(&[("stream", "a")], &snap), (&[("stream", "b")], &snap)]);
-        for family in ["engine_jobs", "solve_ns"] {
+        for family in ["engine_jobs_total", "solve_ns"] {
             let help = text.matches(&format!("# HELP {family} ")).count();
             let typ = text.matches(&format!("# TYPE {family} ")).count();
             assert_eq!(help, 1, "HELP for {family} repeated:\n{text}");
             assert_eq!(typ, 1, "TYPE for {family} repeated:\n{text}");
         }
         // Both label sets' samples survive, under the single header.
-        assert!(text.contains("engine_jobs{stream=\"a\"} 7"));
-        assert!(text.contains("engine_jobs{stream=\"b\"} 7"));
+        assert!(text.contains("engine_jobs_total{stream=\"a\"} 7"));
+        assert!(text.contains("engine_jobs_total{stream=\"b\"} 7"));
         assert!(text.contains("solve_ns_count{stream=\"a\"} 1"));
         assert!(text.contains("solve_ns_count{stream=\"b\"} 1"));
         // Headers precede every sample of their family.
-        let type_pos = text.find("# TYPE engine_jobs ").unwrap();
-        let first_sample = text.find("engine_jobs{").unwrap();
+        let type_pos = text.find("# TYPE engine_jobs_total ").unwrap();
+        let first_sample = text.find("engine_jobs_total{").unwrap();
         assert!(type_pos < first_sample);
         // HELP text carries the original (unsanitized) name.
-        assert!(text.contains("# HELP engine_jobs engine.jobs\n"));
+        assert!(text.contains("# HELP engine_jobs_total engine.jobs\n"));
     }
 
     #[test]
     fn kind_conflicts_keep_the_first_family_type() {
+        // A counter named `*_total` keeps its name, so it can collide
+        // with a gauge of the same registry name.
         let a = Registry::new();
-        a.counter_add("x", 1);
+        a.counter_add("x_total", 1);
         let b = Registry::new();
-        b.gauge_set("x", 2.0);
+        b.gauge_set("x_total", 2.0);
         let text = to_prometheus_grouped(&[
             (&[("s", "a")], &a.snapshot()),
             (&[("s", "b")], &b.snapshot()),
         ]);
-        assert_eq!(text.matches("# TYPE x ").count(), 1);
-        assert!(text.contains("# TYPE x counter"));
-        assert!(text.contains("x{s=\"a\"} 1"));
+        assert_eq!(text.matches("# TYPE x_total ").count(), 1);
+        assert!(text.contains("# TYPE x_total counter"));
+        assert!(text.contains("x_total{s=\"a\"} 1"));
         // The conflicting gauge sample is dropped, not emitted untyped.
-        assert!(!text.contains("x{s=\"b\"}"));
+        assert!(!text.contains("x_total{s=\"b\"}"));
+    }
+
+    #[test]
+    fn counter_families_always_carry_the_total_suffix() {
+        // Naming-convention conformance: every `# TYPE … counter` family
+        // in a rendered document ends in `_total`, whether or not the
+        // registry name carried the suffix.
+        let r = Registry::new();
+        r.counter_add("engine.jobs", 2);
+        r.counter_add("reads_total", 5);
+        r.counter_add("plane.requests", 1);
+        r.gauge_set("fleet.streams", 3.0);
+        r.histogram_record("solve_ns", 800);
+        let text = to_prometheus(&r.snapshot());
+        let mut counters = 0;
+        for line in text.lines() {
+            let Some(rest) = line.strip_prefix("# TYPE ") else {
+                continue;
+            };
+            let (family, kind) = rest.split_once(' ').expect("TYPE line shape");
+            if kind == "counter" {
+                counters += 1;
+                assert!(family.ends_with("_total"), "bad counter family: {family}");
+            }
+        }
+        assert_eq!(counters, 3);
+        // Pre-suffixed names are not doubled.
+        assert!(text.contains("reads_total 5"));
+        assert!(!text.contains("reads_total_total"));
     }
 
     #[test]
@@ -520,7 +558,7 @@ mod tests {
         let text = to_prometheus_with_labels(&r.snapshot(), &[("run", original)]);
         let line = text
             .lines()
-            .find(|l| l.starts_with("jobs{"))
+            .find(|l| l.starts_with("jobs_total{"))
             .expect("sample line");
         let value = line
             .split("run=\"")

@@ -40,9 +40,11 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
+use crate::alert::{AlertEngine, AlertExpr, AlertRule, RecordingRule};
 use crate::doctor::{HealthReport, RuleStatus};
 use crate::hist::Histogram;
 use crate::registry::Registry;
+use crate::tsdb::{SampleClock, Sampler, Tsdb, TsdbConfig, WallClock};
 
 /// Scale for recording the dimensionless residual-drift ratio into a
 /// `u64` histogram: 1.0 → 1000.
@@ -364,7 +366,7 @@ impl fmt::Display for FleetReport {
 
 /// The doctor's fixed rule order, mirrored here so the rollup reports
 /// every rule even before any stream mentioned it.
-const RULE_ORDER: [&str; 6] = [
+pub(crate) const RULE_ORDER: [&str; 6] = [
     "residual_drift",
     "convergence_stall",
     "ingress_shed",
@@ -508,11 +510,62 @@ impl FleetDoctor {
     }
 }
 
+/// Configuration for the hub's metrics-history plane: the store sizing,
+/// the sampling cadence and clock, and the rule sets the alert engine
+/// evaluates on every sample.
+///
+/// The default enables a [`WallClock`]-driven 1 s cadence with the
+/// Doctor-mirroring alert rules ([`AlertRule::doctor_rules`]) and a
+/// solve-error-rate recording rule; tests inject a
+/// [`ManualClock`](crate::ManualClock) for deterministic timestamps.
+#[derive(Debug)]
+pub struct HistoryConfig {
+    /// Time-series store sizing.
+    pub tsdb: TsdbConfig,
+    /// Sampling period in injected-clock nanoseconds.
+    pub sample_period_ns: u64,
+    /// The sampler's time source.
+    pub clock: Arc<dyn SampleClock>,
+    /// Recording rules materialized as `rule:<name>` gauge series.
+    pub recording_rules: Vec<RecordingRule>,
+    /// Alert rules evaluated on every sample.
+    pub alert_rules: Vec<AlertRule>,
+}
+
+impl Default for HistoryConfig {
+    fn default() -> Self {
+        HistoryConfig {
+            tsdb: TsdbConfig::default(),
+            sample_period_ns: 1_000_000_000,
+            clock: Arc::new(WallClock),
+            recording_rules: vec![RecordingRule::new(
+                "solve_error_rate",
+                AlertExpr::CounterRatePerSec {
+                    series: "lion.stream.solve_errors".to_string(),
+                    window_ns: 60_000_000_000,
+                },
+            )],
+            alert_rules: AlertRule::doctor_rules(),
+        }
+    }
+}
+
+/// The hub's optional history plane: store, sampler, and alert engine.
+#[derive(Debug)]
+struct HistoryPlane {
+    tsdb: Arc<Tsdb>,
+    sampler: Mutex<Sampler>,
+    alerts: Mutex<AlertEngine>,
+}
+
 /// Shared live-telemetry state: one fleet rollup the engine writes and
-/// the scrape server ([`crate::http::TelemetryServer`]) reads.
+/// the scrape server ([`crate::http::TelemetryServer`]) reads, plus an
+/// optional history plane ([`TelemetryHub::enable_history`]) backing
+/// `/query` and `/alerts`.
 #[derive(Debug)]
 pub struct TelemetryHub {
     fleet: Mutex<FleetDoctor>,
+    history: RwLock<Option<HistoryPlane>>,
 }
 
 impl TelemetryHub {
@@ -520,6 +573,7 @@ impl TelemetryHub {
     pub fn new(slo: SloConfig) -> Arc<TelemetryHub> {
         Arc::new(TelemetryHub {
             fleet: Mutex::new(FleetDoctor::new(slo)),
+            history: RwLock::new(None),
         })
     }
 
@@ -531,6 +585,137 @@ impl TelemetryHub {
     /// The current fleet rollup.
     pub fn fleet_report(&self) -> FleetReport {
         self.with_fleet(|fleet| fleet.report())
+    }
+
+    /// Attaches a history plane (store + sampler + alert engine),
+    /// replacing any previous one, and returns the store handle. Call
+    /// [`TelemetryHub::sample_tick`] — or spawn a
+    /// [`TelemetryHub::start_background_sampler`] — to feed it.
+    pub fn enable_history(&self, config: HistoryConfig) -> Arc<Tsdb> {
+        let tsdb = Arc::new(Tsdb::new(config.tsdb));
+        let sampler = Sampler::new(tsdb.clone(), config.sample_period_ns, config.clock);
+        let alerts = AlertEngine::new(config.recording_rules, config.alert_rules);
+        let plane = HistoryPlane {
+            tsdb: tsdb.clone(),
+            sampler: Mutex::new(sampler),
+            alerts: Mutex::new(alerts),
+        };
+        *self.history.write().expect("history lock poisoned") = Some(plane);
+        tsdb
+    }
+
+    /// The history store, when a plane is enabled.
+    pub fn tsdb(&self) -> Option<Arc<Tsdb>> {
+        self.history
+            .read()
+            .expect("history lock poisoned")
+            .as_ref()
+            .map(|plane| plane.tsdb.clone())
+    }
+
+    /// Whether a history plane is enabled.
+    pub fn history_enabled(&self) -> bool {
+        self.history
+            .read()
+            .expect("history lock poisoned")
+            .is_some()
+    }
+
+    /// One sampling step: refreshes the fleet gauges into the global
+    /// registry, snapshots the registry into the store if the sampler's
+    /// clock says a sample is due, and — on a sample — runs the alert
+    /// rules at the sample timestamp. Returns the sample timestamp when
+    /// a sample was taken; no-ops (cheaply) without a history plane.
+    ///
+    /// Deterministic by construction: the engine calls this at fixed
+    /// lifecycle points and the timestamps come from the injected clock,
+    /// so alert transitions are bit-identical across worker counts.
+    pub fn sample_tick(&self) -> Option<u64> {
+        let history = self.history.read().expect("history lock poisoned");
+        let plane = history.as_ref()?;
+        let report = self.fleet_report();
+        report.record_into(crate::global());
+        let t_ns = plane
+            .sampler
+            .lock()
+            .expect("sampler poisoned")
+            .tick(crate::global())?;
+        plane
+            .alerts
+            .lock()
+            .expect("alert engine poisoned")
+            .evaluate(&plane.tsdb, t_ns, Some(&report));
+        Some(t_ns)
+    }
+
+    /// Runs `f` against the alert engine, when a history plane is
+    /// enabled.
+    pub fn with_alerts<R>(&self, f: impl FnOnce(&AlertEngine) -> R) -> Option<R> {
+        let history = self.history.read().expect("history lock poisoned");
+        let plane = history.as_ref()?;
+        let alerts = plane.alerts.lock().expect("alert engine poisoned");
+        Some(f(&alerts))
+    }
+
+    /// The alert engine's `/alerts` JSON, when a history plane is
+    /// enabled.
+    pub fn alerts_json(&self) -> Option<String> {
+        self.with_alerts(|alerts| alerts.to_json())
+    }
+
+    /// Spawns a thread that calls [`TelemetryHub::sample_tick`] every
+    /// `poll` until the returned handle is stopped or dropped. The
+    /// sampler's own clock still decides when samples are due; `poll`
+    /// only bounds the check latency, so a quarter of the sample period
+    /// is a good value.
+    pub fn start_background_sampler(
+        self: &Arc<Self>,
+        poll: std::time::Duration,
+    ) -> BackgroundSampler {
+        let hub = self.clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("lion-sampler".to_string())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Relaxed) {
+                    hub.sample_tick();
+                    std::thread::sleep(poll);
+                }
+            })
+            .expect("spawn sampler thread");
+        BackgroundSampler {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+/// Handle to the hub's background sampling thread; stops (and joins) it
+/// on [`BackgroundSampler::stop`] or drop.
+#[derive(Debug)]
+pub struct BackgroundSampler {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl BackgroundSampler {
+    /// Signals the thread and waits for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for BackgroundSampler {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -724,5 +909,117 @@ mod tests {
         let taken = uninstall_telemetry_hub().expect("installed");
         taken.with_fleet(|fleet| assert_eq!(fleet.streams(), 0));
         assert!(telemetry_hub().is_none());
+    }
+
+    #[test]
+    fn slo_window_wraps_at_exactly_the_configured_size() {
+        let mut slo = SloTracker::new(SloConfig::default());
+        // Fill the window to exactly 1024 with misses, then verify the
+        // 1025th observation evicts exactly one (the oldest) sample.
+        for _ in 0..1024 {
+            slo.observe_failure("no_pairs");
+        }
+        let full = slo.report();
+        assert_eq!(full.window_len, 1024);
+        assert_eq!(full.total, 1024);
+        assert_eq!(full.attainment, 0.0);
+        slo.observe_solve(1);
+        let wrapped = slo.report();
+        assert_eq!(wrapped.window_len, 1024);
+        assert_eq!(wrapped.total, 1025);
+        // 1023 failures + 1 hit remain.
+        assert!((wrapped.attainment - 1.0 / 1024.0).abs() < 1e-12);
+        assert_eq!(
+            wrapped.failures_by_kind,
+            vec![("no_pairs".to_string(), 1023)]
+        );
+    }
+
+    #[test]
+    fn all_failure_window_pins_burn_rate_to_budget_inverse() {
+        let mut slo = SloTracker::new(SloConfig {
+            window: 16,
+            latency_objective_ns: 1_000,
+            error_budget: 0.01,
+        });
+        for i in 0..16 {
+            if i % 2 == 0 {
+                slo.observe_failure("degenerate_window");
+            } else {
+                // A completed solve that misses the objective is a miss too.
+                slo.observe_solve(1_000_000);
+            }
+        }
+        let report = slo.report();
+        assert_eq!(report.attainment, 0.0);
+        // 100% misses / 1% budget = 100× burn, exactly.
+        assert!((report.burn_rate - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn burn_rate_decays_monotonically_as_misses_age_out() {
+        let mut slo = SloTracker::new(SloConfig {
+            window: 32,
+            latency_objective_ns: 1_000,
+            error_budget: 0.05,
+        });
+        for _ in 0..32 {
+            slo.observe_failure("no_pairs");
+        }
+        let mut last = slo.report().burn_rate;
+        assert!(last > 1.0);
+        // Each clean solve displaces one miss: the burn rate must fall
+        // (or stay equal) every step, reaching exactly zero at the end.
+        for _ in 0..32 {
+            slo.observe_solve(1);
+            let burn = slo.report().burn_rate;
+            assert!(
+                burn <= last + 1e-12,
+                "burn rate rose while misses aged out: {burn} > {last}"
+            );
+            last = burn;
+        }
+        assert_eq!(last, 0.0);
+    }
+
+    #[test]
+    fn hub_history_plane_samples_and_alerts_deterministically() {
+        use crate::tsdb::ManualClock;
+        let hub = TelemetryHub::new(SloConfig::default());
+        assert!(!hub.history_enabled());
+        assert!(hub.sample_tick().is_none());
+
+        let clock = ManualClock::new(0);
+        let tsdb = hub.enable_history(HistoryConfig {
+            sample_period_ns: 1_000_000_000,
+            clock: clock.clone(),
+            alert_rules: vec![AlertRule::above(
+                "shed",
+                AlertExpr::GaugeLast {
+                    series: "fleet.rule.ingress_shed.firing".to_string(),
+                },
+                0.0,
+            )
+            .annotate("doctor_rule", "ingress_shed")],
+            ..HistoryConfig::default()
+        });
+        assert!(hub.history_enabled());
+
+        // First tick samples at t=0; the fleet gauges land in the store.
+        assert_eq!(hub.sample_tick(), Some(0));
+        assert_eq!(tsdb.gauge_last("fleet.rule.ingress_shed.firing"), Some(0.0));
+        // Not due again until the clock advances a full period.
+        assert_eq!(hub.sample_tick(), None);
+
+        // A shedding stream flips the gauge; the alert fires on the
+        // next due sample, at exactly the manual-clock timestamp.
+        hub.with_fleet(|fleet| fleet.ingest("s9", &health(1e-3, 1_000, 20)));
+        clock.set(1_000_000_000);
+        assert_eq!(hub.sample_tick(), Some(1_000_000_000));
+        let firing = hub.with_alerts(|a| a.firing().join(",")).unwrap();
+        assert_eq!(firing, "shed");
+        let json = hub.alerts_json().unwrap();
+        assert!(json.contains("\"state\":\"firing\""), "{json}");
+        assert!(json.contains("\"worst_stream\":\"s9\""), "{json}");
     }
 }

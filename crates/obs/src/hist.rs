@@ -49,6 +49,36 @@ fn bucket_upper(idx: usize) -> u64 {
     }
 }
 
+/// Exemplars retained per histogram (the largest recorded values win,
+/// so a latency histogram keeps trace ids for its slowest observations).
+pub const MAX_EXEMPLARS: usize = 4;
+
+/// A recorded value tagged with the trace id active when it was
+/// recorded, linking a histogram bucket back to a
+/// [`FlightRecorder`](crate::FlightRecorder) span tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Exemplar {
+    /// The recorded value (same unit as the histogram).
+    pub value: u64,
+    /// Trace id of the span tree that produced the value.
+    pub trace_id: u64,
+}
+
+/// Merges `incoming` into `kept`, keeping the `MAX_EXEMPLARS` largest
+/// `(value, trace_id)` pairs. Sorting makes the result independent of
+/// arrival order, so merged exemplar sets stay deterministic.
+pub(crate) fn merge_exemplars(kept: &mut Vec<Exemplar>, incoming: &[Exemplar]) {
+    if incoming.is_empty() {
+        return;
+    }
+    kept.extend_from_slice(incoming);
+    kept.sort_unstable();
+    kept.dedup();
+    if kept.len() > MAX_EXEMPLARS {
+        kept.drain(..kept.len() - MAX_EXEMPLARS);
+    }
+}
+
 /// A mergeable log-linear histogram with bounded relative error.
 ///
 /// # Example
@@ -71,6 +101,7 @@ pub struct Histogram {
     sum: u64,
     min: u64,
     max: u64,
+    exemplars: Vec<Exemplar>,
 }
 
 impl Histogram {
@@ -82,6 +113,7 @@ impl Histogram {
             sum: 0,
             min: u64::MAX,
             max: 0,
+            exemplars: Vec::new(),
         }
     }
 
@@ -103,9 +135,26 @@ impl Histogram {
         self.max = self.max.max(value);
     }
 
+    /// Records one value tagged with the trace id that produced it. The
+    /// histogram keeps the [`MAX_EXEMPLARS`] largest tagged values, so a
+    /// latency histogram retains trace ids for its slowest observations.
+    /// Plain [`Histogram::record`] never attaches exemplars, which keeps
+    /// untraced histograms bit-identical to pre-exemplar ones.
+    pub fn record_with_exemplar(&mut self, value: u64, trace_id: u64) {
+        self.record(value);
+        merge_exemplars(&mut self.exemplars, &[Exemplar { value, trace_id }]);
+    }
+
+    /// Retained exemplars, ascending by `(value, trace_id)`.
+    pub fn exemplars(&self) -> &[Exemplar] {
+        &self.exemplars
+    }
+
     /// Adds every bucket of `other` into `self`. Because all histograms
     /// share one bucket layout this is exact: the merged histogram is
     /// identical to recording both input streams into one histogram.
+    /// Exemplar sets are unioned, keeping the largest values; the result
+    /// does not depend on merge order.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a = a.saturating_add(*b);
@@ -114,6 +163,7 @@ impl Histogram {
         self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        merge_exemplars(&mut self.exemplars, &other.exemplars);
     }
 
     /// Number of recorded values.
@@ -206,6 +256,55 @@ impl Histogram {
         self.sum = 0;
         self.min = u64::MAX;
         self.max = 0;
+        self.exemplars.clear();
+    }
+
+    /// Bucket-wise delta against an earlier snapshot of the same
+    /// (monotonically growing) histogram, as sparse `(bucket index,
+    /// count delta)` pairs plus the count and sum deltas. With
+    /// `prev = None` the delta is the histogram itself. This is the
+    /// sampler's primitive for storing histogram history as exact,
+    /// mergeable per-interval increments (see `tsdb`).
+    pub fn sparse_delta(&self, prev: Option<&Histogram>) -> (Vec<(u32, u64)>, u64, u64) {
+        let mut buckets = Vec::new();
+        for (idx, &cur) in self.counts.iter().enumerate() {
+            let before = prev.map_or(0, |p| p.counts[idx]);
+            let delta = cur.saturating_sub(before);
+            if delta > 0 {
+                buckets.push((idx as u32, delta));
+            }
+        }
+        let dcount = self.count.saturating_sub(prev.map_or(0, |p| p.count));
+        let dsum = self.sum.saturating_sub(prev.map_or(0, |p| p.sum));
+        (buckets, dcount, dsum)
+    }
+
+    /// Reconstructs a histogram from sparse `(bucket index, count)` pairs
+    /// (the inverse of [`Histogram::sparse_delta`], after summing the
+    /// per-interval deltas over a window). Bucket counts are exact;
+    /// `min`/`max`/`sum` are reconstructed from the bucket bounds, so
+    /// quantiles carry the usual ≤ 6.25% quantization error. Out-of-range
+    /// indexes are ignored.
+    pub fn from_sparse(buckets: &[(u32, u64)]) -> Histogram {
+        let mut h = Histogram::new();
+        for &(idx, c) in buckets {
+            let idx = idx as usize;
+            if idx >= BUCKETS || c == 0 {
+                continue;
+            }
+            h.counts[idx] = h.counts[idx].saturating_add(c);
+            h.count = h.count.saturating_add(c);
+            let upper = bucket_upper(idx);
+            h.sum = h.sum.saturating_add(upper.saturating_mul(c));
+            let lower = if idx == 0 {
+                0
+            } else {
+                bucket_upper(idx - 1) + 1
+            };
+            h.min = h.min.min(lower);
+            h.max = h.max.max(upper);
+        }
+        h
     }
 
     /// Full-fidelity JSON encoding (sparse buckets), the inverse of
@@ -234,7 +333,18 @@ impl Histogram {
             first = false;
             out.push_str(&format!("[{idx},{c}]"));
         }
-        out.push_str("]}");
+        out.push(']');
+        if !self.exemplars.is_empty() {
+            out.push_str(",\"exemplars\":[");
+            for (i, e) in self.exemplars.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{},{}]", e.value, e.trace_id));
+            }
+            out.push(']');
+        }
+        out.push('}');
         out
     }
 
@@ -284,6 +394,26 @@ impl Histogram {
         h.sum = sum;
         h.max = max;
         h.min = if count == 0 { u64::MAX } else { min };
+        // Exemplars are optional: snapshots written before exemplar
+        // support (or from untraced histograms) omit the field.
+        if let Some(pairs) = value.get("exemplars").and_then(|v| v.as_array()) {
+            for pair in pairs {
+                let entries = pair.as_array().ok_or("histogram: exemplar not an array")?;
+                let (Some(v), Some(id)) = (
+                    entries.first().and_then(|e| e.as_u64()),
+                    entries.get(1).and_then(|e| e.as_u64()),
+                ) else {
+                    return Err("histogram: malformed exemplar pair".to_string());
+                };
+                merge_exemplars(
+                    &mut h.exemplars,
+                    &[Exemplar {
+                        value: v,
+                        trace_id: id,
+                    }],
+                );
+            }
+        }
         Ok(h)
     }
 }
@@ -381,6 +511,84 @@ mod tests {
                 assert!(bucket_upper(idx - 1) < v);
             }
         }
+    }
+
+    #[test]
+    fn exemplars_keep_largest_values_order_independently() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for (v, id) in [(100u64, 1u64), (900, 2), (50, 3)] {
+            a.record_with_exemplar(v, id);
+        }
+        for (v, id) in [(700u64, 4u64), (300, 5), (2_000, 6)] {
+            b.record_with_exemplar(v, id);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.exemplars(), ba.exemplars());
+        assert_eq!(ab.exemplars().len(), MAX_EXEMPLARS);
+        // Largest values survive; the smallest two (50, 100) are dropped.
+        let values: Vec<u64> = ab.exemplars().iter().map(|e| e.value).collect();
+        assert_eq!(values, vec![300, 700, 900, 2_000]);
+    }
+
+    #[test]
+    fn plain_record_attaches_no_exemplars() {
+        let mut h = Histogram::new();
+        h.record(1_000);
+        assert!(h.exemplars().is_empty());
+        h.record_with_exemplar(2_000, 42);
+        assert_eq!(
+            h.exemplars(),
+            &[Exemplar {
+                value: 2_000,
+                trace_id: 42
+            }]
+        );
+        h.reset();
+        assert!(h.exemplars().is_empty());
+    }
+
+    #[test]
+    fn exemplars_round_trip_through_json() {
+        let mut h = Histogram::new();
+        h.record_with_exemplar(123_456, 7);
+        h.record_with_exemplar(99, 8);
+        let parsed = crate::json::parse(&h.to_json()).expect("valid json");
+        let back = Histogram::from_json(&parsed).expect("well-formed");
+        assert_eq!(h, back);
+    }
+
+    #[test]
+    fn sparse_delta_reconstructs_the_increment_exactly() {
+        let mut h = Histogram::new();
+        for v in [10u64, 500, 70_000] {
+            h.record(v);
+        }
+        let prev = h.clone();
+        for v in [10u64, 9_000_000, 12] {
+            h.record(v);
+        }
+        let (buckets, dcount, dsum) = h.sparse_delta(Some(&prev));
+        assert_eq!(dcount, 3);
+        assert_eq!(dsum, 10 + 9_000_000 + 12);
+        assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), 3);
+        // Reconstructing from the sparse delta matches a histogram of
+        // just the new values, bucket for bucket.
+        let mut fresh = Histogram::new();
+        for v in [10u64, 9_000_000, 12] {
+            fresh.record(v);
+        }
+        let rebuilt = Histogram::from_sparse(&buckets);
+        let (fresh_buckets, _, _) = fresh.sparse_delta(None);
+        let (rebuilt_buckets, _, _) = rebuilt.sparse_delta(None);
+        assert_eq!(fresh_buckets, rebuilt_buckets);
+        assert_eq!(rebuilt.count(), 3);
+        // Quantiles from the rebuilt histogram stay within bucket error.
+        assert!(rebuilt.quantile(1.0) >= 9_000_000);
+        assert!(rebuilt.quantile(1.0) as f64 <= 9_000_000.0 * 1.0625);
     }
 
     #[test]

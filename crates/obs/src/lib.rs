@@ -27,6 +27,11 @@
 //! turns flight-recorder span rings into exclusive-time collapsed-stack
 //! flamegraphs, and [`http`] serves everything over a zero-dependency
 //! HTTP scrape endpoint ([`TelemetryServer`]) while the pipeline runs.
+//! The **history plane** extends the hub with an embedded time-series
+//! store ([`tsdb`]: raw/10s/1m tiers under a hard memory cap, sampled on
+//! an injectable clock) and a deterministic alerting engine ([`alert`]:
+//! recording rules, threshold + `for`-duration + hysteresis alerts with
+//! trace-exemplar annotations) behind `GET /query` and `GET /alerts`.
 //!
 //! # Example
 //!
@@ -48,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alert;
 pub mod doctor;
 pub mod export;
 pub mod fleet;
@@ -60,13 +66,18 @@ mod registry;
 mod subscriber;
 mod timer;
 pub mod trace;
+pub mod tsdb;
 
+pub use alert::{
+    AlertEngine, AlertExpr, AlertRule, AlertState, AlertTransition, Cmp, RecordingRule,
+    ResolvedAlert,
+};
 pub use doctor::{Doctor, DoctorConfig, HealthReport, RuleReport, RuleStatus, SolveObservation};
 pub use fleet::{
-    install_telemetry_hub, telemetry_hub, uninstall_telemetry_hub, FleetDoctor, FleetReport,
-    SloConfig, SloReport, SloTracker, TelemetryHub,
+    install_telemetry_hub, telemetry_hub, uninstall_telemetry_hub, BackgroundSampler, FleetDoctor,
+    FleetReport, HistoryConfig, SloConfig, SloReport, SloTracker, TelemetryHub,
 };
-pub use hist::{Histogram, SUB_BUCKETS};
+pub use hist::{Exemplar, Histogram, MAX_EXEMPLARS, SUB_BUCKETS};
 pub use http::TelemetryServer;
 pub use recorder::{
     flight_recorder, install_flight_recorder, note_failure, uninstall_flight_recorder, FailureDump,
@@ -80,3 +91,7 @@ pub use subscriber::{
 };
 pub use timer::{saturating_ns_between, HistogramTimer};
 pub use trace::{attach, TraceContext, TraceGuard};
+pub use tsdb::{
+    CounterPoint, GaugePoint, HistPoint, ManualClock, SampleClock, Sampler, SeriesInfo,
+    SeriesPoints, Tier, Tsdb, TsdbConfig, TsdbStats, WallClock,
+};

@@ -115,6 +115,27 @@ impl Registry {
         }
     }
 
+    /// Records `value` into the histogram `name` with a trace-id
+    /// exemplar attached (see [`Histogram::record_with_exemplar`]), so
+    /// alerting on the histogram can link back to the span tree that
+    /// produced its slowest values.
+    pub fn histogram_record_with_exemplar(&self, name: &str, value: u64, trace_id: u64) {
+        let mut map = self.inner.lock().expect("registry poisoned");
+        match map.get_mut(name) {
+            Some(Metric::Histogram(h)) => h.record_with_exemplar(value, trace_id),
+            other => {
+                let mut h = Histogram::new();
+                h.record_with_exemplar(value, trace_id);
+                match other {
+                    Some(slot) => *slot = Metric::Histogram(h),
+                    None => {
+                        map.insert(name.to_string(), Metric::Histogram(h));
+                    }
+                }
+            }
+        }
+    }
+
     /// Merges a whole histogram into the histogram `name`.
     pub fn histogram_merge(&self, name: &str, hist: &Histogram) {
         let mut map = self.inner.lock().expect("registry poisoned");
@@ -180,6 +201,18 @@ mod tests {
         let h = snap.histogram("h").expect("histogram");
         assert_eq!(h.count(), 3);
         assert_eq!(h.max(), 300);
+    }
+
+    #[test]
+    fn exemplar_recording_tags_the_histogram() {
+        let r = Registry::new();
+        r.histogram_record_with_exemplar("h", 5_000, 77);
+        r.histogram_record("h", 10);
+        let snap = r.snapshot();
+        let h = snap.histogram("h").expect("histogram");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.exemplars().len(), 1);
+        assert_eq!(h.exemplars()[0].trace_id, 77);
     }
 
     #[test]

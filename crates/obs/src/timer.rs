@@ -53,6 +53,27 @@ impl<'a> HistogramTimer<'a> {
         elapsed
     }
 
+    /// Like [`HistogramTimer::stop`], but when an ambient trace context
+    /// exists (a span is open or a [`crate::TraceContext`] is attached)
+    /// the elapsed value lands with that trace id as a histogram
+    /// exemplar, so a latency alert on the histogram links back to the
+    /// span tree of its slowest observation. Without tracing this is
+    /// exactly `stop()`.
+    pub fn stop_traced(mut self) -> u64 {
+        let elapsed = self.elapsed_ns();
+        match crate::trace::TraceContext::current() {
+            Some(ctx) => {
+                self.registry
+                    .histogram_record_with_exemplar(self.name, elapsed, ctx.trace_id);
+            }
+            None => {
+                self.registry.histogram_record(self.name, elapsed);
+            }
+        }
+        self.stopped = true;
+        elapsed
+    }
+
     /// Nanoseconds since the timer started, saturating at `u64::MAX`
     /// (and at `0` against clock anomalies — see
     /// [`saturating_ns_between`]).

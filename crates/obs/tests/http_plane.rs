@@ -94,8 +94,8 @@ fn all_five_routes_serve_parseable_bodies_with_correct_types() {
         Some(body.len().to_string().as_str())
     );
     let metrics = String::from_utf8(body).expect("utf8 metrics");
-    assert!(metrics.contains("# TYPE plane_requests counter"));
-    assert!(metrics.contains("plane_requests 7"));
+    assert!(metrics.contains("# TYPE plane_requests_total counter"));
+    assert!(metrics.contains("plane_requests_total 7"));
     assert!(metrics.contains("fleet_streams 1"));
 
     // /health: JSON envelope with the fleet rollup and SLO budget burn.
@@ -190,7 +190,7 @@ fn unknown_routes_404_and_non_get_405_with_allow() {
         head.starts_with("HTTP/1.1 405 Method Not Allowed"),
         "{head}"
     );
-    assert_eq!(header_value(&head, "Allow"), Some("GET"));
+    assert_eq!(header_value(&head, "Allow"), Some("GET, HEAD"));
 
     let (head, _) = exchange(&server, "DELETE /bogus HTTP/1.1\r\nHost: test\r\n\r\n");
     assert!(head.starts_with("HTTP/1.1 404 Not Found"), "{head}");
@@ -198,14 +198,175 @@ fn unknown_routes_404_and_non_get_405_with_allow() {
     let (head, _) = exchange(&server, "this is not http\r\n\r\n");
     assert!(head.starts_with("HTTP/1.1 400 Bad Request"), "{head}");
 
+    // An oversized request head is named for what it is: 414, not a
+    // generic 400.
+    let huge_target = format!("/metrics?pad={}", "x".repeat(9 * 1024));
+    let (head, _) = exchange(
+        &server,
+        &format!("GET {huge_target} HTTP/1.1\r\nHost: test\r\n\r\n"),
+    );
+    assert!(head.starts_with("HTTP/1.1 414 URI Too Long"), "{head}");
+
     // The index lists the routes.
     let (head, body) = get(&server, "/");
     assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
     let index = String::from_utf8(body).expect("utf8 index");
-    for route in ["/metrics", "/health", "/snapshot", "/trace", "/profile"] {
+    for route in [
+        "/metrics",
+        "/health",
+        "/snapshot",
+        "/trace",
+        "/profile",
+        "/query",
+        "/alerts",
+    ] {
         assert!(index.contains(route), "index missing {route}");
     }
     server.shutdown();
+}
+
+#[test]
+fn head_answers_every_route_with_headers_and_no_body() {
+    let _serial = global_state_lock();
+    lion_obs::global().clear();
+    lion_obs::global().counter_add("plane.requests", 3);
+    let server = TelemetryServer::bind("127.0.0.1:0").expect("bind");
+
+    for path in [
+        "/",
+        "/metrics",
+        "/health",
+        "/snapshot",
+        "/trace",
+        "/profile",
+        "/query",
+        "/alerts",
+    ] {
+        let (head, body) = exchange(
+            &server,
+            &format!("HEAD {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"),
+        );
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{path}: {head}");
+        assert!(body.is_empty(), "{path}: HEAD returned a body");
+        // Content-Length advertises what the GET would carry.
+        let advertised: usize = header_value(&head, "Content-Length")
+            .expect("Content-Length present")
+            .parse()
+            .expect("numeric length");
+        let (get_head, get_body) = get(&server, path);
+        assert!(get_head.starts_with("HTTP/1.1 200 OK"), "{path}");
+        assert_eq!(advertised, get_body.len(), "{path}: length mismatch");
+    }
+
+    // HEAD on an unknown route: 404 head, still no body.
+    let (head, body) = exchange(&server, "HEAD /nope HTTP/1.1\r\nHost: test\r\n\r\n");
+    assert!(head.starts_with("HTTP/1.1 404 Not Found"), "{head}");
+    assert!(body.is_empty());
+
+    server.shutdown();
+    lion_obs::global().clear();
+}
+
+#[test]
+fn query_and_alerts_serve_the_history_plane() {
+    let _serial = global_state_lock();
+    lion_obs::global().clear();
+    let server = TelemetryServer::bind("127.0.0.1:0").expect("bind");
+
+    // Without a hub the routes answer with explicit not-installed
+    // envelopes rather than errors.
+    let (head, body) = get(&server, "/query");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    assert!(String::from_utf8(body)
+        .expect("utf8")
+        .contains("\"history_installed\":false"));
+    let (head, body) = get(&server, "/alerts");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    assert!(String::from_utf8(body)
+        .expect("utf8")
+        .contains("\"alerts_installed\":false"));
+
+    // Install the hub with history and feed it deterministic samples on
+    // a manual clock.
+    let hub = lion_obs::install_telemetry_hub(SloConfig::default());
+    let clock = lion_obs::ManualClock::new(0);
+    let tsdb = hub.enable_history(lion_obs::fleet::HistoryConfig {
+        clock: clock.clone(),
+        alert_rules: vec![lion_obs::AlertRule::above(
+            "hot_gauge",
+            lion_obs::AlertExpr::GaugeLast {
+                series: "plane.load".to_string(),
+            },
+            0.5,
+        )
+        .clear_at(0.25)],
+        ..Default::default()
+    });
+    tsdb.push_gauge("plane.load", 1_000_000_000, 0.9);
+    hub.sample_tick();
+
+    // /query without params lists the stored series.
+    let (head, body) = get(&server, "/query");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    assert_eq!(
+        header_value(&head, "Content-Type"),
+        Some("application/x-ndjson")
+    );
+    let listing = String::from_utf8(body).expect("utf8 listing");
+    assert!(listing.contains("\"series\":\"plane.load\""), "{listing}");
+    assert!(listing.contains("\"stats\":{"), "{listing}");
+
+    // /query?series=… returns a meta line plus one line per point, each
+    // parseable JSON.
+    let (head, body) = get(
+        &server,
+        "/query?series=plane.load&tier=raw&from=0&to=2000000000",
+    );
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    let text = String::from_utf8(body).expect("utf8 points");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "{text}");
+    let meta = lion_obs::json::parse(lines[0]).expect("meta parses");
+    assert_eq!(
+        meta.get("series").and_then(|v| v.as_str()),
+        Some("plane.load")
+    );
+    assert_eq!(meta.get("points").and_then(|v| v.as_u64()), Some(1));
+    let point = lion_obs::json::parse(lines[1]).expect("point parses");
+    assert_eq!(
+        point.get("t_ns").and_then(|v| v.as_u64()),
+        Some(1_000_000_000)
+    );
+
+    // Bad parameters map to 400/404, not 200 garbage.
+    let (head, _) = get(&server, "/query?series=plane.load&tier=5s");
+    assert!(head.starts_with("HTTP/1.1 400 Bad Request"), "{head}");
+    let (head, _) = get(&server, "/query?series=no.such.series");
+    assert!(head.starts_with("HTTP/1.1 404 Not Found"), "{head}");
+
+    // /alerts: the engine saw the breaching gauge on the first tick.
+    let (head, body) = get(&server, "/alerts");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    assert_eq!(
+        header_value(&head, "Content-Type"),
+        Some("application/json")
+    );
+    let alerts = String::from_utf8(body).expect("utf8 alerts");
+    let doc = lion_obs::json::parse(alerts.trim()).expect("alerts parse");
+    assert_eq!(
+        doc.get("alerts_installed").and_then(|v| v.as_bool()),
+        Some(true)
+    );
+    let rules = doc
+        .get("alerts")
+        .and_then(|a| a.get("rules"))
+        .and_then(|v| v.as_array())
+        .expect("rules array");
+    assert!(!rules.is_empty());
+
+    server.shutdown();
+    lion_obs::uninstall_telemetry_hub();
+    lion_obs::global().clear();
 }
 
 #[test]

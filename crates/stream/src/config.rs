@@ -175,6 +175,11 @@ pub struct StreamConfig {
     pub space: Space,
     /// Replay vs incremental cadence re-solves.
     pub resolve_mode: ResolveMode,
+    /// Optional stable identity for telemetry: the stream's series label
+    /// in the hub's time-series store (`lion.stream.*{stream="<label>"}`)
+    /// and its id in fleet health rollups. `None` falls back to the
+    /// submission slot (`stream-<i>`).
+    pub label: Option<String>,
 }
 
 impl Default for StreamConfig {
@@ -187,6 +192,7 @@ impl Default for StreamConfig {
             localizer: LocalizerConfig::default(),
             space: Space::default(),
             resolve_mode: ResolveMode::default(),
+            label: None,
         }
     }
 }
@@ -299,6 +305,13 @@ impl StreamConfigBuilder {
         self
     }
 
+    /// Names the stream for telemetry (time-series labels, fleet health
+    /// rollup ids). Unnamed streams report as `stream-<slot>`.
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.config.label = Some(label.into());
+        self
+    }
+
     /// Validates and builds.
     ///
     /// # Errors
@@ -329,6 +342,13 @@ mod tests {
         assert_eq!(cfg.resolve_mode, ResolveMode::Incremental);
         assert_eq!(cfg.resolve_mode.label(), "incremental");
         assert_eq!(ResolveMode::Replay.label(), "replay");
+    }
+
+    #[test]
+    fn label_round_trips_through_builder() {
+        assert_eq!(StreamConfig::default().label, None);
+        let cfg = StreamConfig::builder().label("portal-3").build().unwrap();
+        assert_eq!(cfg.label.as_deref(), Some("portal-3"));
     }
 
     #[test]

@@ -287,7 +287,10 @@ impl StreamLocalizer {
             )
             .map(|est| (est, ResolvePath::Replayed)),
         };
-        solve_timer.stop();
+        // Tags the latency with the ambient trace id (when tracing is
+        // attached) so histogram exemplars link slow solves to their
+        // flight-recorder span trees.
+        solve_timer.stop_traced();
         let (batch, resolve_path) = match solved {
             Ok(solved) => solved,
             Err(e) => {

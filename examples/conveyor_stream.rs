@@ -24,12 +24,14 @@
 //! `<dir>/health.json`, and `<dir>/snapshot.jsonl`.
 //!
 //! With `--serve <addr>` the run switches to **fleet mode**: it installs
-//! the telemetry hub + flight recorder, starts the HTTP scrape server,
-//! and drives twelve doctored portal streams through
-//! [`Engine::run_streams`] while `/metrics`, `/health`, `/snapshot`,
-//! `/trace`, and `/profile` answer live. Add `--hold` to keep the server
-//! up after the fleet drains (press Enter to stop) — port `0` picks an
-//! ephemeral port and prints it.
+//! the telemetry hub + flight recorder, enables the metrics history
+//! plane (embedded time-series store + alert rules + background
+//! sampler), starts the HTTP scrape server, and drives twelve doctored
+//! portal streams through [`Engine::run_streams`] while `/metrics`,
+//! `/health`, `/snapshot`, `/trace`, `/profile`, `/query`, and `/alerts`
+//! answer live. Add `--hold` to keep the server up after the fleet
+//! drains (press Enter to stop) — port `0` picks an ephemeral port and
+//! prints it.
 
 use lion::obs::SolveObservation;
 use lion::prelude::*;
@@ -88,25 +90,31 @@ fn serve_fleet(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
     let hold = std::env::args().any(|a| a == "--hold");
     lion::obs::install_flight_recorder(1 << 14);
     let hub = install_telemetry_hub(SloConfig::default());
+    // History plane: the embedded time-series store (raw/10s/1m tiers),
+    // the default recording + doctor alert rules, and a background
+    // sampler that snapshots the registry once a second while held.
+    hub.enable_history(HistoryConfig::default());
+    let sampler = hub.start_background_sampler(std::time::Duration::from_millis(250));
     let server = TelemetryServer::bind(addr)?;
     println!("== conveyor fleet: live telemetry ==");
     println!("scrape  http://{}/metrics", server.local_addr());
-    for route in ["health", "snapshot", "trace", "profile"] {
+    for route in ["health", "snapshot", "trace", "profile", "query", "alerts"] {
         println!("        http://{}/{route}", server.local_addr());
     }
     println!();
 
-    // Twelve portals along the line. Portals 9-11 run starved ingress
-    // queues so the shed watchdog has something to fire on.
-    let config = StreamConfig::builder()
-        .window_capacity(320)
-        .min_window_len(48)
-        .cadence(Cadence::EveryReads(25))
-        .build()?;
+    // Twelve labelled portals along the line. Portals 9-11 run starved
+    // ingress queues so the shed watchdog has something to fire on.
     let mut jobs = Vec::new();
     for portal in 0..12u64 {
+        let config = StreamConfig::builder()
+            .window_capacity(320)
+            .min_window_len(48)
+            .cadence(Cadence::EveryReads(25))
+            .label(format!("portal-{portal}"))
+            .build()?;
         let reads = portal_reads(0.6 * portal as f64, 20_200 + portal)?;
-        let mut job = StreamJob::new(reads, config.clone()).with_doctor(DoctorConfig::default());
+        let mut job = StreamJob::new(reads, config).with_doctor(DoctorConfig::default());
         if portal >= 9 {
             job = job.with_burst(100).with_queue_capacity(25);
         }
@@ -119,6 +127,20 @@ fn serve_fleet(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
     let report = hub.fleet_report();
     report.record_into(lion::obs::global());
     print!("{report}");
+    if let Some(summary) = hub.with_alerts(|alerts| alerts.summary()) {
+        println!("{summary}");
+    }
+    if let Some(tsdb) = hub.tsdb() {
+        let stats = tsdb.stats();
+        println!(
+            "history: {} series, {} points stored ({} evicted), {} bytes of {} cap",
+            stats.series,
+            stats.inserted_points,
+            stats.evicted_points,
+            stats.bytes,
+            stats.memory_cap_bytes,
+        );
+    }
 
     if hold {
         println!();
@@ -126,6 +148,7 @@ fn serve_fleet(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
         let mut line = String::new();
         std::io::stdin().read_line(&mut line)?;
     }
+    sampler.stop();
     server.shutdown();
     uninstall_telemetry_hub();
     lion::obs::uninstall_flight_recorder();

@@ -21,9 +21,11 @@
 //! `<dir>/snapshot.jsonl`.
 //!
 //! With `--serve <addr>` the run starts the HTTP scrape server before
-//! the batch and publishes the batch report into the global registry,
-//! so `/metrics`, `/snapshot`, `/trace`, and `/profile` carry the run.
-//! Add `--hold` to keep serving after the table renders (Enter stops).
+//! the batch, installs the telemetry hub with the metrics history plane
+//! enabled, and publishes the batch report into the global registry, so
+//! `/metrics`, `/snapshot`, `/trace`, `/profile`, `/query`, and
+//! `/alerts` all carry the run. Add `--hold` to keep serving after the
+//! table renders (Enter stops).
 
 use lion::obs::export::{append_json_line, parse_json_line, to_json_line, write_chrome_trace};
 use lion::obs::SolveObservation;
@@ -65,9 +67,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .as_ref()
         .map(|_| install_flight_recorder(1 << 16))
         .or_else(|| server.as_ref().map(|_| install_flight_recorder(1 << 14)));
+    // Serving also installs the telemetry hub with the history plane
+    // enabled, so `/query` has stored samples to range over and
+    // `/alerts` has a live (if rule-less) engine to render.
+    let hub = server.as_ref().map(|_| {
+        let hub = install_telemetry_hub(SloConfig::default());
+        hub.enable_history(HistoryConfig::default());
+        hub
+    });
     if let Some(server) = &server {
         println!(
-            "serving http://{}/metrics (and /health /snapshot /trace /profile)",
+            "serving http://{}/metrics (and /health /snapshot /trace /profile /query /alerts)",
             server.local_addr()
         );
     }
@@ -110,6 +120,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Publish the batch report to the global registry too, so a scraper
     // hitting /metrics or /snapshot sees the same stage histograms.
     outcome.report.record_into(lion::obs::global());
+    if let Some(hub) = &hub {
+        // One history sample of the just-published report, so `/query`
+        // serves the run's counters and stage histograms as points.
+        hub.sample_tick();
+        if let Some(summary) = hub.with_alerts(|alerts| alerts.summary()) {
+            println!("alerts: {summary}");
+        }
+    }
 
     println!("== telemetry dashboard: {label} ==");
     println!(
@@ -216,6 +234,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             std::io::stdin().read_line(&mut line)?;
         }
         server.shutdown();
+        uninstall_telemetry_hub();
     }
     Ok(())
 }

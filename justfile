@@ -14,6 +14,7 @@ verify:
     cargo test -q --test solver_parity
     cargo test -q -p lion-obs --test http_plane
     cargo test -q --test fleet_health
+    cargo test -q --test alerts_history
     cargo clippy --workspace --all-targets -- -D warnings
     cargo fmt --check
 
@@ -60,6 +61,14 @@ trace:
 
 # Live telemetry plane for manual poking: run the twelve-portal fleet
 # under the HTTP scrape server and hold until Enter. Scrape
-# /metrics /health /snapshot /trace /profile on the printed port.
+# /metrics /health /snapshot /trace /profile /query /alerts on the
+# printed port.
 serve:
+    cargo run --release --example conveyor_stream -- --serve 127.0.0.1:9184 --hold
+
+# Metrics-history & alerting demo: same fleet as `just serve` with the
+# embedded TSDB sampling in the background; range-query stored series
+# with `curl 'http://127.0.0.1:9184/query?series=<name>&tier=raw'` and
+# watch alert states at /alerts while it holds.
+alerts:
     cargo run --release --example conveyor_stream -- --serve 127.0.0.1:9184 --hold

@@ -28,9 +28,11 @@
 //!   dumps the trace tail on failure, calibration-health watchdogs with
 //!   fleet-wide rollups and SLO budgets, log-linear latency histograms,
 //!   a telemetry registry with JSON-lines, Prometheus, and Chrome-trace
-//!   (Perfetto) exporters, and a live HTTP scrape plane
+//!   (Perfetto) exporters, an embedded metrics time-series store with
+//!   multi-resolution downsampling and a deterministic alerting engine
+//!   ([`obs::tsdb`], [`obs::alert`]), and a live HTTP scrape plane
 //!   ([`obs::http::TelemetryServer`]: `/metrics`, `/health`,
-//!   `/snapshot`, `/trace`, `/profile`),
+//!   `/snapshot`, `/trace`, `/profile`, `/query`, `/alerts`),
 //!
 //! and bundles the types most programs touch into [`prelude`], plus the
 //! workspace-wide [`Error`] that every per-crate error converts into.
@@ -105,9 +107,11 @@ pub mod prelude {
     };
     pub use lion_geom::{CircularArc, LineSegment, Point2, Point3, Trajectory, Vec3};
     pub use lion_obs::{
-        install_flight_recorder, install_telemetry_hub, uninstall_telemetry_hub, Doctor,
-        DoctorConfig, FleetDoctor, FleetReport, FlightRecorder, FlightSnapshot, HealthReport,
-        Histogram, HistogramTimer, Registry, SloConfig, Snapshot, TelemetryServer, TraceContext,
+        install_flight_recorder, install_telemetry_hub, uninstall_telemetry_hub, AlertEngine,
+        AlertExpr, AlertRule, BackgroundSampler, Doctor, DoctorConfig, FleetDoctor, FleetReport,
+        FlightRecorder, FlightSnapshot, HealthReport, Histogram, HistogramTimer, HistoryConfig,
+        ManualClock, Registry, Sampler, SloConfig, Snapshot, TelemetryServer, Tier, TraceContext,
+        Tsdb, TsdbConfig, WallClock,
     };
     pub use lion_sim::{
         Antenna, Environment, NoiseModel, PhaseTrace, SampleSource, Scenario, ScenarioBuilder, Tag,

@@ -110,8 +110,8 @@ fn registry_snapshot_exports_to_both_formats() {
     );
 
     let prom = to_prometheus(&snapshot);
-    assert!(prom.contains("# TYPE engine_jobs counter"), "{prom}");
-    assert!(prom.contains("engine_jobs 4"), "{prom}");
+    assert!(prom.contains("# TYPE engine_jobs_total counter"), "{prom}");
+    assert!(prom.contains("engine_jobs_total 4"), "{prom}");
     assert!(prom.contains("engine_stage_solve_ns_bucket"), "{prom}");
     assert!(prom.contains("le=\"+Inf\""), "{prom}");
 }
