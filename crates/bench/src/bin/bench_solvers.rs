@@ -14,10 +14,11 @@
 //!
 //! - `bench_solvers` — run and print the `lion-bench-6` JSON document.
 //! - `bench_solvers --write PATH` — run and also write the document.
-//! - `bench_solvers --check PATH` — run, load the committed baseline,
-//!   verify fresh medians are within 3× of the committed ones and that
-//!   both the fresh and committed parity stay inside the documented
-//!   agreement radius (exit code 1 otherwise).
+//! - `bench_solvers --check PATH` — run, refuse (exit 0) if the
+//!   committed baseline came from a different machine or toolchain,
+//!   otherwise verify fresh medians are within 3× of the committed
+//!   ones and that both the fresh and committed parity stay inside the
+//!   documented agreement radius (exit code 1 otherwise).
 //!
 //! Run with `--release`; debug-build numbers are meaningless.
 
@@ -128,12 +129,10 @@ impl BenchResults {
             .collect::<Vec<_>>()
             .join(",");
         format!(
-            "{{\"schema\":\"lion-bench-6\",\"env\":{{\"cores\":{},\"os\":\"{}\",\"arch\":\"{}\"}},\
+            "{{\"schema\":\"lion-bench-6\",\"env\":{},\
              \"benches\":{{{}}},\"grid_vs_linear_slowdown\":{:.2},\"parity_m\":{:.6},\
              \"metrics_render_ns\":{},\"sampler_tick_ns\":{}}}",
-            std::thread::available_parallelism().map_or(1, usize::from),
-            std::env::consts::OS,
-            std::env::consts::ARCH,
+            lion_bench::benv::BenchEnv::current().to_json(),
             benches,
             self.slowdown(),
             self.parity_m,
@@ -384,6 +383,7 @@ fn main() {
         }
         Some("--check") => {
             let path = args.get(1).map(String::as_str).unwrap_or("BENCH_6.json");
+            lion_bench::benv::refuse_if_cross_machine(path);
             if let Err(e) = check(&results, path) {
                 eprintln!("benchmark check FAILED: {e}");
                 std::process::exit(1);

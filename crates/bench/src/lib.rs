@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod benv;
 pub mod experiments;
 pub mod rig;
 

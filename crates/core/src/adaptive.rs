@@ -880,28 +880,12 @@ fn solve_cell(
     metrics.equations += m as u64;
     // Per-parameter standard errors with the final IRLS weights, the
     // normal-equation analog of the QR pipeline's `parameter_std`.
-    cell.param_std.clear();
-    if m > cols {
-        let wsum: f64 = cell.irls.weights().iter().sum();
-        if wsum > 0.0 {
-            let dof = (m - cols) as f64;
-            let sigma2 = cell
-                .irls
-                .residuals()
-                .iter()
-                .zip(cell.irls.weights())
-                .map(|(r, w)| w * r * r)
-                .sum::<f64>()
-                / dof.max(1.0)
-                / (wsum / m as f64).max(f64::MIN_POSITIVE);
-            if cell.ne.set_weights(cell.irls.weights()).is_ok()
-                && cell.ne.covariance_diag_into(&mut cell.cov_diag).is_ok()
-            {
-                cell.param_std
-                    .extend(cell.cov_diag.iter().map(|d| (sigma2 * d).max(0.0).sqrt()));
-            }
-        }
-    }
+    crate::localizer::normal_param_std(
+        &mut cell.ne,
+        &cell.irls,
+        &mut cell.param_std,
+        &mut cell.cov_diag,
+    );
     let rebuilds = cell.ne.gram_rebuilds() - rebuilds_before;
     if rebuilds > 0 {
         metrics.adaptive_gram_rebuilds += rebuilds;

@@ -15,7 +15,7 @@
 use std::time::Instant;
 
 use lion_geom::{Point3, Vec3};
-use lion_linalg::{lstsq, IrlsConfig, LstsqScratch, Matrix, Svd, Vector};
+use lion_linalg::{lstsq, IrlsConfig, Matrix, NormalEq, NormalIrlsScratch};
 use serde::{Deserialize, Serialize};
 
 use crate::error::CoreError;
@@ -531,13 +531,13 @@ pub fn locate_window_in(
     window: &crate::SlidingWindow,
     ws: &mut Workspace,
 ) -> Result<Estimate, CoreError> {
-    let mut staged = std::mem::take(&mut ws.window_measurements);
-    window.write_measurements_into(&mut staged);
+    let mut staged = std::mem::take(&mut ws.samples);
+    window.write_soa_into(&mut staged);
     let mut profile = std::mem::take(&mut ws.profile);
-    let result = prepare_profile_in(&staged, config, &mut profile, ws)
+    let result = prepare_profile_lanes_in(&staged, config, &mut profile, ws)
         .and_then(|()| crate::solver::dispatch_profile(&profile, config, space, ws));
     ws.profile = profile;
-    ws.window_measurements = staged;
+    ws.samples = staged;
     result
 }
 
@@ -587,68 +587,52 @@ pub(crate) fn prepare_profile_in(
     Ok(())
 }
 
+/// [`prepare_profile_in`] from SoA staging lanes: the streaming entry
+/// point's preprocessing, rebuilding the profile straight from the
+/// [`crate::SlidingWindow`]'s lane-wise snapshot. Same validation, unwrap
+/// kernel, and smoothing scratch as the tuple-staged route, so the two
+/// produce bit-identical profiles.
+pub(crate) fn prepare_profile_lanes_in(
+    samples: &crate::workspace::SampleSoa,
+    config: &LocalizerConfig,
+    profile: &mut PhaseProfile,
+    ws: &mut Workspace,
+) -> Result<(), CoreError> {
+    let span = lion_obs::span!("lion.unwrap");
+    let t = Instant::now();
+    let rebuilt = profile.rebuild_from_lanes(
+        &samples.xs,
+        &samples.ys,
+        &samples.zs,
+        &samples.phases,
+        config.wavelength,
+    );
+    ws.metrics.unwrap_ns += elapsed_ns(t);
+    drop(span);
+    rebuilt?;
+    let _span = lion_obs::span!("lion.smooth");
+    let t = Instant::now();
+    let mut prefix = std::mem::take(&mut ws.sweep.smooth_prefix);
+    let mut tmp = std::mem::take(&mut ws.sweep.smooth_tmp);
+    profile.smooth_with_scratch(config.smoothing_window, &mut prefix, &mut tmp);
+    ws.sweep.smooth_prefix = prefix;
+    ws.sweep.smooth_tmp = tmp;
+    ws.metrics.smooth_ns += elapsed_ns(t);
+    Ok(())
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Mode {
     TwoD,
     ThreeD,
 }
 
-/// Principal-component frame of the sample cloud.
-struct Frame {
-    centroid: Point3,
-    /// Orthonormal axes, strongest spread first.
-    axes: Vec<Vec3>,
-    /// Relative spreads `σ_i / σ_1` (first entry is 1).
-    relative_spread: Vec<f64>,
-}
-
-fn analyze_geometry(positions: &[Point3], mode: Mode) -> Result<Frame, CoreError> {
-    let n = positions.len();
-    let inv = 1.0 / n as f64;
-    let centroid = positions.iter().fold(Point3::ORIGIN, |acc, p| {
-        Point3::new(acc.x + p.x * inv, acc.y + p.y * inv, acc.z + p.z * inv)
-    });
-    let k = match mode {
-        Mode::TwoD => 2,
-        Mode::ThreeD => 3,
-    };
-    let centered = Matrix::from_fn(n, k, |r, c| {
-        let d = positions[r] - centroid;
-        match c {
-            0 => d.x,
-            1 => d.y,
-            _ => d.z,
-        }
-    });
-    let svd = Svd::decompose(&centered)?;
-    let sv = svd.singular_values();
-    let s1 = sv[0];
-    if s1 <= 1e-12 {
-        return Err(CoreError::DegenerateGeometry {
-            detail: "all tag positions coincide".to_string(),
-        });
-    }
-    let v = svd.v();
-    let axis = |c: usize| -> Vec3 {
-        match mode {
-            Mode::TwoD => Vec3::new(v[(0, c)], v[(1, c)], 0.0),
-            Mode::ThreeD => Vec3::new(v[(0, c)], v[(1, c)], v[(2, c)]),
-        }
-    };
-    Ok(Frame {
-        centroid,
-        axes: (0..k).map(axis).collect(),
-        relative_spread: sv.iter().map(|s| s / s1).collect(),
-    })
-}
-
-/// Stack-only principal-component frame used by the adaptive sweep: same
-/// geometry analysis as [`analyze_geometry`] but via a 3×3 symmetric
-/// eigendecomposition of `Σ d·dᵀ` instead of an SVD of the centered
-/// `n × k` matrix, so computing it allocates nothing. The square roots of
-/// the eigenvalues equal the singular values of the centered matrix, so
-/// the spanned-direction count agrees with the SVD route up to
-/// floating-point noise far below the rank tolerance.
+/// Stack-only principal-component frame shared by every solve path: a
+/// 3×3 symmetric eigendecomposition of `Σ d·dᵀ` instead of an SVD of the
+/// centered `n × k` matrix, so computing it allocates nothing. The square
+/// roots of the eigenvalues equal the singular values of the centered
+/// matrix, so the spanned-direction count matches what an SVD route would
+/// report up to floating-point noise far below the rank tolerance.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct FrameSmall {
     pub(crate) centroid: Point3,
@@ -797,52 +781,30 @@ pub(crate) fn run_with_min_in(
         });
     }
     let positions = profile.positions();
-    let deltas = profile.delta_distances(reference);
-    let frame = analyze_geometry(positions, mode)?;
-    let full_dims = frame.axes.len();
-    // How many directions the trajectory actually spans.
-    let spanned = frame
-        .relative_spread
-        .iter()
-        .filter(|&&s| s >= config.rank_tolerance)
-        .count();
-    if spanned == 0 {
-        return Err(CoreError::DegenerateGeometry {
-            detail: "tag positions span no direction".to_string(),
-        });
-    }
-    if mode == Mode::ThreeD && spanned == 1 {
-        return Err(CoreError::DegenerateGeometry {
-            detail: "a single linear trajectory cannot determine a 3D position \
-                     (paper Sec. III-C2); add a second line or a planar scan"
-                .to_string(),
-        });
-    }
-    if full_dims - spanned > 1 {
-        // Can only recover one missing coordinate from d_r.
-        return Err(CoreError::DegenerateGeometry {
-            detail: format!(
-                "trajectory spans {spanned} of {full_dims} dimensions; only one \
-                 missing dimension can be recovered from the reference distance"
-            ),
-        });
-    }
-    let lower_dimension = spanned < full_dims;
+    let frame = analyze_geometry_small(positions, mode, config.rank_tolerance)?;
+    let lower_dimension = frame.spanned < frame.dims;
+    let k = frame.spanned;
+    profile.delta_distances_into(reference, &mut ws.deltas);
 
-    // Coordinates of every sample in the solvable sub-frame, into the
-    // workspace's reusable buffer.
-    let k = spanned;
+    // Frame coordinates of every sample, **axis-major** into the
+    // workspace's reusable buffer: each solved axis is one contiguous
+    // lane, streamed from the profile's SoA position lanes — the layout
+    // the SIMD row-assembly kernel gathers from.
+    let (xs, ys, zs) = (profile.xs(), profile.ys(), profile.zs());
     ws.coords.clear();
     ws.coords.reserve(n * k);
-    for p in positions {
-        let d = *p - frame.centroid;
-        for axis in frame.axes.iter().take(k) {
-            ws.coords.push(d.dot(*axis));
+    for axis in frame.axes.iter().take(k) {
+        for i in 0..n {
+            ws.coords.push(
+                (xs[i] - frame.centroid.x) * axis.x
+                    + (ys[i] - frame.centroid.y) * axis.y
+                    + (zs[i] - frame.centroid.z) * axis.z,
+            );
         }
     }
     let pairs_span = lion_obs::span!("lion.pairs");
     let t = Instant::now();
-    let pairs = config.pair_strategy.pairs(positions);
+    config.pair_strategy.pairs_into(positions, &mut ws.pairs);
     ws.metrics.pairs_ns += elapsed_ns(t);
     drop(pairs_span);
     let _solve_span = lion_obs::span!("lion.solve");
@@ -851,24 +813,67 @@ pub(crate) fn run_with_min_in(
         design,
         rhs,
         coords,
-        scratch,
         metrics,
+        deltas,
+        pairs,
+        pair_i,
+        pair_j,
+        solution,
+        param_std,
+        ne,
+        ne_irls,
+        cov_diag,
         ..
     } = ws;
-    crate::model::build_system_into(coords, k, &deltas, &pairs, design, rhs)?;
-    let (solution, residual_stats) = solve(design, rhs, &config.weighting, scratch)?;
+    crate::model::build_system_soa(coords, n, k, deltas, pairs, pair_i, pair_j, design, rhs)?;
+    let m = design.rows();
+    let (mean_residual, weighted_rms, iterations) = match &config.weighting {
+        Weighting::Weighted(cfg) => {
+            // The weighted hot path solves on the normal equations: the
+            // Gram accumulation and Gaussian reweighting run through the
+            // `lion_linalg::simd` kernels and the IRLS loop is
+            // allocation-free in steady state. It agrees with a QR IRLS
+            // route to within the shared stopping tolerance (the Gram
+            // conditioning term κ(A)²·ε is far below it for the paper's
+            // well-scaled 3–4 column systems).
+            ne.set_system(k + 1, design.as_slice(), rhs.as_slice());
+            let outcome = lion_linalg::solve_irls_normal(ne, cfg, ne_irls)?;
+            normal_param_std(ne, ne_irls, param_std, cov_diag);
+            solution.clear();
+            solution.extend_from_slice(ne.solution());
+            (
+                outcome.mean_residual,
+                outcome.weighted_rms,
+                outcome.iterations,
+            )
+        }
+        Weighting::LeastSquares => {
+            // Plain least squares keeps the QR route: better conditioned,
+            // and cold enough that its per-solve allocations don't matter.
+            let x = lstsq::solve(design, rhs)?;
+            let res = lstsq::residuals(design, rhs, &x)?;
+            let mean = lion_linalg::stats::mean(&res).unwrap_or(0.0);
+            let rms = lion_linalg::stats::rms(&res).unwrap_or(0.0);
+            let uniform = vec![1.0; res.len()];
+            param_std.clear();
+            param_std.extend(parameter_std(design, &res, &uniform));
+            solution.clear();
+            solution.extend_from_slice(x.as_slice());
+            (mean, rms, 0)
+        }
+    };
     metrics.solve_ns += elapsed_ns(t);
     metrics.solves += 1;
-    metrics.irls_iterations += residual_stats.iterations as u64;
-    metrics.equations += design.rows() as u64;
+    metrics.irls_iterations += iterations as u64;
+    metrics.equations += m as u64;
     drop(_solve_span);
 
     let (position, position_std) = assemble_position(
         frame.centroid,
         &frame.axes,
         k,
-        solution.as_slice(),
-        &residual_stats.parameter_std,
+        solution,
+        param_std,
         positions[reference],
         lower_dimension,
         config.side_hint,
@@ -879,10 +884,10 @@ pub(crate) fn run_with_min_in(
         position,
         reference_distance: d_r,
         reference_position: positions[reference],
-        mean_residual: residual_stats.mean_residual,
-        weighted_rms: residual_stats.weighted_rms,
-        iterations: residual_stats.iterations,
-        equation_count: design.rows(),
+        mean_residual,
+        weighted_rms,
+        iterations,
+        equation_count: m,
         lower_dimension,
         position_std,
     })
@@ -959,13 +964,43 @@ pub(crate) fn assemble_position(
     Ok((position, position_std))
 }
 
-struct SolveStats {
-    mean_residual: f64,
-    weighted_rms: f64,
-    iterations: usize,
-    /// 1σ standard error per solved parameter (coordinates then d_r);
-    /// empty when the covariance is unavailable.
-    parameter_std: Vec<f64>,
+/// Per-parameter standard errors from a solved normal-equation system
+/// and its IRLS scratch — the normal-equation analog of the QR pipeline's
+/// [`parameter_std`], shared by the batch weighted path, the adaptive
+/// sweep's cells, and the incremental delta ticks. Writes the 1σ errors
+/// (coordinates then `d_r`) into `param_std`, leaving it empty when the
+/// covariance is unavailable (no spare degrees of freedom, degenerate
+/// weights, or a singular Gram matrix).
+pub(crate) fn normal_param_std(
+    ne: &mut NormalEq,
+    irls: &NormalIrlsScratch,
+    param_std: &mut Vec<f64>,
+    cov_diag: &mut Vec<f64>,
+) {
+    param_std.clear();
+    let m = ne.rows();
+    let cols = ne.cols();
+    if m <= cols {
+        return;
+    }
+    let wsum: f64 = irls.weights().iter().sum();
+    // NaN-safe: `>` is false for NaN, so NaN weight sums bail out too.
+    let wsum_ok = wsum > 0.0;
+    if !wsum_ok {
+        return;
+    }
+    let dof = (m - cols) as f64;
+    let sigma2 = irls
+        .residuals()
+        .iter()
+        .zip(irls.weights())
+        .map(|(r, w)| w * r * r)
+        .sum::<f64>()
+        / dof.max(1.0)
+        / (wsum / m as f64).max(f64::MIN_POSITIVE);
+    if ne.set_weights(irls.weights()).is_ok() && ne.covariance_diag_into(cov_diag).is_ok() {
+        param_std.extend(cov_diag.iter().map(|d| (sigma2 * d).max(0.0).sqrt()));
+    }
 }
 
 /// Diagonal of `σ̂²·(AᵀWA)⁻¹` → per-parameter standard errors.
@@ -998,46 +1033,6 @@ fn parameter_std(design: &Matrix, residuals: &[f64], weights: &[f64]) -> Vec<f64
     (0..n)
         .map(|i| (sigma2 * inv[(i, i)]).max(0.0).sqrt())
         .collect()
-}
-
-fn solve(
-    design: &Matrix,
-    rhs: &Vector,
-    weighting: &Weighting,
-    scratch: &mut LstsqScratch,
-) -> Result<(Vector, SolveStats), CoreError> {
-    match weighting {
-        Weighting::LeastSquares => {
-            let x = lstsq::solve(design, rhs)?;
-            let res = lstsq::residuals(design, rhs, &x)?;
-            let mean = lion_linalg::stats::mean(&res).unwrap_or(0.0);
-            let rms = lion_linalg::stats::rms(&res).unwrap_or(0.0);
-            let uniform = vec![1.0; res.len()];
-            let std = parameter_std(design, &res, &uniform);
-            Ok((
-                x,
-                SolveStats {
-                    mean_residual: mean,
-                    weighted_rms: rms,
-                    iterations: 0,
-                    parameter_std: std,
-                },
-            ))
-        }
-        Weighting::Weighted(cfg) => {
-            let report = lstsq::solve_irls_with(design, rhs, cfg, scratch)?;
-            let std = parameter_std(design, &report.residuals, &report.weights);
-            Ok((
-                report.solution,
-                SolveStats {
-                    mean_residual: report.mean_residual,
-                    weighted_rms: report.weighted_rms,
-                    iterations: report.iterations,
-                    parameter_std: std,
-                },
-            ))
-        }
-    }
 }
 
 #[cfg(test)]

@@ -108,6 +108,83 @@ pub fn build_system_into(
     Ok(())
 }
 
+/// [`build_system_into`] over **axis-major** coordinates, assembled by
+/// the runtime-dispatched `lion_linalg::simd` row kernel.
+///
+/// `coords` is `k × n` axis-major (`coords[c * n + i]` is coordinate `c`
+/// of sample `i`) — each frame axis is one contiguous lane, which is what
+/// lets the kernel gather both pair endpoints with vector loads. The
+/// caller-owned `pair_i`/`pair_j` lanes are refilled from `pairs` (after
+/// bounds validation, so the `i32` narrowing is always exact). Validation
+/// and row arithmetic mirror [`build_system_into`] operation for
+/// operation; for identical inputs the produced system is bit-identical.
+///
+/// # Errors
+///
+/// Same as [`build_system`]; on error the buffer contents are
+/// unspecified.
+#[allow(clippy::too_many_arguments)]
+pub fn build_system_soa(
+    coords: &[f64],
+    n: usize,
+    k: usize,
+    deltas: &[f64],
+    pairs: &[(usize, usize)],
+    pair_i: &mut Vec<i32>,
+    pair_j: &mut Vec<i32>,
+    design: &mut Matrix,
+    rhs: &mut Vector,
+) -> Result<(), CoreError> {
+    if k == 0 {
+        return Err(CoreError::InvalidConfig {
+            parameter: "k",
+            found: "0".to_string(),
+        });
+    }
+    if coords.len() != n * k || deltas.len() != n {
+        return Err(CoreError::InvalidConfig {
+            parameter: "coords/deltas",
+            found: format!("{} coords (k={k}) vs {} deltas", coords.len(), deltas.len()),
+        });
+    }
+    if pairs.is_empty() {
+        return Err(CoreError::NoPairs);
+    }
+    if pairs.len() < k + 1 {
+        return Err(CoreError::TooFewMeasurements {
+            got: pairs.len(),
+            needed: k + 1,
+        });
+    }
+    pair_i.clear();
+    pair_j.clear();
+    pair_i.reserve(pairs.len());
+    pair_j.reserve(pairs.len());
+    for &(i, j) in pairs {
+        if i >= n || j >= n {
+            return Err(CoreError::InvalidConfig {
+                parameter: "pairs",
+                found: format!("pair ({i}, {j}) out of bounds for {n} samples"),
+            });
+        }
+        pair_i.push(i as i32);
+        pair_j.push(j as i32);
+    }
+    design.reset_zeroed(pairs.len(), k + 1);
+    rhs.reset_zeroed(pairs.len());
+    lion_linalg::simd::radical_rows(
+        coords,
+        n,
+        k,
+        deltas,
+        pair_i,
+        pair_j,
+        design.as_mut_slice(),
+        rhs.as_mut_slice(),
+    );
+    Ok(())
+}
+
 /// Verifies analytically that the true target satisfies the generated
 /// equations (used by tests and debug assertions): returns the maximum
 /// absolute equation violation at the given solution.

@@ -30,25 +30,9 @@ use crate::error::CoreError;
 /// }
 /// ```
 pub fn unwrap_phases(wrapped: &[f64]) -> Vec<f64> {
-    let tau = std::f64::consts::TAU;
-    let mut out = Vec::with_capacity(wrapped.len());
-    let mut offset = 0.0;
-    let mut prev_raw: Option<f64> = None;
-    for &theta in wrapped {
-        if let Some(p) = prev_raw {
-            let mut jump = theta - p;
-            while jump >= std::f64::consts::PI {
-                jump -= tau;
-                offset -= tau;
-            }
-            while jump < -std::f64::consts::PI {
-                jump += tau;
-                offset += tau;
-            }
-        }
-        out.push(theta + offset);
-        prev_raw = Some(theta);
-    }
+    let mut out = wrapped.to_vec();
+    let mut revs = Vec::with_capacity(wrapped.len());
+    lion_linalg::simd::phase_unwrap_in_place(&mut out, &mut revs);
     out
 }
 
@@ -113,11 +97,31 @@ pub fn smoothed_at(values: &[f64], window: usize, i: usize) -> f64 {
 /// taken *after* unwrapping via [`PhaseProfile::restrict_x`] /
 /// [`PhaseProfile::decimate`], so wrapping continuity is never broken by
 /// filtering.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct PhaseProfile {
     positions: Vec<Point3>,
+    /// Structure-of-arrays mirrors of `positions`: one contiguous lane
+    /// per axis, kept in sync by every constructor so the solve pipeline
+    /// can stream coordinates through the `lion_linalg::simd` kernels
+    /// without gathering from the `Point3` array-of-structs view.
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    zs: Vec<f64>,
     phases: Vec<f64>,
     wavelength: f64,
+    /// Revolution-count scratch for the vectorized unwrap; capacity is
+    /// retained across rebuilds.
+    unwrap_scratch: Vec<f64>,
+}
+
+/// The SoA axis lanes and unwrap scratch are derived state — two
+/// profiles are equal when their samples and wavelength are.
+impl PartialEq for PhaseProfile {
+    fn eq(&self, other: &Self) -> bool {
+        self.positions == other.positions
+            && self.phases == other.phases
+            && self.wavelength == other.wavelength
+    }
 }
 
 impl Default for PhaseProfile {
@@ -128,8 +132,12 @@ impl Default for PhaseProfile {
     fn default() -> Self {
         PhaseProfile {
             positions: Vec::new(),
+            xs: Vec::new(),
+            ys: Vec::new(),
+            zs: Vec::new(),
             phases: Vec::new(),
             wavelength: 1.0,
+            unwrap_scratch: Vec::new(),
         }
     }
 }
@@ -147,29 +155,9 @@ impl PhaseProfile {
         measurements: &[(Point3, f64)],
         wavelength: f64,
     ) -> Result<Self, CoreError> {
-        if measurements.len() < 2 {
-            return Err(CoreError::TooFewMeasurements {
-                got: measurements.len(),
-                needed: 2,
-            });
-        }
-        if !(wavelength > 0.0 && wavelength.is_finite()) {
-            return Err(CoreError::InvalidConfig {
-                parameter: "wavelength",
-                found: format!("{wavelength}"),
-            });
-        }
-        for (i, (p, theta)) in measurements.iter().enumerate() {
-            if !p.is_finite() || !theta.is_finite() {
-                return Err(CoreError::NonFiniteMeasurement { index: i });
-            }
-        }
-        let wrapped: Vec<f64> = measurements.iter().map(|(_, t)| *t).collect();
-        Ok(PhaseProfile {
-            positions: measurements.iter().map(|(p, _)| *p).collect(),
-            phases: unwrap_phases(&wrapped),
-            wavelength,
-        })
+        let mut profile = PhaseProfile::default();
+        profile.rebuild_from_wrapped(measurements, wavelength)?;
+        Ok(profile)
     }
 
     /// Refills this profile from wrapped measurements, reusing its
@@ -189,8 +177,7 @@ impl PhaseProfile {
         measurements: &[(Point3, f64)],
         wavelength: f64,
     ) -> Result<(), CoreError> {
-        self.positions.clear();
-        self.phases.clear();
+        self.clear_samples();
         if measurements.len() < 2 {
             return Err(CoreError::TooFewMeasurements {
                 got: measurements.len(),
@@ -209,27 +196,97 @@ impl PhaseProfile {
             }
         }
         self.wavelength = wavelength;
-        // Inline unwrap, same arithmetic as `unwrap_phases`.
-        let tau = std::f64::consts::TAU;
-        let mut offset = 0.0;
-        let mut prev_raw: Option<f64> = None;
         for &(p, theta) in measurements {
-            self.positions.push(p);
-            if let Some(prev) = prev_raw {
-                let mut jump = theta - prev;
-                while jump >= std::f64::consts::PI {
-                    jump -= tau;
-                    offset -= tau;
-                }
-                while jump < -std::f64::consts::PI {
-                    jump += tau;
-                    offset += tau;
-                }
-            }
-            self.phases.push(theta + offset);
-            prev_raw = Some(theta);
+            self.push_sample(p, theta);
         }
+        lion_linalg::simd::phase_unwrap_in_place(&mut self.phases, &mut self.unwrap_scratch);
         Ok(())
+    }
+
+    /// Rebuilds this profile from SoA staging lanes (`xs`/`ys`/`zs` plus
+    /// wrapped phases) — the [`crate::SlidingWindow`] streaming path,
+    /// which stages its reads column-wise so no `(Point3, f64)` tuple
+    /// array is materialized. Validation order and unwrap arithmetic
+    /// match [`PhaseProfile::rebuild_from_wrapped`] exactly, so the two
+    /// staging routes produce bit-identical profiles.
+    ///
+    /// On error the profile is left empty.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PhaseProfile::from_wrapped`].
+    pub(crate) fn rebuild_from_lanes(
+        &mut self,
+        xs: &[f64],
+        ys: &[f64],
+        zs: &[f64],
+        wrapped: &[f64],
+        wavelength: f64,
+    ) -> Result<(), CoreError> {
+        debug_assert!(xs.len() == wrapped.len() && ys.len() == wrapped.len());
+        debug_assert!(zs.len() == wrapped.len());
+        self.clear_samples();
+        if wrapped.len() < 2 {
+            return Err(CoreError::TooFewMeasurements {
+                got: wrapped.len(),
+                needed: 2,
+            });
+        }
+        if !(wavelength > 0.0 && wavelength.is_finite()) {
+            return Err(CoreError::InvalidConfig {
+                parameter: "wavelength",
+                found: format!("{wavelength}"),
+            });
+        }
+        for i in 0..wrapped.len() {
+            let finite_pos = xs[i].is_finite() && ys[i].is_finite() && zs[i].is_finite();
+            if !finite_pos || !wrapped[i].is_finite() {
+                return Err(CoreError::NonFiniteMeasurement { index: i });
+            }
+        }
+        self.wavelength = wavelength;
+        for i in 0..wrapped.len() {
+            self.push_sample(Point3::new(xs[i], ys[i], zs[i]), wrapped[i]);
+        }
+        lion_linalg::simd::phase_unwrap_in_place(&mut self.phases, &mut self.unwrap_scratch);
+        Ok(())
+    }
+
+    /// Empties the sample buffers while keeping their capacity.
+    fn clear_samples(&mut self) {
+        self.positions.clear();
+        self.xs.clear();
+        self.ys.clear();
+        self.zs.clear();
+        self.phases.clear();
+    }
+
+    /// Appends one sample to both the AoS and SoA views.
+    fn push_sample(&mut self, p: Point3, phase: f64) {
+        self.positions.push(p);
+        self.xs.push(p.x);
+        self.ys.push(p.y);
+        self.zs.push(p.z);
+        self.phases.push(phase);
+    }
+
+    /// Builds a profile whose SoA lanes are derived from already-owned
+    /// positions/phases — the internal constructor behind
+    /// [`PhaseProfile::from_unwrapped`] and the filtering subset makers.
+    fn from_parts(positions: Vec<Point3>, phases: Vec<f64>, wavelength: f64) -> PhaseProfile {
+        let mut profile = PhaseProfile {
+            positions,
+            xs: Vec::new(),
+            ys: Vec::new(),
+            zs: Vec::new(),
+            phases,
+            wavelength,
+            unwrap_scratch: Vec::new(),
+        };
+        profile.xs.extend(profile.positions.iter().map(|p| p.x));
+        profile.ys.extend(profile.positions.iter().map(|p| p.y));
+        profile.zs.extend(profile.positions.iter().map(|p| p.z));
+        profile
     }
 
     /// Builds a profile from positions and **already unwrapped** phases.
@@ -266,11 +323,7 @@ impl PhaseProfile {
                 return Err(CoreError::NonFiniteMeasurement { index: i });
             }
         }
-        Ok(PhaseProfile {
-            positions,
-            phases,
-            wavelength,
-        })
+        Ok(PhaseProfile::from_parts(positions, phases, wavelength))
     }
 
     /// Number of samples.
@@ -287,6 +340,21 @@ impl PhaseProfile {
     /// The tag positions.
     pub fn positions(&self) -> &[Point3] {
         &self.positions
+    }
+
+    /// SoA view of the position x-coordinates.
+    pub(crate) fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// SoA view of the position y-coordinates.
+    pub(crate) fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// SoA view of the position z-coordinates.
+    pub(crate) fn zs(&self) -> &[f64] {
+        &self.zs
     }
 
     /// The unwrapped (and possibly smoothed) phases.
@@ -352,21 +420,21 @@ impl PhaseProfile {
         let keep: Vec<usize> = (0..self.len())
             .filter(|&i| self.positions[i].x >= min_x && self.positions[i].x <= max_x)
             .collect();
-        PhaseProfile {
-            positions: keep.iter().map(|&i| self.positions[i]).collect(),
-            phases: keep.iter().map(|&i| self.phases[i]).collect(),
-            wavelength: self.wavelength,
-        }
+        PhaseProfile::from_parts(
+            keep.iter().map(|&i| self.positions[i]).collect(),
+            keep.iter().map(|&i| self.phases[i]).collect(),
+            self.wavelength,
+        )
     }
 
     /// Keeps every `step`-th sample (step 0 behaves like 1).
     pub fn decimate(&self, step: usize) -> PhaseProfile {
         let step = step.max(1);
-        PhaseProfile {
-            positions: self.positions.iter().copied().step_by(step).collect(),
-            phases: self.phases.iter().copied().step_by(step).collect(),
-            wavelength: self.wavelength,
-        }
+        PhaseProfile::from_parts(
+            self.positions.iter().copied().step_by(step).collect(),
+            self.phases.iter().copied().step_by(step).collect(),
+            self.wavelength,
+        )
     }
 
     /// Keeps samples satisfying a position predicate.
@@ -374,11 +442,11 @@ impl PhaseProfile {
         let idx: Vec<usize> = (0..self.len())
             .filter(|&i| keep(self.positions[i]))
             .collect();
-        PhaseProfile {
-            positions: idx.iter().map(|&i| self.positions[i]).collect(),
-            phases: idx.iter().map(|&i| self.phases[i]).collect(),
-            wavelength: self.wavelength,
-        }
+        PhaseProfile::from_parts(
+            idx.iter().map(|&i| self.positions[i]).collect(),
+            idx.iter().map(|&i| self.phases[i]).collect(),
+            self.wavelength,
+        )
     }
 }
 

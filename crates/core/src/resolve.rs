@@ -420,28 +420,12 @@ impl IncrementalState {
         let irls = resolve_irls(&config.weighting);
         let outcome = solve_irls_normal(&mut self.ne, &irls, &mut self.irls).ok()?;
         let m = self.ne.rows();
-        self.param_std.clear();
-        if m > cols {
-            let wsum: f64 = self.irls.weights().iter().sum();
-            if wsum > 0.0 {
-                let dof = (m - cols) as f64;
-                let sigma2 = self
-                    .irls
-                    .residuals()
-                    .iter()
-                    .zip(self.irls.weights())
-                    .map(|(r, w)| w * r * r)
-                    .sum::<f64>()
-                    / dof.max(1.0)
-                    / (wsum / m as f64).max(f64::MIN_POSITIVE);
-                if self.ne.set_weights(self.irls.weights()).is_ok()
-                    && self.ne.covariance_diag_into(&mut self.cov_diag).is_ok()
-                {
-                    self.param_std
-                        .extend(self.cov_diag.iter().map(|d| (sigma2 * d).max(0.0).sqrt()));
-                }
-            }
-        }
+        crate::localizer::normal_param_std(
+            &mut self.ne,
+            &self.irls,
+            &mut self.param_std,
+            &mut self.cov_diag,
+        );
         let reference_position = self.positions[ref_rel];
         let (position, position_std) = assemble_position(
             self.centroid,

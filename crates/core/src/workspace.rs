@@ -13,7 +13,7 @@
 //! by each solve, so `locate_in` with a reused workspace is bit-identical
 //! to `locate` with a fresh one.
 
-use lion_linalg::{LstsqScratch, Matrix, NormalEq, NormalIrlsScratch, Vector};
+use lion_linalg::{Matrix, NormalEq, NormalIrlsScratch, Vector};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -141,6 +141,36 @@ pub(crate) fn elapsed_ns(start: Instant) -> u64 {
     u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
+/// Structure-of-arrays staging for windowed reads: timestamps, the three
+/// position axes, and wrapped phases each in their own contiguous lane.
+/// [`crate::SlidingWindow::write_soa_into`] fills it column-wise so the
+/// preprocessing kernels (`lion_linalg::simd`) stream each lane without
+/// gathering from an array-of-structs tuple buffer.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SampleSoa {
+    /// Read timestamps (seconds), oldest first.
+    pub(crate) ts: Vec<f64>,
+    /// Position x-coordinates.
+    pub(crate) xs: Vec<f64>,
+    /// Position y-coordinates.
+    pub(crate) ys: Vec<f64>,
+    /// Position z-coordinates.
+    pub(crate) zs: Vec<f64>,
+    /// Wrapped phases (radians).
+    pub(crate) phases: Vec<f64>,
+}
+
+impl SampleSoa {
+    /// Empties every lane, keeping capacity.
+    pub(crate) fn clear(&mut self) {
+        self.ts.clear();
+        self.xs.clear();
+        self.ys.clear();
+        self.zs.clear();
+        self.phases.clear();
+    }
+}
+
 /// Reusable buffers for one adaptive-sweep grid cell: the sample subset,
 /// its pair lists, the incremental normal equations, and the IRLS
 /// scratch. Owned per [`Workspace`] so the steady-state sweep touches no
@@ -202,17 +232,38 @@ pub(crate) struct SweepScratch {
 pub struct Workspace {
     pub(crate) design: Matrix,
     pub(crate) rhs: Vector,
+    /// Frame coordinates of the batch solve path, **axis-major**
+    /// (`coords[c * n + i]` is coordinate `c` of sample `i`): each of the
+    /// `k` frame axes is one contiguous lane, the layout the
+    /// `lion_linalg::simd` row-assembly kernel gathers from.
     pub(crate) coords: Vec<f64>,
-    pub(crate) scratch: LstsqScratch,
     pub(crate) metrics: StageMetrics,
-    /// Reusable staging buffer for windowed solves: a
-    /// [`crate::SlidingWindow`]'s measurements are copied here (capacity
-    /// retained across solves) before running the standard pipeline.
-    pub(crate) window_measurements: Vec<(lion_geom::Point3, f64)>,
+    /// SoA staging for windowed solves: a [`crate::SlidingWindow`]'s
+    /// reads are copied here lane-wise (capacity retained across solves)
+    /// before running the standard pipeline.
+    pub(crate) samples: SampleSoa,
     /// Reusable unwrapped/smoothed profile; `locate_in` and the adaptive
     /// sweep stage their preprocessing here instead of allocating a fresh
     /// profile per call.
     pub(crate) profile: PhaseProfile,
+    /// Distance deltas against the reference sample (batch solve path).
+    pub(crate) deltas: Vec<f64>,
+    /// Sample pairs of the batch solve path.
+    pub(crate) pairs: Vec<(usize, usize)>,
+    /// Pair endpoints as `i32` index lanes — the gather-friendly mirror
+    /// of `pairs` the SIMD row-assembly kernel consumes.
+    pub(crate) pair_i: Vec<i32>,
+    pub(crate) pair_j: Vec<i32>,
+    /// Solution of the last batch solve (coordinates then `d_r`).
+    pub(crate) solution: Vec<f64>,
+    /// Per-parameter standard errors of the last batch solve.
+    pub(crate) param_std: Vec<f64>,
+    /// Normal equations of the batch weighted solve path.
+    pub(crate) ne: NormalEq,
+    /// IRLS scratch of the batch weighted solve path.
+    pub(crate) ne_irls: NormalIrlsScratch,
+    /// Covariance-diagonal scratch of the batch weighted solve path.
+    pub(crate) cov_diag: Vec<f64>,
     /// Adaptive-sweep scratch (frame coordinates, sorted index, per-cell
     /// normal equations).
     pub(crate) sweep: SweepScratch,
@@ -226,10 +277,18 @@ impl Workspace {
             design: Matrix::zeros(0, 0),
             rhs: Vector::zeros(0),
             coords: Vec::new(),
-            scratch: LstsqScratch::new(),
             metrics: StageMetrics::default(),
-            window_measurements: Vec::new(),
+            samples: SampleSoa::default(),
             profile: PhaseProfile::default(),
+            deltas: Vec::new(),
+            pairs: Vec::new(),
+            pair_i: Vec::new(),
+            pair_j: Vec::new(),
+            solution: Vec::new(),
+            param_std: Vec::new(),
+            ne: NormalEq::new(),
+            ne_irls: NormalIrlsScratch::new(),
+            cov_diag: Vec::new(),
             sweep: SweepScratch::default(),
         }
     }

@@ -11,7 +11,8 @@ use std::f64::consts::{PI, TAU};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use lion_core::{
-    AdaptiveConfig, AdaptiveOutcome, Localizer2d, LocalizerConfig, PairStrategy, Workspace,
+    locate_window_in, AdaptiveConfig, AdaptiveOutcome, Localizer2d, LocalizerConfig, PairStrategy,
+    SlidingWindow, SolveSpace, Workspace,
 };
 use lion_geom::Point3;
 
@@ -85,4 +86,34 @@ fn steady_state_sweep_allocates_nothing() {
     );
     // Window-9 smoothing biases clean data slightly; only sanity here.
     assert!(out.estimate.distance_error(target) < 5e-2);
+
+    // The SoA-staged windowed path: in steady state, pushing one read
+    // into a full sliding window and re-running the windowed locate
+    // (which stages the window into the workspace's SoA sample lanes,
+    // unwraps, smooths, and solves) must also leave the heap untouched.
+    let config = localizer.config().clone();
+    let mut window = SlidingWindow::new(128).expect("valid capacity");
+    let mut feed = m.iter().cycle();
+    let mut tick = 0.0_f64;
+    let mut push_one = |window: &mut SlidingWindow| {
+        let &(p, phase) = feed.next().expect("endless feed");
+        tick += 0.01;
+        window.push(tick, p, phase);
+    };
+    for _ in 0..128 {
+        push_one(&mut window);
+    }
+    for _ in 0..2 {
+        locate_window_in(&config, SolveSpace::TwoD, &window, &mut ws).expect("clean window solves");
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    push_one(&mut window);
+    let est =
+        locate_window_in(&config, SolveSpace::TwoD, &window, &mut ws).expect("clean window solves");
+    let during = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        during, 0,
+        "steady-state windowed locate performed {during} heap allocations"
+    );
+    assert!(est.distance_error(target) < 1e-1);
 }

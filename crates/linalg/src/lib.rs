@@ -21,7 +21,9 @@
 //!   with the paper's Gaussian-of-residual weight (Eq. 15),
 //! - [`lm`]: Levenberg–Marquardt for the non-linear hyperbola baseline,
 //! - [`stats`]: summary statistics, circular (phase) statistics, filters,
-//! - [`poly`]: polynomial fitting for the parabola baseline.
+//! - [`poly`]: polynomial fitting for the parabola baseline,
+//! - [`simd`]: runtime-dispatched (AVX2/NEON) kernels for the solve
+//!   pipeline's hot loops, bit-identical to their scalar references.
 //!
 //! # Example
 //!
@@ -40,7 +42,9 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `simd` is the single sanctioned exception to the no-unsafe rule: it
+// needs `core::arch` intrinsics, and it opts in module-locally.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cholesky;
@@ -53,6 +57,7 @@ mod matrix;
 pub mod normal;
 pub mod poly;
 mod qr;
+pub mod simd;
 pub mod stats;
 mod svd;
 mod vector;

@@ -100,7 +100,12 @@ impl WeightFunction {
                     let d = r - mu;
                     -(d * d) * inv_two_sigma2
                 }));
-                exp_non_positive_slice(out);
+                // One weight kernel, one tolerance: every IRLS path (QR
+                // and normal-equation) derives its Gaussian weights
+                // through `simd::exp_non_positive`, whose accuracy
+                // contract (relative error below 7e-12 on the reduced
+                // range) is documented once, there.
+                crate::simd::exp_non_positive(out);
             }
         }
     }
@@ -108,50 +113,6 @@ impl WeightFunction {
 
 /// Residual spread below which the Gaussian weight collapses to uniform.
 const MIN_SIGMA: f64 = 1e-12;
-
-/// Elementwise `x → exp(x)` for non-positive `x`, in place.
-///
-/// This is the Gaussian-weight hot path: the IRLS loop evaluates one
-/// `exp` per equation per iteration, so a libm call each would dominate
-/// the whole reweight. Instead: Cody–Waite reduction `x = n·ln2 + r`
-/// (`|r| ≤ ln2/2`), a degree-9 Taylor polynomial for `exp(r)` (remainder
-/// below 7e-12 on the reduced range — noise at the scale of a
-/// reliability weight), and an exact power-of-two scale assembled from
-/// the shift trick's mantissa bits. The body is straight-line arithmetic
-/// with no branches, calls, or float→int conversions, so it
-/// autovectorizes on baseline targets.
-fn exp_non_positive_slice(xs: &mut [f64]) {
-    // The digits spell out the exact Cody-Waite hi/lo split of ln 2.
-    #[allow(clippy::excessive_precision)]
-    const LN2_HI: f64 = 6.931_471_803_691_238_2e-1;
-    const LN2_LO: f64 = 1.908_214_929_270_587_7e-10;
-    // 1.5·2⁵²: adding then subtracting rounds to the nearest integer and
-    // leaves that integer in the sum's low mantissa bits.
-    const SHIFT: f64 = 6_755_399_441_055_744.0;
-    for x in xs {
-        debug_assert!(*x <= 0.0);
-        // exp(-690) ≈ 1e-300 — an effectively zero weight — and the
-        // clamp keeps the 2ⁿ scale inside normal-number range.
-        let v = x.max(-690.0);
-        let t = v * std::f64::consts::LOG2_E + SHIFT;
-        let n = t - SHIFT;
-        let r = (v - n * LN2_HI) - n * LN2_LO;
-        let p = 1.0 / 362_880.0;
-        let p = 1.0 / 40_320.0 + r * p;
-        let p = 1.0 / 5_040.0 + r * p;
-        let p = 1.0 / 720.0 + r * p;
-        let p = 1.0 / 120.0 + r * p;
-        let p = 1.0 / 24.0 + r * p;
-        let p = 1.0 / 6.0 + r * p;
-        let p = 0.5 + r * p;
-        let p = 1.0 + r * p;
-        let p = 1.0 + r * p;
-        // n ∈ [-996, 0] lives in t's low mantissa bits (mod 2¹²), so the
-        // biased exponent (n + 1023) << 52 comes straight from them.
-        let scale = f64::from_bits(t.to_bits().wrapping_add(1023) << 52);
-        *x = p * scale;
-    }
-}
 
 /// Configuration for [`solve_irls`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -645,7 +606,7 @@ mod tests {
         // a reliability weight can influence.
         let mut xs: Vec<f64> = (0..=200_000).map(|i| -i as f64 * 0.0004).collect();
         let want: Vec<f64> = xs.iter().map(|x| x.exp()).collect();
-        exp_non_positive_slice(&mut xs);
+        crate::simd::exp_non_positive(&mut xs);
         for ((got, want), i) in xs.iter().zip(&want).zip(0..) {
             let rel = (got - want).abs() / want.max(f64::MIN_POSITIVE);
             assert!(
@@ -655,7 +616,7 @@ mod tests {
             );
         }
         let mut edge = [0.0, -690.1, -1.0e4];
-        exp_non_positive_slice(&mut edge);
+        crate::simd::exp_non_positive(&mut edge);
         assert_eq!(edge[0], 1.0);
         assert!(edge[1] > 0.0 && edge[1] < 1e-299);
         assert_eq!(edge[1], edge[2]);

@@ -68,31 +68,21 @@ fn accumulate(gram: &mut [f64], atk: &mut [f64], cols: usize, a: &[f64], k: f64,
 /// Bulk counterpart of [`accumulate`]: sums `Σ wᵢ·aᵢaᵢᵀ` (lower
 /// triangle) and `Σ wᵢ·aᵢ·kᵢ` over every row with the accumulators held
 /// in registers for the whole sweep, instead of a read-modify-write of
-/// the Gram storage per row. `weight(i)` supplies the per-row factor —
+/// the Gram storage per row. `weights[i]` supplies the per-row factor —
 /// the stored weight for rebuilds, the weight *delta* for reweights.
 ///
 /// Each Gram entry sees the same terms added in the same (row) order as
 /// repeated [`accumulate`] calls, so a bulk rebuild stays bit-identical
-/// to an incremental row-at-a-time build of the same system.
+/// to an incremental row-at-a-time build of the same system. The actual
+/// accumulation dispatches through [`crate::simd::gram_fixed`], whose
+/// SIMD twins uphold the same per-entry order (one Gram entry per lane).
 #[inline]
 fn bulk_accumulate<const N: usize>(
     rows: &[f64],
     rhs: &[f64],
-    weights: impl Iterator<Item = f64>,
+    weights: &[f64],
 ) -> ([[f64; N]; N], [f64; N]) {
-    let mut gram = [[0.0; N]; N];
-    let mut atk = [0.0; N];
-    for ((chunk, &k), w) in rows.chunks_exact(N).zip(rhs).zip(weights) {
-        let a: &[f64; N] = chunk.try_into().expect("chunk length equals N");
-        for r in 0..N {
-            let wa = w * a[r];
-            for c in 0..=r {
-                gram[r][c] += wa * a[c];
-            }
-            atk[r] += wa * k;
-        }
-    }
-    (gram, atk)
+    crate::simd::gram_fixed::<N>(rows, rhs, weights)
 }
 
 /// Fixed-width residual kernel `rᵢ = aᵢ·x − kᵢ` with fused `(Σr, Σr²)`
@@ -166,6 +156,8 @@ pub struct NormalEq {
     solution: Vec<f64>,
     /// Unit-vector scratch for covariance extraction.
     unit: Vec<f64>,
+    /// Weight-delta scratch for bulk reweights.
+    wdelta: Vec<f64>,
     /// When set, `gram`/`atk` do not reflect `rows` (rows were inserted
     /// or the caller asked for a deferred rebuild).
     dirty: bool,
@@ -198,6 +190,7 @@ impl NormalEq {
             chol: Vec::new(),
             solution: Vec::new(),
             unit: Vec::new(),
+            wdelta: Vec::new(),
             dirty: false,
             rebuild_every: rebuild_every.max(1),
             updates_since_rebuild: 0,
@@ -217,6 +210,34 @@ impl NormalEq {
         self.atk.resize(cols, 0.0);
         self.dirty = false;
         self.updates_since_rebuild = 0;
+    }
+
+    /// Loads a whole pre-assembled system in one call: `begin(cols)`,
+    /// then every row of the flat row-major `rows` (length a multiple of
+    /// `cols`) with its `rhs` entry at unit weight. The Gram matrix is
+    /// left dirty and rebuilt on the next solve — in storage order, which
+    /// equals push order, so the result is bit-identical to pushing the
+    /// rows one at a time (the determinism contract above).
+    ///
+    /// This is the batch entry point: the localizer assembles the
+    /// radical-line system into its workspace matrix and bulk-loads it
+    /// here instead of paying a per-row `push_row` accumulation that the
+    /// first IRLS rebuild would redo anyway.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rows.len() != rhs.len() * cols`.
+    pub fn set_system(&mut self, cols: usize, rows: &[f64], rhs: &[f64]) {
+        assert_eq!(
+            rows.len(),
+            rhs.len() * cols,
+            "flat row storage must be rhs.len() * cols"
+        );
+        self.begin(cols);
+        self.rows.extend_from_slice(rows);
+        self.rhs.extend_from_slice(rhs);
+        self.weights.resize(rhs.len(), 1.0);
+        self.dirty = true;
     }
 
     /// Counts `count` rank-1 Gram edits against the drift budget; once
@@ -454,6 +475,7 @@ impl NormalEq {
         }
         self.updates_since_rebuild += 1;
         match self.cols {
+            2 => self.reweight_fixed::<2>(w),
             3 => self.reweight_fixed::<3>(w),
             4 => self.reweight_fixed::<4>(w),
             _ => {
@@ -473,6 +495,11 @@ impl NormalEq {
         }
         self.updates_since_rebuild += 1;
         match self.cols {
+            2 => {
+                self.reweight_fixed::<2>(w);
+                self.weights.clear();
+                self.weights.extend_from_slice(w);
+            }
             3 => {
                 self.reweight_fixed::<3>(w);
                 self.weights.clear();
@@ -513,8 +540,10 @@ impl NormalEq {
     /// the per-row skip of the generic path buys nothing there. The
     /// caller stores the new weights afterwards (by copy or swap).
     fn reweight_fixed<const N: usize>(&mut self, w: &[f64]) {
-        let deltas = w.iter().zip(&self.weights).map(|(new, old)| new - old);
-        let (dg, datk) = bulk_accumulate::<N>(&self.rows, &self.rhs, deltas);
+        self.wdelta.clear();
+        self.wdelta
+            .extend(w.iter().zip(&self.weights).map(|(new, old)| new - old));
+        let (dg, datk) = bulk_accumulate::<N>(&self.rows, &self.rhs, &self.wdelta);
         for r in 0..N {
             for (c, d) in dg[r][..=r].iter().enumerate() {
                 self.gram[r * N + c] += d;
@@ -541,6 +570,7 @@ impl NormalEq {
         self.gram.iter_mut().for_each(|g| *g = 0.0);
         self.atk.iter_mut().for_each(|g| *g = 0.0);
         match self.cols {
+            2 => self.rebuild_fixed::<2>(),
             3 => self.rebuild_fixed::<3>(),
             4 => self.rebuild_fixed::<4>(),
             _ => {
@@ -563,11 +593,11 @@ impl NormalEq {
     }
 
     /// [`bulk_accumulate`]-backed rebuild for the column counts the
-    /// localizers actually use (3 for 2D, 4 for 3D). Bit-identical to
-    /// the generic row-at-a-time path.
+    /// localizers actually use (2 for a collinear radical-line system,
+    /// 3 for 2D, 4 for 3D). Bit-identical to the generic row-at-a-time
+    /// path.
     fn rebuild_fixed<const N: usize>(&mut self) {
-        let weights = self.weights.iter().copied();
-        let (gram, atk) = bulk_accumulate::<N>(&self.rows, &self.rhs, weights);
+        let (gram, atk) = bulk_accumulate::<N>(&self.rows, &self.rhs, &self.weights);
         for r in 0..N {
             for (c, &g) in gram[r][..=r].iter().enumerate() {
                 self.gram[r * N + c] = g;
@@ -611,6 +641,7 @@ impl NormalEq {
     pub fn residuals_stats_into(&self, x: &[f64], out: &mut Vec<f64>) -> (f64, f64) {
         out.clear();
         match self.cols {
+            2 => residuals_fixed::<2>(&self.rows, &self.rhs, x, out),
             3 => residuals_fixed::<3>(&self.rows, &self.rhs, x, out),
             4 => residuals_fixed::<4>(&self.rows, &self.rhs, x, out),
             _ => {

@@ -1,0 +1,928 @@
+//! Runtime-dispatched SIMD kernels for the solve pipeline's hot stages.
+//!
+//! Five kernels cover the stages that dominate a LION solve — phase
+//! unwrap, moving-average (Savitzky–Golay degree-0) smoothing,
+//! radical-line row assembly, the fixed-width Gram accumulation behind
+//! [`crate::NormalEq`], and the IRLS Gaussian-weight exponential. Each
+//! kernel exists twice: a portable scalar reference (`*_scalar`) and an
+//! explicit-width `core::arch` twin (AVX2 on x86_64, NEON on aarch64)
+//! selected once at runtime by [`active`].
+//!
+//! # Bit-identical contract
+//!
+//! Every SIMD twin produces **bit-identical** `f64` results to its scalar
+//! reference, on every input. This is not an accuracy nicety: the
+//! batch/stream parity suites assert `==` between estimates produced by
+//! different code paths, and the incremental re-solver's replay oracle
+//! only works if a replayed window reproduces the original solve exactly.
+//! The twins therefore restrict themselves to operations that are
+//! correctly rounded per IEEE 754 and identical per lane — add, sub, mul,
+//! div, sqrt, floor, max — applied in the same order as the scalar loop.
+//! In particular **no FMA is ever used** (a fused multiply-add rounds
+//! once where the scalar code rounds twice) and no summation order is
+//! changed (reductions keep their per-accumulator order; lanes only ever
+//! hold *independent* accumulators).
+//!
+//! # Dispatch
+//!
+//! [`detected`] probes the CPU once (cached in an atomic); [`active`]
+//! additionally honors a process-wide override installed with [`force`],
+//! which tests use to pin the scalar fallback regardless of host CPU.
+//! The `LION_SIMD` environment variable (`scalar` / `avx2` / `neon` /
+//! `auto`) overrides detection at first use, for CI runs that must
+//! exercise the fallback. Forcing a backend the CPU cannot run clamps to
+//! [`Backend::Scalar`], so dispatch is always sound.
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// A kernel implementation family, selected once at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Portable reference implementation; always available and always the
+    /// semantics the SIMD twins must reproduce bit-for-bit.
+    Scalar,
+    /// 256-bit AVX2 kernels (x86_64, runtime-detected).
+    Avx2,
+    /// 128-bit NEON kernels (aarch64 baseline).
+    Neon,
+}
+
+impl Backend {
+    /// Stable lowercase name, used by bench `env` blocks and telemetry.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+            Backend::Neon => "neon",
+        }
+    }
+}
+
+/// 0 = not probed yet; otherwise `encode(backend)`.
+static DETECTED: AtomicU8 = AtomicU8::new(0);
+/// 0 = no override; otherwise `encode(backend)`.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+
+fn encode(b: Backend) -> u8 {
+    match b {
+        Backend::Scalar => 1,
+        Backend::Avx2 => 2,
+        Backend::Neon => 3,
+    }
+}
+
+fn decode(v: u8) -> Backend {
+    match v {
+        2 => Backend::Avx2,
+        3 => Backend::Neon,
+        _ => Backend::Scalar,
+    }
+}
+
+/// Whether this process can actually execute `b`'s instructions.
+fn available(b: Backend) -> bool {
+    match b {
+        Backend::Scalar => true,
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2 => false,
+        Backend::Neon => cfg!(target_arch = "aarch64"),
+    }
+}
+
+fn probe() -> Backend {
+    if let Ok(v) = std::env::var("LION_SIMD") {
+        match v.to_ascii_lowercase().as_str() {
+            "scalar" => return Backend::Scalar,
+            "avx2" if available(Backend::Avx2) => return Backend::Avx2,
+            "neon" if available(Backend::Neon) => return Backend::Neon,
+            // Unknown or unavailable value: fall through to detection.
+            _ => {}
+        }
+    }
+    if available(Backend::Avx2) {
+        Backend::Avx2
+    } else if available(Backend::Neon) {
+        Backend::Neon
+    } else {
+        Backend::Scalar
+    }
+}
+
+/// The backend runtime detection picked for this CPU (cached after the
+/// first call; `LION_SIMD` overrides it at first use).
+pub fn detected() -> Backend {
+    match DETECTED.load(Ordering::Relaxed) {
+        0 => {
+            let b = probe();
+            DETECTED.store(encode(b), Ordering::Relaxed);
+            b
+        }
+        v => decode(v),
+    }
+}
+
+/// Installs (or with `None` removes) a process-wide backend override.
+///
+/// Tests use this to exercise the scalar fallback on any host. Because
+/// the kernels are bit-identical, flipping the override mid-run changes
+/// no result — only which instructions compute it. A forced backend the
+/// CPU cannot execute silently clamps to [`Backend::Scalar`].
+pub fn force(backend: Option<Backend>) {
+    FORCED.store(backend.map_or(0, encode), Ordering::Relaxed);
+}
+
+/// The backend kernels dispatch to right now: the [`force`]d override if
+/// one is installed (clamped to what the CPU supports), else
+/// [`detected`].
+pub fn active() -> Backend {
+    match FORCED.load(Ordering::Relaxed) {
+        0 => detected(),
+        v => {
+            let b = decode(v);
+            if available(b) {
+                b
+            } else {
+                Backend::Scalar
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel 1: elementwise exp for non-positive arguments (IRLS weights).
+// ---------------------------------------------------------------------------
+
+/// The digits spell out the exact Cody–Waite hi/lo split of ln 2.
+#[allow(clippy::excessive_precision)]
+const LN2_HI: f64 = 6.931_471_803_691_238_2e-1;
+const LN2_LO: f64 = 1.908_214_929_270_587_7e-10;
+/// 1.5·2⁵²: adding then subtracting rounds to the nearest integer and
+/// leaves that integer in the sum's low mantissa bits.
+const SHIFT: f64 = 6_755_399_441_055_744.0;
+
+/// Elementwise `x → exp(x)` for non-positive `x`, in place.
+///
+/// This is the Gaussian-weight hot path shared by the QR
+/// ([`crate::lstsq::solve_irls_with`]) and normal-equation
+/// ([`crate::solve_irls_normal`]) IRLS loops: one `exp` per equation per
+/// iteration, so a libm call each would dominate the whole reweight.
+/// Instead: Cody–Waite reduction `x = n·ln2 + r` (`|r| ≤ ln2/2`), a
+/// degree-9 Taylor polynomial for `exp(r)` (remainder below 7e-12 on the
+/// reduced range — noise at the scale of a reliability weight), and an
+/// exact power-of-two scale assembled from the shift trick's mantissa
+/// bits. One tolerance, one kernel: every IRLS path funnels here.
+pub fn exp_non_positive(xs: &mut [f64]) {
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `active()` only returns Avx2 when the CPU supports it.
+        Backend::Avx2 => unsafe { avx2::exp_non_positive(xs) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64.
+        Backend::Neon => unsafe { neon::exp_non_positive(xs) },
+        _ => exp_non_positive_scalar(xs),
+    }
+}
+
+/// Scalar reference for [`exp_non_positive`]; the body is straight-line
+/// arithmetic with no branches, calls, or float→int conversions.
+pub fn exp_non_positive_scalar(xs: &mut [f64]) {
+    for x in xs {
+        debug_assert!(*x <= 0.0);
+        // exp(-690) ≈ 1e-300 — an effectively zero weight — and the
+        // clamp keeps the 2ⁿ scale inside normal-number range.
+        let v = x.max(-690.0);
+        let t = v * std::f64::consts::LOG2_E + SHIFT;
+        let n = t - SHIFT;
+        let r = (v - n * LN2_HI) - n * LN2_LO;
+        let p = 1.0 / 362_880.0;
+        let p = 1.0 / 40_320.0 + r * p;
+        let p = 1.0 / 5_040.0 + r * p;
+        let p = 1.0 / 720.0 + r * p;
+        let p = 1.0 / 120.0 + r * p;
+        let p = 1.0 / 24.0 + r * p;
+        let p = 1.0 / 6.0 + r * p;
+        let p = 0.5 + r * p;
+        let p = 1.0 + r * p;
+        let p = 1.0 + r * p;
+        // n ∈ [-996, 0] lives in t's low mantissa bits (mod 2¹²), so the
+        // biased exponent (n + 1023) << 52 comes straight from them.
+        let scale = f64::from_bits(t.to_bits().wrapping_add(1023) << 52);
+        *x = p * scale;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel 2: phase unwrap (paper Sec. IV-A1).
+// ---------------------------------------------------------------------------
+
+const TAU: f64 = std::f64::consts::TAU;
+const INV_TAU: f64 = 1.0 / std::f64::consts::TAU;
+
+/// Unwraps a `[0, 2π)`-wrapped phase sequence in place, using `revs` as
+/// scratch (resized to `phases.len()`, contents overwritten).
+///
+/// Three passes: (1) per-gap revolution counts
+/// `rᵢ = ⌊(θᵢ − θᵢ₋₁)/2π + ½⌋` — data-parallel; (2) a scalar prefix sum
+/// turning gap counts into per-sample offsets `mᵢ = mᵢ₋₁ − rᵢ` (exact
+/// small integers in `f64`); (3) `θᵢ ← θᵢ + mᵢ·2π` — data-parallel.
+/// The floor form reproduces the classic `while |jump| ≥ π` loop's
+/// half-open `[−π, π)` normalization interval, including the `+π`
+/// boundary.
+pub fn phase_unwrap_in_place(phases: &mut [f64], revs: &mut Vec<f64>) {
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `active()` only returns Avx2 when the CPU supports it.
+        Backend::Avx2 => unsafe { avx2::phase_unwrap_in_place(phases, revs) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64.
+        Backend::Neon => unsafe { neon::phase_unwrap_in_place(phases, revs) },
+        _ => phase_unwrap_in_place_scalar(phases, revs),
+    }
+}
+
+/// Scalar reference for [`phase_unwrap_in_place`].
+pub fn phase_unwrap_in_place_scalar(phases: &mut [f64], revs: &mut Vec<f64>) {
+    let n = phases.len();
+    revs.clear();
+    revs.resize(n, 0.0);
+    if n < 2 {
+        return;
+    }
+    for i in 1..n {
+        revs[i] = ((phases[i] - phases[i - 1]) * INV_TAU + 0.5).floor();
+    }
+    unwrap_integrate_and_apply(phases, revs);
+}
+
+/// Passes 2 + 3 of the unwrap, shared verbatim by every backend: the
+/// prefix sum is inherently sequential (and exact — the counts are small
+/// integers), and the scalar apply loop keeps the tail handling in one
+/// place. Backends may run pass 3 with SIMD as long as each element stays
+/// the same `θᵢ + mᵢ·2π` (separate mul then add, never fused).
+fn unwrap_integrate_and_apply(phases: &mut [f64], revs: &mut [f64]) {
+    let mut m = 0.0;
+    for r in revs[1..].iter_mut() {
+        m -= *r;
+        *r = m;
+    }
+    for (p, &m) in phases.iter_mut().zip(revs.iter()) {
+        *p += m * TAU;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel 3: centered moving-average smoothing from a prefix sum.
+// ---------------------------------------------------------------------------
+
+/// Fills `out[i] = (prefix[hi] − prefix[lo]) / (hi − lo)` with the
+/// centered window `[lo, hi) = [i − ⌊w/2⌋, i + ⌊w/2⌋ + (w mod 2))`
+/// clamped to the sequence — exactly the spans
+/// [`crate::stats::moving_average_into`] documents. `prefix` must hold
+/// the running sums (`prefix[0] = 0`, `prefix.len() = out.len() + 1`);
+/// `window ≥ 2`. Interior samples (where the window is unclamped) divide
+/// by the constant window width and vectorize; the clamped edges stay
+/// scalar.
+pub fn sliding_mean_from_prefix(prefix: &[f64], window: usize, out: &mut [f64]) {
+    debug_assert_eq!(prefix.len(), out.len() + 1);
+    debug_assert!(window >= 2);
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `active()` only returns Avx2 when the CPU supports it.
+        Backend::Avx2 => unsafe { avx2::sliding_mean_from_prefix(prefix, window, out) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64.
+        Backend::Neon => unsafe { neon::sliding_mean_from_prefix(prefix, window, out) },
+        _ => sliding_mean_from_prefix_scalar(prefix, window, out),
+    }
+}
+
+/// Scalar reference for [`sliding_mean_from_prefix`].
+pub fn sliding_mean_from_prefix_scalar(prefix: &[f64], window: usize, out: &mut [f64]) {
+    let n = out.len();
+    sliding_mean_edges(prefix, window, out, 0, n);
+}
+
+/// The fully general (clamped-window) scalar loop over `[from, to)`;
+/// SIMD backends use it for the edges and any interior tail.
+fn sliding_mean_edges(prefix: &[f64], window: usize, out: &mut [f64], from: usize, to: usize) {
+    let n = out.len();
+    let half = window / 2;
+    let odd = window % 2;
+    for (i, o) in out[from..to].iter_mut().enumerate() {
+        let i = from + i;
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + odd).min(n).max(lo + 1);
+        *o = (prefix[hi] - prefix[lo]) / (hi - lo) as f64;
+    }
+}
+
+/// The index range `[start, end)` where the centered window is unclamped
+/// (width exactly `window`), so the divisor is constant.
+fn sliding_mean_interior(n: usize, window: usize) -> (usize, usize) {
+    let half = window / 2;
+    let odd = window % 2;
+    let start = half.min(n);
+    let end = (n + 1).saturating_sub(half + odd).clamp(start, n);
+    (start, end)
+}
+
+// ---------------------------------------------------------------------------
+// Kernel 4: radical-line row assembly (paper Eqs. 7, 9, 12).
+// ---------------------------------------------------------------------------
+
+/// Assembles the stacked radical-line system from axis-major coordinates.
+///
+/// `coords` holds `k` contiguous axis slices of length `n` (axis `c` at
+/// `coords[c·n .. (c+1)·n]`); `deltas` has length `n`. Pair `(i, j)` from
+/// the parallel `pair_i`/`pair_j` index slices becomes one row of
+/// `design` (row-major, `k + 1` columns): `2(cᵢ − cⱼ)` per axis, then
+/// `2(Δdᵢ − Δdⱼ)`, with `rhs = Σ_c (cᵢ² − cⱼ²) − (Δdᵢ² − Δdⱼ²)`. The
+/// arithmetic (including the accumulation order of the right-hand side)
+/// is identical to the row-major AoS assembly in `lion-core`'s
+/// `build_system`, so both produce bit-identical systems.
+///
+/// Callers validate; this kernel only debug-asserts. Indices are `i32`
+/// so the x86 path can feed them straight into vector gathers.
+#[allow(clippy::too_many_arguments)]
+pub fn radical_rows(
+    coords: &[f64],
+    n: usize,
+    k: usize,
+    deltas: &[f64],
+    pair_i: &[i32],
+    pair_j: &[i32],
+    design: &mut [f64],
+    rhs: &mut [f64],
+) {
+    debug_assert_eq!(coords.len(), n * k);
+    debug_assert_eq!(deltas.len(), n);
+    debug_assert_eq!(pair_i.len(), rhs.len());
+    debug_assert_eq!(pair_j.len(), rhs.len());
+    debug_assert_eq!(design.len(), rhs.len() * (k + 1));
+    debug_assert!(pair_i.iter().chain(pair_j).all(|&x| (x as usize) < n));
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `active()` only returns Avx2 when the CPU supports it;
+        // index bounds are the caller's (debug-asserted) contract.
+        Backend::Avx2 => unsafe {
+            avx2::radical_rows(coords, n, k, deltas, pair_i, pair_j, design, rhs)
+        },
+        // The gather-heavy inner loop has no NEON win (no gather
+        // instruction); aarch64 runs the scalar reference.
+        _ => radical_rows_scalar(coords, n, k, deltas, pair_i, pair_j, design, rhs),
+    }
+}
+
+/// Scalar reference for [`radical_rows`].
+#[allow(clippy::too_many_arguments)]
+pub fn radical_rows_scalar(
+    coords: &[f64],
+    n: usize,
+    k: usize,
+    deltas: &[f64],
+    pair_i: &[i32],
+    pair_j: &[i32],
+    design: &mut [f64],
+    rhs: &mut [f64],
+) {
+    radical_rows_range(
+        coords,
+        n,
+        k,
+        deltas,
+        pair_i,
+        pair_j,
+        design,
+        rhs,
+        0,
+        rhs.len(),
+    );
+}
+
+/// The general scalar row loop over rows `[from, to)`; SIMD backends use
+/// it for `k ≠ 1` and tails.
+#[allow(clippy::too_many_arguments)]
+fn radical_rows_range(
+    coords: &[f64],
+    n: usize,
+    k: usize,
+    deltas: &[f64],
+    pair_i: &[i32],
+    pair_j: &[i32],
+    design: &mut [f64],
+    rhs: &mut [f64],
+    from: usize,
+    to: usize,
+) {
+    let stride = k + 1;
+    for row in from..to {
+        let i = pair_i[row] as usize;
+        let j = pair_j[row] as usize;
+        let out = &mut design[row * stride..row * stride + stride];
+        let mut kappa = 0.0;
+        for (c, o) in out[..k].iter_mut().enumerate() {
+            let ci = coords[c * n + i];
+            let cj = coords[c * n + j];
+            *o = 2.0 * (ci - cj);
+            kappa += ci * ci - cj * cj;
+        }
+        let di = deltas[i];
+        let dj = deltas[j];
+        out[k] = 2.0 * (di - dj);
+        kappa -= di * di - dj * dj;
+        rhs[row] = kappa;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel 5: fixed-width weighted Gram accumulation (NormalEq bulk path).
+// ---------------------------------------------------------------------------
+
+/// Sums `Σ wᵢ·aᵢaᵢᵀ` (lower triangle; upper entries stay 0) and
+/// `Σ wᵢ·aᵢ·kᵢ` over every stored row, accumulators held in registers.
+/// `weights[i]` supplies the per-row factor — the stored weight for
+/// rebuilds, the weight *delta* for reweights.
+///
+/// Each Gram entry sees the same terms added in the same (row) order as
+/// repeated single-row accumulation, so a bulk rebuild stays
+/// bit-identical to an incremental row-at-a-time build of the same
+/// system; the SIMD twins keep that order by giving each Gram entry its
+/// own lane (lanes never share an accumulator).
+pub fn gram_fixed<const N: usize>(
+    rows: &[f64],
+    rhs: &[f64],
+    weights: &[f64],
+) -> ([[f64; N]; N], [f64; N]) {
+    debug_assert_eq!(rows.len(), rhs.len() * N);
+    debug_assert_eq!(weights.len(), rhs.len());
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `active()` only returns Avx2 when the CPU supports it.
+        Backend::Avx2 if N >= 2 && N <= 4 => unsafe { avx2::gram_fixed::<N>(rows, rhs, weights) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is baseline on aarch64.
+        Backend::Neon if N == 2 || N == 4 => unsafe { neon::gram_fixed::<N>(rows, rhs, weights) },
+        _ => gram_fixed_scalar::<N>(rows, rhs, weights),
+    }
+}
+
+/// Scalar reference for [`gram_fixed`].
+pub fn gram_fixed_scalar<const N: usize>(
+    rows: &[f64],
+    rhs: &[f64],
+    weights: &[f64],
+) -> ([[f64; N]; N], [f64; N]) {
+    let mut gram = [[0.0; N]; N];
+    let mut atk = [0.0; N];
+    for ((chunk, &k), &w) in rows.chunks_exact(N).zip(rhs).zip(weights) {
+        let a: &[f64; N] = chunk.try_into().expect("chunk length equals N");
+        for r in 0..N {
+            let wa = w * a[r];
+            for c in 0..=r {
+                gram[r][c] += wa * a[c];
+            }
+            atk[r] += wa * k;
+        }
+    }
+    (gram, atk)
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 twins (x86_64).
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::*;
+    use core::arch::x86_64::*;
+
+    /// # Safety
+    /// Caller must have verified AVX2 support.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn exp_non_positive(xs: &mut [f64]) {
+        let n = xs.len();
+        let clamp = _mm256_set1_pd(-690.0);
+        let log2e = _mm256_set1_pd(std::f64::consts::LOG2_E);
+        let shift = _mm256_set1_pd(SHIFT);
+        let ln2hi = _mm256_set1_pd(LN2_HI);
+        let ln2lo = _mm256_set1_pd(LN2_LO);
+        let bias = _mm256_set1_epi64x(1023);
+        let mut i = 0;
+        while i + 4 <= n {
+            let x = _mm256_loadu_pd(xs.as_ptr().add(i));
+            let v = _mm256_max_pd(x, clamp);
+            let t = _mm256_add_pd(_mm256_mul_pd(v, log2e), shift);
+            let nv = _mm256_sub_pd(t, shift);
+            let r = _mm256_sub_pd(
+                _mm256_sub_pd(v, _mm256_mul_pd(nv, ln2hi)),
+                _mm256_mul_pd(nv, ln2lo),
+            );
+            let mut p = _mm256_set1_pd(1.0 / 362_880.0);
+            p = _mm256_add_pd(_mm256_set1_pd(1.0 / 40_320.0), _mm256_mul_pd(r, p));
+            p = _mm256_add_pd(_mm256_set1_pd(1.0 / 5_040.0), _mm256_mul_pd(r, p));
+            p = _mm256_add_pd(_mm256_set1_pd(1.0 / 720.0), _mm256_mul_pd(r, p));
+            p = _mm256_add_pd(_mm256_set1_pd(1.0 / 120.0), _mm256_mul_pd(r, p));
+            p = _mm256_add_pd(_mm256_set1_pd(1.0 / 24.0), _mm256_mul_pd(r, p));
+            p = _mm256_add_pd(_mm256_set1_pd(1.0 / 6.0), _mm256_mul_pd(r, p));
+            p = _mm256_add_pd(_mm256_set1_pd(0.5), _mm256_mul_pd(r, p));
+            p = _mm256_add_pd(_mm256_set1_pd(1.0), _mm256_mul_pd(r, p));
+            p = _mm256_add_pd(_mm256_set1_pd(1.0), _mm256_mul_pd(r, p));
+            let scale = _mm256_castsi256_pd(_mm256_slli_epi64(
+                _mm256_add_epi64(_mm256_castpd_si256(t), bias),
+                52,
+            ));
+            _mm256_storeu_pd(xs.as_mut_ptr().add(i), _mm256_mul_pd(p, scale));
+            i += 4;
+        }
+        super::exp_non_positive_scalar(&mut xs[i..]);
+    }
+
+    /// # Safety
+    /// Caller must have verified AVX2 support.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn phase_unwrap_in_place(phases: &mut [f64], revs: &mut Vec<f64>) {
+        let n = phases.len();
+        revs.clear();
+        revs.resize(n, 0.0);
+        if n < 2 {
+            return;
+        }
+        let inv_tau = _mm256_set1_pd(INV_TAU);
+        let half = _mm256_set1_pd(0.5);
+        let mut i = 1;
+        while i + 4 <= n {
+            let cur = _mm256_loadu_pd(phases.as_ptr().add(i));
+            let prev = _mm256_loadu_pd(phases.as_ptr().add(i - 1));
+            let r = _mm256_floor_pd(_mm256_add_pd(
+                _mm256_mul_pd(_mm256_sub_pd(cur, prev), inv_tau),
+                half,
+            ));
+            _mm256_storeu_pd(revs.as_mut_ptr().add(i), r);
+            i += 4;
+        }
+        while i < n {
+            revs[i] = ((phases[i] - phases[i - 1]) * INV_TAU + 0.5).floor();
+            i += 1;
+        }
+        // Pass 2 stays scalar (sequential dependency); pass 3 is the
+        // elementwise `θᵢ + mᵢ·2π` apply, shared with the scalar twin.
+        super::unwrap_integrate_and_apply(phases, revs);
+    }
+
+    /// # Safety
+    /// Caller must have verified AVX2 support.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn sliding_mean_from_prefix(prefix: &[f64], window: usize, out: &mut [f64]) {
+        let n = out.len();
+        let (start, end) = super::sliding_mean_interior(n, window);
+        super::sliding_mean_edges(prefix, window, out, 0, start);
+        let half = window / 2;
+        let odd = window % 2;
+        let inv = _mm256_set1_pd(window as f64);
+        let mut i = start;
+        while i + 4 <= end {
+            let hi = _mm256_loadu_pd(prefix.as_ptr().add(i + half + odd));
+            let lo = _mm256_loadu_pd(prefix.as_ptr().add(i - half));
+            let mean = _mm256_div_pd(_mm256_sub_pd(hi, lo), inv);
+            _mm256_storeu_pd(out.as_mut_ptr().add(i), mean);
+            i += 4;
+        }
+        super::sliding_mean_edges(prefix, window, out, i, n);
+    }
+
+    /// # Safety
+    /// Caller must have verified AVX2 support and that every pair index
+    /// is in `0..n`.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn radical_rows(
+        coords: &[f64],
+        n: usize,
+        k: usize,
+        deltas: &[f64],
+        pair_i: &[i32],
+        pair_j: &[i32],
+        design: &mut [f64],
+        rhs: &mut [f64],
+    ) {
+        let m = rhs.len();
+        if k != 1 {
+            // Multi-axis frames are the cold shape (non-collinear scans);
+            // the strided column writes don't pay for gathers there.
+            super::radical_rows_range(coords, n, k, deltas, pair_i, pair_j, design, rhs, 0, m);
+            return;
+        }
+        let two = _mm256_set1_pd(2.0);
+        let mut row = 0;
+        while row + 4 <= m {
+            let ii = _mm_loadu_si128(pair_i.as_ptr().add(row).cast());
+            let jj = _mm_loadu_si128(pair_j.as_ptr().add(row).cast());
+            let ci = _mm256_i32gather_pd::<8>(coords.as_ptr(), ii);
+            let cj = _mm256_i32gather_pd::<8>(coords.as_ptr(), jj);
+            let di = _mm256_i32gather_pd::<8>(deltas.as_ptr(), ii);
+            let dj = _mm256_i32gather_pd::<8>(deltas.as_ptr(), jj);
+            let a = _mm256_mul_pd(two, _mm256_sub_pd(ci, cj));
+            let b = _mm256_mul_pd(two, _mm256_sub_pd(di, dj));
+            // rhs: (cᵢ² − cⱼ²) − (Δdᵢ² − Δdⱼ²), same two-step order as
+            // the scalar loop (`kappa += …; kappa -= …`).
+            let csq = _mm256_sub_pd(_mm256_mul_pd(ci, ci), _mm256_mul_pd(cj, cj));
+            let dsq = _mm256_sub_pd(_mm256_mul_pd(di, di), _mm256_mul_pd(dj, dj));
+            let kappa = _mm256_sub_pd(csq, dsq);
+            // Interleave [a, b] into the row-major 2-column design block.
+            let lo = _mm256_unpacklo_pd(a, b); // a0 b0 a2 b2
+            let hi = _mm256_unpackhi_pd(a, b); // a1 b1 a3 b3
+            let r01 = _mm256_permute2f128_pd::<0x20>(lo, hi); // a0 b0 a1 b1
+            let r23 = _mm256_permute2f128_pd::<0x31>(lo, hi); // a2 b2 a3 b3
+            _mm256_storeu_pd(design.as_mut_ptr().add(row * 2), r01);
+            _mm256_storeu_pd(design.as_mut_ptr().add(row * 2 + 4), r23);
+            _mm256_storeu_pd(rhs.as_mut_ptr().add(row), kappa);
+            row += 4;
+        }
+        super::radical_rows_range(coords, n, k, deltas, pair_i, pair_j, design, rhs, row, m);
+    }
+
+    /// Broadcast lane `r` of a 4-lane vector (compile-time unrolled).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn bcast(v: __m256d, r: usize) -> __m256d {
+        match r {
+            0 => _mm256_permute4x64_pd::<0x00>(v),
+            1 => _mm256_permute4x64_pd::<0x55>(v),
+            2 => _mm256_permute4x64_pd::<0xAA>(v),
+            _ => _mm256_permute4x64_pd::<0xFF>(v),
+        }
+    }
+
+    /// # Safety
+    /// Caller must have verified AVX2 support; `2 ≤ N ≤ 4`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn gram_fixed<const N: usize>(
+        rows: &[f64],
+        rhs: &[f64],
+        weights: &[f64],
+    ) -> ([[f64; N]; N], [f64; N]) {
+        // Lane mask for partial row loads when N < 4 (maskload never
+        // touches the masked-off lanes, so the last row cannot read past
+        // the buffer).
+        let mask = _mm256_setr_epi64x(
+            -1,
+            -1,
+            if N >= 3 { -1 } else { 0 },
+            if N >= 4 { -1 } else { 0 },
+        );
+        let mut acc = [_mm256_setzero_pd(); N];
+        let mut acc_atk = _mm256_setzero_pd();
+        for (row, (&k, &w)) in rhs.iter().zip(weights).enumerate() {
+            let p = rows.as_ptr().add(row * N);
+            let a = if N == 4 {
+                _mm256_loadu_pd(p)
+            } else {
+                _mm256_maskload_pd(p, mask)
+            };
+            // wa[c] = w·a[c] — each lane is exactly the scalar loop's
+            // `wa` for the matching Gram row.
+            let wa = _mm256_mul_pd(_mm256_set1_pd(w), a);
+            for (r, acc_r) in acc.iter_mut().enumerate() {
+                *acc_r = _mm256_add_pd(*acc_r, _mm256_mul_pd(bcast(wa, r), a));
+            }
+            acc_atk = _mm256_add_pd(acc_atk, _mm256_mul_pd(wa, _mm256_set1_pd(k)));
+        }
+        let mut gram = [[0.0; N]; N];
+        let mut atk = [0.0; N];
+        let mut lanes = [0.0_f64; 4];
+        for (r, acc_r) in acc.iter().enumerate() {
+            _mm256_storeu_pd(lanes.as_mut_ptr(), *acc_r);
+            // Keep only the lower triangle, matching the scalar kernel
+            // (upper entries stay 0 and are never read downstream).
+            gram[r][..=r].copy_from_slice(&lanes[..=r]);
+        }
+        _mm256_storeu_pd(lanes.as_mut_ptr(), acc_atk);
+        atk.copy_from_slice(&lanes[..N]);
+        (gram, atk)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NEON twins (aarch64).
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "aarch64")]
+#[allow(unused_unsafe)]
+mod neon {
+    use super::*;
+    use core::arch::aarch64::*;
+
+    /// # Safety
+    /// NEON is baseline on aarch64; kept `unsafe` for dispatch symmetry.
+    pub(super) unsafe fn exp_non_positive(xs: &mut [f64]) {
+        let n = xs.len();
+        let clamp = vdupq_n_f64(-690.0);
+        let log2e = vdupq_n_f64(std::f64::consts::LOG2_E);
+        let shift = vdupq_n_f64(SHIFT);
+        let ln2hi = vdupq_n_f64(LN2_HI);
+        let ln2lo = vdupq_n_f64(LN2_LO);
+        let bias = vdupq_n_u64(1023);
+        let mut i = 0;
+        while i + 2 <= n {
+            let x = vld1q_f64(xs.as_ptr().add(i));
+            let v = vmaxq_f64(x, clamp);
+            let t = vaddq_f64(vmulq_f64(v, log2e), shift);
+            let nv = vsubq_f64(t, shift);
+            let r = vsubq_f64(vsubq_f64(v, vmulq_f64(nv, ln2hi)), vmulq_f64(nv, ln2lo));
+            let mut p = vdupq_n_f64(1.0 / 362_880.0);
+            p = vaddq_f64(vdupq_n_f64(1.0 / 40_320.0), vmulq_f64(r, p));
+            p = vaddq_f64(vdupq_n_f64(1.0 / 5_040.0), vmulq_f64(r, p));
+            p = vaddq_f64(vdupq_n_f64(1.0 / 720.0), vmulq_f64(r, p));
+            p = vaddq_f64(vdupq_n_f64(1.0 / 120.0), vmulq_f64(r, p));
+            p = vaddq_f64(vdupq_n_f64(1.0 / 24.0), vmulq_f64(r, p));
+            p = vaddq_f64(vdupq_n_f64(1.0 / 6.0), vmulq_f64(r, p));
+            p = vaddq_f64(vdupq_n_f64(0.5), vmulq_f64(r, p));
+            p = vaddq_f64(vdupq_n_f64(1.0), vmulq_f64(r, p));
+            p = vaddq_f64(vdupq_n_f64(1.0), vmulq_f64(r, p));
+            let scale =
+                vreinterpretq_f64_u64(vshlq_n_u64::<52>(vaddq_u64(vreinterpretq_u64_f64(t), bias)));
+            vst1q_f64(xs.as_mut_ptr().add(i), vmulq_f64(p, scale));
+            i += 2;
+        }
+        super::exp_non_positive_scalar(&mut xs[i..]);
+    }
+
+    /// # Safety
+    /// NEON is baseline on aarch64; kept `unsafe` for dispatch symmetry.
+    pub(super) unsafe fn phase_unwrap_in_place(phases: &mut [f64], revs: &mut Vec<f64>) {
+        let n = phases.len();
+        revs.clear();
+        revs.resize(n, 0.0);
+        if n < 2 {
+            return;
+        }
+        let inv_tau = vdupq_n_f64(INV_TAU);
+        let half = vdupq_n_f64(0.5);
+        let mut i = 1;
+        while i + 2 <= n {
+            let cur = vld1q_f64(phases.as_ptr().add(i));
+            let prev = vld1q_f64(phases.as_ptr().add(i - 1));
+            let r = vrndmq_f64(vaddq_f64(vmulq_f64(vsubq_f64(cur, prev), inv_tau), half));
+            vst1q_f64(revs.as_mut_ptr().add(i), r);
+            i += 2;
+        }
+        while i < n {
+            revs[i] = ((phases[i] - phases[i - 1]) * INV_TAU + 0.5).floor();
+            i += 1;
+        }
+        super::unwrap_integrate_and_apply(phases, revs);
+    }
+
+    /// # Safety
+    /// NEON is baseline on aarch64; kept `unsafe` for dispatch symmetry.
+    pub(super) unsafe fn sliding_mean_from_prefix(prefix: &[f64], window: usize, out: &mut [f64]) {
+        let n = out.len();
+        let (start, end) = super::sliding_mean_interior(n, window);
+        super::sliding_mean_edges(prefix, window, out, 0, start);
+        let half = window / 2;
+        let odd = window % 2;
+        let width = vdupq_n_f64(window as f64);
+        let mut i = start;
+        while i + 2 <= end {
+            let hi = vld1q_f64(prefix.as_ptr().add(i + half + odd));
+            let lo = vld1q_f64(prefix.as_ptr().add(i - half));
+            vst1q_f64(out.as_mut_ptr().add(i), vdivq_f64(vsubq_f64(hi, lo), width));
+            i += 2;
+        }
+        super::sliding_mean_edges(prefix, window, out, i, n);
+    }
+
+    /// # Safety
+    /// NEON is baseline on aarch64; `N` must be 2 or 4.
+    pub(super) unsafe fn gram_fixed<const N: usize>(
+        rows: &[f64],
+        rhs: &[f64],
+        weights: &[f64],
+    ) -> ([[f64; N]; N], [f64; N]) {
+        let mut gram = [[0.0; N]; N];
+        let mut atk = [0.0; N];
+        // Per Gram row: ⌈N/2⌉ two-lane accumulators; lanes are distinct
+        // Gram entries, so per-entry addition order matches the scalar
+        // row-at-a-time loop exactly.
+        let mut acc = [[vdupq_n_f64(0.0); 2]; N];
+        let mut acc_atk = [vdupq_n_f64(0.0); 2];
+        for (row, (&k, &w)) in rhs.iter().zip(weights).enumerate() {
+            let p = rows.as_ptr().add(row * N);
+            let a0 = vld1q_f64(p);
+            let a1 = if N == 4 {
+                vld1q_f64(p.add(2))
+            } else {
+                vdupq_n_f64(0.0)
+            };
+            let wv = vdupq_n_f64(w);
+            let wa0 = vmulq_f64(wv, a0);
+            let wa1 = vmulq_f64(wv, a1);
+            for r in 0..N {
+                let war = match r {
+                    0 => vdupq_laneq_f64::<0>(wa0),
+                    1 => vdupq_laneq_f64::<1>(wa0),
+                    2 => vdupq_laneq_f64::<0>(wa1),
+                    _ => vdupq_laneq_f64::<1>(wa1),
+                };
+                acc[r][0] = vaddq_f64(acc[r][0], vmulq_f64(war, a0));
+                if N == 4 {
+                    acc[r][1] = vaddq_f64(acc[r][1], vmulq_f64(war, a1));
+                }
+            }
+            let kv = vdupq_n_f64(k);
+            acc_atk[0] = vaddq_f64(acc_atk[0], vmulq_f64(wa0, kv));
+            if N == 4 {
+                acc_atk[1] = vaddq_f64(acc_atk[1], vmulq_f64(wa1, kv));
+            }
+        }
+        let mut lanes = [0.0_f64; 4];
+        for r in 0..N {
+            vst1q_f64(lanes.as_mut_ptr(), acc[r][0]);
+            if N == 4 {
+                vst1q_f64(lanes.as_mut_ptr().add(2), acc[r][1]);
+            }
+            gram[r][..=r].copy_from_slice(&lanes[..=r]);
+        }
+        vst1q_f64(lanes.as_mut_ptr(), acc_atk[0]);
+        if N == 4 {
+            vst1q_f64(lanes.as_mut_ptr().add(2), acc_atk[1]);
+        }
+        atk.copy_from_slice(&lanes[..N]);
+        (gram, atk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_roundtrip_and_names() {
+        for b in [Backend::Scalar, Backend::Avx2, Backend::Neon] {
+            assert_eq!(decode(encode(b)), b);
+            assert!(!b.name().is_empty());
+        }
+        assert!(available(Backend::Scalar));
+    }
+
+    #[test]
+    fn force_clamps_to_available() {
+        force(Some(Backend::Scalar));
+        assert_eq!(active(), Backend::Scalar);
+        force(None);
+        assert_eq!(active(), detected());
+    }
+
+    #[test]
+    fn unwrap_matches_while_loop_reference() {
+        // The classic reference: normalize each jump into [-π, π) with a
+        // while loop, accumulating an offset.
+        fn reference(wrapped: &[f64]) -> Vec<f64> {
+            let tau = std::f64::consts::TAU;
+            let mut out = Vec::new();
+            let mut offset = 0.0;
+            let mut prev: Option<f64> = None;
+            for &theta in wrapped {
+                if let Some(p) = prev {
+                    let mut jump = theta - p;
+                    while jump >= std::f64::consts::PI {
+                        jump -= tau;
+                        offset -= tau;
+                    }
+                    while jump < -std::f64::consts::PI {
+                        jump += tau;
+                        offset += tau;
+                    }
+                }
+                out.push(theta + offset);
+                prev = Some(theta);
+            }
+            out
+        }
+        let wrapped = [
+            0.3,
+            0.1,
+            2.0 * std::f64::consts::PI - 0.1,
+            0.2,
+            3.0,
+            6.0,
+            0.05,
+        ];
+        let mut phases = wrapped.to_vec();
+        let mut revs = Vec::new();
+        phase_unwrap_in_place_scalar(&mut phases, &mut revs);
+        for (a, b) in phases.iter().zip(reference(&wrapped)) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sliding_mean_interior_bounds() {
+        assert_eq!(sliding_mean_interior(10, 5), (2, 8));
+        assert_eq!(sliding_mean_interior(10, 4), (2, 9));
+        assert_eq!(sliding_mean_interior(3, 7), (3, 3)); // window wider than data
+    }
+}

@@ -196,7 +196,6 @@ pub fn moving_average_into(
         out.extend_from_slice(values);
         return;
     }
-    let half = window / 2;
     let n = values.len();
     // Prefix sums for O(n) averaging.
     prefix.clear();
@@ -204,12 +203,8 @@ pub fn moving_average_into(
     for &v in values {
         prefix.push(prefix.last().expect("seeded with 0.0") + v);
     }
-    for i in 0..n {
-        let lo = i.saturating_sub(half);
-        let hi = (i + half + (window % 2)).min(n); // symmetric for odd windows
-        let hi = hi.max(lo + 1);
-        out.push((prefix[hi] - prefix[lo]) / (hi - lo) as f64);
-    }
+    out.resize(n, 0.0);
+    crate::simd::sliding_mean_from_prefix(prefix, window, out);
 }
 
 /// Streaming mean/variance accumulator (Welford's algorithm).

@@ -1,0 +1,147 @@
+//! Bit-parity suite for the runtime-dispatched SIMD kernels.
+//!
+//! Every kernel in `lion_linalg::simd` ships a scalar reference twin; the
+//! dispatch contract is that the SIMD implementation is **bit-identical**
+//! (`==` on every `f64`, no tolerance) on every input, because the
+//! stream/adaptive/solver parity suites downstream assert exact equality
+//! between pipelines that mix the two. These proptests pin that contract
+//! across remainder lengths `0..width` (width = 4 lanes on AVX2, 2 on
+//! NEON), so both the full-vector body and the scalar tail of each kernel
+//! are exercised.
+//!
+//! On hosts without SIMD support, `active()` resolves to the scalar
+//! backend and the comparisons are trivially equal — the suite is still
+//! worth running there as a smoke test of the dispatch seam itself.
+
+use proptest::prelude::*;
+
+use lion_linalg::simd;
+
+/// Strategy: finite phases in `[0, 2π)` like a wrapped RFID phase stream.
+fn phases(len: impl Into<proptest::collection::SizeRange>) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0_f64..std::f64::consts::TAU, len)
+}
+
+proptest! {
+    #[test]
+    fn exp_kernel_bit_parity(xs in proptest::collection::vec(-800.0_f64..0.0, 0..20)) {
+        let mut scalar = xs.clone();
+        let mut dispatched = xs.clone();
+        simd::exp_non_positive_scalar(&mut scalar);
+        simd::exp_non_positive(&mut dispatched);
+        prop_assert_eq!(scalar, dispatched);
+    }
+
+    #[test]
+    fn unwrap_kernel_bit_parity(ph in phases(0..20)) {
+        let mut scalar = ph.clone();
+        let mut dispatched = ph.clone();
+        let mut revs_a = Vec::new();
+        let mut revs_b = Vec::new();
+        simd::phase_unwrap_in_place_scalar(&mut scalar, &mut revs_a);
+        simd::phase_unwrap_in_place(&mut dispatched, &mut revs_b);
+        prop_assert_eq!(scalar, dispatched);
+        prop_assert_eq!(revs_a, revs_b);
+    }
+
+    #[test]
+    fn sliding_mean_kernel_bit_parity(
+        data in proptest::collection::vec(-10.0_f64..10.0, 1..24),
+        window in 2_usize..9,
+    ) {
+        // Build the running-sum prefix exactly as the smoothing stage does.
+        let mut prefix = Vec::with_capacity(data.len() + 1);
+        let mut acc = 0.0;
+        prefix.push(0.0);
+        for &d in &data {
+            acc += d;
+            prefix.push(acc);
+        }
+        let mut scalar = vec![0.0; data.len()];
+        let mut dispatched = vec![0.0; data.len()];
+        simd::sliding_mean_from_prefix_scalar(&prefix, window, &mut scalar);
+        simd::sliding_mean_from_prefix(&prefix, window, &mut dispatched);
+        prop_assert_eq!(scalar, dispatched);
+    }
+
+    #[test]
+    fn radical_rows_kernel_bit_parity(
+        k in 1_usize..4,
+        n in 2_usize..12,
+        m in 0_usize..20,
+        seed in 0_u64..u64::MAX,
+    ) {
+        // Deterministic pseudo-random coords/deltas/pairs from the seed so
+        // the three lengths can shrink independently.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1_u64 << 53) as f64 * 4.0 - 2.0
+        };
+        let coords: Vec<f64> = (0..n * k).map(|_| next()).collect();
+        let deltas: Vec<f64> = (0..n).map(|_| next()).collect();
+        let pair_i: Vec<i32> = (0..m).map(|r| (r % n) as i32).collect();
+        let pair_j: Vec<i32> = (0..m).map(|r| ((r * 7 + 1) % n) as i32).collect();
+        let mut design_a = vec![0.0; m * (k + 1)];
+        let mut design_b = vec![0.0; m * (k + 1)];
+        let mut rhs_a = vec![0.0; m];
+        let mut rhs_b = vec![0.0; m];
+        simd::radical_rows_scalar(
+            &coords, n, k, &deltas, &pair_i, &pair_j, &mut design_a, &mut rhs_a,
+        );
+        simd::radical_rows(
+            &coords, n, k, &deltas, &pair_i, &pair_j, &mut design_b, &mut rhs_b,
+        );
+        prop_assert_eq!(design_a, design_b);
+        prop_assert_eq!(rhs_a, rhs_b);
+    }
+}
+
+/// Shared body for the Gram-kernel parity check at one width.
+fn gram_parity<const N: usize>(flat: &[f64], rhs: &[f64], weights: &[f64]) {
+    let (g_s, atk_s) = simd::gram_fixed_scalar::<N>(flat, rhs, weights);
+    let (g_d, atk_d) = simd::gram_fixed::<N>(flat, rhs, weights);
+    assert_eq!(g_s, g_d);
+    assert_eq!(atk_s, atk_d);
+}
+
+proptest! {
+    #[test]
+    fn gram_kernel_bit_parity(
+        m in 0_usize..20,
+        n_sel in 0_usize..3,
+        data in proptest::collection::vec(-5.0_f64..5.0, 20 * 6),
+        weights in proptest::collection::vec(0.0_f64..1.0, 20),
+    ) {
+        let widths = [2, 3, 4];
+        let n = widths[n_sel];
+        let flat = &data[..m * n];
+        let rhs = &data[20 * 5..20 * 5 + m];
+        let weights = &weights[..m];
+        match n {
+            2 => gram_parity::<2>(flat, rhs, weights),
+            3 => gram_parity::<3>(flat, rhs, weights),
+            _ => gram_parity::<4>(flat, rhs, weights),
+        }
+    }
+}
+
+/// The forced-dispatch hook pins the scalar path regardless of host CPU:
+/// CI runs this everywhere, so the fallback is never dead code. Flipping
+/// the override mid-process is harmless to concurrently running parity
+/// tests precisely because the kernels are bit-identical.
+#[test]
+fn forced_scalar_dispatch_matches_auto() {
+    let xs: Vec<f64> = (0..37).map(|i| -(i as f64) * 0.37).collect();
+    let mut auto = xs.clone();
+    simd::exp_non_positive(&mut auto);
+    simd::force(Some(simd::Backend::Scalar));
+    assert_eq!(simd::active(), simd::Backend::Scalar);
+    let mut forced = xs;
+    simd::exp_non_positive(&mut forced);
+    simd::force(None);
+    assert_eq!(auto, forced);
+    assert_eq!(simd::active(), simd::detected());
+}

@@ -11,6 +11,8 @@ verify:
     cargo test -q --test tracing_causality
     cargo test -q -p lion-linalg --test proptests normal_eq
     cargo test -q -p lion-core --test zero_alloc --test adaptive_regression
+    cargo test -q -p lion-core --test scalar_dispatch
+    cargo test -q -p lion-linalg --test simd_parity
     cargo test -q --test solver_parity
     cargo test -q -p lion-obs --test http_plane
     cargo test -q --test fleet_health
@@ -22,15 +24,20 @@ verify:
 figures:
     cargo run --release -p lion-bench --bin run_experiments -- all
 
-# Tracked benchmarks: run the adaptive-sweep, solver-backend, and
-# streaming-resolve bench bins and diff against the committed baselines
-# (generous 3× regression threshold; the committed sweep and
-# incremental-vs-replay speedups must stay ≥ 5×, and the solver-backend
-# parity must stay inside the documented 2 cm radius).
+# Tracked benchmarks: run the adaptive-sweep, solver-backend,
+# streaming-resolve, and SIMD-kernel bench bins and diff against the
+# committed baselines (generous 3× regression threshold; speedup ratios
+# must stay near their committed values, the solver-backend parity must
+# stay inside the documented 2 cm radius, and the kernel bench enforces
+# the absolute 700 µs single-solve / 14 672 ns incremental budgets).
+# Each check refuses — exit 0, not failure — when the committed
+# baseline's env block (machine, rustc, CPU features, SIMD backend)
+# doesn't match this machine; regenerate with `just bench-write` first.
 bench:
     cargo run --release -p lion-bench --bin bench_adaptive -- --check BENCH_5.json
     cargo run --release -p lion-bench --bin bench_solvers -- --check BENCH_6.json
     cargo run --release -p lion-bench --bin bench_stream_resolve -- --check BENCH_8.json
+    cargo run --release -p lion-bench --bin bench_kernels -- --check BENCH_10.json
 
 # Regenerate the committed benchmark baselines. Run on a quiet machine
 # and eyeball the diff before committing.
@@ -38,6 +45,14 @@ bench-write:
     cargo run --release -p lion-bench --bin bench_adaptive -- --write BENCH_5.json
     cargo run --release -p lion-bench --bin bench_solvers -- --write BENCH_6.json
     cargo run --release -p lion-bench --bin bench_stream_resolve -- --write BENCH_8.json
+    cargo run --release -p lion-bench --bin bench_kernels -- --write BENCH_10.json
+
+# SIMD kernel bench compiled for this exact CPU (`-C target-cpu=native`
+# lets LLVM use every feature the host has, beyond the portable AVX2/NEON
+# dispatch). Numbers are NOT comparable to the committed baselines —
+# print-only, no --check, never `--write` from here.
+bench-native:
+    RUSTFLAGS="-C target-cpu=native" cargo run --release -p lion-bench --bin bench_kernels
 
 # Run the Criterion microbenchmarks (solver, hologram, engine batch, ...).
 microbench:
